@@ -1,0 +1,34 @@
+//! Cost side of the paper's §II dimensionality remark: Hamming LOOCV wall
+//! time grows linearly in the number of bits while accuracy saturates
+//! (see `ablation_dim` for the accuracy side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperfex::experiments::Datasets;
+use hyperfex::HammingModel;
+use hyperfex_hdc::binary::Dim;
+use std::hint::black_box;
+
+fn bench_dims(c: &mut Criterion) {
+    let datasets = Datasets::generate(42).unwrap();
+    let mut g = c.benchmark_group("hamming_loocv_by_dim_pima_r");
+    g.sample_size(10);
+    for dim in [1_000usize, 5_000, 10_000, 20_000] {
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &d| {
+            b.iter(|| {
+                black_box(
+                    HammingModel::new(Dim::new(d), 42)
+                        .evaluate_loocv(&datasets.pima_r)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_dims
+}
+criterion_main!(benches);

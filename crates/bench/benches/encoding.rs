@@ -1,0 +1,43 @@
+//! Encoding throughput: single values, whole patients, whole cohorts.
+//! The paper excludes hypervector construction from its timing ("We do not
+//! account for the time it takes to build the hypervectors") — this bench
+//! quantifies exactly what was excluded.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperfex::prelude::*;
+use hyperfex::HdcFeatureExtractor;
+use hyperfex_hdc::prelude::*;
+use hyperfex_hdc::binary::Dim;
+use std::hint::black_box;
+
+fn bench_encoding(c: &mut Criterion) {
+    let dim = Dim::PAPER;
+    let linear = LinearEncoder::new(dim, 56.0, 198.0, 3).unwrap();
+    let pima = pima::generate(&PimaConfig::default()).unwrap();
+    let pima_r = drop_missing(&pima);
+
+    let mut g = c.benchmark_group("encoding_10k");
+    g.bench_function("linear_encode_value", |b| {
+        b.iter(|| black_box(linear.encode(black_box(128.0))))
+    });
+    g.bench_function("encode_one_patient", |b| {
+        let mut ext = HdcFeatureExtractor::new(dim, 3);
+        ext.fit(&pima_r, None).unwrap();
+        b.iter(|| black_box(ext.transform(&pima_r, Some(&[0])).unwrap()))
+    });
+    g.sample_size(10);
+    g.bench_function("encode_pima_r_cohort", |b| {
+        b.iter(|| {
+            let mut ext = HdcFeatureExtractor::new(dim, 3);
+            black_box(ext.fit_transform(&pima_r).unwrap())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_encoding
+}
+criterion_main!(benches);

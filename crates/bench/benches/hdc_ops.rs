@@ -1,0 +1,44 @@
+//! Microbenchmarks of the core hypervector operations at the paper's
+//! 10,000-bit dimensionality (supports the §II claim that binary ops "are
+//! easy and highly efficient" on conventional hardware).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hyperfex_hdc::prelude::*;
+use hyperfex_hdc::binary::Dim;
+use std::hint::black_box;
+
+fn bench_ops(c: &mut Criterion) {
+    let dim = Dim::PAPER;
+    let mut rng = SplitMix64::new(7);
+    let a = BinaryHypervector::random(dim, &mut rng);
+    let b = BinaryHypervector::random(dim, &mut rng);
+    let stack: Vec<BinaryHypervector> =
+        (0..8).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+    let stack16: Vec<BinaryHypervector> =
+        (0..16).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+
+    let mut g = c.benchmark_group("hdc_ops_10k");
+    g.bench_function("hamming", |bch| bch.iter(|| black_box(a.hamming(black_box(&b)))));
+    g.bench_function("bind_xor", |bch| bch.iter(|| black_box(a.bind(black_box(&b)))));
+    g.bench_function("majority_bundle_8", |bch| {
+        bch.iter(|| black_box(bundle::majority(black_box(&stack))))
+    });
+    g.bench_function("majority_bundle_16", |bch| {
+        bch.iter(|| black_box(bundle::majority(black_box(&stack16))))
+    });
+    g.bench_function("random_balanced", |bch| {
+        bch.iter_batched(
+            || SplitMix64::new(11),
+            |mut r| black_box(BinaryHypervector::random_balanced(dim, &mut r)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! The paper's running-time observation (§III-A): "LGBM, XGBoost and
+//! CatBoost see a major increase in computing time when using
+//! hypervectors (over 10x). We didn't observe a significant performance
+//! difference for the remaining models."
+//!
+//! Each model is fitted on Pima R with raw 8-column features and with
+//! 2,000-bit hypervector features (scaled-down dimensionality keeps the
+//! bench finite on one core; the features-vs-hypervectors *ratio* is the
+//! reproduced quantity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hyperfex::experiments::{hv_features, raw_features, Datasets};
+use hyperfex::models::{make_model, ModelBudget, PAPER_MODELS};
+use hyperfex_hdc::binary::Dim;
+use std::hint::black_box;
+
+fn bench_fits(c: &mut Criterion) {
+    let datasets = Datasets::generate(42).unwrap();
+    let table = &datasets.pima_r;
+    let features = raw_features(table).unwrap();
+    let hv = hv_features(table, Dim::new(2_000), 42).unwrap();
+    let labels = table.labels().to_vec();
+    let budget = ModelBudget {
+        ensemble_scale: 0.2,
+        nn_max_epochs: 10,
+    };
+
+    let mut g = c.benchmark_group("model_fit_pima_r");
+    g.sample_size(10);
+    for kind in PAPER_MODELS {
+        g.bench_with_input(BenchmarkId::new("features", kind.label()), &kind, |b, &k| {
+            b.iter(|| {
+                let mut model = make_model(k, 42, &budget);
+                model.fit(black_box(&features), black_box(&labels)).unwrap();
+                black_box(model.predict(&features).unwrap())
+            })
+        });
+        g.bench_with_input(
+            BenchmarkId::new("hypervectors", kind.label()),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    let mut model = make_model(k, 42, &budget);
+                    model.fit(black_box(&hv), black_box(&labels)).unwrap();
+                    black_box(model.predict(&hv).unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fits
+}
+criterion_main!(benches);

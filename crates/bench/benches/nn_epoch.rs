@@ -1,0 +1,58 @@
+//! The paper's NN timing observation (§III-A): "the performance of the
+//! Sequential Neural Network was similar (10 msec per epoch) using the
+//! original feature values or the hypervectors as input."
+//!
+//! We fit for a fixed small number of epochs on both representations and
+//! report per-fit cost; divide by the epoch count for the per-epoch
+//! figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hyperfex::experiments::{hv_features, raw_features, Datasets};
+use hyperfex_hdc::binary::Dim;
+use hyperfex_ml::nn::{SequentialNn, SequentialNnParams};
+use hyperfex_ml::Estimator;
+use std::hint::black_box;
+
+const EPOCHS: usize = 3;
+
+fn params() -> SequentialNnParams {
+    SequentialNnParams {
+        max_epochs: EPOCHS,
+        patience: EPOCHS + 1,
+        seed: 42,
+        ..SequentialNnParams::default()
+    }
+}
+
+fn bench_nn(c: &mut Criterion) {
+    let datasets = Datasets::generate(42).unwrap();
+    let table = &datasets.pima_r;
+    let features = raw_features(table).unwrap();
+    let hv = hv_features(table, Dim::new(2_000), 42).unwrap();
+    let labels = table.labels().to_vec();
+
+    let mut g = c.benchmark_group(format!("nn_{EPOCHS}_epochs_pima_r"));
+    g.sample_size(10);
+    g.bench_function("features_8", |b| {
+        b.iter(|| {
+            let mut nn = SequentialNn::new(params());
+            nn.fit(black_box(&features), black_box(&labels)).unwrap();
+            black_box(nn.epochs_run())
+        })
+    });
+    g.bench_function("hypervectors_2000", |b| {
+        b.iter(|| {
+            let mut nn = SequentialNn::new(params());
+            nn.fit(black_box(&hv), black_box(&labels)).unwrap();
+            black_box(nn.epochs_run())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_nn
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Unified error type for the end-to-end pipeline.
+
+use hyperfex_data::DataError;
+use hyperfex_hdc::HdcError;
+use hyperfex_ml::MlError;
+use std::fmt;
+
+/// Any failure along the encode → classify pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HyperfexError {
+    /// Error from the hyperdimensional substrate.
+    Hdc(HdcError),
+    /// Error from the ML substrate.
+    Ml(MlError),
+    /// Error from the dataset substrate.
+    Data(DataError),
+    /// Pipeline-level misuse (e.g. transform before fit).
+    Pipeline(String),
+}
+
+impl fmt::Display for HyperfexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Hdc(e) => write!(f, "hdc: {e}"),
+            Self::Ml(e) => write!(f, "ml: {e}"),
+            Self::Data(e) => write!(f, "data: {e}"),
+            Self::Pipeline(msg) => write!(f, "pipeline: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HyperfexError {}
+
+impl From<HdcError> for HyperfexError {
+    fn from(e: HdcError) -> Self {
+        Self::Hdc(e)
+    }
+}
+
+impl From<MlError> for HyperfexError {
+    fn from(e: MlError) -> Self {
+        Self::Ml(e)
+    }
+}
+
+impl From<DataError> for HyperfexError {
+    fn from(e: DataError) -> Self {
+        Self::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: HyperfexError = HdcError::EmptyInput.into();
+        assert!(e.to_string().starts_with("hdc:"));
+        let e: HyperfexError = MlError::NotFitted.into();
+        assert!(e.to_string().starts_with("ml:"));
+        let e: HyperfexError = DataError::EmptyTable.into();
+        assert!(e.to_string().starts_with("data:"));
+        let e = HyperfexError::Pipeline("bad".into());
+        assert!(e.to_string().contains("bad"));
+    }
+}

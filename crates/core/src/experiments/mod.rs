@@ -1,0 +1,226 @@
+//! Experiment runners regenerating every table of the paper.
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table I — Pima feature distribution | [`table1::run`] | `table1` |
+//! | Table II — Hamming + Sequential NN accuracy | [`table2::run`] | `table2` |
+//! | Table III — 10-fold training accuracy, 9 models | [`table3::run`] | `table3` |
+//! | Table IV — Pima M test metrics | [`table45::run_table4`] | `table4` |
+//! | Table V — Sylhet test metrics | [`table45::run_table5`] | `table5` |
+//! | §II dimensionality remark | [`ablation::dimensionality_sweep`] | `ablation_dim` |
+//! | Islam et al. baselines (cited as \[5\]) | [`islam::run`] | `islam_baselines` |
+//! | §III-A running-time prose | [`timing::run`] | `timing` (one-shot) and `cargo bench` |
+//!
+//! Experiments default to a reduced dimensionality/repeat budget so a full
+//! regeneration finishes in minutes on one core; pass `--paper` to the
+//! binaries for the paper-scale configuration (10,000 bits, 10 repeats,
+//! full ensembles).
+
+pub mod ablation;
+pub mod islam;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table45;
+pub mod timing;
+
+use crate::error::HyperfexError;
+use crate::extractor::HdcFeatureExtractor;
+use crate::models::ModelBudget;
+use hyperfex_data::impute::{drop_missing, impute_class_median};
+use hyperfex_data::pima::{self, PimaConfig};
+use hyperfex_data::sylhet::{self, SylhetConfig};
+use hyperfex_data::Table;
+use hyperfex_hdc::binary::Dim;
+use hyperfex_ml::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Shared experiment configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Hypervector dimensionality (paper: 10,000).
+    pub dim: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Repeats for split-based experiments (paper: 10 for Table II).
+    pub repeats: usize,
+    /// Folds for cross-validation experiments (paper: 10).
+    pub k_folds: usize,
+    /// Ensemble/epoch budget.
+    pub budget: ModelBudget,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self {
+            dim: 2_000,
+            seed: 42,
+            repeats: 3,
+            k_folds: 10,
+            budget: ModelBudget {
+                ensemble_scale: 0.5,
+                nn_max_epochs: 300,
+            },
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration: 10,000 bits, 10 repeats, full
+    /// ensembles, 1000-epoch cap.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            dim: hyperfex_hdc::PAPER_DIM,
+            seed: 42,
+            repeats: 10,
+            k_folds: 10,
+            budget: ModelBudget::default(),
+        }
+    }
+
+    /// A minimal configuration for smoke tests (1,000 bits, reduced
+    /// ensembles).
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            dim: 1_000,
+            seed: 42,
+            repeats: 2,
+            k_folds: 5,
+            budget: ModelBudget {
+                ensemble_scale: 0.2,
+                nn_max_epochs: 120,
+            },
+        }
+    }
+
+    /// The dimensionality as a validated [`Dim`].
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        Dim::new(self.dim)
+    }
+}
+
+/// Which dataset an experiment row refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetId {
+    /// Pima with missing rows removed.
+    PimaR,
+    /// Pima with class-median imputation.
+    PimaM,
+    /// The Sylhet questionnaire dataset.
+    Sylhet,
+}
+
+impl DatasetId {
+    /// Display name matching the paper's column headers.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::PimaR => "Pima R",
+            Self::PimaM => "Pima M",
+            Self::Sylhet => "Syhlet", // the paper's own spelling
+        }
+    }
+}
+
+/// The three evaluation datasets, fully materialised.
+#[derive(Debug, Clone)]
+pub struct Datasets {
+    /// Pima complete cases (262 + 130).
+    pub pima_r: Table,
+    /// Pima with class-median imputation (500 + 268).
+    pub pima_m: Table,
+    /// Sylhet (200 + 320).
+    pub sylhet: Table,
+}
+
+impl Datasets {
+    /// Generates all three synthetic datasets from one seed.
+    pub fn generate(seed: u64) -> Result<Self, HyperfexError> {
+        let raw = pima::generate(&PimaConfig {
+            seed,
+            ..PimaConfig::default()
+        })?;
+        let pima_r = drop_missing(&raw);
+        let pima_m = impute_class_median(&raw)?;
+        let sylhet = sylhet::generate(&SylhetConfig {
+            seed: seed.wrapping_add(0x51),
+            ..SylhetConfig::default()
+        })?;
+        Ok(Self {
+            pima_r,
+            pima_m,
+            sylhet,
+        })
+    }
+
+    /// Table lookup by id.
+    #[must_use]
+    pub fn get(&self, id: DatasetId) -> &Table {
+        match id {
+            DatasetId::PimaR => &self.pima_r,
+            DatasetId::PimaM => &self.pima_m,
+            DatasetId::Sylhet => &self.sylhet,
+        }
+    }
+
+    /// All three ids in the paper's column order.
+    pub const ALL: [DatasetId; 3] = [DatasetId::PimaR, DatasetId::PimaM, DatasetId::Sylhet];
+}
+
+/// Raw feature matrix (`f64` table narrowed to `f32`).
+pub fn raw_features(table: &Table) -> Result<Matrix, HyperfexError> {
+    Ok(Matrix::from_rows_f64(table.rows())?)
+}
+
+/// Hypervector feature matrix: encode the whole table with an extractor
+/// fitted on it (used by the cross-validation experiments, where — as in
+/// the paper — encoding is a dataset-preparation step shared by folds).
+pub fn hv_features(
+    table: &Table,
+    dim: Dim,
+    seed: u64,
+) -> Result<Matrix, HyperfexError> {
+    let mut extractor = HdcFeatureExtractor::new(dim, seed);
+    let hvs = extractor.fit_transform(table)?;
+    Ok(HdcFeatureExtractor::to_matrix(&hvs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_have_paper_shapes() {
+        let d = Datasets::generate(1).unwrap();
+        assert_eq!(d.pima_r.n_rows(), 392);
+        assert_eq!(d.pima_m.n_rows(), 768);
+        assert_eq!(d.pima_m.n_missing(), 0);
+        assert_eq!(d.sylhet.n_rows(), 520);
+        assert_eq!(d.get(DatasetId::PimaR).n_rows(), 392);
+        assert_eq!(DatasetId::Sylhet.label(), "Syhlet");
+    }
+
+    #[test]
+    fn feature_matrices_align_with_tables() {
+        let d = Datasets::generate(2).unwrap();
+        let raw = raw_features(&d.pima_r).unwrap();
+        assert_eq!(raw.n_rows(), 392);
+        assert_eq!(raw.n_cols(), 8);
+        let hv = hv_features(&d.pima_r, Dim::new(512), 3).unwrap();
+        assert_eq!(hv.n_rows(), 392);
+        assert_eq!(hv.n_cols(), 512);
+    }
+
+    #[test]
+    fn config_presets() {
+        let paper = ExperimentConfig::paper();
+        assert_eq!(paper.dim, 10_000);
+        assert_eq!(paper.repeats, 10);
+        let quick = ExperimentConfig::quick();
+        assert!(quick.dim < paper.dim);
+        assert_eq!(ExperimentConfig::default().dim().get(), 2_000);
+    }
+}

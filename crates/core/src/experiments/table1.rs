@@ -1,0 +1,68 @@
+//! Table I — feature distribution of the curated Pima cohort, side by side
+//! with the paper's published values.
+
+use crate::error::HyperfexError;
+use crate::experiments::Datasets;
+use hyperfex_data::pima;
+use hyperfex_data::stats::class_summary;
+use hyperfex_eval::report::TableReport;
+
+/// Regenerates Table I from the Pima R cohort.
+pub fn run(datasets: &Datasets) -> Result<TableReport, HyperfexError> {
+    let summary = class_summary(&datasets.pima_r);
+    let targets = pima::paper_targets();
+    let mut table = TableReport::new(
+        "Table I — Pima feature distribution: mean (range), measured vs paper",
+        &[
+            "Feature",
+            "Positive (ours)",
+            "Positive (paper)",
+            "Negative (ours)",
+            "Negative (paper)",
+        ],
+    );
+    // The paper lists rows in a different order than the CSV columns; map
+    // its order onto ours.
+    let paper_order = [7usize, 0, 1, 5, 3, 4, 6, 2];
+    for &col in &paper_order {
+        let pos = &summary.positive[col];
+        let neg = &summary.negative[col];
+        let (p_mean, (p_lo, p_hi), n_mean, (n_lo, n_hi)) = targets[col];
+        let fmt = |mean: f64, lo: f64, hi: f64| {
+            if mean < 10.0 {
+                format!("{mean:.2} ({lo:.2}-{hi:.2})")
+            } else {
+                format!("{mean:.0} ({lo:.0}-{hi:.0})")
+            }
+        };
+        table.push_row(vec![
+            pos.name.clone(),
+            fmt(pos.mean, pos.min, pos.max),
+            fmt(p_mean, p_lo, p_hi),
+            fmt(neg.mean, neg.min, neg.max),
+            fmt(n_mean, n_lo, n_hi),
+        ]);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_eight_feature_rows() {
+        let datasets = Datasets::generate(5).unwrap();
+        let report = run(&datasets).unwrap();
+        assert_eq!(report.rows.len(), 8);
+        assert_eq!(report.rows[0][0], "Age");
+        assert_eq!(report.rows[7][0], "BloodPressure");
+        // Every measured cell parses as "mean (lo-hi)".
+        for row in &report.rows {
+            assert!(row[1].contains('('), "{row:?}");
+            assert!(row[3].contains('-'));
+        }
+        let text = report.render();
+        assert!(text.contains("Table I"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Running-time experiment (§III-A of the paper, prose → table).
+//!
+//! The paper reports three timing observations rather than a table:
+//!
+//! 1. the Sequential NN costs about the same per epoch on raw features and
+//!    on hypervectors (≈10 ms/epoch on their machine);
+//! 2. "LGBM, XGBoost and CatBoost see a major increase in computing time
+//!    when using hypervectors (over 10x)";
+//! 3. the remaining models show no significant difference, and
+//!    hypervector construction time is excluded.
+//!
+//! This experiment measures wall-clock fit(+predict) time per model on
+//! both representations and prints the slowdown ratio — the quantity the
+//! paper's claims are about. `cargo bench -p hyperfex-bench` provides the
+//! statistically rigorous version; this binary gives the one-shot table.
+
+use crate::error::HyperfexError;
+use crate::experiments::{hv_features, raw_features, Datasets, ExperimentConfig};
+use crate::models::{make_model, PAPER_MODELS};
+use hyperfex_eval::report::TableReport;
+use hyperfex_ml::nn::{SequentialNn, SequentialNnParams};
+use hyperfex_ml::{Estimator, Matrix};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One model's timing pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingRow {
+    /// Model label.
+    pub model: String,
+    /// Fit+predict seconds on raw features.
+    pub features_secs: f64,
+    /// Fit+predict seconds on hypervectors.
+    pub hypervectors_secs: f64,
+}
+
+impl TimingRow {
+    /// Hypervector slowdown factor.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.features_secs > 0.0 {
+            self.hypervectors_secs / self.features_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Full timing result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimingResult {
+    /// Per-model rows.
+    pub rows: Vec<TimingRow>,
+    /// Per-epoch NN seconds `(features, hypervectors)`.
+    pub nn_epoch_secs: (f64, f64),
+    /// Seconds to encode the whole cohort (the cost the paper excludes).
+    pub encoding_secs: f64,
+}
+
+fn time_fit(model: &mut dyn Estimator, x: &Matrix, y: &[usize]) -> Result<f64, HyperfexError> {
+    let start = Instant::now();
+    model.fit(x, y)?;
+    let _ = model.predict(x)?;
+    Ok(start.elapsed().as_secs_f64())
+}
+
+/// Runs the timing comparison on Pima R.
+pub fn run(datasets: &Datasets, config: &ExperimentConfig) -> Result<TimingResult, HyperfexError> {
+    let table = &datasets.pima_r;
+    let features = raw_features(table)?;
+    let encode_start = Instant::now();
+    let hv = hv_features(table, config.dim(), config.seed)?;
+    let encoding_secs = encode_start.elapsed().as_secs_f64();
+    let y = table.labels().to_vec();
+
+    let mut rows = Vec::new();
+    for kind in PAPER_MODELS {
+        let mut on_features = make_model(kind, config.seed, &config.budget);
+        let features_secs = time_fit(on_features.as_mut(), &features, &y)?;
+        let mut on_hv = make_model(kind, config.seed, &config.budget);
+        let hypervectors_secs = time_fit(on_hv.as_mut(), &hv, &y)?;
+        rows.push(TimingRow {
+            model: kind.label().to_string(),
+            features_secs,
+            hypervectors_secs,
+        });
+    }
+
+    // NN per-epoch: fixed 3 epochs, no early stop, divide by 3.
+    let nn_time = |x: &Matrix| -> Result<f64, HyperfexError> {
+        let mut nn = SequentialNn::new(SequentialNnParams {
+            max_epochs: 3,
+            patience: 4,
+            seed: config.seed,
+            ..SequentialNnParams::default()
+        });
+        let start = Instant::now();
+        nn.fit(x, &y)?;
+        Ok(start.elapsed().as_secs_f64() / nn.epochs_run().max(1) as f64)
+    };
+    let nn_epoch_secs = (nn_time(&features)?, nn_time(&hv)?);
+
+    Ok(TimingResult {
+        rows,
+        nn_epoch_secs,
+        encoding_secs,
+    })
+}
+
+impl TimingResult {
+    /// The boosted-family mean slowdown (the paper's ">10x" subjects).
+    #[must_use]
+    pub fn boosted_mean_ratio(&self) -> f64 {
+        let boosted: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| matches!(r.model.as_str(), "XGBoost" | "CatBoost" | "LGBM"))
+            .map(TimingRow::ratio)
+            .collect();
+        boosted.iter().sum::<f64>() / boosted.len().max(1) as f64
+    }
+
+    /// Renders the report.
+    #[must_use]
+    pub fn to_report(&self, dim: usize) -> TableReport {
+        let mut t = TableReport::new(
+            format!(
+                "Running time on Pima R, {dim}-bit hypervectors (paper §III-A: boosted trees >10x slower on HVs; NN per-epoch similar)"
+            ),
+            &["Model", "Features (s)", "Hypervectors (s)", "Slowdown"],
+        );
+        for row in &self.rows {
+            t.push_row(vec![
+                row.model.clone(),
+                format!("{:.3}", row.features_secs),
+                format!("{:.3}", row.hypervectors_secs),
+                format!("{:.1}x", row.ratio()),
+            ]);
+        }
+        t.push_row(vec![
+            "Sequential NN (per epoch)".into(),
+            format!("{:.4}", self.nn_epoch_secs.0),
+            format!("{:.4}", self.nn_epoch_secs.1),
+            format!("{:.1}x", self.nn_epoch_secs.1 / self.nn_epoch_secs.0.max(1e-12)),
+        ]);
+        t.push_row(vec![
+            "(encoding, excluded by paper)".into(),
+            "-".into(),
+            format!("{:.3}", self.encoding_secs),
+            "-".into(),
+        ]);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperfex_data::sylhet::{self, SylhetConfig};
+
+    #[test]
+    fn timing_rows_cover_all_models_and_are_positive() {
+        let tiny = sylhet::generate(&SylhetConfig {
+            n_positive: 40,
+            n_negative: 30,
+            ..Default::default()
+        })
+        .unwrap();
+        let datasets = Datasets {
+            pima_r: tiny.clone(),
+            pima_m: tiny.clone(),
+            sylhet: tiny,
+        };
+        let config = ExperimentConfig {
+            dim: 256,
+            budget: crate::models::ModelBudget {
+                ensemble_scale: 0.05,
+                nn_max_epochs: 5,
+            },
+            ..ExperimentConfig::quick()
+        };
+        let result = run(&datasets, &config).unwrap();
+        assert_eq!(result.rows.len(), 9);
+        for row in &result.rows {
+            assert!(row.features_secs > 0.0, "{row:?}");
+            assert!(row.hypervectors_secs > 0.0, "{row:?}");
+        }
+        assert!(result.encoding_secs > 0.0);
+        assert!(result.boosted_mean_ratio() > 0.0);
+        let report = result.to_report(256);
+        assert_eq!(report.rows.len(), 11);
+    }
+}

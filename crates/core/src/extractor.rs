@@ -1,0 +1,287 @@
+//! The paper's feature-extraction stage: records → patient hypervectors.
+
+use crate::error::HyperfexError;
+use hyperfex_data::{ColumnKind, Table};
+use hyperfex_hdc::binary::{BinaryHypervector, Dim};
+use hyperfex_hdc::encoding::{FeatureSpec, RecordEncoder, RecordSchema};
+use hyperfex_ml::Matrix;
+
+/// Encodes patient records into binary hypervectors and exposes them in
+/// both hypervector form (for Hamming classification) and 0/1 matrix form
+/// (for use as ML input features — the paper's "extraction" step).
+///
+/// The extractor is *fitted on training data only*: the level encoders'
+/// `[min, max]` ranges come from the rows passed to
+/// [`HdcFeatureExtractor::fit`], and unseen out-of-range values clamp to
+/// the boundary codes exactly as the paper prescribes for "new data that
+/// hasn't been seen by the encoder".
+#[derive(Debug, Clone)]
+pub struct HdcFeatureExtractor {
+    dim: Dim,
+    seed: u64,
+    levels: Option<usize>,
+    encoder: Option<RecordEncoder>,
+}
+
+impl HdcFeatureExtractor {
+    /// Creates an unfitted extractor. The paper's dimensionality is
+    /// [`Dim::PAPER`] (10,000 bits).
+    #[must_use]
+    pub fn new(dim: Dim, seed: u64) -> Self {
+        Self {
+            dim,
+            seed,
+            levels: None,
+            encoder: None,
+        }
+    }
+
+    /// Quantizes continuous features to `levels` codes instead of the
+    /// paper's formula-based continuous encoding (resolution ablation).
+    #[must_use]
+    pub fn with_levels(mut self, levels: usize) -> Self {
+        self.levels = Some(levels);
+        self
+    }
+
+    /// The output dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Builds per-feature encoders from the table's schema and the value
+    /// ranges observed in the given rows (pass training-row indices to
+    /// avoid leaking test-set ranges; pass `None` to use every row).
+    pub fn fit(&mut self, table: &Table, rows: Option<&[usize]>) -> Result<(), HyperfexError> {
+        if table.is_empty() {
+            return Err(HyperfexError::Pipeline("cannot fit on an empty table".into()));
+        }
+        let all_rows: Vec<usize>;
+        let rows = match rows {
+            Some(r) => r,
+            None => {
+                all_rows = (0..table.n_rows()).collect();
+                &all_rows
+            }
+        };
+        let view = table.select_rows(rows);
+        let mut specs = Vec::with_capacity(table.n_cols());
+        for (col, spec) in table.columns().iter().enumerate() {
+            match spec.kind {
+                ColumnKind::Binary => specs.push(FeatureSpec::binary(spec.name.clone())),
+                ColumnKind::Continuous => {
+                    let (min, max) = view.column_range(col).ok_or_else(|| {
+                        HyperfexError::Pipeline(format!(
+                            "column `{}` has no observed values to fit a range",
+                            spec.name
+                        ))
+                    })?;
+                    // Degenerate (constant) columns get a token range so the
+                    // encoder stays valid; every value maps to the seed code.
+                    let (min, max) = if max > min { (min, max) } else { (min, min + 1.0) };
+                    specs.push(FeatureSpec::continuous(spec.name.clone(), min, max));
+                }
+            }
+        }
+        self.encoder = Some(RecordEncoder::with_quantization(
+            self.dim,
+            RecordSchema::new(specs),
+            self.seed,
+            self.levels,
+        )?);
+        Ok(())
+    }
+
+    /// Encodes the selected rows (or all rows) into patient hypervectors.
+    pub fn transform(
+        &self,
+        table: &Table,
+        rows: Option<&[usize]>,
+    ) -> Result<Vec<BinaryHypervector>, HyperfexError> {
+        let encoder = self
+            .encoder
+            .as_ref()
+            .ok_or_else(|| HyperfexError::Pipeline("transform called before fit".into()))?;
+        let all_rows: Vec<usize>;
+        let rows = match rows {
+            Some(r) => r,
+            None => {
+                all_rows = (0..table.n_rows()).collect();
+                &all_rows
+            }
+        };
+        let mut missing_checked = Vec::with_capacity(rows.len());
+        for &i in rows {
+            if table.row_has_missing(i) {
+                return Err(HyperfexError::Pipeline(format!(
+                    "row {i} contains missing values; impute or drop before encoding"
+                )));
+            }
+            missing_checked.push(table.row(i).to_vec());
+        }
+        Ok(encoder.encode_batch(&missing_checked)?)
+    }
+
+    /// Fit on all rows, then transform all rows.
+    pub fn fit_transform(&mut self, table: &Table) -> Result<Vec<BinaryHypervector>, HyperfexError> {
+        self.fit(table, None)?;
+        self.transform(table, None)
+    }
+
+    /// Encodes one row into its *per-feature* hypervectors (before
+    /// bundling) — used by ablations that compare bundling backends.
+    pub fn feature_hypervectors(
+        &self,
+        table: &Table,
+        row: usize,
+    ) -> Result<Vec<BinaryHypervector>, HyperfexError> {
+        let encoder = self
+            .encoder
+            .as_ref()
+            .ok_or_else(|| HyperfexError::Pipeline("transform called before fit".into()))?;
+        if table.row_has_missing(row) {
+            return Err(HyperfexError::Pipeline(format!(
+                "row {row} contains missing values; impute or drop before encoding"
+            )));
+        }
+        Ok(encoder.encode_features(table.row(row))?)
+    }
+
+    /// Converts hypervectors into a dense 0/1 `f32` matrix — the "use the
+    /// hypervectors to train classification models" step (§II).
+    #[must_use]
+    pub fn to_matrix(hypervectors: &[BinaryHypervector]) -> Matrix {
+        let n = hypervectors.len();
+        let d = hypervectors.first().map_or(0, BinaryHypervector::len);
+        let mut m = Matrix::zeros(n, d);
+        for (i, hv) in hypervectors.iter().enumerate() {
+            let row = m.row_mut(i);
+            for (j, bit) in hv.iter_bits().enumerate() {
+                row[j] = f32::from(u8::from(bit));
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-aligned assertions read clearer
+mod tests {
+    use super::*;
+    use hyperfex_data::ColumnSpec;
+
+    fn mixed_table() -> Table {
+        Table::new(
+            vec![
+                ColumnSpec::continuous("glucose"),
+                ColumnSpec::binary("polyuria"),
+            ],
+            vec![
+                vec![90.0, 0.0],
+                vec![120.0, 1.0],
+                vec![180.0, 1.0],
+                vec![100.0, 0.0],
+            ],
+            vec![0, 1, 1, 0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fit_transform_produces_one_hv_per_row() {
+        let table = mixed_table();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(1_000), 5);
+        let hvs = ext.fit_transform(&table).unwrap();
+        assert_eq!(hvs.len(), 4);
+        assert!(hvs.iter().all(|hv| hv.dim() == Dim::new(1_000)));
+    }
+
+    #[test]
+    fn transform_before_fit_errors() {
+        let table = mixed_table();
+        let ext = HdcFeatureExtractor::new(Dim::new(256), 0);
+        assert!(matches!(
+            ext.transform(&table, None),
+            Err(HyperfexError::Pipeline(_))
+        ));
+    }
+
+    #[test]
+    fn ranges_come_from_training_rows_only() {
+        let table = mixed_table();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(2_000), 9);
+        // Fit on rows 0 and 3 (glucose 90..100), transform row 2 (180):
+        // it must clamp to the max code, i.e. equal the encoding of 100.
+        ext.fit(&table, Some(&[0, 3])).unwrap();
+        let out = ext.transform(&table, Some(&[2, 3])).unwrap();
+        let clamped = &out[0];
+        let boundary = Table::new(
+            table.columns().to_vec(),
+            vec![vec![100.0, 1.0]],
+            vec![1],
+        )
+        .unwrap();
+        let expected = ext.transform(&boundary, None).unwrap();
+        assert_eq!(clamped, &expected[0]);
+    }
+
+    #[test]
+    fn missing_values_are_rejected_with_row_context() {
+        let table = Table::new(
+            vec![ColumnSpec::continuous("a")],
+            vec![vec![1.0], vec![f64::NAN], vec![2.0]],
+            vec![0, 1, 0],
+        )
+        .unwrap();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(128), 0);
+        ext.fit(&table, Some(&[0, 2])).unwrap();
+        let err = ext.transform(&table, None).unwrap_err();
+        assert!(err.to_string().contains("row 1"));
+    }
+
+    #[test]
+    fn constant_column_is_tolerated() {
+        let table = Table::new(
+            vec![ColumnSpec::continuous("const"), ColumnSpec::continuous("x")],
+            vec![vec![5.0, 1.0], vec![5.0, 2.0]],
+            vec![0, 1],
+        )
+        .unwrap();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(512), 1);
+        let hvs = ext.fit_transform(&table).unwrap();
+        assert_eq!(hvs.len(), 2);
+    }
+
+    #[test]
+    fn to_matrix_is_binary_and_aligned() {
+        let table = mixed_table();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(640), 2);
+        let hvs = ext.fit_transform(&table).unwrap();
+        let m = HdcFeatureExtractor::to_matrix(&hvs);
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_cols(), 640);
+        for i in 0..4 {
+            for (j, bit) in hvs[i].iter_bits().enumerate() {
+                assert_eq!(m.get(i, j), f32::from(u8::from(bit)));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_codes_across_extractors() {
+        let table = mixed_table();
+        let mut a = HdcFeatureExtractor::new(Dim::new(512), 11);
+        let mut b = HdcFeatureExtractor::new(Dim::new(512), 11);
+        assert_eq!(a.fit_transform(&table).unwrap(), b.fit_transform(&table).unwrap());
+        let mut c = HdcFeatureExtractor::new(Dim::new(512), 12);
+        assert_ne!(a.fit_transform(&table).unwrap(), c.fit_transform(&table).unwrap());
+    }
+
+    #[test]
+    fn empty_table_rejected() {
+        let table = Table::new(vec![ColumnSpec::continuous("a")], vec![], vec![]).unwrap();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(64), 0);
+        assert!(ext.fit(&table, None).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! # hyperfex
+//!
+//! Hyperdimensional feature extraction for the detection of type 2
+//! diabetes — a full Rust reproduction of Watkinson et al., *Using
+//! Hyperdimensional Computing to Extract Features for the Detection of
+//! Type 2 Diabetes* (IPDPSW 2023).
+//!
+//! The paper's pipeline:
+//!
+//! 1. encode each patient record into a 10,000-bit binary hypervector
+//!    (linear level-encoding for continuous features, orthogonal codes for
+//!    binary symptoms, per-bit majority bundling) — [`HdcFeatureExtractor`];
+//! 2. classify either **purely in hyperspace** with 1-NN Hamming distance
+//!    under leave-one-out validation — [`HammingModel`] — or
+//! 3. feed the hypervectors as *input features* to classical ML models and
+//!    a small sequential neural network — [`HybridClassifier`] with the
+//!    [`models`] zoo.
+//!
+//! The [`experiments`] module regenerates every table of the paper; the
+//! `hyperfex-experiments` binaries print them.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hyperfex::prelude::*;
+//!
+//! // A small synthetic Sylhet-style cohort.
+//! let table = hyperfex_data::sylhet::generate(&hyperfex_data::sylhet::SylhetConfig {
+//!     n_positive: 40,
+//!     n_negative: 30,
+//!     ..Default::default()
+//! })?;
+//!
+//! // Pure-HDC model: encode at 2,000 bits, classify with Hamming 1-NN.
+//! let outcome = HammingModel::new(Dim::new(2_000), 7).evaluate_loocv(&table)?;
+//! assert!(outcome.accuracy() > 0.7);
+//! # Ok::<(), hyperfex::HyperfexError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod experiments;
+pub mod extractor;
+pub mod hamming;
+pub mod hybrid;
+pub mod models;
+pub mod risk;
+
+pub use error::HyperfexError;
+pub use extractor::HdcFeatureExtractor;
+pub use hamming::HammingModel;
+pub use hybrid::HybridClassifier;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::error::HyperfexError;
+    pub use crate::extractor::HdcFeatureExtractor;
+    pub use crate::hamming::HammingModel;
+    pub use crate::hybrid::HybridClassifier;
+    pub use crate::models::{make_model, ModelKind, PAPER_MODELS};
+    pub use crate::risk::RiskScorer;
+    pub use hyperfex_data::prelude::*;
+    pub use hyperfex_hdc::binary::Dim;
+    pub use hyperfex_ml::prelude::*;
+}

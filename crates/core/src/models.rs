@@ -1,0 +1,200 @@
+//! The paper's model zoo (§II): the nine classical ML models of Tables
+//! III–V plus the Sequential NN of Table II, with the hyper-parameters the
+//! paper inherits from its references ("we used the same hyper-tuning
+//! variables used in the mentioned references").
+
+use hyperfex_ml::boost::{
+    CatBoostClassifier, CatBoostParams, LightGbmClassifier, LightGbmParams, XgBoostClassifier,
+    XgBoostParams,
+};
+use hyperfex_ml::forest::{RandomForestClassifier, RandomForestParams};
+use hyperfex_ml::knn::{KnnClassifier, KnnParams};
+use hyperfex_ml::linear::{
+    LogisticRegression, LogisticRegressionParams, SgdClassifier, SgdParams,
+};
+use hyperfex_ml::nn::{SequentialNn, SequentialNnParams};
+use hyperfex_ml::svm::{SvcClassifier, SvcParams};
+use hyperfex_ml::tree::{DecisionTreeClassifier, TreeParams};
+use hyperfex_ml::Estimator;
+use serde::{Deserialize, Serialize};
+
+/// Every model family the paper evaluates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Random forest (Ho 1995).
+    RandomForest,
+    /// k-nearest neighbours.
+    Knn,
+    /// CART decision tree.
+    DecisionTree,
+    /// Second-order level-wise boosting (XGBoost).
+    XgBoost,
+    /// Oblivious-tree boosting (CatBoost).
+    CatBoost,
+    /// Stochastic gradient descent (hinge loss).
+    Sgd,
+    /// L2 logistic regression.
+    LogisticRegression,
+    /// RBF support vector classifier.
+    Svc,
+    /// Histogram leaf-wise boosting (LightGBM).
+    Lgbm,
+    /// The 2×32 ReLU + sigmoid sequential network.
+    SequentialNn,
+}
+
+impl ModelKind {
+    /// The display name used in the paper's tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::RandomForest => "Random Forest",
+            Self::Knn => "KNN",
+            Self::DecisionTree => "Decision Tree",
+            Self::XgBoost => "XGBoost",
+            Self::CatBoost => "CatBoost",
+            Self::Sgd => "SGD",
+            Self::LogisticRegression => "Logistic Regression",
+            Self::Svc => "SVC",
+            Self::Lgbm => "LGBM",
+            Self::SequentialNn => "Sequential NN",
+        }
+    }
+}
+
+/// The nine classical models, in the row order of Tables III–V.
+pub const PAPER_MODELS: [ModelKind; 9] = [
+    ModelKind::RandomForest,
+    ModelKind::Knn,
+    ModelKind::DecisionTree,
+    ModelKind::XgBoost,
+    ModelKind::CatBoost,
+    ModelKind::Sgd,
+    ModelKind::LogisticRegression,
+    ModelKind::Svc,
+    ModelKind::Lgbm,
+];
+
+/// Scaling applied to the ensemble sizes, letting quick runs trade
+/// fidelity for time on small machines (1.0 = reference defaults).
+#[derive(Debug, Clone, Copy)]
+pub struct ModelBudget {
+    /// Multiplier on tree counts / boosting rounds.
+    pub ensemble_scale: f64,
+    /// Epoch cap for the sequential network.
+    pub nn_max_epochs: usize,
+}
+
+impl Default for ModelBudget {
+    fn default() -> Self {
+        Self {
+            ensemble_scale: 1.0,
+            nn_max_epochs: 1000,
+        }
+    }
+}
+
+impl ModelBudget {
+    fn trees(&self, reference: usize) -> usize {
+        ((reference as f64 * self.ensemble_scale).round() as usize).max(5)
+    }
+}
+
+/// Builds a fresh unfitted estimator with the paper's hyper-parameters.
+#[must_use]
+pub fn make_model(kind: ModelKind, seed: u64, budget: &ModelBudget) -> Box<dyn Estimator> {
+    match kind {
+        ModelKind::RandomForest => Box::new(RandomForestClassifier::new(RandomForestParams {
+            n_estimators: budget.trees(100),
+            seed,
+            ..RandomForestParams::default()
+        })),
+        ModelKind::Knn => Box::new(KnnClassifier::new(KnnParams::default())),
+        ModelKind::DecisionTree => Box::new(DecisionTreeClassifier::new(TreeParams {
+            seed,
+            ..TreeParams::default()
+        })),
+        ModelKind::XgBoost => Box::new(XgBoostClassifier::new(XgBoostParams {
+            n_estimators: budget.trees(100),
+            ..XgBoostParams::default()
+        })),
+        ModelKind::CatBoost => Box::new(CatBoostClassifier::new(CatBoostParams {
+            n_estimators: budget.trees(100),
+            ..CatBoostParams::default()
+        })),
+        ModelKind::Sgd => Box::new(SgdClassifier::new(SgdParams {
+            seed,
+            ..SgdParams::default()
+        })),
+        ModelKind::LogisticRegression => {
+            Box::new(LogisticRegression::new(LogisticRegressionParams::default()))
+        }
+        ModelKind::Svc => Box::new(SvcClassifier::new(SvcParams {
+            seed,
+            ..SvcParams::default()
+        })),
+        ModelKind::Lgbm => Box::new(LightGbmClassifier::new(LightGbmParams {
+            n_estimators: budget.trees(100),
+            ..LightGbmParams::default()
+        })),
+        ModelKind::SequentialNn => Box::new(SequentialNn::new(SequentialNnParams {
+            seed,
+            max_epochs: budget.nn_max_epochs,
+            ..SequentialNnParams::default()
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperfex_ml::Matrix;
+
+    fn toy() -> (Matrix, Vec<usize>) {
+        // 80 rows so even LightGBM's min_data_in_leaf = 20 default can
+        // split.
+        let rows: Vec<Vec<f32>> = (0..80)
+            .map(|i| vec![i as f32, (80 - i) as f32])
+            .collect();
+        let y = (0..80).map(|i| usize::from(i >= 40)).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn every_paper_model_fits_and_predicts() {
+        let (x, y) = toy();
+        let budget = ModelBudget {
+            ensemble_scale: 0.1,
+            nn_max_epochs: 30,
+        };
+        for kind in PAPER_MODELS.iter().copied().chain([ModelKind::SequentialNn]) {
+            let mut model = make_model(kind, 7, &budget);
+            model.fit(&x, &y).unwrap_or_else(|e| panic!("{kind:?} fit failed: {e}"));
+            let acc = model.accuracy(&x, &y).unwrap();
+            assert!(
+                acc > 0.6,
+                "{kind:?} training accuracy {acc} too low even for a sanity check"
+            );
+            assert_eq!(model.name(), kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(PAPER_MODELS.len(), 9);
+        assert_eq!(PAPER_MODELS[0].label(), "Random Forest");
+        assert_eq!(PAPER_MODELS[8].label(), "LGBM");
+        assert_eq!(ModelKind::SequentialNn.label(), "Sequential NN");
+    }
+
+    #[test]
+    fn budget_scales_tree_counts_with_floor() {
+        let b = ModelBudget {
+            ensemble_scale: 0.01,
+            nn_max_epochs: 1,
+        };
+        assert_eq!(b.trees(100), 5);
+        let full = ModelBudget::default();
+        assert_eq!(full.trees(100), 100);
+    }
+}

@@ -1,0 +1,254 @@
+//! Dependency-free CSV loading and saving for the two dataset layouts.
+//!
+//! When a user has the real Pima or Sylhet CSV, these loaders produce the
+//! same [`Table`] shape as the synthetic generators, so every experiment
+//! binary accepts `--pima-csv` / `--sylhet-csv` overrides.
+
+use crate::error::DataError;
+use crate::table::{ColumnKind, ColumnSpec, Table};
+use std::path::Path;
+
+/// Parses simple comma-separated text (no quoted fields — neither dataset
+/// uses them). Returns (header, records).
+fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), DataError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header_line) = lines.next().ok_or(DataError::EmptyTable)?;
+    let header: Vec<String> = header_line.split(',').map(|s| s.trim().to_string()).collect();
+    let mut records = Vec::new();
+    for (i, line) in lines {
+        let fields: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
+        if fields.len() != header.len() {
+            return Err(DataError::Parse {
+                line: i + 1,
+                message: format!("expected {} fields, found {}", header.len(), fields.len()),
+            });
+        }
+        records.push(fields);
+    }
+    Ok((header, records))
+}
+
+/// Loads the Kaggle/UCI Pima CSV (`Pregnancies,Glucose,…,Outcome`).
+///
+/// Zeros in Glucose, BloodPressure, SkinThickness, Insulin and BMI are the
+/// dataset's conventional missing markers and are converted to `NaN`.
+pub fn load_pima_csv(path: &Path) -> Result<Table, DataError> {
+    let text = std::fs::read_to_string(path)?;
+    pima_from_str(&text)
+}
+
+/// Parses Pima CSV text (exposed for tests).
+pub fn pima_from_str(text: &str) -> Result<Table, DataError> {
+    let (header, records) = parse_csv(text)?;
+    if header.len() != 9 {
+        return Err(DataError::Parse {
+            line: 1,
+            message: format!("expected 9 Pima columns, found {}", header.len()),
+        });
+    }
+    // Columns where 0 encodes a missing measurement.
+    const ZERO_IS_MISSING: [bool; 8] = [false, true, true, true, true, true, false, false];
+    let mut rows = Vec::with_capacity(records.len());
+    let mut labels = Vec::with_capacity(records.len());
+    for (ri, rec) in records.iter().enumerate() {
+        let mut row = Vec::with_capacity(8);
+        for (ci, field) in rec[..8].iter().enumerate() {
+            let v: f64 = field.parse().map_err(|_| DataError::Parse {
+                line: ri + 2,
+                message: format!("bad number `{field}`"),
+            })?;
+            row.push(if ZERO_IS_MISSING[ci] && v == 0.0 {
+                f64::NAN
+            } else {
+                v
+            });
+        }
+        let label: usize = rec[8].parse().map_err(|_| DataError::Parse {
+            line: ri + 2,
+            message: format!("bad label `{}`", rec[8]),
+        })?;
+        rows.push(row);
+        labels.push(label);
+    }
+    let columns = crate::pima::COLUMNS
+        .iter()
+        .map(|&c| ColumnSpec::continuous(c))
+        .collect();
+    Table::new(columns, rows, labels)
+}
+
+/// Loads the UCI Sylhet CSV (`Age,Gender,Polyuria,…,class` with
+/// `Yes`/`No`, `Male`/`Female`, `Positive`/`Negative` values).
+pub fn load_sylhet_csv(path: &Path) -> Result<Table, DataError> {
+    let text = std::fs::read_to_string(path)?;
+    sylhet_from_str(&text)
+}
+
+/// Parses Sylhet CSV text (exposed for tests).
+pub fn sylhet_from_str(text: &str) -> Result<Table, DataError> {
+    let (header, records) = parse_csv(text)?;
+    if header.len() != 17 {
+        return Err(DataError::Parse {
+            line: 1,
+            message: format!("expected 17 Sylhet columns, found {}", header.len()),
+        });
+    }
+    let mut rows = Vec::with_capacity(records.len());
+    let mut labels = Vec::with_capacity(records.len());
+    for (ri, rec) in records.iter().enumerate() {
+        let line = ri + 2;
+        let mut row = Vec::with_capacity(16);
+        let age: f64 = rec[0].parse().map_err(|_| DataError::Parse {
+            line,
+            message: format!("bad age `{}`", rec[0]),
+        })?;
+        row.push(age);
+        for field in &rec[1..16] {
+            row.push(match field.to_ascii_lowercase().as_str() {
+                "yes" | "male" | "1" => 1.0,
+                "no" | "female" | "0" => 0.0,
+                other => {
+                    return Err(DataError::Parse {
+                        line,
+                        message: format!("bad binary value `{other}`"),
+                    })
+                }
+            });
+        }
+        labels.push(match rec[16].to_ascii_lowercase().as_str() {
+            "positive" | "1" => 1,
+            "negative" | "0" => 0,
+            other => {
+                return Err(DataError::Parse {
+                    line,
+                    message: format!("bad class `{other}`"),
+                })
+            }
+        });
+        rows.push(row);
+    }
+    let mut columns = vec![ColumnSpec::continuous("Age")];
+    columns.extend(
+        crate::sylhet::COLUMNS[1..]
+            .iter()
+            .map(|&c| ColumnSpec::binary(c)),
+    );
+    Table::new(columns, rows, labels)
+}
+
+/// Writes a table as CSV with a trailing `Outcome` column; missing values
+/// are written as empty fields.
+pub fn write_csv(table: &Table, path: &Path) -> Result<(), DataError> {
+    let mut out = String::new();
+    for col in table.columns() {
+        out.push_str(&col.name);
+        out.push(',');
+    }
+    out.push_str("Outcome\n");
+    for (row, &label) in table.rows().iter().zip(table.labels()) {
+        for (&v, spec) in row.iter().zip(table.columns()) {
+            if v.is_nan() {
+                // leave empty
+            } else if spec.kind == ColumnKind::Binary || v.fract() == 0.0 {
+                out.push_str(&format!("{}", v as i64));
+            } else {
+                out.push_str(&format!("{v}"));
+            }
+            out.push(',');
+        }
+        out.push_str(&format!("{label}\n"));
+    }
+    std::fs::write(path, out)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pima_text_roundtrip_with_zero_missing_convention() {
+        let text = "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
+                    6,148,72,35,0,33.6,0.627,50,1\n\
+                    1,85,66,29,0,26.6,0.351,31,0\n";
+        let t = pima_from_str(text).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.labels(), &[1, 0]);
+        // Insulin 0 → missing; Pregnancies 6 stays.
+        assert!(t.row(0)[4].is_nan());
+        assert_eq!(t.row(0)[0], 6.0);
+        assert_eq!(t.row(0)[5], 33.6);
+    }
+
+    #[test]
+    fn pima_rejects_malformed_input() {
+        assert!(pima_from_str("a,b\n1,2\n").is_err());
+        let bad_field = "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
+                         6,xx,72,35,0,33.6,0.627,50,1\n";
+        assert!(matches!(
+            pima_from_str(bad_field),
+            Err(DataError::Parse { line: 2, .. })
+        ));
+        let short_row = "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
+                         6,148,72\n";
+        assert!(pima_from_str(short_row).is_err());
+    }
+
+    #[test]
+    fn sylhet_text_parses_yes_no() {
+        let mut header = String::from("Age,Gender");
+        for c in &crate::sylhet::COLUMNS[2..] {
+            header.push(',');
+            header.push_str(c);
+        }
+        header.push_str(",class\n");
+        let row1 = "40,Male,No,Yes,No,Yes,No,No,No,Yes,No,Yes,No,Yes,Yes,Yes,Positive\n";
+        let row2 = "58,Female,No,No,No,Yes,No,No,Yes,No,No,No,Yes,No,No,No,Negative\n";
+        let t = sylhet_from_str(&format!("{header}{row1}{row2}")).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.labels(), &[1, 0]);
+        assert_eq!(t.row(0)[0], 40.0);
+        assert_eq!(t.row(0)[1], 1.0); // male
+        assert_eq!(t.row(1)[1], 0.0); // female
+        assert_eq!(t.row(0)[3], 1.0); // polydipsia yes
+    }
+
+    #[test]
+    fn sylhet_rejects_bad_values() {
+        let mut header = String::from("Age,Gender");
+        for c in &crate::sylhet::COLUMNS[2..] {
+            header.push(',');
+            header.push_str(c);
+        }
+        header.push_str(",class\n");
+        let bad = "40,Maybe,No,Yes,No,Yes,No,No,No,Yes,No,Yes,No,Yes,Yes,Yes,Positive\n";
+        assert!(sylhet_from_str(&format!("{header}{bad}")).is_err());
+        let bad_class = "40,Male,No,Yes,No,Yes,No,No,No,Yes,No,Yes,No,Yes,Yes,Yes,Perhaps\n";
+        assert!(sylhet_from_str(&format!("{header}{bad_class}")).is_err());
+    }
+
+    #[test]
+    fn write_then_reload_pima() {
+        let t = crate::pima::generate(&crate::pima::PimaConfig {
+            n_negative: 8,
+            n_positive: 6,
+            complete_cases: (6, 5),
+            ..Default::default()
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join("hyperfex_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pima.csv");
+        write_csv(&t, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("Pregnancies,"));
+        // Missing cells become empty fields.
+        assert!(text.contains(",,") || t.n_missing() == 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(pima_from_str(""), Err(DataError::EmptyTable));
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for table construction, parsing and splitting.
+
+use std::fmt;
+
+/// Errors produced by the dataset substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A row's length does not match the schema arity.
+    ArityMismatch {
+        /// Row index.
+        row: usize,
+        /// Schema arity.
+        expected: usize,
+        /// Row length found.
+        got: usize,
+    },
+    /// Labels and rows have different lengths.
+    LabelLengthMismatch {
+        /// Number of rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A split fraction set does not sum to 1 or contains non-positives.
+    InvalidFractions(String),
+    /// Stratified splitting requires at least one example per class per
+    /// part.
+    TooFewSamples {
+        /// Class that ran out of samples.
+        class: usize,
+    },
+    /// k-fold requires `2 ≤ k ≤ n`.
+    InvalidK {
+        /// Requested k.
+        k: usize,
+        /// Available samples.
+        n: usize,
+    },
+    /// CSV parsing failed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// I/O failure while reading or writing a file.
+    Io(String),
+    /// An operation that needs data received an empty table.
+    EmptyTable,
+    /// A configuration value was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityMismatch { row, expected, got } => {
+                write!(f, "row {row} has {got} values, schema expects {expected}")
+            }
+            Self::LabelLengthMismatch { rows, labels } => {
+                write!(f, "{rows} rows but {labels} labels")
+            }
+            Self::InvalidFractions(msg) => write!(f, "invalid split fractions: {msg}"),
+            Self::TooFewSamples { class } => {
+                write!(f, "class {class} has too few samples for the requested split")
+            }
+            Self::InvalidK { k, n } => write!(f, "k = {k} invalid for {n} samples"),
+            Self::Parse { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Self::Io(msg) => write!(f, "I/O error: {msg}"),
+            Self::EmptyTable => write!(f, "table is empty"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_carry_context() {
+        let e = DataError::ArityMismatch { row: 7, expected: 8, got: 6 };
+        assert!(e.to_string().contains("row 7"));
+        let e = DataError::Parse { line: 3, message: "bad float".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = DataError::InvalidK { k: 1, n: 5 };
+        assert!(e.to_string().contains("k = 1"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: DataError = io.into();
+        assert!(matches!(e, DataError::Io(_)));
+    }
+}

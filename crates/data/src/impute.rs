@@ -1,0 +1,162 @@
+//! The paper's two missing-data treatments (§II-A1):
+//!
+//! * **Pima R** — "we removed subjects that had missing data":
+//!   [`drop_missing`].
+//! * **Pima M** — "each missing value was replaced with the median value of
+//!   its corresponding class" (Artem \[38\]): [`impute_class_median`].
+
+use crate::error::DataError;
+use crate::table::Table;
+
+/// Drops every row containing at least one missing value.
+#[must_use]
+pub fn drop_missing(table: &Table) -> Table {
+    let keep: Vec<usize> = (0..table.n_rows())
+        .filter(|&i| !table.row_has_missing(i))
+        .collect();
+    table.select_rows(&keep)
+}
+
+/// Replaces each missing value with the median of the non-missing values
+/// of the *same column and same class*.
+///
+/// Returns an error if some (column, class) pair has no observed values to
+/// take a median of.
+pub fn impute_class_median(table: &Table) -> Result<Table, DataError> {
+    if table.is_empty() {
+        return Err(DataError::EmptyTable);
+    }
+    let n_cols = table.n_cols();
+    // medians[class][col]
+    let mut medians = vec![vec![f64::NAN; n_cols]; 2];
+    #[allow(clippy::needless_range_loop)] // class indexes labels and medians together
+    for class in 0..2 {
+        for col in 0..n_cols {
+            let mut values: Vec<f64> = table
+                .rows()
+                .iter()
+                .zip(table.labels())
+                .filter(|(row, &label)| label == class && !row[col].is_nan())
+                .map(|(row, _)| row[col])
+                .collect();
+            if values.is_empty() {
+                // Column entirely missing for the class: only an error if
+                // any row of that class actually needs the value.
+                let needed = table
+                    .rows()
+                    .iter()
+                    .zip(table.labels())
+                    .any(|(row, &label)| label == class && row[col].is_nan());
+                if needed {
+                    return Err(DataError::InvalidConfig(format!(
+                        "column {col} has no observed values for class {class}"
+                    )));
+                }
+                continue;
+            }
+            values.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN by filter"));
+            let mid = values.len() / 2;
+            medians[class][col] = if values.len() % 2 == 1 {
+                values[mid]
+            } else {
+                (values[mid - 1] + values[mid]) / 2.0
+            };
+        }
+    }
+    let mut out = table.clone();
+    let labels = out.labels().to_vec();
+    for (row, &label) in out.rows_mut().iter_mut().zip(&labels) {
+        for (col, v) in row.iter_mut().enumerate() {
+            if v.is_nan() {
+                *v = medians[label][col];
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnSpec;
+
+    fn with_missing() -> Table {
+        Table::new(
+            vec![ColumnSpec::continuous("a"), ColumnSpec::continuous("b")],
+            vec![
+                vec![1.0, 10.0],
+                vec![3.0, f64::NAN],
+                vec![5.0, 30.0],
+                vec![2.0, 20.0],
+                vec![f64::NAN, 40.0],
+                vec![6.0, 60.0],
+            ],
+            vec![0, 0, 0, 1, 1, 1],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn drop_missing_keeps_complete_rows_only() {
+        let t = with_missing();
+        let clean = drop_missing(&t);
+        assert_eq!(clean.n_rows(), 4);
+        assert_eq!(clean.n_missing(), 0);
+        assert_eq!(clean.labels(), &[0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn class_median_uses_same_class_values() {
+        let t = with_missing();
+        let filled = impute_class_median(&t).unwrap();
+        assert_eq!(filled.n_missing(), 0);
+        // Row 1 (class 0, col b missing): median of {10, 30} = 20.
+        assert_eq!(filled.row(1)[1], 20.0);
+        // Row 4 (class 1, col a missing): median of {2, 6} = 4.
+        assert_eq!(filled.row(4)[0], 4.0);
+        // Non-missing values untouched.
+        assert_eq!(filled.row(0), t.row(0));
+    }
+
+    #[test]
+    fn odd_count_median_is_exact_value() {
+        let t = Table::new(
+            vec![ColumnSpec::continuous("a")],
+            vec![vec![1.0], vec![9.0], vec![5.0], vec![f64::NAN], vec![0.0], vec![1.0]],
+            vec![0, 0, 0, 0, 1, 1],
+        )
+        .unwrap();
+        let filled = impute_class_median(&t).unwrap();
+        assert_eq!(filled.row(3)[0], 5.0);
+    }
+
+    #[test]
+    fn unimputable_column_errors() {
+        let t = Table::new(
+            vec![ColumnSpec::continuous("a")],
+            vec![vec![f64::NAN], vec![1.0]],
+            vec![0, 1],
+        )
+        .unwrap();
+        assert!(impute_class_median(&t).is_err());
+    }
+
+    #[test]
+    fn empty_table_errors() {
+        let t = Table::new(vec![ColumnSpec::continuous("a")], vec![], vec![]).unwrap();
+        assert_eq!(impute_class_median(&t), Err(DataError::EmptyTable));
+        assert_eq!(drop_missing(&t).n_rows(), 0);
+    }
+
+    #[test]
+    fn fully_observed_table_is_unchanged() {
+        let t = Table::new(
+            vec![ColumnSpec::continuous("a")],
+            vec![vec![1.0], vec![2.0]],
+            vec![0, 1],
+        )
+        .unwrap();
+        assert_eq!(impute_class_median(&t).unwrap(), t);
+        assert_eq!(drop_missing(&t), t);
+    }
+}

@@ -1,0 +1,46 @@
+//! # hyperfex-data
+//!
+//! Dataset substrate for the `hyperfex` workspace:
+//!
+//! * [`Table`] — a typed tabular dataset (continuous / binary columns,
+//!   `NaN` = missing) with aligned binary labels.
+//! * [`impute`] — the paper's two missing-data treatments: drop incomplete
+//!   rows (**Pima R**) and per-class median imputation (**Pima M**, after
+//!   Artem's Kaggle notebook \[38\]).
+//! * [`split`] — seeded stratified train/validation/test splits, stratified
+//!   k-fold, and leave-one-out index generation.
+//! * [`pima`] / [`sylhet`] — calibrated synthetic generators standing in
+//!   for the real (non-redistributable) datasets, including a literal
+//!   implementation of Smith et al.'s Diabetes Pedigree Function over a
+//!   simulated family pedigree. `from_csv` loaders accept the real files
+//!   when available (see DESIGN.md §4 for the substitution argument).
+//! * [`stats`] — per-class feature summaries (regenerates the paper's
+//!   Table I).
+//! * [`csv`] — a dependency-free CSV reader/writer for the two dataset
+//!   layouts.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod csv;
+pub mod error;
+pub mod impute;
+pub mod pima;
+pub mod split;
+pub mod stats;
+pub mod sylhet;
+pub mod table;
+
+pub use error::DataError;
+pub use table::{ColumnKind, ColumnSpec, Table};
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::error::DataError;
+    pub use crate::impute::{drop_missing, impute_class_median};
+    pub use crate::pima::{self, PimaConfig};
+    pub use crate::split::{stratified_k_fold, stratified_split, SplitFractions, TrainTestSplit};
+    pub use crate::stats::{class_summary, ClassSummary, FeatureSummary};
+    pub use crate::sylhet::{self, SylhetConfig};
+    pub use crate::table::{ColumnKind, ColumnSpec, Table};
+}

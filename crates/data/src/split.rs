@@ -1,0 +1,280 @@
+//! Seeded stratified splitting: train/validation/test fractions (the
+//! paper's 70/15/15), stratified k-fold (the paper's 10-fold CV), and
+//! leave-one-out index pairs.
+
+use crate::error::DataError;
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Train/validation/test fractions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitFractions {
+    /// Training fraction (paper: 0.70).
+    pub train: f64,
+    /// Validation fraction (paper: 0.15).
+    pub validation: f64,
+    /// Test fraction (paper: 0.15).
+    pub test: f64,
+}
+
+impl SplitFractions {
+    /// The paper's 70/15/15 split.
+    pub const PAPER: SplitFractions = SplitFractions {
+        train: 0.70,
+        validation: 0.15,
+        test: 0.15,
+    };
+
+    /// A two-way split with no validation part.
+    #[must_use]
+    pub fn train_test(train: f64) -> Self {
+        Self {
+            train,
+            validation: 0.0,
+            test: 1.0 - train,
+        }
+    }
+
+    fn validate(&self) -> Result<(), DataError> {
+        let sum = self.train + self.validation + self.test;
+        if (sum - 1.0).abs() > 1e-9 {
+            return Err(DataError::InvalidFractions(format!("sum {sum} != 1")));
+        }
+        if self.train <= 0.0 || self.test < 0.0 || self.validation < 0.0 {
+            return Err(DataError::InvalidFractions(
+                "train must be positive; others non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Row-index partition produced by [`stratified_split`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Validation row indices (empty for two-way splits).
+    pub validation: Vec<usize>,
+    /// Test row indices.
+    pub test: Vec<usize>,
+}
+
+/// Splits row indices stratified by class: each part receives (up to
+/// rounding) the same class proportions as the whole table.
+pub fn stratified_split(
+    table: &Table,
+    fractions: SplitFractions,
+    seed: u64,
+) -> Result<TrainTestSplit, DataError> {
+    fractions.validate()?;
+    if table.is_empty() {
+        return Err(DataError::EmptyTable);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut split = TrainTestSplit {
+        train: Vec::new(),
+        validation: Vec::new(),
+        test: Vec::new(),
+    };
+    for class in 0..2 {
+        let mut idx: Vec<usize> = (0..table.n_rows())
+            .filter(|&i| table.labels()[i] == class)
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        idx.shuffle(&mut rng);
+        let n = idx.len();
+        let n_train = ((n as f64) * fractions.train).round() as usize;
+        let n_val = ((n as f64) * fractions.validation).round() as usize;
+        let n_train = n_train.min(n);
+        let n_val = n_val.min(n - n_train);
+        if n_train == 0 || (fractions.test > 0.0 && n_train + n_val >= n) {
+            return Err(DataError::TooFewSamples { class });
+        }
+        split.train.extend(&idx[..n_train]);
+        split.validation.extend(&idx[n_train..n_train + n_val]);
+        split.test.extend(&idx[n_train + n_val..]);
+    }
+    // Deterministic downstream order regardless of class interleaving.
+    split.train.sort_unstable();
+    split.validation.sort_unstable();
+    split.test.sort_unstable();
+    Ok(split)
+}
+
+/// One fold's `(train, test)` row-index pair.
+pub type FoldIndices = (Vec<usize>, Vec<usize>);
+
+/// Stratified k-fold: returns `k` (train, test) index pairs covering every
+/// row exactly once as test.
+pub fn stratified_k_fold(
+    table: &Table,
+    k: usize,
+    seed: u64,
+) -> Result<Vec<FoldIndices>, DataError> {
+    let n = table.n_rows();
+    if k < 2 || k > n {
+        return Err(DataError::InvalidK { k, n });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Assign each row a fold, round-robin within its class after a
+    // shuffle — the standard stratified assignment.
+    let mut fold_of = vec![0usize; n];
+    for class in 0..2 {
+        let mut idx: Vec<usize> = (0..n).filter(|&i| table.labels()[i] == class).collect();
+        idx.shuffle(&mut rng);
+        for (pos, &i) in idx.iter().enumerate() {
+            fold_of[i] = pos % k;
+        }
+    }
+    Ok((0..k)
+        .map(|fold| {
+            let test: Vec<usize> = (0..n).filter(|&i| fold_of[i] == fold).collect();
+            let train: Vec<usize> = (0..n).filter(|&i| fold_of[i] != fold).collect();
+            (train, test)
+        })
+        .collect())
+}
+
+/// Leave-one-out index pairs: for each row `i`, train on all others.
+pub fn leave_one_out(n: usize) -> impl Iterator<Item = (Vec<usize>, usize)> {
+    (0..n).map(move |held| ((0..n).filter(move |&j| j != held).collect(), held))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnSpec;
+
+    fn table(n_neg: usize, n_pos: usize) -> Table {
+        let rows: Vec<Vec<f64>> = (0..n_neg + n_pos).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..n_neg + n_pos).map(|i| usize::from(i >= n_neg)).collect();
+        Table::new(vec![ColumnSpec::continuous("x")], rows, labels).unwrap()
+    }
+
+    #[test]
+    fn paper_split_has_expected_sizes_and_stratification() {
+        let t = table(200, 100);
+        let s = stratified_split(&t, SplitFractions::PAPER, 42).unwrap();
+        assert_eq!(s.train.len() + s.validation.len() + s.test.len(), 300);
+        assert_eq!(s.train.len(), 210);
+        assert_eq!(s.validation.len(), 45);
+        assert_eq!(s.test.len(), 45);
+        // Stratification: class ratio preserved in each part.
+        let pos_in = |idx: &[usize]| idx.iter().filter(|&&i| t.labels()[i] == 1).count();
+        assert_eq!(pos_in(&s.train), 70);
+        assert_eq!(pos_in(&s.validation), 15);
+        assert_eq!(pos_in(&s.test), 15);
+    }
+
+    #[test]
+    fn split_partitions_without_overlap() {
+        let t = table(50, 30);
+        let s = stratified_split(&t, SplitFractions::PAPER, 7).unwrap();
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.validation)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 80);
+    }
+
+    #[test]
+    fn different_seeds_differ_same_seed_agrees() {
+        let t = table(40, 40);
+        let a = stratified_split(&t, SplitFractions::PAPER, 1).unwrap();
+        let b = stratified_split(&t, SplitFractions::PAPER, 1).unwrap();
+        let c = stratified_split(&t, SplitFractions::PAPER, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_fractions_rejected() {
+        let t = table(10, 10);
+        let bad = SplitFractions {
+            train: 0.5,
+            validation: 0.2,
+            test: 0.2,
+        };
+        assert!(matches!(
+            stratified_split(&t, bad, 0),
+            Err(DataError::InvalidFractions(_))
+        ));
+        let neg = SplitFractions {
+            train: 1.2,
+            validation: -0.1,
+            test: -0.1,
+        };
+        assert!(stratified_split(&t, neg, 0).is_err());
+    }
+
+    #[test]
+    fn too_few_samples_detected() {
+        let t = table(1, 1);
+        assert!(matches!(
+            stratified_split(&t, SplitFractions::PAPER, 0),
+            Err(DataError::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn two_way_split_has_empty_validation() {
+        let t = table(60, 40);
+        let s = stratified_split(&t, SplitFractions::train_test(0.9), 3).unwrap();
+        assert!(s.validation.is_empty());
+        assert_eq!(s.train.len(), 90);
+        assert_eq!(s.test.len(), 10);
+    }
+
+    #[test]
+    fn k_fold_covers_every_row_once() {
+        let t = table(30, 20);
+        let folds = stratified_k_fold(&t, 10, 5).unwrap();
+        assert_eq!(folds.len(), 10);
+        let mut seen = vec![0usize; 50];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 50);
+            for &i in test {
+                seen[i] += 1;
+                assert!(!train.contains(&i));
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn k_fold_is_stratified() {
+        let t = table(40, 20);
+        let folds = stratified_k_fold(&t, 4, 5).unwrap();
+        for (_, test) in &folds {
+            let pos = test.iter().filter(|&&i| t.labels()[i] == 1).count();
+            assert_eq!(pos, 5, "each fold should carry 5 positives");
+            assert_eq!(test.len(), 15);
+        }
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let t = table(5, 5);
+        assert!(stratified_k_fold(&t, 1, 0).is_err());
+        assert!(stratified_k_fold(&t, 11, 0).is_err());
+        assert!(stratified_k_fold(&t, 10, 0).is_ok());
+    }
+
+    #[test]
+    fn leave_one_out_pairs() {
+        let pairs: Vec<_> = leave_one_out(3).collect();
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[1].0, vec![0, 2]);
+        assert_eq!(pairs[1].1, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-class feature summaries — the machinery behind the paper's Table I.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+
+/// Mean and range of one feature within one class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSummary {
+    /// Feature name.
+    pub name: String,
+    /// Mean over non-missing values.
+    pub mean: f64,
+    /// Minimum non-missing value.
+    pub min: f64,
+    /// Maximum non-missing value.
+    pub max: f64,
+    /// Number of non-missing observations.
+    pub n: usize,
+}
+
+/// Per-class summaries for every feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// Summaries for the positive class (label 1), in column order.
+    pub positive: Vec<FeatureSummary>,
+    /// Summaries for the negative class (label 0), in column order.
+    pub negative: Vec<FeatureSummary>,
+}
+
+/// Computes per-class mean and range for each feature, skipping missing
+/// values (mirroring how Table I was computed on the curated dataset).
+#[must_use]
+pub fn class_summary(table: &Table) -> ClassSummary {
+    let summarise = |class: usize| -> Vec<FeatureSummary> {
+        (0..table.n_cols())
+            .map(|col| {
+                let mut sum = 0.0f64;
+                let mut n = 0usize;
+                let mut min = f64::INFINITY;
+                let mut max = f64::NEG_INFINITY;
+                for (row, &label) in table.rows().iter().zip(table.labels()) {
+                    let v = row[col];
+                    if label != class || v.is_nan() {
+                        continue;
+                    }
+                    sum += v;
+                    n += 1;
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                FeatureSummary {
+                    name: table.columns()[col].name.clone(),
+                    mean: if n > 0 { sum / n as f64 } else { f64::NAN },
+                    min: if n > 0 { min } else { f64::NAN },
+                    max: if n > 0 { max } else { f64::NAN },
+                    n,
+                }
+            })
+            .collect()
+    };
+    ClassSummary {
+        positive: summarise(1),
+        negative: summarise(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::ColumnSpec;
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let t = Table::new(
+            vec![ColumnSpec::continuous("age")],
+            vec![vec![20.0], vec![40.0], vec![30.0], vec![f64::NAN]],
+            vec![0, 0, 1, 1],
+        )
+        .unwrap();
+        let s = class_summary(&t);
+        assert_eq!(s.negative[0].mean, 30.0);
+        assert_eq!(s.negative[0].min, 20.0);
+        assert_eq!(s.negative[0].max, 40.0);
+        assert_eq!(s.negative[0].n, 2);
+        assert_eq!(s.positive[0].mean, 30.0);
+        assert_eq!(s.positive[0].n, 1);
+    }
+
+    #[test]
+    fn empty_class_yields_nan() {
+        let t = Table::new(
+            vec![ColumnSpec::continuous("x")],
+            vec![vec![1.0]],
+            vec![0],
+        )
+        .unwrap();
+        let s = class_summary(&t);
+        assert!(s.positive[0].mean.is_nan());
+        assert_eq!(s.positive[0].n, 0);
+    }
+}

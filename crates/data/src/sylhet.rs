@@ -1,0 +1,235 @@
+//! Synthetic Sylhet (early-stage diabetes risk) dataset, calibrated to
+//! Islam et al. 2020.
+//!
+//! The real dataset was collected by questionnaire at the Sylhet Diabetes
+//! Hospital: 520 patients (320 positive, 200 negative), one continuous
+//! feature (age) and 15 binary symptom/attribute features. This generator
+//! reproduces the published class-conditional symptom prevalences, which
+//! put attainable accuracies in the mid-90s — polyuria and polydipsia are
+//! individually strong predictors, exactly the regime the paper's Sylhet
+//! results live in (see DESIGN.md §4).
+//!
+//! The paper's feature list (§II-A2) omits "visual blurring" from the real
+//! dataset's 16 columns but counts "16 for Syhlet" in §II-D; we generate
+//! the full 16-column layout.
+
+use crate::error::DataError;
+use crate::table::{ColumnSpec, Table};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Column order of the generated table (the UCI layout; label excluded).
+pub const COLUMNS: [&str; 16] = [
+    "Age",
+    "Sex",
+    "Polyuria",
+    "Polydipsia",
+    "SuddenWeightLoss",
+    "Weakness",
+    "Polyphagia",
+    "GenitalThrush",
+    "VisualBlurring",
+    "Itching",
+    "Irritability",
+    "DelayedHealing",
+    "PartialParesis",
+    "MuscleStiffness",
+    "Alopecia",
+    "Obesity",
+];
+
+/// `(P(yes | positive), P(yes | negative))` for each binary column, in
+/// [`COLUMNS`] order starting at `Sex` (index 1; `Sex` = P(male)).
+/// Values follow the prevalences in Islam et al. 2020.
+pub const SYMPTOM_RATES: [(f64, f64); 15] = [
+    (0.45, 0.81), // Sex: positives skew female, negatives heavily male
+    (0.79, 0.07), // Polyuria — strongest single symptom
+    (0.73, 0.05), // Polydipsia
+    (0.58, 0.12), // Sudden weight loss
+    (0.68, 0.40), // Weakness
+    (0.55, 0.22), // Polyphagia
+    (0.27, 0.14), // Genital thrush
+    (0.54, 0.28), // Visual blurring
+    (0.48, 0.49), // Itching — essentially uninformative
+    (0.30, 0.11), // Irritability
+    (0.49, 0.42), // Delayed healing
+    (0.63, 0.13), // Partial paresis
+    (0.42, 0.30), // Muscle stiffness
+    (0.24, 0.49), // Alopecia — *negatively* associated
+    (0.19, 0.13), // Obesity
+];
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct SylhetConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Positive-class size (real dataset: 320).
+    pub n_positive: usize,
+    /// Negative-class size (real dataset: 200).
+    pub n_negative: usize,
+}
+
+impl Default for SylhetConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5711,
+            n_positive: 320,
+            n_negative: 200,
+        }
+    }
+}
+
+/// Generates the synthetic cohort. No missing values: the questionnaire
+/// dataset is complete.
+pub fn generate(config: &SylhetConfig) -> Result<Table, DataError> {
+    if config.n_positive == 0 || config.n_negative == 0 {
+        return Err(DataError::InvalidConfig("class sizes must be non-zero".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n_positive + config.n_negative;
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for subject in 0..n {
+        let positive = subject < config.n_positive;
+        // Age: positives slightly older (real data: ~49 vs ~46, range 16–90).
+        let mean = if positive { 49.0 } else { 46.0 };
+        let age = (mean + 12.0 * normal(&mut rng)).clamp(16.0, 90.0).round();
+        // A mild per-subject severity factor correlates the symptoms
+        // (patients with many symptoms tend to have them in clusters).
+        let severity = normal(&mut rng) * 0.8;
+        let mut row = Vec::with_capacity(16);
+        row.push(age);
+        for &(p_pos, p_neg) in &SYMPTOM_RATES {
+            let p = if positive { p_pos } else { p_neg };
+            // Shift the Bernoulli probability along the severity factor
+            // without leaving (0, 1).
+            let logit = (p / (1.0 - p)).ln() + 0.25 * severity;
+            let p_adj = 1.0 / (1.0 + (-logit).exp());
+            row.push(f64::from(u8::from(rng.random_range(0.0..1.0) < p_adj)));
+        }
+        rows.push(row);
+        labels.push(usize::from(positive));
+    }
+    let mut columns = vec![ColumnSpec::continuous("Age")];
+    columns.extend(COLUMNS[1..].iter().map(|&c| ColumnSpec::binary(c)));
+    Table::new(columns, rows, labels)
+}
+
+#[inline]
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // class indexes labels and rates together
+mod tests {
+    use super::*;
+
+    fn cohort() -> Table {
+        generate(&SylhetConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn shape_matches_the_real_dataset() {
+        let t = cohort();
+        assert_eq!(t.n_rows(), 520);
+        assert_eq!(t.n_positive(), 320);
+        assert_eq!(t.n_negative(), 200);
+        assert_eq!(t.n_cols(), 16);
+        assert_eq!(t.n_missing(), 0);
+    }
+
+    #[test]
+    fn binary_columns_are_binary() {
+        let t = cohort();
+        for row in t.rows() {
+            for &v in &row[1..] {
+                assert!(v == 0.0 || v == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn ages_plausible() {
+        let t = cohort();
+        for row in t.rows() {
+            assert!((16.0..=90.0).contains(&row[0]));
+        }
+    }
+
+    #[test]
+    fn symptom_prevalences_match_targets() {
+        let t = cohort();
+        for (sym, &(p_pos, p_neg)) in SYMPTOM_RATES.iter().enumerate() {
+            let col = sym + 1;
+            let rate = |class: usize| -> f64 {
+                let (mut yes, mut n) = (0usize, 0usize);
+                for (row, &label) in t.rows().iter().zip(t.labels()) {
+                    if label == class {
+                        n += 1;
+                        yes += usize::from(row[col] == 1.0);
+                    }
+                }
+                yes as f64 / n as f64
+            };
+            let got_pos = rate(1);
+            let got_neg = rate(0);
+            assert!(
+                (got_pos - p_pos).abs() < 0.09,
+                "{}: positive rate {got_pos:.2} vs target {p_pos}",
+                COLUMNS[col]
+            );
+            assert!(
+                (got_neg - p_neg).abs() < 0.09,
+                "{}: negative rate {got_neg:.2} vs target {p_neg}",
+                COLUMNS[col]
+            );
+        }
+    }
+
+    #[test]
+    fn polyuria_is_strongly_separating_and_itching_is_not() {
+        let t = cohort();
+        let info = |col: usize| -> f64 {
+            let mut rates = [0.0f64; 2];
+            for class in 0..2 {
+                let (mut yes, mut n) = (0usize, 0usize);
+                for (row, &label) in t.rows().iter().zip(t.labels()) {
+                    if label == class {
+                        n += 1;
+                        yes += usize::from(row[col] == 1.0);
+                    }
+                }
+                rates[class] = yes as f64 / n as f64;
+            }
+            (rates[1] - rates[0]).abs()
+        };
+        assert!(info(2) > 0.5, "polyuria gap {}", info(2));
+        assert!(info(9) < 0.12, "itching gap {}", info(9));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&SylhetConfig::default()).unwrap();
+        let b = generate(&SylhetConfig::default()).unwrap();
+        assert_eq!(a, b);
+        let c = generate(&SylhetConfig {
+            seed: 9,
+            ..SylhetConfig::default()
+        })
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        assert!(generate(&SylhetConfig {
+            n_positive: 0,
+            ..SylhetConfig::default()
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! Integration tests for the CSV layer: both dataset layouts survive a
+//! write → reload cycle with their statistical content intact, mirroring
+//! the workflow of a user exporting and re-importing cohorts.
+
+use hyperfex_data::csv::{load_sylhet_csv, write_csv};
+use hyperfex_data::impute::drop_missing;
+use hyperfex_data::pima::{self, PimaConfig};
+use hyperfex_data::stats::class_summary;
+use hyperfex_data::sylhet::{self, SylhetConfig};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hyperfex_csv_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn pima_complete_cases_survive_write_reload() {
+    let cohort = drop_missing(
+        &pima::generate(&PimaConfig {
+            n_negative: 60,
+            n_positive: 40,
+            complete_cases: (45, 30),
+            ..Default::default()
+        })
+        .unwrap(),
+    );
+    let path = temp_path("pima_it.csv");
+    write_csv(&cohort, &path).unwrap();
+    let reloaded = hyperfex_data::csv::load_pima_csv(&path).unwrap();
+    assert_eq!(reloaded.n_rows(), cohort.n_rows());
+    assert_eq!(reloaded.labels(), cohort.labels());
+    // Statistical content: per-class means match to rounding error (the
+    // writer prints full precision except 1-decimal BMI-style values).
+    let a = class_summary(&cohort);
+    let b = class_summary(&reloaded);
+    for (sa, sb) in a.positive.iter().zip(&b.positive) {
+        assert!(
+            (sa.mean - sb.mean).abs() < 0.51,
+            "{}: {} vs {}",
+            sa.name,
+            sa.mean,
+            sb.mean
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sylhet_cohort_survives_write_reload() {
+    let cohort = sylhet::generate(&SylhetConfig {
+        n_positive: 50,
+        n_negative: 30,
+        ..Default::default()
+    })
+    .unwrap();
+    let path = temp_path("sylhet_it.csv");
+    write_csv(&cohort, &path).unwrap();
+    // The Sylhet loader accepts 0/1 tokens as well as Yes/No.
+    let reloaded = load_sylhet_csv(&path).unwrap();
+    assert_eq!(reloaded.n_rows(), 80);
+    assert_eq!(reloaded.labels(), cohort.labels());
+    for (ra, rb) in cohort.rows().iter().zip(reloaded.rows()) {
+        assert_eq!(ra, rb);
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pima_with_missing_round_trips_through_zero_convention() {
+    // The real dataset marks missing as 0; our writer emits empty fields,
+    // which the Pima loader does not accept — so export complete cases or
+    // impute first. This test pins the intended workflow and the error on
+    // the wrong one.
+    let cohort = pima::generate(&PimaConfig {
+        n_negative: 30,
+        n_positive: 20,
+        complete_cases: (20, 14),
+        ..Default::default()
+    })
+    .unwrap();
+    assert!(cohort.n_missing() > 0);
+    let path = temp_path("pima_missing_it.csv");
+    write_csv(&cohort, &path).unwrap();
+    // Empty fields are a parse error (not silently misread as zeros).
+    assert!(hyperfex_data::csv::load_pima_csv(&path).is_err());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,30 @@
+//! # hyperfex-eval
+//!
+//! Evaluation substrate: the confusion-matrix metrics the paper reports
+//! (accuracy, precision, recall, specificity, F1), a generic k-fold
+//! cross-validation harness over [`hyperfex_ml::Estimator`] factories, and
+//! plain-text / JSON table rendering used by the experiment binaries.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cv;
+pub mod importance;
+pub mod metrics;
+pub mod report;
+pub mod roc;
+
+pub use cv::{cross_validate, CvOutcome};
+pub use importance::{permutation_importance, FeatureImportance};
+pub use metrics::{BinaryMetrics, ConfusionMatrix};
+pub use report::TableReport;
+pub use roc::{auc, RocCurve};
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::cv::{cross_validate, CvOutcome};
+    pub use crate::importance::{permutation_importance, FeatureImportance};
+    pub use crate::metrics::{BinaryMetrics, ConfusionMatrix};
+    pub use crate::report::TableReport;
+    pub use crate::roc::{auc, RocCurve};
+}

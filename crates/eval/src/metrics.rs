@@ -1,0 +1,165 @@
+//! Binary classification metrics, with the paper's conventions:
+//! class 1 (diabetes) is the positive class.
+
+use serde::{Deserialize, Serialize};
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Positive predicted positive.
+    pub tp: u32,
+    /// Negative predicted negative.
+    pub tn: u32,
+    /// Negative predicted positive.
+    pub fp: u32,
+    /// Positive predicted negative.
+    pub fn_: u32,
+}
+
+impl ConfusionMatrix {
+    /// Accumulates a confusion matrix from aligned label slices.
+    ///
+    /// # Panics
+    /// Panics if lengths differ (caller bug, not data-dependent).
+    #[must_use]
+    pub fn from_labels(actual: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(actual.len(), predicted.len(), "label slices must align");
+        let mut m = Self::default();
+        for (&a, &p) in actual.iter().zip(predicted) {
+            match (a, p) {
+                (1, 1) => m.tp += 1,
+                (0, 0) => m.tn += 1,
+                (0, 1) => m.fp += 1,
+                (1, 0) => m.fn_ += 1,
+                _ => panic!("binary metrics require 0/1 labels, got ({a}, {p})"),
+            }
+        }
+        m
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.tp + self.tn + self.fp + self.fn_
+    }
+
+    /// Adds another matrix (for fold accumulation).
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            tp: self.tp + other.tp,
+            tn: self.tn + other.tn,
+            fp: self.fp + other.fp,
+            fn_: self.fn_ + other.fn_,
+        }
+    }
+
+    /// Derives the metric set the paper tables report.
+    #[must_use]
+    pub fn metrics(&self) -> BinaryMetrics {
+        let tp = f64::from(self.tp);
+        let tn = f64::from(self.tn);
+        let fp = f64::from(self.fp);
+        let fn_ = f64::from(self.fn_);
+        let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+        let precision = ratio(tp, tp + fp);
+        let recall = ratio(tp, tp + fn_);
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        BinaryMetrics {
+            accuracy: ratio(tp + tn, tp + tn + fp + fn_),
+            precision,
+            recall,
+            specificity: ratio(tn, tn + fp),
+            f1,
+        }
+    }
+}
+
+/// The five metrics reported in the paper's Tables IV and V.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// `(TP + TN) / total`.
+    pub accuracy: f64,
+    /// `TP / (TP + FP)`.
+    pub precision: f64,
+    /// `TP / (TP + FN)` (sensitivity).
+    pub recall: f64,
+    /// `TN / (TN + FP)`.
+    pub specificity: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_confusion_matrix_metrics() {
+        // 8 TP, 5 TN, 2 FP, 1 FN.
+        let m = ConfusionMatrix {
+            tp: 8,
+            tn: 5,
+            fp: 2,
+            fn_: 1,
+        };
+        let x = m.metrics();
+        assert!((x.accuracy - 13.0 / 16.0).abs() < 1e-12);
+        assert!((x.precision - 0.8).abs() < 1e-12);
+        assert!((x.recall - 8.0 / 9.0).abs() < 1e-12);
+        assert!((x.specificity - 5.0 / 7.0).abs() < 1e-12);
+        let f1 = 2.0 * 0.8 * (8.0 / 9.0) / (0.8 + 8.0 / 9.0);
+        assert!((x.f1 - f1).abs() < 1e-12);
+        assert_eq!(m.total(), 16);
+    }
+
+    #[test]
+    fn from_labels_counts_correctly() {
+        let actual = [1, 1, 0, 0, 1, 0];
+        let predicted = [1, 0, 0, 1, 1, 0];
+        let m = ConfusionMatrix::from_labels(&actual, &predicted);
+        assert_eq!(m, ConfusionMatrix { tp: 2, tn: 2, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn merged_accumulates() {
+        let a = ConfusionMatrix { tp: 1, tn: 2, fp: 3, fn_: 4 };
+        let b = ConfusionMatrix { tp: 10, tn: 20, fp: 30, fn_: 40 };
+        assert_eq!(a.merged(&b), ConfusionMatrix { tp: 11, tn: 22, fp: 33, fn_: 44 });
+    }
+
+    #[test]
+    fn degenerate_cases_return_zero_not_nan() {
+        let m = ConfusionMatrix::default();
+        let x = m.metrics();
+        assert_eq!(x.accuracy, 0.0);
+        assert_eq!(x.precision, 0.0);
+        assert_eq!(x.recall, 0.0);
+        assert_eq!(x.specificity, 0.0);
+        assert_eq!(x.f1, 0.0);
+        // All-positive predictions on all-negative data.
+        let m = ConfusionMatrix { tp: 0, tn: 0, fp: 5, fn_: 0 };
+        assert_eq!(m.metrics().precision, 0.0);
+        assert!(m.metrics().f1 == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label slices must align")]
+    fn mismatched_lengths_panic() {
+        let _ = ConfusionMatrix::from_labels(&[1, 0], &[1]);
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one_everywhere() {
+        let labels = [1, 0, 1, 0, 1];
+        let m = ConfusionMatrix::from_labels(&labels, &labels);
+        let x = m.metrics();
+        for v in [x.accuracy, x.precision, x.recall, x.specificity, x.f1] {
+            assert_eq!(v, 1.0);
+        }
+    }
+}

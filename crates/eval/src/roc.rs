@@ -1,0 +1,214 @@
+//! ROC analysis: the curve, the area under it, and threshold selection.
+//!
+//! The paper reports threshold-at-0.5 metrics only; ROC/AUC extends the
+//! evaluation to threshold-free comparisons, which matter for the clinical
+//! risk-score use-case (§III-B) where the operating point is chosen by the
+//! clinician, not the model.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of a ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RocPoint {
+    /// Decision threshold that produces this point.
+    pub threshold: f64,
+    /// False-positive rate at the threshold.
+    pub fpr: f64,
+    /// True-positive rate (recall) at the threshold.
+    pub tpr: f64,
+}
+
+/// A full ROC curve with its AUC.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RocCurve {
+    /// Points from (0,0) to (1,1), in increasing FPR order.
+    pub points: Vec<RocPoint>,
+    /// Area under the curve (trapezoidal).
+    pub auc: f64,
+}
+
+impl RocCurve {
+    /// Builds the ROC curve from positive-class scores and 0/1 labels.
+    ///
+    /// Returns `None` when either class is absent (AUC undefined).
+    #[must_use]
+    pub fn from_scores(scores: &[f64], labels: &[usize]) -> Option<Self> {
+        assert_eq!(scores.len(), labels.len(), "scores and labels must align");
+        let n_pos = labels.iter().filter(|&&l| l == 1).count();
+        let n_neg = labels.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return None;
+        }
+        // Sort by descending score; sweep thresholds at distinct scores.
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("scores must be comparable")
+                .then(a.cmp(&b))
+        });
+        let mut points = vec![RocPoint {
+            threshold: f64::INFINITY,
+            fpr: 0.0,
+            tpr: 0.0,
+        }];
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut i = 0;
+        while i < order.len() {
+            let threshold = scores[order[i]];
+            // Consume every sample tied at this score.
+            while i < order.len() && scores[order[i]] == threshold {
+                if labels[order[i]] == 1 {
+                    tp += 1;
+                } else {
+                    fp += 1;
+                }
+                i += 1;
+            }
+            points.push(RocPoint {
+                threshold,
+                fpr: fp as f64 / n_neg as f64,
+                tpr: tp as f64 / n_pos as f64,
+            });
+        }
+        // Trapezoidal AUC.
+        let auc = points
+            .windows(2)
+            .map(|w| (w[1].fpr - w[0].fpr) * (w[1].tpr + w[0].tpr) / 2.0)
+            .sum();
+        Some(Self { points, auc })
+    }
+
+    /// The threshold maximising Youden's J statistic (`tpr − fpr`) — a
+    /// standard clinical operating-point choice.
+    #[must_use]
+    pub fn youden_threshold(&self) -> f64 {
+        self.points
+            .iter()
+            .max_by(|a, b| {
+                (a.tpr - a.fpr)
+                    .partial_cmp(&(b.tpr - b.fpr))
+                    .expect("finite")
+            })
+            .map_or(0.5, |p| p.threshold)
+    }
+}
+
+/// AUC via the rank-sum (Mann–Whitney) statistic — equivalent to the
+/// trapezoidal curve area, exposed for cheap AUC-only computation.
+#[must_use]
+pub fn auc(scores: &[f64], labels: &[usize]) -> Option<f64> {
+    let n_pos = labels.iter().filter(|&&l| l == 1).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return None;
+    }
+    // Average ranks with ties handled by midranks.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("comparable"));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && scores[order[j]] == scores[order[i]] {
+            j += 1;
+        }
+        let midrank = (i + j + 1) as f64 / 2.0; // ranks are 1-based
+        for &idx in &order[i..j] {
+            ranks[idx] = midrank;
+        }
+        i = j;
+    }
+    let rank_sum_pos: f64 = ranks
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l == 1)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    Some(u / (n_pos * n_neg) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_has_auc_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [0, 0, 1, 1];
+        let curve = RocCurve::from_scores(&scores, &labels).unwrap();
+        assert!((curve.auc - 1.0).abs() < 1e-12);
+        assert!((auc(&scores, &labels).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_scores_have_auc_zero() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [0, 0, 1, 1];
+        assert!((auc(&scores, &labels).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_scores_have_auc_half() {
+        // All scores equal: AUC must be exactly 0.5 by the midrank rule.
+        let scores = [0.5; 10];
+        let labels = [0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        assert!((auc(&scores, &labels).unwrap() - 0.5).abs() < 1e-12);
+        let curve = RocCurve::from_scores(&scores, &labels).unwrap();
+        assert!((curve.auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trapezoid_and_rank_formulations_agree() {
+        let scores = [0.1, 0.4, 0.35, 0.8, 0.65, 0.2, 0.9, 0.5];
+        let labels = [0, 0, 1, 1, 1, 0, 1, 0];
+        let curve = RocCurve::from_scores(&scores, &labels).unwrap();
+        let rank_auc = auc(&scores, &labels).unwrap();
+        assert!(
+            (curve.auc - rank_auc).abs() < 1e-12,
+            "trapezoid {} vs rank {}",
+            curve.auc,
+            rank_auc
+        );
+    }
+
+    #[test]
+    fn curve_endpoints_and_monotonicity() {
+        let scores = [0.3, 0.6, 0.1, 0.7, 0.5];
+        let labels = [0, 1, 0, 1, 0];
+        let curve = RocCurve::from_scores(&scores, &labels).unwrap();
+        let first = curve.points.first().unwrap();
+        let last = curve.points.last().unwrap();
+        assert_eq!((first.fpr, first.tpr), (0.0, 0.0));
+        assert_eq!((last.fpr, last.tpr), (1.0, 1.0));
+        for w in curve.points.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr);
+            assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_class_returns_none() {
+        assert!(RocCurve::from_scores(&[0.1, 0.9], &[1, 1]).is_none());
+        assert!(auc(&[0.1, 0.9], &[0, 0]).is_none());
+    }
+
+    #[test]
+    fn youden_picks_the_separating_threshold() {
+        let scores = [0.1, 0.2, 0.3, 0.7, 0.8, 0.9];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let curve = RocCurve::from_scores(&scores, &labels).unwrap();
+        let t = curve.youden_threshold();
+        // Any threshold in (0.3, 0.7] separates perfectly; the sweep lands
+        // on 0.7 (the lowest score classified positive).
+        assert!((0.3..=0.7).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = RocCurve::from_scores(&[0.5], &[0, 1]);
+    }
+}

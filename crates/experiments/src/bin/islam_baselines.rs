@@ -1,0 +1,15 @@
+//! Reproduces the four-model comparison from the Sylhet dataset's source
+//! paper (Islam et al. 2020) and extends it with hypervector inputs.
+
+use hyperfex::experiments::islam;
+use hyperfex_experiments::{fail, Cli};
+
+fn main() {
+    let cli = Cli::parse("islam_baselines");
+    let datasets = cli.datasets().unwrap_or_else(|e| fail(e));
+    let result = islam::run(&datasets, &cli.config).unwrap_or_else(|e| fail(e));
+    cli.emit(&result.to_report());
+    if result.random_forest_wins_on_features() {
+        println!("Random Forest leads on raw features — matching Islam et al.'s headline.");
+    }
+}

@@ -1,0 +1,168 @@
+//! Clinical prediction CLI: train the hypervector risk scorer on a cohort
+//! (synthetic by default, real via `--sylhet-csv`), then score one patient
+//! supplied on the command line.
+//!
+//! ```sh
+//! predict --age 48 --symptoms polyuria,polydipsia,weakness
+//! predict --age 35 --sex male --symptoms itching
+//! predict --age 52 --symptoms polyuria --explain   # adds feature importance
+//! ```
+
+use hyperfex::models::{make_model, ModelKind};
+use hyperfex::prelude::*;
+use hyperfex_data::sylhet::COLUMNS;
+use hyperfex_experiments::{fail, Cli};
+use std::process::exit;
+
+struct PatientArgs {
+    age: f64,
+    male: bool,
+    symptoms: Vec<String>,
+    explain: bool,
+}
+
+fn parse_patient() -> (PatientArgs, Vec<String>) {
+    let mut age = 45.0;
+    let mut male = false;
+    let mut symptoms = Vec::new();
+    let mut explain = false;
+    let mut passthrough = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--age" => {
+                i += 1;
+                age = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--age needs a number");
+                    exit(2);
+                });
+            }
+            "--sex" => {
+                i += 1;
+                male = matches!(args.get(i).map(String::as_str), Some("male" | "m" | "M"));
+            }
+            "--symptoms" => {
+                i += 1;
+                symptoms = args
+                    .get(i)
+                    .map(|v| v.split(',').map(|s| s.trim().to_lowercase()).collect())
+                    .unwrap_or_default();
+            }
+            "--explain" => explain = true,
+            other => passthrough.push(other.to_string()),
+        }
+        i += 1;
+    }
+    (
+        PatientArgs {
+            age,
+            male,
+            symptoms,
+            explain,
+        },
+        passthrough,
+    )
+}
+
+fn main() {
+    let (patient, passthrough) = parse_patient();
+    // Apply the shared flags (preset / dim / seed / real CSV) left over
+    // after the patient flags were consumed.
+    let mut cli = Cli {
+        config: hyperfex::experiments::ExperimentConfig::default(),
+        pima_csv: None,
+        sylhet_csv: None,
+        json_out: None,
+    };
+    let mut i = 0;
+    while i < passthrough.len() {
+        let value = |i: usize| -> String {
+            passthrough.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", passthrough[i]);
+                exit(2);
+            })
+        };
+        match passthrough[i].as_str() {
+            "--quick" => cli.config = hyperfex::experiments::ExperimentConfig::quick(),
+            "--paper" => cli.config = hyperfex::experiments::ExperimentConfig::paper(),
+            "--dim" => {
+                cli.config.dim = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--dim needs a number");
+                    exit(2);
+                });
+                i += 1;
+            }
+            "--seed" => {
+                cli.config.seed = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs a number");
+                    exit(2);
+                });
+                i += 1;
+            }
+            "--sylhet-csv" => {
+                cli.sylhet_csv = Some(std::path::PathBuf::from(value(i)));
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag `{other}` (patient flags: --age --sex --symptoms --explain)");
+                exit(2);
+            }
+        }
+        i += 1;
+    }
+    let datasets = cli.datasets().unwrap_or_else(|e| fail(e));
+    let cohort = &datasets.sylhet;
+
+    // Assemble the patient row in Sylhet column order.
+    let mut row = vec![0.0f64; 16];
+    row[0] = patient.age;
+    row[1] = f64::from(patient.male);
+    for symptom in &patient.symptoms {
+        let canonical = symptom.replace(['-', '_', ' '], "");
+        let idx = COLUMNS.iter().position(|c| c.to_lowercase() == canonical);
+        match idx {
+            Some(i) if i >= 2 => row[i] = 1.0,
+            _ => {
+                eprintln!(
+                    "unknown symptom `{symptom}` — expected one of: {}",
+                    COLUMNS[2..].join(", ")
+                );
+                exit(2);
+            }
+        }
+    }
+
+    // Prototype-based risk score.
+    let scorer = RiskScorer::fit(cohort, cli.config.dim(), cli.config.seed)
+        .unwrap_or_else(|e| fail(e));
+    let risk = scorer.score(&row).unwrap_or_else(|e| fail(e));
+    println!(
+        "diabetes risk score: {risk:.3}  ({})",
+        match risk {
+            r if r >= 0.75 => "high — recommend confirmatory HbA1c / OGTT",
+            r if r >= 0.45 => "elevated — recommend follow-up",
+            _ => "low",
+        }
+    );
+
+    if patient.explain {
+        println!("\nglobal feature importance of the cohort model (accuracy drop when permuted):");
+        let all: Vec<usize> = (0..cohort.n_rows()).collect();
+        let train: Vec<usize> = all.iter().copied().filter(|i| i % 4 != 0).collect();
+        let test: Vec<usize> = all.iter().copied().filter(|i| i % 4 == 0).collect();
+        let mut hybrid = HybridClassifier::new(
+            cli.config.dim(),
+            cli.config.seed,
+            make_model(ModelKind::RandomForest, cli.config.seed, &cli.config.budget),
+        );
+        hybrid.fit(cohort, &train).unwrap_or_else(|e| fail(e));
+        let mut importance = hybrid
+            .feature_importance(cohort, &test, 3, cli.config.seed)
+            .unwrap_or_else(|e| fail(e));
+        importance.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        for (name, drop) in importance.iter().take(8) {
+            println!("  {name:<18} {:+.1} pp", drop * 100.0);
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates the paper's Table I (Pima feature distribution).
+
+use hyperfex::experiments::table1;
+use hyperfex_experiments::{fail, Cli};
+
+fn main() {
+    let cli = Cli::parse("table1");
+    let datasets = cli.datasets().unwrap_or_else(|e| fail(e));
+    let report = table1::run(&datasets).unwrap_or_else(|e| fail(e));
+    cli.emit(&report);
+}

@@ -1,0 +1,16 @@
+//! Regenerates the paper's Table II (Hamming LOOCV + Sequential NN,
+//! features vs hypervectors).
+
+use hyperfex::experiments::table2;
+use hyperfex_experiments::{fail, Cli};
+
+fn main() {
+    let cli = Cli::parse("table2");
+    let datasets = cli.datasets().unwrap_or_else(|e| fail(e));
+    eprintln!(
+        "table2: dim={} repeats={} (use --paper for the full configuration)",
+        cli.config.dim, cli.config.repeats
+    );
+    let result = table2::run(&datasets, &cli.config).unwrap_or_else(|e| fail(e));
+    cli.emit(&result.to_report());
+}

@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table IV (Pima M test metrics, 90/10 split).
+
+use hyperfex::experiments::table45;
+use hyperfex_experiments::{fail, Cli};
+
+fn main() {
+    let cli = Cli::parse("table4");
+    let datasets = cli.datasets().unwrap_or_else(|e| fail(e));
+    let result = table45::run_table4(&datasets, &cli.config).unwrap_or_else(|e| fail(e));
+    cli.emit(&result.to_report(
+        "Table IV — Pima M test metrics (90/10 split), features vs hypervectors",
+    ));
+}

@@ -1,0 +1,17 @@
+//! One-shot wall-clock timing table for the paper's §III-A running-time
+//! observations (use `cargo bench -p hyperfex-bench` for the rigorous
+//! criterion version).
+
+use hyperfex::experiments::timing;
+use hyperfex_experiments::{fail, Cli};
+
+fn main() {
+    let cli = Cli::parse("timing");
+    let datasets = cli.datasets().unwrap_or_else(|e| fail(e));
+    let result = timing::run(&datasets, &cli.config).unwrap_or_else(|e| fail(e));
+    cli.emit(&result.to_report(cli.config.dim));
+    println!(
+        "boosted-family mean slowdown on hypervectors: {:.1}x (paper: >10x at 10,000 bits)",
+        result.boosted_mean_ratio()
+    );
+}

@@ -1,0 +1,255 @@
+//! Bipolar (integer ±1) hypervectors.
+//!
+//! The "integer hypervector" alternative the paper mentions in §II. Stored
+//! as `i8` components; bundling accumulates exact integer sums so no
+//! information is lost until the final sign quantisation — the main
+//! advantage over binary majority voting when many vectors are superimposed.
+
+use crate::binary::{BinaryHypervector, Dim};
+use crate::error::HdcError;
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// A dense bipolar hypervector with components in `{-1, +1}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BipolarHypervector {
+    components: Vec<i8>,
+}
+
+impl BipolarHypervector {
+    /// A random bipolar vector, each component ±1 with equal probability.
+    #[must_use]
+    pub fn random(dim: Dim, rng: &mut SplitMix64) -> Self {
+        let mut components = vec![1i8; dim.get()];
+        for chunk in components.chunks_mut(64) {
+            let mut bits = rng.next_u64();
+            for c in chunk.iter_mut() {
+                if bits & 1 == 0 {
+                    *c = -1;
+                }
+                bits >>= 1;
+            }
+        }
+        Self { components }
+    }
+
+    /// Lifts a binary hypervector: 1 → +1, 0 → −1.
+    #[must_use]
+    pub fn from_binary(hv: &BinaryHypervector) -> Self {
+        let components = hv.iter_bits().map(|b| if b { 1i8 } else { -1i8 }).collect();
+        Self { components }
+    }
+
+    /// Quantises to binary: +1 → 1, −1 → 0.
+    ///
+    /// # Panics
+    /// Never panics: dimensionality is non-zero by construction.
+    #[must_use]
+    pub fn to_binary(&self) -> BinaryHypervector {
+        BinaryHypervector::from_bits(
+            Dim::new(self.components.len()),
+            self.components.iter().map(|&c| c > 0),
+        )
+        .expect("length matches by construction")
+    }
+
+    /// The dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        Dim::new(self.components.len())
+    }
+
+    /// The raw components.
+    #[must_use]
+    pub fn components(&self) -> &[i8] {
+        &self.components
+    }
+
+    /// Element-wise product binding (self-inverse, like XOR on binary).
+    pub fn bind(&self, other: &Self) -> Result<Self, HdcError> {
+        if self.components.len() != other.components.len() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.components.len(),
+                right: other.components.len(),
+            });
+        }
+        Ok(Self {
+            components: self
+                .components
+                .iter()
+                .zip(&other.components)
+                .map(|(a, b)| a * b)
+                .collect(),
+        })
+    }
+
+    /// Dot-product similarity in `[-d, d]`.
+    pub fn dot(&self, other: &Self) -> Result<i64, HdcError> {
+        if self.components.len() != other.components.len() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.components.len(),
+                right: other.components.len(),
+            });
+        }
+        Ok(self
+            .components
+            .iter()
+            .zip(&other.components)
+            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+            .sum())
+    }
+
+    /// Cosine similarity in `[-1, 1]`.
+    pub fn cosine(&self, other: &Self) -> Result<f64, HdcError> {
+        Ok(self.dot(other)? as f64 / self.components.len() as f64)
+    }
+}
+
+/// A streaming integer accumulator for bipolar bundling.
+///
+/// Unlike binary majority voting, the running sum is exact; quantisation to
+/// ±1 happens only in [`BipolarAccumulator::finish`] (ties → +1, matching
+/// the binary backend's tie rule).
+#[derive(Debug, Clone)]
+pub struct BipolarAccumulator {
+    sums: Vec<i32>,
+    count: u32,
+}
+
+impl BipolarAccumulator {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new(dim: Dim) -> Self {
+        Self {
+            sums: vec![0i32; dim.get()],
+            count: 0,
+        }
+    }
+
+    /// Adds a vector to the superposition.
+    pub fn push(&mut self, hv: &BipolarHypervector) -> Result<(), HdcError> {
+        if hv.components.len() != self.sums.len() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.sums.len(),
+                right: hv.components.len(),
+            });
+        }
+        for (s, &c) in self.sums.iter_mut().zip(&hv.components) {
+            *s += i32::from(c);
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Number of vectors accumulated.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Quantises the superposition to a bipolar vector (ties → +1).
+    pub fn finish(&self) -> Result<BipolarHypervector, HdcError> {
+        if self.count == 0 {
+            return Err(HdcError::EmptyInput);
+        }
+        Ok(BipolarHypervector {
+            components: self.sums.iter().map(|&s| if s >= 0 { 1i8 } else { -1i8 }).collect(),
+        })
+    }
+
+    /// The exact integer superposition (useful for analysis/ablation).
+    #[must_use]
+    pub fn sums(&self) -> &[i32] {
+        &self.sums
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(404)
+    }
+
+    #[test]
+    fn random_is_balanced_and_valued_pm1() {
+        let hv = BipolarHypervector::random(Dim::new(10_000), &mut rng());
+        assert!(hv.components().iter().all(|&c| c == 1 || c == -1));
+        let ones = hv.components().iter().filter(|&&c| c == 1).count();
+        assert!((4_700..=5_300).contains(&ones));
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_bits() {
+        let mut r = rng();
+        let b = BinaryHypervector::random(Dim::new(333), &mut r);
+        assert_eq!(BipolarHypervector::from_binary(&b).to_binary(), b);
+    }
+
+    #[test]
+    fn bind_is_self_inverse() {
+        let mut r = rng();
+        let a = BipolarHypervector::random(Dim::new(512), &mut r);
+        let k = BipolarHypervector::random(Dim::new(512), &mut r);
+        assert_eq!(a.bind(&k).unwrap().bind(&k).unwrap(), a);
+    }
+
+    #[test]
+    fn dot_identities() {
+        let mut r = rng();
+        let a = BipolarHypervector::random(Dim::new(2_000), &mut r);
+        assert_eq!(a.dot(&a).unwrap(), 2_000);
+        let b = BipolarHypervector::random(Dim::new(2_000), &mut r);
+        assert!(a.dot(&b).unwrap().abs() < 300);
+        assert!((a.cosine(&a).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_errors() {
+        let a = BipolarHypervector::random(Dim::new(8), &mut rng());
+        let b = BipolarHypervector::random(Dim::new(9), &mut rng());
+        assert!(a.dot(&b).is_err());
+        assert!(a.bind(&b).is_err());
+        let mut acc = BipolarAccumulator::new(Dim::new(8));
+        assert!(acc.push(&b).is_err());
+    }
+
+    #[test]
+    fn accumulator_bundle_is_similar_to_members() {
+        let mut r = rng();
+        let dim = Dim::new(4_096);
+        let members: Vec<_> = (0..9).map(|_| BipolarHypervector::random(dim, &mut r)).collect();
+        let mut acc = BipolarAccumulator::new(dim);
+        for m in &members {
+            acc.push(m).unwrap();
+        }
+        let bundled = acc.finish().unwrap();
+        let noise = BipolarHypervector::random(dim, &mut r);
+        for m in &members {
+            assert!(bundled.cosine(m).unwrap() > bundled.cosine(&noise).unwrap());
+        }
+        assert_eq!(acc.count(), 9);
+    }
+
+    #[test]
+    fn accumulator_agrees_with_binary_majority_on_odd_counts() {
+        // For odd counts (no ties) bipolar sign bundling of lifted binary
+        // vectors must equal binary majority voting.
+        let mut r = rng();
+        let dim = Dim::new(1_000);
+        let binaries: Vec<_> = (0..5).map(|_| BinaryHypervector::random(dim, &mut r)).collect();
+        let expected = crate::bundle::majority(&binaries);
+        let mut acc = BipolarAccumulator::new(dim);
+        for b in &binaries {
+            acc.push(&BipolarHypervector::from_binary(b)).unwrap();
+        }
+        assert_eq!(acc.finish().unwrap().to_binary(), expected);
+    }
+
+    #[test]
+    fn empty_accumulator_errors() {
+        let acc = BipolarAccumulator::new(Dim::new(16));
+        assert!(acc.finish().is_err());
+    }
+}

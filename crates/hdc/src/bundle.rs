@@ -1,0 +1,366 @@
+//! Majority-vote bundling of binary hypervectors.
+//!
+//! Bundling superimposes a set of hypervectors into a single vector that is
+//! *similar to every input* — the opposite of binding, which produces a
+//! vector dissimilar to its inputs. The paper (§II-B) combines all feature
+//! hypervectors of a patient with per-bit majority voting, breaking ties
+//! toward 1 (their stated rule, after Kleyko et al. \[39\]).
+//!
+//! Two implementations are provided:
+//!
+//! * [`majority`] / [`try_majority`] — one-shot bundling of a slice.
+//! * [`Bundler`] — a streaming accumulator of per-bit counts, useful when
+//!   the inputs are produced one at a time (e.g. the online clinical
+//!   follow-up scenario in §III-B) or when the same accumulator is reused
+//!   to build class prototypes.
+
+use crate::binary::{BinaryHypervector, Dim, WORD_BITS};
+use crate::error::HdcError;
+
+/// Bundles hypervectors by per-bit majority vote, ties broken toward 1.
+///
+/// # Panics
+/// Panics if `inputs` is empty or dimensionalities differ; see
+/// [`try_majority`] for a fallible version.
+#[must_use]
+pub fn majority(inputs: &[BinaryHypervector]) -> BinaryHypervector {
+    try_majority(inputs).expect("majority bundling requires non-empty, same-dimension inputs")
+}
+
+/// Fallible majority bundling.
+///
+/// For an even number of inputs, a bit with exactly half ones is set to 1
+/// (the paper's tie-break). For odd counts no ties are possible.
+pub fn try_majority(inputs: &[BinaryHypervector]) -> Result<BinaryHypervector, HdcError> {
+    let first = inputs.first().ok_or(HdcError::EmptyInput)?;
+    let mut bundler = Bundler::new(first.dim());
+    for hv in inputs {
+        bundler.push(hv)?;
+    }
+    bundler.finish()
+}
+
+/// Weighted majority bundling: each input contributes `weight` votes.
+///
+/// Equivalent to repeating each input `weight` times in [`try_majority`].
+/// Used by retraining-based centroid classifiers to emphasise misclassified
+/// examples.
+pub fn try_weighted_majority(
+    inputs: &[(BinaryHypervector, u32)],
+) -> Result<BinaryHypervector, HdcError> {
+    let (first, _) = inputs.first().ok_or(HdcError::EmptyInput)?;
+    let mut bundler = Bundler::new(first.dim());
+    for (hv, w) in inputs {
+        bundler.push_weighted(hv, *w)?;
+    }
+    bundler.finish()
+}
+
+/// A streaming majority-vote accumulator.
+///
+/// Holds one `u32` counter per bit plus the total number of votes. Memory is
+/// `4·d` bytes (40 KB at the paper's 10k dimensionality), allocated once and
+/// reusable via [`Bundler::clear`].
+#[derive(Debug, Clone)]
+pub struct Bundler {
+    dim: Dim,
+    counts: Vec<u32>,
+    total: u32,
+}
+
+impl Bundler {
+    /// Creates an empty accumulator for `dim`-bit inputs.
+    #[must_use]
+    pub fn new(dim: Dim) -> Self {
+        Self {
+            dim,
+            counts: vec![0u32; dim.get()],
+            total: 0,
+        }
+    }
+
+    /// The dimensionality this accumulator accepts.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Number of (weighted) votes accumulated so far.
+    #[must_use]
+    pub fn votes(&self) -> u32 {
+        self.total
+    }
+
+    /// Adds one vote from `hv`.
+    pub fn push(&mut self, hv: &BinaryHypervector) -> Result<(), HdcError> {
+        self.push_weighted(hv, 1)
+    }
+
+    /// Adds `weight` votes from `hv`.
+    pub fn push_weighted(&mut self, hv: &BinaryHypervector, weight: u32) -> Result<(), HdcError> {
+        if hv.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: hv.dim().get(),
+            });
+        }
+        if weight == 0 {
+            return Ok(());
+        }
+        // Word-at-a-time unpacking: test each bit of the word rather than
+        // calling the bounds-checked bit getter d times.
+        for (w, word) in hv.words().iter().enumerate() {
+            let mut bits = *word;
+            let base = w * WORD_BITS;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                self.counts[base + tz] += weight;
+                bits &= bits - 1;
+            }
+        }
+        self.total += weight;
+        Ok(())
+    }
+
+    /// Removes `weight` votes previously added for `hv` (for decremental
+    /// updates in online settings).
+    ///
+    /// Returns [`HdcError::EmptyInput`] — without modifying any counter —
+    /// if the removal would underflow, i.e. the vector was not previously
+    /// pushed with at least this weight.
+    pub fn remove_weighted(&mut self, hv: &BinaryHypervector, weight: u32) -> Result<(), HdcError> {
+        if hv.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: hv.dim().get(),
+            });
+        }
+        if self.total < weight {
+            return Err(HdcError::EmptyInput);
+        }
+        // Validate before mutating so a failed removal leaves the
+        // accumulator untouched (u32 wrap in release would otherwise
+        // silently pin bits to 1 forever).
+        for (w, word) in hv.words().iter().enumerate() {
+            let mut bits = *word;
+            let base = w * WORD_BITS;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                if self.counts[base + tz] < weight {
+                    return Err(HdcError::EmptyInput);
+                }
+                bits &= bits - 1;
+            }
+        }
+        for (w, word) in hv.words().iter().enumerate() {
+            let mut bits = *word;
+            let base = w * WORD_BITS;
+            while bits != 0 {
+                let tz = bits.trailing_zeros() as usize;
+                self.counts[base + tz] -= weight;
+                bits &= bits - 1;
+            }
+        }
+        self.total -= weight;
+        Ok(())
+    }
+
+    /// Produces the majority vector. Ties (possible only for an even number
+    /// of votes) resolve to 1, per the paper.
+    ///
+    /// Returns [`HdcError::EmptyInput`] if no votes were accumulated.
+    pub fn finish(&self) -> Result<BinaryHypervector, HdcError> {
+        if self.total == 0 {
+            return Err(HdcError::EmptyInput);
+        }
+        let mut out = BinaryHypervector::zeros(self.dim);
+        // bit = 1  ⇔  2·count ≥ total  (strict majority, or exactly half).
+        let threshold = self.total;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if 2 * u64::from(c) >= u64::from(threshold) {
+                out.set(i, true);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resets the accumulator without releasing its allocation.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+    }
+
+    /// Raw per-bit vote counts (length `d`).
+    #[must_use]
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn dim() -> Dim {
+        Dim::new(256)
+    }
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(777)
+    }
+
+    #[test]
+    fn majority_of_single_vector_is_identity() {
+        let hv = BinaryHypervector::random(dim(), &mut rng());
+        assert_eq!(majority(std::slice::from_ref(&hv)), hv);
+    }
+
+    #[test]
+    fn majority_of_empty_slice_errors() {
+        assert_eq!(try_majority(&[]), Err(HdcError::EmptyInput));
+    }
+
+    #[test]
+    fn majority_follows_the_paper_worked_example() {
+        // §II-B: A0 = 1, B0 = 1, C0 = 0  →  bundled bit 0 = 1.
+        let d = Dim::new(64);
+        let mut a = BinaryHypervector::zeros(d);
+        let mut b = BinaryHypervector::zeros(d);
+        let c = BinaryHypervector::zeros(d);
+        a.set(0, true);
+        b.set(0, true);
+        let out = majority(&[a, b, c]);
+        assert!(out.get(0));
+        assert!(!out.get(1));
+    }
+
+    #[test]
+    fn ties_break_toward_one() {
+        let d = Dim::new(8);
+        let a = BinaryHypervector::from_bits(d, [true, false, true, false, true, false, true, false]).unwrap();
+        let b = a.complement();
+        // Every bit is a 1-1 tie.
+        let out = majority(&[a, b]);
+        assert_eq!(out.count_ones(), 8);
+    }
+
+    #[test]
+    fn bundle_is_similar_to_every_input() {
+        let d = Dim::new(10_000);
+        let mut r = rng();
+        let inputs: Vec<_> = (0..7).map(|_| BinaryHypervector::random(d, &mut r)).collect();
+        let bundled = majority(&inputs);
+        let unrelated = BinaryHypervector::random(d, &mut r);
+        for hv in &inputs {
+            let din = bundled.hamming(hv);
+            let dout = bundled.hamming(&unrelated);
+            assert!(
+                din < dout,
+                "bundle should be closer to members ({din}) than to noise ({dout})"
+            );
+            // For 7 random inputs the expected member distance is well under
+            // 0.4·d (binomial analysis), vs 0.5·d for noise.
+            assert!(din < 4_300, "member distance {din} too large");
+        }
+    }
+
+    #[test]
+    fn bundler_matches_one_shot_majority() {
+        let mut r = rng();
+        let inputs: Vec<_> = (0..6).map(|_| BinaryHypervector::random(dim(), &mut r)).collect();
+        let mut b = Bundler::new(dim());
+        for hv in &inputs {
+            b.push(hv).unwrap();
+        }
+        assert_eq!(b.finish().unwrap(), majority(&inputs));
+        assert_eq!(b.votes(), 6);
+    }
+
+    #[test]
+    fn weighted_majority_equals_repetition() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(dim(), &mut r);
+        let b = BinaryHypervector::random(dim(), &mut r);
+        let weighted = try_weighted_majority(&[(a.clone(), 3), (b.clone(), 1)]).unwrap();
+        let repeated = majority(&[a.clone(), a.clone(), a.clone(), b.clone()]);
+        assert_eq!(weighted, repeated);
+    }
+
+    #[test]
+    fn zero_weight_contributes_nothing() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(dim(), &mut r);
+        let b = BinaryHypervector::random(dim(), &mut r);
+        let out = try_weighted_majority(&[(a.clone(), 1), (b, 0)]).unwrap();
+        assert_eq!(out, a);
+    }
+
+    #[test]
+    fn remove_undoes_push() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(dim(), &mut r);
+        let b = BinaryHypervector::random(dim(), &mut r);
+        let mut acc = Bundler::new(dim());
+        acc.push(&a).unwrap();
+        acc.push(&b).unwrap();
+        acc.remove_weighted(&b, 1).unwrap();
+        assert_eq!(acc.finish().unwrap(), a);
+        assert_eq!(acc.votes(), 1);
+    }
+
+    #[test]
+    fn over_removal_is_rejected_without_corruption() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(dim(), &mut r);
+        let mut acc = Bundler::new(dim());
+        acc.push(&a).unwrap();
+        // Removing more weight than was pushed must fail atomically.
+        let before = acc.counts().to_vec();
+        assert!(acc.remove_weighted(&a, 2).is_err());
+        assert_eq!(acc.counts(), &before[..], "failed removal must not mutate counters");
+        assert_eq!(acc.votes(), 1);
+        // A vector never pushed (disjoint bits) also fails cleanly.
+        let b = a.complement();
+        assert!(acc.remove_weighted(&b, 1).is_err());
+        assert_eq!(acc.finish().unwrap(), a);
+    }
+
+    #[test]
+    fn clear_resets_without_reallocating() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(dim(), &mut r);
+        let mut acc = Bundler::new(dim());
+        acc.push(&a).unwrap();
+        acc.clear();
+        assert_eq!(acc.votes(), 0);
+        assert_eq!(acc.finish(), Err(HdcError::EmptyInput));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_rejected() {
+        let mut acc = Bundler::new(Dim::new(64));
+        let wrong = BinaryHypervector::zeros(Dim::new(128));
+        assert!(matches!(acc.push(&wrong), Err(HdcError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn alternative_formulation_add_divide_round_matches() {
+        // §II-B: "An alternate approach ... add the respective bits, divide
+        // by the number of feature hypervectors, and round the result".
+        // With round-half-up this is identical to majority voting with
+        // tie → 1. Verify on random stacks.
+        let mut r = rng();
+        let d = Dim::new(128);
+        for n in 1..=8usize {
+            let inputs: Vec<_> = (0..n).map(|_| BinaryHypervector::random(d, &mut r)).collect();
+            let bundled = majority(&inputs);
+            for i in 0..d.get() {
+                let sum: usize = inputs.iter().filter(|hv| hv.get(i)).count();
+                let rounded = (sum as f64 / n as f64 + 0.5).floor() as usize >= 1
+                    && sum * 2 >= n;
+                assert_eq!(bundled.get(i), rounded || sum * 2 >= n);
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! k-nearest-neighbour classification under Hamming distance.
+
+use crate::binary::BinaryHypervector;
+use crate::error::HdcError;
+use rayon::prelude::*;
+
+/// A k-NN classifier over stored hypervectors.
+///
+/// The paper's pure-HDC model (§II-C) is `k = 1`: "Record the predicted
+/// class as the known class of the closest hypervector." Larger `k` with
+/// majority or distance-weighted voting is provided as the natural
+/// extension; ties in both distance and vote break toward the lowest class
+/// index for determinism.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct HammingKnnClassifier {
+    k: usize,
+    weighted: bool,
+    train: Vec<BinaryHypervector>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+impl HammingKnnClassifier {
+    /// Creates an unfitted classifier with `k` neighbours and unweighted
+    /// majority voting.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be at least 1");
+        Self {
+            k,
+            weighted: false,
+            train: Vec::new(),
+            labels: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    /// Enables inverse-distance weighting of neighbour votes.
+    #[must_use]
+    pub fn with_distance_weighting(mut self) -> Self {
+        self.weighted = true;
+        self
+    }
+
+    /// Stores the training set.
+    pub fn fit(
+        &mut self,
+        hypervectors: Vec<BinaryHypervector>,
+        labels: Vec<usize>,
+    ) -> Result<(), HdcError> {
+        if hypervectors.is_empty() {
+            return Err(HdcError::EmptyInput);
+        }
+        if hypervectors.len() != labels.len() {
+            return Err(HdcError::LabelLengthMismatch {
+                samples: hypervectors.len(),
+                labels: labels.len(),
+            });
+        }
+        let dim = hypervectors[0].dim();
+        if let Some(bad) = hypervectors.iter().find(|hv| hv.dim() != dim) {
+            return Err(HdcError::DimensionMismatch {
+                left: dim.get(),
+                right: bad.dim().get(),
+            });
+        }
+        self.n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
+        self.train = hypervectors;
+        self.labels = labels;
+        Ok(())
+    }
+
+    /// Number of stored training examples.
+    #[must_use]
+    pub fn n_train(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Predicts the class of one query hypervector.
+    pub fn predict(&self, query: &BinaryHypervector) -> Result<usize, HdcError> {
+        self.predict_excluding(query, usize::MAX)
+    }
+
+    /// Predicts while ignoring training index `exclude` (used by
+    /// leave-one-out validation; pass `usize::MAX` to exclude nothing).
+    pub fn predict_excluding(
+        &self,
+        query: &BinaryHypervector,
+        exclude: usize,
+    ) -> Result<usize, HdcError> {
+        if self.train.is_empty() {
+            return Err(HdcError::NotFitted);
+        }
+        // Collect (distance, index) of the k best neighbours with a simple
+        // bounded insertion — k is tiny (1..=15) so this beats a heap.
+        let mut best: Vec<(usize, usize)> = Vec::with_capacity(self.k + 1);
+        for (i, hv) in self.train.iter().enumerate() {
+            if i == exclude {
+                continue;
+            }
+            let d = query.try_hamming(hv)?;
+            let pos = best.partition_point(|&(bd, bi)| (bd, bi) < (d, i));
+            if pos < self.k {
+                best.insert(pos, (d, i));
+                best.truncate(self.k);
+            }
+        }
+        if best.is_empty() {
+            return Err(HdcError::NotFitted);
+        }
+        // Vote.
+        let mut votes = vec![0.0f64; self.n_classes];
+        for &(d, i) in &best {
+            let w = if self.weighted {
+                1.0 / (1.0 + d as f64)
+            } else {
+                1.0
+            };
+            votes[self.labels[i]] += w;
+        }
+        let winner = votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c)
+            .expect("votes is non-empty");
+        Ok(winner)
+    }
+
+    /// Predicts a batch in parallel.
+    pub fn predict_batch(&self, queries: &[BinaryHypervector]) -> Result<Vec<usize>, HdcError> {
+        queries.par_iter().map(|q| self.predict(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::Dim;
+    use crate::encoding::LinearEncoder;
+    
+
+    fn clustered_data() -> (Vec<BinaryHypervector>, Vec<usize>) {
+        // Two clusters along a level-encoded axis: low values class 0,
+        // high values class 1.
+        let enc = LinearEncoder::new(Dim::new(4_096), 0.0, 100.0, 42).unwrap();
+        let mut hvs = Vec::new();
+        let mut labels = Vec::new();
+        for v in [5.0, 10.0, 15.0, 20.0] {
+            hvs.push(enc.encode(v));
+            labels.push(0);
+        }
+        for v in [80.0, 85.0, 90.0, 95.0] {
+            hvs.push(enc.encode(v));
+            labels.push(1);
+        }
+        (hvs, labels)
+    }
+
+    #[test]
+    fn one_nn_classifies_clusters() {
+        let (hvs, labels) = clustered_data();
+        let enc = LinearEncoder::new(Dim::new(4_096), 0.0, 100.0, 42).unwrap();
+        let mut clf = HammingKnnClassifier::new(1);
+        clf.fit(hvs, labels).unwrap();
+        assert_eq!(clf.predict(&enc.encode(12.0)).unwrap(), 0);
+        assert_eq!(clf.predict(&enc.encode(88.0)).unwrap(), 1);
+        assert_eq!(clf.n_train(), 8);
+    }
+
+    #[test]
+    fn k3_majority_resists_single_outlier() {
+        let enc = LinearEncoder::new(Dim::new(4_096), 0.0, 100.0, 7).unwrap();
+        // One mislabeled point at 50 (class 1) among class-0 neighbours.
+        let hvs = vec![
+            enc.encode(48.0),
+            enc.encode(52.0),
+            enc.encode(50.0),
+            enc.encode(95.0),
+        ];
+        let labels = vec![0, 0, 1, 1];
+        let mut k1 = HammingKnnClassifier::new(1);
+        k1.fit(hvs.clone(), labels.clone()).unwrap();
+        let mut k3 = HammingKnnClassifier::new(3);
+        k3.fit(hvs, labels).unwrap();
+        let query = enc.encode(50.5);
+        // 1-NN is fooled by the outlier; 3-NN recovers.
+        assert_eq!(k1.predict(&query).unwrap(), 1);
+        assert_eq!(k3.predict(&query).unwrap(), 0);
+    }
+
+    #[test]
+    fn distance_weighting_prefers_close_neighbours() {
+        let enc = LinearEncoder::new(Dim::new(4_096), 0.0, 100.0, 3).unwrap();
+        // Two far class-0 points, one adjacent class-1 point; k = 3.
+        let hvs = vec![enc.encode(10.0), enc.encode(12.0), enc.encode(49.0)];
+        let labels = vec![0, 0, 1];
+        let mut plain = HammingKnnClassifier::new(3);
+        plain.fit(hvs.clone(), labels.clone()).unwrap();
+        let mut weighted = HammingKnnClassifier::new(3).with_distance_weighting();
+        weighted.fit(hvs, labels).unwrap();
+        let query = enc.encode(50.0);
+        assert_eq!(plain.predict(&query).unwrap(), 0, "unweighted majority picks class 0");
+        assert_eq!(weighted.predict(&query).unwrap(), 1, "weighting favours the near neighbour");
+    }
+
+    #[test]
+    fn unfitted_predict_errors() {
+        let clf = HammingKnnClassifier::new(1);
+        let q = BinaryHypervector::zeros(Dim::new(64));
+        assert_eq!(clf.predict(&q), Err(HdcError::NotFitted));
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let mut clf = HammingKnnClassifier::new(1);
+        assert_eq!(clf.fit(vec![], vec![]), Err(HdcError::EmptyInput));
+        let hv = BinaryHypervector::zeros(Dim::new(64));
+        assert!(matches!(
+            clf.fit(vec![hv.clone()], vec![0, 1]),
+            Err(HdcError::LabelLengthMismatch { .. })
+        ));
+        let other = BinaryHypervector::zeros(Dim::new(128));
+        assert!(matches!(
+            clf.fit(vec![hv, other], vec![0, 1]),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        let _ = HammingKnnClassifier::new(0);
+    }
+
+    #[test]
+    fn exclusion_skips_self_match() {
+        let (hvs, labels) = clustered_data();
+        let mut clf = HammingKnnClassifier::new(1);
+        clf.fit(hvs.clone(), labels).unwrap();
+        // Excluding index 0, the prediction for hvs[0] must come from a
+        // different (still class-0) neighbour.
+        assert_eq!(clf.predict_excluding(&hvs[0], 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let (hvs, labels) = clustered_data();
+        let mut clf = HammingKnnClassifier::new(1);
+        clf.fit(hvs.clone(), labels).unwrap();
+        let batch = clf.predict_batch(&hvs).unwrap();
+        for (q, &p) in hvs.iter().zip(&batch) {
+            assert_eq!(clf.predict(q).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn query_dimension_mismatch_errors() {
+        let (hvs, labels) = clustered_data();
+        let mut clf = HammingKnnClassifier::new(1);
+        clf.fit(hvs, labels).unwrap();
+        let bad = BinaryHypervector::zeros(Dim::new(64));
+        assert!(matches!(clf.predict(&bad), Err(HdcError::DimensionMismatch { .. })));
+    }
+}

@@ -1,0 +1,18 @@
+//! Hamming-distance classification (§II-C of the paper).
+//!
+//! * [`HammingKnnClassifier`] — k-nearest-neighbour under Hamming distance
+//!   (the paper's model is the `k = 1` special case), with optional
+//!   distance-weighted voting.
+//! * [`CentroidClassifier`] — bundled class prototypes ("associative
+//!   memory") with optional perceptron-style retraining, the standard HDC
+//!   baseline from Kleyko et al. that the paper cites as \[39\].
+//! * [`LeaveOneOut`] — the paper's leave-one-out validation harness,
+//!   parallelised over held-out rows with rayon.
+
+mod centroid;
+mod knn;
+mod loocv;
+
+pub use centroid::CentroidClassifier;
+pub use knn::HammingKnnClassifier;
+pub use loocv::{LeaveOneOut, LoocvOutcome};

@@ -1,0 +1,88 @@
+//! Item memory: a deterministic table of random symbol hypervectors.
+
+use crate::binary::{BinaryHypervector, Dim};
+use crate::rng::SplitMix64;
+
+/// A lazily-materialised map from symbol index to a random hypervector.
+///
+/// Symbol codes are derived deterministically from `(seed, index)`, so two
+/// item memories with the same seed agree without storing anything — lookups
+/// can regenerate codes on demand — while [`ItemMemory::get`] memoises them
+/// for hot reuse.
+#[derive(Debug, Clone)]
+pub struct ItemMemory {
+    dim: Dim,
+    root: SplitMix64,
+    cache: Vec<Option<BinaryHypervector>>,
+}
+
+impl ItemMemory {
+    /// Creates an item memory for up to `capacity` pre-allocated cache
+    /// slots (lookups beyond the capacity still work, uncached).
+    #[must_use]
+    pub fn new(dim: Dim, seed: u64, capacity: usize) -> Self {
+        Self {
+            dim,
+            root: SplitMix64::new(seed),
+            cache: vec![None; capacity],
+        }
+    }
+
+    /// The hypervector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Returns (and caches) the code for `symbol`.
+    pub fn get(&mut self, symbol: usize) -> BinaryHypervector {
+        if let Some(Some(hv)) = self.cache.get(symbol) {
+            return hv.clone();
+        }
+        let hv = self.generate(symbol);
+        if let Some(slot) = self.cache.get_mut(symbol) {
+            *slot = Some(hv.clone());
+        }
+        hv
+    }
+
+    /// Generates the code for `symbol` without touching the cache.
+    #[must_use]
+    pub fn generate(&self, symbol: usize) -> BinaryHypervector {
+        let mut rng = self.root.derive(0xC0DE, symbol as u64);
+        BinaryHypervector::random(self.dim, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookups_are_deterministic_and_cached() {
+        let mut m = ItemMemory::new(Dim::new(1_024), 7, 4);
+        let a1 = m.get(0);
+        let a2 = m.get(0);
+        assert_eq!(a1, a2);
+        // Beyond-capacity lookups are regenerated consistently.
+        let far1 = m.get(100);
+        let far2 = m.get(100);
+        assert_eq!(far1, far2);
+    }
+
+    #[test]
+    fn distinct_symbols_are_quasi_orthogonal() {
+        let mut m = ItemMemory::new(Dim::PAPER, 11, 8);
+        let a = m.get(1);
+        let b = m.get(2);
+        let d = a.hamming(&b);
+        assert!((4_700..=5_300).contains(&d), "distance {d}");
+    }
+
+    #[test]
+    fn two_memories_with_same_seed_agree() {
+        let mut m1 = ItemMemory::new(Dim::new(256), 3, 0);
+        let m2 = ItemMemory::new(Dim::new(256), 3, 0);
+        assert_eq!(m1.get(5), m2.generate(5));
+    }
+}

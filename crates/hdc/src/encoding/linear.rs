@@ -1,0 +1,226 @@
+//! Linear (level) encoding of continuous features.
+
+use crate::binary::{BinaryHypervector, Dim};
+use crate::error::HdcError;
+use crate::rng::SplitMix64;
+
+/// Level encoder for a continuous feature over `[min, max]`.
+///
+/// Construction (paper §II-B, steps 1–3):
+///
+/// 1. identify `min(V)` and `max(V)`;
+/// 2. generate a random exactly-balanced seed hypervector representing every
+///    value ≤ `min(V)`;
+/// 3. for value `t`, flip `x = k·(t − min)/(2·(max − min))` bits — an equal
+///    number of ones and zeros (`x/2` each) — so that `max(V)` is exactly
+///    orthogonal to `min(V)` (`x = k/2` differing bits).
+///
+/// The flipped bits form a *nested* prefix of a fixed random flip order, so
+/// for any two values `t₁ ≤ t₂` the Hamming distance between their codes is
+/// exactly `x(t₂) − x(t₁)` (rounded to even): the metric structure of the
+/// feature is embedded isometrically, which is what makes "45 closer to 50
+/// than to 70" hold in hyperspace.
+#[derive(Debug, Clone)]
+pub struct LinearEncoder {
+    dim: Dim,
+    min: f64,
+    max: f64,
+    seed: BinaryHypervector,
+    /// Positions that start as ones, in flip order.
+    flip_ones: Vec<u32>,
+    /// Positions that start as zeros, in flip order.
+    flip_zeros: Vec<u32>,
+}
+
+impl LinearEncoder {
+    /// Creates a level encoder for values in `[min, max]`.
+    ///
+    /// `seed` determines the random seed hypervector and flip order; two
+    /// encoders built with the same `(dim, min, max, seed)` are identical.
+    pub fn new(dim: Dim, min: f64, max: f64, seed: u64) -> Result<Self, HdcError> {
+        if !min.is_finite() || !max.is_finite() {
+            return Err(HdcError::NonFiniteValue);
+        }
+        if min >= max {
+            return Err(HdcError::InvalidRange { min, max });
+        }
+        let root = SplitMix64::new(seed);
+        let mut seed_rng = root.derive(0, 0);
+        let seed_hv = BinaryHypervector::random_balanced(dim, &mut seed_rng);
+
+        let mut flip_ones = Vec::with_capacity(dim.get() / 2 + 1);
+        let mut flip_zeros = Vec::with_capacity(dim.get() / 2 + 1);
+        for i in 0..dim.get() {
+            if seed_hv.get(i) {
+                flip_ones.push(i as u32);
+            } else {
+                flip_zeros.push(i as u32);
+            }
+        }
+        let mut order_rng = root.derive(1, 0);
+        order_rng.shuffle(&mut flip_ones);
+        order_rng.shuffle(&mut flip_zeros);
+
+        Ok(Self {
+            dim,
+            min,
+            max,
+            seed: seed_hv,
+            flip_ones,
+            flip_zeros,
+        })
+    }
+
+    /// The output dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// The encoder's value range.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        (self.min, self.max)
+    }
+
+    /// The seed hypervector (the code for `min` and everything below it).
+    #[must_use]
+    pub fn seed_hypervector(&self) -> &BinaryHypervector {
+        &self.seed
+    }
+
+    /// Number of bit flips (total, ones + zeros) applied for value `t`:
+    /// `x = k·(t' − min)/(2·(max − min))` with `t' = clamp(t)`, rounded to
+    /// the nearest even integer so the flips split equally.
+    #[must_use]
+    pub fn flips_for(&self, t: f64) -> usize {
+        let t = t.clamp(self.min, self.max);
+        let k = self.dim.get() as f64;
+        let x = k * (t - self.min) / (2.0 * (self.max - self.min));
+        // Split equally between ones and zeros: round x/2 and double.
+        let half = (x / 2.0).round() as usize;
+        let cap = self.flip_ones.len().min(self.flip_zeros.len());
+        2 * half.min(cap)
+    }
+
+    /// Encodes value `t`, clamping it into the encoder's range.
+    #[must_use]
+    pub fn encode(&self, t: f64) -> BinaryHypervector {
+        let flips = self.flips_for(t);
+        let half = flips / 2;
+        let mut hv = self.seed.clone();
+        for &i in &self.flip_ones[..half] {
+            hv.flip(i as usize);
+        }
+        for &i in &self.flip_zeros[..half] {
+            hv.flip(i as usize);
+        }
+        hv
+    }
+
+    /// Like [`Self::encode`], but rejects NaN/infinite inputs instead of
+    /// clamping them.
+    pub fn encode_checked(&self, t: f64) -> Result<BinaryHypervector, HdcError> {
+        if !t.is_finite() {
+            return Err(HdcError::NonFiniteValue);
+        }
+        Ok(self.encode(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_encoder() -> LinearEncoder {
+        LinearEncoder::new(Dim::PAPER, 0.0, 100.0, 12345).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_range() {
+        assert!(LinearEncoder::new(Dim::PAPER, 1.0, 1.0, 0).is_err());
+        assert!(LinearEncoder::new(Dim::PAPER, 2.0, 1.0, 0).is_err());
+        assert!(LinearEncoder::new(Dim::PAPER, f64::NAN, 1.0, 0).is_err());
+        assert!(LinearEncoder::new(Dim::PAPER, 0.0, f64::INFINITY, 0).is_err());
+        assert!(LinearEncoder::new(Dim::PAPER, -5.0, 5.0, 0).is_ok());
+    }
+
+    #[test]
+    fn min_maps_to_seed_and_below_min_clamps() {
+        let e = paper_encoder();
+        assert_eq!(&e.encode(0.0), e.seed_hypervector());
+        assert_eq!(&e.encode(-42.0), e.seed_hypervector());
+    }
+
+    #[test]
+    fn max_is_orthogonal_to_min() {
+        let e = paper_encoder();
+        let lo = e.encode(0.0);
+        let hi = e.encode(100.0);
+        assert_eq!(lo.hamming(&hi), Dim::PAPER.get() / 2);
+        // Above-max clamps to the max code.
+        assert_eq!(e.encode(1_000.0), hi);
+    }
+
+    #[test]
+    fn distance_is_proportional_to_value_difference() {
+        let e = paper_encoder();
+        let lo = e.encode(0.0);
+        // d(t) = k·(t − min)/(2·range) exactly (rounded to even).
+        for t in [10.0, 25.0, 50.0, 75.0, 90.0] {
+            let expected = e.flips_for(t);
+            assert_eq!(lo.hamming(&e.encode(t)), expected);
+            let approx = (Dim::PAPER.get() as f64 * t / 200.0) as usize;
+            assert!(expected.abs_diff(approx) <= 2);
+        }
+    }
+
+    #[test]
+    fn nested_flips_make_the_embedding_isometric() {
+        let e = paper_encoder();
+        // For any t1 < t2: d(code(t1), code(t2)) == flips(t2) − flips(t1).
+        let pairs = [(10.0, 20.0), (30.0, 80.0), (55.0, 56.0), (0.0, 99.0)];
+        for (t1, t2) in pairs {
+            let d = e.encode(t1).hamming(&e.encode(t2));
+            assert_eq!(d, e.flips_for(t2) - e.flips_for(t1), "t1={t1} t2={t2}");
+        }
+        // Hence the paper's intuition: 45 is closer to 50 than to 70.
+        let a45 = e.encode(45.0);
+        assert!(a45.hamming(&e.encode(50.0)) < a45.hamming(&e.encode(70.0)));
+    }
+
+    #[test]
+    fn all_codes_stay_balanced() {
+        let e = paper_encoder();
+        for t in [0.0, 13.0, 50.0, 87.5, 100.0] {
+            assert_eq!(e.encode(t).count_ones(), Dim::PAPER.get() / 2, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_different_seed_differs() {
+        let a = LinearEncoder::new(Dim::new(1_000), 0.0, 1.0, 7).unwrap();
+        let b = LinearEncoder::new(Dim::new(1_000), 0.0, 1.0, 7).unwrap();
+        let c = LinearEncoder::new(Dim::new(1_000), 0.0, 1.0, 8).unwrap();
+        assert_eq!(a.encode(0.3), b.encode(0.3));
+        assert_ne!(a.encode(0.3), c.encode(0.3));
+    }
+
+    #[test]
+    fn encode_checked_rejects_non_finite() {
+        let e = paper_encoder();
+        assert!(e.encode_checked(f64::NAN).is_err());
+        assert!(e.encode_checked(f64::NEG_INFINITY).is_err());
+        assert!(e.encode_checked(55.0).is_ok());
+    }
+
+    #[test]
+    fn small_odd_dimensionality_works() {
+        let e = LinearEncoder::new(Dim::new(101), 0.0, 10.0, 3).unwrap();
+        let lo = e.encode(0.0);
+        let hi = e.encode(10.0);
+        // 101 bits: 50 ones; max flips capped at 2·50.
+        assert!(lo.hamming(&hi) <= 100);
+        assert!(lo.hamming(&hi) >= 48);
+    }
+}

@@ -1,0 +1,77 @@
+//! Feature and record encoders (§II-B of the paper).
+//!
+//! * [`LinearEncoder`] — level encoding for continuous features: the seed
+//!   hypervector represents `min(V)`; increasing values flip a growing
+//!   *nested* prefix of a fixed random flip order so that (a) Hamming
+//!   distance between two encoded values is proportional to the difference
+//!   of the values, and (b) `max(V)` lands exactly orthogonal to `min(V)`
+//!   (the paper's "range is doubled" construction).
+//! * [`CategoricalEncoder`] — one quasi-orthogonal hypervector per category;
+//!   with two categories this is the paper's binary-feature encoding (seed
+//!   for 0, balanced random flips for 1).
+//! * [`RecordEncoder`] — per-feature encoders driven by a [`RecordSchema`],
+//!   bundled into one patient hypervector by majority vote (tie → 1).
+//! * [`ItemMemory`] — random symbol table for generic HDC workflows.
+
+mod categorical;
+mod item_memory;
+mod linear;
+mod ngram;
+mod quantized;
+mod record;
+
+pub use categorical::CategoricalEncoder;
+pub use item_memory::ItemMemory;
+pub use linear::LinearEncoder;
+pub use ngram::NgramEncoder;
+pub use quantized::QuantizedLinearEncoder;
+pub use record::{FeatureKind, FeatureSpec, RecordEncoder, RecordSchema};
+
+use crate::binary::{BinaryHypervector, Dim};
+use crate::error::HdcError;
+
+/// A per-feature encoder: either linear (continuous) or categorical.
+///
+/// Stored as an enum rather than a trait object so records can hold a
+/// homogeneous `Vec<FeatureEncoder>` without boxing or dynamic dispatch in
+/// the encoding hot loop.
+#[derive(Debug, Clone)]
+pub enum FeatureEncoder {
+    /// Level encoding of a continuous value.
+    Linear(LinearEncoder),
+    /// Quantized level encoding (finite resolution).
+    Quantized(QuantizedLinearEncoder),
+    /// Discrete category lookup.
+    Categorical(CategoricalEncoder),
+}
+
+impl FeatureEncoder {
+    /// Encodes a raw feature value.
+    ///
+    /// Continuous values are clamped to the encoder's range (the paper:
+    /// "A lesser value could be found in new data that hasn't been seen by
+    /// the encoder" — it maps to the seed vector). Categorical values are
+    /// rounded to the nearest category index.
+    pub fn encode(&self, value: f64) -> Result<BinaryHypervector, HdcError> {
+        match self {
+            Self::Linear(e) => e.encode_checked(value),
+            Self::Quantized(e) => e.encode(value).cloned(),
+            Self::Categorical(e) => {
+                if !value.is_finite() {
+                    return Err(HdcError::NonFiniteValue);
+                }
+                e.encode(value.round().max(0.0) as usize)
+            }
+        }
+    }
+
+    /// The output dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        match self {
+            Self::Linear(e) => e.dim(),
+            Self::Quantized(e) => e.dim(),
+            Self::Categorical(e) => e.dim(),
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Quantized level encoding: the finite-level variant of [`LinearEncoder`].
+//!
+//! Much of the HDC literature (Rahimi et al., Kleyko et al.) discretises a
+//! continuous feature into `L` levels and precomputes one hypervector per
+//! level. This is exactly the paper's linear encoding restricted to a grid:
+//! values snap to the nearest level, so (a) at most `L` distinct codes
+//! exist (cacheable — encoding becomes a table lookup), and (b) resolution
+//! becomes an explicit ablation knob. As `L → ∞` the encoder converges to
+//! [`LinearEncoder`].
+
+use crate::binary::{BinaryHypervector, Dim};
+use crate::encoding::LinearEncoder;
+use crate::error::HdcError;
+
+/// A level encoder with `L` precomputed codes.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinearEncoder {
+    min: f64,
+    max: f64,
+    codes: Vec<BinaryHypervector>,
+}
+
+impl QuantizedLinearEncoder {
+    /// Creates an encoder with `levels ≥ 2` codes over `[min, max]`,
+    /// sharing the construction (seed vector + nested flip order) of
+    /// [`LinearEncoder`] so the two encoders are directly comparable.
+    pub fn new(
+        dim: Dim,
+        min: f64,
+        max: f64,
+        levels: usize,
+        seed: u64,
+    ) -> Result<Self, HdcError> {
+        if levels < 2 {
+            return Err(HdcError::InvalidRange {
+                min: levels as f64,
+                max: 2.0,
+            });
+        }
+        let continuous = LinearEncoder::new(dim, min, max, seed)?;
+        let codes = (0..levels)
+            .map(|l| {
+                let t = min + (max - min) * l as f64 / (levels - 1) as f64;
+                continuous.encode(t)
+            })
+            .collect();
+        Ok(Self { min, max, codes })
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// The output dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.codes[0].dim()
+    }
+
+    /// The level index a value snaps to (clamping out-of-range values).
+    #[must_use]
+    pub fn level_of(&self, t: f64) -> usize {
+        let l = self.codes.len();
+        if self.max <= self.min {
+            return 0;
+        }
+        let pos = (t.clamp(self.min, self.max) - self.min) / (self.max - self.min);
+        ((pos * (l - 1) as f64).round() as usize).min(l - 1)
+    }
+
+    /// Encodes a value by snapping to the nearest level (table lookup —
+    /// no bit manipulation at encode time).
+    pub fn encode(&self, t: f64) -> Result<&BinaryHypervector, HdcError> {
+        if !t.is_finite() {
+            return Err(HdcError::NonFiniteValue);
+        }
+        Ok(&self.codes[self.level_of(t)])
+    }
+
+    /// The precomputed level codes, lowest level first.
+    #[must_use]
+    pub fn codes(&self) -> &[BinaryHypervector] {
+        &self.codes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder(levels: usize) -> QuantizedLinearEncoder {
+        QuantizedLinearEncoder::new(Dim::new(2_048), 0.0, 100.0, levels, 7).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_levels() {
+        assert!(QuantizedLinearEncoder::new(Dim::new(64), 0.0, 1.0, 1, 0).is_err());
+        assert!(QuantizedLinearEncoder::new(Dim::new(64), 1.0, 0.0, 4, 0).is_err());
+        assert_eq!(encoder(8).levels(), 8);
+    }
+
+    #[test]
+    fn endpoints_match_the_continuous_encoder() {
+        let q = encoder(11);
+        let c = LinearEncoder::new(Dim::new(2_048), 0.0, 100.0, 7).unwrap();
+        assert_eq!(q.encode(0.0).unwrap(), &c.encode(0.0));
+        assert_eq!(q.encode(100.0).unwrap(), &c.encode(100.0));
+        // Orthogonal ends, inherited from the shared construction.
+        assert_eq!(
+            q.encode(0.0).unwrap().hamming(q.encode(100.0).unwrap()),
+            1_024
+        );
+    }
+
+    #[test]
+    fn values_snap_to_the_nearest_level() {
+        let q = encoder(11); // levels at 0, 10, 20, …, 100
+        assert_eq!(q.level_of(14.9), 1);
+        assert_eq!(q.level_of(15.1), 2);
+        assert_eq!(q.level_of(-5.0), 0);
+        assert_eq!(q.level_of(200.0), 10);
+        assert_eq!(q.encode(14.9).unwrap(), q.encode(10.0).unwrap());
+        assert_ne!(q.encode(14.9).unwrap(), q.encode(15.1).unwrap());
+    }
+
+    #[test]
+    fn distances_are_monotone_in_level_separation() {
+        let q = encoder(6);
+        let base = q.encode(0.0).unwrap();
+        let mut last = 0;
+        for t in [20.0, 40.0, 60.0, 80.0, 100.0] {
+            let d = base.hamming(q.encode(t).unwrap());
+            assert!(d >= last, "distance must grow with level separation");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn many_levels_converge_to_the_continuous_encoder() {
+        let dense = QuantizedLinearEncoder::new(Dim::new(2_048), 0.0, 100.0, 201, 7).unwrap();
+        let c = LinearEncoder::new(Dim::new(2_048), 0.0, 100.0, 7).unwrap();
+        for t in [13.0, 37.7, 62.5, 88.8] {
+            let d = dense.encode(t).unwrap().hamming(&c.encode(t));
+            // Half-step of 0.5 value units ≈ 0.5/100 · d/2 ≈ 5 bits.
+            assert!(d <= 12, "t = {t}, residual {d}");
+        }
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let q = encoder(4);
+        assert!(q.encode(f64::NAN).is_err());
+    }
+}

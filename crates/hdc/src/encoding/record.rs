@@ -1,0 +1,314 @@
+//! Record (patient) encoding: per-feature encoders bundled by majority vote.
+
+use crate::binary::{BinaryHypervector, Dim};
+use crate::bundle::Bundler;
+use crate::encoding::{CategoricalEncoder, FeatureEncoder, LinearEncoder, QuantizedLinearEncoder};
+use crate::error::HdcError;
+use crate::rng::SplitMix64;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The kind and parameters of a single feature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FeatureKind {
+    /// A continuous feature level-encoded over `[min, max]`.
+    Continuous {
+        /// Lowest value in the training data.
+        min: f64,
+        /// Highest value in the training data.
+        max: f64,
+    },
+    /// A discrete feature with `n` categories.
+    Categorical {
+        /// Number of categories.
+        n: usize,
+    },
+}
+
+/// A named feature description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureSpec {
+    /// Human-readable feature name (e.g. "Glucose").
+    pub name: String,
+    /// Encoding kind and parameters.
+    pub kind: FeatureKind,
+}
+
+impl FeatureSpec {
+    /// Convenience constructor for a continuous feature.
+    #[must_use]
+    pub fn continuous(name: impl Into<String>, min: f64, max: f64) -> Self {
+        Self {
+            name: name.into(),
+            kind: FeatureKind::Continuous { min, max },
+        }
+    }
+
+    /// Convenience constructor for a binary (yes/no) feature.
+    #[must_use]
+    pub fn binary(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            kind: FeatureKind::Categorical { n: 2 },
+        }
+    }
+
+    /// Convenience constructor for an `n`-way categorical feature.
+    #[must_use]
+    pub fn categorical(name: impl Into<String>, n: usize) -> Self {
+        Self {
+            name: name.into(),
+            kind: FeatureKind::Categorical { n },
+        }
+    }
+}
+
+/// An ordered list of feature specifications describing one record.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RecordSchema {
+    features: Vec<FeatureSpec>,
+}
+
+impl RecordSchema {
+    /// Builds a schema from feature specs.
+    #[must_use]
+    pub fn new(features: Vec<FeatureSpec>) -> Self {
+        Self { features }
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.features.len()
+    }
+
+    /// The feature specs in order.
+    #[must_use]
+    pub fn features(&self) -> &[FeatureSpec] {
+        &self.features
+    }
+}
+
+/// Encodes whole records (patients) into single hypervectors.
+///
+/// One independent feature encoder per schema entry — "Each feature has a
+/// different seed hypervector. Randomness is important during the encoding
+/// process, we don't want to bias the encoding towards the relevance of a
+/// subset of features" (§II-B) — bundled by per-bit majority vote with ties
+/// broken toward 1.
+#[derive(Debug, Clone)]
+pub struct RecordEncoder {
+    schema: RecordSchema,
+    encoders: Vec<FeatureEncoder>,
+    dim: Dim,
+}
+
+impl RecordEncoder {
+    /// Creates a record encoder for `schema`, deriving one independent
+    /// random stream per feature from `seed`.
+    pub fn new(dim: Dim, schema: RecordSchema, seed: u64) -> Result<Self, HdcError> {
+        Self::with_quantization(dim, schema, seed, None)
+    }
+
+    /// Like [`RecordEncoder::new`], but continuous features are quantized
+    /// to `levels` codes when `levels` is `Some` (resolution ablation; the
+    /// paper's formula-based encoding is the `None` case).
+    pub fn with_quantization(
+        dim: Dim,
+        schema: RecordSchema,
+        seed: u64,
+        levels: Option<usize>,
+    ) -> Result<Self, HdcError> {
+        if schema.arity() == 0 {
+            return Err(HdcError::EmptyInput);
+        }
+        let root = SplitMix64::new(seed);
+        let mut encoders = Vec::with_capacity(schema.arity());
+        for (i, spec) in schema.features().iter().enumerate() {
+            // Derive a per-feature seed; the feature index keeps streams
+            // independent even if two features share parameters.
+            let feature_seed = root.derive(0xFEA7, i as u64).next_u64();
+            let enc = match (spec.kind.clone(), levels) {
+                (FeatureKind::Continuous { min, max }, None) => {
+                    FeatureEncoder::Linear(LinearEncoder::new(dim, min, max, feature_seed)?)
+                }
+                (FeatureKind::Continuous { min, max }, Some(l)) => FeatureEncoder::Quantized(
+                    QuantizedLinearEncoder::new(dim, min, max, l, feature_seed)?,
+                ),
+                (FeatureKind::Categorical { n }, _) => {
+                    FeatureEncoder::Categorical(CategoricalEncoder::new(dim, n, feature_seed)?)
+                }
+            };
+            encoders.push(enc);
+        }
+        Ok(Self { schema, encoders, dim })
+    }
+
+    /// The schema this encoder was built from.
+    #[must_use]
+    pub fn schema(&self) -> &RecordSchema {
+        &self.schema
+    }
+
+    /// The output dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// The per-feature encoders, in schema order.
+    #[must_use]
+    pub fn feature_encoders(&self) -> &[FeatureEncoder] {
+        &self.encoders
+    }
+
+    /// Encodes each feature of one record into its own hypervector.
+    pub fn encode_features(&self, values: &[f64]) -> Result<Vec<BinaryHypervector>, HdcError> {
+        if values.len() != self.encoders.len() {
+            return Err(HdcError::ArityMismatch {
+                expected: self.encoders.len(),
+                got: values.len(),
+            });
+        }
+        self.encoders
+            .iter()
+            .zip(values)
+            .map(|(enc, &v)| enc.encode(v))
+            .collect()
+    }
+
+    /// Encodes one record into a single bundled patient hypervector
+    /// (majority vote across the feature hypervectors, tie → 1).
+    pub fn encode_record(&self, values: &[f64]) -> Result<BinaryHypervector, HdcError> {
+        if values.len() != self.encoders.len() {
+            return Err(HdcError::ArityMismatch {
+                expected: self.encoders.len(),
+                got: values.len(),
+            });
+        }
+        let mut bundler = Bundler::new(self.dim);
+        for (enc, &v) in self.encoders.iter().zip(values) {
+            bundler.push(&enc.encode(v)?)?;
+        }
+        bundler.finish()
+    }
+
+    /// Encodes a batch of records in parallel with rayon.
+    ///
+    /// Row-level data parallelism: each worker encodes whole records, so
+    /// there is no shared mutable state and results are identical to the
+    /// sequential path regardless of thread count.
+    pub fn encode_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<BinaryHypervector>, HdcError> {
+        rows.par_iter().map(|row| self.encode_record(row)).collect()
+    }
+
+    /// Encodes a batch given as a flat row-major slice with `arity` columns.
+    pub fn encode_batch_flat(
+        &self,
+        data: &[f64],
+        n_rows: usize,
+    ) -> Result<Vec<BinaryHypervector>, HdcError> {
+        let arity = self.schema.arity();
+        if data.len() != n_rows * arity {
+            return Err(HdcError::ArityMismatch {
+                expected: n_rows * arity,
+                got: data.len(),
+            });
+        }
+        (0..n_rows)
+            .into_par_iter()
+            .map(|r| self.encode_record(&data[r * arity..(r + 1) * arity]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> RecordSchema {
+        RecordSchema::new(vec![
+            FeatureSpec::continuous("age", 21.0, 81.0),
+            FeatureSpec::continuous("glucose", 56.0, 198.0),
+            FeatureSpec::binary("polyuria"),
+        ])
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(RecordEncoder::new(Dim::PAPER, RecordSchema::default(), 1).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let enc = RecordEncoder::new(Dim::new(1_000), schema(), 1).unwrap();
+        assert!(matches!(
+            enc.encode_record(&[30.0, 100.0]),
+            Err(HdcError::ArityMismatch { expected: 3, got: 2 })
+        ));
+        assert!(enc.encode_features(&[30.0, 100.0, 1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn record_bundle_matches_manual_majority() {
+        let enc = RecordEncoder::new(Dim::new(2_048), schema(), 9).unwrap();
+        let values = [40.0, 150.0, 1.0];
+        let features = enc.encode_features(&values).unwrap();
+        let expected = crate::bundle::majority(&features);
+        assert_eq!(enc.encode_record(&values).unwrap(), expected);
+    }
+
+    #[test]
+    fn similar_patients_are_closer_than_dissimilar_ones() {
+        let enc = RecordEncoder::new(Dim::PAPER, schema(), 77).unwrap();
+        let a = enc.encode_record(&[30.0, 100.0, 0.0]).unwrap();
+        let near = enc.encode_record(&[32.0, 105.0, 0.0]).unwrap();
+        let far = enc.encode_record(&[75.0, 190.0, 1.0]).unwrap();
+        assert!(a.hamming(&near) < a.hamming(&far));
+    }
+
+    #[test]
+    fn feature_streams_are_independent() {
+        // Two continuous features with identical ranges must get different
+        // seed hypervectors.
+        let s = RecordSchema::new(vec![
+            FeatureSpec::continuous("a", 0.0, 1.0),
+            FeatureSpec::continuous("b", 0.0, 1.0),
+        ]);
+        let enc = RecordEncoder::new(Dim::new(4_096), s, 5).unwrap();
+        let fa = enc.encode_features(&[0.0, 0.0]).unwrap();
+        let d = fa[0].hamming(&fa[1]);
+        assert!(d > 1_500, "identical-range features must not share codes (d = {d})");
+    }
+
+    #[test]
+    fn batch_encoding_matches_sequential() {
+        let enc = RecordEncoder::new(Dim::new(1_024), schema(), 13).unwrap();
+        let rows: Vec<Vec<f64>> = (0..16)
+            .map(|i| vec![21.0 + i as f64, 60.0 + 5.0 * i as f64, f64::from(i % 2)])
+            .collect();
+        let batch = enc.encode_batch(&rows).unwrap();
+        for (row, hv) in rows.iter().zip(&batch) {
+            assert_eq!(hv, &enc.encode_record(row).unwrap());
+        }
+        // Flat layout agrees too.
+        let flat: Vec<f64> = rows.iter().flatten().copied().collect();
+        assert_eq!(enc.encode_batch_flat(&flat, rows.len()).unwrap(), batch);
+        assert!(enc.encode_batch_flat(&flat[1..], rows.len()).is_err());
+    }
+
+    #[test]
+    fn categorical_out_of_range_propagates() {
+        let enc = RecordEncoder::new(Dim::new(256), schema(), 3).unwrap();
+        assert!(enc.encode_record(&[30.0, 100.0, 5.0]).is_err());
+        assert!(enc.encode_record(&[30.0, f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn deterministic_across_encoder_instances() {
+        let e1 = RecordEncoder::new(Dim::new(512), schema(), 21).unwrap();
+        let e2 = RecordEncoder::new(Dim::new(512), schema(), 21).unwrap();
+        let v = [45.0, 120.0, 1.0];
+        assert_eq!(e1.encode_record(&v).unwrap(), e2.encode_record(&v).unwrap());
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared by all fallible operations in this crate.
+
+use std::fmt;
+
+/// Errors produced by hypervector construction, encoding and classification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HdcError {
+    /// Two hypervectors participating in a binary operation had different
+    /// dimensionalities.
+    DimensionMismatch {
+        /// Dimensionality of the left operand.
+        left: usize,
+        /// Dimensionality of the right operand.
+        right: usize,
+    },
+    /// A dimensionality of zero was requested.
+    ZeroDimension,
+    /// An encoder was constructed with an empty or inverted value range.
+    InvalidRange {
+        /// Lower bound supplied.
+        min: f64,
+        /// Upper bound supplied.
+        max: f64,
+    },
+    /// A non-finite value (NaN or infinity) was supplied where a finite
+    /// value is required.
+    NonFiniteValue,
+    /// An operation that requires at least one input received none.
+    EmptyInput,
+    /// A record encoder was given a value vector whose length does not match
+    /// its schema.
+    ArityMismatch {
+        /// Number of features the schema defines.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+    /// A classifier was asked to predict before being fitted, or fitted with
+    /// inconsistent inputs.
+    NotFitted,
+    /// Labels and samples had different lengths.
+    LabelLengthMismatch {
+        /// Number of samples.
+        samples: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DimensionMismatch { left, right } => {
+                write!(f, "hypervector dimension mismatch: {left} vs {right}")
+            }
+            Self::ZeroDimension => write!(f, "hypervector dimensionality must be non-zero"),
+            Self::InvalidRange { min, max } => {
+                write!(f, "invalid encoder range: min {min} must be < max {max}")
+            }
+            Self::NonFiniteValue => write!(f, "value must be finite"),
+            Self::EmptyInput => write!(f, "operation requires at least one input"),
+            Self::ArityMismatch { expected, got } => {
+                write!(f, "record has {got} values but schema defines {expected} features")
+            }
+            Self::NotFitted => write!(f, "classifier has not been fitted"),
+            Self::LabelLengthMismatch { samples, labels } => {
+                write!(f, "{samples} samples but {labels} labels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = HdcError::DimensionMismatch { left: 64, right: 128 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("128"));
+        let e = HdcError::InvalidRange { min: 3.0, max: 1.0 };
+        assert!(e.to_string().contains('3'));
+        assert!(HdcError::ZeroDimension.to_string().contains("non-zero"));
+        assert!(HdcError::NotFitted.to_string().contains("fitted"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&HdcError::EmptyInput);
+    }
+}

@@ -1,0 +1,85 @@
+//! # hyperfex-hdc
+//!
+//! Hyperdimensional computing (HDC) substrate for the `hyperfex` workspace.
+//!
+//! This crate implements the computational model described by Kanerva
+//! ("Hyperdimensional computing: an introduction to computing in distributed
+//! representation with high-dimensional random vectors", Cognitive Computation
+//! 2009) as used by Watkinson et al. (IPDPSW 2023) to extract features for
+//! type 2 diabetes detection:
+//!
+//! * [`BinaryHypervector`] — dense, bit-packed binary hypervectors (default
+//!   dimensionality 10,000) with XOR binding, rotation permutation and
+//!   Hamming distance computed via word-level popcount.
+//! * [`bundle`] — per-bit majority-vote bundling with the paper's tie → 1
+//!   rule, plus streaming [`bundle::Bundler`] accumulators.
+//! * [`encoding`] — the paper's linear (level) encoder for continuous
+//!   features, the categorical encoder for binary features, and the record
+//!   encoder that bundles one hypervector per patient.
+//! * [`classify`] — Hamming 1-NN / k-NN, nearest-centroid (class prototype)
+//!   classifiers with optional perceptron-style retraining, and a
+//!   leave-one-out cross-validation harness parallelised with rayon.
+//! * [`ternary`] and [`bipolar`] — the alternative hypervector backends the
+//!   paper mentions (§II: "ternary ... and integer hypervectors could also
+//!   be used").
+//!
+//! ## Quick example
+//!
+//! ```
+//! use hyperfex_hdc::prelude::*;
+//!
+//! // Encode a continuous feature (e.g. plasma glucose 56..=198 mg/dl).
+//! let enc = LinearEncoder::new(Dim::new(10_000), 56.0, 198.0, 42)?;
+//! let low = enc.encode(60.0);
+//! let high = enc.encode(195.0);
+//! let mid = enc.encode(128.0);
+//!
+//! // Level encoding preserves order: closer values are closer in Hamming space.
+//! assert!(low.hamming(&mid) < low.hamming(&high));
+//!
+//! // Bundle several feature hypervectors into one record hypervector.
+//! let record = bundle::majority(&[low.clone(), mid.clone(), high.clone()]);
+//! assert!(record.hamming(&mid) <= record.hamming(&high));
+//! # Ok::<(), hyperfex_hdc::HdcError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod binary;
+pub mod bipolar;
+pub mod bundle;
+pub mod classify;
+pub mod encoding;
+pub mod error;
+pub mod rng;
+pub mod sdm;
+pub mod similarity;
+pub mod ternary;
+
+pub use binary::{BinaryHypervector, Dim};
+pub use bipolar::BipolarHypervector;
+pub use error::HdcError;
+pub use sdm::SparseDistributedMemory;
+pub use ternary::TernaryHypervector;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::binary::{BinaryHypervector, Dim};
+    pub use crate::bipolar::BipolarHypervector;
+    pub use crate::bundle;
+    pub use crate::classify::{
+        CentroidClassifier, HammingKnnClassifier, LeaveOneOut, LoocvOutcome,
+    };
+    pub use crate::encoding::{
+        CategoricalEncoder, FeatureEncoder, LinearEncoder, RecordEncoder, RecordSchema,
+    };
+    pub use crate::error::HdcError;
+    pub use crate::rng::SplitMix64;
+    pub use crate::sdm::SparseDistributedMemory;
+    pub use crate::similarity::{cosine_from_hamming, normalized_hamming};
+    pub use crate::ternary::TernaryHypervector;
+}
+
+/// The dimensionality used throughout the paper (10,000 bits).
+pub const PAPER_DIM: usize = 10_000;

@@ -1,0 +1,221 @@
+//! Deterministic pseudo-random number generation for hypervector seeding.
+//!
+//! Every stochastic component in the workspace takes an explicit `u64` seed.
+//! Internally we use SplitMix64 (Steele, Lea & Flood 2014) because it is
+//! tiny, fast, passes BigCrush when used as a stream generator, and — most
+//! importantly here — makes it trivial to derive *independent* per-feature
+//! streams from a single experiment seed without correlation artifacts.
+//! Random seed hypervectors must be independent across features (§II-B of the
+//! paper: "Each feature has a different seed hypervector").
+
+/// A SplitMix64 generator.
+///
+/// Implements the `rand` core RNG traits so it can seed or substitute any
+/// rand-compatible consumer, while also exposing a few convenience methods
+/// used in hot encoding paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derives an independent sub-stream for item `index` of a named domain.
+    ///
+    /// The domain tag separates e.g. "feature seed vectors" from "flip
+    /// orders" so that two consumers with the same index never share a
+    /// stream.
+    #[must_use]
+    pub fn derive(&self, domain: u64, index: u64) -> Self {
+        // Mix the parent state with the coordinates through one SplitMix64
+        // round each, which is sufficient for stream separation.
+        let mut s = Self::new(
+            self.state
+                .wrapping_add(mix(domain.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .wrapping_add(mix(index.wrapping_add(0xBF58_476D_1CE4_E5B9))),
+        );
+        // Burn one output so that consecutive indices do not start from
+        // near-identical states.
+        s.next_u64();
+        s
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix(self.state)
+    }
+
+    /// Returns a uniformly random integer in `0..bound`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method; unbiased.
+    #[inline]
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "bound must be non-zero");
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(bound);
+            let low = m as u64;
+            if low >= bound || low >= bound.wrapping_neg() % bound {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Returns a uniformly random `f64` in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws a standard normal variate via the Box–Muller transform.
+    pub fn next_normal(&mut self) -> f64 {
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.next_f64();
+            if u > 0.0 {
+                break u;
+            }
+        };
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// Implementing `TryRng` with an infallible error gives us the blanket
+// `rand::Rng` impl, so `SplitMix64` plugs into any rand-compatible consumer
+// (notably proptest strategies and `rand::seq` sampling helpers).
+impl rand::rand_core::TryRng for SplitMix64 {
+    type Error = std::convert::Infallible;
+
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+        Ok((self.next_u64() >> 32) as u32)
+    }
+
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+        Ok(SplitMix64::next_u64(self))
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(7);
+        let mut b = SplitMix64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn derive_streams_are_independent() {
+        let root = SplitMix64::new(99);
+        let mut s0 = root.derive(0, 0);
+        let mut s1 = root.derive(0, 1);
+        let mut t0 = root.derive(1, 0);
+        let a: Vec<u64> = (0..16).map(|_| s0.next_u64()).collect();
+        let b: Vec<u64> = (0..16).map(|_| s1.next_u64()).collect();
+        let c: Vec<u64> = (0..16).map(|_| t0.next_u64()).collect();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn bounded_is_in_range_and_covers() {
+        let mut rng = SplitMix64::new(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.next_bounded(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = SplitMix64::new(11);
+        for _ in 0..1000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "100 elements should not stay in order");
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut rng = SplitMix64::new(21);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.next_normal()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn fill_bytes_handles_non_multiple_of_eight() {
+        use rand::Rng as _;
+        let mut rng = SplitMix64::new(42);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Similarity and distance measures over hypervectors.
+//!
+//! The paper classifies with raw Hamming distance (§II-C); these helpers
+//! provide the normalized forms used for reporting, thresholding and the
+//! clinical risk score extension.
+
+use crate::binary::BinaryHypervector;
+use crate::error::HdcError;
+
+/// Normalized Hamming distance in `[0, 1]`: the fraction of differing bits.
+///
+/// 0.5 is the expected distance between independent random hypervectors;
+/// values well below 0.5 indicate correlation (Kanerva 2009: at distance
+/// 0.47 only a thousand-millionth of the space is closer).
+pub fn normalized_hamming(a: &BinaryHypervector, b: &BinaryHypervector) -> Result<f64, HdcError> {
+    let d = a.try_hamming(b)?;
+    Ok(d as f64 / a.len() as f64)
+}
+
+/// Similarity in `[-1, 1]` derived from Hamming distance:
+/// `1 − 2·hamming/d`.
+///
+/// Equals the cosine similarity of the equivalent bipolar (±1) vectors, so
+/// identical vectors score 1, complements −1, and random pairs ≈ 0.
+pub fn cosine_from_hamming(a: &BinaryHypervector, b: &BinaryHypervector) -> Result<f64, HdcError> {
+    Ok(1.0 - 2.0 * normalized_hamming(a, b)?)
+}
+
+/// Converts a normalized Hamming distance to a calibrated risk score in
+/// `[0, 1]` given distances to the positive and negative class references.
+///
+/// The score is the negative-vs-positive margin mapped through a logistic
+/// with slope `beta` (in units of normalized distance). `0.5` means
+/// equidistant; higher means closer to the positive class. This backs the
+/// clinical scoring scenario sketched in §III-B of the paper.
+#[must_use]
+pub fn risk_score(dist_to_positive: f64, dist_to_negative: f64, beta: f64) -> f64 {
+    let margin = dist_to_negative - dist_to_positive;
+    1.0 / (1.0 + (-beta * margin).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::Dim;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn normalized_hamming_bounds() {
+        let mut r = SplitMix64::new(1);
+        let a = BinaryHypervector::random(Dim::new(1_000), &mut r);
+        assert_eq!(normalized_hamming(&a, &a).unwrap(), 0.0);
+        assert_eq!(normalized_hamming(&a, &a.complement()).unwrap(), 1.0);
+        let b = BinaryHypervector::random(Dim::new(1_000), &mut r);
+        let d = normalized_hamming(&a, &b).unwrap();
+        assert!((0.4..0.6).contains(&d));
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let mut r = SplitMix64::new(2);
+        let a = BinaryHypervector::random(Dim::new(1_000), &mut r);
+        assert_eq!(cosine_from_hamming(&a, &a).unwrap(), 1.0);
+        assert_eq!(cosine_from_hamming(&a, &a.complement()).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn mismatched_dims_error() {
+        let a = BinaryHypervector::zeros(Dim::new(64));
+        let b = BinaryHypervector::zeros(Dim::new(65));
+        assert!(normalized_hamming(&a, &b).is_err());
+        assert!(cosine_from_hamming(&a, &b).is_err());
+    }
+
+    #[test]
+    fn risk_score_is_monotone_and_centered() {
+        assert!((risk_score(0.3, 0.3, 10.0) - 0.5).abs() < 1e-12);
+        // Closer to positive → higher risk.
+        assert!(risk_score(0.2, 0.4, 10.0) > 0.5);
+        assert!(risk_score(0.4, 0.2, 10.0) < 0.5);
+        // Steeper slope amplifies the same margin.
+        assert!(risk_score(0.2, 0.4, 20.0) > risk_score(0.2, 0.4, 5.0));
+        // Bounded.
+        let s = risk_score(0.0, 1.0, 100.0);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

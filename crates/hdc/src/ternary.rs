@@ -1,0 +1,326 @@
+//! Ternary hypervectors with components in `{-1, 0, +1}`.
+//!
+//! The paper notes (§II) that "ternary (with values of -1, 0 and 1) and
+//! integer hypervectors could also be used". This module provides that
+//! backend: two bitplanes (positive and negative) per vector, element-wise
+//! multiplication as binding, and integer-sum bundling with a deadzone that
+//! maps near-ties to 0 — the property that distinguishes ternary from binary
+//! bundling (uncertain bits abstain instead of voting).
+
+use crate::binary::{BinaryHypervector, Dim};
+use crate::error::HdcError;
+use crate::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// A ternary hypervector.
+///
+/// Invariant: the positive and negative bitplanes are disjoint
+/// (`pos & neg == 0` for every word).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TernaryHypervector {
+    pos: BinaryHypervector,
+    neg: BinaryHypervector,
+}
+
+impl TernaryHypervector {
+    /// The all-zero ternary vector.
+    #[must_use]
+    pub fn zeros(dim: Dim) -> Self {
+        Self {
+            pos: BinaryHypervector::zeros(dim),
+            neg: BinaryHypervector::zeros(dim),
+        }
+    }
+
+    /// A dense random ternary vector: each component is ±1 with equal
+    /// probability (no zeros), mirroring the bipolar seed vectors common in
+    /// the HDC literature.
+    #[must_use]
+    pub fn random_dense(dim: Dim, rng: &mut SplitMix64) -> Self {
+        let pos = BinaryHypervector::random(dim, rng);
+        let neg = pos.complement();
+        Self { pos, neg }
+    }
+
+    /// A sparse random ternary vector where each component is +1 with
+    /// probability `density/2`, −1 with probability `density/2`, else 0.
+    pub fn random_sparse(dim: Dim, density: f64, rng: &mut SplitMix64) -> Result<Self, HdcError> {
+        if !(0.0..=1.0).contains(&density) || !density.is_finite() {
+            return Err(HdcError::InvalidRange { min: 0.0, max: 1.0 });
+        }
+        let mut pos = BinaryHypervector::zeros(dim);
+        let mut neg = BinaryHypervector::zeros(dim);
+        for i in 0..dim.get() {
+            let u = rng.next_f64();
+            if u < density / 2.0 {
+                pos.set(i, true);
+            } else if u < density {
+                neg.set(i, true);
+            }
+        }
+        Ok(Self { pos, neg })
+    }
+
+    /// Lifts a binary hypervector to ternary: 1 → +1, 0 → −1.
+    #[must_use]
+    pub fn from_binary(hv: &BinaryHypervector) -> Self {
+        Self {
+            pos: hv.clone(),
+            neg: hv.complement(),
+        }
+    }
+
+    /// Collapses to binary: +1 → 1, −1 and 0 → 0.
+    #[must_use]
+    pub fn to_binary(&self) -> BinaryHypervector {
+        self.pos.clone()
+    }
+
+    /// The dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.pos.dim()
+    }
+
+    /// Component `i` as −1, 0 or +1.
+    #[must_use]
+    pub fn get(&self, i: usize) -> i8 {
+        if self.pos.get(i) {
+            1
+        } else if self.neg.get(i) {
+            -1
+        } else {
+            0
+        }
+    }
+
+    /// Sets component `i`.
+    ///
+    /// # Panics
+    /// Panics if `value` is not −1, 0 or +1.
+    pub fn set(&mut self, i: usize, value: i8) {
+        assert!((-1..=1).contains(&value), "ternary component must be -1, 0 or 1");
+        self.pos.set(i, value == 1);
+        self.neg.set(i, value == -1);
+    }
+
+    /// Number of non-zero components.
+    #[must_use]
+    pub fn count_nonzero(&self) -> usize {
+        self.pos.count_ones() + self.neg.count_ones()
+    }
+
+    /// Element-wise product binding. Zero absorbs: `0·x = 0`.
+    pub fn bind(&self, other: &Self) -> Result<Self, HdcError> {
+        if self.dim() != other.dim() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim().get(),
+                right: other.dim().get(),
+            });
+        }
+        let mut out = Self::zeros(self.dim());
+        for i in 0..self.dim().get() {
+            out.set(i, self.get(i) * other.get(i));
+        }
+        Ok(out)
+    }
+
+    /// Dot-product similarity, in `[-d, d]`.
+    pub fn dot(&self, other: &Self) -> Result<i64, HdcError> {
+        if self.dim() != other.dim() {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim().get(),
+                right: other.dim().get(),
+            });
+        }
+        // dot = |agreeing nonzeros| − |disagreeing nonzeros|, computable via
+        // bitplane intersections.
+        let mut agree = 0i64;
+        let mut disagree = 0i64;
+        for ((sp, sn), (op, on)) in self
+            .pos
+            .words()
+            .iter()
+            .zip(self.neg.words())
+            .zip(other.pos.words().iter().zip(other.neg.words()))
+        {
+            agree += ((sp & op).count_ones() + (sn & on).count_ones()) as i64;
+            disagree += ((sp & on).count_ones() + (sn & op).count_ones()) as i64;
+        }
+        Ok(agree - disagree)
+    }
+
+    /// Cosine similarity in `[-1, 1]`; 0 if either vector is all-zero.
+    pub fn cosine(&self, other: &Self) -> Result<f64, HdcError> {
+        let dot = self.dot(other)? as f64;
+        let na = (self.count_nonzero() as f64).sqrt();
+        let nb = (other.count_nonzero() as f64).sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return Ok(0.0);
+        }
+        Ok(dot / (na * nb))
+    }
+}
+
+/// Bundles ternary vectors by component-wise integer sum followed by a
+/// symmetric deadzone threshold: sums in `[-threshold, threshold]` map to 0,
+/// larger magnitudes to ±1.
+///
+/// With `threshold = 0` this is exact sign bundling (ties → 0, the ternary
+/// analogue of majority voting).
+pub fn bundle_ternary(
+    inputs: &[TernaryHypervector],
+    threshold: u32,
+) -> Result<TernaryHypervector, HdcError> {
+    let first = inputs.first().ok_or(HdcError::EmptyInput)?;
+    let dim = first.dim();
+    let mut sums = vec![0i32; dim.get()];
+    for hv in inputs {
+        if hv.dim() != dim {
+            return Err(HdcError::DimensionMismatch {
+                left: dim.get(),
+                right: hv.dim().get(),
+            });
+        }
+        for (i, s) in sums.iter_mut().enumerate() {
+            *s += i32::from(hv.get(i));
+        }
+    }
+    let mut out = TernaryHypervector::zeros(dim);
+    let t = threshold as i32;
+    for (i, &s) in sums.iter().enumerate() {
+        if s > t {
+            out.set(i, 1);
+        } else if s < -t {
+            out.set(i, -1);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(31)
+    }
+
+    #[test]
+    fn dense_random_has_no_zeros() {
+        let hv = TernaryHypervector::random_dense(Dim::new(500), &mut rng());
+        assert_eq!(hv.count_nonzero(), 500);
+    }
+
+    #[test]
+    fn sparse_random_respects_density() {
+        let hv = TernaryHypervector::random_sparse(Dim::new(10_000), 0.1, &mut rng()).unwrap();
+        let nz = hv.count_nonzero();
+        assert!((800..=1_200).contains(&nz), "nonzeros = {nz}");
+        assert!(TernaryHypervector::random_sparse(Dim::new(8), 1.5, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut hv = TernaryHypervector::zeros(Dim::new(8));
+        hv.set(0, 1);
+        hv.set(1, -1);
+        hv.set(2, 0);
+        assert_eq!(hv.get(0), 1);
+        assert_eq!(hv.get(1), -1);
+        assert_eq!(hv.get(2), 0);
+        hv.set(0, -1);
+        assert_eq!(hv.get(0), -1);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut r = rng();
+        let b = BinaryHypervector::random(Dim::new(200), &mut r);
+        let t = TernaryHypervector::from_binary(&b);
+        assert_eq!(t.to_binary(), b);
+        assert_eq!(t.count_nonzero(), 200);
+    }
+
+    #[test]
+    fn bind_multiplies_componentwise() {
+        let mut a = TernaryHypervector::zeros(Dim::new(4));
+        let mut b = TernaryHypervector::zeros(Dim::new(4));
+        a.set(0, 1);
+        b.set(0, -1); // 1·-1 = -1
+        a.set(1, -1);
+        b.set(1, -1); // -1·-1 = 1
+        a.set(2, 1);
+        b.set(2, 0); // 1·0 = 0
+        let c = a.bind(&b).unwrap();
+        assert_eq!(c.get(0), -1);
+        assert_eq!(c.get(1), 1);
+        assert_eq!(c.get(2), 0);
+        assert_eq!(c.get(3), 0);
+    }
+
+    #[test]
+    fn dot_and_cosine_identities() {
+        let mut r = rng();
+        let a = TernaryHypervector::random_dense(Dim::new(1_000), &mut r);
+        assert_eq!(a.dot(&a).unwrap(), 1_000);
+        assert!((a.cosine(&a).unwrap() - 1.0).abs() < 1e-12);
+        let b = TernaryHypervector::random_dense(Dim::new(1_000), &mut r);
+        let cos = a.cosine(&b).unwrap();
+        assert!(cos.abs() < 0.15, "random dense vectors should be near-orthogonal, cos = {cos}");
+        let zero = TernaryHypervector::zeros(Dim::new(1_000));
+        assert_eq!(a.cosine(&zero).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn dot_dimension_mismatch_errors() {
+        let a = TernaryHypervector::zeros(Dim::new(4));
+        let b = TernaryHypervector::zeros(Dim::new(5));
+        assert!(a.dot(&b).is_err());
+        assert!(a.bind(&b).is_err());
+    }
+
+    #[test]
+    fn bundle_sign_with_odd_inputs() {
+        let mut r = rng();
+        let inputs: Vec<_> = (0..5)
+            .map(|_| TernaryHypervector::random_dense(Dim::new(2_000), &mut r))
+            .collect();
+        let bundled = bundle_ternary(&inputs, 0).unwrap();
+        // Odd dense inputs: no ties, so result is dense.
+        assert_eq!(bundled.count_nonzero(), 2_000);
+        // Bundle is similar to members.
+        for hv in &inputs {
+            assert!(bundled.cosine(hv).unwrap() > 0.2);
+        }
+    }
+
+    #[test]
+    fn bundle_even_inputs_produce_zeros_at_ties() {
+        let mut a = TernaryHypervector::zeros(Dim::new(2));
+        let mut b = TernaryHypervector::zeros(Dim::new(2));
+        a.set(0, 1);
+        b.set(0, -1); // tie → 0
+        a.set(1, 1);
+        b.set(1, 1); // agreement → 1
+        let out = bundle_ternary(&[a, b], 0).unwrap();
+        assert_eq!(out.get(0), 0);
+        assert_eq!(out.get(1), 1);
+    }
+
+    #[test]
+    fn bundle_deadzone_suppresses_weak_majorities() {
+        let mut r = rng();
+        let inputs: Vec<_> = (0..9)
+            .map(|_| TernaryHypervector::random_dense(Dim::new(4_096), &mut r))
+            .collect();
+        let tight = bundle_ternary(&inputs, 0).unwrap();
+        let loose = bundle_ternary(&inputs, 3).unwrap();
+        assert!(loose.count_nonzero() < tight.count_nonzero());
+    }
+
+    #[test]
+    fn bundle_empty_errors() {
+        assert!(bundle_ternary(&[], 0).is_err());
+    }
+}

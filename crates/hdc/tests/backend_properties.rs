@@ -1,0 +1,110 @@
+//! Property tests over the alternative hypervector backends (ternary,
+//! bipolar) and the sparse distributed memory.
+
+use hyperfex_hdc::binary::{BinaryHypervector, Dim};
+use hyperfex_hdc::bipolar::{BipolarAccumulator, BipolarHypervector};
+use hyperfex_hdc::rng::SplitMix64;
+use hyperfex_hdc::sdm::SparseDistributedMemory;
+use hyperfex_hdc::ternary::{bundle_ternary, TernaryHypervector};
+use proptest::prelude::*;
+
+fn binary(dim: usize, seed: u64) -> BinaryHypervector {
+    let mut rng = SplitMix64::new(seed);
+    BinaryHypervector::random(Dim::new(dim), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Ternary lift/collapse round-trips, and dot product relates to
+    /// binary Hamming distance by `dot = d − 2·hamming`.
+    #[test]
+    fn ternary_dot_matches_hamming(sa in any::<u64>(), sb in any::<u64>()) {
+        let a = binary(512, sa);
+        let b = binary(512, sb);
+        let ta = TernaryHypervector::from_binary(&a);
+        let tb = TernaryHypervector::from_binary(&b);
+        prop_assert_eq!(ta.to_binary(), a.clone());
+        let dot = ta.dot(&tb).unwrap();
+        let hamming = a.hamming(&b) as i64;
+        prop_assert_eq!(dot, 512 - 2 * hamming);
+    }
+
+    /// Ternary binding of dense (±1) vectors is associative and
+    /// self-inverse, mirroring XOR on binary.
+    #[test]
+    fn ternary_dense_bind_properties(sa in any::<u64>(), sb in any::<u64>(), sc in any::<u64>()) {
+        let mut rng = SplitMix64::new(sa);
+        let a = TernaryHypervector::random_dense(Dim::new(128), &mut rng);
+        let mut rng = SplitMix64::new(sb);
+        let b = TernaryHypervector::random_dense(Dim::new(128), &mut rng);
+        let mut rng = SplitMix64::new(sc);
+        let c = TernaryHypervector::random_dense(Dim::new(128), &mut rng);
+        // Self-inverse.
+        prop_assert_eq!(a.bind(&b).unwrap().bind(&b).unwrap(), a.clone());
+        // Associative.
+        let left = a.bind(&b).unwrap().bind(&c).unwrap();
+        let right = a.bind(&b.bind(&c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    /// Bipolar sign bundling of an odd stack equals binary majority of the
+    /// underlying binary vectors.
+    #[test]
+    fn bipolar_bundle_equals_binary_majority(
+        seeds in prop::collection::vec(any::<u64>(), 1..8),
+    ) {
+        if seeds.len() % 2 == 0 {
+            return Ok(()); // even stacks have tie cells; covered elsewhere
+        }
+        let dim = Dim::new(256);
+        let binaries: Vec<BinaryHypervector> =
+            seeds.iter().map(|&s| binary(256, s)).collect();
+        let expected = hyperfex_hdc::bundle::majority(&binaries);
+        let mut acc = BipolarAccumulator::new(dim);
+        for b in &binaries {
+            acc.push(&BipolarHypervector::from_binary(b)).unwrap();
+        }
+        prop_assert_eq!(acc.finish().unwrap().to_binary(), expected);
+    }
+
+    /// Ternary sign bundling with threshold zero agrees with bipolar
+    /// bundling wherever it is non-zero (ternary abstains on ties, bipolar
+    /// forces +1).
+    #[test]
+    fn ternary_bundle_is_bipolar_with_abstention(
+        seeds in prop::collection::vec(any::<u64>(), 2..6),
+    ) {
+        let dim = Dim::new(128);
+        let binaries: Vec<BinaryHypervector> =
+            seeds.iter().map(|&s| binary(128, s)).collect();
+        let ternaries: Vec<TernaryHypervector> =
+            binaries.iter().map(TernaryHypervector::from_binary).collect();
+        let t = bundle_ternary(&ternaries, 0).unwrap();
+        let mut acc = BipolarAccumulator::new(dim);
+        for b in &binaries {
+            acc.push(&BipolarHypervector::from_binary(b)).unwrap();
+        }
+        let bi = acc.finish().unwrap();
+        for i in 0..128 {
+            let tv = t.get(i);
+            if tv != 0 {
+                prop_assert_eq!(tv, bi.components()[i], "component {}", i);
+            }
+        }
+    }
+
+    /// SDM write-then-read returns the stored word from its own address
+    /// whenever the address activates at least one location.
+    #[test]
+    fn sdm_exact_readback(seed in any::<u64>(), word_seed in any::<u64>()) {
+        let dim = Dim::new(512);
+        let mut memory = SparseDistributedMemory::new(dim, 300, 235, seed).unwrap();
+        let word = binary(512, word_seed);
+        let activated = memory.write_auto(&word).unwrap();
+        if activated > 0 {
+            let out = memory.read(&word).unwrap().expect("activated");
+            prop_assert_eq!(out, word);
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for hypervector invariants.
+
+use hyperfex_hdc::binary::{BinaryHypervector, Dim};
+use hyperfex_hdc::bundle;
+use hyperfex_hdc::encoding::{CategoricalEncoder, LinearEncoder};
+use hyperfex_hdc::rng::SplitMix64;
+use hyperfex_hdc::similarity::normalized_hamming;
+use proptest::prelude::*;
+
+fn hv_strategy(dim: usize) -> impl Strategy<Value = BinaryHypervector> {
+    any::<u64>().prop_map(move |seed| {
+        let mut rng = SplitMix64::new(seed);
+        BinaryHypervector::random(Dim::new(dim), &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn hamming_is_a_metric(
+        a in hv_strategy(512),
+        b in hv_strategy(512),
+        c in hv_strategy(512),
+    ) {
+        // Identity of indiscernibles (one direction), symmetry, triangle.
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    }
+
+    #[test]
+    fn bind_is_self_inverse_and_commutative(
+        a in hv_strategy(320),
+        b in hv_strategy(320),
+    ) {
+        prop_assert_eq!(a.bind(&b).bind(&b), a.clone());
+        prop_assert_eq!(a.bind(&b), b.bind(&a));
+    }
+
+    #[test]
+    fn bind_preserves_hamming_distance(
+        a in hv_strategy(320),
+        b in hv_strategy(320),
+        key in hv_strategy(320),
+    ) {
+        prop_assert_eq!(a.bind(&key).hamming(&b.bind(&key)), a.hamming(&b));
+    }
+
+    #[test]
+    fn permute_preserves_popcount_and_roundtrips(
+        a in hv_strategy(257),
+        k in 0usize..1000,
+    ) {
+        let p = a.permute(k);
+        prop_assert_eq!(p.count_ones(), a.count_ones());
+        prop_assert_eq!(p.permute_inverse(k), a);
+    }
+
+    #[test]
+    fn complement_is_involutive_and_max_distance(a in hv_strategy(200)) {
+        prop_assert_eq!(a.complement().complement(), a.clone());
+        prop_assert_eq!(a.hamming(&a.complement()), 200);
+    }
+
+    #[test]
+    fn majority_bundle_is_no_farther_than_complement_and_contains_unanimous_bits(
+        seeds in prop::collection::vec(any::<u64>(), 1..9),
+    ) {
+        let dim = Dim::new(256);
+        let inputs: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = SplitMix64::new(s);
+                BinaryHypervector::random(dim, &mut rng)
+            })
+            .collect();
+        let out = bundle::majority(&inputs);
+        // Any bit where all inputs agree must survive in the bundle.
+        for i in 0..dim.get() {
+            let ones = inputs.iter().filter(|hv| hv.get(i)).count();
+            if ones == inputs.len() {
+                prop_assert!(out.get(i));
+            }
+            if ones == 0 {
+                prop_assert!(!out.get(i));
+            }
+        }
+    }
+
+    #[test]
+    fn majority_is_permutation_invariant(
+        seeds in prop::collection::vec(any::<u64>(), 2..7),
+        rot in any::<u64>(),
+    ) {
+        let dim = Dim::new(128);
+        let mut inputs: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = SplitMix64::new(s);
+                BinaryHypervector::random(dim, &mut rng)
+            })
+            .collect();
+        let base = bundle::majority(&inputs);
+        let n = inputs.len();
+        inputs.rotate_left((rot as usize) % n);
+        prop_assert_eq!(bundle::majority(&inputs), base);
+    }
+
+    #[test]
+    fn linear_encoder_is_monotone_in_distance_from_min(
+        seed in any::<u64>(),
+        mut values in prop::collection::vec(0.0f64..100.0, 3),
+    ) {
+        let enc = LinearEncoder::new(Dim::new(1024), 0.0, 100.0, seed).unwrap();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = enc.encode(values[0]);
+        let mid = enc.encode(values[1]);
+        let hi = enc.encode(values[2]);
+        // Nested flips: distance from the lowest code is monotone.
+        prop_assert!(lo.hamming(&mid) <= lo.hamming(&hi));
+        // Exact isometry: d(a, c) == d(a, b) + d(b, c) for sorted values.
+        prop_assert_eq!(
+            lo.hamming(&hi),
+            lo.hamming(&mid) + mid.hamming(&hi)
+        );
+    }
+
+    #[test]
+    fn linear_encoder_codes_stay_balanced(
+        seed in any::<u64>(),
+        t in 0.0f64..100.0,
+    ) {
+        let enc = LinearEncoder::new(Dim::new(1024), 0.0, 100.0, seed).unwrap();
+        prop_assert_eq!(enc.encode(t).count_ones(), 512);
+    }
+
+    #[test]
+    fn categorical_codes_are_far_apart(
+        seed in any::<u64>(),
+        n in 2usize..6,
+    ) {
+        let enc = CategoricalEncoder::new(Dim::new(2048), n, seed).unwrap();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let d = normalized_hamming(
+                    enc.code(a).unwrap(),
+                    enc.code(b).unwrap(),
+                ).unwrap();
+                prop_assert!(d > 0.35, "categories {} and {} at distance {}", a, b, d);
+            }
+        }
+    }
+
+    #[test]
+    fn splitmix_bounded_is_uniform_enough(
+        seed in any::<u64>(),
+        bound in 1u64..100,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..200 {
+            prop_assert!(rng.next_bounded(bound) < bound);
+        }
+    }
+}

@@ -1,0 +1,734 @@
+//! Histogram-based regression-tree learners over logistic gradients.
+//!
+//! One shared arena tree representation plus three growth strategies
+//! (level-wise, leaf-wise, oblivious) — the algorithmic signatures of
+//! XGBoost, LightGBM and CatBoost respectively.
+
+use super::binning::BinnedData;
+use super::GradHess;
+use crate::linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// How the learner grows a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrowthStrategy {
+    /// Split every frontier node each round, down to `max_depth`
+    /// (XGBoost's `grow_policy = depthwise`).
+    LevelWise {
+        /// Maximum tree depth.
+        max_depth: usize,
+    },
+    /// Repeatedly split the frontier leaf with the largest gain until the
+    /// leaf budget is exhausted (LightGBM's best-first growth).
+    LeafWise {
+        /// Maximum number of leaves (LightGBM default 31).
+        max_leaves: usize,
+    },
+    /// One shared split condition per level; produces a perfectly balanced
+    /// 2^depth-leaf symmetric tree (CatBoost's oblivious trees).
+    Oblivious {
+        /// Tree depth (CatBoost default 6).
+        depth: usize,
+    },
+}
+
+/// Regularisation and constraint knobs shared by the learners.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GrowConfig {
+    /// Growth strategy.
+    pub strategy: GrowthStrategy,
+    /// L2 penalty on leaf weights (XGBoost `lambda`).
+    pub lambda: f64,
+    /// Minimum gain to keep a split (XGBoost `gamma`).
+    pub gamma: f64,
+    /// Minimum hessian mass per child (XGBoost `min_child_weight`).
+    pub min_child_weight: f64,
+    /// Minimum sample count per child (LightGBM `min_data_in_leaf`).
+    pub min_samples_leaf: usize,
+    /// Shrinkage applied to leaf values.
+    pub learning_rate: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum BNode {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: u32,
+        /// Raw-value threshold: go left when `value <= threshold`.
+        threshold: f32,
+        /// Bin threshold: go left when `code <= bin`.
+        bin: u8,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A fitted additive-model tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoostedTree {
+    nodes: Vec<BNode>,
+}
+
+impl BoostedTree {
+    /// Predicted raw-score contribution for one raw feature row.
+    #[must_use]
+    pub fn predict_row(&self, row: &[f32]) -> f64 {
+        let mut i = 0u32;
+        loop {
+            match &self.nodes[i as usize] {
+                BNode::Leaf { value } => return *value,
+                BNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if row[*feature as usize] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of leaves.
+    #[must_use]
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, BNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Tree depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[BNode], i: u32) -> usize {
+            match &nodes[i as usize] {
+                BNode::Leaf { .. } => 0,
+                BNode::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        walk(&self.nodes, 0)
+    }
+}
+
+/// Per-feature histogram offsets (features have variable bin counts).
+pub(super) struct HistLayout {
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl HistLayout {
+    pub(super) fn new(binned: &BinnedData) -> Self {
+        let mut offsets = Vec::with_capacity(binned.n_cols());
+        let mut total = 0usize;
+        for f in 0..binned.n_cols() {
+            offsets.push(total);
+            total += binned.n_bins(f);
+        }
+        Self { offsets, total }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct HistCell {
+    g: f64,
+    h: f64,
+    n: u32,
+}
+
+struct BestSplit {
+    feature: u32,
+    bin: u8,
+    gain: f64,
+    left_stats: (f64, f64, u32),
+    right_stats: (f64, f64, u32),
+}
+
+/// `w* = −G/(H+λ)`; contribution to loss reduction `G²/(H+λ)`.
+#[inline]
+fn leaf_objective(g: f64, h: f64, lambda: f64) -> f64 {
+    g * g / (h + lambda)
+}
+
+fn find_best_split(
+    hist: &[HistCell],
+    layout: &HistLayout,
+    binned: &BinnedData,
+    totals: (f64, f64, u32),
+    cfg: &GrowConfig,
+) -> Option<BestSplit> {
+    let (gt, ht, nt) = totals;
+    let parent_obj = leaf_objective(gt, ht, cfg.lambda);
+    let mut best: Option<BestSplit> = None;
+    for f in 0..binned.n_cols() {
+        let n_bins = binned.n_bins(f);
+        if n_bins < 2 {
+            continue;
+        }
+        let base = layout.offsets[f];
+        let mut gl = 0.0f64;
+        let mut hl = 0.0f64;
+        let mut nl = 0u32;
+        // Split after bin b (b < n_bins − 1).
+        for b in 0..n_bins - 1 {
+            let cell = hist[base + b];
+            gl += cell.g;
+            hl += cell.h;
+            nl += cell.n;
+            let gr = gt - gl;
+            let hr = ht - hl;
+            let nr = nt - nl;
+            if hl < cfg.min_child_weight
+                || hr < cfg.min_child_weight
+                || (nl as usize) < cfg.min_samples_leaf
+                || (nr as usize) < cfg.min_samples_leaf
+            {
+                continue;
+            }
+            let gain = 0.5
+                * (leaf_objective(gl, hl, cfg.lambda) + leaf_objective(gr, hr, cfg.lambda)
+                    - parent_obj)
+                - cfg.gamma;
+            if gain <= 0.0 {
+                continue;
+            }
+            if best.as_ref().is_none_or(|s| gain > s.gain) {
+                best = Some(BestSplit {
+                    feature: f as u32,
+                    bin: b as u8,
+                    gain,
+                    left_stats: (gl, hl, nl),
+                    right_stats: (gr, hr, nr),
+                });
+            }
+        }
+    }
+    best
+}
+
+fn leaf_value(g: f64, h: f64, cfg: &GrowConfig) -> f64 {
+    -g / (h + cfg.lambda) * cfg.learning_rate
+}
+
+/// Builds the histogram for the rows listed in `rows`.
+fn build_hist(
+    binned: &BinnedData,
+    gh: &[GradHess],
+    rows: &[u32],
+    layout: &HistLayout,
+    hist: &mut Vec<HistCell>,
+) {
+    hist.clear();
+    hist.resize(layout.total, HistCell::default());
+    for &r in rows {
+        let r = r as usize;
+        let codes = binned.row(r);
+        let GradHess { g, h } = gh[r];
+        for (f, &code) in codes.iter().enumerate() {
+            let cell = &mut hist[layout.offsets[f] + code as usize];
+            cell.g += g;
+            cell.h += h;
+            cell.n += 1;
+        }
+    }
+}
+
+fn stats_of(rows: &[u32], gh: &[GradHess]) -> (f64, f64, u32) {
+    let mut g = 0.0;
+    let mut h = 0.0;
+    for &r in rows {
+        g += gh[r as usize].g;
+        h += gh[r as usize].h;
+    }
+    (g, h, rows.len() as u32)
+}
+
+/// Grows one tree over the given rows.
+pub(super) fn grow_tree(
+    binned: &BinnedData,
+    gh: &[GradHess],
+    rows: Vec<u32>,
+    cfg: &GrowConfig,
+) -> BoostedTree {
+    match cfg.strategy {
+        GrowthStrategy::LevelWise { max_depth } => grow_frontier(binned, gh, rows, cfg, {
+            FrontierMode::Level { max_depth }
+        }),
+        GrowthStrategy::LeafWise { max_leaves } => grow_leafwise(binned, gh, rows, cfg, max_leaves),
+        GrowthStrategy::Oblivious { depth } => grow_oblivious(binned, gh, rows, cfg, depth),
+    }
+}
+
+enum FrontierMode {
+    Level { max_depth: usize },
+}
+
+/// Level-wise growth: process the whole frontier per level.
+fn grow_frontier(
+    binned: &BinnedData,
+    gh: &[GradHess],
+    rows: Vec<u32>,
+    cfg: &GrowConfig,
+    mode: FrontierMode,
+) -> BoostedTree {
+    let FrontierMode::Level { max_depth } = mode;
+    let layout = HistLayout::new(binned);
+    let mut nodes: Vec<BNode> = vec![BNode::Leaf { value: 0.0 }];
+    // Frontier entries: (node_id, rows).
+    let mut frontier: Vec<(u32, Vec<u32>)> = vec![(0, rows)];
+    let mut hist = Vec::new();
+
+    for depth in 0..=max_depth {
+        let mut next: Vec<(u32, Vec<u32>)> = Vec::new();
+        for (node_id, node_rows) in frontier.drain(..) {
+            let totals = stats_of(&node_rows, gh);
+            let can_split = depth < max_depth && node_rows.len() >= 2 * cfg.min_samples_leaf;
+            let split = if can_split {
+                build_hist(binned, gh, &node_rows, &layout, &mut hist);
+                find_best_split(&hist, &layout, binned, totals, cfg)
+            } else {
+                None
+            };
+            match split {
+                Some(s) => {
+                    let (mut left_rows, mut right_rows) = (
+                        Vec::with_capacity(s.left_stats.2 as usize),
+                        Vec::with_capacity(s.right_stats.2 as usize),
+                    );
+                    for &r in &node_rows {
+                        if binned.code(r as usize, s.feature as usize) <= s.bin {
+                            left_rows.push(r);
+                        } else {
+                            right_rows.push(r);
+                        }
+                    }
+                    let left_id = nodes.len() as u32;
+                    nodes.push(BNode::Leaf { value: 0.0 });
+                    let right_id = nodes.len() as u32;
+                    nodes.push(BNode::Leaf { value: 0.0 });
+                    nodes[node_id as usize] = BNode::Split {
+                        feature: s.feature,
+                        threshold: binned.threshold(s.feature as usize, s.bin),
+                        bin: s.bin,
+                        left: left_id,
+                        right: right_id,
+                    };
+                    next.push((left_id, left_rows));
+                    next.push((right_id, right_rows));
+                }
+                None => {
+                    nodes[node_id as usize] = BNode::Leaf {
+                        value: leaf_value(totals.0, totals.1, cfg),
+                    };
+                }
+            }
+        }
+        frontier = next;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    // Any remaining frontier nodes (depth cap) become leaves.
+    for (node_id, node_rows) in frontier {
+        let totals = stats_of(&node_rows, gh);
+        nodes[node_id as usize] = BNode::Leaf {
+            value: leaf_value(totals.0, totals.1, cfg),
+        };
+    }
+    BoostedTree { nodes }
+}
+
+/// Leaf-wise (best-first) growth with a leaf budget.
+fn grow_leafwise(
+    binned: &BinnedData,
+    gh: &[GradHess],
+    rows: Vec<u32>,
+    cfg: &GrowConfig,
+    max_leaves: usize,
+) -> BoostedTree {
+    let layout = HistLayout::new(binned);
+    let mut nodes: Vec<BNode> = vec![BNode::Leaf { value: 0.0 }];
+    struct Candidate {
+        node_id: u32,
+        rows: Vec<u32>,
+        totals: (f64, f64, u32),
+        split: Option<BestSplit>,
+    }
+    let mut hist = Vec::new();
+    let mut make_candidate = |node_id: u32, rows: Vec<u32>| -> Candidate {
+        let totals = stats_of(&rows, gh);
+        let split = if rows.len() >= 2 * cfg.min_samples_leaf {
+            build_hist(binned, gh, &rows, &layout, &mut hist);
+            find_best_split(&hist, &layout, binned, totals, cfg)
+        } else {
+            None
+        };
+        Candidate {
+            node_id,
+            rows,
+            totals,
+            split,
+        }
+    };
+    let mut leaves: Vec<Candidate> = vec![make_candidate(0, rows)];
+    let mut n_leaves = 1usize;
+
+    while n_leaves < max_leaves {
+        // Pick the splittable leaf with the largest gain.
+        let Some(best_idx) = leaves
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.split.is_some())
+            .max_by(|a, b| {
+                let ga = a.1.split.as_ref().expect("filtered").gain;
+                let gb = b.1.split.as_ref().expect("filtered").gain;
+                ga.partial_cmp(&gb).expect("finite").then(b.0.cmp(&a.0))
+            })
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let cand = leaves.swap_remove(best_idx);
+        let s = cand.split.expect("selected leaf has a split");
+        let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
+        for &r in &cand.rows {
+            if binned.code(r as usize, s.feature as usize) <= s.bin {
+                left_rows.push(r);
+            } else {
+                right_rows.push(r);
+            }
+        }
+        let left_id = nodes.len() as u32;
+        nodes.push(BNode::Leaf { value: 0.0 });
+        let right_id = nodes.len() as u32;
+        nodes.push(BNode::Leaf { value: 0.0 });
+        nodes[cand.node_id as usize] = BNode::Split {
+            feature: s.feature,
+            threshold: binned.threshold(s.feature as usize, s.bin),
+            bin: s.bin,
+            left: left_id,
+            right: right_id,
+        };
+        leaves.push(make_candidate(left_id, left_rows));
+        leaves.push(make_candidate(right_id, right_rows));
+        n_leaves += 1;
+    }
+    for cand in leaves {
+        nodes[cand.node_id as usize] = BNode::Leaf {
+            value: leaf_value(cand.totals.0, cand.totals.1, cfg),
+        };
+    }
+    BoostedTree { nodes }
+}
+
+/// Oblivious growth: one shared `(feature, bin)` condition per level.
+fn grow_oblivious(
+    binned: &BinnedData,
+    gh: &[GradHess],
+    rows: Vec<u32>,
+    cfg: &GrowConfig,
+    depth: usize,
+) -> BoostedTree {
+    let layout = HistLayout::new(binned);
+    // Partition as a list of row groups, one per current leaf.
+    let mut groups: Vec<Vec<u32>> = vec![rows];
+    let mut conditions: Vec<(u32, u8)> = Vec::with_capacity(depth);
+    let mut hist = Vec::new();
+
+    for _ in 0..depth {
+        // Accumulate, for every (feature, bin), the summed split objective
+        // over all groups.
+        let mut agg_gain = vec![0.0f64; layout.total];
+        let mut any_valid = vec![false; layout.total];
+        for group in &groups {
+            if group.len() < 2 * cfg.min_samples_leaf {
+                continue;
+            }
+            let (gt, ht, _nt) = stats_of(group, gh);
+            let parent_obj = leaf_objective(gt, ht, cfg.lambda);
+            build_hist(binned, gh, group, &layout, &mut hist);
+            for f in 0..binned.n_cols() {
+                let n_bins = binned.n_bins(f);
+                if n_bins < 2 {
+                    continue;
+                }
+                let base = layout.offsets[f];
+                let mut gl = 0.0;
+                let mut hl = 0.0;
+                let mut nl = 0u32;
+                for b in 0..n_bins - 1 {
+                    let cell = hist[base + b];
+                    gl += cell.g;
+                    hl += cell.h;
+                    nl += cell.n;
+                    let gr = gt - gl;
+                    let hr = ht - hl;
+                    let nr = group.len() as u32 - nl;
+                    if hl < cfg.min_child_weight
+                        || hr < cfg.min_child_weight
+                        || (nl as usize) < cfg.min_samples_leaf
+                        || (nr as usize) < cfg.min_samples_leaf
+                    {
+                        continue;
+                    }
+                    let gain = 0.5
+                        * (leaf_objective(gl, hl, cfg.lambda)
+                            + leaf_objective(gr, hr, cfg.lambda)
+                            - parent_obj);
+                    agg_gain[base + b] += gain;
+                    any_valid[base + b] = true;
+                }
+            }
+        }
+        // Pick the globally best condition. CatBoost always grows to the
+        // requested depth, choosing the best-scoring level condition even
+        // when its first-order gain is zero (e.g. the first level of an
+        // XOR pattern) — so only constraint-invalid levels stop growth.
+        let best = agg_gain
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| any_valid[i])
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .filter(|&(_, &g)| g >= cfg.gamma);
+        let Some((flat, _)) = best else { break };
+        // Recover (feature, bin) from the flat index.
+        let feature = layout
+            .offsets
+            .partition_point(|&off| off <= flat)
+            .saturating_sub(1);
+        let bin = (flat - layout.offsets[feature]) as u8;
+        conditions.push((feature as u32, bin));
+        // Split every group on the shared condition.
+        let mut next_groups = Vec::with_capacity(groups.len() * 2);
+        for group in groups {
+            let (mut l, mut r) = (Vec::new(), Vec::new());
+            for &row in &group {
+                if binned.code(row as usize, feature) <= bin {
+                    l.push(row);
+                } else {
+                    r.push(row);
+                }
+            }
+            next_groups.push(l);
+            next_groups.push(r);
+        }
+        groups = next_groups;
+    }
+
+    // Materialise the symmetric tree as an arena.
+    let mut nodes = Vec::new();
+    build_oblivious_nodes(&mut nodes, binned, gh, cfg, &conditions, &groups, 0, 0);
+    BoostedTree { nodes }
+}
+
+/// Recursively materialises the oblivious tree; `group_base` tracks which
+/// leaf-group a path leads to (left = bit 0, right = bit 1 per level, in
+/// group order).
+#[allow(clippy::too_many_arguments)]
+fn build_oblivious_nodes(
+    nodes: &mut Vec<BNode>,
+    binned: &BinnedData,
+    gh: &[GradHess],
+    cfg: &GrowConfig,
+    conditions: &[(u32, u8)],
+    groups: &[Vec<u32>],
+    level: usize,
+    group_base: usize,
+) -> u32 {
+    let id = nodes.len() as u32;
+    if level == conditions.len() {
+        let totals = stats_of(&groups[group_base], gh);
+        nodes.push(BNode::Leaf {
+            value: leaf_value(totals.0, totals.1, cfg),
+        });
+        return id;
+    }
+    let (feature, bin) = conditions[level];
+    nodes.push(BNode::Leaf { value: 0.0 }); // placeholder
+    let span = 1 << (conditions.len() - level - 1);
+    let left = build_oblivious_nodes(
+        nodes,
+        binned,
+        gh,
+        cfg,
+        conditions,
+        groups,
+        level + 1,
+        group_base,
+    );
+    let right = build_oblivious_nodes(
+        nodes,
+        binned,
+        gh,
+        cfg,
+        conditions,
+        groups,
+        level + 1,
+        group_base + span,
+    );
+    nodes[id as usize] = BNode::Split {
+        feature,
+        threshold: binned.threshold(feature as usize, bin),
+        bin,
+        left,
+        right,
+    };
+    id
+}
+
+/// Predicts raw scores for a whole matrix given an ensemble.
+pub(super) fn predict_raw(trees: &[BoostedTree], base: f64, x: &Matrix) -> Vec<f64> {
+    (0..x.n_rows())
+        .map(|i| {
+            let row = x.row(i);
+            base + trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)] // index-aligned assertions read clearer
+mod tests {
+    use super::*;
+    use crate::boost::logistic_grad_hess;
+
+    fn toy() -> (Matrix, Vec<usize>) {
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, (i % 4) as f32]).collect();
+        let y: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    fn cfg(strategy: GrowthStrategy) -> GrowConfig {
+        GrowConfig {
+            strategy,
+            lambda: 1.0,
+            gamma: 0.0,
+            min_child_weight: 0.0,
+            min_samples_leaf: 1,
+            learning_rate: 1.0,
+        }
+    }
+
+    fn grow(strategy: GrowthStrategy) -> (BoostedTree, Matrix, Vec<usize>) {
+        let (x, y) = toy();
+        let binned = BinnedData::fit(&x, 256);
+        let raw = vec![0.0; y.len()];
+        let gh = logistic_grad_hess(&raw, &y);
+        let rows: Vec<u32> = (0..y.len() as u32).collect();
+        let tree = grow_tree(&binned, &gh, rows, &cfg(strategy));
+        (tree, x, y)
+    }
+
+    #[test]
+    fn level_wise_tree_fits_the_step() {
+        let (tree, x, y) = grow(GrowthStrategy::LevelWise { max_depth: 3 });
+        assert!(tree.depth() <= 3);
+        for i in 0..x.n_rows() {
+            let v = tree.predict_row(x.row(i));
+            if y[i] == 1 {
+                assert!(v > 0.0, "row {i} got {v}");
+            } else {
+                assert!(v < 0.0, "row {i} got {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_wise_respects_leaf_budget() {
+        let (tree, ..) = grow(GrowthStrategy::LeafWise { max_leaves: 4 });
+        assert!(tree.n_leaves() <= 4);
+        assert!(tree.n_leaves() >= 2);
+    }
+
+    #[test]
+    fn oblivious_tree_is_symmetric() {
+        let (tree, x, y) = grow(GrowthStrategy::Oblivious { depth: 3 });
+        // An oblivious tree is perfectly balanced: 2^levels leaves, every
+        // leaf at the same depth. Growth may stop early once no level-wide
+        // split has positive gain (the step data is pure after one split).
+        let leaves = tree.n_leaves();
+        assert!(leaves.is_power_of_two(), "leaves = {leaves}");
+        assert_eq!(leaves, 1 << tree.depth());
+        assert!(leaves <= 8);
+        // It still separates the step data.
+        for i in 0..x.n_rows() {
+            let v = tree.predict_row(x.row(i));
+            assert_eq!(usize::from(v > 0.0), y[i], "row {i}");
+        }
+    }
+
+    #[test]
+    fn oblivious_tree_uses_full_depth_on_nested_data() {
+        // XOR-style data needs two levels; every level's condition is
+        // shared, which oblivious trees can express exactly.
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        let y = vec![0, 1, 1, 0];
+        let binned = BinnedData::fit(&x, 256);
+        let gh = logistic_grad_hess(&[0.0; 4], &y);
+        let tree = grow_tree(
+            &binned,
+            &gh,
+            vec![0, 1, 2, 3],
+            &cfg(GrowthStrategy::Oblivious { depth: 2 }),
+        );
+        assert_eq!(tree.n_leaves(), 4);
+        for i in 0..4 {
+            let v = tree.predict_row(x.row(i));
+            assert_eq!(usize::from(v > 0.0), y[i], "row {i}");
+        }
+    }
+
+    #[test]
+    fn depth_zero_yields_single_leaf() {
+        let (tree, ..) = grow(GrowthStrategy::LevelWise { max_depth: 0 });
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn gamma_prunes_weak_splits() {
+        let (x, y) = toy();
+        let binned = BinnedData::fit(&x, 256);
+        let gh = logistic_grad_hess(&vec![0.0; y.len()], &y);
+        let rows: Vec<u32> = (0..y.len() as u32).collect();
+        let mut c = cfg(GrowthStrategy::LevelWise { max_depth: 4 });
+        c.gamma = 1e9;
+        let tree = grow_tree(&binned, &gh, rows, &c);
+        assert_eq!(tree.n_leaves(), 1, "an absurd gamma should prevent any split");
+    }
+
+    #[test]
+    fn min_samples_leaf_enforced() {
+        let (x, y) = toy();
+        let binned = BinnedData::fit(&x, 256);
+        let gh = logistic_grad_hess(&vec![0.0; y.len()], &y);
+        let rows: Vec<u32> = (0..y.len() as u32).collect();
+        let mut c = cfg(GrowthStrategy::LeafWise { max_leaves: 31 });
+        c.min_samples_leaf = 10;
+        let tree = grow_tree(&binned, &gh, rows, &c);
+        // Only the 10-10 split is legal.
+        assert_eq!(tree.n_leaves(), 2);
+    }
+
+    #[test]
+    fn predict_raw_adds_base_and_trees() {
+        let (tree, x, _) = grow(GrowthStrategy::LevelWise { max_depth: 2 });
+        let raw = predict_raw(std::slice::from_ref(&tree), 0.25, &x);
+        for (i, &r) in raw.iter().enumerate() {
+            assert!((r - (0.25 + tree.predict_row(x.row(i)))).abs() < 1e-12);
+        }
+    }
+}

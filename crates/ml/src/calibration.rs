@@ -1,0 +1,210 @@
+//! Platt scaling (Platt 1999): maps raw decision values to calibrated
+//! probabilities `P(y=1|z) = σ(A·z + B)` by maximum likelihood.
+//!
+//! scikit-learn's `SVC(probability=True)` fits exactly this sigmoid on
+//! cross-validated decision values; here it upgrades the heuristic
+//! `sigmoid(z)` scores of [`crate::svm::SvcClassifier`] and hinge-loss
+//! [`crate::linear::SgdClassifier`] into probabilities usable by the
+//! clinical risk workflows.
+
+use crate::error::MlError;
+use crate::linear::sigmoid;
+use serde::{Deserialize, Serialize};
+
+/// A fitted Platt sigmoid `p = σ(a·z + b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlattScaling {
+    /// Slope (negative when higher decision values mean class 1 — note
+    /// Platt's original parameterisation uses `σ(A·f + B)` with A < 0; we
+    /// keep the sign convention `p = σ(a·z + b)` with a > 0 for sane
+    /// decision functions).
+    pub a: f64,
+    /// Intercept.
+    pub b: f64,
+}
+
+impl PlattScaling {
+    /// Fits the sigmoid on decision values and 0/1 labels with Newton's
+    /// method on the (convex) negative log-likelihood, using Platt's
+    /// target smoothing to avoid overfitting extreme probabilities.
+    pub fn fit(decision_values: &[f64], labels: &[usize]) -> Result<Self, MlError> {
+        if decision_values.len() != labels.len() {
+            return Err(MlError::LabelLengthMismatch {
+                rows: decision_values.len(),
+                labels: labels.len(),
+            });
+        }
+        let n = decision_values.len();
+        if n == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let n_pos = labels.iter().filter(|&&l| l == 1).count() as f64;
+        let n_neg = n as f64 - n_pos;
+        if n_pos == 0.0 || n_neg == 0.0 {
+            return Err(MlError::SingleClass);
+        }
+        // Platt's smoothed targets.
+        let t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+        let t_neg = 1.0 / (n_neg + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l == 1 { t_pos } else { t_neg })
+            .collect();
+
+        let mut a = 1.0f64;
+        let mut b = 0.0f64;
+        for _ in 0..100 {
+            // Gradient and Hessian of NLL w.r.t. (a, b).
+            let mut g_a = 0.0;
+            let mut g_b = 0.0;
+            let mut h_aa = 1e-12;
+            let mut h_ab = 0.0;
+            let mut h_bb = 1e-12;
+            for (&z, &t) in decision_values.iter().zip(&targets) {
+                let p = sigmoid(a * z + b);
+                let d = p - t;
+                let w = (p * (1.0 - p)).max(1e-12);
+                g_a += d * z;
+                g_b += d;
+                h_aa += w * z * z;
+                h_ab += w * z;
+                h_bb += w;
+            }
+            // Solve the 2×2 Newton system.
+            let det = h_aa * h_bb - h_ab * h_ab;
+            if det.abs() < 1e-18 {
+                break;
+            }
+            let da = (g_a * h_bb - g_b * h_ab) / det;
+            let db = (g_b * h_aa - g_a * h_ab) / det;
+            a -= da;
+            b -= db;
+            if da.abs() < 1e-10 && db.abs() < 1e-10 {
+                break;
+            }
+        }
+        if !(a.is_finite() && b.is_finite()) {
+            return Err(MlError::InvalidParameter {
+                name: "platt",
+                reason: "Newton iteration diverged".into(),
+            });
+        }
+        Ok(Self { a, b })
+    }
+
+    /// Calibrated probability for one decision value.
+    #[must_use]
+    pub fn probability(&self, decision_value: f64) -> f64 {
+        sigmoid(self.a * decision_value + self.b)
+    }
+
+    /// Calibrated probabilities for a batch.
+    #[must_use]
+    pub fn probabilities(&self, decision_values: &[f64]) -> Vec<f64> {
+        decision_values.iter().map(|&z| self.probability(z)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic(n: usize, scale: f64, offset: f64) -> (Vec<f64>, Vec<usize>) {
+        // Labels follow σ(scale·z + offset) deterministically by threshold.
+        let zs: Vec<f64> = (0..n).map(|i| (i as f64 / n as f64) * 8.0 - 4.0).collect();
+        let labels: Vec<usize> = zs
+            .iter()
+            .map(|&z| usize::from(sigmoid(scale * z + offset) > 0.5))
+            .collect();
+        (zs, labels)
+    }
+
+    #[test]
+    fn recovers_the_decision_boundary() {
+        let (zs, labels) = synthetic(200, 2.0, 1.0);
+        let platt = PlattScaling::fit(&zs, &labels).unwrap();
+        // Boundary where σ(az+b) = 0.5 is z = −b/a; truth is z = −0.5.
+        let boundary = -platt.b / platt.a;
+        assert!(
+            (boundary + 0.5).abs() < 0.15,
+            "boundary {boundary} should be ≈ −0.5"
+        );
+        assert!(platt.a > 0.0);
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_the_decision_value() {
+        let (zs, labels) = synthetic(100, 1.0, 0.0);
+        let platt = PlattScaling::fit(&zs, &labels).unwrap();
+        let p = platt.probabilities(&zs);
+        for w in p.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        assert!(p.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn smoothed_targets_keep_probabilities_off_the_rails() {
+        // Perfectly separated data must not produce 0/1 probabilities.
+        let zs = vec![-2.0, -1.5, -1.0, 1.0, 1.5, 2.0];
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let platt = PlattScaling::fit(&zs, &labels).unwrap();
+        let p_lo = platt.probability(-2.0);
+        let p_hi = platt.probability(2.0);
+        assert!(p_lo > 0.0 && p_lo < 0.5);
+        assert!(p_hi < 1.0 && p_hi > 0.5);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(
+            PlattScaling::fit(&[0.1], &[0, 1]),
+            Err(MlError::LabelLengthMismatch { .. })
+        ));
+        assert!(matches!(PlattScaling::fit(&[], &[]), Err(MlError::EmptyTrainingSet)));
+        assert!(matches!(
+            PlattScaling::fit(&[0.1, 0.2], &[1, 1]),
+            Err(MlError::SingleClass)
+        ));
+    }
+
+    #[test]
+    fn improves_calibration_of_svc_scores() {
+        use crate::svm::{SvcClassifier, SvcParams};
+        use crate::traits::Estimator;
+        // Overlapping 1-D clusters → decision values need rescaling.
+        let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32 / 10.0]).collect();
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 28 && i != 30)).collect();
+        let x = crate::linalg::Matrix::from_rows(&rows).unwrap();
+        let mut svc = SvcClassifier::new(SvcParams::default());
+        svc.fit(&x, &y).unwrap();
+        let z = svc.decision_function(&x).unwrap();
+        let platt = PlattScaling::fit(&z, &y).unwrap();
+        // Mean log loss with calibration should not exceed the raw sigmoid.
+        let loss = |p: &[f64]| -> f64 {
+            p.iter()
+                .zip(&y)
+                .map(|(&pi, &yi)| {
+                    let pi = pi.clamp(1e-12, 1.0 - 1e-12);
+                    if yi == 1 { -pi.ln() } else { -(1.0 - pi).ln() }
+                })
+                .sum::<f64>() / y.len() as f64
+        };
+        let raw: Vec<f64> = z.iter().map(|&v| sigmoid(v)).collect();
+        let calibrated = platt.probabilities(&z);
+        assert!(
+            loss(&calibrated) <= loss(&raw) + 1e-9,
+            "calibrated {} vs raw {}",
+            loss(&calibrated),
+            loss(&raw)
+        );
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let platt = PlattScaling { a: 1.5, b: -0.3 };
+        let json = serde_json::to_string(&platt).unwrap();
+        let back: PlattScaling = serde_json::from_str(&json).unwrap();
+        assert_eq!(platt, back);
+    }
+}

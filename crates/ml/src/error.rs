@@ -1,0 +1,91 @@
+//! Error type for model construction, fitting and prediction.
+
+use std::fmt;
+
+/// Errors produced by the ML substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Matrix construction from inconsistent row lengths, or an operand
+    /// shape that does not match.
+    ShapeMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the shape that was supplied.
+        got: String,
+    },
+    /// A training set with zero rows (or zero features) was supplied.
+    EmptyTrainingSet,
+    /// Labels and rows have different lengths.
+    LabelLengthMismatch {
+        /// Number of rows in the design matrix.
+        rows: usize,
+        /// Number of labels supplied.
+        labels: usize,
+    },
+    /// Predict was called before fit.
+    NotFitted,
+    /// A hyper-parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint violation.
+        reason: String,
+    },
+    /// A non-finite value was encountered in the input data.
+    NonFiniteInput {
+        /// Row index of the offending value.
+        row: usize,
+        /// Column index of the offending value.
+        col: usize,
+    },
+    /// Training requires at least one example of each of two classes.
+    SingleClass,
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            Self::EmptyTrainingSet => write!(f, "training set is empty"),
+            Self::LabelLengthMismatch { rows, labels } => {
+                write!(f, "{rows} rows but {labels} labels")
+            }
+            Self::NotFitted => write!(f, "model has not been fitted"),
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            Self::NonFiniteInput { row, col } => {
+                write!(f, "non-finite value at row {row}, column {col}")
+            }
+            Self::SingleClass => {
+                write!(f, "training data contains a single class; need at least two")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_key_details() {
+        let e = MlError::LabelLengthMismatch { rows: 10, labels: 8 };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('8'));
+        let e = MlError::InvalidParameter { name: "k", reason: "must be > 0".into() };
+        assert!(e.to_string().contains("`k`"));
+        let e = MlError::NonFiniteInput { row: 3, col: 4 };
+        assert!(e.to_string().contains("row 3"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&MlError::NotFitted);
+    }
+}

@@ -1,0 +1,239 @@
+//! k-nearest-neighbours classification (Fix & Hodges 1952) over Euclidean
+//! distance, matching scikit-learn's `KNeighborsClassifier` defaults.
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+use crate::traits::{validate_fit_inputs, Estimator, ProbabilisticEstimator};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Neighbour vote weighting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KnnWeights {
+    /// One vote per neighbour (sklearn default).
+    Uniform,
+    /// Votes weighted by inverse distance.
+    Distance,
+}
+
+/// Hyper-parameters (defaults match scikit-learn: `k = 5`, uniform).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnParams {
+    /// Number of neighbours.
+    pub k: usize,
+    /// Vote weighting.
+    pub weights: KnnWeights,
+}
+
+impl Default for KnnParams {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            weights: KnnWeights::Uniform,
+        }
+    }
+}
+
+/// A fitted (memorised) k-NN classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnClassifier {
+    params: KnnParams,
+    x: Option<Matrix>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// Creates an unfitted classifier.
+    #[must_use]
+    pub fn new(params: KnnParams) -> Self {
+        Self {
+            params,
+            x: None,
+            y: Vec::new(),
+            n_classes: 0,
+        }
+    }
+
+    fn vote(&self, row: &[f32]) -> Result<Vec<f64>, MlError> {
+        let x = self.x.as_ref().ok_or(MlError::NotFitted)?;
+        if row.len() != x.n_cols() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} features", x.n_cols()),
+                got: format!("{} features", row.len()),
+            });
+        }
+        let k = self.params.k.min(x.n_rows());
+        let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+        for i in 0..x.n_rows() {
+            let d = Matrix::squared_distance(row, x.row(i));
+            let pos = best.partition_point(|&(bd, bi)| bd < d || (bd == d && bi < i));
+            if pos < k {
+                best.insert(pos, (d, i));
+                best.truncate(k);
+            }
+        }
+        let mut votes = vec![0.0f64; self.n_classes];
+        for &(d, i) in &best {
+            let w = match self.params.weights {
+                KnnWeights::Uniform => 1.0,
+                KnnWeights::Distance => 1.0 / (f64::from(d).sqrt() + 1e-12),
+            };
+            votes[self.y[i]] += w;
+        }
+        Ok(votes)
+    }
+}
+
+impl Estimator for KnnClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<(), MlError> {
+        if self.params.k == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                reason: "must be at least 1".into(),
+            });
+        }
+        let n_classes = validate_fit_inputs(x, y)?;
+        self.n_classes = n_classes;
+        self.x = Some(x.clone());
+        self.y = y.to_vec();
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<usize>, MlError> {
+        (0..x.n_rows())
+            .into_par_iter()
+            .map(|i| {
+                let votes = self.vote(x.row(i))?;
+                Ok(votes
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(&a.0)))
+                    .map(|(c, _)| c)
+                    .unwrap_or(0))
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+}
+
+impl ProbabilisticEstimator for KnnClassifier {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        (0..x.n_rows())
+            .into_par_iter()
+            .map(|i| {
+                let votes = self.vote(x.row(i))?;
+                let total: f64 = votes.iter().sum();
+                Ok(votes.get(1).copied().unwrap_or(0.0) / total.max(1e-12))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> (Matrix, Vec<usize>) {
+        let rows: Vec<Vec<f32>> = (0..10)
+            .map(|i| vec![i as f32, 0.0])
+            .chain((20..30).map(|i| vec![i as f32, 0.0]))
+            .collect();
+        let y: Vec<usize> = std::iter::repeat_n(0, 10).chain(std::iter::repeat_n(1, 10)).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn classifies_line_clusters() {
+        let (x, y) = line_data();
+        let mut knn = KnnClassifier::new(KnnParams::default());
+        knn.fit(&x, &y).unwrap();
+        let q = Matrix::from_rows(&[vec![4.0, 0.0], vec![26.0, 0.0]]).unwrap();
+        assert_eq!(knn.predict(&q).unwrap(), vec![0, 1]);
+        assert_eq!(knn.accuracy(&x, &y).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn k1_memorises_training_data() {
+        let (x, y) = line_data();
+        let mut knn = KnnClassifier::new(KnnParams {
+            k: 1,
+            weights: KnnWeights::Uniform,
+        });
+        knn.fit(&x, &y).unwrap();
+        assert_eq!(knn.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn distance_weighting_breaks_uniform_ties() {
+        // Query at 2.0: neighbours at distance 1 (class 0, twice) vs the
+        // k=3 window pulling in a farther class-1 point at 3.5.
+        let x = Matrix::from_rows(&[vec![1.0], vec![3.0], vec![3.5], vec![3.6]]).unwrap();
+        let y = vec![0, 1, 1, 1];
+        let mut uniform = KnnClassifier::new(KnnParams {
+            k: 3,
+            weights: KnnWeights::Uniform,
+        });
+        uniform.fit(&x, &y).unwrap();
+        let q = Matrix::from_rows(&[vec![1.2]]).unwrap();
+        // Uniform k=3: neighbours {1.0 (c0), 3.0 (c1), 3.5 (c1)} → class 1.
+        assert_eq!(uniform.predict(&q).unwrap(), vec![1]);
+        let mut weighted = KnnClassifier::new(KnnParams {
+            k: 3,
+            weights: KnnWeights::Distance,
+        });
+        weighted.fit(&x, &y).unwrap();
+        // Weighted: the much closer 1.0 dominates → class 0.
+        assert_eq!(weighted.predict(&q).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn proba_counts_neighbour_fractions() {
+        let (x, y) = line_data();
+        let mut knn = KnnClassifier::new(KnnParams::default());
+        knn.fit(&x, &y).unwrap();
+        let q = Matrix::from_rows(&[vec![5.0, 0.0]]).unwrap();
+        let p = knn.predict_proba(&q).unwrap();
+        assert_eq!(p, vec![0.0]);
+    }
+
+    #[test]
+    fn k_larger_than_train_set_is_clamped() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![10.0], vec![11.0]]).unwrap();
+        let y = vec![0, 1, 1];
+        let mut knn = KnnClassifier::new(KnnParams {
+            k: 50,
+            weights: KnnWeights::Uniform,
+        });
+        knn.fit(&x, &y).unwrap();
+        // All three vote: class 1 wins everywhere.
+        let q = Matrix::from_rows(&[vec![0.0]]).unwrap();
+        assert_eq!(knn.predict(&q).unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn invalid_k_and_unfitted_errors() {
+        let (x, y) = line_data();
+        let mut knn = KnnClassifier::new(KnnParams {
+            k: 0,
+            weights: KnnWeights::Uniform,
+        });
+        assert!(matches!(
+            knn.fit(&x, &y),
+            Err(MlError::InvalidParameter { name: "k", .. })
+        ));
+        let knn = KnnClassifier::new(KnnParams::default());
+        assert!(knn.predict(&x).is_err());
+    }
+
+    #[test]
+    fn feature_mismatch_at_predict_errors() {
+        let (x, y) = line_data();
+        let mut knn = KnnClassifier::new(KnnParams::default());
+        knn.fit(&x, &y).unwrap();
+        assert!(knn.predict(&Matrix::zeros(1, 3)).is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Linear classifiers: full-batch logistic regression and the
+//! stochastic-gradient-descent classifier family.
+
+mod logistic;
+mod sgd;
+
+pub use logistic::{LogisticRegression, LogisticRegressionParams};
+pub use sgd::{SgdClassifier, SgdLoss, SgdParams};
+
+/// Numerically safe logistic sigmoid.
+#[inline]
+#[must_use]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy of a probability against a 0/1 label, clamped away
+/// from `log(0)`.
+#[inline]
+#[must_use]
+pub fn log_loss(p: f64, y: usize) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    if y == 1 {
+        -p.ln()
+    } else {
+        -(1.0 - p).ln()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-12);
+        assert!(sigmoid(-800.0) >= 0.0);
+        assert!(sigmoid(800.0) <= 1.0);
+        assert!(sigmoid(800.0) > 0.999);
+    }
+
+    #[test]
+    fn log_loss_is_low_for_confident_correct() {
+        assert!(log_loss(0.99, 1) < 0.02);
+        assert!(log_loss(0.01, 0) < 0.02);
+        assert!(log_loss(0.01, 1) > 4.0);
+        // Extreme probabilities stay finite.
+        assert!(log_loss(0.0, 1).is_finite());
+        assert!(log_loss(1.0, 0).is_finite());
+    }
+}

@@ -1,0 +1,345 @@
+//! Stochastic-gradient-descent linear classifier, mirroring scikit-learn's
+//! `SGDClassifier`: hinge loss by default (a linear SVM), L2 penalty
+//! `alpha = 1e-4`, Bottou's "optimal" learning-rate schedule, and — crucially
+//! for reproducing the paper — **no internal feature scaling**. On raw
+//! clinical features with ranges like insulin's 14–846 this model is
+//! ill-conditioned and weak (the paper's 67.1% on Pima R); on homogeneous
+//! 0/1 hypervector features the same model is strong (77.7%), which is the
+//! paper's headline "+10% from hypervectors" effect.
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+use crate::linear::sigmoid;
+use crate::traits::{validate_fit_inputs, Estimator, ProbabilisticEstimator};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Loss function for the SGD classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SgdLoss {
+    /// Hinge loss — linear SVM (sklearn default).
+    Hinge,
+    /// Logistic loss.
+    Log,
+}
+
+/// Hyper-parameters (defaults match sklearn's `SGDClassifier`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgdParams {
+    /// Loss function.
+    pub loss: SgdLoss,
+    /// L2 regularisation strength (sklearn default 1e-4).
+    pub alpha: f64,
+    /// Maximum epochs (sklearn default 1000).
+    pub max_iter: usize,
+    /// Stop when epoch loss improves by less than this (sklearn 1e-3).
+    pub tol: f64,
+    /// Epochs without improvement tolerated before stopping (sklearn 5).
+    pub n_iter_no_change: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for SgdParams {
+    fn default() -> Self {
+        Self {
+            loss: SgdLoss::Hinge,
+            alpha: 1e-4,
+            max_iter: 1000,
+            tol: 1e-3,
+            n_iter_no_change: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted SGD linear classifier.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SgdClassifier {
+    params: SgdParams,
+    weights: Vec<f64>,
+    bias: f64,
+    fitted: bool,
+}
+
+impl SgdClassifier {
+    /// Creates an unfitted classifier.
+    #[must_use]
+    pub fn new(params: SgdParams) -> Self {
+        Self {
+            params,
+            weights: Vec::new(),
+            bias: 0.0,
+            fitted: false,
+        }
+    }
+
+    /// The raw decision value `w·x + b` per row.
+    pub fn decision_function(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if x.n_cols() != self.weights.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} features", self.weights.len()),
+                got: format!("{} features", x.n_cols()),
+            });
+        }
+        Ok((0..x.n_rows())
+            .map(|i| {
+                let mut z = self.bias;
+                for (&w, &v) in self.weights.iter().zip(x.row(i)) {
+                    z += w * f64::from(v);
+                }
+                z
+            })
+            .collect())
+    }
+}
+
+impl Estimator for SgdClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<(), MlError> {
+        let n_classes = validate_fit_inputs(x, y)?;
+        if n_classes > 2 {
+            return Err(MlError::InvalidParameter {
+                name: "y",
+                reason: "SGD classifier supports binary labels only".into(),
+            });
+        }
+        if self.params.alpha <= 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "alpha",
+                reason: "must be positive".into(),
+            });
+        }
+        let n = x.n_rows();
+        let p = x.n_cols();
+        self.weights = vec![0.0; p];
+        self.bias = 0.0;
+
+        // Bottou's "optimal" schedule as used by sklearn:
+        // eta(t) = 1 / (alpha * (t0 + t)) with
+        // typw = sqrt(1/sqrt(alpha)), eta0 = typw / max(1, |l'(-typw, 1)|),
+        // t0 = 1 / (eta0 * alpha). For both hinge and log loss the
+        // derivative magnitude at −typw is ≈ 1.
+        let alpha = self.params.alpha;
+        let typw = (1.0 / alpha.sqrt()).sqrt().max(1e-12);
+        let eta0 = typw;
+        let t0 = 1.0 / (eta0 * alpha);
+
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut t = 0.0f64;
+        let mut best_loss = f64::INFINITY;
+        let mut stall = 0usize;
+
+        for _epoch in 0..self.params.max_iter {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0f64;
+            for &i in &order {
+                t += 1.0;
+                let eta = 1.0 / (alpha * (t0 + t));
+                let row = x.row(i);
+                let target = if y[i] == 1 { 1.0 } else { -1.0 };
+                let mut z = self.bias;
+                for (&w, &v) in self.weights.iter().zip(row) {
+                    z += w * f64::from(v);
+                }
+                // L2 decay on every step.
+                let decay = 1.0 - eta * alpha;
+                for w in self.weights.iter_mut() {
+                    *w *= decay;
+                }
+                let dloss = match self.params.loss {
+                    SgdLoss::Hinge => {
+                        let margin = target * z;
+                        epoch_loss += (1.0 - margin).max(0.0);
+                        if margin < 1.0 {
+                            -target
+                        } else {
+                            0.0
+                        }
+                    }
+                    SgdLoss::Log => {
+                        let pz = sigmoid(z);
+                        let yi = y[i] as f64;
+                        epoch_loss +=
+                            -(yi * pz.max(1e-12).ln() + (1.0 - yi) * (1.0 - pz).max(1e-12).ln());
+                        pz - yi
+                    }
+                };
+                if dloss != 0.0 {
+                    for (w, &v) in self.weights.iter_mut().zip(row) {
+                        *w -= eta * dloss * f64::from(v);
+                    }
+                    self.bias -= eta * dloss;
+                }
+            }
+            epoch_loss /= n as f64;
+            if epoch_loss > best_loss - self.params.tol {
+                stall += 1;
+                if stall >= self.params.n_iter_no_change {
+                    break;
+                }
+            } else {
+                stall = 0;
+            }
+            best_loss = best_loss.min(epoch_loss);
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<usize>, MlError> {
+        Ok(self
+            .decision_function(x)?
+            .iter()
+            .map(|&z| usize::from(z >= 0.0))
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "SGD"
+    }
+}
+
+impl ProbabilisticEstimator for SgdClassifier {
+    /// Platt-style squashing of the decision value. For hinge loss this is
+    /// a heuristic score rather than a calibrated probability (sklearn's
+    /// `SGDClassifier(loss="hinge")` does not expose `predict_proba` at
+    /// all), but it preserves ranking for threshold metrics.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        Ok(self
+            .decision_function(x)?
+            .iter()
+            .map(|&z| sigmoid(z))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_scale_separable() -> (Matrix, Vec<usize>) {
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let v = i as f32 / 40.0;
+                vec![v, 1.0 - v]
+            })
+            .collect();
+        let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn hinge_learns_separable_unit_scale_data() {
+        let (x, y) = unit_scale_separable();
+        let mut sgd = SgdClassifier::new(SgdParams::default());
+        sgd.fit(&x, &y).unwrap();
+        let acc = sgd.accuracy(&x, &y).unwrap();
+        assert!(acc >= 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn log_loss_variant_learns_too() {
+        let (x, y) = unit_scale_separable();
+        let mut sgd = SgdClassifier::new(SgdParams {
+            loss: SgdLoss::Log,
+            ..Default::default()
+        });
+        sgd.fit(&x, &y).unwrap();
+        // Log loss converges more slowly than hinge on this 40-point set
+        // (the epoch-loss plateau triggers early stopping first); ≥ 0.85
+        // still demonstrates learning well above the 0.5 base rate.
+        assert!(sgd.accuracy(&x, &y).unwrap() >= 0.85);
+    }
+
+    #[test]
+    fn badly_scaled_features_hurt_unscaled_sgd() {
+        // Same geometry, but one feature blown up 10_000× and a little
+        // label noise near the boundary: plain SGD's fixed schedule
+        // struggles — the effect the paper exploits.
+        let rows: Vec<Vec<f32>> = (0..40)
+            .map(|i| {
+                let v = i as f32 / 40.0;
+                vec![v * 10_000.0, 1.0 - v]
+            })
+            .collect();
+        let y: Vec<usize> = (0..40)
+            .map(|i| {
+                if i == 19 || i == 21 {
+                    usize::from(i < 20) // two flipped labels at the boundary
+                } else {
+                    usize::from(i >= 20)
+                }
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut sgd = SgdClassifier::new(SgdParams::default());
+        sgd.fit(&x, &y).unwrap();
+        let acc_bad = sgd.accuracy(&x, &y).unwrap();
+        let (xu, yu) = unit_scale_separable();
+        let mut sgd_u = SgdClassifier::new(SgdParams::default());
+        sgd_u.fit(&xu, &yu).unwrap();
+        let acc_good = sgd_u.accuracy(&xu, &yu).unwrap();
+        assert!(
+            acc_good >= acc_bad,
+            "unit-scale accuracy {acc_good} should be at least ill-scaled accuracy {acc_bad}"
+        );
+    }
+
+    #[test]
+    fn decision_function_matches_predict() {
+        let (x, y) = unit_scale_separable();
+        let mut sgd = SgdClassifier::new(SgdParams::default());
+        sgd.fit(&x, &y).unwrap();
+        let z = sgd.decision_function(&x).unwrap();
+        let labels = sgd.predict(&x).unwrap();
+        for (zi, &li) in z.iter().zip(&labels) {
+            assert_eq!(usize::from(*zi >= 0.0), li);
+        }
+    }
+
+    #[test]
+    fn proba_is_sigmoid_of_decision() {
+        let (x, y) = unit_scale_separable();
+        let mut sgd = SgdClassifier::new(SgdParams::default());
+        sgd.fit(&x, &y).unwrap();
+        let z = sgd.decision_function(&x).unwrap();
+        let p = sgd.predict_proba(&x).unwrap();
+        for (&zi, &pi) in z.iter().zip(&p) {
+            assert!((sigmoid(zi) - pi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = unit_scale_separable();
+        let mut a = SgdClassifier::new(SgdParams { seed: 9, ..Default::default() });
+        let mut b = SgdClassifier::new(SgdParams { seed: 9, ..Default::default() });
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (x, y) = unit_scale_separable();
+        let mut sgd = SgdClassifier::new(SgdParams {
+            alpha: 0.0,
+            ..Default::default()
+        });
+        assert!(matches!(
+            sgd.fit(&x, &y),
+            Err(MlError::InvalidParameter { name: "alpha", .. })
+        ));
+        let sgd = SgdClassifier::new(SgdParams::default());
+        assert_eq!(sgd.predict(&x), Err(MlError::NotFitted));
+        let mut sgd = SgdClassifier::new(SgdParams::default());
+        let x3 = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        assert!(sgd.fit(&x3, &[0, 1, 2]).is_err());
+    }
+}

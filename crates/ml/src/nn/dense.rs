@@ -1,0 +1,238 @@
+//! A fully-connected layer with optional ReLU.
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A dense layer `z = x·W + b` with weights stored row-major
+/// (`in_dim × out_dim`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct DenseLayer {
+    /// Weight matrix (`in_dim × out_dim`).
+    pub w: Matrix,
+    /// Bias vector (`out_dim`).
+    pub b: Vec<f32>,
+}
+
+impl DenseLayer {
+    /// Glorot-uniform initialisation (Keras `Dense` default).
+    #[must_use]
+    pub fn glorot(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let mut w = Matrix::zeros(in_dim, out_dim);
+        for i in 0..in_dim {
+            for j in 0..out_dim {
+                w.set(i, j, (rng.random_range(-limit..limit)) as f32);
+            }
+        }
+        Self {
+            w,
+            b: vec![0.0; out_dim],
+        }
+    }
+
+    /// Number of scalar parameters.
+    #[must_use]
+    pub fn n_params(&self) -> usize {
+        self.w.n_rows() * self.w.n_cols() + self.b.len()
+    }
+
+    /// Forward pass; applies ReLU when `relu` is true.
+    pub fn forward(&self, x: &Matrix, relu: bool) -> Result<Matrix, MlError> {
+        let mut z = x.matmul(&self.w)?;
+        for i in 0..z.n_rows() {
+            let row = z.row_mut(i);
+            for (v, &bias) in row.iter_mut().zip(&self.b) {
+                *v += bias;
+                if relu && *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        Ok(z)
+    }
+
+    /// Element-wise ReLU of a pre-activation matrix.
+    #[must_use]
+    pub fn relu(z: &Matrix) -> Matrix {
+        let mut out = z.clone();
+        for i in 0..out.n_rows() {
+            for v in out.row_mut(i) {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Gates `delta` by the ReLU derivative at pre-activation `z`.
+    #[must_use]
+    pub fn relu_backward(delta: &Matrix, z: &Matrix) -> Matrix {
+        let mut out = delta.clone();
+        for i in 0..out.n_rows() {
+            let zrow = z.row(i);
+            for (d, &zv) in out.row_mut(i).iter_mut().zip(zrow) {
+                if zv <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Computes `(∂L/∂W, ∂L/∂b, ∂L/∂x)` given the layer input and the
+    /// gradient w.r.t. the pre-activation.
+    pub fn gradients(
+        &self,
+        input: &Matrix,
+        delta_z: &Matrix,
+    ) -> Result<(Matrix, Vec<f32>, Matrix), MlError> {
+        let (m, in_dim) = (input.n_rows(), input.n_cols());
+        let out_dim = self.w.n_cols();
+        if delta_z.n_rows() != m || delta_z.n_cols() != out_dim {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{m}x{out_dim} delta"),
+                got: format!("{}x{}", delta_z.n_rows(), delta_z.n_cols()),
+            });
+        }
+        // grad_w = inputᵀ · delta_z  (in_dim × out_dim).
+        let mut grad_w = Matrix::zeros(in_dim, out_dim);
+        for s in 0..m {
+            let xrow = input.row(s);
+            let drow = delta_z.row(s);
+            for (k, &xv) in xrow.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                let grow = grad_w.row_mut(k);
+                for (g, &dv) in grow.iter_mut().zip(drow) {
+                    *g += xv * dv;
+                }
+            }
+        }
+        // grad_b = column sums of delta_z.
+        let mut grad_b = vec![0.0f32; out_dim];
+        for s in 0..m {
+            for (g, &dv) in grad_b.iter_mut().zip(delta_z.row(s)) {
+                *g += dv;
+            }
+        }
+        // delta_prev = delta_z · Wᵀ  (m × in_dim).
+        let mut delta_prev = Matrix::zeros(m, in_dim);
+        for s in 0..m {
+            let drow = delta_z.row(s);
+            let prow = delta_prev.row_mut(s);
+            for (k, p) in prow.iter_mut().enumerate() {
+                *p = Matrix::dot(drow, self.w.row(k));
+            }
+        }
+        Ok((grad_w, grad_b, delta_prev))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn layer() -> DenseLayer {
+        let mut rng = StdRng::seed_from_u64(1);
+        DenseLayer::glorot(3, 2, &mut rng)
+    }
+
+    #[test]
+    fn glorot_respects_limits() {
+        let l = layer();
+        let limit = (6.0f64 / 5.0).sqrt() as f32;
+        for v in l.w.as_slice() {
+            assert!(v.abs() <= limit);
+        }
+        assert!(l.b.iter().all(|&b| b == 0.0));
+        assert_eq!(l.n_params(), 8);
+    }
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut l = layer();
+        // Overwrite with known weights.
+        l.w = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        l.b = vec![0.5, -0.5];
+        let x = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let z = l.forward(&x, false).unwrap();
+        assert_eq!(z.row(0), &[4.5, 4.5]);
+        // ReLU clips negatives.
+        let xneg = Matrix::from_rows(&[vec![-10.0, 0.0, 0.0]]).unwrap();
+        let zr = l.forward(&xneg, true).unwrap();
+        assert_eq!(zr.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn relu_backward_gates_gradient() {
+        let z = Matrix::from_rows(&[vec![1.0, -1.0, 0.0]]).unwrap();
+        let d = Matrix::from_rows(&[vec![5.0, 5.0, 5.0]]).unwrap();
+        let out = DenseLayer::relu_backward(&d, &z);
+        assert_eq!(out.row(0), &[5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut l = layer();
+        let x = Matrix::from_rows(&[vec![0.3, -0.7, 1.1], vec![0.9, 0.2, -0.4]]).unwrap();
+        // Scalar loss L = Σ z² / 2 → delta_z = z.
+        let z = l.forward(&x, false).unwrap();
+        let (grad_w, grad_b, _) = l.gradients(&x, &z).unwrap();
+        let eps = 1e-3f32;
+        let loss = |l: &DenseLayer| -> f64 {
+            let z = l.forward(&x, false).unwrap();
+            z.as_slice().iter().map(|&v| f64::from(v) * f64::from(v) / 2.0).sum()
+        };
+        // Check two representative weight entries and one bias.
+        for &(i, j) in &[(0usize, 0usize), (2, 1)] {
+            let orig = l.w.get(i, j);
+            l.w.set(i, j, orig + eps);
+            let up = loss(&l);
+            l.w.set(i, j, orig - eps);
+            let down = loss(&l);
+            l.w.set(i, j, orig);
+            let numeric = (up - down) / (2.0 * f64::from(eps));
+            let analytic = f64::from(grad_w.get(i, j));
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "dW[{i}][{j}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        let orig = l.b[1];
+        l.b[1] = orig + eps;
+        let up = loss(&l);
+        l.b[1] = orig - eps;
+        let down = loss(&l);
+        l.b[1] = orig;
+        let numeric = (up - down) / (2.0 * f64::from(eps));
+        assert!((numeric - f64::from(grad_b[1])).abs() < 1e-2);
+    }
+
+    #[test]
+    fn delta_prev_has_input_shape() {
+        let l = layer();
+        let x = Matrix::from_rows(&[vec![1.0, 0.0, 0.0]]).unwrap();
+        let d = Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let (.., prev) = l.gradients(&x, &d).unwrap();
+        assert_eq!(prev.n_rows(), 1);
+        assert_eq!(prev.n_cols(), 3);
+        // delta_prev = d · Wᵀ.
+        for k in 0..3 {
+            let expected = l.w.get(k, 0) + l.w.get(k, 1);
+            assert!((prev.get(0, k) - expected).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_shape_mismatch_errors() {
+        let l = layer();
+        let x = Matrix::zeros(2, 3);
+        let bad = Matrix::zeros(2, 5);
+        assert!(l.gradients(&x, &bad).is_err());
+    }
+}

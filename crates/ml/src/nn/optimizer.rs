@@ -1,0 +1,141 @@
+//! Adam optimiser (Kingma & Ba 2015) with Keras defaults.
+
+use super::dense::DenseLayer;
+use crate::linalg::Matrix;
+
+/// Adam state for a stack of dense layers.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: u64,
+    /// Per-layer first/second moment estimates for weights and biases.
+    m_w: Vec<Vec<f64>>,
+    v_w: Vec<Vec<f64>>,
+    m_b: Vec<Vec<f64>>,
+    v_b: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Creates optimiser state sized to `layers`, with β₁ = 0.9,
+    /// β₂ = 0.999, ε = 1e-7 (Keras defaults).
+    #[must_use]
+    pub fn new(lr: f64, layers: &[DenseLayer]) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-7,
+            t: 0,
+            m_w: layers
+                .iter()
+                .map(|l| vec![0.0; l.w.n_rows() * l.w.n_cols()])
+                .collect(),
+            v_w: layers
+                .iter()
+                .map(|l| vec![0.0; l.w.n_rows() * l.w.n_cols()])
+                .collect(),
+            m_b: layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+            v_b: layers.iter().map(|l| vec![0.0; l.b.len()]).collect(),
+        }
+    }
+
+    /// Advances the shared timestep; call once per batch, before the
+    /// per-layer [`Adam::step`] calls.
+    pub fn begin_batch(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one Adam update to layer `li`. [`Adam::begin_batch`] must
+    /// have been called at least once, otherwise the bias correction would
+    /// divide by zero (enforced by a debug assertion).
+    pub fn step(&mut self, li: usize, layer: &mut DenseLayer, grad_w: &Matrix, grad_b: &[f32]) {
+        debug_assert!(self.t > 0, "call begin_batch before step");
+        let t = self.t as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+
+        let mw = &mut self.m_w[li];
+        let vw = &mut self.v_w[li];
+        let cols = layer.w.n_cols();
+        for i in 0..layer.w.n_rows() {
+            let grow = grad_w.row(i);
+            for (j, &gj) in grow.iter().enumerate().take(cols) {
+                let g = f64::from(gj);
+                let k = i * cols + j;
+                mw[k] = self.beta1 * mw[k] + (1.0 - self.beta1) * g;
+                vw[k] = self.beta2 * vw[k] + (1.0 - self.beta2) * g * g;
+                let update = self.lr * (mw[k] / bc1) / ((vw[k] / bc2).sqrt() + self.eps);
+                let w = layer.w.get(i, j);
+                layer.w.set(i, j, w - update as f32);
+            }
+        }
+        let mb = &mut self.m_b[li];
+        let vb = &mut self.v_b[li];
+        for (k, b) in layer.b.iter_mut().enumerate() {
+            let g = f64::from(grad_b[k]);
+            mb[k] = self.beta1 * mb[k] + (1.0 - self.beta1) * g;
+            vb[k] = self.beta2 * vb[k] + (1.0 - self.beta2) * g * g;
+            let update = self.lr * (mb[k] / bc1) / ((vb[k] / bc2).sqrt() + self.eps);
+            *b -= update as f32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn first_step_moves_weights_by_about_lr() {
+        // With bias correction, the very first Adam step has magnitude ≈ lr
+        // regardless of gradient scale.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut layer = DenseLayer::glorot(2, 2, &mut rng);
+        let before = layer.w.clone();
+        let mut adam = Adam::new(0.01, std::slice::from_ref(&layer));
+        let grad = Matrix::from_rows(&[vec![100.0, -3.0], vec![0.5, 7.0]]).unwrap();
+        adam.begin_batch();
+        adam.step(0, &mut layer, &grad, &[1.0, -1.0]);
+        for i in 0..2 {
+            for j in 0..2 {
+                let delta = (layer.w.get(i, j) - before.get(i, j)).abs();
+                assert!((delta - 0.01).abs() < 1e-3, "delta {delta}");
+            }
+        }
+        assert!((layer.b[0] + 0.01).abs() < 1e-3);
+        assert!((layer.b[1] - 0.01).abs() < 1e-3);
+    }
+
+    #[test]
+    fn steps_descend_a_quadratic() {
+        // Minimise (w − 3)² for a single scalar weight.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = DenseLayer::glorot(1, 1, &mut rng);
+        layer.w.set(0, 0, 0.0);
+        let mut adam = Adam::new(0.1, std::slice::from_ref(&layer));
+        for _ in 0..300 {
+            let g = 2.0 * (layer.w.get(0, 0) - 3.0);
+            let grad = Matrix::from_rows(&[vec![g]]).unwrap();
+            adam.begin_batch();
+            adam.step(0, &mut layer, &grad, &[0.0]);
+        }
+        assert!((layer.w.get(0, 0) - 3.0).abs() < 0.1, "w = {}", layer.w.get(0, 0));
+    }
+
+    #[test]
+    fn zero_gradient_is_a_fixed_point() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut layer = DenseLayer::glorot(2, 1, &mut rng);
+        let before = layer.w.clone();
+        let mut adam = Adam::new(0.1, std::slice::from_ref(&layer));
+        let grad = Matrix::zeros(2, 1);
+        adam.begin_batch();
+        adam.step(0, &mut layer, &grad, &[0.0]);
+        assert_eq!(layer.w, before);
+    }
+}

@@ -1,0 +1,204 @@
+//! Feature scaling: standardisation and min-max normalisation.
+//!
+//! The paper's weak-baseline behaviour (SGD at 67% on raw Pima features)
+//! depends on *not* scaling inputs, mirroring the referenced Kaggle
+//! pipelines; these scalers exist for the ablations that show what scaling
+//! changes.
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+
+/// Standardises columns to zero mean and unit variance.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Creates an unfitted scaler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learns per-column mean and standard deviation.
+    pub fn fit(&mut self, x: &Matrix) -> Result<(), MlError> {
+        if x.n_rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.means = x.column_means();
+        self.stds = x
+            .column_variances()
+            .iter()
+            .map(|&v| {
+                let s = v.sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0 // constant column: leave values centred at zero
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    /// Applies the learned transform.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if self.means.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.n_cols() != self.means.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} columns", self.means.len()),
+                got: format!("{} columns", x.n_cols()),
+            });
+        }
+        let mut out = x.clone();
+        for i in 0..out.n_rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                *v = ((f64::from(*v) - self.means[j]) / self.stds[j]) as f32;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fit followed by transform.
+    pub fn fit_transform(&mut self, x: &Matrix) -> Result<Matrix, MlError> {
+        self.fit(x)?;
+        self.transform(x)
+    }
+}
+
+/// Rescales columns linearly into `[0, 1]` (constant columns map to 0).
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    ranges: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Creates an unfitted scaler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Learns per-column min and range.
+    pub fn fit(&mut self, x: &Matrix) -> Result<(), MlError> {
+        if x.n_rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let cols = x.n_cols();
+        let mut mins = vec![f64::INFINITY; cols];
+        let mut maxs = vec![f64::NEG_INFINITY; cols];
+        for row in x.rows_iter() {
+            for (j, &v) in row.iter().enumerate() {
+                let v = f64::from(v);
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        self.ranges = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| if hi > lo { hi - lo } else { 1.0 })
+            .collect();
+        self.mins = mins;
+        Ok(())
+    }
+
+    /// Applies the learned transform, clamping unseen values into `[0, 1]`.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix, MlError> {
+        if self.mins.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if x.n_cols() != self.mins.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} columns", self.mins.len()),
+                got: format!("{} columns", x.n_cols()),
+            });
+        }
+        let mut out = x.clone();
+        for i in 0..out.n_rows() {
+            let row = out.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                let scaled = (f64::from(*v) - self.mins[j]) / self.ranges[j];
+                *v = scaled.clamp(0.0, 1.0) as f32;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fit followed by transform.
+    pub fn fit_transform(&mut self, x: &Matrix) -> Result<Matrix, MlError> {
+        self.fit(x)?;
+        self.transform(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 200.0]]).unwrap()
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_variance() {
+        let mut s = StandardScaler::new();
+        let z = s.fit_transform(&sample()).unwrap();
+        let means = z.column_means();
+        let vars = z.column_variances();
+        for m in means {
+            assert!(m.abs() < 1e-6);
+        }
+        for v in vars {
+            assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_constant_column_is_safe() {
+        let x = Matrix::from_rows(&[vec![7.0], vec![7.0]]).unwrap();
+        let mut s = StandardScaler::new();
+        let z = s.fit_transform(&x).unwrap();
+        assert_eq!(z.row(0), &[0.0]);
+        assert!(z.check_finite().is_ok());
+    }
+
+    #[test]
+    fn minmax_maps_to_unit_interval() {
+        let mut s = MinMaxScaler::new();
+        let z = s.fit_transform(&sample()).unwrap();
+        assert_eq!(z.get(0, 0), 0.0);
+        assert_eq!(z.get(2, 0), 1.0);
+        assert_eq!(z.get(0, 1), 0.0);
+        assert_eq!(z.get(1, 1), 1.0);
+        assert!((z.get(2, 1) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minmax_clamps_unseen_values() {
+        let mut s = MinMaxScaler::new();
+        s.fit(&sample()).unwrap();
+        let test = Matrix::from_rows(&[vec![-10.0, 500.0]]).unwrap();
+        let z = s.transform(&test).unwrap();
+        assert_eq!(z.row(0), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn unfitted_or_mismatched_errors() {
+        let s = StandardScaler::new();
+        assert_eq!(s.transform(&sample()), Err(MlError::NotFitted));
+        let mut s = StandardScaler::new();
+        s.fit(&sample()).unwrap();
+        assert!(s.transform(&Matrix::zeros(1, 3)).is_err());
+        let m = MinMaxScaler::new();
+        assert_eq!(m.transform(&sample()), Err(MlError::NotFitted));
+        let mut m = MinMaxScaler::new();
+        assert!(m.fit(&Matrix::zeros(0, 2)).is_err());
+    }
+}

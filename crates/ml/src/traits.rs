@@ -1,0 +1,118 @@
+//! Estimator traits shared by every classifier in the substrate.
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+
+/// A supervised classifier over dense feature matrices.
+///
+/// Labels are class indices (`0..n_classes`); the paper's tasks are binary
+/// (`0` = non-diabetic, `1` = diabetic). The trait is object-safe so
+/// experiment runners can hold heterogeneous model zoos as
+/// `Vec<Box<dyn Estimator>>`.
+pub trait Estimator: Send + Sync {
+    /// Fits the model to a design matrix and aligned labels.
+    fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<(), MlError>;
+
+    /// Predicts a class per row.
+    fn predict(&self, x: &Matrix) -> Result<Vec<usize>, MlError>;
+
+    /// A short human-readable model name ("Random Forest", …).
+    fn name(&self) -> &'static str;
+
+    /// Fraction of rows whose predicted class equals `y`.
+    fn accuracy(&self, x: &Matrix, y: &[usize]) -> Result<f64, MlError> {
+        let predictions = self.predict(x)?;
+        if predictions.len() != y.len() {
+            return Err(MlError::LabelLengthMismatch {
+                rows: predictions.len(),
+                labels: y.len(),
+            });
+        }
+        if y.is_empty() {
+            return Ok(0.0);
+        }
+        let correct = predictions.iter().zip(y).filter(|(p, t)| p == t).count();
+        Ok(correct as f64 / y.len() as f64)
+    }
+}
+
+/// A classifier that can score the positive class.
+pub trait ProbabilisticEstimator: Estimator {
+    /// Probability (or calibrated score in `[0, 1]`) of class 1 per row.
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError>;
+}
+
+/// Validates the common preconditions every `fit` shares; returns the
+/// number of classes.
+pub(crate) fn validate_fit_inputs(x: &Matrix, y: &[usize]) -> Result<usize, MlError> {
+    if x.n_rows() == 0 || x.n_cols() == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if x.n_rows() != y.len() {
+        return Err(MlError::LabelLengthMismatch {
+            rows: x.n_rows(),
+            labels: y.len(),
+        });
+    }
+    x.check_finite()?;
+    let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
+    // At least two classes must actually appear.
+    let first = y[0];
+    if y.iter().all(|&l| l == first) {
+        return Err(MlError::SingleClass);
+    }
+    Ok(n_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(usize);
+
+    impl Estimator for Constant {
+        fn fit(&mut self, _x: &Matrix, _y: &[usize]) -> Result<(), MlError> {
+            Ok(())
+        }
+        fn predict(&self, x: &Matrix) -> Result<Vec<usize>, MlError> {
+            Ok(vec![self.0; x.n_rows()])
+        }
+        fn name(&self) -> &'static str {
+            "Constant"
+        }
+    }
+
+    #[test]
+    fn default_accuracy_counts_matches() {
+        let clf = Constant(1);
+        let x = Matrix::zeros(4, 1);
+        assert_eq!(clf.accuracy(&x, &[1, 1, 0, 1]).unwrap(), 0.75);
+        assert_eq!(clf.accuracy(&x, &[0, 0, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_checks_lengths() {
+        let clf = Constant(0);
+        let x = Matrix::zeros(2, 1);
+        assert!(clf.accuracy(&x, &[0]).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_inputs() {
+        let x = Matrix::zeros(0, 3);
+        assert_eq!(validate_fit_inputs(&x, &[]), Err(MlError::EmptyTrainingSet));
+        let x = Matrix::zeros(2, 2);
+        assert!(matches!(
+            validate_fit_inputs(&x, &[0]),
+            Err(MlError::LabelLengthMismatch { .. })
+        ));
+        assert_eq!(validate_fit_inputs(&x, &[0, 0]), Err(MlError::SingleClass));
+        assert_eq!(validate_fit_inputs(&x, &[0, 1]), Ok(2));
+        let mut bad = Matrix::zeros(2, 2);
+        bad.set(0, 1, f32::INFINITY);
+        assert!(matches!(
+            validate_fit_inputs(&bad, &[0, 1]),
+            Err(MlError::NonFiniteInput { .. })
+        ));
+    }
+}

@@ -1,0 +1,572 @@
+//! CART decision trees (Breiman et al. 1984), as wrapped by scikit-learn's
+//! `DecisionTreeClassifier`.
+//!
+//! Greedy recursive partitioning with Gini impurity, optional depth and
+//! leaf-size limits, and optional per-split random feature subsampling
+//! (the primitive random forests build on). Split search sorts each
+//! candidate feature once per node and sweeps thresholds between distinct
+//! values; the sweep reuses per-node buffers to keep allocations out of the
+//! hot path.
+
+use crate::error::MlError;
+use crate::linalg::Matrix;
+use crate::traits::{validate_fit_inputs, Estimator, ProbabilisticEstimator};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// How many features to examine per split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MaxFeatures {
+    /// Consider every feature (scikit-learn's decision-tree default).
+    All,
+    /// Consider `⌈√p⌉` random features (random-forest default).
+    Sqrt,
+    /// Consider `⌈log₂ p⌉` random features.
+    Log2,
+    /// Consider exactly `n` random features.
+    Count(usize),
+}
+
+impl MaxFeatures {
+    fn resolve(self, p: usize) -> usize {
+        let n = match self {
+            Self::All => p,
+            Self::Sqrt => (p as f64).sqrt().ceil() as usize,
+            Self::Log2 => (p as f64).log2().ceil() as usize,
+            Self::Count(n) => n,
+        };
+        n.clamp(1, p)
+    }
+}
+
+/// Hyper-parameters for a CART tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth (`None` = grow until pure / exhausted, the sklearn
+    /// default).
+    pub max_depth: Option<usize>,
+    /// Minimum samples required to attempt a split (sklearn default 2).
+    pub min_samples_split: usize,
+    /// Minimum samples in each child (sklearn default 1).
+    pub min_samples_leaf: usize,
+    /// Features examined per split.
+    pub max_features: MaxFeatures,
+    /// Minimum Gini decrease for a split to be kept (sklearn default 0).
+    pub min_impurity_decrease: f64,
+    /// Seed for feature subsampling (irrelevant under `MaxFeatures::All`).
+    pub seed: u64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: MaxFeatures::All,
+            min_impurity_decrease: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Class posterior at the leaf (normalised counts).
+        proba: Vec<f32>,
+        class: usize,
+    },
+    Split {
+        feature: u32,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A fitted CART classification tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecisionTreeClassifier {
+    params: TreeParams,
+    nodes: Vec<Node>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// Creates an unfitted tree.
+    #[must_use]
+    pub fn new(params: TreeParams) -> Self {
+        Self {
+            params,
+            nodes: Vec::new(),
+            n_classes: 0,
+            n_features: 0,
+        }
+    }
+
+    /// Number of nodes in the fitted tree (0 before fitting).
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: u32) -> usize {
+            match &nodes[i as usize] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Fits with an externally supplied sample-index list and per-sample
+    /// weights baked in as duplicates (used by bagging ensembles to avoid
+    /// materialising bootstrap copies of `x`).
+    pub(crate) fn fit_indices(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        indices: &[usize],
+        n_classes: usize,
+    ) -> Result<(), MlError> {
+        if indices.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = n_classes;
+        self.n_features = x.n_cols();
+        self.nodes.clear();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut builder = Builder {
+            x,
+            y,
+            params: &self.params,
+            n_classes,
+            nodes: &mut self.nodes,
+            rng: &mut rng,
+            feature_pool: (0..x.n_cols() as u32).collect(),
+            sort_buf: Vec::new(),
+        };
+        let mut idx = indices.to_vec();
+        builder.build(&mut idx, 0);
+        Ok(())
+    }
+
+    fn leaf_proba(&self, row: &[f32]) -> Result<&[f32], MlError> {
+        if self.nodes.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if row.len() != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} features", self.n_features),
+                got: format!("{} features", row.len()),
+            });
+        }
+        let mut i = 0u32;
+        loop {
+            match &self.nodes[i as usize] {
+                Node::Leaf { proba, .. } => return Ok(proba),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature as usize] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Class posterior for each row.
+    pub fn predict_proba_full(&self, x: &Matrix) -> Result<Vec<Vec<f32>>, MlError> {
+        (0..x.n_rows())
+            .map(|i| self.leaf_proba(x.row(i)).map(<[f32]>::to_vec))
+            .collect()
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [usize],
+    params: &'a TreeParams,
+    n_classes: usize,
+    nodes: &'a mut Vec<Node>,
+    rng: &'a mut StdRng,
+    feature_pool: Vec<u32>,
+    sort_buf: Vec<(f32, usize)>,
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `indices`, returning its node id.
+    fn build(&mut self, indices: &mut [usize], depth: usize) -> u32 {
+        let counts = self.class_counts(indices);
+        let node_id = self.nodes.len() as u32;
+
+        let gini = gini_impurity(&counts, indices.len());
+        let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
+        let should_split = depth_ok
+            && indices.len() >= self.params.min_samples_split
+            && gini > 0.0;
+
+        if should_split {
+            if let Some(split) = self.best_split(indices, gini) {
+                // Partition in place around the threshold.
+                let mid = partition(indices, |&i| {
+                    self.x.get(i, split.feature as usize) <= split.threshold
+                });
+                // Guard: a degenerate partition means numerical ties; fall
+                // through to a leaf instead of recursing forever.
+                if mid > 0 && mid < indices.len() {
+                    self.nodes.push(Node::Leaf { proba: Vec::new(), class: 0 }); // placeholder
+                    let (left_idx, right_idx) = indices.split_at_mut(mid);
+                    let left = self.build(left_idx, depth + 1);
+                    let right = self.build(right_idx, depth + 1);
+                    self.nodes[node_id as usize] = Node::Split {
+                        feature: split.feature,
+                        threshold: split.threshold,
+                        left,
+                        right,
+                    };
+                    return node_id;
+                }
+            }
+        }
+
+        // Leaf.
+        let total = indices.len() as f32;
+        let proba: Vec<f32> = counts.iter().map(|&c| c as f32 / total).collect();
+        let class = argmax_usize(&counts);
+        self.nodes.push(Node::Leaf { proba, class });
+        node_id
+    }
+
+    fn class_counts(&self, indices: &[usize]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.n_classes];
+        for &i in indices {
+            counts[self.y[i]] += 1;
+        }
+        counts
+    }
+
+    fn best_split(&mut self, indices: &[usize], parent_gini: f64) -> Option<SplitCandidate> {
+        let p = self.x.n_cols();
+        let n_features = self.params.max_features.resolve(p);
+        // Shuffle a persistent feature pool and take a prefix — O(p) per
+        // node but allocation-free.
+        if n_features < p {
+            self.feature_pool.shuffle(self.rng);
+        }
+        let n = indices.len() as f64;
+        let parent_counts = self.class_counts(indices);
+        let mut best: Option<SplitCandidate> = None;
+
+        for fi in 0..n_features {
+            let feature = self.feature_pool[fi];
+            // Sort samples by this feature's value.
+            self.sort_buf.clear();
+            self.sort_buf.extend(
+                indices
+                    .iter()
+                    .map(|&i| (self.x.get(i, feature as usize), i)),
+            );
+            self.sort_buf
+                .sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite by validation"));
+
+            // Sweep thresholds between distinct consecutive values.
+            let mut left_counts = vec![0u32; self.n_classes];
+            let mut left_n = 0usize;
+            for w in 0..self.sort_buf.len() - 1 {
+                let (v, i) = self.sort_buf[w];
+                left_counts[self.y[i]] += 1;
+                left_n += 1;
+                let (v_next, _) = self.sort_buf[w + 1];
+                if v == v_next {
+                    continue;
+                }
+                let right_n = indices.len() - left_n;
+                if left_n < self.params.min_samples_leaf || right_n < self.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let gini_left = gini_impurity(&left_counts, left_n);
+                let mut right_counts = parent_counts.clone();
+                for (rc, &lc) in right_counts.iter_mut().zip(&left_counts) {
+                    *rc -= lc;
+                }
+                let gini_right = gini_impurity(&right_counts, right_n);
+                let weighted =
+                    (left_n as f64 * gini_left + right_n as f64 * gini_right) / n;
+                let decrease = parent_gini - weighted;
+                if decrease < self.params.min_impurity_decrease {
+                    continue;
+                }
+                let candidate = SplitCandidate {
+                    feature,
+                    threshold: midpoint(v, v_next),
+                    weighted_gini: weighted,
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|b| candidate.weighted_gini < b.weighted_gini)
+                {
+                    best = Some(candidate);
+                }
+            }
+        }
+        best
+    }
+}
+
+struct SplitCandidate {
+    feature: u32,
+    threshold: f32,
+    weighted_gini: f64,
+}
+
+/// Gini impurity `1 − Σ pᵢ²` of a class-count vector.
+fn gini_impurity(counts: &[u32], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    let sum_sq: f64 = counts
+        .iter()
+        .map(|&c| {
+            let p = f64::from(c) / n;
+            p * p
+        })
+        .sum();
+    1.0 - sum_sq
+}
+
+/// Midpoint between two consecutive distinct values, robust to f32 rounding
+/// (falls back to the lower value when the average rounds onto `b`).
+fn midpoint(a: f32, b: f32) -> f32 {
+    let m = (a + b) / 2.0;
+    if m >= b {
+        a
+    } else {
+        m
+    }
+}
+
+/// Stable-order in-place partition; returns the size of the true side.
+fn partition<T, F: Fn(&T) -> bool>(slice: &mut [T], pred: F) -> usize
+where
+    T: Copy,
+{
+    // Simple two-pass copy keeps relative order deterministic.
+    let mut left: Vec<T> = Vec::with_capacity(slice.len());
+    let mut right: Vec<T> = Vec::with_capacity(slice.len());
+    for &v in slice.iter() {
+        if pred(&v) {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    let mid = left.len();
+    slice[..mid].copy_from_slice(&left);
+    slice[mid..].copy_from_slice(&right);
+    mid
+}
+
+fn argmax_usize(counts: &[u32]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl Estimator for DecisionTreeClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<(), MlError> {
+        let n_classes = validate_fit_inputs(x, y)?;
+        let indices: Vec<usize> = (0..x.n_rows()).collect();
+        self.fit_indices(x, y, &indices, n_classes)
+    }
+
+    fn predict(&self, x: &Matrix) -> Result<Vec<usize>, MlError> {
+        (0..x.n_rows())
+            .map(|i| {
+                self.leaf_proba(x.row(i)).map(|p| {
+                    p.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(&a.0)))
+                        .map(|(c, _)| c)
+                        .unwrap_or(0)
+                })
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+}
+
+impl ProbabilisticEstimator for DecisionTreeClassifier {
+    fn predict_proba(&self, x: &Matrix) -> Result<Vec<f64>, MlError> {
+        (0..x.n_rows())
+            .map(|i| {
+                self.leaf_proba(x.row(i))
+                    .map(|p| p.get(1).copied().unwrap_or(0.0) as f64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ])
+        .unwrap();
+        (x, vec![0, 1, 1, 0])
+    }
+
+    #[test]
+    fn learns_xor_exactly() {
+        let (x, y) = xor_data();
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&x, &y).unwrap();
+        assert_eq!(tree.predict(&x).unwrap(), y);
+        assert!(tree.depth() >= 2, "XOR needs at least two levels");
+    }
+
+    #[test]
+    fn max_depth_limits_growth() {
+        let (x, y) = xor_data();
+        let mut stump = DecisionTreeClassifier::new(TreeParams {
+            max_depth: Some(1),
+            ..TreeParams::default()
+        });
+        stump.fit(&x, &y).unwrap();
+        assert!(stump.depth() <= 1);
+        // A depth-1 stump cannot express XOR.
+        assert_ne!(stump.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![10.0]]).unwrap();
+        let y = vec![0, 0, 0, 1];
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&x, &y).unwrap();
+        // Single split suffices.
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.n_nodes(), 3);
+        assert_eq!(tree.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0], vec![4.0]]).unwrap();
+        let y = vec![0, 0, 1, 1];
+        let mut tree = DecisionTreeClassifier::new(TreeParams {
+            min_samples_leaf: 2,
+            ..TreeParams::default()
+        });
+        tree.fit(&x, &y).unwrap();
+        // The only legal split is 2-2.
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn predict_proba_reflects_leaf_composition() {
+        // Force a leaf with mixed classes via min_samples_split.
+        let x = Matrix::from_rows(&[vec![1.0], vec![1.0], vec![1.0], vec![5.0]]).unwrap();
+        let y = vec![0, 0, 1, 1];
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&x, &y).unwrap();
+        let proba = tree.predict_proba(&x).unwrap();
+        // Rows 0-2 share a leaf with 2×class0 + 1×class1.
+        assert!((proba[0] - 1.0 / 3.0).abs() < 1e-6);
+        assert!((proba[3] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unfitted_predict_errors() {
+        let tree = DecisionTreeClassifier::new(TreeParams::default());
+        assert!(tree.predict(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn fit_validates_inputs() {
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        assert!(tree.fit(&Matrix::zeros(0, 2), &[]).is_err());
+        let x = Matrix::zeros(3, 1);
+        assert!(matches!(tree.fit(&x, &[0, 0, 0]), Err(MlError::SingleClass)));
+    }
+
+    #[test]
+    fn feature_dimension_checked_at_predict() {
+        let (x, y) = xor_data();
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&x, &y).unwrap();
+        assert!(tree.predict(&Matrix::zeros(1, 5)).is_err());
+    }
+
+    #[test]
+    fn gini_values() {
+        assert_eq!(gini_impurity(&[4, 0], 4), 0.0);
+        assert!((gini_impurity(&[2, 2], 4) - 0.5).abs() < 1e-12);
+        assert_eq!(gini_impurity(&[], 0), 0.0);
+    }
+
+    #[test]
+    fn feature_subsampling_is_deterministic_per_seed() {
+        let (x, y) = xor_data();
+        let params = TreeParams {
+            max_features: MaxFeatures::Count(1),
+            seed: 5,
+            ..TreeParams::default()
+        };
+        let mut a = DecisionTreeClassifier::new(params.clone());
+        let mut b = DecisionTreeClassifier::new(params);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        assert_eq!(a.predict(&x).unwrap(), b.predict(&x).unwrap());
+    }
+
+    #[test]
+    fn handles_constant_features_gracefully() {
+        let x = Matrix::from_rows(&[vec![1.0, 7.0], vec![2.0, 7.0], vec![3.0, 7.0]]).unwrap();
+        let y = vec![0, 1, 1];
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&x, &y).unwrap();
+        assert_eq!(tree.predict(&x).unwrap(), y);
+    }
+
+    #[test]
+    fn max_features_resolution() {
+        assert_eq!(MaxFeatures::All.resolve(100), 100);
+        assert_eq!(MaxFeatures::Sqrt.resolve(100), 10);
+        assert_eq!(MaxFeatures::Log2.resolve(1024), 10);
+        assert_eq!(MaxFeatures::Count(5).resolve(3), 3);
+        assert_eq!(MaxFeatures::Count(0).resolve(3), 1);
+    }
+}

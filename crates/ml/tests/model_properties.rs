@@ -1,0 +1,151 @@
+//! Property-based tests over the ML substrate: invariants that must hold
+//! for arbitrary (well-formed) training data, not just the fixtures.
+
+use hyperfex_ml::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: an n-row, p-column matrix of bounded finite floats plus
+/// labels guaranteed to contain both classes.
+fn dataset_strategy() -> impl Strategy<Value = (Matrix, Vec<usize>)> {
+    (4usize..24, 1usize..5).prop_flat_map(|(n, p)| {
+        let data = prop::collection::vec(prop::collection::vec(-50.0f32..50.0, p), n);
+        let labels = prop::collection::vec(0usize..2, n);
+        (data, labels).prop_map(|(rows, mut labels)| {
+            let n = rows.len();
+            labels[0] = 0;
+            labels[n - 1] = 1;
+            (Matrix::from_rows(&rows).unwrap(), labels)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every deterministic model predicts labels inside the label set and
+    /// one per row.
+    #[test]
+    fn predictions_are_well_formed((x, y) in dataset_strategy()) {
+        let mut models: Vec<Box<dyn Estimator>> = vec![
+            Box::new(DecisionTreeClassifier::new(TreeParams::default())),
+            Box::new(KnnClassifier::new(KnnParams { k: 3, ..Default::default() })),
+            Box::new(GaussianNb::new(GaussianNbParams::default())),
+            Box::new(LogisticRegression::new(LogisticRegressionParams {
+                max_iter: 40,
+                ..Default::default()
+            })),
+        ];
+        for model in &mut models {
+            model.fit(&x, &y).unwrap();
+            let predictions = model.predict(&x).unwrap();
+            prop_assert_eq!(predictions.len(), x.n_rows());
+            prop_assert!(predictions.iter().all(|&p| p <= 1));
+        }
+    }
+
+    /// An unpruned decision tree memorises any dataset whose duplicate
+    /// feature rows carry consistent labels.
+    #[test]
+    fn unpruned_tree_memorises_consistent_data((x, y) in dataset_strategy()) {
+        // Force consistency: rows with identical features get the label of
+        // their first occurrence.
+        let mut y = y;
+        for i in 0..x.n_rows() {
+            for j in 0..i {
+                if x.row(i) == x.row(j) {
+                    y[i] = y[j];
+                }
+            }
+        }
+        // Re-establish both classes (consistency pass may erase one).
+        if y.iter().all(|&l| l == y[0]) {
+            return Ok(()); // degenerate draw — nothing to assert
+        }
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        tree.fit(&x, &y).unwrap();
+        prop_assert_eq!(tree.predict(&x).unwrap(), y);
+    }
+
+    /// Probabilistic models output probabilities in [0, 1] that are
+    /// consistent with their hard predictions at the 0.5 threshold.
+    #[test]
+    fn probabilities_match_hard_predictions((x, y) in dataset_strategy()) {
+        let mut nb = GaussianNb::new(GaussianNbParams::default());
+        nb.fit(&x, &y).unwrap();
+        let proba = nb.predict_proba(&x).unwrap();
+        let hard = nb.predict(&x).unwrap();
+        for (&p, &h) in proba.iter().zip(&hard) {
+            prop_assert!((0.0..=1.0).contains(&p));
+            // At exactly 0.5 either label is defensible; avoid the knife edge.
+            if (p - 0.5).abs() > 1e-9 {
+                prop_assert_eq!(usize::from(p > 0.5), h, "p = {}", p);
+            }
+        }
+    }
+
+    /// Standardisation then inverse ordering: scaler output is mean-0/var-1
+    /// per column and transform is affine (preserves the ordering of any
+    /// single column).
+    #[test]
+    fn standard_scaler_is_affine_and_normalising((x, _y) in dataset_strategy()) {
+        let mut scaler = StandardScaler::new();
+        let z = scaler.fit_transform(&x).unwrap();
+        for (m, v) in z.column_means().iter().zip(z.column_variances()) {
+            prop_assert!(m.abs() < 1e-3, "mean {}", m);
+            // Constant columns stay at variance 0; others normalise to 1.
+            prop_assert!(v < 1.0 + 1e-3, "var {}", v);
+        }
+        // Ordering preserved per column.
+        for col in 0..x.n_cols() {
+            for i in 1..x.n_rows() {
+                let before = x.get(i - 1, col).partial_cmp(&x.get(i, col)).unwrap();
+                let after = z.get(i - 1, col).partial_cmp(&z.get(i, col)).unwrap();
+                prop_assert_eq!(before, after);
+            }
+        }
+    }
+
+    /// Matrix multiplication distributes over horizontal stacking of the
+    /// left operand's rows: (A·B) rows equal row-wise products.
+    #[test]
+    fn matmul_rowwise_consistency((x, _y) in dataset_strategy()) {
+        let p = x.n_cols();
+        // B: p×2 fixed pattern.
+        let b = Matrix::from_flat(p, 2, (0..p * 2).map(|i| (i % 5) as f32 - 2.0).collect()).unwrap();
+        let full = x.matmul(&b).unwrap();
+        for i in 0..x.n_rows() {
+            let single = x.select_rows(&[i]).matmul(&b).unwrap();
+            for j in 0..2 {
+                prop_assert!((full.get(i, j) - single.get(0, j)).abs() < 1e-3);
+            }
+        }
+    }
+
+    /// Boosting with more rounds never increases training log-loss
+    /// (monotone stagewise fitting on the training set).
+    #[test]
+    fn boosting_training_loss_is_monotone_in_rounds(
+        (x, y) in dataset_strategy(),
+    ) {
+        let fit_acc = |rounds: usize| -> f64 {
+            let mut clf = XgBoostClassifier::new(XgBoostParams {
+                n_estimators: rounds,
+                learning_rate: 0.3,
+                ..XgBoostParams::default()
+            });
+            clf.fit(&x, &y).unwrap();
+            // Mean log loss on training data.
+            let p = clf.predict_proba(&x).unwrap();
+            p.iter()
+                .zip(&y)
+                .map(|(&pi, &yi)| {
+                    let pi = pi.clamp(1e-12, 1.0 - 1e-12);
+                    if yi == 1 { -pi.ln() } else { -(1.0 - pi).ln() }
+                })
+                .sum::<f64>() / y.len() as f64
+        };
+        let short = fit_acc(2);
+        let long = fit_acc(12);
+        prop_assert!(long <= short + 1e-9, "short {} long {}", short, long);
+    }
+}

@@ -1,0 +1,137 @@
+//! Model persistence: every fitted classifier serialises to JSON and
+//! deserialises to a model with identical predictions — the workflow a
+//! deployed clinical scorer needs (train once, ship the artifact).
+
+use hyperfex_ml::prelude::*;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+fn dataset() -> (Matrix, Vec<usize>) {
+    let rows: Vec<Vec<f32>> = (0..40)
+        .map(|i| vec![i as f32, (i % 7) as f32, (40 - i) as f32])
+        .collect();
+    let y: Vec<usize> = (0..40).map(|i| usize::from(i >= 20)).collect();
+    (Matrix::from_rows(&rows).unwrap(), y)
+}
+
+fn roundtrip<M>(mut model: M, name: &str)
+where
+    M: Estimator + Serialize + DeserializeOwned,
+{
+    let (x, y) = dataset();
+    model.fit(&x, &y).unwrap_or_else(|e| panic!("{name}: fit failed: {e}"));
+    let before = model.predict(&x).unwrap();
+    let json = serde_json::to_string(&model).unwrap_or_else(|e| panic!("{name}: serialize: {e}"));
+    let restored: M =
+        serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: deserialize: {e}"));
+    let after = restored.predict(&x).unwrap();
+    assert_eq!(before, after, "{name}: predictions changed across the round trip");
+}
+
+#[test]
+fn decision_tree_roundtrips() {
+    roundtrip(DecisionTreeClassifier::new(TreeParams::default()), "tree");
+}
+
+#[test]
+fn random_forest_roundtrips() {
+    roundtrip(
+        RandomForestClassifier::new(RandomForestParams {
+            n_estimators: 8,
+            ..RandomForestParams::default()
+        }),
+        "forest",
+    );
+}
+
+#[test]
+fn knn_roundtrips() {
+    roundtrip(KnnClassifier::new(KnnParams::default()), "knn");
+}
+
+#[test]
+fn logistic_regression_roundtrips() {
+    roundtrip(
+        LogisticRegression::new(LogisticRegressionParams {
+            max_iter: 50,
+            ..Default::default()
+        }),
+        "logreg",
+    );
+}
+
+#[test]
+fn sgd_roundtrips() {
+    roundtrip(
+        SgdClassifier::new(SgdParams {
+            max_iter: 20,
+            ..Default::default()
+        }),
+        "sgd",
+    );
+}
+
+#[test]
+fn svc_roundtrips() {
+    roundtrip(SvcClassifier::new(SvcParams::default()), "svc");
+}
+
+#[test]
+fn boosted_models_roundtrip() {
+    roundtrip(
+        XgBoostClassifier::new(XgBoostParams {
+            n_estimators: 6,
+            ..XgBoostParams::default()
+        }),
+        "xgboost",
+    );
+    roundtrip(
+        LightGbmClassifier::new(LightGbmParams {
+            n_estimators: 6,
+            min_data_in_leaf: 2,
+            ..LightGbmParams::default()
+        }),
+        "lgbm",
+    );
+    roundtrip(
+        CatBoostClassifier::new(CatBoostParams {
+            n_estimators: 6,
+            ..CatBoostParams::default()
+        }),
+        "catboost",
+    );
+}
+
+#[test]
+fn sequential_nn_roundtrips() {
+    roundtrip(
+        SequentialNn::new(SequentialNnParams {
+            hidden: vec![8],
+            max_epochs: 15,
+            ..SequentialNnParams::default()
+        }),
+        "nn",
+    );
+}
+
+#[test]
+fn naive_bayes_roundtrips() {
+    roundtrip(GaussianNb::new(GaussianNbParams::default()), "gaussian-nb");
+    roundtrip(BernoulliNb::new(BernoulliNbParams::default()), "bernoulli-nb");
+}
+
+#[test]
+fn scalers_roundtrip_with_their_statistics() {
+    let (x, _) = dataset();
+    let mut scaler = StandardScaler::new();
+    let z = scaler.fit_transform(&x).unwrap();
+    let json = serde_json::to_string(&scaler).unwrap();
+    let restored: StandardScaler = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored.transform(&x).unwrap(), z);
+
+    let mut mm = MinMaxScaler::new();
+    let z = mm.fit_transform(&x).unwrap();
+    let json = serde_json::to_string(&mm).unwrap();
+    let restored: MinMaxScaler = serde_json::from_str(&json).unwrap();
+    assert_eq!(restored.transform(&x).unwrap(), z);
+}

@@ -1,0 +1,55 @@
+//! Clinical risk scoring (the §III-B scenario): fit class prototypes from
+//! a cohort, then score individual patients on a 0–1 diabetes-risk scale
+//! that a clinician could track across visits.
+//!
+//! ```sh
+//! cargo run --release -p hyperfex --example clinical_risk_score
+//! ```
+
+use hyperfex::prelude::*;
+
+fn main() -> Result<(), HyperfexError> {
+    // Train the scorer on a Sylhet-style symptom cohort.
+    let cohort = sylhet::generate(&SylhetConfig::default())?;
+    let scorer = RiskScorer::fit(&cohort, Dim::new(4_000), 7)?;
+
+    // Three archetypal patients (column order: Age, Sex, Polyuria,
+    // Polydipsia, SuddenWeightLoss, Weakness, Polyphagia, GenitalThrush,
+    // VisualBlurring, Itching, Irritability, DelayedHealing,
+    // PartialParesis, MuscleStiffness, Alopecia, Obesity).
+    let patients: [(&str, Vec<f64>); 3] = [
+        (
+            "48yo F, polyuria + polydipsia + weight loss",
+            vec![48.0, 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 0.0],
+        ),
+        (
+            "38yo M, itching only",
+            vec![38.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ),
+        (
+            "61yo F, mixed weak signals",
+            vec![61.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 1.0],
+        ),
+    ];
+
+    println!("diabetes risk scores (0 = prototypically negative, 1 = positive):\n");
+    for (description, values) in &patients {
+        let score = scorer.score(values)?;
+        let bar_len = (score * 40.0).round() as usize;
+        println!("  {score:.3} |{:<40}| {description}", "#".repeat(bar_len));
+    }
+
+    // Follow-up visit simulation: the same mixed-signal patient develops
+    // polyuria — the score must rise.
+    let mut followup = patients[2].1.clone();
+    let before = scorer.score(&followup)?;
+    followup[2] = 1.0; // polyuria appears
+    let after = scorer.score(&followup)?;
+    println!(
+        "\nfollow-up: mixed-signal patient develops polyuria — risk {:.3} → {:.3}",
+        before, after
+    );
+    assert!(after > before);
+
+    Ok(())
+}

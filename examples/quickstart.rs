@@ -1,0 +1,59 @@
+//! Quickstart: encode patients as hypervectors and classify with Hamming
+//! distance, then upgrade to a hybrid HDC + Random Forest model.
+//!
+//! ```sh
+//! cargo run --release -p hyperfex --example quickstart
+//! ```
+
+use hyperfex::experiments::Datasets;
+use hyperfex::prelude::*;
+
+fn main() -> Result<(), HyperfexError> {
+    // 1. Data. The synthetic generators mirror the paper's two datasets;
+    //    swap in the real CSVs with `hyperfex_data::csv::load_pima_csv`.
+    let datasets = Datasets::generate(42)?;
+    let pima = &datasets.pima_r;
+    println!(
+        "Pima R cohort: {} patients ({} positive / {} negative), {} features",
+        pima.n_rows(),
+        pima.n_positive(),
+        pima.n_negative(),
+        pima.n_cols()
+    );
+
+    // 2. Pure HDC (paper §II-C): 10,000-bit hypervectors + 1-NN Hamming
+    //    under leave-one-out validation.
+    let dim = Dim::new(4_000); // 10_000 in the paper; 4k is faster and ~as accurate
+    let outcome = HammingModel::new(dim, 42).evaluate_loocv(pima)?;
+    println!(
+        "Hamming 1-NN LOOCV accuracy: {:.1}% (paper: 70.7% on real Pima R)",
+        outcome.accuracy() * 100.0
+    );
+
+    // 3. Feature extraction by hand: records → hypervectors → 0/1 matrix.
+    let mut extractor = HdcFeatureExtractor::new(dim, 42);
+    let hvs = extractor.fit_transform(pima)?;
+    println!(
+        "encoded {} patients into {}-bit hypervectors (first HV has {} ones)",
+        hvs.len(),
+        dim,
+        hvs[0].count_ones()
+    );
+
+    // 4. Hybrid model (paper §II-D): hypervectors as Random Forest input.
+    let train: Vec<usize> = (0..pima.n_rows()).filter(|i| i % 5 != 0).collect();
+    let test: Vec<usize> = (0..pima.n_rows()).filter(|i| i % 5 == 0).collect();
+    let mut hybrid = HybridClassifier::new(
+        dim,
+        42,
+        make_model(ModelKind::RandomForest, 42, &Default::default()),
+    );
+    hybrid.fit(pima, &train)?;
+    println!(
+        "hybrid HDC + {}: held-out accuracy {:.1}%",
+        hybrid.model_name(),
+        hybrid.accuracy(pima, &test)? * 100.0
+    );
+
+    Ok(())
+}

@@ -1,0 +1,129 @@
+//! End-to-end integration: synthetic cohorts → missing-data treatment →
+//! hypervector encoding → every classifier family → metrics, plus the CSV
+//! round trip a user with the real datasets would take.
+
+use hyperfex::experiments::{hv_features, raw_features, Datasets, ExperimentConfig};
+use hyperfex::models::{make_model, ModelBudget, ModelKind, PAPER_MODELS};
+use hyperfex::prelude::*;
+use hyperfex_eval::cv::cross_validate;
+use hyperfex_eval::metrics::ConfusionMatrix;
+
+fn small_budget() -> ModelBudget {
+    ModelBudget {
+        ensemble_scale: 0.1,
+        nn_max_epochs: 30,
+    }
+}
+
+#[test]
+fn full_pima_pipeline_from_raw_cohort_to_metrics() {
+    // Raw cohort with missing values → both treatments.
+    let raw = pima::generate(&PimaConfig::default()).unwrap();
+    assert!(raw.n_missing() > 0);
+    let pima_r = drop_missing(&raw);
+    let pima_m = impute_class_median(&raw).unwrap();
+    assert_eq!(pima_r.n_rows(), 392);
+    assert_eq!(pima_m.n_rows(), 768);
+
+    // Pure HDC on Pima R.
+    let outcome = HammingModel::new(Dim::new(1_000), 42)
+        .evaluate_loocv(&pima_r)
+        .unwrap();
+    assert!(outcome.accuracy() > 0.6, "Hamming accuracy {}", outcome.accuracy());
+
+    // Hybrid on a stratified split.
+    let split = stratified_split(&pima_m, SplitFractions::train_test(0.9), 42).unwrap();
+    let mut hybrid = HybridClassifier::new(
+        Dim::new(1_000),
+        42,
+        make_model(ModelKind::RandomForest, 42, &small_budget()),
+    );
+    hybrid.fit(&pima_m, &split.train).unwrap();
+    let predictions = hybrid.predict(&pima_m, &split.test).unwrap();
+    let actual: Vec<usize> = split.test.iter().map(|&i| pima_m.labels()[i]).collect();
+    let metrics = ConfusionMatrix::from_labels(&actual, &predictions).metrics();
+    assert!(metrics.accuracy > 0.6, "hybrid accuracy {}", metrics.accuracy);
+    assert!(metrics.f1 > 0.0);
+}
+
+#[test]
+fn every_model_runs_on_hypervector_features_of_the_sylhet_cohort() {
+    let cohort = sylhet::generate(&SylhetConfig {
+        n_positive: 80,
+        n_negative: 60,
+        ..Default::default()
+    })
+    .unwrap();
+    let hv = hv_features(&cohort, Dim::new(512), 7).unwrap();
+    for kind in PAPER_MODELS.iter().copied().chain([ModelKind::SequentialNn]) {
+        let cv = cross_validate(&cohort, &hv, 3, 7, &|| make_model(kind, 7, &small_budget()))
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert!(
+            cv.test_accuracy > 0.5,
+            "{kind:?} held-out accuracy {} at or below chance",
+            cv.test_accuracy
+        );
+    }
+}
+
+#[test]
+fn csv_round_trip_feeds_the_same_pipeline() {
+    // Write a synthetic cohort to CSV, reload it as a user would the real
+    // file, and run the Hamming model on it.
+    let cohort = pima::generate(&PimaConfig {
+        n_negative: 80,
+        n_positive: 60,
+        complete_cases: (60, 45),
+        ..Default::default()
+    })
+    .unwrap();
+    let dir = std::env::temp_dir().join("hyperfex_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("pima_roundtrip.csv");
+    // The CSV layer writes missing as empty; the loader expects the real
+    // dataset's 0-as-missing convention, so write the complete cases only.
+    let complete = drop_missing(&cohort);
+    hyperfex_data::csv::write_csv(&complete, &path).unwrap();
+    let reloaded = hyperfex_data::csv::load_pima_csv(&path).unwrap();
+    assert_eq!(reloaded.n_rows(), complete.n_rows());
+    assert_eq!(reloaded.labels(), complete.labels());
+
+    let outcome = HammingModel::new(Dim::new(512), 1).evaluate_loocv(&reloaded).unwrap();
+    assert!(outcome.accuracy() > 0.5);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn experiment_configs_drive_the_same_pipeline_end_to_end() {
+    // The quick preset must be able to run a whole miniature Table II.
+    let datasets = Datasets::generate(11).unwrap();
+    let mut config = ExperimentConfig::quick();
+    config.dim = 256;
+    config.repeats = 1;
+    config.budget = small_budget();
+    let result = hyperfex::experiments::table2::run(&datasets, &config).unwrap();
+    assert_eq!(result.rows.len(), 3);
+    // Sylhet should dominate Pima R for the Hamming model (the paper's
+    // strongest cross-dataset shape) even at miniature scale.
+    let pima_r = result.rows[0].hamming_accuracy;
+    let sylhet = result.rows[2].hamming_accuracy;
+    assert!(
+        sylhet > pima_r,
+        "Sylhet Hamming ({sylhet}) should beat Pima R ({pima_r})"
+    );
+}
+
+#[test]
+fn raw_and_hv_features_align_row_for_row() {
+    let cohort = sylhet::generate(&SylhetConfig {
+        n_positive: 30,
+        n_negative: 20,
+        ..Default::default()
+    })
+    .unwrap();
+    let raw = raw_features(&cohort).unwrap();
+    let hv = hv_features(&cohort, Dim::new(128), 3).unwrap();
+    assert_eq!(raw.n_rows(), hv.n_rows());
+    assert_eq!(raw.n_cols(), 16);
+    assert_eq!(hv.n_cols(), 128);
+}
