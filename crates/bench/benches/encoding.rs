@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hyperfex::prelude::*;
 use hyperfex::HdcFeatureExtractor;
-use hyperfex_hdc::prelude::*;
 use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::prelude::*;
 use std::hint::black_box;
 
 fn bench_encoding(c: &mut Criterion) {

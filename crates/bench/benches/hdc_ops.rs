@@ -3,8 +3,8 @@
 //! easy and highly efficient" on conventional hardware).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use hyperfex_hdc::prelude::*;
 use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::prelude::*;
 use std::hint::black_box;
 
 fn bench_ops(c: &mut Criterion) {
@@ -12,14 +12,20 @@ fn bench_ops(c: &mut Criterion) {
     let mut rng = SplitMix64::new(7);
     let a = BinaryHypervector::random(dim, &mut rng);
     let b = BinaryHypervector::random(dim, &mut rng);
-    let stack: Vec<BinaryHypervector> =
-        (0..8).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
-    let stack16: Vec<BinaryHypervector> =
-        (0..16).map(|_| BinaryHypervector::random(dim, &mut rng)).collect();
+    let stack: Vec<BinaryHypervector> = (0..8)
+        .map(|_| BinaryHypervector::random(dim, &mut rng))
+        .collect();
+    let stack16: Vec<BinaryHypervector> = (0..16)
+        .map(|_| BinaryHypervector::random(dim, &mut rng))
+        .collect();
 
     let mut g = c.benchmark_group("hdc_ops_10k");
-    g.bench_function("hamming", |bch| bch.iter(|| black_box(a.hamming(black_box(&b)))));
-    g.bench_function("bind_xor", |bch| bch.iter(|| black_box(a.bind(black_box(&b)))));
+    g.bench_function("hamming", |bch| {
+        bch.iter(|| black_box(a.hamming(black_box(&b))))
+    });
+    g.bench_function("bind_xor", |bch| {
+        bch.iter(|| black_box(a.bind(black_box(&b))))
+    });
     g.bench_function("majority_bundle_8", |bch| {
         bch.iter(|| black_box(bundle::majority(black_box(&stack))))
     });

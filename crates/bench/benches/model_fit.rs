@@ -28,13 +28,17 @@ fn bench_fits(c: &mut Criterion) {
     let mut g = c.benchmark_group("model_fit_pima_r");
     g.sample_size(10);
     for kind in PAPER_MODELS {
-        g.bench_with_input(BenchmarkId::new("features", kind.label()), &kind, |b, &k| {
-            b.iter(|| {
-                let mut model = make_model(k, 42, &budget);
-                model.fit(black_box(&features), black_box(&labels)).unwrap();
-                black_box(model.predict(&features).unwrap())
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("features", kind.label()),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    let mut model = make_model(k, 42, &budget);
+                    model.fit(black_box(&features), black_box(&labels)).unwrap();
+                    black_box(model.predict(&features).unwrap())
+                })
+            },
+        );
         g.bench_with_input(
             BenchmarkId::new("hypervectors", kind.label()),
             &kind,

@@ -182,7 +182,9 @@ pub fn distance_metrics(
     dim: Dim,
     seed: u64,
 ) -> Result<DistanceComparison, HyperfexError> {
-    let hamming_hv = HammingModel::new(dim, seed).evaluate_loocv(table)?.accuracy();
+    let hamming_hv = HammingModel::new(dim, seed)
+        .evaluate_loocv(table)?
+        .accuracy();
 
     let euclidean_loocv = |x: &hyperfex_ml::Matrix| -> f64 {
         let labels = table.labels();

@@ -46,7 +46,11 @@ pub fn run(datasets: &Datasets, config: &ExperimentConfig) -> Result<IslamResult
 
     // Islam et al.'s models: NB (Gaussian on mixed features; Bernoulli is
     // the better fit on hypervector bits), LogReg, DT, RF.
-    type Factory<'a> = (&'a str, Box<dyn Fn(bool) -> Box<dyn Estimator>>, Option<f64>);
+    type Factory<'a> = (
+        &'a str,
+        Box<dyn Fn(bool) -> Box<dyn Estimator>>,
+        Option<f64>,
+    );
     let seed = config.seed;
     let budget = config.budget;
     let factories: Vec<Factory<'_>> = vec![

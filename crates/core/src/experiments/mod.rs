@@ -178,14 +178,10 @@ pub fn raw_features(table: &Table) -> Result<Matrix, HyperfexError> {
 /// Hypervector feature matrix: encode the whole table with an extractor
 /// fitted on it (used by the cross-validation experiments, where — as in
 /// the paper — encoding is a dataset-preparation step shared by folds).
-pub fn hv_features(
-    table: &Table,
-    dim: Dim,
-    seed: u64,
-) -> Result<Matrix, HyperfexError> {
+pub fn hv_features(table: &Table, dim: Dim, seed: u64) -> Result<Matrix, HyperfexError> {
     let mut extractor = HdcFeatureExtractor::new(dim, seed);
     let hvs = extractor.fit_transform(table)?;
-    Ok(HdcFeatureExtractor::to_matrix(&hvs))
+    HdcFeatureExtractor::to_matrix(&hvs)
 }
 
 #[cfg(test)]

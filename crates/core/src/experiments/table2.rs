@@ -53,8 +53,8 @@ fn nn_test_accuracy(
             let train = extractor.transform(table, Some(&split.train))?;
             let test = extractor.transform(table, Some(&split.test))?;
             (
-                HdcFeatureExtractor::to_matrix(&train),
-                HdcFeatureExtractor::to_matrix(&test),
+                HdcFeatureExtractor::to_matrix(&train)?,
+                HdcFeatureExtractor::to_matrix(&test)?,
             )
         } else {
             let all = raw_features(table)?;

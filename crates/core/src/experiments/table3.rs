@@ -128,7 +128,8 @@ impl Table3Result {
             ],
         );
         for cell in &self.cells {
-            let (p_feat, p_hv) = paper_values(cell.model, cell.dataset).unwrap_or((f64::NAN, f64::NAN));
+            let (p_feat, p_hv) =
+                paper_values(cell.model, cell.dataset).unwrap_or((f64::NAN, f64::NAN));
             t.push_row(vec![
                 cell.model.label().into(),
                 cell.dataset.label().into(),
@@ -151,10 +152,16 @@ mod tests {
     fn paper_values_cover_all_cells() {
         for model in PAPER_MODELS {
             for dataset in Datasets::ALL {
-                assert!(paper_values(model, dataset).is_some(), "{model:?}/{dataset:?}");
+                assert!(
+                    paper_values(model, dataset).is_some(),
+                    "{model:?}/{dataset:?}"
+                );
             }
         }
-        assert_eq!(paper_values(ModelKind::SequentialNn, DatasetId::PimaR), None);
+        assert_eq!(
+            paper_values(ModelKind::SequentialNn, DatasetId::PimaR),
+            None
+        );
     }
 
     #[test]

@@ -52,9 +52,9 @@ fn evaluate_split(
     let mut extractor = HdcFeatureExtractor::new(config.dim(), config.seed);
     extractor.fit(table, Some(&split.train))?;
     let x_train_hv =
-        HdcFeatureExtractor::to_matrix(&extractor.transform(table, Some(&split.train))?);
+        HdcFeatureExtractor::to_matrix(&extractor.transform(table, Some(&split.train))?)?;
     let x_test_hv =
-        HdcFeatureExtractor::to_matrix(&extractor.transform(table, Some(&split.test))?);
+        HdcFeatureExtractor::to_matrix(&extractor.transform(table, Some(&split.test))?)?;
 
     let mut rows = Vec::new();
     for kind in PAPER_MODELS {
@@ -158,9 +158,7 @@ impl MetricsTableResult {
         );
         for row in &self.rows {
             let label = row.model.map_or("Hamming (LOOCV)", ModelKind::label);
-            let paper = row
-                .model
-                .and_then(|m| paper_accuracy(m, self.dataset));
+            let paper = row.model.and_then(|m| paper_accuracy(m, self.dataset));
             if let Some(f) = &row.features {
                 t.push_row(vec![
                     label.into(),
@@ -183,7 +181,13 @@ impl MetricsTableResult {
                 metric3(h.f1),
                 pct(h.accuracy),
                 paper.map_or_else(
-                    || if row.model.is_none() { pct(0.9596) } else { "-".into() },
+                    || {
+                        if row.model.is_none() {
+                            pct(0.9596)
+                        } else {
+                            "-".into()
+                        }
+                    },
                     |(_, p)| pct(p),
                 ),
             ]);
@@ -257,6 +261,9 @@ mod tests {
             assert!(paper_accuracy(model, DatasetId::PimaM).is_some());
             assert!(paper_accuracy(model, DatasetId::Sylhet).is_some());
         }
-        assert_eq!(paper_accuracy(ModelKind::RandomForest, DatasetId::PimaR), None);
+        assert_eq!(
+            paper_accuracy(ModelKind::RandomForest, DatasetId::PimaR),
+            None
+        );
     }
 }

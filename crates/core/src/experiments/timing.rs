@@ -141,7 +141,10 @@ impl TimingResult {
             "Sequential NN (per epoch)".into(),
             format!("{:.4}", self.nn_epoch_secs.0),
             format!("{:.4}", self.nn_epoch_secs.1),
-            format!("{:.1}x", self.nn_epoch_secs.1 / self.nn_epoch_secs.0.max(1e-12)),
+            format!(
+                "{:.1}x",
+                self.nn_epoch_secs.1 / self.nn_epoch_secs.0.max(1e-12)
+            ),
         ]);
         t.push_row(vec![
             "(encoding, excluded by paper)".into(),

@@ -55,7 +55,9 @@ impl HdcFeatureExtractor {
     /// avoid leaking test-set ranges; pass `None` to use every row).
     pub fn fit(&mut self, table: &Table, rows: Option<&[usize]>) -> Result<(), HyperfexError> {
         if table.is_empty() {
-            return Err(HyperfexError::Pipeline("cannot fit on an empty table".into()));
+            return Err(HyperfexError::Pipeline(
+                "cannot fit on an empty table".into(),
+            ));
         }
         let all_rows: Vec<usize>;
         let rows = match rows {
@@ -79,7 +81,11 @@ impl HdcFeatureExtractor {
                     })?;
                     // Degenerate (constant) columns get a token range so the
                     // encoder stays valid; every value maps to the seed code.
-                    let (min, max) = if max > min { (min, max) } else { (min, min + 1.0) };
+                    let (min, max) = if max > min {
+                        (min, max)
+                    } else {
+                        (min, min + 1.0)
+                    };
                     specs.push(FeatureSpec::continuous(spec.name.clone(), min, max));
                 }
             }
@@ -124,7 +130,10 @@ impl HdcFeatureExtractor {
     }
 
     /// Fit on all rows, then transform all rows.
-    pub fn fit_transform(&mut self, table: &Table) -> Result<Vec<BinaryHypervector>, HyperfexError> {
+    pub fn fit_transform(
+        &mut self,
+        table: &Table,
+    ) -> Result<Vec<BinaryHypervector>, HyperfexError> {
         self.fit(table, None)?;
         self.transform(table, None)
     }
@@ -150,18 +159,54 @@ impl HdcFeatureExtractor {
 
     /// Converts hypervectors into a dense 0/1 `f32` matrix — the "use the
     /// hypervectors to train classification models" step (§II).
-    #[must_use]
-    pub fn to_matrix(hypervectors: &[BinaryHypervector]) -> Matrix {
-        let n = hypervectors.len();
-        let d = hypervectors.first().map_or(0, BinaryHypervector::len);
-        let mut m = Matrix::zeros(n, d);
+    ///
+    /// Every input must share one dimensionality; a mixed-dimension slice
+    /// is reported as an error up front rather than panicking mid-copy.
+    /// Rows are unpacked straight from the packed words (one 64-bit load
+    /// per 64 matrix cells) and split across rayon workers in contiguous
+    /// row blocks.
+    pub fn to_matrix(hypervectors: &[BinaryHypervector]) -> Result<Matrix, HyperfexError> {
+        let Some(first) = hypervectors.first() else {
+            return Ok(Matrix::zeros(0, 0));
+        };
+        let d = first.len();
         for (i, hv) in hypervectors.iter().enumerate() {
-            let row = m.row_mut(i);
-            for (j, bit) in hv.iter_bits().enumerate() {
-                row[j] = f32::from(u8::from(bit));
+            if hv.len() != d {
+                return Err(HyperfexError::Pipeline(format!(
+                    "to_matrix: hypervector {i} has dimensionality {} but hypervector 0 has {d}",
+                    hv.len()
+                )));
             }
         }
-        m
+        let n = hypervectors.len();
+        let mut m = Matrix::zeros(n, d);
+        let block = n.div_ceil(rayon::current_num_threads().max(1));
+        rayon::scope(|s| {
+            for (cells, hvs) in m
+                .as_mut_slice()
+                .chunks_mut(block * d)
+                .zip(hypervectors.chunks(block))
+            {
+                s.spawn(move |_| {
+                    for (row, hv) in cells.chunks_mut(d).zip(hvs) {
+                        unpack_bits_into(hv, row);
+                    }
+                });
+            }
+        });
+        Ok(m)
+    }
+}
+
+/// Writes the bits of `hv` into `row` as 0.0/1.0, reading the packed words
+/// directly instead of the per-bit getter.
+fn unpack_bits_into(hv: &BinaryHypervector, row: &mut [f32]) {
+    let words = hv.words();
+    for (w, chunk) in row.chunks_mut(64).enumerate() {
+        let word = words[w];
+        for (j, cell) in chunk.iter_mut().enumerate() {
+            *cell = ((word >> j) & 1) as f32;
+        }
     }
 }
 
@@ -216,12 +261,8 @@ mod tests {
         ext.fit(&table, Some(&[0, 3])).unwrap();
         let out = ext.transform(&table, Some(&[2, 3])).unwrap();
         let clamped = &out[0];
-        let boundary = Table::new(
-            table.columns().to_vec(),
-            vec![vec![100.0, 1.0]],
-            vec![1],
-        )
-        .unwrap();
+        let boundary =
+            Table::new(table.columns().to_vec(), vec![vec![100.0, 1.0]], vec![1]).unwrap();
         let expected = ext.transform(&boundary, None).unwrap();
         assert_eq!(clamped, &expected[0]);
     }
@@ -258,7 +299,7 @@ mod tests {
         let table = mixed_table();
         let mut ext = HdcFeatureExtractor::new(Dim::new(640), 2);
         let hvs = ext.fit_transform(&table).unwrap();
-        let m = HdcFeatureExtractor::to_matrix(&hvs);
+        let m = HdcFeatureExtractor::to_matrix(&hvs).unwrap();
         assert_eq!(m.n_rows(), 4);
         assert_eq!(m.n_cols(), 640);
         for i in 0..4 {
@@ -269,13 +310,46 @@ mod tests {
     }
 
     #[test]
+    fn to_matrix_of_empty_slice_is_empty() {
+        let m = HdcFeatureExtractor::to_matrix(&[]).unwrap();
+        assert_eq!(m.n_rows(), 0);
+        assert_eq!(m.n_cols(), 0);
+    }
+
+    #[test]
+    fn to_matrix_rejects_mixed_dimensions() {
+        // Regression: this used to index out of bounds (panic) when a later
+        // hypervector was longer than the first; now it is a Pipeline error
+        // naming the offending index.
+        let hvs = vec![
+            BinaryHypervector::zeros(Dim::new(128)),
+            BinaryHypervector::zeros(Dim::new(256)),
+        ];
+        let err = HdcFeatureExtractor::to_matrix(&hvs).unwrap_err();
+        assert!(matches!(err, HyperfexError::Pipeline(_)));
+        assert!(err.to_string().contains("hypervector 1"));
+        // Shorter-than-first also errors instead of leaving silent zeros.
+        let hvs = vec![
+            BinaryHypervector::zeros(Dim::new(256)),
+            BinaryHypervector::zeros(Dim::new(128)),
+        ];
+        assert!(HdcFeatureExtractor::to_matrix(&hvs).is_err());
+    }
+
+    #[test]
     fn same_seed_same_codes_across_extractors() {
         let table = mixed_table();
         let mut a = HdcFeatureExtractor::new(Dim::new(512), 11);
         let mut b = HdcFeatureExtractor::new(Dim::new(512), 11);
-        assert_eq!(a.fit_transform(&table).unwrap(), b.fit_transform(&table).unwrap());
+        assert_eq!(
+            a.fit_transform(&table).unwrap(),
+            b.fit_transform(&table).unwrap()
+        );
         let mut c = HdcFeatureExtractor::new(Dim::new(512), 12);
-        assert_ne!(a.fit_transform(&table).unwrap(), c.fit_transform(&table).unwrap());
+        assert_ne!(
+            a.fit_transform(&table).unwrap(),
+            c.fit_transform(&table).unwrap()
+        );
     }
 
     #[test]

@@ -46,9 +46,9 @@ impl HammingModel {
 
     /// Derives the paper's metric set from a LOOCV outcome.
     pub fn metrics(outcome: &LoocvOutcome) -> Option<BinaryMetrics> {
-        outcome.binary_counts().map(|(tp, tn, fp, fn_)| {
-            ConfusionMatrix { tp, tn, fp, fn_ }.metrics()
-        })
+        outcome
+            .binary_counts()
+            .map(|(tp, tn, fp, fn_)| ConfusionMatrix { tp, tn, fp, fn_ }.metrics())
     }
 
     /// Fits a reusable classifier on a training split (for train/test
@@ -77,11 +77,7 @@ pub struct FittedHammingModel {
 
 impl FittedHammingModel {
     /// Predicts classes for the selected rows.
-    pub fn predict(
-        &self,
-        table: &Table,
-        rows: &[usize],
-    ) -> Result<Vec<usize>, HyperfexError> {
+    pub fn predict(&self, table: &Table, rows: &[usize]) -> Result<Vec<usize>, HyperfexError> {
         let hvs = self.extractor.transform(table, Some(rows))?;
         Ok(self.knn.predict_batch(&hvs)?)
     }
@@ -132,7 +128,9 @@ mod tests {
         let table = cohort();
         let train: Vec<usize> = (0..100).filter(|i| i % 5 != 0).collect();
         let test: Vec<usize> = (0..100).filter(|i| i % 5 == 0).collect();
-        let model = HammingModel::new(Dim::new(2_000), 3).fit(&table, &train).unwrap();
+        let model = HammingModel::new(Dim::new(2_000), 3)
+            .fit(&table, &train)
+            .unwrap();
         let acc = model.accuracy(&table, &test).unwrap();
         assert!(acc > 0.6, "held-out accuracy {acc}");
         assert_eq!(model.predict(&table, &test).unwrap().len(), test.len());
@@ -151,8 +149,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let table = cohort();
-        let a = HammingModel::new(Dim::new(1_000), 5).evaluate_loocv(&table).unwrap();
-        let b = HammingModel::new(Dim::new(1_000), 5).evaluate_loocv(&table).unwrap();
+        let a = HammingModel::new(Dim::new(1_000), 5)
+            .evaluate_loocv(&table)
+            .unwrap();
+        let b = HammingModel::new(Dim::new(1_000), 5)
+            .evaluate_loocv(&table)
+            .unwrap();
         assert_eq!(a.predictions, b.predictions);
     }
 }

@@ -66,7 +66,7 @@ impl HybridClassifier {
     /// matrix (exposed so callers can cache them across models).
     pub fn features(&self, table: &Table, rows: &[usize]) -> Result<Matrix, HyperfexError> {
         let hvs = self.extractor.transform(table, Some(rows))?;
-        Ok(HdcFeatureExtractor::to_matrix(&hvs))
+        HdcFeatureExtractor::to_matrix(&hvs)
     }
 
     /// Clinician-facing permutation importance of the *original* clinical
@@ -83,10 +83,14 @@ impl HybridClassifier {
         seed: u64,
     ) -> Result<Vec<(String, f64)>, HyperfexError> {
         if !self.fitted {
-            return Err(HyperfexError::Pipeline("importance requires a fitted model".into()));
+            return Err(HyperfexError::Pipeline(
+                "importance requires a fitted model".into(),
+            ));
         }
         if n_repeats == 0 {
-            return Err(HyperfexError::Pipeline("n_repeats must be at least 1".into()));
+            return Err(HyperfexError::Pipeline(
+                "n_repeats must be at least 1".into(),
+            ));
         }
         let baseline = self.accuracy(table, rows)?;
         let mut rng = SplitMix64::new(seed);
@@ -104,15 +108,12 @@ impl HybridClassifier {
                 for (r, &src) in permuted_rows.iter_mut().zip(&order) {
                     r[col] = column[src];
                 }
-                let permuted_table = Table::new(
-                    table.columns().to_vec(),
-                    permuted_rows,
-                    labels.clone(),
-                )?;
+                let permuted_table =
+                    Table::new(table.columns().to_vec(), permuted_rows, labels.clone())?;
                 let all: Vec<usize> = (0..permuted_table.n_rows()).collect();
                 let predictions = {
                     let hvs = self.extractor.transform(&permuted_table, Some(&all))?;
-                    self.model.predict(&HdcFeatureExtractor::to_matrix(&hvs))?
+                    self.model.predict(&HdcFeatureExtractor::to_matrix(&hvs)?)?
                 };
                 let correct = predictions
                     .iter()

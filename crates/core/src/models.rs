@@ -9,9 +9,7 @@ use hyperfex_ml::boost::{
 };
 use hyperfex_ml::forest::{RandomForestClassifier, RandomForestParams};
 use hyperfex_ml::knn::{KnnClassifier, KnnParams};
-use hyperfex_ml::linear::{
-    LogisticRegression, LogisticRegressionParams, SgdClassifier, SgdParams,
-};
+use hyperfex_ml::linear::{LogisticRegression, LogisticRegressionParams, SgdClassifier, SgdParams};
 use hyperfex_ml::nn::{SequentialNn, SequentialNnParams};
 use hyperfex_ml::svm::{SvcClassifier, SvcParams};
 use hyperfex_ml::tree::{DecisionTreeClassifier, TreeParams};
@@ -153,9 +151,7 @@ mod tests {
     fn toy() -> (Matrix, Vec<usize>) {
         // 80 rows so even LightGBM's min_data_in_leaf = 20 default can
         // split.
-        let rows: Vec<Vec<f32>> = (0..80)
-            .map(|i| vec![i as f32, (80 - i) as f32])
-            .collect();
+        let rows: Vec<Vec<f32>> = (0..80).map(|i| vec![i as f32, (80 - i) as f32]).collect();
         let y = (0..80).map(|i| usize::from(i >= 40)).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
@@ -167,9 +163,15 @@ mod tests {
             ensemble_scale: 0.1,
             nn_max_epochs: 30,
         };
-        for kind in PAPER_MODELS.iter().copied().chain([ModelKind::SequentialNn]) {
+        for kind in PAPER_MODELS
+            .iter()
+            .copied()
+            .chain([ModelKind::SequentialNn])
+        {
             let mut model = make_model(kind, 7, &budget);
-            model.fit(&x, &y).unwrap_or_else(|e| panic!("{kind:?} fit failed: {e}"));
+            model
+                .fit(&x, &y)
+                .unwrap_or_else(|e| panic!("{kind:?} fit failed: {e}"));
             let acc = model.accuracy(&x, &y).unwrap();
             assert!(
                 acc > 0.6,

@@ -68,10 +68,7 @@ impl RiskScorer {
         Ok(())
     }
 
-    fn encode_row(
-        &self,
-        values: &[f64],
-    ) -> Result<hyperfex_hdc::BinaryHypervector, HyperfexError> {
+    fn encode_row(&self, values: &[f64]) -> Result<hyperfex_hdc::BinaryHypervector, HyperfexError> {
         use hyperfex_data::{ColumnSpec, Table as T};
         // Reuse the fitted encoder by round-tripping through a one-row
         // table with a synthetic schema of the right arity.
@@ -111,7 +108,10 @@ mod tests {
         ];
         let hi = scorer.score(&symptomatic).unwrap();
         let lo = scorer.score(&asymptomatic).unwrap();
-        assert!(hi > lo, "symptomatic {hi} should outscore asymptomatic {lo}");
+        assert!(
+            hi > lo,
+            "symptomatic {hi} should outscore asymptomatic {lo}"
+        );
         assert!(hi > 0.5);
         assert!(lo < 0.5);
         assert!((0.0..=1.0).contains(&hi) && (0.0..=1.0).contains(&lo));

@@ -11,9 +11,15 @@ use std::path::Path;
 /// Parses simple comma-separated text (no quoted fields — neither dataset
 /// uses them). Returns (header, records).
 fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), DataError> {
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     let (_, header_line) = lines.next().ok_or(DataError::EmptyTable)?;
-    let header: Vec<String> = header_line.split(',').map(|s| s.trim().to_string()).collect();
+    let header: Vec<String> = header_line
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
     let mut records = Vec::new();
     for (i, line) in lines {
         let fields: Vec<String> = line.split(',').map(|s| s.trim().to_string()).collect();
@@ -183,13 +189,15 @@ mod tests {
     #[test]
     fn pima_rejects_malformed_input() {
         assert!(pima_from_str("a,b\n1,2\n").is_err());
-        let bad_field = "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
+        let bad_field =
+            "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
                          6,xx,72,35,0,33.6,0.627,50,1\n";
         assert!(matches!(
             pima_from_str(bad_field),
             Err(DataError::Parse { line: 2, .. })
         ));
-        let short_row = "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
+        let short_row =
+            "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
                          6,148,72\n";
         assert!(pima_from_str(short_row).is_err());
     }

@@ -62,7 +62,10 @@ impl fmt::Display for DataError {
             }
             Self::InvalidFractions(msg) => write!(f, "invalid split fractions: {msg}"),
             Self::TooFewSamples { class } => {
-                write!(f, "class {class} has too few samples for the requested split")
+                write!(
+                    f,
+                    "class {class} has too few samples for the requested split"
+                )
             }
             Self::InvalidK { k, n } => write!(f, "k = {k} invalid for {n} samples"),
             Self::Parse { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
@@ -87,9 +90,16 @@ mod tests {
 
     #[test]
     fn messages_carry_context() {
-        let e = DataError::ArityMismatch { row: 7, expected: 8, got: 6 };
+        let e = DataError::ArityMismatch {
+            row: 7,
+            expected: 8,
+            got: 6,
+        };
         assert!(e.to_string().contains("row 7"));
-        let e = DataError::Parse { line: 3, message: "bad float".into() };
+        let e = DataError::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
         assert!(e.to_string().contains("line 3"));
         let e = DataError::InvalidK { k: 1, n: 5 };
         assert!(e.to_string().contains("k = 1"));

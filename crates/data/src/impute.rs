@@ -122,7 +122,14 @@ mod tests {
     fn odd_count_median_is_exact_value() {
         let t = Table::new(
             vec![ColumnSpec::continuous("a")],
-            vec![vec![1.0], vec![9.0], vec![5.0], vec![f64::NAN], vec![0.0], vec![1.0]],
+            vec![
+                vec![1.0],
+                vec![9.0],
+                vec![5.0],
+                vec![f64::NAN],
+                vec![0.0],
+                vec![1.0],
+            ],
             vec![0, 0, 0, 0, 1, 1],
         )
         .unwrap();

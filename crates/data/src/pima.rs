@@ -73,7 +73,7 @@ impl Default for PimaConfig {
 #[allow(clippy::type_complexity)] // a literal calibration table, not an API surface
 pub fn paper_targets() -> [(f64, (f64, f64), f64, (f64, f64)); 8] {
     [
-        (4.0, (0.0, 17.0), 3.0, (0.0, 13.0)),        // Pregnancies
+        (4.0, (0.0, 17.0), 3.0, (0.0, 13.0)),         // Pregnancies
         (145.0, (78.0, 198.0), 111.0, (56.0, 197.0)), // Glucose
         (74.0, (30.0, 110.0), 69.0, (24.0, 106.0)),   // Blood Pressure
         (33.0, (7.0, 63.0), 27.0, (7.0, 60.0)),       // Skin Thickness
@@ -141,7 +141,9 @@ struct FeatureGen {
 /// Generates the full synthetic cohort, missing values included.
 pub fn generate(config: &PimaConfig) -> Result<Table, DataError> {
     if config.n_negative == 0 || config.n_positive == 0 {
-        return Err(DataError::InvalidConfig("class sizes must be non-zero".into()));
+        return Err(DataError::InvalidConfig(
+            "class sizes must be non-zero".into(),
+        ));
     }
     if config.complete_cases.0 > config.n_negative || config.complete_cases.1 > config.n_positive {
         return Err(DataError::InvalidConfig(
@@ -210,7 +212,9 @@ pub fn generate(config: &PimaConfig) -> Result<Table, DataError> {
         let bp_v = draw(&bp, adiposity, 0.30, &mut rng);
         let dpf = sample_dpf(z, &mut rng);
 
-        rows.push(vec![preg_v, glucose, bp_v, skin_v, insulin, bmi_v, dpf, age_v]);
+        rows.push(vec![
+            preg_v, glucose, bp_v, skin_v, insulin, bmi_v, dpf, age_v,
+        ]);
         labels.push(usize::from(positive));
     }
 
@@ -225,7 +229,7 @@ pub fn generate(config: &PimaConfig) -> Result<Table, DataError> {
 fn sample_dpf(z: f64, rng: &mut StdRng) -> f64 {
     // Pima population prevalence is high even among controls; the latent
     // shift nudges diabetic relatives toward positive subjects.
-    let p_rel = logistic(-0.35 + 0.25 * z);
+    let p_rel = logistic(-0.35 + 0.15 * z);
     let mut relatives = Vec::with_capacity(10);
     let push = |gene_share: f64, rng: &mut StdRng, relatives: &mut Vec<Relative>| {
         let diabetic = rng.random_range(0.0..1.0) < p_rel;
@@ -257,12 +261,7 @@ fn sample_dpf(z: f64, rng: &mut StdRng) -> f64 {
 /// survive `drop_missing`, using the real dataset's dominant pattern
 /// (Insulin always missing in incomplete rows; SkinThickness usually;
 /// BloodPressure / Glucose / BMI occasionally).
-fn inject_missing(
-    rows: &mut [Vec<f64>],
-    labels: &[usize],
-    config: &PimaConfig,
-    rng: &mut StdRng,
-) {
+fn inject_missing(rows: &mut [Vec<f64>], labels: &[usize], config: &PimaConfig, rng: &mut StdRng) {
     for class in 0..2 {
         let total = if class == 0 {
             config.n_negative

@@ -152,7 +152,9 @@ mod tests {
 
     fn table(n_neg: usize, n_pos: usize) -> Table {
         let rows: Vec<Vec<f64>> = (0..n_neg + n_pos).map(|i| vec![i as f64]).collect();
-        let labels: Vec<usize> = (0..n_neg + n_pos).map(|i| usize::from(i >= n_neg)).collect();
+        let labels: Vec<usize> = (0..n_neg + n_pos)
+            .map(|i| usize::from(i >= n_neg))
+            .collect();
         Table::new(vec![ColumnSpec::continuous("x")], rows, labels).unwrap()
     }
 

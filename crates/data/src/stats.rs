@@ -88,12 +88,7 @@ mod tests {
 
     #[test]
     fn empty_class_yields_nan() {
-        let t = Table::new(
-            vec![ColumnSpec::continuous("x")],
-            vec![vec![1.0]],
-            vec![0],
-        )
-        .unwrap();
+        let t = Table::new(vec![ColumnSpec::continuous("x")], vec![vec![1.0]], vec![0]).unwrap();
         let s = class_summary(&t);
         assert!(s.positive[0].mean.is_nan());
         assert_eq!(s.positive[0].n, 0);

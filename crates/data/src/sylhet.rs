@@ -84,7 +84,9 @@ impl Default for SylhetConfig {
 /// dataset is complete.
 pub fn generate(config: &SylhetConfig) -> Result<Table, DataError> {
     if config.n_positive == 0 || config.n_negative == 0 {
-        return Err(DataError::InvalidConfig("class sizes must be non-zero".into()));
+        return Err(DataError::InvalidConfig(
+            "class sizes must be non-zero".into(),
+        ));
     }
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = config.n_positive + config.n_negative;

@@ -204,11 +204,7 @@ mod tests {
     fn sample() -> Table {
         Table::new(
             vec![ColumnSpec::continuous("a"), ColumnSpec::binary("b")],
-            vec![
-                vec![1.0, 0.0],
-                vec![f64::NAN, 1.0],
-                vec![3.0, 1.0],
-            ],
+            vec![vec![1.0, 0.0], vec![f64::NAN, 1.0], vec![3.0, 1.0]],
             vec![0, 1, 1],
         )
         .unwrap()

@@ -74,9 +74,7 @@ mod tests {
     fn dataset() -> (Matrix, Vec<usize>) {
         // Column 0 determines the class; column 1 is pure noise-ish
         // (deterministic but label-independent).
-        let rows: Vec<Vec<f32>> = (0..60)
-            .map(|i| vec![i as f32, (i % 7) as f32])
-            .collect();
+        let rows: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32, (i % 7) as f32]).collect();
         let y: Vec<usize> = (0..60).map(|i| usize::from(i >= 30)).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }

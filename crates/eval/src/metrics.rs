@@ -122,14 +122,40 @@ mod tests {
         let actual = [1, 1, 0, 0, 1, 0];
         let predicted = [1, 0, 0, 1, 1, 0];
         let m = ConfusionMatrix::from_labels(&actual, &predicted);
-        assert_eq!(m, ConfusionMatrix { tp: 2, tn: 2, fp: 1, fn_: 1 });
+        assert_eq!(
+            m,
+            ConfusionMatrix {
+                tp: 2,
+                tn: 2,
+                fp: 1,
+                fn_: 1
+            }
+        );
     }
 
     #[test]
     fn merged_accumulates() {
-        let a = ConfusionMatrix { tp: 1, tn: 2, fp: 3, fn_: 4 };
-        let b = ConfusionMatrix { tp: 10, tn: 20, fp: 30, fn_: 40 };
-        assert_eq!(a.merged(&b), ConfusionMatrix { tp: 11, tn: 22, fp: 33, fn_: 44 });
+        let a = ConfusionMatrix {
+            tp: 1,
+            tn: 2,
+            fp: 3,
+            fn_: 4,
+        };
+        let b = ConfusionMatrix {
+            tp: 10,
+            tn: 20,
+            fp: 30,
+            fn_: 40,
+        };
+        assert_eq!(
+            a.merged(&b),
+            ConfusionMatrix {
+                tp: 11,
+                tn: 22,
+                fp: 33,
+                fn_: 44
+            }
+        );
     }
 
     #[test]
@@ -142,7 +168,12 @@ mod tests {
         assert_eq!(x.specificity, 0.0);
         assert_eq!(x.f1, 0.0);
         // All-positive predictions on all-negative data.
-        let m = ConfusionMatrix { tp: 0, tn: 0, fp: 5, fn_: 0 };
+        let m = ConfusionMatrix {
+            tp: 0,
+            tn: 0,
+            fp: 5,
+            fn_: 0,
+        };
         assert_eq!(m.metrics().precision, 0.0);
         assert!(m.metrics().f1 == 0.0);
     }

@@ -10,20 +10,14 @@ fn main() {
     let datasets = cli.datasets().unwrap_or_else(|e| fail(e));
     let dims = [1_000, 2_000, 5_000, 10_000, 20_000, 30_000];
 
-    for (label, table) in [
-        ("Pima R", &datasets.pima_r),
-        ("Syhlet", &datasets.sylhet),
-    ] {
+    for (label, table) in [("Pima R", &datasets.pima_r), ("Syhlet", &datasets.sylhet)] {
         let points = ablation::dimensionality_sweep(table, &dims, cli.config.seed)
             .unwrap_or_else(|e| fail(e));
         cli.emit(&ablation::sweep_report(&points, label));
     }
 
     println!("HDC classifier variants (dim = {}):", cli.config.dim);
-    for (label, table) in [
-        ("Pima R", &datasets.pima_r),
-        ("Syhlet", &datasets.sylhet),
-    ] {
+    for (label, table) in [("Pima R", &datasets.pima_r), ("Syhlet", &datasets.sylhet)] {
         let v = ablation::classifier_variants(table, cli.config.dim(), cli.config.seed)
             .unwrap_or_else(|e| fail(e));
         println!(
@@ -42,10 +36,7 @@ fn main() {
     println!("binary vs bipolar bundling agreement: {:.4}", agreement);
 
     println!("\ndistance-metric comparison (1-NN LOOCV):");
-    for (label, table) in [
-        ("Pima R", &datasets.pima_r),
-        ("Syhlet", &datasets.sylhet),
-    ] {
+    for (label, table) in [("Pima R", &datasets.pima_r), ("Syhlet", &datasets.sylhet)] {
         let c = ablation::distance_metrics(table, cli.config.dim(), cli.config.seed)
             .unwrap_or_else(|e| fail(e));
         println!(
@@ -56,7 +47,10 @@ fn main() {
         );
     }
 
-    println!("\nencoding-resolution ablation (Pima R, Hamming LOOCV, dim = {}):", cli.config.dim);
+    println!(
+        "\nencoding-resolution ablation (Pima R, Hamming LOOCV, dim = {}):",
+        cli.config.dim
+    );
     let points = ablation::resolution_sweep(
         &datasets.pima_r,
         cli.config.dim(),

@@ -105,7 +105,9 @@ fn main() {
                 i += 1;
             }
             other => {
-                eprintln!("unknown flag `{other}` (patient flags: --age --sex --symptoms --explain)");
+                eprintln!(
+                    "unknown flag `{other}` (patient flags: --age --sex --symptoms --explain)"
+                );
                 exit(2);
             }
         }
@@ -134,8 +136,8 @@ fn main() {
     }
 
     // Prototype-based risk score.
-    let scorer = RiskScorer::fit(cohort, cli.config.dim(), cli.config.seed)
-        .unwrap_or_else(|e| fail(e));
+    let scorer =
+        RiskScorer::fit(cohort, cli.config.dim(), cli.config.seed).unwrap_or_else(|e| fail(e));
     let risk = scorer.score(&row).unwrap_or_else(|e| fail(e));
     println!(
         "diabetes risk score: {risk:.3}  ({})",

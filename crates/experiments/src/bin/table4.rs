@@ -7,7 +7,7 @@ fn main() {
     let cli = Cli::parse("table4");
     let datasets = cli.datasets().unwrap_or_else(|e| fail(e));
     let result = table45::run_table4(&datasets, &cli.config).unwrap_or_else(|e| fail(e));
-    cli.emit(&result.to_report(
-        "Table IV — Pima M test metrics (90/10 split), features vs hypervectors",
-    ));
+    cli.emit(
+        &result.to_report("Table IV — Pima M test metrics (90/10 split), features vs hypervectors"),
+    );
 }

@@ -151,7 +151,10 @@ impl BinaryHypervector {
         let mut n = 0usize;
         for (i, b) in bits.into_iter().enumerate() {
             if i >= dim.get() {
-                return Err(HdcError::DimensionMismatch { left: dim.get(), right: i + 1 });
+                return Err(HdcError::DimensionMismatch {
+                    left: dim.get(),
+                    right: i + 1,
+                });
             }
             if b {
                 hv.set(i, true);
@@ -159,7 +162,10 @@ impl BinaryHypervector {
             n = i + 1;
         }
         if n != dim.get() {
-            return Err(HdcError::DimensionMismatch { left: dim.get(), right: n });
+            return Err(HdcError::DimensionMismatch {
+                left: dim.get(),
+                right: n,
+            });
         }
         Ok(hv)
     }
@@ -193,6 +199,13 @@ impl BinaryHypervector {
         &self.words
     }
 
+    /// Mutable word access for crate-internal kernels. Callers must uphold
+    /// the tail invariant: bits at or above `dim` stay zero.
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Reads bit `i`.
     ///
     /// # Panics
@@ -200,7 +213,11 @@ impl BinaryHypervector {
     #[inline]
     #[must_use]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.dim.get(), "bit index {i} out of range {}", self.dim);
+        assert!(
+            i < self.dim.get(),
+            "bit index {i} out of range {}",
+            self.dim
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -210,7 +227,11 @@ impl BinaryHypervector {
     /// Panics if `i >= self.len()`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.dim.get(), "bit index {i} out of range {}", self.dim);
+        assert!(
+            i < self.dim.get(),
+            "bit index {i} out of range {}",
+            self.dim
+        );
         let mask = 1u64 << (i % WORD_BITS);
         if value {
             self.words[i / WORD_BITS] |= mask;
@@ -222,7 +243,11 @@ impl BinaryHypervector {
     /// Flips bit `i`.
     #[inline]
     pub fn flip(&mut self, i: usize) {
-        assert!(i < self.dim.get(), "bit index {i} out of range {}", self.dim);
+        assert!(
+            i < self.dim.get(),
+            "bit index {i} out of range {}",
+            self.dim
+        );
         self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
     }
 
@@ -241,7 +266,8 @@ impl BinaryHypervector {
     #[inline]
     #[must_use]
     pub fn hamming(&self, other: &Self) -> usize {
-        self.try_hamming(other).expect("hypervector dimension mismatch")
+        self.try_hamming(other)
+            .expect("hypervector dimension mismatch")
     }
 
     /// Fallible Hamming distance.
@@ -272,7 +298,10 @@ impl BinaryHypervector {
             .map(|(a, b)| a ^ b)
             .collect::<Vec<_>>()
             .into_boxed_slice();
-        Self { dim: self.dim, words }
+        Self {
+            dim: self.dim,
+            words,
+        }
     }
 
     /// In-place XOR binding.
@@ -296,11 +325,20 @@ impl BinaryHypervector {
         if let Some(last) = words.last_mut() {
             *last &= self.dim.tail_mask();
         }
-        Self { dim: self.dim, words }
+        Self {
+            dim: self.dim,
+            words,
+        }
     }
 
     /// Cyclic rotation by `k` bit positions (the standard HDC permutation
     /// operation, used to encode sequence/position information).
+    ///
+    /// Computed word-at-a-time as `(x << k) | (x >> (d − k))` over the
+    /// packed little-endian layout: each storage word contributes to at
+    /// most two output words per shifted copy, and the final word is
+    /// re-masked so the tail invariant (bits ≥ `d` are zero) carries the
+    /// rotation across a non-multiple-of-64 boundary.
     #[must_use]
     pub fn permute(&self, k: usize) -> Self {
         let d = self.dim.get();
@@ -309,10 +347,10 @@ impl BinaryHypervector {
             return self.clone();
         }
         let mut out = Self::zeros(self.dim);
-        for i in 0..d {
-            if self.get(i) {
-                out.set((i + k) % d, true);
-            }
+        or_shifted_left(&self.words, k, &mut out.words);
+        or_shifted_right(&self.words, d - k, &mut out.words);
+        if let Some(last) = out.words.last_mut() {
+            *last &= self.dim.tail_mask();
         }
         out
     }
@@ -333,13 +371,19 @@ impl BinaryHypervector {
     /// the overall density of the vector.
     ///
     /// Returns an error if `count` exceeds the number of ones or zeros.
-    pub fn flip_balanced(
-        &self,
-        count: usize,
-        rng: &mut SplitMix64,
-    ) -> Result<Self, HdcError> {
-        let ones: Vec<u32> = self.iter_bits().enumerate().filter(|&(_, b)| b).map(|(i, _)| i as u32).collect();
-        let zeros: Vec<u32> = self.iter_bits().enumerate().filter(|&(_, b)| !b).map(|(i, _)| i as u32).collect();
+    pub fn flip_balanced(&self, count: usize, rng: &mut SplitMix64) -> Result<Self, HdcError> {
+        let ones: Vec<u32> = self
+            .iter_bits()
+            .enumerate()
+            .filter(|&(_, b)| b)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let zeros: Vec<u32> = self
+            .iter_bits()
+            .enumerate()
+            .filter(|&(_, b)| !b)
+            .map(|(i, _)| i as u32)
+            .collect();
         if count > ones.len() || count > zeros.len() {
             return Err(HdcError::InvalidRange {
                 min: count as f64,
@@ -381,6 +425,55 @@ impl BinaryHypervector {
     /// Iterates the bits from index 0 to `d-1`.
     pub fn iter_bits(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.dim.get()).map(move |i| self.get(i))
+    }
+}
+
+/// ORs `src << shift` (a left shift over the packed little-endian bit
+/// layout) into `dst`. Bits shifted past the end of `dst` are discarded;
+/// the caller re-masks the tail word.
+fn or_shifted_left(src: &[u64], shift: usize, dst: &mut [u64]) {
+    let ws = shift / WORD_BITS;
+    let bs = shift % WORD_BITS;
+    if bs == 0 {
+        for i in ws..dst.len() {
+            dst[i] |= src[i - ws];
+        }
+    } else {
+        for i in ws..dst.len() {
+            let lo = src[i - ws] << bs;
+            let hi = if i > ws {
+                src[i - ws - 1] >> (WORD_BITS - bs)
+            } else {
+                0
+            };
+            dst[i] |= lo | hi;
+        }
+    }
+}
+
+/// ORs `src >> shift` into `dst`. Relies on `src`'s tail invariant (bits
+/// at or above the dimensionality are zero) so no stray bits shift in.
+fn or_shifted_right(src: &[u64], shift: usize, dst: &mut [u64]) {
+    let ws = shift / WORD_BITS;
+    let bs = shift % WORD_BITS;
+    let n = src.len();
+    if ws >= n {
+        return;
+    }
+    if bs == 0 {
+        for i in 0..n - ws {
+            dst[i] |= src[i + ws];
+        }
+    } else {
+        for i in 0..n - ws {
+            let lo = src[i + ws] >> bs;
+            let hi = if i + ws + 1 < n {
+                src[i + ws + 1] << (WORD_BITS - bs)
+            } else {
+                0
+            };
+            dst[i] |= lo | hi;
+        }
     }
 }
 
@@ -492,7 +585,10 @@ mod tests {
         let b = BinaryHypervector::zeros(Dim::new(128));
         assert_eq!(
             a.try_hamming(&b),
-            Err(HdcError::DimensionMismatch { left: 64, right: 128 })
+            Err(HdcError::DimensionMismatch {
+                left: 64,
+                right: 128
+            })
         );
     }
 
@@ -587,7 +683,11 @@ mod tests {
     fn debug_output_is_compact() {
         let hv = BinaryHypervector::zeros(Dim::PAPER);
         let s = format!("{hv:?}");
-        assert!(s.len() < 120, "debug output should not dump 10k bits: {}", s.len());
+        assert!(
+            s.len() < 120,
+            "debug output should not dump 10k bits: {}",
+            s.len()
+        );
         assert!(s.contains("10000"));
     }
 }

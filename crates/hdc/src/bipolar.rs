@@ -153,7 +153,11 @@ impl BipolarAccumulator {
             return Err(HdcError::EmptyInput);
         }
         Ok(BipolarHypervector {
-            components: self.sums.iter().map(|&s| if s >= 0 { 1i8 } else { -1i8 }).collect(),
+            components: self
+                .sums
+                .iter()
+                .map(|&s| if s >= 0 { 1i8 } else { -1i8 })
+                .collect(),
         })
     }
 
@@ -219,7 +223,9 @@ mod tests {
     fn accumulator_bundle_is_similar_to_members() {
         let mut r = rng();
         let dim = Dim::new(4_096);
-        let members: Vec<_> = (0..9).map(|_| BipolarHypervector::random(dim, &mut r)).collect();
+        let members: Vec<_> = (0..9)
+            .map(|_| BipolarHypervector::random(dim, &mut r))
+            .collect();
         let mut acc = BipolarAccumulator::new(dim);
         for m in &members {
             acc.push(m).unwrap();
@@ -238,7 +244,9 @@ mod tests {
         // vectors must equal binary majority voting.
         let mut r = rng();
         let dim = Dim::new(1_000);
-        let binaries: Vec<_> = (0..5).map(|_| BinaryHypervector::random(dim, &mut r)).collect();
+        let binaries: Vec<_> = (0..5)
+            .map(|_| BinaryHypervector::random(dim, &mut r))
+            .collect();
         let expected = crate::bundle::majority(&binaries);
         let mut acc = BipolarAccumulator::new(dim);
         for b in &binaries {

@@ -13,6 +13,13 @@
 //!   the inputs are produced one at a time (e.g. the online clinical
 //!   follow-up scenario in §III-B) or when the same accumulator is reused
 //!   to build class prototypes.
+//!
+//! The accumulator stores its counters *bit-sliced*: plane `p` packs bit
+//! `p` of all `d` counters into `⌈d/64⌉` words, so adding one hypervector
+//! is a word-wide ripple-carry add over `O(log total)` planes rather than
+//! one scalar increment per set bit, and the majority threshold in
+//! [`Bundler::finish`] is a word-wide borrow-chain comparison deciding 64
+//! bits per step.
 
 use crate::binary::{BinaryHypervector, Dim, WORD_BITS};
 use crate::error::HdcError;
@@ -56,15 +63,18 @@ pub fn try_weighted_majority(
     bundler.finish()
 }
 
-/// A streaming majority-vote accumulator.
+/// A streaming majority-vote accumulator with bit-sliced counters.
 ///
-/// Holds one `u32` counter per bit plus the total number of votes. Memory is
-/// `4·d` bytes (40 KB at the paper's 10k dimensionality), allocated once and
-/// reusable via [`Bundler::clear`].
+/// Plane `p` holds bit `p` of every per-bit vote counter, 64 counters per
+/// word. Planes are allocated on demand as counts grow, so memory is
+/// `⌈log₂(total+1)⌉ · d/8` bytes (four planes ≈ 5 KB at the paper's 10k
+/// dimensionality for a typical 8-feature record, vs 40 KB for `u32`
+/// counters) and the accumulator is reusable via [`Bundler::clear`].
 #[derive(Debug, Clone)]
 pub struct Bundler {
     dim: Dim,
-    counts: Vec<u32>,
+    /// `planes[p][w]` packs bit `p` of counters `64·w .. 64·w + 64`.
+    planes: Vec<Vec<u64>>,
     total: u32,
 }
 
@@ -74,7 +84,7 @@ impl Bundler {
     pub fn new(dim: Dim) -> Self {
         Self {
             dim,
-            counts: vec![0u32; dim.get()],
+            planes: Vec::new(),
             total: 0,
         }
     }
@@ -97,6 +107,11 @@ impl Bundler {
     }
 
     /// Adds `weight` votes from `hv`.
+    ///
+    /// The weight is decomposed into its binary digits: for each set bit
+    /// `b` of `weight`, the input's packed words are ripple-carry-added
+    /// into the counter planes starting at plane `b`, updating 64 counters
+    /// per word operation.
     pub fn push_weighted(&mut self, hv: &BinaryHypervector, weight: u32) -> Result<(), HdcError> {
         if hv.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
@@ -107,19 +122,37 @@ impl Bundler {
         if weight == 0 {
             return Ok(());
         }
-        // Word-at-a-time unpacking: test each bit of the word rather than
-        // calling the bounds-checked bit getter d times.
-        for (w, word) in hv.words().iter().enumerate() {
-            let mut bits = *word;
-            let base = w * WORD_BITS;
-            while bits != 0 {
-                let tz = bits.trailing_zeros() as usize;
-                self.counts[base + tz] += weight;
-                bits &= bits - 1;
+        let n_words = self.dim.words();
+        let mut w = weight;
+        let mut base = 0usize;
+        while w != 0 {
+            if w & 1 == 1 {
+                self.add_plane(hv.words(), base, n_words);
             }
+            w >>= 1;
+            base += 1;
         }
         self.total += weight;
         Ok(())
+    }
+
+    /// Ripple-carry adds `src` (one vote per set bit) into the counter
+    /// planes, starting at plane `base`. New planes are allocated only when
+    /// a carry actually propagates past the current top plane.
+    fn add_plane(&mut self, src: &[u64], base: usize, n_words: usize) {
+        for (widx, &word) in src.iter().enumerate() {
+            let mut carry = word;
+            let mut p = base;
+            while carry != 0 {
+                while self.planes.len() <= p {
+                    self.planes.push(vec![0u64; n_words]);
+                }
+                let old = self.planes[p][widx];
+                self.planes[p][widx] = old ^ carry;
+                carry &= old;
+                p += 1;
+            }
+        }
     }
 
     /// Removes `weight` votes previously added for `hv` (for decremental
@@ -135,30 +168,47 @@ impl Bundler {
                 right: hv.dim().get(),
             });
         }
+        if weight == 0 {
+            return Ok(());
+        }
         if self.total < weight {
             return Err(HdcError::EmptyInput);
         }
+        let w = u64::from(weight);
+        let w_bits = (64 - w.leading_zeros()) as usize;
+        let max_p = self.planes.len().max(w_bits);
         // Validate before mutating so a failed removal leaves the
-        // accumulator untouched (u32 wrap in release would otherwise
-        // silently pin bits to 1 forever).
-        for (w, word) in hv.words().iter().enumerate() {
-            let mut bits = *word;
-            let base = w * WORD_BITS;
-            while bits != 0 {
-                let tz = bits.trailing_zeros() as usize;
-                if self.counts[base + tz] < weight {
-                    return Err(HdcError::EmptyInput);
-                }
-                bits &= bits - 1;
+        // accumulator untouched: a borrow surviving past the top plane for
+        // any counter being decremented means that counter would underflow.
+        for (widx, &sel) in hv.words().iter().enumerate() {
+            if sel == 0 {
+                continue;
+            }
+            let mut borrow = 0u64;
+            for p in 0..max_p {
+                let a = self.planes.get(p).map_or(0, |plane| plane[widx]);
+                let s = if (w >> p) & 1 == 1 { sel } else { 0 };
+                borrow = (!a & (s | borrow)) | (s & borrow);
+            }
+            if borrow != 0 {
+                return Err(HdcError::EmptyInput);
             }
         }
-        for (w, word) in hv.words().iter().enumerate() {
-            let mut bits = *word;
-            let base = w * WORD_BITS;
-            while bits != 0 {
-                let tz = bits.trailing_zeros() as usize;
-                self.counts[base + tz] -= weight;
-                bits &= bits - 1;
+        for (widx, &sel) in hv.words().iter().enumerate() {
+            if sel == 0 {
+                continue;
+            }
+            let mut borrow = 0u64;
+            for p in 0..max_p {
+                let a = self.planes.get(p).map_or(0, |plane| plane[widx]);
+                let s = if (w >> p) & 1 == 1 { sel } else { 0 };
+                let diff = a ^ s ^ borrow;
+                borrow = (!a & (s | borrow)) | (s & borrow);
+                if let Some(plane) = self.planes.get_mut(p) {
+                    plane[widx] = diff;
+                }
+                // Beyond the allocated planes a = 0, and validation
+                // guarantees diff = 0 there, so nothing is lost.
             }
         }
         self.total -= weight;
@@ -168,32 +218,59 @@ impl Bundler {
     /// Produces the majority vector. Ties (possible only for an even number
     /// of votes) resolve to 1, per the paper.
     ///
+    /// The threshold test `2·count ≥ total` (⇔ `count ≥ ⌈total/2⌉`) runs as
+    /// a bit-sliced borrow chain of `count − ⌈total/2⌉` over the planes: a
+    /// surviving borrow means the count fell short, so the majority word is
+    /// the complement of the borrow word.
+    ///
     /// Returns [`HdcError::EmptyInput`] if no votes were accumulated.
     pub fn finish(&self) -> Result<BinaryHypervector, HdcError> {
         if self.total == 0 {
             return Err(HdcError::EmptyInput);
         }
+        let threshold = u64::from(self.total.div_ceil(2));
+        let t_bits = (64 - threshold.leading_zeros()) as usize;
+        let max_p = self.planes.len().max(t_bits);
         let mut out = BinaryHypervector::zeros(self.dim);
-        // bit = 1  ⇔  2·count ≥ total  (strict majority, or exactly half).
-        let threshold = self.total;
-        for (i, &c) in self.counts.iter().enumerate() {
-            if 2 * u64::from(c) >= u64::from(threshold) {
-                out.set(i, true);
+        for widx in 0..self.dim.words() {
+            let mut borrow = 0u64;
+            for p in 0..max_p {
+                let a = self.planes.get(p).map_or(0, |plane| plane[widx]);
+                let t = if (threshold >> p) & 1 == 1 {
+                    u64::MAX
+                } else {
+                    0
+                };
+                borrow = (!a & (t | borrow)) | (t & borrow);
             }
+            out.words_mut()[widx] = !borrow;
+        }
+        let mask = self.dim.tail_mask();
+        if let Some(last) = out.words_mut().last_mut() {
+            *last &= mask;
         }
         Ok(out)
     }
 
-    /// Resets the accumulator without releasing its allocation.
+    /// Resets the accumulator without releasing its allocations.
     pub fn clear(&mut self) {
-        self.counts.fill(0);
+        for plane in &mut self.planes {
+            plane.fill(0);
+        }
         self.total = 0;
     }
 
-    /// Raw per-bit vote counts (length `d`).
+    /// Materialises the per-bit vote counts (length `d`) from the planes.
     #[must_use]
-    pub fn counts(&self) -> &[u32] {
-        &self.counts
+    pub fn counts(&self) -> Vec<u32> {
+        let d = self.dim.get();
+        let mut out = vec![0u32; d];
+        for (p, plane) in self.planes.iter().enumerate() {
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot |= (((plane[i / WORD_BITS] >> (i % WORD_BITS)) & 1) as u32) << p;
+            }
+        }
+        out
     }
 }
 
@@ -238,7 +315,9 @@ mod tests {
     #[test]
     fn ties_break_toward_one() {
         let d = Dim::new(8);
-        let a = BinaryHypervector::from_bits(d, [true, false, true, false, true, false, true, false]).unwrap();
+        let a =
+            BinaryHypervector::from_bits(d, [true, false, true, false, true, false, true, false])
+                .unwrap();
         let b = a.complement();
         // Every bit is a 1-1 tie.
         let out = majority(&[a, b]);
@@ -249,7 +328,9 @@ mod tests {
     fn bundle_is_similar_to_every_input() {
         let d = Dim::new(10_000);
         let mut r = rng();
-        let inputs: Vec<_> = (0..7).map(|_| BinaryHypervector::random(d, &mut r)).collect();
+        let inputs: Vec<_> = (0..7)
+            .map(|_| BinaryHypervector::random(d, &mut r))
+            .collect();
         let bundled = majority(&inputs);
         let unrelated = BinaryHypervector::random(d, &mut r);
         for hv in &inputs {
@@ -268,13 +349,30 @@ mod tests {
     #[test]
     fn bundler_matches_one_shot_majority() {
         let mut r = rng();
-        let inputs: Vec<_> = (0..6).map(|_| BinaryHypervector::random(dim(), &mut r)).collect();
+        let inputs: Vec<_> = (0..6)
+            .map(|_| BinaryHypervector::random(dim(), &mut r))
+            .collect();
         let mut b = Bundler::new(dim());
         for hv in &inputs {
             b.push(hv).unwrap();
         }
         assert_eq!(b.finish().unwrap(), majority(&inputs));
         assert_eq!(b.votes(), 6);
+    }
+
+    #[test]
+    fn bundler_matches_scalar_reference_across_tail_dims() {
+        let mut r = rng();
+        let weights = [1u32, 3, 2, 7, 1];
+        for d in [1usize, 63, 64, 65, 101, 127, 128, 200] {
+            let dm = Dim::new(d);
+            let inputs: Vec<(BinaryHypervector, u32)> = weights
+                .iter()
+                .map(|&w| (BinaryHypervector::random(dm, &mut r), w))
+                .collect();
+            let expected = crate::reference::weighted_majority(&inputs).unwrap();
+            assert_eq!(try_weighted_majority(&inputs).unwrap(), expected, "d = {d}");
+        }
     }
 
     #[test]
@@ -310,15 +408,34 @@ mod tests {
     }
 
     #[test]
+    fn weighted_remove_reverses_weighted_push() {
+        let mut r = rng();
+        let a = BinaryHypervector::random(dim(), &mut r);
+        let b = BinaryHypervector::random(dim(), &mut r);
+        let mut acc = Bundler::new(dim());
+        acc.push_weighted(&a, 5).unwrap();
+        acc.push_weighted(&b, 6).unwrap();
+        acc.remove_weighted(&b, 6).unwrap();
+        let mut only_a = Bundler::new(dim());
+        only_a.push_weighted(&a, 5).unwrap();
+        assert_eq!(acc.counts(), only_a.counts());
+        assert_eq!(acc.votes(), 5);
+    }
+
+    #[test]
     fn over_removal_is_rejected_without_corruption() {
         let mut r = rng();
         let a = BinaryHypervector::random(dim(), &mut r);
         let mut acc = Bundler::new(dim());
         acc.push(&a).unwrap();
         // Removing more weight than was pushed must fail atomically.
-        let before = acc.counts().to_vec();
+        let before = acc.counts();
         assert!(acc.remove_weighted(&a, 2).is_err());
-        assert_eq!(acc.counts(), &before[..], "failed removal must not mutate counters");
+        assert_eq!(
+            acc.counts(),
+            before,
+            "failed removal must not mutate counters"
+        );
         assert_eq!(acc.votes(), 1);
         // A vector never pushed (disjoint bits) also fails cleanly.
         let b = a.complement();
@@ -338,28 +455,57 @@ mod tests {
     }
 
     #[test]
+    fn counts_track_per_bit_votes() {
+        let d = Dim::new(130);
+        let mut a = BinaryHypervector::zeros(d);
+        a.set(0, true);
+        a.set(64, true);
+        a.set(129, true);
+        let mut acc = Bundler::new(d);
+        acc.push_weighted(&a, 3).unwrap();
+        acc.push(&BinaryHypervector::ones(d)).unwrap();
+        let counts = acc.counts();
+        assert_eq!(counts.len(), 130);
+        assert_eq!(counts[0], 4);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[64], 4);
+        assert_eq!(counts[128], 1);
+        assert_eq!(counts[129], 4);
+    }
+
+    #[test]
     fn dimension_mismatch_is_rejected() {
         let mut acc = Bundler::new(Dim::new(64));
         let wrong = BinaryHypervector::zeros(Dim::new(128));
-        assert!(matches!(acc.push(&wrong), Err(HdcError::DimensionMismatch { .. })));
+        assert!(matches!(
+            acc.push(&wrong),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
     fn alternative_formulation_add_divide_round_matches() {
         // §II-B: "An alternate approach ... add the respective bits, divide
         // by the number of feature hypervectors, and round the result".
-        // With round-half-up this is identical to majority voting with
-        // tie → 1. Verify on random stacks.
+        // With round-half-up, the per-bit quantity round(sum/n) ∈ {0, 1}
+        // equals majority voting with tie → 1. Compute the alternate
+        // formulation independently — integer round-half-up of sum/n is
+        // ⌊(2·sum + n) / 2n⌋ — and compare against the bundler bit by bit.
         let mut r = rng();
         let d = Dim::new(128);
         for n in 1..=8usize {
-            let inputs: Vec<_> = (0..n).map(|_| BinaryHypervector::random(d, &mut r)).collect();
+            let inputs: Vec<_> = (0..n)
+                .map(|_| BinaryHypervector::random(d, &mut r))
+                .collect();
             let bundled = majority(&inputs);
             for i in 0..d.get() {
                 let sum: usize = inputs.iter().filter(|hv| hv.get(i)).count();
-                let rounded = (sum as f64 / n as f64 + 0.5).floor() as usize >= 1
-                    && sum * 2 >= n;
-                assert_eq!(bundled.get(i), rounded || sum * 2 >= n);
+                let rounded = (2 * sum + n) / (2 * n);
+                assert_eq!(
+                    bundled.get(i),
+                    rounded >= 1,
+                    "bit {i}: {sum} ones of {n} votes"
+                );
             }
         }
     }

@@ -308,7 +308,10 @@ mod tests {
                 .count()
         };
         let before = score(&clf);
-        assert!(before < hvs.len(), "premise: single-pass bundling makes a mistake");
+        assert!(
+            before < hvs.len(),
+            "premise: single-pass bundling makes a mistake"
+        );
         let epochs = clf.retrain(&hvs, &labels, 50).unwrap();
         let after = score(&clf);
         assert_eq!(after, hvs.len(), "retraining should fix the boundary case");

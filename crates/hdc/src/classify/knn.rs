@@ -141,7 +141,6 @@ mod tests {
     use super::*;
     use crate::binary::Dim;
     use crate::encoding::LinearEncoder;
-    
 
     fn clustered_data() -> (Vec<BinaryHypervector>, Vec<usize>) {
         // Two clusters along a level-encoded axis: low values class 0,
@@ -203,8 +202,16 @@ mod tests {
         let mut weighted = HammingKnnClassifier::new(3).with_distance_weighting();
         weighted.fit(hvs, labels).unwrap();
         let query = enc.encode(50.0);
-        assert_eq!(plain.predict(&query).unwrap(), 0, "unweighted majority picks class 0");
-        assert_eq!(weighted.predict(&query).unwrap(), 1, "weighting favours the near neighbour");
+        assert_eq!(
+            plain.predict(&query).unwrap(),
+            0,
+            "unweighted majority picks class 0"
+        );
+        assert_eq!(
+            weighted.predict(&query).unwrap(),
+            1,
+            "weighting favours the near neighbour"
+        );
     }
 
     #[test]
@@ -263,6 +270,9 @@ mod tests {
         let mut clf = HammingKnnClassifier::new(1);
         clf.fit(hvs, labels).unwrap();
         let bad = BinaryHypervector::zeros(Dim::new(64));
-        assert!(matches!(clf.predict(&bad), Err(HdcError::DimensionMismatch { .. })));
+        assert!(matches!(
+            clf.predict(&bad),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
     }
 }

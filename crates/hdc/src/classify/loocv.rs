@@ -94,7 +94,11 @@ impl LeaveOneOut {
             })
             .collect();
 
-        Ok(LoocvOutcome::from_predictions(labels, &predictions, n_classes))
+        Ok(LoocvOutcome::from_predictions(
+            labels,
+            &predictions,
+            n_classes,
+        ))
     }
 }
 
@@ -211,7 +215,9 @@ mod tests {
     #[test]
     fn requires_at_least_two_rows() {
         let hv = BinaryHypervector::zeros(Dim::new(64));
-        assert!(LeaveOneOut::new().run(std::slice::from_ref(&hv), &[0]).is_err());
+        assert!(LeaveOneOut::new()
+            .run(std::slice::from_ref(&hv), &[0])
+            .is_err());
         assert!(LeaveOneOut::new().run(&[], &[]).is_err());
     }
 
@@ -238,7 +244,10 @@ mod tests {
         hvs.push(enc.encode(5.0));
         labels.push(1);
         let acc1 = LeaveOneOut::new().run(&hvs, &labels).unwrap().accuracy();
-        let acc3 = LeaveOneOut::with_k(3).run(&hvs, &labels).unwrap().accuracy();
+        let acc3 = LeaveOneOut::with_k(3)
+            .run(&hvs, &labels)
+            .unwrap()
+            .accuracy();
         assert!(acc3 >= acc1);
     }
 

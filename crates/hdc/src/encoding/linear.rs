@@ -1,8 +1,11 @@
 //! Linear (level) encoding of continuous features.
 
-use crate::binary::{BinaryHypervector, Dim};
+use crate::binary::{BinaryHypervector, Dim, WORD_BITS};
 use crate::error::HdcError;
 use crate::rng::SplitMix64;
+
+/// Flip pairs per precomputed checkpoint mask (see [`LinearEncoder`]).
+const CHECKPOINT_STRIDE: usize = 64;
 
 /// Level encoder for a continuous feature over `[min, max]`.
 ///
@@ -20,6 +23,15 @@ use crate::rng::SplitMix64;
 /// exactly `x(t₂) − x(t₁)` (rounded to even): the metric structure of the
 /// feature is embedded isometrically, which is what makes "45 closer to 50
 /// than to 70" hold in hyperspace.
+///
+/// # Encoding kernel
+///
+/// Because the flips are nested, the cumulative flip mask after `h` flip
+/// pairs is a pure function of `h`. The constructor precomputes that mask
+/// at every [`CHECKPOINT_STRIDE`]-pair checkpoint; [`Self::encode`] then
+/// XORs the seed with the nearest checkpoint at or below `h` (`⌈d/64⌉`
+/// word XORs) and applies the at most `2·63` remaining flips bit by bit,
+/// instead of walking up to `d` individual flips.
 #[derive(Debug, Clone)]
 pub struct LinearEncoder {
     dim: Dim,
@@ -30,6 +42,10 @@ pub struct LinearEncoder {
     flip_ones: Vec<u32>,
     /// Positions that start as zeros, in flip order.
     flip_zeros: Vec<u32>,
+    /// Flattened cumulative flip masks: checkpoint `c` (stride
+    /// `dim.words()`) is the XOR mask of the first `c·CHECKPOINT_STRIDE`
+    /// flip pairs.
+    checkpoints: Vec<u64>,
 }
 
 impl LinearEncoder {
@@ -61,6 +77,8 @@ impl LinearEncoder {
         order_rng.shuffle(&mut flip_ones);
         order_rng.shuffle(&mut flip_zeros);
 
+        let checkpoints = build_checkpoints(dim, &flip_ones, &flip_zeros);
+
         Ok(Self {
             dim,
             min,
@@ -68,6 +86,7 @@ impl LinearEncoder {
             seed: seed_hv,
             flip_ones,
             flip_zeros,
+            checkpoints,
         })
     }
 
@@ -89,9 +108,21 @@ impl LinearEncoder {
         &self.seed
     }
 
+    /// The fixed flip order as `(ones, zeros)` position lists: encoding a
+    /// value flips the first `flips_for(t)/2` entries of each list in the
+    /// seed. Exposed so scalar reference implementations (see
+    /// [`crate::reference`]) can replay the flips independently.
+    #[must_use]
+    pub fn flip_order(&self) -> (&[u32], &[u32]) {
+        (&self.flip_ones, &self.flip_zeros)
+    }
+
     /// Number of bit flips (total, ones + zeros) applied for value `t`:
-    /// `x = k·(t' − min)/(2·(max − min))` with `t' = clamp(t)`, rounded to
-    /// the nearest even integer so the flips split equally.
+    /// `x = k·(t' − min)/(2·(max − min))` with `t' = clamp(t)`. The flips
+    /// split equally between ones and zeros, so `x/2` is rounded to the
+    /// nearest integer — half-way cases away from zero, i.e. an odd `x`
+    /// rounds *up* to the next flip pair — then doubled, capped at the
+    /// shorter of the two flip lists.
     #[must_use]
     pub fn flips_for(&self, t: f64) -> usize {
         let t = t.clamp(self.min, self.max);
@@ -106,16 +137,36 @@ impl LinearEncoder {
     /// Encodes value `t`, clamping it into the encoder's range.
     #[must_use]
     pub fn encode(&self, t: f64) -> BinaryHypervector {
-        let flips = self.flips_for(t);
-        let half = flips / 2;
-        let mut hv = self.seed.clone();
-        for &i in &self.flip_ones[..half] {
-            hv.flip(i as usize);
-        }
-        for &i in &self.flip_zeros[..half] {
-            hv.flip(i as usize);
-        }
+        let mut hv = BinaryHypervector::zeros(self.dim);
+        self.encode_into(t, &mut hv);
         hv
+    }
+
+    /// Encodes value `t` into an existing hypervector, overwriting it.
+    /// Avoids allocation in batch loops; `out` must have this encoder's
+    /// dimensionality.
+    ///
+    /// # Panics
+    /// Panics if `out.dim() != self.dim()`.
+    pub fn encode_into(&self, t: f64, out: &mut BinaryHypervector) {
+        assert_eq!(
+            out.dim(),
+            self.dim,
+            "encode_into scratch dimensionality mismatch"
+        );
+        let half = self.flips_for(t) / 2;
+        let ck = half / CHECKPOINT_STRIDE;
+        let words = self.dim.words();
+        let mask = &self.checkpoints[ck * words..(ck + 1) * words];
+        for ((o, &s), &m) in out.words_mut().iter_mut().zip(self.seed.words()).zip(mask) {
+            *o = s ^ m;
+        }
+        for &i in &self.flip_ones[ck * CHECKPOINT_STRIDE..half] {
+            out.flip(i as usize);
+        }
+        for &i in &self.flip_zeros[ck * CHECKPOINT_STRIDE..half] {
+            out.flip(i as usize);
+        }
     }
 
     /// Like [`Self::encode`], but rejects NaN/infinite inputs instead of
@@ -126,6 +177,36 @@ impl LinearEncoder {
         }
         Ok(self.encode(t))
     }
+
+    /// Fallible variant of [`Self::encode_into`].
+    pub fn encode_checked_into(&self, t: f64, out: &mut BinaryHypervector) -> Result<(), HdcError> {
+        if !t.is_finite() {
+            return Err(HdcError::NonFiniteValue);
+        }
+        self.encode_into(t, out);
+        Ok(())
+    }
+}
+
+/// Precomputes the cumulative flip mask at every `CHECKPOINT_STRIDE`-pair
+/// boundary: snapshot `c` covers the first `c·CHECKPOINT_STRIDE` entries of
+/// both flip lists.
+fn build_checkpoints(dim: Dim, flip_ones: &[u32], flip_zeros: &[u32]) -> Vec<u64> {
+    let words = dim.words();
+    let cap = flip_ones.len().min(flip_zeros.len());
+    let mut checkpoints = Vec::with_capacity((cap / CHECKPOINT_STRIDE + 1) * words);
+    let mut mask = vec![0u64; words];
+    for h in 0..=cap {
+        if h % CHECKPOINT_STRIDE == 0 {
+            checkpoints.extend_from_slice(&mask);
+        }
+        if h < cap {
+            for &i in [flip_ones[h], flip_zeros[h]].iter() {
+                mask[i as usize / WORD_BITS] ^= 1u64 << (i as usize % WORD_BITS);
+            }
+        }
+    }
+    checkpoints
 }
 
 #[cfg(test)]
@@ -212,6 +293,10 @@ mod tests {
         assert!(e.encode_checked(f64::NAN).is_err());
         assert!(e.encode_checked(f64::NEG_INFINITY).is_err());
         assert!(e.encode_checked(55.0).is_ok());
+        let mut scratch = BinaryHypervector::zeros(Dim::PAPER);
+        assert!(e.encode_checked_into(f64::INFINITY, &mut scratch).is_err());
+        e.encode_checked_into(55.0, &mut scratch).unwrap();
+        assert_eq!(scratch, e.encode(55.0));
     }
 
     #[test]
@@ -222,5 +307,61 @@ mod tests {
         // 101 bits: 50 ones; max flips capped at 2·50.
         assert!(lo.hamming(&hi) <= 100);
         assert!(lo.hamming(&hi) >= 48);
+    }
+
+    #[test]
+    fn flips_for_rounds_half_pairs_up() {
+        // dim = k = 1000, range = 250 ⇒ x = k·t/(2·range) = 2t, so
+        // x/2 = t exactly: integer t maps to t flip pairs and half-way
+        // values (t = n + 0.5) must round *up* (away from zero), which is
+        // what distinguishes the implementation from rounding x to the
+        // nearest even integer (ambiguous at odd x) or rounding half to
+        // even (round(2.5) would give 2).
+        let e = LinearEncoder::new(Dim::new(1_000), 0.0, 250.0, 11).unwrap();
+        assert_eq!(e.flips_for(0.0), 0);
+        assert_eq!(e.flips_for(0.5), 2);
+        assert_eq!(e.flips_for(1.0), 2);
+        assert_eq!(e.flips_for(1.5), 4);
+        assert_eq!(e.flips_for(2.5), 6);
+        assert_eq!(e.flips_for(3.4), 6);
+        assert_eq!(e.flips_for(3.5), 8);
+    }
+
+    #[test]
+    fn flips_for_is_monotone_even_and_fine_grained_at_unit_granularity() {
+        // Walk t in steps of range/k (the finest granularity at which the
+        // formula can change): flips must be even, non-decreasing, move by
+        // at most one pair per step, and hit both endpoints exactly.
+        let dim = Dim::new(1_000);
+        let (min, max) = (-3.0, 7.0);
+        let e = LinearEncoder::new(dim, min, max, 99).unwrap();
+        let step = (max - min) / dim.get() as f64;
+        let mut prev = e.flips_for(min);
+        assert_eq!(prev, 0);
+        for j in 1..=dim.get() {
+            let t = min + j as f64 * step;
+            let f = e.flips_for(t);
+            assert_eq!(f % 2, 0, "flip counts split into pairs (t = {t})");
+            assert!(f >= prev, "flips must be monotone in t (t = {t})");
+            assert!(f - prev <= 2, "one step moves at most one pair (t = {t})");
+            prev = f;
+        }
+        assert_eq!(prev, e.flips_for(max));
+        assert_eq!(prev, dim.get() / 2);
+    }
+
+    #[test]
+    fn encode_matches_scalar_reference_at_checkpoint_boundaries() {
+        // Exercise halves around the 64-pair checkpoint stride explicitly:
+        // h = 63, 64, 65 must all agree with the bit-at-a-time oracle.
+        let dim = Dim::new(1_000);
+        let e = LinearEncoder::new(dim, 0.0, 250.0, 5).unwrap();
+        for t in [62.6, 63.0, 63.5, 64.0, 64.5, 65.0, 127.5, 128.0, 250.0] {
+            assert_eq!(
+                e.encode(t),
+                crate::reference::linear_encode(&e, t),
+                "t = {t}"
+            );
+        }
     }
 }

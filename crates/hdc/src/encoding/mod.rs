@@ -25,9 +25,10 @@ pub use item_memory::ItemMemory;
 pub use linear::LinearEncoder;
 pub use ngram::NgramEncoder;
 pub use quantized::QuantizedLinearEncoder;
-pub use record::{FeatureKind, FeatureSpec, RecordEncoder, RecordSchema};
+pub use record::{FeatureKind, FeatureSpec, RecordEncoder, RecordSchema, RecordScratch};
 
 use crate::binary::{BinaryHypervector, Dim};
+use crate::bundle::Bundler;
 use crate::error::HdcError;
 
 /// A per-feature encoder: either linear (continuous) or categorical.
@@ -61,6 +62,44 @@ impl FeatureEncoder {
                     return Err(HdcError::NonFiniteValue);
                 }
                 e.encode(value.round().max(0.0) as usize)
+            }
+        }
+    }
+
+    /// Encodes `value` and adds one vote to `bundler`, reusing `scratch`
+    /// for the continuous case.
+    ///
+    /// This is the allocation-free hot path behind
+    /// [`RecordEncoder::encode_batch`]: linear encoders write into
+    /// `scratch` in place, while quantized and categorical encoders vote
+    /// with a borrowed cached code (no clone). Semantics are identical to
+    /// `bundler.push(&self.encode(value)?)`.
+    ///
+    /// # Panics
+    /// Panics if `scratch.dim() != self.dim()` (see
+    /// [`LinearEncoder::encode_into`]).
+    pub fn encode_vote(
+        &self,
+        value: f64,
+        scratch: &mut BinaryHypervector,
+        bundler: &mut Bundler,
+    ) -> Result<(), HdcError> {
+        match self {
+            Self::Linear(e) => {
+                e.encode_checked_into(value, scratch)?;
+                bundler.push(scratch)
+            }
+            Self::Quantized(e) => bundler.push(e.encode(value)?),
+            Self::Categorical(e) => {
+                if !value.is_finite() {
+                    return Err(HdcError::NonFiniteValue);
+                }
+                let idx = value.round().max(0.0) as usize;
+                let code = e.code(idx).ok_or(HdcError::ArityMismatch {
+                    expected: e.n_categories(),
+                    got: idx + 1,
+                })?;
+                bundler.push(code)
             }
         }
     }

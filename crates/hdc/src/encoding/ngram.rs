@@ -145,7 +145,10 @@ mod tests {
         let mut e = encoder(1);
         let seq = e.encode_sequence(&[3, 3, 3]).unwrap();
         let sym = e.encode_ngram(&[3]).unwrap();
-        assert_eq!(seq, sym, "a unigram sequence of one symbol is that symbol's code");
+        assert_eq!(
+            seq, sym,
+            "a unigram sequence of one symbol is that symbol's code"
+        );
     }
 
     #[test]

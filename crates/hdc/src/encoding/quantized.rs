@@ -24,13 +24,7 @@ impl QuantizedLinearEncoder {
     /// Creates an encoder with `levels ≥ 2` codes over `[min, max]`,
     /// sharing the construction (seed vector + nested flip order) of
     /// [`LinearEncoder`] so the two encoders are directly comparable.
-    pub fn new(
-        dim: Dim,
-        min: f64,
-        max: f64,
-        levels: usize,
-        seed: u64,
-    ) -> Result<Self, HdcError> {
+    pub fn new(dim: Dim, min: f64, max: f64, levels: usize, seed: u64) -> Result<Self, HdcError> {
         if levels < 2 {
             return Err(HdcError::InvalidRange {
                 min: levels as f64,

@@ -5,7 +5,6 @@ use crate::bundle::Bundler;
 use crate::encoding::{CategoricalEncoder, FeatureEncoder, LinearEncoder, QuantizedLinearEncoder};
 use crate::error::HdcError;
 use crate::rng::SplitMix64;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// The kind and parameters of a single feature.
@@ -141,7 +140,11 @@ impl RecordEncoder {
             };
             encoders.push(enc);
         }
-        Ok(Self { schema, encoders, dim })
+        Ok(Self {
+            schema,
+            encoders,
+            dim,
+        })
     }
 
     /// The schema this encoder was built from.
@@ -180,26 +183,49 @@ impl RecordEncoder {
     /// Encodes one record into a single bundled patient hypervector
     /// (majority vote across the feature hypervectors, tie → 1).
     pub fn encode_record(&self, values: &[f64]) -> Result<BinaryHypervector, HdcError> {
+        let mut scratch = RecordScratch::new(self.dim);
+        self.encode_record_with(values, &mut scratch)
+    }
+
+    /// Like [`RecordEncoder::encode_record`], but reuses caller-provided
+    /// scratch state so repeated encoding allocates only the returned
+    /// hypervector. This is the per-thread hot path of
+    /// [`RecordEncoder::encode_batch`].
+    pub fn encode_record_with(
+        &self,
+        values: &[f64],
+        scratch: &mut RecordScratch,
+    ) -> Result<BinaryHypervector, HdcError> {
         if values.len() != self.encoders.len() {
             return Err(HdcError::ArityMismatch {
                 expected: self.encoders.len(),
                 got: values.len(),
             });
         }
-        let mut bundler = Bundler::new(self.dim);
-        for (enc, &v) in self.encoders.iter().zip(values) {
-            bundler.push(&enc.encode(v)?)?;
+        if scratch.feature.dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: scratch.feature.dim().get(),
+            });
         }
-        bundler.finish()
+        scratch.bundler.clear();
+        for (enc, &v) in self.encoders.iter().zip(values) {
+            enc.encode_vote(v, &mut scratch.feature, &mut scratch.bundler)?;
+        }
+        scratch.bundler.finish()
     }
 
     /// Encodes a batch of records in parallel with rayon.
     ///
-    /// Row-level data parallelism: each worker encodes whole records, so
-    /// there is no shared mutable state and results are identical to the
-    /// sequential path regardless of thread count.
+    /// Rows are split into one contiguous chunk per worker and processed
+    /// under `rayon::scope`, each worker reusing its own [`RecordScratch`]
+    /// (encoder scratch vector + bundler), so the hot loop performs no
+    /// per-record allocation beyond the output hypervectors. Results are
+    /// identical to the sequential path regardless of thread count; the
+    /// first error (in row order) is returned.
     pub fn encode_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<BinaryHypervector>, HdcError> {
-        rows.par_iter().map(|row| self.encode_record(row)).collect()
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        self.encode_rows_chunked(&refs)
     }
 
     /// Encodes a batch given as a flat row-major slice with `arity` columns.
@@ -215,10 +241,61 @@ impl RecordEncoder {
                 got: data.len(),
             });
         }
-        (0..n_rows)
-            .into_par_iter()
-            .map(|r| self.encode_record(&data[r * arity..(r + 1) * arity]))
-            .collect()
+        let refs: Vec<&[f64]> = data.chunks_exact(arity).collect();
+        self.encode_rows_chunked(&refs)
+    }
+
+    /// Shared chunked-parallel driver behind both batch entry points.
+    fn encode_rows_chunked(&self, rows: &[&[f64]]) -> Result<Vec<BinaryHypervector>, HdcError> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        let chunk_len = rows.len().div_ceil(rayon::current_num_threads().max(1));
+        let n_chunks = rows.len().div_ceil(chunk_len);
+        let mut slots: Vec<Result<Vec<BinaryHypervector>, HdcError>> = Vec::new();
+        slots.resize_with(n_chunks, || Ok(Vec::new()));
+        rayon::scope(|s| {
+            for (slot, chunk) in slots.iter_mut().zip(rows.chunks(chunk_len)) {
+                s.spawn(move |_| {
+                    let mut scratch = RecordScratch::new(self.dim);
+                    *slot = chunk
+                        .iter()
+                        .map(|row| self.encode_record_with(row, &mut scratch))
+                        .collect();
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(rows.len());
+        for slot in slots {
+            out.extend(slot?);
+        }
+        Ok(out)
+    }
+}
+
+/// Reusable scratch state for [`RecordEncoder::encode_record_with`]: one
+/// feature-encoding hypervector plus one bit-sliced [`Bundler`], both
+/// allocated once per thread and reset per record.
+#[derive(Debug, Clone)]
+pub struct RecordScratch {
+    feature: BinaryHypervector,
+    bundler: Bundler,
+}
+
+impl RecordScratch {
+    /// Creates scratch state for `dim`-bit record encoding.
+    #[must_use]
+    pub fn new(dim: Dim) -> Self {
+        Self {
+            feature: BinaryHypervector::zeros(dim),
+            bundler: Bundler::new(dim),
+        }
+    }
+
+    /// The dimensionality this scratch state serves.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.feature.dim()
     }
 }
 
@@ -244,7 +321,10 @@ mod tests {
         let enc = RecordEncoder::new(Dim::new(1_000), schema(), 1).unwrap();
         assert!(matches!(
             enc.encode_record(&[30.0, 100.0]),
-            Err(HdcError::ArityMismatch { expected: 3, got: 2 })
+            Err(HdcError::ArityMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
         assert!(enc.encode_features(&[30.0, 100.0, 1.0, 0.0]).is_err());
     }
@@ -278,7 +358,10 @@ mod tests {
         let enc = RecordEncoder::new(Dim::new(4_096), s, 5).unwrap();
         let fa = enc.encode_features(&[0.0, 0.0]).unwrap();
         let d = fa[0].hamming(&fa[1]);
-        assert!(d > 1_500, "identical-range features must not share codes (d = {d})");
+        assert!(
+            d > 1_500,
+            "identical-range features must not share codes (d = {d})"
+        );
     }
 
     #[test]
@@ -295,6 +378,25 @@ mod tests {
         let flat: Vec<f64> = rows.iter().flatten().copied().collect();
         assert_eq!(enc.encode_batch_flat(&flat, rows.len()).unwrap(), batch);
         assert!(enc.encode_batch_flat(&flat[1..], rows.len()).is_err());
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless_across_records() {
+        let enc = RecordEncoder::new(Dim::new(1_024), schema(), 13).unwrap();
+        let mut scratch = RecordScratch::new(enc.dim());
+        let a = [30.0, 100.0, 0.0];
+        let b = [75.0, 190.0, 1.0];
+        let ha1 = enc.encode_record_with(&a, &mut scratch).unwrap();
+        let _ = enc.encode_record_with(&b, &mut scratch).unwrap();
+        let ha2 = enc.encode_record_with(&a, &mut scratch).unwrap();
+        assert_eq!(ha1, ha2, "scratch must carry no state between records");
+        assert_eq!(ha1, enc.encode_record(&a).unwrap());
+        // Mismatched scratch dimensionality is rejected, not silently mixed.
+        let mut wrong = RecordScratch::new(Dim::new(512));
+        assert!(matches!(
+            enc.encode_record_with(&a, &mut wrong),
+            Err(HdcError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

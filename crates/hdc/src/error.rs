@@ -60,7 +60,10 @@ impl fmt::Display for HdcError {
             Self::NonFiniteValue => write!(f, "value must be finite"),
             Self::EmptyInput => write!(f, "operation requires at least one input"),
             Self::ArityMismatch { expected, got } => {
-                write!(f, "record has {got} values but schema defines {expected} features")
+                write!(
+                    f,
+                    "record has {got} values but schema defines {expected} features"
+                )
             }
             Self::NotFitted => write!(f, "classifier has not been fitted"),
             Self::LabelLengthMismatch { samples, labels } => {
@@ -78,7 +81,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = HdcError::DimensionMismatch { left: 64, right: 128 };
+        let e = HdcError::DimensionMismatch {
+            left: 64,
+            right: 128,
+        };
         assert!(e.to_string().contains("64"));
         assert!(e.to_string().contains("128"));
         let e = HdcError::InvalidRange { min: 3.0, max: 1.0 };

@@ -52,6 +52,7 @@ pub mod bundle;
 pub mod classify;
 pub mod encoding;
 pub mod error;
+pub mod reference;
 pub mod rng;
 pub mod sdm;
 pub mod similarity;
@@ -73,6 +74,7 @@ pub mod prelude {
     };
     pub use crate::encoding::{
         CategoricalEncoder, FeatureEncoder, LinearEncoder, RecordEncoder, RecordSchema,
+        RecordScratch,
     };
     pub use crate::error::HdcError;
     pub use crate::rng::SplitMix64;

@@ -1,0 +1,83 @@
+//! Scalar (bit-at-a-time) reference implementations of the word-level
+//! kernels.
+//!
+//! Every routine here is the naive per-bit formulation of an operation that
+//! [`crate::binary`], [`crate::bundle`] or [`crate::encoding`] implements
+//! with packed word arithmetic. They are deliberately simple enough to
+//! audit by eye and serve as oracles: property tests assert bit-for-bit
+//! equality between each kernel and its scalar reference across
+//! dimensionalities, including non-multiple-of-64 tail-word cases.
+
+use crate::binary::BinaryHypervector;
+use crate::encoding::LinearEncoder;
+use crate::error::HdcError;
+
+/// Per-bit cyclic rotation: bit `i` of the input moves to `(i + k) % d`.
+#[must_use]
+pub fn permute(hv: &BinaryHypervector, k: usize) -> BinaryHypervector {
+    let d = hv.len();
+    let k = k % d;
+    let mut out = BinaryHypervector::zeros(hv.dim());
+    for i in 0..d {
+        if hv.get(i) {
+            out.set((i + k) % d, true);
+        }
+    }
+    out
+}
+
+/// Per-bit level encoding: clone the seed, then flip the first
+/// `flips/2` entries of each flip list one bit at a time.
+#[must_use]
+pub fn linear_encode(enc: &LinearEncoder, t: f64) -> BinaryHypervector {
+    let half = enc.flips_for(t) / 2;
+    let (ones, zeros) = enc.flip_order();
+    let mut hv = enc.seed_hypervector().clone();
+    for &i in &ones[..half] {
+        hv.flip(i as usize);
+    }
+    for &i in &zeros[..half] {
+        hv.flip(i as usize);
+    }
+    hv
+}
+
+/// Per-bit weighted majority vote with the paper's tie → 1 rule: bit `i`
+/// of the result is 1 iff `2·Σ weightⱼ·bitⱼᵢ ≥ Σ weightⱼ`.
+pub fn weighted_majority(
+    inputs: &[(BinaryHypervector, u32)],
+) -> Result<BinaryHypervector, HdcError> {
+    let (first, _) = inputs.first().ok_or(HdcError::EmptyInput)?;
+    let dim = first.dim();
+    let mut total = 0u64;
+    for (hv, w) in inputs {
+        if hv.dim() != dim {
+            return Err(HdcError::DimensionMismatch {
+                left: dim.get(),
+                right: hv.dim().get(),
+            });
+        }
+        total += u64::from(*w);
+    }
+    if total == 0 {
+        return Err(HdcError::EmptyInput);
+    }
+    let mut out = BinaryHypervector::zeros(dim);
+    for i in 0..dim.get() {
+        let count: u64 = inputs
+            .iter()
+            .filter(|(hv, _)| hv.get(i))
+            .map(|(_, w)| u64::from(*w))
+            .sum();
+        if 2 * count >= total {
+            out.set(i, true);
+        }
+    }
+    Ok(out)
+}
+
+/// Per-bit unweighted majority vote (every input carries one vote).
+pub fn majority(inputs: &[BinaryHypervector]) -> Result<BinaryHypervector, HdcError> {
+    let weighted: Vec<(BinaryHypervector, u32)> = inputs.iter().map(|hv| (hv.clone(), 1)).collect();
+    weighted_majority(&weighted)
+}

@@ -34,12 +34,7 @@ impl SparseDistributedMemory {
     /// Kanerva's design point activates ≈ 0.1 % of locations per access;
     /// for convenience [`Self::with_critical_radius`] derives a radius that
     /// hits a target activation probability.
-    pub fn new(
-        dim: Dim,
-        n_locations: usize,
-        radius: usize,
-        seed: u64,
-    ) -> Result<Self, HdcError> {
+    pub fn new(dim: Dim, n_locations: usize, radius: usize, seed: u64) -> Result<Self, HdcError> {
         if n_locations == 0 {
             return Err(HdcError::EmptyInput);
         }
@@ -239,8 +234,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -307,7 +301,10 @@ mod tests {
         let mut rng = SplitMix64::new(1);
         let word = BinaryHypervector::random(dim(), &mut rng);
         let activated = m.write_auto(&word).unwrap();
-        assert!(activated > 0, "the word must activate at least one location");
+        assert!(
+            activated > 0,
+            "the word must activate at least one location"
+        );
         let out = m.read(&word).unwrap().expect("activated locations exist");
         assert_eq!(out, word);
         assert_eq!(m.n_writes(), 1);
@@ -321,16 +318,23 @@ mod tests {
         m.write_auto(&word).unwrap();
         // 8% bit noise — well inside the critical distance.
         let cue = noisy_copy(&word, 80, 5);
-        let recalled = m.recall(&cue, 10).unwrap().expect("cue activates locations");
-        assert_eq!(recalled, word, "cleanup loop should recover the stored word");
+        let recalled = m
+            .recall(&cue, 10)
+            .unwrap()
+            .expect("cue activates locations");
+        assert_eq!(
+            recalled, word,
+            "cleanup loop should recover the stored word"
+        );
     }
 
     #[test]
     fn multiple_words_coexist() {
         let mut m = memory();
         let mut rng = SplitMix64::new(3);
-        let words: Vec<BinaryHypervector> =
-            (0..6).map(|_| BinaryHypervector::random(dim(), &mut rng)).collect();
+        let words: Vec<BinaryHypervector> = (0..6)
+            .map(|_| BinaryHypervector::random(dim(), &mut rng))
+            .collect();
         for w in &words {
             m.write_auto(w).unwrap();
         }
@@ -359,8 +363,9 @@ mod tests {
         // mixture of locations and must not reconstruct any one of them.
         let mut m = memory();
         let mut rng = SplitMix64::new(6);
-        let words: Vec<BinaryHypervector> =
-            (0..20).map(|_| BinaryHypervector::random(dim(), &mut rng)).collect();
+        let words: Vec<BinaryHypervector> = (0..20)
+            .map(|_| BinaryHypervector::random(dim(), &mut rng))
+            .collect();
         for w in &words {
             m.write_auto(w).unwrap();
         }

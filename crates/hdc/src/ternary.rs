@@ -99,7 +99,10 @@ impl TernaryHypervector {
     /// # Panics
     /// Panics if `value` is not −1, 0 or +1.
     pub fn set(&mut self, i: usize, value: i8) {
-        assert!((-1..=1).contains(&value), "ternary component must be -1, 0 or 1");
+        assert!(
+            (-1..=1).contains(&value),
+            "ternary component must be -1, 0 or 1"
+        );
         self.pos.set(i, value == 1);
         self.neg.set(i, value == -1);
     }
@@ -267,7 +270,10 @@ mod tests {
         assert!((a.cosine(&a).unwrap() - 1.0).abs() < 1e-12);
         let b = TernaryHypervector::random_dense(Dim::new(1_000), &mut r);
         let cos = a.cosine(&b).unwrap();
-        assert!(cos.abs() < 0.15, "random dense vectors should be near-orthogonal, cos = {cos}");
+        assert!(
+            cos.abs() < 0.15,
+            "random dense vectors should be near-orthogonal, cos = {cos}"
+        );
         let zero = TernaryHypervector::zeros(Dim::new(1_000));
         assert_eq!(a.cosine(&zero).unwrap(), 0.0);
     }

@@ -23,7 +23,9 @@ pub struct GaussianNbParams {
 
 impl Default for GaussianNbParams {
     fn default() -> Self {
-        Self { var_smoothing: 1e-9 }
+        Self {
+            var_smoothing: 1e-9,
+        }
     }
 }
 
@@ -334,7 +336,11 @@ mod tests {
         let mut y = Vec::new();
         for i in 0..30 {
             let positive = i % 2 == 0;
-            let f0 = if positive { (i % 10 != 0) as u8 } else { u8::from(i % 7 == 0) };
+            let f0 = if positive {
+                (i % 10 != 0) as u8
+            } else {
+                u8::from(i % 7 == 0)
+            };
             let f1 = u8::from(i % 3 == 0);
             rows.push(vec![f32::from(f0), f32::from(f1)]);
             y.push(usize::from(positive));
@@ -364,8 +370,13 @@ mod tests {
 
     #[test]
     fn gaussian_handles_constant_features() {
-        let x = Matrix::from_rows(&[vec![1.0, 7.0], vec![2.0, 7.0], vec![8.0, 7.0], vec![9.0, 7.0]])
-            .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 7.0],
+            vec![2.0, 7.0],
+            vec![8.0, 7.0],
+            vec![9.0, 7.0],
+        ])
+        .unwrap();
         let y = vec![0, 0, 1, 1];
         let mut nb = GaussianNb::new(GaussianNbParams::default());
         nb.fit(&x, &y).unwrap();

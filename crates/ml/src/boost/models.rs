@@ -340,17 +340,27 @@ mod tests {
     }
     impl SmallN for XgBoostParams {
         fn with_n(n: usize) -> Self {
-            Self { n_estimators: n, ..Self::default() }
+            Self {
+                n_estimators: n,
+                ..Self::default()
+            }
         }
     }
     impl SmallN for LightGbmParams {
         fn with_n(n: usize) -> Self {
-            Self { n_estimators: n, min_data_in_leaf: 1, ..Self::default() }
+            Self {
+                n_estimators: n,
+                min_data_in_leaf: 1,
+                ..Self::default()
+            }
         }
     }
     impl SmallN for CatBoostParams {
         fn with_n(n: usize) -> Self {
-            Self { n_estimators: n, ..Self::default() }
+            Self {
+                n_estimators: n,
+                ..Self::default()
+            }
         }
     }
 
@@ -385,12 +395,20 @@ mod tests {
         let mut clf = XgBoostClassifier::new(small(30));
         clf.fit(&x, &y).unwrap();
         let p = clf.predict_proba(&x).unwrap();
-        let mean_pos: f64 =
-            p.iter().zip(&y).filter(|(_, &l)| l == 1).map(|(&pi, _)| pi).sum::<f64>()
-                / y.iter().filter(|&&l| l == 1).count() as f64;
-        let mean_neg: f64 =
-            p.iter().zip(&y).filter(|(_, &l)| l == 0).map(|(&pi, _)| pi).sum::<f64>()
-                / y.iter().filter(|&&l| l == 0).count() as f64;
+        let mean_pos: f64 = p
+            .iter()
+            .zip(&y)
+            .filter(|(_, &l)| l == 1)
+            .map(|(&pi, _)| pi)
+            .sum::<f64>()
+            / y.iter().filter(|&&l| l == 1).count() as f64;
+        let mean_neg: f64 = p
+            .iter()
+            .zip(&y)
+            .filter(|(_, &l)| l == 0)
+            .map(|(&pi, _)| pi)
+            .sum::<f64>()
+            / y.iter().filter(|&&l| l == 0).count() as f64;
         assert!(mean_pos > 0.8 && mean_neg < 0.2);
     }
 
@@ -426,7 +444,10 @@ mod tests {
         });
         assert!(matches!(
             clf.fit(&x, &y),
-            Err(MlError::InvalidParameter { name: "learning_rate", .. })
+            Err(MlError::InvalidParameter {
+                name: "learning_rate",
+                ..
+            })
         ));
     }
 

@@ -258,9 +258,9 @@ pub(super) fn grow_tree(
     cfg: &GrowConfig,
 ) -> BoostedTree {
     match cfg.strategy {
-        GrowthStrategy::LevelWise { max_depth } => grow_frontier(binned, gh, rows, cfg, {
-            FrontierMode::Level { max_depth }
-        }),
+        GrowthStrategy::LevelWise { max_depth } => {
+            grow_frontier(binned, gh, rows, cfg, FrontierMode::Level { max_depth })
+        }
         GrowthStrategy::LeafWise { max_leaves } => grow_leafwise(binned, gh, rows, cfg, max_leaves),
         GrowthStrategy::Oblivious { depth } => grow_oblivious(binned, gh, rows, cfg, depth),
     }
@@ -479,8 +479,7 @@ fn grow_oblivious(
                         continue;
                     }
                     let gain = 0.5
-                        * (leaf_objective(gl, hl, cfg.lambda)
-                            + leaf_objective(gr, hr, cfg.lambda)
+                        * (leaf_objective(gl, hl, cfg.lambda) + leaf_objective(gr, hr, cfg.lambda)
                             - parent_obj);
                     agg_gain[base + b] += gain;
                     any_valid[base + b] = true;
@@ -707,7 +706,11 @@ mod tests {
         let mut c = cfg(GrowthStrategy::LevelWise { max_depth: 4 });
         c.gamma = 1e9;
         let tree = grow_tree(&binned, &gh, rows, &c);
-        assert_eq!(tree.n_leaves(), 1, "an absurd gamma should prevent any split");
+        assert_eq!(
+            tree.n_leaves(),
+            1,
+            "an absurd gamma should prevent any split"
+        );
     }
 
     #[test]

@@ -101,7 +101,10 @@ impl PlattScaling {
     /// Calibrated probabilities for a batch.
     #[must_use]
     pub fn probabilities(&self, decision_values: &[f64]) -> Vec<f64> {
-        decision_values.iter().map(|&z| self.probability(z)).collect()
+        decision_values
+            .iter()
+            .map(|&z| self.probability(z))
+            .collect()
     }
 }
 
@@ -161,7 +164,10 @@ mod tests {
             PlattScaling::fit(&[0.1], &[0, 1]),
             Err(MlError::LabelLengthMismatch { .. })
         ));
-        assert!(matches!(PlattScaling::fit(&[], &[]), Err(MlError::EmptyTrainingSet)));
+        assert!(matches!(
+            PlattScaling::fit(&[], &[]),
+            Err(MlError::EmptyTrainingSet)
+        ));
         assert!(matches!(
             PlattScaling::fit(&[0.1, 0.2], &[1, 1]),
             Err(MlError::SingleClass)
@@ -186,9 +192,14 @@ mod tests {
                 .zip(&y)
                 .map(|(&pi, &yi)| {
                     let pi = pi.clamp(1e-12, 1.0 - 1e-12);
-                    if yi == 1 { -pi.ln() } else { -(1.0 - pi).ln() }
+                    if yi == 1 {
+                        -pi.ln()
+                    } else {
+                        -(1.0 - pi).ln()
+                    }
                 })
-                .sum::<f64>() / y.len() as f64
+                .sum::<f64>()
+                / y.len() as f64
         };
         let raw: Vec<f64> = z.iter().map(|&v| sigmoid(v)).collect();
         let calibrated = platt.probabilities(&z);

@@ -60,7 +60,10 @@ impl fmt::Display for MlError {
                 write!(f, "non-finite value at row {row}, column {col}")
             }
             Self::SingleClass => {
-                write!(f, "training data contains a single class; need at least two")
+                write!(
+                    f,
+                    "training data contains a single class; need at least two"
+                )
             }
         }
     }
@@ -74,10 +77,16 @@ mod tests {
 
     #[test]
     fn messages_mention_key_details() {
-        let e = MlError::LabelLengthMismatch { rows: 10, labels: 8 };
+        let e = MlError::LabelLengthMismatch {
+            rows: 10,
+            labels: 8,
+        };
         assert!(e.to_string().contains("10"));
         assert!(e.to_string().contains('8'));
-        let e = MlError::InvalidParameter { name: "k", reason: "must be > 0".into() };
+        let e = MlError::InvalidParameter {
+            name: "k",
+            reason: "must be > 0".into(),
+        };
         assert!(e.to_string().contains("`k`"));
         let e = MlError::NonFiniteInput { row: 3, col: 4 };
         assert!(e.to_string().contains("row 3"));

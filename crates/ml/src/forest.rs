@@ -209,10 +209,7 @@ mod tests {
         let mut b = small_forest(7);
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
-        assert_eq!(
-            a.predict_proba(&x).unwrap(),
-            b.predict_proba(&x).unwrap()
-        );
+        assert_eq!(a.predict_proba(&x).unwrap(), b.predict_proba(&x).unwrap());
     }
 
     #[test]
@@ -252,7 +249,10 @@ mod tests {
         });
         assert!(matches!(
             rf.fit(&x, &y),
-            Err(MlError::InvalidParameter { name: "n_estimators", .. })
+            Err(MlError::InvalidParameter {
+                name: "n_estimators",
+                ..
+            })
         ));
     }
 

@@ -142,7 +142,9 @@ mod tests {
             .map(|i| vec![i as f32, 0.0])
             .chain((20..30).map(|i| vec![i as f32, 0.0]))
             .collect();
-        let y: Vec<usize> = std::iter::repeat_n(0, 10).chain(std::iter::repeat_n(1, 10)).collect();
+        let y: Vec<usize> = std::iter::repeat_n(0, 10)
+            .chain(std::iter::repeat_n(1, 10))
+            .collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
 

@@ -48,15 +48,18 @@ pub use traits::{Estimator, ProbabilisticEstimator};
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::bayes::{BernoulliNb, BernoulliNbParams, GaussianNb, GaussianNbParams};
+    pub use crate::boost::{
+        CatBoostClassifier, CatBoostParams, LightGbmClassifier, LightGbmParams, XgBoostClassifier,
+        XgBoostParams,
+    };
     pub use crate::calibration::PlattScaling;
-    pub use crate::boost::{CatBoostClassifier, CatBoostParams, LightGbmClassifier,
-        LightGbmParams, XgBoostClassifier, XgBoostParams};
     pub use crate::error::MlError;
     pub use crate::forest::{RandomForestClassifier, RandomForestParams};
     pub use crate::knn::{KnnClassifier, KnnParams};
     pub use crate::linalg::Matrix;
-    pub use crate::linear::{LogisticRegression, LogisticRegressionParams, SgdClassifier,
-        SgdLoss, SgdParams};
+    pub use crate::linear::{
+        LogisticRegression, LogisticRegressionParams, SgdClassifier, SgdLoss, SgdParams,
+    };
     pub use crate::nn::{EarlyStopping, SequentialNn, SequentialNnParams};
     pub use crate::preprocessing::{MinMaxScaler, StandardScaler};
     pub use crate::svm::{Kernel, SvcClassifier, SvcParams};

@@ -54,7 +54,11 @@ impl Matrix {
             }
             data.extend_from_slice(r);
         }
-        Ok(Self { rows: n, cols, data })
+        Ok(Self {
+            rows: n,
+            cols,
+            data,
+        })
     }
 
     /// Creates a matrix from `f64` rows, narrowing to `f32`.
@@ -115,6 +119,12 @@ impl Matrix {
     #[must_use]
     pub fn as_slice(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Mutable flat row-major buffer, for bulk fills (e.g. chunking rows
+    /// across threads without per-row borrows of `self`).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
     }
 
     /// Iterates rows as slices.
@@ -346,7 +356,10 @@ mod tests {
     fn check_finite_flags_position() {
         let mut m = Matrix::zeros(2, 2);
         m.set(1, 0, f32::NAN);
-        assert_eq!(m.check_finite(), Err(MlError::NonFiniteInput { row: 1, col: 0 }));
+        assert_eq!(
+            m.check_finite(),
+            Err(MlError::NonFiniteInput { row: 1, col: 0 })
+        );
         m.set(1, 0, 0.0);
         assert!(m.check_finite().is_ok());
     }

@@ -62,7 +62,11 @@ impl LogisticRegression {
     /// convergence diagnostics).
     pub fn mean_log_loss(&self, x: &Matrix, y: &[usize]) -> Result<f64, MlError> {
         let p = self.predict_proba(x)?;
-        Ok(p.iter().zip(y).map(|(&pi, &yi)| log_loss(pi, yi)).sum::<f64>() / y.len().max(1) as f64)
+        Ok(p.iter()
+            .zip(y)
+            .map(|(&pi, &yi)| log_loss(pi, yi))
+            .sum::<f64>()
+            / y.len().max(1) as f64)
     }
 
     fn decision(&self, row: &[f32]) -> f64 {
@@ -176,9 +180,7 @@ mod tests {
     use super::*;
 
     fn separable() -> (Matrix, Vec<usize>) {
-        let rows: Vec<Vec<f32>> = (0..20)
-            .map(|i| vec![i as f32, (i % 3) as f32])
-            .collect();
+        let rows: Vec<Vec<f32>> = (0..20).map(|i| vec![i as f32, (i % 3) as f32]).collect();
         let y: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
         (Matrix::from_rows(&rows).unwrap(), y)
     }
@@ -269,8 +271,6 @@ mod tests {
             ..Default::default()
         });
         long.fit(&x, &y).unwrap();
-        assert!(
-            long.mean_log_loss(&x, &y).unwrap() < short.mean_log_loss(&x, &y).unwrap()
-        );
+        assert!(long.mean_log_loss(&x, &y).unwrap() < short.mean_log_loss(&x, &y).unwrap());
     }
 }

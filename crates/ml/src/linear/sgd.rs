@@ -318,8 +318,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, y) = unit_scale_separable();
-        let mut a = SgdClassifier::new(SgdParams { seed: 9, ..Default::default() });
-        let mut b = SgdClassifier::new(SgdParams { seed: 9, ..Default::default() });
+        let mut a = SgdClassifier::new(SgdParams {
+            seed: 9,
+            ..Default::default()
+        });
+        let mut b = SgdClassifier::new(SgdParams {
+            seed: 9,
+            ..Default::default()
+        });
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
         assert_eq!(a.weights, b.weights);

@@ -186,7 +186,10 @@ mod tests {
         let eps = 1e-3f32;
         let loss = |l: &DenseLayer| -> f64 {
             let z = l.forward(&x, false).unwrap();
-            z.as_slice().iter().map(|&v| f64::from(v) * f64::from(v) / 2.0).sum()
+            z.as_slice()
+                .iter()
+                .map(|&v| f64::from(v) * f64::from(v) / 2.0)
+                .sum()
         };
         // Check two representative weight entries and one bias.
         for &(i, j) in &[(0usize, 0usize), (2, 1)] {

@@ -316,7 +316,10 @@ mod tests {
         assert!(hist.len() > 5);
         let early: f64 = hist[..3].iter().sum::<f64>() / 3.0;
         let late: f64 = hist[hist.len() - 3..].iter().sum::<f64>() / 3.0;
-        assert!(late < early, "late loss {late} should be below early loss {early}");
+        assert!(
+            late < early,
+            "late loss {late} should be below early loss {early}"
+        );
     }
 
     #[test]

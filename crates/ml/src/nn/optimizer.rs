@@ -124,7 +124,11 @@ mod tests {
             adam.begin_batch();
             adam.step(0, &mut layer, &grad, &[0.0]);
         }
-        assert!((layer.w.get(0, 0) - 3.0).abs() < 0.1, "w = {}", layer.w.get(0, 0));
+        assert!(
+            (layer.w.get(0, 0) - 3.0).abs() < 0.1,
+            "w = {}",
+            layer.w.get(0, 0)
+        );
     }
 
     #[test]

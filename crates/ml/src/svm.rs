@@ -88,9 +88,7 @@ impl SvcClassifier {
     fn kernel_eval(&self, a: &[f32], b: &[f32]) -> f64 {
         match self.params.kernel {
             Kernel::Linear => f64::from(Matrix::dot(a, b)),
-            Kernel::Rbf { .. } => {
-                (-self.gamma * f64::from(Matrix::squared_distance(a, b))).exp()
-            }
+            Kernel::Rbf { .. } => (-self.gamma * f64::from(Matrix::squared_distance(a, b))).exp(),
         }
     }
 
@@ -147,8 +145,7 @@ impl Estimator for SvcClassifier {
                 g
             }
             Kernel::Rbf { gamma: None } => {
-                let mean_var =
-                    x.column_variances().iter().sum::<f64>() / x.n_cols() as f64;
+                let mean_var = x.column_variances().iter().sum::<f64>() / x.n_cols() as f64;
                 if mean_var > 0.0 {
                     1.0 / (x.n_cols() as f64 * mean_var)
                 } else {
@@ -229,10 +226,12 @@ impl Estimator for SvcClassifier {
                 let ai_new = ai_old + target[i] * target[j] * (aj_old - aj_new);
                 alpha[i] = ai_new;
                 alpha[j] = aj_new;
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - target[i] * (ai_new - ai_old) * k[i * n + i]
                     - target[j] * (aj_new - aj_old) * k[i * n + j];
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - target[i] * (ai_new - ai_old) * k[i * n + j]
                     - target[j] * (aj_new - aj_old) * k[j * n + j];
                 b = if (0.0..c).contains(&ai_new) && ai_new > 0.0 {
@@ -253,10 +252,7 @@ impl Estimator for SvcClassifier {
 
         // Retain the support vectors.
         let sv_indices: Vec<usize> = (0..n).filter(|&i| alpha[i] > 1e-8).collect();
-        self.alpha_y = sv_indices
-            .iter()
-            .map(|&i| alpha[i] * target[i])
-            .collect();
+        self.alpha_y = sv_indices.iter().map(|&i| alpha[i] * target[i]).collect();
         self.support = x.select_rows(&sv_indices);
         self.bias = b;
         self.fitted = true;
@@ -347,7 +343,10 @@ mod tests {
         });
         lin.fit(&x, &y).unwrap();
         let lin_acc = lin.accuracy(&x, &y).unwrap();
-        assert!(lin_acc < 0.8, "linear kernel cannot separate the ring ({lin_acc})");
+        assert!(
+            lin_acc < 0.8,
+            "linear kernel cannot separate the ring ({lin_acc})"
+        );
     }
 
     #[test]
@@ -422,10 +421,19 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let (x, y) = blobs();
-        let mut a = SvcClassifier::new(SvcParams { seed: 4, ..Default::default() });
-        let mut b = SvcClassifier::new(SvcParams { seed: 4, ..Default::default() });
+        let mut a = SvcClassifier::new(SvcParams {
+            seed: 4,
+            ..Default::default()
+        });
+        let mut b = SvcClassifier::new(SvcParams {
+            seed: 4,
+            ..Default::default()
+        });
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
-        assert_eq!(a.decision_function(&x).unwrap(), b.decision_function(&x).unwrap());
+        assert_eq!(
+            a.decision_function(&x).unwrap(),
+            b.decision_function(&x).unwrap()
+        );
     }
 }

@@ -219,9 +219,7 @@ impl Builder<'_> {
 
         let gini = gini_impurity(&counts, indices.len());
         let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
-        let should_split = depth_ok
-            && indices.len() >= self.params.min_samples_split
-            && gini > 0.0;
+        let should_split = depth_ok && indices.len() >= self.params.min_samples_split && gini > 0.0;
 
         if should_split {
             if let Some(split) = self.best_split(indices, gini) {
@@ -232,7 +230,10 @@ impl Builder<'_> {
                 // Guard: a degenerate partition means numerical ties; fall
                 // through to a leaf instead of recursing forever.
                 if mid > 0 && mid < indices.len() {
-                    self.nodes.push(Node::Leaf { proba: Vec::new(), class: 0 }); // placeholder
+                    self.nodes.push(Node::Leaf {
+                        proba: Vec::new(),
+                        class: 0,
+                    }); // placeholder
                     let (left_idx, right_idx) = indices.split_at_mut(mid);
                     let left = self.build(left_idx, depth + 1);
                     let right = self.build(right_idx, depth + 1);
@@ -299,8 +300,7 @@ impl Builder<'_> {
                     continue;
                 }
                 let right_n = indices.len() - left_n;
-                if left_n < self.params.min_samples_leaf || right_n < self.params.min_samples_leaf
-                {
+                if left_n < self.params.min_samples_leaf || right_n < self.params.min_samples_leaf {
                     continue;
                 }
                 let gini_left = gini_impurity(&left_counts, left_n);
@@ -309,8 +309,7 @@ impl Builder<'_> {
                     *rc -= lc;
                 }
                 let gini_right = gini_impurity(&right_counts, right_n);
-                let weighted =
-                    (left_n as f64 * gini_left + right_n as f64 * gini_right) / n;
+                let weighted = (left_n as f64 * gini_left + right_n as f64 * gini_right) / n;
                 let decrease = parent_gini - weighted;
                 if decrease < self.params.min_impurity_decrease {
                     continue;
@@ -519,7 +518,10 @@ mod tests {
         let mut tree = DecisionTreeClassifier::new(TreeParams::default());
         assert!(tree.fit(&Matrix::zeros(0, 2), &[]).is_err());
         let x = Matrix::zeros(3, 1);
-        assert!(matches!(tree.fit(&x, &[0, 0, 0]), Err(MlError::SingleClass)));
+        assert!(matches!(
+            tree.fit(&x, &[0, 0, 0]),
+            Err(MlError::SingleClass)
+        ));
     }
 
     #[test]

@@ -19,13 +19,18 @@ where
     M: Estimator + Serialize + DeserializeOwned,
 {
     let (x, y) = dataset();
-    model.fit(&x, &y).unwrap_or_else(|e| panic!("{name}: fit failed: {e}"));
+    model
+        .fit(&x, &y)
+        .unwrap_or_else(|e| panic!("{name}: fit failed: {e}"));
     let before = model.predict(&x).unwrap();
     let json = serde_json::to_string(&model).unwrap_or_else(|e| panic!("{name}: serialize: {e}"));
     let restored: M =
         serde_json::from_str(&json).unwrap_or_else(|e| panic!("{name}: deserialize: {e}"));
     let after = restored.predict(&x).unwrap();
-    assert_eq!(before, after, "{name}: predictions changed across the round trip");
+    assert_eq!(
+        before, after,
+        "{name}: predictions changed across the round trip"
+    );
 }
 
 #[test]
@@ -117,7 +122,10 @@ fn sequential_nn_roundtrips() {
 #[test]
 fn naive_bayes_roundtrips() {
     roundtrip(GaussianNb::new(GaussianNbParams::default()), "gaussian-nb");
-    roundtrip(BernoulliNb::new(BernoulliNbParams::default()), "bernoulli-nb");
+    roundtrip(
+        BernoulliNb::new(BernoulliNbParams::default()),
+        "bernoulli-nb",
+    );
 }
 
 #[test]

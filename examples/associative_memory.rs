@@ -71,7 +71,11 @@ fn main() -> Result<(), HyperfexError> {
     println!(
         "after SDM cleanup: distance to original = {} {}",
         original.hamming(&recovered),
-        if recovered == *original { "(exact recovery)" } else { "" }
+        if recovered == *original {
+            "(exact recovery)"
+        } else {
+            ""
+        }
     );
     // Unbinding with the patient key returns the cleaned clinical record.
     let cleaned_record = recovered.bind(&keys[7]);
@@ -88,9 +92,15 @@ fn main() -> Result<(), HyperfexError> {
     let progression_a = [0usize, 1, 2, 3]; // classic osmotic-symptom cascade
     let progression_b = [3usize, 2, 1, 0]; // reversed
     let progression_c = [0usize, 1, 2, 2]; // shares the first three visits with A
-    let a = ngram.encode_sequence(&progression_a).map_err(HyperfexError::Hdc)?;
-    let b = ngram.encode_sequence(&progression_b).map_err(HyperfexError::Hdc)?;
-    let c = ngram.encode_sequence(&progression_c).map_err(HyperfexError::Hdc)?;
+    let a = ngram
+        .encode_sequence(&progression_a)
+        .map_err(HyperfexError::Hdc)?;
+    let b = ngram
+        .encode_sequence(&progression_b)
+        .map_err(HyperfexError::Hdc)?;
+    let c = ngram
+        .encode_sequence(&progression_c)
+        .map_err(HyperfexError::Hdc)?;
     println!("\nsymptom-history encoding (bigram bundles):");
     println!(
         "  cascade vs reversed:     normalized distance {:.3} (same symptoms, different order)",

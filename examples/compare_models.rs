@@ -29,7 +29,9 @@ fn main() -> Result<(), HyperfexError> {
     );
     println!("{}", "-".repeat(60));
     for kind in PAPER_MODELS {
-        let feat = cross_validate(table, &features, folds, 42, &|| make_model(kind, 42, &budget))?;
+        let feat = cross_validate(table, &features, folds, 42, &|| {
+            make_model(kind, 42, &budget)
+        })?;
         let hvcv = cross_validate(table, &hv, folds, 42, &|| make_model(kind, 42, &budget))?;
         let delta = (hvcv.test_accuracy - feat.test_accuracy) * 100.0;
         println!(

@@ -46,7 +46,10 @@ fn main() -> Result<(), HyperfexError> {
         Ok(correct as f64 / holdout.len() as f64)
     };
 
-    println!("streaming {} follow-up patients into the prototype memory:\n", stream.len() - 20);
+    println!(
+        "streaming {} follow-up patients into the prototype memory:\n",
+        stream.len() - 20
+    );
     println!("  seen   held-out accuracy");
     println!("  ----   ------------------");
     println!("  {:>4}   {:>6.1}%", 20, evaluate(&memory)? * 100.0);

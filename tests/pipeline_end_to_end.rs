@@ -29,7 +29,11 @@ fn full_pima_pipeline_from_raw_cohort_to_metrics() {
     let outcome = HammingModel::new(Dim::new(1_000), 42)
         .evaluate_loocv(&pima_r)
         .unwrap();
-    assert!(outcome.accuracy() > 0.6, "Hamming accuracy {}", outcome.accuracy());
+    assert!(
+        outcome.accuracy() > 0.6,
+        "Hamming accuracy {}",
+        outcome.accuracy()
+    );
 
     // Hybrid on a stratified split.
     let split = stratified_split(&pima_m, SplitFractions::train_test(0.9), 42).unwrap();
@@ -42,7 +46,11 @@ fn full_pima_pipeline_from_raw_cohort_to_metrics() {
     let predictions = hybrid.predict(&pima_m, &split.test).unwrap();
     let actual: Vec<usize> = split.test.iter().map(|&i| pima_m.labels()[i]).collect();
     let metrics = ConfusionMatrix::from_labels(&actual, &predictions).metrics();
-    assert!(metrics.accuracy > 0.6, "hybrid accuracy {}", metrics.accuracy);
+    assert!(
+        metrics.accuracy > 0.6,
+        "hybrid accuracy {}",
+        metrics.accuracy
+    );
     assert!(metrics.f1 > 0.0);
 }
 
@@ -55,7 +63,11 @@ fn every_model_runs_on_hypervector_features_of_the_sylhet_cohort() {
     })
     .unwrap();
     let hv = hv_features(&cohort, Dim::new(512), 7).unwrap();
-    for kind in PAPER_MODELS.iter().copied().chain([ModelKind::SequentialNn]) {
+    for kind in PAPER_MODELS
+        .iter()
+        .copied()
+        .chain([ModelKind::SequentialNn])
+    {
         let cv = cross_validate(&cohort, &hv, 3, 7, &|| make_model(kind, 7, &small_budget()))
             .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         assert!(
@@ -88,7 +100,9 @@ fn csv_round_trip_feeds_the_same_pipeline() {
     assert_eq!(reloaded.n_rows(), complete.n_rows());
     assert_eq!(reloaded.labels(), complete.labels());
 
-    let outcome = HammingModel::new(Dim::new(512), 1).evaluate_loocv(&reloaded).unwrap();
+    let outcome = HammingModel::new(Dim::new(512), 1)
+        .evaluate_loocv(&reloaded)
+        .unwrap();
     assert!(outcome.accuracy() > 0.5);
     std::fs::remove_file(&path).ok();
 }

@@ -38,7 +38,10 @@ fn sylhet_is_much_easier_than_pima() {
         "Sylhet ({sylhet:.3}) should beat Pima R ({pima:.3}) by a wide margin"
     );
     // Absolute regimes: paper reports 70.7% and 95.9%.
-    assert!((0.60..=0.88).contains(&pima), "Pima R Hamming accuracy {pima:.3}");
+    assert!(
+        (0.60..=0.88).contains(&pima),
+        "Pima R Hamming accuracy {pima:.3}"
+    );
     assert!(sylhet > 0.85, "Sylhet Hamming accuracy {sylhet:.3}");
 }
 
@@ -55,8 +58,10 @@ fn hypervectors_rescue_sgd() {
         make_model(ModelKind::Sgd, 42, &budget())
     })
     .unwrap();
-    let hvcv = cross_validate(table, &hv, 5, 42, &|| make_model(ModelKind::Sgd, 42, &budget()))
-        .unwrap();
+    let hvcv = cross_validate(table, &hv, 5, 42, &|| {
+        make_model(ModelKind::Sgd, 42, &budget())
+    })
+    .unwrap();
     assert!(
         hvcv.test_accuracy - feat.test_accuracy > 0.03,
         "SGD should gain clearly from hypervectors: features {:.3} vs hv {:.3}",
@@ -82,7 +87,11 @@ fn random_forest_stays_strong_on_hypervectors() {
         make_model(ModelKind::RandomForest, 42, &budget())
     })
     .unwrap();
-    assert!(hvcv.test_accuracy > 0.85, "RF+HV accuracy {:.3}", hvcv.test_accuracy);
+    assert!(
+        hvcv.test_accuracy > 0.85,
+        "RF+HV accuracy {:.3}",
+        hvcv.test_accuracy
+    );
     assert!(
         hvcv.test_accuracy > feat.test_accuracy - 0.05,
         "RF must not collapse on hypervectors: features {:.3} vs hv {:.3}",

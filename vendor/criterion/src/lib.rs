@@ -1,0 +1,345 @@
+//! Offline vendored mini-criterion.
+//!
+//! Implements the criterion API surface this workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`). Measurement model: each sample times a calibrated batch
+//! of iterations and the reported statistic is the median per-iteration
+//! time across samples with a median-absolute-deviation spread — cruder
+//! than criterion's bootstrap, but stable enough for before/after kernel
+//! comparisons. Results print to stdout as
+//! `<group>/<name> time: [median ± MAD]`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may import either).
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; only a hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many iterations per setup.
+    SmallInput,
+    /// Large inputs: one setup per iteration.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// Identifies a parameterised benchmark (`<function>/<parameter>`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration times (seconds), one per sample.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and calibrate the per-sample iteration count so that one
+        // sample takes ~2 ms (bounds timer noise without slow runs).
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.results.push(elapsed / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let calibrate_start = Instant::now();
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let one = start.elapsed();
+        let _ = calibrate_start;
+        // Aim for ~2 ms of measured routine time per sample.
+        let iters_per_sample = if one.is_zero() {
+            256
+        } else {
+            (Duration::from_millis(2).as_nanos() / one.as_nanos().max(1)).clamp(1, 1 << 16) as u64
+        };
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.results.push(elapsed / iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+fn run_benchmark(full_name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        results: Vec::with_capacity(samples),
+    };
+    f(&mut bencher);
+    if bencher.results.is_empty() {
+        println!("{full_name:<48} (no measurement)");
+        return;
+    }
+    let mut sorted = bencher.results.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = sorted[sorted.len() / 2];
+    let mut deviations: Vec<f64> = sorted.iter().map(|x| (x - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let mad = deviations[deviations.len() / 2];
+    println!(
+        "{full_name:<48} time: [{} ± {}] ({} samples)",
+        format_time(median),
+        format_time(mad),
+        sorted.len(),
+    );
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            filter: parse_filter_from_args(),
+        }
+    }
+}
+
+fn parse_filter_from_args() -> Option<String> {
+    // `cargo bench -- <filter>`: the first free (non-flag) argument filters
+    // benchmark names by substring. Flags like `--bench` are ignored.
+    let mut args = std::env::args().skip(1);
+    let mut filter = None;
+    while let Some(arg) = args.next() {
+        if arg == "--bench" || arg == "--test" {
+            continue;
+        }
+        if arg.starts_with("--") {
+            // Skip a possible value of unknown key=value-style flags.
+            if !arg.contains('=') {
+                let _ = args.next();
+            }
+            continue;
+        }
+        filter = Some(arg);
+        break;
+    }
+    filter
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    fn enabled(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = id.into_id();
+        if self.enabled(&name) {
+            run_benchmark(&name, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for subsequent benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id.into_id());
+        if self.criterion.enabled(&full_name) {
+            run_benchmark(&full_name, self.effective_samples(), f);
+        }
+        self
+    }
+
+    /// Runs one benchmark that receives a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: impl IntoBenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let full_name = format!("{}/{}", self.name, id.into_id());
+        if self.criterion.enabled(&full_name) {
+            run_benchmark(&full_name, self.effective_samples(), |b| f(b, input));
+        }
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("fib", |b| b.iter(|| (1..10u64).product::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        c.bench_function("top", |b| {
+            b.iter_batched(|| 3u64, |x| x + 1, BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn harness_runs_and_prints() {
+        let mut c = Criterion::default().sample_size(3);
+        work(&mut c);
+    }
+}

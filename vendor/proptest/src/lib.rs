@@ -1,0 +1,430 @@
+//! Offline vendored mini-proptest.
+//!
+//! Supports the subset of the proptest API this workspace uses: the
+//! `proptest!` macro, `any::<T>()`, range strategies, tuple strategies,
+//! `prop_map` / `prop_flat_map`, `Just`, `prop::collection::vec`, and the
+//! `prop_assert*` macros. Cases are generated deterministically from the
+//! test's module path and case index, so failures are reproducible;
+//! shrinking is not implemented (the failing case's inputs are printed via
+//! the panic message instead).
+
+pub mod test_runner {
+    /// Deterministic SplitMix64 generator used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derives a generator for one test case from the test's identity.
+        #[must_use]
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut rng = Self {
+                state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            };
+            rng.next_u64();
+            rng
+        }
+
+        /// Next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Unbiased uniform integer in `0..bound`.
+        pub fn next_bounded(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            loop {
+                let x = self.next_u64();
+                let m = u128::from(x) * u128::from(bound);
+                let low = m as u64;
+                if low >= bound || low >= bound.wrapping_neg() % bound {
+                    return (m >> 64) as u64;
+                }
+            }
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// Error a property-test body can return (via early `return Ok(())` /
+/// `Err(...)`); mirrors proptest's `TestCaseError`.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "test case failed: {}", self.0)
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { base: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, moderately sized values; proptest's any::<f64> includes
+        // specials, but workspace tests only use finite draws.
+        (rng.next_unit_f64() - 0.5) * 2e6
+    }
+}
+
+/// Strategy yielding arbitrary values of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_bounded(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.next_bounded(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.next_unit_f64() as $t;
+                let v = self.start + unit * (self.end - self.start);
+                if v < self.end { v } else { self.start }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_float!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+);
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{Strategy, TestRng};
+
+    /// Acceptable length specifications for [`vec`].
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty length range");
+            self.start + rng.next_bounded((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            lo + rng.next_bounded((hi - lo + 1) as u64) as usize
+        }
+    }
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// Builds a [`VecStrategy`] with the given element strategy and length.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.len.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests. Mirrors proptest's macro surface for the forms
+/// used in this workspace.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { cfg = (<$crate::ProptestConfig as ::std::default::Default>::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (cfg = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(let $pat = $crate::Strategy::generate(&$strat, &mut __rng);)+
+                    // The body runs in a Result-returning closure so that
+                    // proptest-style early `return Ok(())` compiles.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("property case {} failed: {}", __case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+pub mod prelude {
+    //! Glob-importable surface, mirroring `proptest::prelude`.
+
+    pub use crate::{any, Arbitrary, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// The `prop::` module alias (`prop::collection::vec` etc).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples((a, b) in (0usize..10, 5u64..9), f in -1.0f64..1.0) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_flat_map(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0u32..7, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let mut a = crate::test_runner::TestRng::for_case("x", 3);
+        let mut b = crate::test_runner::TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,264 @@
+//! Offline vendored subset of the `rand` 0.10 API.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! small slice of `rand` it actually uses: the `TryRng`/`Rng` core traits,
+//! `SeedableRng`, a deterministic `StdRng`, uniform `random_range` sampling
+//! over integer and float ranges (`RngExt`), and Fisher–Yates shuffling
+//! (`seq::SliceRandom`). Streams are deterministic per seed but are not
+//! guaranteed to match upstream `rand` bit-for-bit.
+
+pub mod rand_core {
+    /// A fallible random number generator.
+    ///
+    /// Implementing this with an infallible error type grants the blanket
+    /// [`crate::Rng`] impl, mirroring the upstream design.
+    pub trait TryRng {
+        /// Error produced by the generator.
+        type Error: core::fmt::Debug;
+
+        /// Next 32 uniformly random bits.
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+        /// Next 64 uniformly random bits.
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+        /// Fills `dest` with random bytes.
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+    }
+}
+
+/// An infallible random number generator.
+pub trait Rng {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<T: rand_core::TryRng> Rng for T {
+    fn next_u32(&mut self) -> u32 {
+        self.try_next_u32().expect("infallible rng failed")
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.try_next_u64().expect("infallible rng failed")
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.try_fill_bytes(dest).expect("infallible rng failed")
+    }
+}
+
+/// A generator seedable from a `u64`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be uniformly sampled from a half-open range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws a uniform sample in `[low, high)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+#[inline]
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Lemire's multiply-shift rejection method; unbiased.
+    loop {
+        let x = rng.next_u64();
+        let m = u128::from(x) * u128::from(bound);
+        let low = m as u64;
+        if low >= bound || low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as i128 - low as i128) as u64;
+                (low as i128 + bounded_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "cannot sample empty range");
+        // 53 random mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = low + unit * (high - low);
+        // Floating rounding can land exactly on `high`; clamp back inside.
+        if v < high {
+            v
+        } else {
+            low
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    #[inline]
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, f64::from(low), f64::from(high)) as f32
+    }
+}
+
+/// A range random values can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+/// Extension methods on [`Rng`] (upstream `rand::Rng`'s sampling half).
+pub trait RngExt: Rng {
+    /// Draws a uniform sample from `range`.
+    #[inline]
+    fn random_range<T, Rge>(&mut self, range: Rge) -> T
+    where
+        T: SampleUniform,
+        Rge: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random `bool`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+}
+
+impl<T: Rng + ?Sized> RngExt for T {}
+
+pub mod rngs {
+    use super::{rand_core, SeedableRng};
+
+    /// The standard deterministic generator (SplitMix64-based here; upstream
+    /// uses ChaCha12 — streams differ but determinism per seed holds).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        #[inline]
+        fn next(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = Self { state: seed };
+            // Burn one output so nearby seeds diverge immediately.
+            rng.next();
+            Self { state: rng.next() }
+        }
+    }
+
+    impl rand_core::TryRng for StdRng {
+        type Error = core::convert::Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Self::Error> {
+            Ok((self.next() >> 32) as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Self::Error> {
+            Ok(self.next())
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error> {
+            let mut chunks = dest.chunks_exact_mut(8);
+            for chunk in &mut chunks {
+                chunk.copy_from_slice(&self.next().to_le_bytes());
+            }
+            let rem = chunks.into_remainder();
+            if !rem.is_empty() {
+                let bytes = self.next().to_le_bytes();
+                rem.copy_from_slice(&bytes[..rem.len()]);
+            }
+            Ok(())
+        }
+    }
+}
+
+pub mod seq {
+    use super::{bounded_u64, Rng};
+
+    /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = bounded_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.random_range(0..1_000_000u64)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.random_range(0..1_000_000u64)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.random_range(0..1_000_000u64)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let i = rng.random_range(3..17usize);
+            assert!((3..17).contains(&i));
+            let f = rng.random_range(-2.0..4.0f64);
+            assert!((-2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+}

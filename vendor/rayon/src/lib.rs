@@ -1,0 +1,209 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! slice of rayon it uses. Two execution models are provided:
+//!
+//! * The `prelude` combinator methods (`par_iter`, `into_par_iter`,
+//!   `par_chunks_mut`, …) return **standard sequential iterators**. Every
+//!   combinator chain in the workspace therefore compiles unchanged and
+//!   produces results identical to rayon's (rayon guarantees deterministic
+//!   `collect` order), just without work-stealing.
+//! * [`scope`], [`join`] and [`current_num_threads`] are **genuinely
+//!   parallel**, backed by `std::thread::scope`. Hot batch kernels
+//!   (`RecordEncoder::encode_batch`, `HdcFeatureExtractor::to_matrix`) use
+//!   these directly with explicit chunking and per-thread scratch state, a
+//!   pattern that is source-compatible with upstream rayon.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel region will use.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// A scope for spawning borrowed parallel work; see [`scope`].
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope);
+        });
+    }
+}
+
+/// Creates a scope in which borrowed parallel tasks can be spawned; all
+/// tasks complete before `scope` returns (same contract as `rayon::scope`).
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let scope = Scope { inner: s };
+        f(&scope)
+    })
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+pub mod iter {
+    //! Sequential stand-ins for rayon's parallel iterator entry points.
+
+    /// Converts a collection into a (here: sequential) "parallel" iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Consumes `self` into an iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter` / `par_chunks` / `par_chunks_exact` on slices.
+    pub trait ParallelSlice<T> {
+        /// Iterator over shared references.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Iterator over `size`-element chunks (last may be short).
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+        /// Iterator over exactly-`size`-element chunks.
+        fn par_chunks_exact(&self, size: usize) -> std::slice::ChunksExact<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+
+        fn par_chunks_exact(&self, size: usize) -> std::slice::ChunksExact<'_, T> {
+            self.chunks_exact(size)
+        }
+    }
+
+    /// `par_iter_mut` / `par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Iterator over mutable references.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Iterator over mutable `size`-element chunks.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-importable traits, mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn sequential_combinators_cover_workspace_patterns() {
+        let v: Vec<u64> = (1..=4).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+
+        let evens: Vec<usize> = v
+            .par_iter()
+            .enumerate()
+            .filter(|(_, &x)| x % 2 == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(evens, vec![1, 3]);
+
+        let r: Result<Vec<usize>, ()> = (0..4usize).into_par_iter().map(Ok).collect();
+        assert_eq!(r.unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chunked_zip_for_each() {
+        let a = [1.0f32, 2.0, 3.0, 4.0];
+        let mut out = [0.0f32; 4];
+        out.par_chunks_mut(2)
+            .zip(a.par_chunks_exact(2))
+            .for_each(|(o, s)| {
+                for (x, y) in o.iter_mut().zip(s) {
+                    *x = y + 1.0;
+                }
+            });
+        assert_eq!(out, [2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn scope_runs_all_tasks() {
+        let n = 64usize;
+        let mut out = vec![0usize; n];
+        super::scope(|s| {
+            for (i, chunk) in out.chunks_mut(16).enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = i * 16 + j;
+                    }
+                });
+            }
+        });
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

@@ -1,0 +1,378 @@
+//! Offline vendored subset of the `serde` API.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! miniature serde built around an owned [`value::Value`] tree: types
+//! serialize *to* a `Value` and deserialize *from* one, and `serde_json`
+//! renders/parses that tree. The derive macros (`serde_derive`) generate the
+//! same externally-tagged representation real serde_json would produce for
+//! the shapes this workspace uses (named structs, newtype structs, unit and
+//! struct enum variants).
+
+pub mod value {
+    /// An owned, JSON-shaped data tree.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Signed integer.
+        I64(i64),
+        /// Unsigned integer.
+        U64(u64),
+        /// Floating-point number.
+        F64(f64),
+        /// String.
+        Str(String),
+        /// Array.
+        Seq(Vec<Value>),
+        /// Object; insertion-ordered.
+        Map(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Looks up a key in a [`Value::Map`].
+        #[must_use]
+        pub fn get_field(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+    }
+}
+
+pub use value::Value;
+
+/// Deserialization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl DeError {
+    /// Builds an error describing a type mismatch.
+    #[must_use]
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError(format!("expected {what}, got {got:?}"))
+    }
+}
+
+/// A type that can be represented as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    //! Deserialization traits (upstream-layout compatibility shim).
+
+    /// Deserializable without borrowing from the input. The vendored
+    /// [`crate::Deserialize`] is always owned, so this is a plain alias.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::U64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        u64::from_value(v).and_then(|n| {
+            usize::try_from(n).map_err(|_| DeError(format!("{n} out of range for usize")))
+        })
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(i64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::I64(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    Value::U64(n) => i64::try_from(*n)
+                        .ok()
+                        .and_then(|n| <$t>::try_from(n).ok())
+                        .ok_or_else(|| DeError(format!("{n} out of range for {}", stringify!($t)))),
+                    other => Err(DeError::expected(stringify!($t), other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        i64::from_value(v).and_then(|n| {
+            isize::try_from(n).map_err(|_| DeError(format!("{n} out of range for isize")))
+        })
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::I64(n) => Ok(*n as f64),
+            Value::U64(n) => Ok(*n as f64),
+            // Real serde_json writes non-finite floats as null; accept the
+            // inverse so NaN-bearing tables round-trip.
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-char string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Vec::<T>::from_value(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Seq(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(DeError(format!(
+                                "expected tuple of {expected}, got {}",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::expected("tuple sequence", other)),
+                }
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+);
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: std::fmt::Display,
+    V: Serialize,
+{
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        // Sort for deterministic output (HashMap iteration order is random).
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
