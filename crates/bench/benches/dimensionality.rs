@@ -20,7 +20,7 @@ fn bench_dims(c: &mut Criterion) {
                         .evaluate_loocv(&datasets.pima_r)
                         .unwrap(),
                 )
-            })
+            });
         });
     }
     g.finish();

@@ -18,19 +18,19 @@ fn bench_encoding(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("encoding_10k");
     g.bench_function("linear_encode_value", |b| {
-        b.iter(|| black_box(linear.encode(black_box(128.0))))
+        b.iter(|| black_box(linear.encode(black_box(128.0))));
     });
     g.bench_function("encode_one_patient", |b| {
         let mut ext = HdcFeatureExtractor::new(dim, 3);
         ext.fit(&pima_r, None).unwrap();
-        b.iter(|| black_box(ext.transform(&pima_r, Some(&[0])).unwrap()))
+        b.iter(|| black_box(ext.transform(&pima_r, Some(&[0])).unwrap()));
     });
     g.sample_size(10);
     g.bench_function("encode_pima_r_cohort", |b| {
         b.iter(|| {
             let mut ext = HdcFeatureExtractor::new(dim, 3);
             black_box(ext.fit_transform(&pima_r).unwrap())
-        })
+        });
     });
     g.finish();
 }

@@ -18,7 +18,7 @@ fn bench_loocv(c: &mut Criterion) {
                     .evaluate_loocv(&datasets.pima_r)
                     .unwrap(),
             )
-        })
+        });
     });
     g.bench_function("sylhet_520", |b| {
         b.iter(|| {
@@ -27,7 +27,7 @@ fn bench_loocv(c: &mut Criterion) {
                     .evaluate_loocv(&datasets.sylhet)
                     .unwrap(),
             )
-        })
+        });
     });
     g.finish();
 }

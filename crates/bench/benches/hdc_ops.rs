@@ -21,23 +21,23 @@ fn bench_ops(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("hdc_ops_10k");
     g.bench_function("hamming", |bch| {
-        bch.iter(|| black_box(a.hamming(black_box(&b))))
+        bch.iter(|| black_box(a.hamming(black_box(&b))));
     });
     g.bench_function("bind_xor", |bch| {
-        bch.iter(|| black_box(a.bind(black_box(&b))))
+        bch.iter(|| black_box(a.bind(black_box(&b))));
     });
     g.bench_function("majority_bundle_8", |bch| {
-        bch.iter(|| black_box(bundle::majority(black_box(&stack))))
+        bch.iter(|| black_box(bundle::majority(black_box(&stack))));
     });
     g.bench_function("majority_bundle_16", |bch| {
-        bch.iter(|| black_box(bundle::majority(black_box(&stack16))))
+        bch.iter(|| black_box(bundle::majority(black_box(&stack16))));
     });
     g.bench_function("random_balanced", |bch| {
         bch.iter_batched(
             || SplitMix64::new(11),
             |mut r| black_box(BinaryHypervector::random_balanced(dim, &mut r)),
             BatchSize::SmallInput,
-        )
+        );
     });
     g.finish();
 }

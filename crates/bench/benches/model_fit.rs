@@ -36,7 +36,7 @@ fn bench_fits(c: &mut Criterion) {
                     let mut model = make_model(k, 42, &budget);
                     model.fit(black_box(&features), black_box(&labels)).unwrap();
                     black_box(model.predict(&features).unwrap())
-                })
+                });
             },
         );
         g.bench_with_input(
@@ -47,7 +47,7 @@ fn bench_fits(c: &mut Criterion) {
                     let mut model = make_model(k, 42, &budget);
                     model.fit(black_box(&hv), black_box(&labels)).unwrap();
                     black_box(model.predict(&hv).unwrap())
-                })
+                });
             },
         );
     }

@@ -38,14 +38,14 @@ fn bench_nn(c: &mut Criterion) {
             let mut nn = SequentialNn::new(params());
             nn.fit(black_box(&features), black_box(&labels)).unwrap();
             black_box(nn.epochs_run())
-        })
+        });
     });
     g.bench_function("hypervectors_2000", |b| {
         b.iter(|| {
             let mut nn = SequentialNn::new(params());
             nn.fit(black_box(&hv), black_box(&labels)).unwrap();
             black_box(nn.epochs_run())
-        })
+        });
     });
     g.finish();
 }

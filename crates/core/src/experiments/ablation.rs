@@ -236,7 +236,11 @@ pub fn backend_agreement(table: &Table, dim: Dim, seed: u64) -> Result<f64, Hype
             .transform(table, Some(&[i]))?
             .into_iter()
             .next()
-            .expect("one row in, one hv out");
+            .ok_or_else(|| {
+                HyperfexError::Pipeline(
+                    "extractor returned no hypervector for a one-row transform".into(),
+                )
+            })?;
         let features = extractor.feature_hypervectors(table, i)?;
         let mut acc = BipolarAccumulator::new(dim);
         for f in &features {

@@ -77,7 +77,9 @@ impl RiskScorer {
             .collect();
         let table = T::new(columns, vec![values.to_vec()], vec![0])?;
         let hvs = self.extractor.transform(&table, None)?;
-        Ok(hvs.into_iter().next().expect("one row in, one hv out"))
+        hvs.into_iter().next().ok_or_else(|| {
+            HyperfexError::Pipeline("extractor returned no hypervector for a one-row table".into())
+        })
     }
 }
 

@@ -57,11 +57,14 @@ pub fn pima_from_str(text: &str) -> Result<Table, DataError> {
     let mut rows = Vec::with_capacity(records.len());
     let mut labels = Vec::with_capacity(records.len());
     for (ri, rec) in records.iter().enumerate() {
+        let line = ri + 2;
         let mut row = Vec::with_capacity(8);
         for (ci, field) in rec[..8].iter().enumerate() {
-            let v: f64 = field.parse().map_err(|_| DataError::Parse {
-                line: ri + 2,
-                message: format!("bad number `{field}`"),
+            let v: f64 = field.parse().map_err(|_| DataError::ParseField {
+                line,
+                column: crate::pima::COLUMNS[ci].to_string(),
+                value: field.clone(),
+                expected: "a number".into(),
             })?;
             row.push(if ZERO_IS_MISSING[ci] && v == 0.0 {
                 f64::NAN
@@ -69,9 +72,11 @@ pub fn pima_from_str(text: &str) -> Result<Table, DataError> {
                 v
             });
         }
-        let label: usize = rec[8].parse().map_err(|_| DataError::Parse {
-            line: ri + 2,
-            message: format!("bad label `{}`", rec[8]),
+        let label: usize = rec[8].parse().map_err(|_| DataError::ParseField {
+            line,
+            column: "Outcome".into(),
+            value: rec[8].clone(),
+            expected: "a 0/1 label".into(),
         })?;
         rows.push(row);
         labels.push(label);
@@ -104,19 +109,23 @@ pub fn sylhet_from_str(text: &str) -> Result<Table, DataError> {
     for (ri, rec) in records.iter().enumerate() {
         let line = ri + 2;
         let mut row = Vec::with_capacity(16);
-        let age: f64 = rec[0].parse().map_err(|_| DataError::Parse {
+        let age: f64 = rec[0].parse().map_err(|_| DataError::ParseField {
             line,
-            message: format!("bad age `{}`", rec[0]),
+            column: "Age".into(),
+            value: rec[0].clone(),
+            expected: "a number".into(),
         })?;
         row.push(age);
-        for field in &rec[1..16] {
+        for (ci, field) in rec[1..16].iter().enumerate() {
             row.push(match field.to_ascii_lowercase().as_str() {
                 "yes" | "male" | "1" => 1.0,
                 "no" | "female" | "0" => 0.0,
-                other => {
-                    return Err(DataError::Parse {
+                _ => {
+                    return Err(DataError::ParseField {
                         line,
-                        message: format!("bad binary value `{other}`"),
+                        column: crate::sylhet::COLUMNS[ci + 1].to_string(),
+                        value: field.clone(),
+                        expected: "yes/no (or male/female, 0/1)".into(),
                     })
                 }
             });
@@ -124,10 +133,12 @@ pub fn sylhet_from_str(text: &str) -> Result<Table, DataError> {
         labels.push(match rec[16].to_ascii_lowercase().as_str() {
             "positive" | "1" => 1,
             "negative" | "0" => 0,
-            other => {
-                return Err(DataError::Parse {
+            _ => {
+                return Err(DataError::ParseField {
                     line,
-                    message: format!("bad class `{other}`"),
+                    column: "class".into(),
+                    value: rec[16].clone(),
+                    expected: "positive/negative (or 0/1)".into(),
                 })
             }
         });
@@ -192,14 +203,67 @@ mod tests {
         let bad_field =
             "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
                          6,xx,72,35,0,33.6,0.627,50,1\n";
-        assert!(matches!(
-            pima_from_str(bad_field),
-            Err(DataError::Parse { line: 2, .. })
-        ));
+        match pima_from_str(bad_field) {
+            Err(DataError::ParseField {
+                line,
+                column,
+                value,
+                ..
+            }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "Glucose");
+                assert_eq!(value, "xx");
+            }
+            other => panic!("expected ParseField, got {other:?}"),
+        }
         let short_row =
             "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
                          6,148,72\n";
         assert!(pima_from_str(short_row).is_err());
+    }
+
+    #[test]
+    fn pima_truncated_row_reports_line_and_field_counts() {
+        // A row cut off mid-stream (e.g. a partial download) must name the
+        // line and both the expected and found field counts.
+        let truncated =
+            "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome\n\
+             6,148,72,35,0,33.6,0.627,50,1\n\
+             1,85,66,29\n";
+        match pima_from_str(truncated) {
+            Err(DataError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains('9') && message.contains('4'), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pima_non_numeric_rows_name_the_column() {
+        let header = "Pregnancies,Glucose,BloodPressure,SkinThickness,Insulin,BMI,DPF,Age,Outcome";
+        // Non-numeric value in each position reports that column's name.
+        for (ci, col) in crate::pima::COLUMNS.iter().enumerate() {
+            let mut fields = ["1"; 9];
+            fields[ci] = "oops";
+            let text = format!("{header}\n{}\n", fields.join(","));
+            match pima_from_str(&text) {
+                Err(DataError::ParseField { line, column, .. }) => {
+                    assert_eq!(line, 2);
+                    assert_eq!(&column, col);
+                }
+                other => panic!("column {col}: expected ParseField, got {other:?}"),
+            }
+        }
+        // A non-numeric label reports the Outcome column.
+        let bad_label = format!("{header}\n6,148,72,35,0,33.6,0.627,50,maybe\n");
+        match pima_from_str(&bad_label) {
+            Err(DataError::ParseField { column, value, .. }) => {
+                assert_eq!(column, "Outcome");
+                assert_eq!(value, "maybe");
+            }
+            other => panic!("expected ParseField, got {other:?}"),
+        }
     }
 
     #[test]
@@ -230,9 +294,26 @@ mod tests {
         }
         header.push_str(",class\n");
         let bad = "40,Maybe,No,Yes,No,Yes,No,No,No,Yes,No,Yes,No,Yes,Yes,Yes,Positive\n";
-        assert!(sylhet_from_str(&format!("{header}{bad}")).is_err());
+        match sylhet_from_str(&format!("{header}{bad}")) {
+            Err(DataError::ParseField { column, value, .. }) => {
+                assert_eq!(column, "Sex");
+                assert_eq!(value, "Maybe");
+            }
+            other => panic!("expected ParseField, got {other:?}"),
+        }
         let bad_class = "40,Male,No,Yes,No,Yes,No,No,No,Yes,No,Yes,No,Yes,Yes,Yes,Perhaps\n";
-        assert!(sylhet_from_str(&format!("{header}{bad_class}")).is_err());
+        match sylhet_from_str(&format!("{header}{bad_class}")) {
+            Err(DataError::ParseField { column, .. }) => assert_eq!(column, "class"),
+            other => panic!("expected ParseField, got {other:?}"),
+        }
+        let bad_age = "old,Male,No,Yes,No,Yes,No,No,No,Yes,No,Yes,No,Yes,Yes,Yes,Positive\n";
+        match sylhet_from_str(&format!("{header}{bad_age}")) {
+            Err(DataError::ParseField { line, column, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(column, "Age");
+            }
+            other => panic!("expected ParseField, got {other:?}"),
+        }
     }
 
     #[test]

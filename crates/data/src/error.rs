@@ -43,6 +43,17 @@ pub enum DataError {
         /// Description of the problem.
         message: String,
     },
+    /// A single CSV field failed to parse, with full row/column context.
+    ParseField {
+        /// 1-based line number (header is line 1).
+        line: usize,
+        /// Name of the offending column.
+        column: String,
+        /// The offending field text.
+        value: String,
+        /// What the parser expected (e.g. "a number", "yes/no").
+        expected: String,
+    },
     /// I/O failure while reading or writing a file.
     Io(String),
     /// An operation that needs data received an empty table.
@@ -69,6 +80,15 @@ impl fmt::Display for DataError {
             }
             Self::InvalidK { k, n } => write!(f, "k = {k} invalid for {n} samples"),
             Self::Parse { line, message } => write!(f, "CSV parse error at line {line}: {message}"),
+            Self::ParseField {
+                line,
+                column,
+                value,
+                expected,
+            } => write!(
+                f,
+                "CSV parse error at line {line}, column `{column}`: expected {expected}, got `{value}`"
+            ),
             Self::Io(msg) => write!(f, "I/O error: {msg}"),
             Self::EmptyTable => write!(f, "table is empty"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
@@ -101,6 +121,14 @@ mod tests {
             message: "bad float".into(),
         };
         assert!(e.to_string().contains("line 3"));
+        let e = DataError::ParseField {
+            line: 4,
+            column: "Glucose".into(),
+            value: "xx".into(),
+            expected: "a number".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("line 4") && s.contains("Glucose") && s.contains("xx"));
         let e = DataError::InvalidK { k: 1, n: 5 };
         assert!(e.to_string().contains("k = 1"));
     }

@@ -54,7 +54,7 @@ pub fn impute_class_median(table: &Table) -> Result<Table, DataError> {
                 }
                 continue;
             }
-            values.sort_by(|a, b| a.partial_cmp(b).expect("non-NaN by filter"));
+            values.sort_by(f64::total_cmp);
             let mid = values.len() / 2;
             medians[class][col] = if values.len() % 2 == 1 {
                 values[mid]

@@ -41,12 +41,7 @@ impl RocCurve {
         }
         // Sort by descending score; sweep thresholds at distinct scores.
         let mut order: Vec<usize> = (0..scores.len()).collect();
-        order.sort_by(|&a, &b| {
-            scores[b]
-                .partial_cmp(&scores[a])
-                .expect("scores must be comparable")
-                .then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
         let mut points = vec![RocPoint {
             threshold: f64::INFINITY,
             fpr: 0.0,
@@ -86,11 +81,7 @@ impl RocCurve {
     pub fn youden_threshold(&self) -> f64 {
         self.points
             .iter()
-            .max_by(|a, b| {
-                (a.tpr - a.fpr)
-                    .partial_cmp(&(b.tpr - b.fpr))
-                    .expect("finite")
-            })
+            .max_by(|a, b| (a.tpr - a.fpr).total_cmp(&(b.tpr - b.fpr)))
             .map_or(0.5, |p| p.threshold)
     }
 }
@@ -106,7 +97,7 @@ pub fn auc(scores: &[f64], labels: &[usize]) -> Option<f64> {
     }
     // Average ranks with ties handled by midranks.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("comparable"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {

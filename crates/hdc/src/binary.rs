@@ -75,6 +75,22 @@ impl fmt::Display for Dim {
     }
 }
 
+/// Debug-build check of the packed-word tail invariant: bits at or above
+/// `dim` in the final storage word must be zero. Every packed-word mutation
+/// path calls this at exit; it compiles to nothing in release builds.
+#[inline]
+pub(crate) fn debug_assert_tail_invariant(dim: Dim, words: &[u64]) {
+    if cfg!(debug_assertions) {
+        if let Some(&last) = words.last() {
+            debug_assert_eq!(
+                last & !dim.tail_mask(),
+                0,
+                "tail invariant violated: bits at or above dim {dim} are set in the last word"
+            );
+        }
+    }
+}
+
 /// A dense binary hypervector of fixed dimensionality.
 ///
 /// Bit `i` lives at word `i / 64`, bit position `i % 64`. Bits beyond the
@@ -104,6 +120,7 @@ impl BinaryHypervector {
         if let Some(last) = words.last_mut() {
             *last &= dim.tail_mask();
         }
+        debug_assert_tail_invariant(dim, &words);
         Self { dim, words }
     }
 
@@ -115,12 +132,13 @@ impl BinaryHypervector {
     #[must_use]
     pub fn random(dim: Dim, rng: &mut SplitMix64) -> Self {
         let mut words = vec![0u64; dim.words()].into_boxed_slice();
-        for w in words.iter_mut() {
+        for w in &mut words {
             *w = rng.next_u64();
         }
         if let Some(last) = words.last_mut() {
             *last &= dim.tail_mask();
         }
+        debug_assert_tail_invariant(dim, &words);
         Self { dim, words }
     }
 
@@ -131,6 +149,7 @@ impl BinaryHypervector {
     /// encoder: flipping `x` ones and `x` zeros keeps every level vector
     /// balanced, so no level is biased under majority bundling.
     #[must_use]
+    // lint: index-ok (order holds d elements, so the d/2 slice is in range)
     pub fn random_balanced(dim: Dim, rng: &mut SplitMix64) -> Self {
         let d = dim.get();
         let mut order: Vec<u32> = (0..d as u32).collect();
@@ -212,6 +231,7 @@ impl BinaryHypervector {
     /// Panics if `i >= self.len()`.
     #[inline]
     #[must_use]
+    // lint: index-ok (the assert bounds i < d, so i / WORD_BITS < words())
     pub fn get(&self, i: usize) -> bool {
         assert!(
             i < self.dim.get(),
@@ -226,6 +246,7 @@ impl BinaryHypervector {
     /// # Panics
     /// Panics if `i >= self.len()`.
     #[inline]
+    // lint: index-ok (the assert bounds i < d, so i / WORD_BITS < words())
     pub fn set(&mut self, i: usize, value: bool) {
         assert!(
             i < self.dim.get(),
@@ -238,10 +259,12 @@ impl BinaryHypervector {
         } else {
             self.words[i / WORD_BITS] &= !mask;
         }
+        debug_assert_tail_invariant(self.dim, &self.words);
     }
 
     /// Flips bit `i`.
     #[inline]
+    // lint: index-ok (the assert bounds i < d, so i / WORD_BITS < words())
     pub fn flip(&mut self, i: usize) {
         assert!(
             i < self.dim.get(),
@@ -249,6 +272,7 @@ impl BinaryHypervector {
             self.dim
         );
         self.words[i / WORD_BITS] ^= 1u64 << (i % WORD_BITS);
+        debug_assert_tail_invariant(self.dim, &self.words);
     }
 
     /// Number of set bits.
@@ -310,6 +334,7 @@ impl BinaryHypervector {
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a ^= b;
         }
+        debug_assert_tail_invariant(self.dim, &self.words);
     }
 
     /// Bitwise complement (all bits flipped). The complement is at maximum
@@ -325,6 +350,7 @@ impl BinaryHypervector {
         if let Some(last) = words.last_mut() {
             *last &= self.dim.tail_mask();
         }
+        debug_assert_tail_invariant(self.dim, &words);
         Self {
             dim: self.dim,
             words,
@@ -352,6 +378,7 @@ impl BinaryHypervector {
         if let Some(last) = out.words.last_mut() {
             *last &= self.dim.tail_mask();
         }
+        debug_assert_tail_invariant(self.dim, &out.words);
         out
     }
 
@@ -397,6 +424,7 @@ impl BinaryHypervector {
 
     /// Internal helper used by encoders that pre-compute the one/zero index
     /// lists once and reuse them across levels.
+    // lint: index-ok (the partial Fisher–Yates keeps i < n ≤ idx.len())
     pub(crate) fn flip_balanced_in_place(
         &mut self,
         ones: &[u32],
@@ -420,6 +448,7 @@ impl BinaryHypervector {
         for &i in &chosen {
             self.flip(i as usize);
         }
+        debug_assert_tail_invariant(self.dim, &self.words);
     }
 
     /// Iterates the bits from index 0 to `d-1`.
@@ -431,6 +460,8 @@ impl BinaryHypervector {
 /// ORs `src << shift` (a left shift over the packed little-endian bit
 /// layout) into `dst`. Bits shifted past the end of `dst` are discarded;
 /// the caller re-masks the tail word.
+// lint: tail-ok (writes into a caller-owned scratch; permute re-masks the tail word afterwards)
+// lint: index-ok (loop bounds are derived from src/dst lengths and the word shift)
 fn or_shifted_left(src: &[u64], shift: usize, dst: &mut [u64]) {
     let ws = shift / WORD_BITS;
     let bs = shift % WORD_BITS;
@@ -453,6 +484,8 @@ fn or_shifted_left(src: &[u64], shift: usize, dst: &mut [u64]) {
 
 /// ORs `src >> shift` into `dst`. Relies on `src`'s tail invariant (bits
 /// at or above the dimensionality are zero) so no stray bits shift in.
+// lint: tail-ok (writes into a caller-owned scratch; permute re-masks the tail word afterwards)
+// lint: index-ok (loop bounds are derived from src/dst lengths and the word shift)
 fn or_shifted_right(src: &[u64], shift: usize, dst: &mut [u64]) {
     let ws = shift / WORD_BITS;
     let bs = shift % WORD_BITS;
@@ -677,6 +710,41 @@ mod tests {
         let json = serde_json::to_string(&a).unwrap();
         let back: BinaryHypervector = serde_json::from_str(&json).unwrap();
         assert_eq!(a, back);
+    }
+
+    /// Corrupting a bit at or above `dim` in the last packed word must trip
+    /// the `debug_assert_tail_invariant` exit check of the next mutation
+    /// path. Only meaningful in debug builds — release compiles it away.
+    #[cfg(debug_assertions)]
+    mod tail_corruption {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn corrupted_tail_bit_fires_debug_assert(
+                raw_d in 1usize..512,
+                seed in any::<u64>(),
+            ) {
+                // Only non-word-aligned dims have tail bits to corrupt.
+                let d = if raw_d % WORD_BITS == 0 { raw_d + 1 } else { raw_d };
+                let dim = Dim::new(d);
+                let mut r = SplitMix64::new(seed);
+                let mut corrupted = BinaryHypervector::random(dim, &mut r);
+                // The first position at or above `dim` in the last word.
+                let tail_bit = d % WORD_BITS;
+                corrupted.words_mut()[dim.words() - 1] |= 1u64 << tail_bit;
+                let clean = BinaryHypervector::random(dim, &mut r);
+                // bind_assign XORs the corrupted tail into its output and
+                // must catch it at its exit check.
+                let fired = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut out = clean.clone();
+                    out.bind_assign(&corrupted);
+                }))
+                .is_err();
+                prop_assert!(fired, "tail corruption at d = {d} went undetected");
+            }
+        }
     }
 
     #[test]

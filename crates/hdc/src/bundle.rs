@@ -21,7 +21,7 @@
 //! [`Bundler::finish`] is a word-wide borrow-chain comparison deciding 64
 //! bits per step.
 
-use crate::binary::{BinaryHypervector, Dim, WORD_BITS};
+use crate::binary::{debug_assert_tail_invariant, BinaryHypervector, Dim, WORD_BITS};
 use crate::error::HdcError;
 
 /// Bundles hypervectors by per-bit majority vote, ties broken toward 1.
@@ -139,6 +139,7 @@ impl Bundler {
     /// Ripple-carry adds `src` (one vote per set bit) into the counter
     /// planes, starting at plane `base`. New planes are allocated only when
     /// a carry actually propagates past the current top plane.
+    // lint: index-ok (the while loop grows planes past p first; widx enumerates src, and every plane holds n_words words)
     fn add_plane(&mut self, src: &[u64], base: usize, n_words: usize) {
         for (widx, &word) in src.iter().enumerate() {
             let mut carry = word;
@@ -161,6 +162,7 @@ impl Bundler {
     /// Returns [`HdcError::EmptyInput`] — without modifying any counter —
     /// if the removal would underflow, i.e. the vector was not previously
     /// pushed with at least this weight.
+    // lint: index-ok (widx enumerates hv.words(); every plane is allocated with the same word count)
     pub fn remove_weighted(&mut self, hv: &BinaryHypervector, weight: u32) -> Result<(), HdcError> {
         if hv.dim() != self.dim {
             return Err(HdcError::DimensionMismatch {
@@ -224,6 +226,7 @@ impl Bundler {
     /// the complement of the borrow word.
     ///
     /// Returns [`HdcError::EmptyInput`] if no votes were accumulated.
+    // lint: index-ok (widx ranges over dim.words(); every plane is allocated with that word count)
     pub fn finish(&self) -> Result<BinaryHypervector, HdcError> {
         if self.total == 0 {
             return Err(HdcError::EmptyInput);
@@ -249,6 +252,7 @@ impl Bundler {
         if let Some(last) = out.words_mut().last_mut() {
             *last &= mask;
         }
+        debug_assert_tail_invariant(self.dim, out.words());
         Ok(out)
     }
 
@@ -262,6 +266,7 @@ impl Bundler {
 
     /// Materialises the per-bit vote counts (length `d`) from the planes.
     #[must_use]
+    // lint: index-ok (i < d implies i / WORD_BITS < words(); planes hold words() words)
     pub fn counts(&self) -> Vec<u32> {
         let d = self.dim.get();
         let mut out = vec![0u32; d];
@@ -381,7 +386,7 @@ mod tests {
         let a = BinaryHypervector::random(dim(), &mut r);
         let b = BinaryHypervector::random(dim(), &mut r);
         let weighted = try_weighted_majority(&[(a.clone(), 3), (b.clone(), 1)]).unwrap();
-        let repeated = majority(&[a.clone(), a.clone(), a.clone(), b.clone()]);
+        let repeated = majority(&[a.clone(), a.clone(), a, b]);
         assert_eq!(weighted, repeated);
     }
 

@@ -212,7 +212,7 @@ impl CentroidClassifier {
     }
 
     fn requantize(&mut self) {
-        let dim = self.dim.expect("requantize only called after fit");
+        let Some(dim) = self.dim else { return };
         self.prototypes = self
             .sums
             .iter()

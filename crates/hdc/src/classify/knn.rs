@@ -121,13 +121,12 @@ impl HammingKnnClassifier {
             };
             votes[self.labels[i]] += w;
         }
-        let winner = votes
+        votes
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(&a.0)))
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
             .map(|(c, _)| c)
-            .expect("votes is non-empty");
-        Ok(winner)
+            .ok_or(HdcError::NotFitted)
     }
 
     /// Predicts a batch in parallel.

@@ -1,6 +1,6 @@
 //! Linear (level) encoding of continuous features.
 
-use crate::binary::{BinaryHypervector, Dim, WORD_BITS};
+use crate::binary::{debug_assert_tail_invariant, BinaryHypervector, Dim, WORD_BITS};
 use crate::error::HdcError;
 use crate::rng::SplitMix64;
 
@@ -148,6 +148,7 @@ impl LinearEncoder {
     ///
     /// # Panics
     /// Panics if `out.dim() != self.dim()`.
+    // lint: index-ok (build_checkpoints emits one words-sized mask per stride boundary covering ck; half ≤ the flip-list lengths)
     pub fn encode_into(&self, t: f64, out: &mut BinaryHypervector) {
         assert_eq!(
             out.dim(),
@@ -167,6 +168,7 @@ impl LinearEncoder {
         for &i in &self.flip_zeros[ck * CHECKPOINT_STRIDE..half] {
             out.flip(i as usize);
         }
+        debug_assert_tail_invariant(self.dim, out.words());
     }
 
     /// Like [`Self::encode`], but rejects NaN/infinite inputs instead of
@@ -191,6 +193,7 @@ impl LinearEncoder {
 /// Precomputes the cumulative flip mask at every `CHECKPOINT_STRIDE`-pair
 /// boundary: snapshot `c` covers the first `c·CHECKPOINT_STRIDE` entries of
 /// both flip lists.
+// lint: index-ok (flip indices are < d by construction, so i / WORD_BITS < words)
 fn build_checkpoints(dim: Dim, flip_ones: &[u32], flip_zeros: &[u32]) -> Vec<u64> {
     let words = dim.words();
     let cap = flip_ones.len().min(flip_zeros.len());
@@ -201,7 +204,7 @@ fn build_checkpoints(dim: Dim, flip_ones: &[u32], flip_zeros: &[u32]) -> Vec<u64
             checkpoints.extend_from_slice(&mask);
         }
         if h < cap {
-            for &i in [flip_ones[h], flip_zeros[h]].iter() {
+            for &i in &[flip_ones[h], flip_zeros[h]] {
                 mask[i as usize / WORD_BITS] ^= 1u64 << (i as usize % WORD_BITS);
             }
         }

@@ -61,7 +61,7 @@ impl NgramEncoder {
                 Some(a) => a.bind(&code),
             });
         }
-        Ok(acc.expect("n ≥ 1"))
+        acc.ok_or(HdcError::EmptyInput)
     }
 
     /// Encodes a whole sequence: majority bundle over its sliding n-gram

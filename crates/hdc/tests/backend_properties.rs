@@ -24,7 +24,7 @@ proptest! {
         let b = binary(512, sb);
         let ta = TernaryHypervector::from_binary(&a);
         let tb = TernaryHypervector::from_binary(&b);
-        prop_assert_eq!(ta.to_binary(), a.clone());
+        prop_assert_eq!(ta.to_binary(), a);
         let dot = ta.dot(&tb).unwrap();
         let hamming = a.hamming(&b) as i64;
         prop_assert_eq!(dot, 512 - 2 * hamming);
@@ -41,7 +41,7 @@ proptest! {
         let mut rng = SplitMix64::new(sc);
         let c = TernaryHypervector::random_dense(Dim::new(128), &mut rng);
         // Self-inverse.
-        prop_assert_eq!(a.bind(&b).unwrap().bind(&b).unwrap(), a.clone());
+        prop_assert_eq!(a.bind(&b).unwrap().bind(&b).unwrap(), a);
         // Associative.
         let left = a.bind(&b).unwrap().bind(&c).unwrap();
         let right = a.bind(&b.bind(&c).unwrap()).unwrap();

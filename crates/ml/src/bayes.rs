@@ -297,9 +297,8 @@ fn argmax(values: &[f64]) -> usize {
     values
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(&a.0)))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+        .map_or(0, |(i, _)| i)
 }
 
 /// P(class 1) from joint log-likelihoods (log-sum-exp stabilised; treats

@@ -32,7 +32,7 @@ impl BinnedData {
         for f in 0..p {
             sorted.clear();
             sorted.extend((0..n).map(|i| x.get(i, f)));
-            sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            sorted.sort_unstable_by(f32::total_cmp);
             sorted.dedup();
             let feature_edges = if sorted.len() <= max_bins {
                 // One bin per distinct value: edge = the value itself.
@@ -46,7 +46,9 @@ impl BinnedData {
                         sorted[idx]
                     })
                     .collect();
-                e.push(*sorted.last().expect("non-empty"));
+                if let Some(&last) = sorted.last() {
+                    e.push(last);
+                }
                 e.dedup();
                 e
             };

@@ -385,18 +385,14 @@ fn grow_leafwise(
         let Some(best_idx) = leaves
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.split.is_some())
-            .max_by(|a, b| {
-                let ga = a.1.split.as_ref().expect("filtered").gain;
-                let gb = b.1.split.as_ref().expect("filtered").gain;
-                ga.partial_cmp(&gb).expect("finite").then(b.0.cmp(&a.0))
-            })
+            .filter_map(|(i, c)| c.split.as_ref().map(|s| (i, s.gain)))
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
             .map(|(i, _)| i)
         else {
             break;
         };
         let cand = leaves.swap_remove(best_idx);
-        let s = cand.split.expect("selected leaf has a split");
+        let Some(s) = cand.split else { break };
         let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
         for &r in &cand.rows {
             if binned.code(r as usize, s.feature as usize) <= s.bin {
@@ -494,7 +490,7 @@ fn grow_oblivious(
             .iter()
             .enumerate()
             .filter(|&(i, _)| any_valid[i])
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .filter(|&(_, &g)| g >= cfg.gamma);
         let Some((flat, _)) = best else { break };
         // Recover (feature, bin) from the flat index.

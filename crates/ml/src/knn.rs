@@ -108,9 +108,8 @@ impl Estimator for KnnClassifier {
                 Ok(votes
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(&a.0)))
-                    .map(|(c, _)| c)
-                    .unwrap_or(0))
+                    .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                    .map_or(0, |(c, _)| c))
             })
             .collect()
     }

@@ -149,7 +149,7 @@ impl Estimator for SgdClassifier {
                 }
                 // L2 decay on every step.
                 let decay = 1.0 - eta * alpha;
-                for w in self.weights.iter_mut() {
+                for w in &mut self.weights {
                     *w *= decay;
                 }
                 let dloss = match self.params.loss {

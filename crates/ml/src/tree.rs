@@ -285,8 +285,7 @@ impl Builder<'_> {
                     .iter()
                     .map(|&i| (self.x.get(i, feature as usize), i)),
             );
-            self.sort_buf
-                .sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("finite by validation"));
+            self.sort_buf.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 
             // Sweep thresholds between distinct consecutive values.
             let mut left_counts = vec![0u32; self.n_classes];
@@ -390,8 +389,7 @@ fn argmax_usize(counts: &[u32]) -> usize {
         .iter()
         .enumerate()
         .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .map(|(i, _)| i)
-        .unwrap_or(0)
+        .map_or(0, |(i, _)| i)
 }
 
 impl Estimator for DecisionTreeClassifier {
@@ -407,9 +405,8 @@ impl Estimator for DecisionTreeClassifier {
                 self.leaf_proba(x.row(i)).map(|p| {
                     p.iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite").then(b.0.cmp(&a.0)))
-                        .map(|(c, _)| c)
-                        .unwrap_or(0)
+                        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                        .map_or(0, |(c, _)| c)
                 })
             })
             .collect()

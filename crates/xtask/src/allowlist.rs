@@ -1,0 +1,317 @@
+//! The shrink-only allowlist (`crates/xtask/allow.toml`).
+//!
+//! Every pre-existing, justified panic site lives here with a written
+//! reason. The file records the size of the initial audit and a `budget`
+//! that must be at least 30% below it; the number of entries may never
+//! exceed the budget, so the list can only shrink. Entries that no longer
+//! match a live violation are flagged as stale and must be deleted — an
+//! allowlist entry is a debt marker, not a permanent waiver.
+
+use crate::diag::{Rule, Violation};
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Workspace-relative file the waived violation lives in.
+    pub file: String,
+    /// Substring that must appear in the offending line's raw text.
+    pub contains: String,
+    /// Why this panic is justified (1-based line, for diagnostics).
+    pub line: usize,
+}
+
+/// Parsed `allow.toml`.
+#[derive(Debug)]
+pub struct Allowlist {
+    pub initial_audit: usize,
+    pub budget: usize,
+    pub entries: Vec<Entry>,
+}
+
+/// Parses `allow.toml`. Returns `Err` with a diagnostic message when the
+/// file is structurally invalid.
+pub fn parse(contents: &str) -> Result<Allowlist, String> {
+    let mut initial_audit = None;
+    let mut budget = None;
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut current: Option<(Option<String>, Option<String>, bool, usize)> = None;
+
+    for (idx, raw) in contents.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(entry) = finish(current.take(), idx)? {
+                entries.push(entry);
+            }
+            current = Some((None, None, false, idx + 1));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "allow.toml line {}: expected `key = value`",
+                idx + 1
+            ));
+        };
+        let (key, value) = (key.trim(), value.trim());
+        match current.as_mut() {
+            None => match key {
+                "initial_audit" => initial_audit = value.parse::<usize>().ok(),
+                "budget" => budget = value.parse::<usize>().ok(),
+                other => {
+                    return Err(format!(
+                        "allow.toml line {}: unknown top-level key `{other}`",
+                        idx + 1
+                    ));
+                }
+            },
+            Some((file, contains, has_reason, _)) => match key {
+                "file" => *file = Some(unquote(value)?),
+                "contains" => *contains = Some(unquote(value)?),
+                "reason" => {
+                    let r = unquote(value)?;
+                    if r.trim().len() < 10 {
+                        return Err(format!(
+                            "allow.toml line {}: reason must be a real sentence, got `{r}`",
+                            idx + 1
+                        ));
+                    }
+                    *has_reason = true;
+                }
+                other => {
+                    return Err(format!(
+                        "allow.toml line {}: unknown entry key `{other}`",
+                        idx + 1
+                    ));
+                }
+            },
+        }
+    }
+    if let Some(entry) = finish(current.take(), contents.lines().count())? {
+        entries.push(entry);
+    }
+
+    let initial_audit =
+        initial_audit.ok_or("allow.toml: missing `initial_audit = <count>` header")?;
+    let budget = budget.ok_or("allow.toml: missing `budget = <count>` header")?;
+    Ok(Allowlist {
+        initial_audit,
+        budget,
+        entries,
+    })
+}
+
+fn finish(
+    current: Option<(Option<String>, Option<String>, bool, usize)>,
+    end_idx: usize,
+) -> Result<Option<Entry>, String> {
+    let Some((file, contains, has_reason, start)) = current else {
+        return Ok(None);
+    };
+    let file = file.ok_or(format!("allow.toml entry at line {start}: missing `file`"))?;
+    let contains = contains.ok_or(format!(
+        "allow.toml entry at line {start}: missing `contains`"
+    ))?;
+    if !has_reason {
+        return Err(format!(
+            "allow.toml entry at line {start} (ends near line {end_idx}): missing `reason`"
+        ));
+    }
+    Ok(Some(Entry {
+        file,
+        contains,
+        line: start,
+    }))
+}
+
+/// Applies the allowlist to panic-rule violations. Returns the violations
+/// that survive (not waived) plus any allowlist-integrity violations
+/// (budget breaches, stale entries).
+pub fn apply(list: &Allowlist, violations: Vec<Violation>) -> (Vec<Violation>, Vec<Violation>) {
+    let mut integrity = Vec::new();
+    let max_budget = list.initial_audit * 7 / 10;
+    if list.budget > max_budget {
+        integrity.push(meta_violation(format!(
+            "budget {} exceeds the shrink-only ceiling {} (70% of the initial audit of {})",
+            list.budget, max_budget, list.initial_audit
+        )));
+    }
+    if list.entries.len() > list.budget {
+        integrity.push(meta_violation(format!(
+            "{} entries exceed the budget of {} — the allowlist may only shrink",
+            list.entries.len(),
+            list.budget
+        )));
+    }
+
+    let mut used = vec![false; list.entries.len()];
+    let mut remaining = Vec::new();
+    for v in violations {
+        let waived = matches!(v.rule, Rule::Panic | Rule::KernelIndex)
+            && list.entries.iter().enumerate().any(|(i, e)| {
+                let hit = e.file == v.file && v.line_text.contains(&e.contains);
+                if hit {
+                    used[i] = true;
+                }
+                hit
+            });
+        if !waived {
+            remaining.push(v);
+        }
+    }
+    for (i, e) in list.entries.iter().enumerate() {
+        if !used[i] {
+            integrity.push(Violation {
+                file: "crates/xtask/allow.toml".to_string(),
+                line: e.line,
+                rule: Rule::Allowlist,
+                message: format!(
+                    "stale entry: `{}` no longer matches any violation in {} — delete it \
+                     (the allowlist is shrink-only)",
+                    e.contains, e.file
+                ),
+                line_text: String::new(),
+            });
+        }
+    }
+    (remaining, integrity)
+}
+
+fn meta_violation(message: String) -> Violation {
+    Violation {
+        file: "crates/xtask/allow.toml".to_string(),
+        line: 0,
+        rule: Rule::Allowlist,
+        message,
+        line_text: String::new(),
+    }
+}
+
+/// Strips a `#` comment, respecting double-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str => escaped = !escaped,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn unquote(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or(format!("expected a double-quoted string, got `{value}`"))?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn viol(file: &str, line_text: &str) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line: 1,
+            rule: Rule::Panic,
+            message: "x".to_string(),
+            line_text: line_text.to_string(),
+        }
+    }
+
+    const BASIC: &str = "initial_audit = 10\n\
+                         budget = 7\n\
+                         [[allow]]\n\
+                         file = \"crates/a/src/lib.rs\"\n\
+                         contains = \"expect(\\\"must be finite\\\")\"\n\
+                         reason = \"validated at construction time\"\n";
+
+    #[test]
+    fn parses_header_and_entries_with_escapes() {
+        let list = parse(BASIC).unwrap();
+        assert_eq!(list.initial_audit, 10);
+        assert_eq!(list.budget, 7);
+        assert_eq!(list.entries.len(), 1);
+        assert_eq!(list.entries[0].contains, "expect(\"must be finite\")");
+    }
+
+    #[test]
+    fn matching_violations_are_waived_and_entries_marked_used() {
+        let list = parse(BASIC).unwrap();
+        let vs = vec![
+            viol("crates/a/src/lib.rs", "x.expect(\"must be finite\")"),
+            viol("crates/b/src/lib.rs", "y.unwrap()"),
+        ];
+        let (remaining, integrity) = apply(&list, vs);
+        assert_eq!(remaining.len(), 1);
+        assert_eq!(remaining[0].file, "crates/b/src/lib.rs");
+        assert!(integrity.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let list = parse(BASIC).unwrap();
+        let (remaining, integrity) = apply(&list, Vec::new());
+        assert!(remaining.is_empty());
+        assert_eq!(integrity.len(), 1);
+        assert_eq!(integrity[0].rule, Rule::Allowlist);
+        assert!(integrity[0].message.contains("stale entry"));
+    }
+
+    #[test]
+    fn budget_must_shrink_thirty_percent_from_the_audit() {
+        let src = "initial_audit = 10\nbudget = 8\n";
+        let list = parse(src).unwrap();
+        let (_, integrity) = apply(&list, Vec::new());
+        assert!(integrity
+            .iter()
+            .any(|v| v.message.contains("shrink-only ceiling")));
+    }
+
+    #[test]
+    fn entries_beyond_budget_are_rejected() {
+        let mut src = String::from("initial_audit = 10\nbudget = 1\n");
+        for i in 0..2 {
+            src.push_str(&format!(
+                "[[allow]]\nfile = \"f{i}.rs\"\ncontains = \"c{i}\"\nreason = \"a sufficiently long reason\"\n"
+            ));
+        }
+        let list = parse(&src).unwrap();
+        let vs = vec![viol("f0.rs", "c0"), viol("f1.rs", "c1")];
+        let (_, integrity) = apply(&list, vs);
+        assert!(integrity
+            .iter()
+            .any(|v| v.message.contains("exceed the budget")));
+    }
+
+    #[test]
+    fn short_reasons_and_missing_fields_fail_parsing() {
+        let short = "initial_audit = 1\nbudget = 0\n[[allow]]\nfile = \"f\"\ncontains = \"c\"\nreason = \"meh\"\n";
+        assert!(parse(short).is_err());
+        let missing = "initial_audit = 1\nbudget = 0\n[[allow]]\nfile = \"f\"\nreason = \"a sufficiently long reason\"\n";
+        assert!(parse(missing).is_err());
+    }
+}

@@ -1,0 +1,69 @@
+//! Violation records and reporting.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which lint produced a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `unwrap()`/`expect(`/`panic!`/`todo!`/`unimplemented!` in library code.
+    Panic,
+    /// Slice indexing in a word-level kernel without an `index-ok` annotation.
+    KernelIndex,
+    /// A packed-word mutation path without re-mask, exit assert or `tail-ok`.
+    TailInvariant,
+    /// A registry dependency or a path dependency outside vendor//crates/.
+    Vendor,
+    /// The allowlist itself is invalid (stale entry, budget exceeded, …).
+    Allowlist,
+}
+
+impl Rule {
+    /// Short tag used in diagnostics.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Panic => "panic",
+            Self::KernelIndex => "kernel-index",
+            Self::TailInvariant => "tail-invariant",
+            Self::Vendor => "vendor",
+            Self::Allowlist => "allowlist",
+        }
+    }
+}
+
+/// One lint finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Raw text of the offending line (used for allowlist matching).
+    pub line_text: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.tag(),
+            self.message
+        )
+    }
+}
+
+/// Normalises a path under `root` to a forward-slash relative string.
+pub fn rel(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}

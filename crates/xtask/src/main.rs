@@ -1,0 +1,303 @@
+//! `cargo xtask` — repo-specific static analysis.
+//!
+//! Subcommands:
+//!
+//! * `lint` — run the panic audit, kernel-index check, tail-word invariant
+//!   lint and vendor-hygiene check over the workspace. Exits non-zero and
+//!   prints `file:line: [rule] message` diagnostics on any finding not
+//!   covered by the shrink-only allowlist (`crates/xtask/allow.toml`).
+//! * `selftest` — build a scratch workspace with one seeded violation per
+//!   rule family (a library unwrap, an unmasked tail write, a registry
+//!   dependency) and assert the engine catches all three. This guards the
+//!   linter itself against silently going blind.
+//!
+//! Invoke as `cargo run -p xtask -- lint` (or via the `cargo xtask` alias
+//! in `.cargo/config.toml`).
+
+mod allowlist;
+mod diag;
+mod panics;
+mod source;
+mod tail;
+mod vendorcheck;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use diag::{rel, Rule, Violation};
+use source::Analysis;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => cmd_lint(),
+        Some("selftest") => cmd_selftest(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- <lint|selftest>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_lint() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("xtask: could not locate the workspace root");
+        return ExitCode::from(2);
+    };
+    match run_lint(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("xtask lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Runs every rule against the workspace at `root` and applies the
+/// allowlist. Returns the surviving violations, sorted by file and line.
+fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
+    let mut violations = Vec::new();
+
+    // Rules 1 & 2: panic audit + kernel indexing + tail invariant over the
+    // audited crates' library sources.
+    for crate_name in panics::AUDITED_CRATES {
+        let src_dir = root.join("crates").join(crate_name).join("src");
+        for path in rust_files(&src_dir) {
+            let contents = fs::read_to_string(&path)
+                .map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let rel_path = rel(root, &path);
+            let analysis = Analysis::new(&contents);
+            violations.extend(panics::check_file(&rel_path, &analysis));
+            if crate_name == "hdc" {
+                violations.extend(tail::check_file(&rel_path, &analysis));
+            }
+        }
+    }
+
+    // Rule 3: vendor hygiene over every manifest in the workspace.
+    let mut manifests = vec![root.join("Cargo.toml")];
+    for dir in ["crates", "vendor"] {
+        manifests.extend(child_manifests(&root.join(dir)));
+    }
+    for path in manifests {
+        if !path.is_file() {
+            continue;
+        }
+        let contents =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        violations.extend(vendorcheck::check_manifest(&rel(root, &path), &contents));
+    }
+
+    // The allowlist waives recorded panic/kernel-index sites and reports its
+    // own integrity problems (budget breaches, stale entries).
+    let allow_path = root.join("crates/xtask/allow.toml");
+    let list = if allow_path.is_file() {
+        let contents = fs::read_to_string(&allow_path)
+            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
+        match allowlist::parse(&contents) {
+            Ok(list) => list,
+            Err(msg) => {
+                violations.push(Violation {
+                    file: "crates/xtask/allow.toml".to_string(),
+                    line: 0,
+                    rule: Rule::Allowlist,
+                    message: msg,
+                    line_text: String::new(),
+                });
+                allowlist::Allowlist {
+                    initial_audit: 0,
+                    budget: 0,
+                    entries: Vec::new(),
+                }
+            }
+        }
+    } else {
+        allowlist::Allowlist {
+            initial_audit: 0,
+            budget: 0,
+            entries: Vec::new(),
+        }
+    };
+    let (mut remaining, integrity) = allowlist::apply(&list, violations);
+    remaining.extend(integrity);
+    remaining.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(remaining)
+}
+
+/// Walks `dir` recursively collecting `.rs` files in sorted order.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// `Cargo.toml` files one level below `dir` (e.g. `crates/*/Cargo.toml`).
+fn child_manifests(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let manifest = entry.path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` when run via
+/// cargo, otherwise walking up from the current directory looking for a
+/// manifest with a `[workspace]` table.
+fn workspace_root() -> Option<PathBuf> {
+    if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let candidate = PathBuf::from(&manifest_dir).join("../..");
+        if let Ok(root) = candidate.canonicalize() {
+            if is_workspace_root(&root) {
+                return Some(root);
+            }
+        }
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    fs::read_to_string(dir.join("Cargo.toml")).is_ok_and(|c| c.contains("[workspace]"))
+}
+
+/// Builds a scratch workspace with one seeded violation per rule family and
+/// asserts the lint engine reports all three with file:line diagnostics.
+fn cmd_selftest() -> ExitCode {
+    let scratch = std::env::temp_dir().join(format!("xtask-selftest-{}", std::process::id()));
+    let result = run_selftest(&scratch);
+    let _ = fs::remove_dir_all(&scratch);
+    match result {
+        Ok(report) => {
+            println!("{report}");
+            println!("xtask selftest: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask selftest: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_selftest(scratch: &Path) -> Result<String, String> {
+    let write = |rel_path: &str, contents: &str| -> Result<(), String> {
+        let path = scratch.join(rel_path);
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
+        }
+        fs::write(&path, contents).map_err(|e| format!("write {}: {e}", path.display()))
+    };
+
+    // Seed 1: a registry dependency — the workspace must be offline.
+    write(
+        "Cargo.toml",
+        "[workspace]\nmembers = [\"crates/*\"]\n\n[workspace.dependencies]\nserde = \"1.0\"\n",
+    )?;
+    // Seed 2: an unmasked tail write in a word-level kernel.
+    write(
+        "crates/hdc/src/binary.rs",
+        "pub struct Hv { words: Vec<u64> }\n\
+         impl Hv {\n\
+             pub fn ones(&mut self) {\n\
+                 self.words.fill(u64::MAX);\n\
+             }\n\
+         }\n",
+    )?;
+    // Seed 3: a library unwrap outside test code.
+    write(
+        "crates/ml/src/lib.rs",
+        "pub fn first(xs: &[u32]) -> u32 {\n    *xs.first().unwrap()\n}\n",
+    )?;
+
+    let violations = run_lint(scratch)?;
+    let mut report = String::from("seeded violations detected:\n");
+    for v in &violations {
+        report.push_str(&format!("  {v}\n"));
+    }
+
+    let expect = [
+        (Rule::Vendor, "Cargo.toml", "registry"),
+        (
+            Rule::TailInvariant,
+            "crates/hdc/src/binary.rs",
+            "re-masking",
+        ),
+        (Rule::Panic, "crates/ml/src/lib.rs", ".unwrap()"),
+    ];
+    for (rule, file, needle) in expect {
+        let hit = violations
+            .iter()
+            .find(|v| v.rule == rule && v.file == file && v.message.contains(needle));
+        let Some(hit) = hit else {
+            return Err(format!(
+                "expected a [{}] violation in {file} mentioning `{needle}`; got:\n{report}",
+                rule.tag()
+            ));
+        };
+        if hit.line == 0 {
+            return Err(format!(
+                "[{}] violation in {file} is missing a line number",
+                rule.tag()
+            ));
+        }
+    }
+    if violations.len() < 3 {
+        return Err(format!("expected at least 3 violations, got:\n{report}"));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selftest_catches_all_three_seeded_violations() {
+        let scratch =
+            std::env::temp_dir().join(format!("xtask-selftest-ut-{}", std::process::id()));
+        let result = run_selftest(&scratch);
+        let _ = fs::remove_dir_all(&scratch);
+        let report = result.expect("selftest must pass");
+        assert!(report.contains("crates/ml/src/lib.rs:2"));
+        assert!(report.contains("crates/hdc/src/binary.rs:4"));
+    }
+}

@@ -1,0 +1,456 @@
+//! Lexical preprocessing of Rust sources: comment/string stripping,
+//! `#[cfg(test)]` region masking, and function-extent discovery.
+//!
+//! This is deliberately a lexer, not a parser: the lints only need to know
+//! (a) which text is code rather than comment/string, (b) which lines live
+//! inside test-gated items, and (c) where each `fn` body starts and ends.
+//! All three fall out of a single character-level scan plus brace tracking.
+
+/// A Rust source file after lexical analysis.
+pub struct Analysis {
+    /// Raw source lines (1-based indexing via `line - 1`).
+    pub raw: Vec<String>,
+    /// Lines with comment bodies and string/char contents blanked out.
+    /// Quote characters and comment openers are blanked too, so the only
+    /// remaining tokens are real code.
+    pub stripped: Vec<String>,
+    /// `true` for lines inside a `#[cfg(test)]`-gated item.
+    pub in_test: Vec<bool>,
+    /// Function extents, in source order.
+    pub functions: Vec<FnSpan>,
+}
+
+/// The extent of one `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub header_line: usize,
+    /// 1-based line of the parameter list's closing context — the first
+    /// line at or after the header containing the body `{` (equals
+    /// `header_line` for single-line signatures).
+    pub body_start_line: usize,
+    /// 1-based line of the body's closing `}`.
+    pub end_line: usize,
+}
+
+impl Analysis {
+    /// Lexes a source file.
+    pub fn new(source: &str) -> Self {
+        let stripped_text = strip(source);
+        let raw: Vec<String> = source.lines().map(str::to_string).collect();
+        let stripped: Vec<String> = stripped_text.lines().map(str::to_string).collect();
+        let in_test = test_mask(&stripped);
+        let functions = find_functions(&stripped);
+        Self {
+            raw,
+            stripped,
+            in_test,
+            functions,
+        }
+    }
+
+    /// The function span containing `line` (1-based), if any. Inner
+    /// functions shadow outer ones (the innermost span wins).
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| f.header_line <= line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.header_line)
+    }
+
+    /// True if any raw line of the function span, or of the contiguous
+    /// comment/attribute block directly above it, contains `needle`.
+    pub fn fn_has_annotation(&self, span: &FnSpan, needle: &str) -> bool {
+        let body = (span.header_line - 1)..span.end_line.min(self.raw.len());
+        if self.raw[body].iter().any(|l| l.contains(needle)) {
+            return true;
+        }
+        // Walk the doc/attr/comment block above the header.
+        let mut i = span.header_line - 1;
+        while i > 0 {
+            let t = self.raw[i - 1].trim_start();
+            if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") {
+                if t.contains(needle) {
+                    return true;
+                }
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+        false
+    }
+}
+
+/// Blanks comments and string/char-literal contents, preserving line
+/// structure so line numbers survive.
+fn strip(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+    }
+    let mut out = String::with_capacity(source.len());
+    let chars: Vec<char> = source.chars().collect();
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' if matches!(next, Some('"') | Some('#')) && !prev_is_ident(&chars, i) => {
+                    // Raw string r"…" or r#"…"# (count the hashes).
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few chars; a lifetime never has a closing quote.
+                    if next == Some('\\') {
+                        // Escaped char literal: skip to the closing quote.
+                        let mut j = i + 2;
+                        while j < chars.len() && chars[j] != '\'' {
+                            j += 1;
+                        }
+                        for _ in i..=j.min(chars.len() - 1) {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else if chars.get(i + 2) == Some(&'\'') {
+                        out.push(' ');
+                        out.push(' ');
+                        out.push(' ');
+                        i += 3;
+                    } else {
+                        // Lifetime: keep as-is.
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && next == Some('*') {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                '\\' => {
+                    out.push(' ');
+                    if next.is_some() {
+                        out.push(if next == Some('\n') { '\n' } else { ' ' });
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                '"' => {
+                    out.push('"');
+                    state = State::Code;
+                    i += 1;
+                }
+                '\n' => {
+                    out.push('\n');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    // Closing needs `hashes` following '#'s.
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            out.push(' ');
+                        }
+                        i += 1 + hashes;
+                        state = State::Code;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Marks lines belonging to `#[cfg(test)]`-gated items. The attribute may
+/// be followed by further attributes before the item; the region extends
+/// to the item's closing brace (or terminating `;` for brace-less items).
+fn test_mask(stripped: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; stripped.len()];
+    let mut i = 0;
+    while i < stripped.len() {
+        let t = stripped[i].trim_start();
+        let is_test_attr = t.starts_with("#[cfg(test)]")
+            || t.starts_with("#[cfg(all(test")
+            || t.starts_with("#[cfg(any(test");
+        if !is_test_attr {
+            i += 1;
+            continue;
+        }
+        // Mask from the attribute to the end of the gated item.
+        let start = i;
+        let mut depth = 0i64;
+        let mut seen_brace = false;
+        let mut j = i;
+        'outer: while j < stripped.len() {
+            for ch in stripped[j].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        seen_brace = true;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if seen_brace && depth == 0 {
+                            break 'outer;
+                        }
+                    }
+                    ';' if !seen_brace => break 'outer,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end = j.min(stripped.len() - 1);
+        for m in &mut mask[start..=end] {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Finds `fn` items and their body extents by brace tracking over stripped
+/// text. Trait-signature `fn`s (terminated by `;` before any `{`) are
+/// skipped.
+fn find_functions(stripped: &[String]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    for (li, line) in stripped.iter().enumerate() {
+        let mut search_from = 0;
+        while let Some(pos) = line[search_from..].find("fn ") {
+            let at = search_from + pos;
+            search_from = at + 3;
+            // Word boundary on the left.
+            if at > 0 {
+                let prev = line.as_bytes()[at - 1] as char;
+                if prev.is_alphanumeric() || prev == '_' {
+                    continue;
+                }
+            }
+            let name: String = line[at + 3..]
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if name.is_empty() {
+                continue;
+            }
+            // Walk forward to the body `{` or a terminating `;`.
+            let mut depth = 0i64;
+            let mut body_start = None;
+            let mut end = None;
+            let mut col = at;
+            'scan: for (j, l) in stripped.iter().enumerate().skip(li) {
+                let text = if j == li { &l[col..] } else { l.as_str() };
+                for ch in text.chars() {
+                    match ch {
+                        ';' if depth == 0 => break 'scan,
+                        '{' => {
+                            if depth == 0 && body_start.is_none() {
+                                body_start = Some(j + 1);
+                            }
+                            depth += 1;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if depth == 0 && body_start.is_some() {
+                                end = Some(j + 1);
+                                break 'scan;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                col = 0;
+            }
+            if let (Some(bs), Some(e)) = (body_start, end) {
+                spans.push(FnSpan {
+                    name,
+                    header_line: li + 1,
+                    body_start_line: bs,
+                    end_line: e,
+                });
+            }
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let a = Analysis::new(
+            "let x = \"has .unwrap() inside\"; // and .expect( here\nlet y = 1; /* panic! */\n",
+        );
+        assert!(!a.stripped[0].contains(".unwrap()"));
+        assert!(!a.stripped[0].contains(".expect("));
+        assert!(!a.stripped[1].contains("panic!"));
+        assert!(a.stripped[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals_are_blanked() {
+        let a = Analysis::new(
+            "let s = r#\"x.unwrap()\"#;\nlet c = '{'; let d = '\\n';\nfn f<'a>(x: &'a u32) {}\n",
+        );
+        assert!(!a.stripped[0].contains("unwrap"));
+        assert!(!a.stripped[1].contains('{'), "{}", a.stripped[1]);
+        // Lifetimes survive stripping.
+        assert!(a.stripped[2].contains("'a"));
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked_to_their_closing_brace() {
+        let src = "fn lib() { a.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t() { b.unwrap(); }\n\
+                   }\n\
+                   fn lib2() {}\n";
+        let a = Analysis::new(src);
+        assert!(!a.in_test[0]);
+        assert!(a.in_test[1] && a.in_test[2] && a.in_test[3] && a.in_test[4]);
+        assert!(!a.in_test[5]);
+    }
+
+    #[test]
+    fn function_extents_cover_bodies_and_skip_trait_signatures() {
+        let src = "trait T {\n\
+                       fn sig(&self) -> u32;\n\
+                   }\n\
+                   fn top(x: u32) -> u32 {\n\
+                       let y = x + 1;\n\
+                       y\n\
+                   }\n";
+        let a = Analysis::new(src);
+        let names: Vec<&str> = a.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["top"]);
+        assert_eq!(a.functions[0].header_line, 4);
+        assert_eq!(a.functions[0].end_line, 7);
+        assert!(a.enclosing_fn(5).is_some());
+        assert!(a.enclosing_fn(2).is_none());
+    }
+
+    #[test]
+    fn annotations_above_the_header_are_found() {
+        let src = "/// Docs.\n\
+                   // lint: tail-ok (caller re-masks)\n\
+                   fn kernel(dst: &mut [u64]) {\n\
+                       dst[0] |= 1;\n\
+                   }\n";
+        let a = Analysis::new(src);
+        let f = &a.functions[0];
+        assert!(a.fn_has_annotation(f, "lint: tail-ok ("));
+        assert!(!a.fn_has_annotation(f, "lint: index-ok ("));
+    }
+
+    #[test]
+    fn multiline_signatures_resolve_to_the_body_brace() {
+        let src = "fn long(\n\
+                       a: u32,\n\
+                       b: u32,\n\
+                   ) -> u32 {\n\
+                       a + b\n\
+                   }\n";
+        let a = Analysis::new(src);
+        assert_eq!(a.functions[0].body_start_line, 4);
+        assert_eq!(a.functions[0].end_line, 6);
+    }
+}

@@ -1,0 +1,202 @@
+//! Rule 2: the tail-word invariant.
+//!
+//! `BinaryHypervector` packs `d` bits into `⌈d/64⌉` words, and every
+//! word-level kernel (Hamming popcounts, bit-sliced bundling, rotate
+//! permutation) silently assumes bits at or above `d` in the last word are
+//! zero. This lint turns that comment-level contract into a machine-checked
+//! one: any function in `crates/hdc` that mutably touches packed words must
+//! either re-mask via `tail_mask()`, end with a `debug_assert_tail_invariant`
+//! exit check, or carry an explicit `// lint: tail-ok (<reason>)`
+//! annotation explaining why the invariant holds structurally.
+
+use crate::diag::{Rule, Violation};
+use crate::source::{Analysis, FnSpan};
+
+/// Tokens that satisfy the re-mask obligation.
+const REMASK_TOKENS: [&str; 2] = ["tail_mask()", "debug_assert_tail_invariant("];
+
+/// The annotation escape hatch (reason required).
+const ANNOTATION: &str = "lint: tail-ok (";
+
+/// Checks one `crates/hdc` source file.
+pub fn check_file(rel_path: &str, analysis: &Analysis) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for span in &analysis.functions {
+        // Skip functions that are entirely test code.
+        if analysis
+            .in_test
+            .get(span.header_line - 1)
+            .copied()
+            .unwrap_or(false)
+        {
+            continue;
+        }
+        let Some(touch_line) = first_mutable_touch(analysis, span) else {
+            continue;
+        };
+        let satisfied = REMASK_TOKENS
+            .iter()
+            .any(|t| fn_stripped_contains(analysis, span, t))
+            || analysis.fn_has_annotation(span, ANNOTATION);
+        if !satisfied {
+            out.push(Violation {
+                file: rel_path.to_string(),
+                line: touch_line,
+                rule: Rule::TailInvariant,
+                message: format!(
+                    "fn `{}` mutates packed words without re-masking — call \
+                     `tail_mask()`/`debug_assert_tail_invariant` before returning, or \
+                     annotate with `// lint: tail-ok (<reason>)`",
+                    span.name
+                ),
+                line_text: analysis.raw[touch_line - 1].clone(),
+            });
+        }
+    }
+    out
+}
+
+fn fn_stripped_contains(analysis: &Analysis, span: &FnSpan, needle: &str) -> bool {
+    analysis.stripped[span.header_line - 1..span.end_line.min(analysis.stripped.len())]
+        .iter()
+        .any(|l| l.contains(needle))
+}
+
+/// Returns the first line (1-based) of a mutable packed-word touch inside
+/// the function, if any.
+fn first_mutable_touch(analysis: &Analysis, span: &FnSpan) -> Option<usize> {
+    // A `&mut [u64]` parameter means the function writes someone else's
+    // packed words (the signature runs up to the body brace).
+    for idx in span.header_line - 1..span.body_start_line.min(analysis.stripped.len()) {
+        let sig = &analysis.stripped[idx];
+        let sig_params = sig.split("->").next().unwrap_or(sig);
+        if sig_params.contains("&mut [u64]") {
+            return Some(idx + 1);
+        }
+    }
+    for idx in span.header_line - 1..span.end_line.min(analysis.stripped.len()) {
+        let line = &analysis.stripped[idx];
+        if line.contains(".words_mut()")
+            || line.contains("words.iter_mut()")
+            || line.contains("words.last_mut()")
+            || line.contains("words.fill(")
+            || line.contains("words.swap(")
+            || indexed_word_write(line)
+        {
+            return Some(idx + 1);
+        }
+    }
+    None
+}
+
+/// Detects `words[…] op=` style writes (`=`, `|=`, `&=`, `^=`, `+=`, …) as
+/// opposed to reads like `let x = words[i];`.
+fn indexed_word_write(stripped: &str) -> bool {
+    let Some(start) = stripped.find("words[") else {
+        return false;
+    };
+    // Find the matching `]` and look at what follows.
+    let after = &stripped[start + 5..];
+    let mut depth = 0i64;
+    let mut close = None;
+    for (i, c) in after.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else { return false };
+    let rest = after[close + 1..].trim_start();
+    // Assignment operators; exclude comparisons (`==`, `<=`, `>=`, `!=`).
+    for op in ["|=", "&=", "^=", "+=", "-=", "<<=", ">>=", "*=", "/="] {
+        if rest.starts_with(op) {
+            return true;
+        }
+    }
+    rest.starts_with('=') && !rest.starts_with("==")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Violation> {
+        check_file("crates/hdc/src/binary.rs", &Analysis::new(src))
+    }
+
+    #[test]
+    fn unmasked_word_write_is_flagged() {
+        let src = "fn set_bit(&mut self, i: usize) {\n\
+                       self.words[i / 64] |= 1u64 << (i % 64);\n\
+                   }\n";
+        let v = check(src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::TailInvariant);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn remask_or_exit_assert_satisfies_the_rule() {
+        let masked = "fn ones(&mut self) {\n\
+                          self.words.fill(u64::MAX);\n\
+                          *self.words.last_mut().unwrap() &= self.dim.tail_mask();\n\
+                      }\n";
+        assert!(check(masked).is_empty());
+        let asserted = "fn flip(&mut self, i: usize) {\n\
+                            self.words[i / 64] ^= 1;\n\
+                            debug_assert_tail_invariant(self.dim, &self.words);\n\
+                        }\n";
+        assert!(check(asserted).is_empty());
+    }
+
+    #[test]
+    fn annotation_with_reason_satisfies_the_rule() {
+        let src = "// lint: tail-ok (XOR of two tail-clean vectors is tail-clean)\n\
+                   fn bind_assign(&mut self, other: &Self) {\n\
+                       for (a, b) in self.words.iter_mut().zip(other.words.iter()) { *a ^= b; }\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn mut_u64_slice_params_count_as_word_writes() {
+        let src = "fn or_shifted(src: &[u64], dst: &mut [u64]) {\n\
+                       for i in 0..dst.len() { }\n\
+                   }\n";
+        let v = check(src);
+        assert_eq!(v.len(), 1);
+        // Return types do not count.
+        let ret = "fn words_mut(&mut self) -> &mut [u64] {\n    &mut self.words\n}\n";
+        assert!(check(ret).is_empty());
+    }
+
+    #[test]
+    fn reads_are_not_writes() {
+        let src = "fn get(&self, i: usize) -> bool {\n\
+                       (self.words[i / 64] >> (i % 64)) & 1 == 1\n\
+                   }\n\
+                   fn count(&self) -> u32 {\n\
+                       let first = self.words[0];\n\
+                       if first == 0 { 0 } else { 1 }\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn test_functions_are_exempt() {
+        let src = "#[cfg(test)]\n\
+                   mod tests {\n\
+                       fn corrupt(hv: &mut Hv) {\n\
+                           hv.words_mut()[0] |= 1;\n\
+                       }\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+}

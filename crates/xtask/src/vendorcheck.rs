@@ -1,0 +1,268 @@
+//! Rule 3: vendor hygiene.
+//!
+//! This repository builds fully offline: every third-party crate is checked
+//! in under `vendor/` and reached via path dependencies. The lint walks
+//! every `Cargo.toml` in the workspace (root, `crates/*`, `vendor/*`) and
+//! rejects anything that would reach for a registry or a remote: `version`,
+//! `git` or `registry` keys on dependencies, and `path` values that do not
+//! resolve under `vendor/` or `crates/`.
+//!
+//! The scanner is deliberately a line-level state machine, not a TOML
+//! parser — Cargo manifests in this repo are machine-curated and flat, and
+//! the linter must stay zero-dependency.
+
+use crate::diag::{Rule, Violation};
+
+/// An in-progress `[dependencies.<name>]` table: dep name, header line, and
+/// the `key = value` pairs collected until the next section header.
+type DepTable = (String, usize, Vec<(String, String)>);
+
+/// Sections whose entries are dependency specifications.
+const DEP_SECTIONS: [&str; 4] = [
+    "dependencies",
+    "dev-dependencies",
+    "build-dependencies",
+    "workspace.dependencies",
+];
+
+/// Checks one manifest. `rel_path` is the workspace-relative path of the
+/// `Cargo.toml` (forward slashes); the manifest's directory is derived from
+/// it so `path = "../foo"` entries can be resolved lexically.
+pub fn check_manifest(rel_path: &str, contents: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let manifest_dir = rel_path.rsplit_once('/').map_or("", |(d, _)| d);
+    let mut section: Option<String> = None;
+    // For `[dependencies.foo]`-style tables we accumulate keys until the
+    // next section header, then judge the whole entry.
+    let mut table_dep: Option<DepTable> = None;
+
+    for (idx, raw) in contents.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            if let Some((name, at, keys)) = table_dep.take() {
+                judge_entry(&mut out, rel_path, manifest_dir, &name, at, &keys);
+            }
+            let header = line.trim_matches(|c| c == '[' || c == ']').trim();
+            if let Some((sec, dep)) = split_dep_table(header) {
+                section = Some(sec.to_string());
+                table_dep = Some((dep.to_string(), idx + 1, Vec::new()));
+            } else {
+                section = Some(header.to_string());
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        let (key, value) = (key.trim(), value.trim());
+        if let Some((_, _, keys)) = table_dep.as_mut() {
+            keys.push((key.to_string(), unquote(value).to_string()));
+            continue;
+        }
+        let Some(sec) = section.as_deref() else {
+            continue;
+        };
+        if !DEP_SECTIONS.contains(&sec) {
+            continue;
+        }
+        // Inline entry: `name = "1.0"`, `name = { path = "…" }`,
+        // `name = { workspace = true }` or `name.workspace = true`.
+        let dep_name = key.split('.').next().unwrap_or(key);
+        if key.ends_with(".workspace") && value == "true" {
+            continue;
+        }
+        let keys: Vec<(String, String)> = if value.starts_with('{') {
+            value
+                .trim_matches(|c| c == '{' || c == '}')
+                .split(',')
+                .filter_map(|kv| kv.split_once('='))
+                .map(|(k, v)| (k.trim().to_string(), unquote(v.trim()).to_string()))
+                .collect()
+        } else {
+            // Bare string value is shorthand for a registry version.
+            vec![("version".to_string(), unquote(value).to_string())]
+        };
+        judge_entry(&mut out, rel_path, manifest_dir, dep_name, idx + 1, &keys);
+    }
+    if let Some((name, at, keys)) = table_dep.take() {
+        judge_entry(&mut out, rel_path, manifest_dir, &name, at, &keys);
+    }
+    out
+}
+
+/// Splits a `dependencies.foo`-style table header into (section, dep name).
+fn split_dep_table(header: &str) -> Option<(&str, &str)> {
+    for sec in DEP_SECTIONS {
+        let prefix = format!("{sec}.");
+        if let Some(dep) = header.strip_prefix(prefix.as_str()) {
+            if !dep.is_empty() {
+                return Some((sec, dep));
+            }
+        }
+    }
+    None
+}
+
+fn judge_entry(
+    out: &mut Vec<Violation>,
+    rel_path: &str,
+    manifest_dir: &str,
+    dep: &str,
+    line: usize,
+    keys: &[(String, String)],
+) {
+    if keys.iter().any(|(k, v)| k == "workspace" && v == "true") {
+        return;
+    }
+    for (k, v) in keys {
+        match k.as_str() {
+            "version" => out.push(violation(
+                rel_path,
+                line,
+                format!("dependency `{dep}` pins registry version `{v}` — this workspace is offline; vendor the crate and use a path dependency"),
+            )),
+            "git" => out.push(violation(
+                rel_path,
+                line,
+                format!("dependency `{dep}` uses a git source `{v}` — vendor it under vendor/ instead"),
+            )),
+            "registry" => out.push(violation(
+                rel_path,
+                line,
+                format!("dependency `{dep}` names a registry `{v}` — this workspace is offline"),
+            )),
+            _ => {}
+        }
+    }
+    let path = keys.iter().find(|(k, _)| k == "path").map(|(_, v)| v);
+    match path {
+        None => {
+            // No path, no workspace inheritance: either a bare version
+            // (already flagged above) or an empty spec.
+            if !keys.iter().any(|(k, _)| k == "version" || k == "git") {
+                out.push(violation(
+                    rel_path,
+                    line,
+                    format!("dependency `{dep}` has neither `workspace = true` nor a `path` — cannot resolve offline"),
+                ));
+            }
+        }
+        Some(p) => {
+            let resolved = normalize(manifest_dir, p);
+            if !(resolved.starts_with("vendor/") || resolved.starts_with("crates/")) {
+                out.push(violation(
+                    rel_path,
+                    line,
+                    format!("dependency `{dep}` path `{p}` resolves to `{resolved}`, outside vendor/ and crates/"),
+                ));
+            }
+        }
+    }
+}
+
+fn violation(rel_path: &str, line: usize, message: String) -> Violation {
+    Violation {
+        file: rel_path.to_string(),
+        line,
+        rule: Rule::Vendor,
+        message,
+        line_text: String::new(),
+    }
+}
+
+fn unquote(v: &str) -> &str {
+    v.trim_matches('"')
+}
+
+/// Lexically joins `dir` and `path`, folding `.` and `..` components.
+/// Escapes above the workspace root are kept as leading `..` so they fail
+/// the `vendor/`/`crates/` prefix test loudly.
+fn normalize(dir: &str, path: &str) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for comp in dir.split('/').chain(path.split('/')) {
+        match comp {
+            "" | "." => {}
+            ".." => {
+                if matches!(parts.last(), Some(&"..") | None) {
+                    parts.push("..");
+                } else {
+                    parts.pop();
+                }
+            }
+            other => parts.push(other),
+        }
+    }
+    parts.join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_version_is_flagged() {
+        let v = check_manifest("Cargo.toml", "[workspace.dependencies]\nserde = \"1.0\"\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Vendor);
+        assert_eq!(v[0].line, 2);
+        assert!(v[0].message.contains("registry version"));
+    }
+
+    #[test]
+    fn git_and_named_registry_sources_are_flagged() {
+        let src = "[dependencies]\n\
+                   a = { git = \"https://example.com/a\" }\n\
+                   b = { registry = \"mirror\", version = \"2\" }\n";
+        let v = check_manifest("crates/hdc/Cargo.toml", src);
+        assert!(v.iter().any(|x| x.message.contains("git source")));
+        assert!(v.iter().any(|x| x.message.contains("names a registry")));
+    }
+
+    #[test]
+    fn vendored_path_deps_pass() {
+        let src = "[workspace.dependencies]\n\
+                   rand = { path = \"vendor/rand\" }\n\
+                   hyperfex-hdc = { path = \"crates/hdc\" }\n";
+        assert!(check_manifest("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn relative_paths_resolve_from_the_manifest_dir() {
+        let src = "[dependencies]\nserde_derive = { path = \"../serde_derive\" }\n";
+        assert!(check_manifest("vendor/serde/Cargo.toml", src).is_empty());
+        let escape = "[dependencies]\nx = { path = \"../../elsewhere/x\" }\n";
+        let v = check_manifest("vendor/serde/Cargo.toml", escape);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("outside vendor/ and crates/"));
+    }
+
+    #[test]
+    fn workspace_inheritance_passes_both_spellings() {
+        let src = "[dependencies]\n\
+                   rand.workspace = true\n\
+                   rayon = { workspace = true }\n\
+                   [dev-dependencies]\n\
+                   proptest = { workspace = true }\n";
+        assert!(check_manifest("crates/hdc/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn dotted_dep_tables_are_judged_as_a_whole() {
+        let src =
+            "[dependencies.rand]\npath = \"../../vendor/rand\"\n\n[package.metadata]\nx = 1\n";
+        assert!(check_manifest("crates/hdc/Cargo.toml", src).is_empty());
+        let bad = "[dependencies.rand]\nversion = \"0.8\"\n";
+        let v = check_manifest("crates/hdc/Cargo.toml", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let src = "[package]\nname = \"x\"\nversion = \"0.1.0\"\n\n[features]\ndefault = []\n";
+        assert!(check_manifest("crates/hdc/Cargo.toml", src).is_empty());
+    }
+}
