@@ -137,7 +137,7 @@ pub fn classifier_variants(
     let hvs = extractor.fit_transform(table)?;
     let labels = table.labels();
     let knn = |k: usize| -> Result<f64, HyperfexError> {
-        Ok(LeaveOneOut::with_k(k).run(&hvs, labels)?.accuracy())
+        Ok(LeaveOneOut::with_k(k)?.run(&hvs, labels)?.accuracy())
     };
     let mut centroid = CentroidClassifier::new();
     centroid.fit(&hvs, labels)?;

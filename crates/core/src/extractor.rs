@@ -3,7 +3,7 @@
 use crate::error::HyperfexError;
 use hyperfex_data::{ColumnKind, Table};
 use hyperfex_hdc::binary::{BinaryHypervector, Dim};
-use hyperfex_hdc::encoding::{FeatureSpec, RecordEncoder, RecordSchema};
+use hyperfex_hdc::encoding::{FeatureSpec, QuarantineReport, RecordEncoder, RecordSchema};
 use hyperfex_ml::Matrix;
 
 /// Encodes patient records into binary hypervectors and exposes them in
@@ -129,6 +129,42 @@ impl HdcFeatureExtractor {
         Ok(encoder.encode_batch(&missing_checked)?)
     }
 
+    /// Lenient variant of [`HdcFeatureExtractor::transform`]: rows that
+    /// cannot be encoded (missing values, NaN, injected faults) are
+    /// quarantined instead of aborting the whole batch.
+    ///
+    /// Only structural problems remain fatal (`fit` not called). The
+    /// returned [`LenientTransform`] carries one hypervector per surviving
+    /// row, the *original table indices* of the survivors, and the
+    /// quarantine accounting; `report` entries index into the requested row
+    /// selection, in ascending order.
+    pub fn transform_lenient(
+        &self,
+        table: &Table,
+        rows: Option<&[usize]>,
+    ) -> Result<LenientTransform, HyperfexError> {
+        let encoder = self
+            .encoder
+            .as_ref()
+            .ok_or_else(|| HyperfexError::Pipeline("transform called before fit".into()))?;
+        let all_rows: Vec<usize>;
+        let rows = match rows {
+            Some(r) => r,
+            None => {
+                all_rows = (0..table.n_rows()).collect();
+                &all_rows
+            }
+        };
+        let values: Vec<Vec<f64>> = rows.iter().map(|&i| table.row(i).to_vec()).collect();
+        let batch = encoder.encode_batch_lenient(&values);
+        let kept_rows: Vec<usize> = batch.kept.iter().map(|&i| rows[i]).collect();
+        Ok(LenientTransform {
+            hypervectors: batch.hypervectors,
+            kept_rows,
+            report: batch.report,
+        })
+    }
+
     /// Fit on all rows, then transform all rows.
     pub fn fit_transform(
         &mut self,
@@ -196,6 +232,20 @@ impl HdcFeatureExtractor {
         });
         Ok(m)
     }
+}
+
+/// The outcome of [`HdcFeatureExtractor::transform_lenient`]: hypervectors
+/// for the rows that survived encoding, which table rows they came from,
+/// and why the rest were quarantined.
+#[derive(Debug, Clone)]
+pub struct LenientTransform {
+    /// One hypervector per surviving row, in ascending row order.
+    pub hypervectors: Vec<BinaryHypervector>,
+    /// Original table index of each surviving hypervector.
+    pub kept_rows: Vec<usize>,
+    /// Per-record quarantine accounting (entry rows index the requested
+    /// selection, not the table).
+    pub report: QuarantineReport,
 }
 
 /// Writes the bits of `hv` into `row` as 0.0/1.0, reading the packed words
@@ -279,6 +329,30 @@ mod tests {
         ext.fit(&table, Some(&[0, 2])).unwrap();
         let err = ext.transform(&table, None).unwrap_err();
         assert!(err.to_string().contains("row 1"));
+    }
+
+    #[test]
+    fn lenient_transform_quarantines_missing_rows() {
+        let table = Table::new(
+            vec![ColumnSpec::continuous("a")],
+            vec![vec![1.0], vec![f64::NAN], vec![2.0], vec![f64::NAN]],
+            vec![0, 1, 0, 1],
+        )
+        .unwrap();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(128), 0);
+        ext.fit(&table, Some(&[0, 2])).unwrap();
+        let lenient = ext.transform_lenient(&table, None).unwrap();
+        assert_eq!(lenient.kept_rows, vec![0, 2]);
+        assert_eq!(lenient.hypervectors.len(), 2);
+        assert_eq!(lenient.report.quarantined(), 2);
+        assert_eq!(lenient.report.total(), 4);
+        // Survivors are identical to the strict path over the same rows.
+        let strict = ext.transform(&table, Some(&[0, 2])).unwrap();
+        assert_eq!(lenient.hypervectors, strict);
+        // Selections are honoured and report rows index the selection.
+        let subset = ext.transform_lenient(&table, Some(&[3, 2])).unwrap();
+        assert_eq!(subset.kept_rows, vec![2]);
+        assert_eq!(subset.report.entries()[0].row, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use hyperfex_data::Table;
 use hyperfex_eval::metrics::{BinaryMetrics, ConfusionMatrix};
 use hyperfex_hdc::binary::Dim;
 use hyperfex_hdc::classify::{HammingKnnClassifier, LeaveOneOut, LoocvOutcome};
+use hyperfex_hdc::encoding::QuarantineReport;
 
 /// End-to-end pure-HDC model.
 #[derive(Debug, Clone)]
@@ -40,8 +41,32 @@ impl HammingModel {
     pub fn evaluate_loocv(&self, table: &Table) -> Result<LoocvOutcome, HyperfexError> {
         let mut extractor = HdcFeatureExtractor::new(self.dim, self.seed);
         let hvs = extractor.fit_transform(table)?;
-        let outcome = LeaveOneOut::with_k(self.k).run(&hvs, table.labels())?;
+        let outcome = LeaveOneOut::with_k(self.k)?.run(&hvs, table.labels())?;
         Ok(outcome)
+    }
+
+    /// Degradation-aware variant of [`HammingModel::evaluate_loocv`]:
+    /// rows that fail to encode (missing values, NaN, injected faults) are
+    /// quarantined and LOOCV runs over the survivors, so one corrupt
+    /// record degrades coverage instead of aborting the evaluation.
+    ///
+    /// Still fails on structural problems: an empty table, a column with
+    /// no observable range, or fewer than two surviving rows.
+    pub fn evaluate_loocv_lenient(&self, table: &Table) -> Result<RobustLoocv, HyperfexError> {
+        let mut extractor = HdcFeatureExtractor::new(self.dim, self.seed);
+        extractor.fit(table, None)?;
+        let lenient = extractor.transform_lenient(table, None)?;
+        let labels: Vec<usize> = lenient
+            .kept_rows
+            .iter()
+            .map(|&i| table.labels()[i])
+            .collect();
+        let outcome = LeaveOneOut::with_k(self.k)?.run(&lenient.hypervectors, &labels)?;
+        Ok(RobustLoocv {
+            outcome,
+            kept_rows: lenient.kept_rows,
+            report: lenient.report,
+        })
     }
 
     /// Derives the paper's metric set from a LOOCV outcome.
@@ -66,6 +91,18 @@ impl HammingModel {
         knn.fit(hvs, labels)?;
         Ok(FittedHammingModel { extractor, knn })
     }
+}
+
+/// The outcome of [`HammingModel::evaluate_loocv_lenient`]: LOOCV results
+/// over the rows that survived encoding, plus quarantine accounting.
+#[derive(Debug, Clone)]
+pub struct RobustLoocv {
+    /// LOOCV outcome over the surviving rows, in `kept_rows` order.
+    pub outcome: LoocvOutcome,
+    /// Original table index of each surviving row.
+    pub kept_rows: Vec<usize>,
+    /// Which rows were quarantined and why.
+    pub report: QuarantineReport,
 }
 
 /// A Hamming model fitted on a training split.
@@ -144,6 +181,29 @@ mod tests {
             .evaluate_loocv(&table)
             .unwrap();
         assert!(outcome.accuracy() > 0.7);
+    }
+
+    #[test]
+    fn lenient_loocv_quarantines_corrupt_rows() {
+        let table = cohort();
+        // Corrupt two rows with NaN ages.
+        let mut rows: Vec<Vec<f64>> = table.rows().to_vec();
+        rows[5][0] = f64::NAN;
+        rows[40][0] = f64::NAN;
+        let corrupt = Table::new(table.columns().to_vec(), rows, table.labels().to_vec()).unwrap();
+        let model = HammingModel::new(Dim::new(1_000), 3);
+        let robust = model.evaluate_loocv_lenient(&corrupt).unwrap();
+        assert_eq!(robust.report.quarantined(), 2);
+        assert_eq!(robust.kept_rows.len(), 98);
+        assert!(!robust.kept_rows.contains(&5));
+        assert!(!robust.kept_rows.contains(&40));
+        assert_eq!(robust.outcome.total, 98);
+        assert!(robust.outcome.accuracy() > 0.7);
+        // On a clean table the lenient path matches the strict one.
+        let strict = model.evaluate_loocv(&table).unwrap();
+        let robust = model.evaluate_loocv_lenient(&table).unwrap();
+        assert!(robust.report.is_clean());
+        assert_eq!(robust.outcome, strict);
     }
 
     #[test]

@@ -49,15 +49,15 @@ pub mod models;
 pub mod risk;
 
 pub use error::HyperfexError;
-pub use extractor::HdcFeatureExtractor;
-pub use hamming::HammingModel;
+pub use extractor::{HdcFeatureExtractor, LenientTransform};
+pub use hamming::{HammingModel, RobustLoocv};
 pub use hybrid::HybridClassifier;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::error::HyperfexError;
-    pub use crate::extractor::HdcFeatureExtractor;
-    pub use crate::hamming::HammingModel;
+    pub use crate::extractor::{HdcFeatureExtractor, LenientTransform};
+    pub use crate::hamming::{HammingModel, RobustLoocv};
     pub use crate::hybrid::HybridClassifier;
     pub use crate::models::{make_model, ModelKind, PAPER_MODELS};
     pub use crate::risk::RiskScorer;

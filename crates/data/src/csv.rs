@@ -11,6 +11,7 @@ use std::path::Path;
 /// Parses simple comma-separated text (no quoted fields — neither dataset
 /// uses them). Returns (header, records).
 fn parse_csv(text: &str) -> Result<(Vec<String>, Vec<Vec<String>>), DataError> {
+    crate::failpoint::check("data/load_csv")?;
     let mut lines = text
         .lines()
         .enumerate()

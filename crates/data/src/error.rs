@@ -60,6 +60,13 @@ pub enum DataError {
     EmptyTable,
     /// A configuration value was out of range.
     InvalidConfig(String),
+    /// A fault-injection failpoint forced this operation to fail. Only
+    /// produced when the `fault-injection` feature is enabled and a chaos
+    /// handler is installed; never occurs in production builds.
+    Injected {
+        /// The failpoint that fired (e.g. `data/load_csv`).
+        point: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -92,6 +99,9 @@ impl fmt::Display for DataError {
             Self::Io(msg) => write!(f, "I/O error: {msg}"),
             Self::EmptyTable => write!(f, "table is empty"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Injected { point } => {
+                write!(f, "injected fault fired at failpoint `{point}`")
+            }
         }
     }
 }

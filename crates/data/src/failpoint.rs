@@ -1,0 +1,94 @@
+//! Chaos-testing failpoints for the fallible seams of this crate.
+//!
+//! Mirrors `hyperfex_hdc::failpoint`: without the `fault-injection` cargo
+//! feature, [`check`] is a no-op the compiler removes. With the feature, a
+//! chaos harness (normally `hyperfex-faults`) installs a process-global
+//! handler deciding, per evaluation, whether a seam (CSV loading,
+//! imputation) proceeds, sleeps, or fails with [`DataError::Injected`].
+
+use crate::error::DataError;
+
+/// What an installed handler asks a failpoint to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return [`DataError::Injected`] from the instrumented seam.
+    Fail,
+    /// Sleep for the given number of milliseconds, then proceed normally.
+    Delay(u64),
+}
+
+#[cfg(feature = "fault-injection")]
+mod active {
+    use super::FaultAction;
+    use std::sync::{Arc, PoisonError, RwLock};
+
+    /// A chaos handler: maps a failpoint name to an optional action.
+    pub type Handler = dyn Fn(&str) -> Option<FaultAction> + Send + Sync;
+
+    static HANDLER: RwLock<Option<Arc<Handler>>> = RwLock::new(None);
+
+    /// Installs a process-global handler, replacing any previous one.
+    pub fn install(handler: Arc<Handler>) {
+        *HANDLER.write().unwrap_or_else(PoisonError::into_inner) = Some(handler);
+    }
+
+    /// Removes the installed handler, returning failpoints to no-ops.
+    pub fn clear() {
+        *HANDLER.write().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Evaluates the handler for `point`, if one is installed.
+    pub fn evaluate(point: &str) -> Option<FaultAction> {
+        let guard = HANDLER.read().unwrap_or_else(PoisonError::into_inner);
+        guard.as_ref().and_then(|h| h(point))
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use active::{clear, install, Handler};
+
+/// Evaluates the failpoint named `point`.
+///
+/// Returns `Err(DataError::Injected)` when an installed chaos handler
+/// orders the seam to fail, after sleeping when it orders a delay. Without
+/// the `fault-injection` feature this compiles to `Ok(())`.
+#[cfg(feature = "fault-injection")]
+pub fn check(point: &str) -> Result<(), DataError> {
+    match active::evaluate(point) {
+        None => Ok(()),
+        Some(FaultAction::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(FaultAction::Fail) => Err(DataError::Injected {
+            point: point.to_string(),
+        }),
+    }
+}
+
+/// No-op stub compiled when the `fault-injection` feature is disabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn check(_point: &str) -> Result<(), DataError> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn handler_routes_by_point_name_and_clears() {
+        install(Arc::new(|point: &str| {
+            (point == "data/test_seam").then_some(FaultAction::Fail)
+        }));
+        assert!(matches!(
+            check("data/test_seam"),
+            Err(DataError::Injected { .. })
+        ));
+        assert!(check("data/other_seam").is_ok());
+        clear();
+        assert!(check("data/test_seam").is_ok());
+    }
+}

@@ -23,6 +23,7 @@ pub fn drop_missing(table: &Table) -> Table {
 /// Returns an error if some (column, class) pair has no observed values to
 /// take a median of.
 pub fn impute_class_median(table: &Table) -> Result<Table, DataError> {
+    crate::failpoint::check("data/impute")?;
     if table.is_empty() {
         return Err(DataError::EmptyTable);
     }
@@ -145,7 +146,44 @@ mod tests {
             vec![0, 1],
         )
         .unwrap();
-        assert!(impute_class_median(&t).is_err());
+        // The all-missing (column 0, class 0) pair must surface as a typed
+        // configuration error naming the column and class.
+        match impute_class_median(&t) {
+            Err(DataError::InvalidConfig(msg)) => {
+                assert!(msg.contains("column 0") && msg.contains("class 0"), "{msg}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_missing_pair_is_fine_when_class_never_needs_it() {
+        // (col b, class 0) has no observed values and row 0 needs it: error.
+        let t = Table::new(
+            vec![ColumnSpec::continuous("a"), ColumnSpec::continuous("b")],
+            vec![vec![1.0, f64::NAN], vec![2.0, 5.0], vec![3.0, 7.0]],
+            vec![0, 1, 1],
+        )
+        .unwrap();
+        assert!(matches!(
+            impute_class_median(&t),
+            Err(DataError::InvalidConfig(_))
+        ));
+        // Once no row needs the unobservable pair, the same gap is harmless.
+        let t = Table::new(
+            vec![ColumnSpec::continuous("a"), ColumnSpec::continuous("b")],
+            vec![
+                vec![1.0, 4.0],
+                vec![2.0, 5.0],
+                vec![3.0, 6.0],
+                vec![f64::NAN, 7.0],
+            ],
+            vec![0, 1, 1, 1],
+        )
+        .unwrap();
+        let filled = impute_class_median(&t).unwrap();
+        assert_eq!(filled.n_missing(), 0);
+        assert_eq!(filled.row(3)[0], 2.5);
     }
 
     #[test]

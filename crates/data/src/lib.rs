@@ -24,6 +24,7 @@
 
 pub mod csv;
 pub mod error;
+pub mod failpoint;
 pub mod impute;
 pub mod pima;
 pub mod split;

@@ -22,7 +22,7 @@ struct PatientArgs {
 }
 
 fn parse_patient() -> (PatientArgs, Vec<String>) {
-    let mut age = 45.0;
+    let mut age: f64 = 45.0;
     let mut male = false;
     let mut symptoms = Vec::new();
     let mut explain = false;
@@ -37,10 +37,35 @@ fn parse_patient() -> (PatientArgs, Vec<String>) {
                     eprintln!("--age needs a number");
                     exit(2);
                 });
+                // Reject values the encoder would otherwise silently clamp
+                // or poison downstream distances with.
+                if age.is_nan() {
+                    eprintln!("invalid --age: NaN is not an age");
+                    exit(2);
+                }
+                if age < 0.0 {
+                    eprintln!("invalid --age: {age} is negative");
+                    exit(2);
+                }
+                if !age.is_finite() {
+                    eprintln!("invalid --age: {age} is not finite");
+                    exit(2);
+                }
             }
             "--sex" => {
                 i += 1;
-                male = matches!(args.get(i).map(String::as_str), Some("male" | "m" | "M"));
+                male = match args.get(i).map(|s| s.to_lowercase()) {
+                    Some(v) if matches!(v.as_str(), "male" | "m") => true,
+                    Some(v) if matches!(v.as_str(), "female" | "f") => false,
+                    Some(v) => {
+                        eprintln!("invalid --sex `{v}`: expected male/m or female/f");
+                        exit(2);
+                    }
+                    None => {
+                        eprintln!("--sex needs a value (male/m or female/f)");
+                        exit(2);
+                    }
+                };
             }
             "--symptoms" => {
                 i += 1;
@@ -120,19 +145,29 @@ fn main() {
     let mut row = vec![0.0f64; 16];
     row[0] = patient.age;
     row[1] = f64::from(patient.male);
+    let mut recognised = 0usize;
     for symptom in &patient.symptoms {
         let canonical = symptom.replace(['-', '_', ' '], "");
         let idx = COLUMNS.iter().position(|c| c.to_lowercase() == canonical);
         match idx {
-            Some(i) if i >= 2 => row[i] = 1.0,
-            _ => {
-                eprintln!(
-                    "unknown symptom `{symptom}` — expected one of: {}",
-                    COLUMNS[2..].join(", ")
-                );
-                exit(2);
+            Some(i) if i >= 2 => {
+                row[i] = 1.0;
+                recognised += 1;
             }
+            // Graceful degradation: an unknown symptom is skipped, not
+            // fatal — the score is still computable from what we did
+            // recognise, and the warning names every valid column.
+            _ => eprintln!(
+                "warning: ignoring unknown symptom `{symptom}` — valid symptoms: {}",
+                COLUMNS[2..].join(", ")
+            ),
         }
+    }
+    if recognised < patient.symptoms.len() {
+        eprintln!(
+            "warning: scored with {recognised} of {} given symptoms",
+            patient.symptoms.len()
+        );
     }
 
     // Prototype-based risk score.

@@ -1,0 +1,221 @@
+//! Seeded, self-describing fault plans.
+//!
+//! A [`FaultPlan`] bundles one configuration of every injector layer —
+//! storage bit flips, table corruption, and (behind the `fault-injection`
+//! feature) failpoint rules — into a single value that chaos tests can
+//! generate from a seed, apply, and replay. Identical plans applied to
+//! identical inputs produce byte-identical corruption: all randomness
+//! flows through `SplitMix64` streams derived from the plan seed.
+
+use crate::table as table_faults;
+use crate::{storage, FailRule, FaultAction};
+use hyperfex_data::{DataError, Table};
+use hyperfex_hdc::binary::BinaryHypervector;
+use hyperfex_hdc::rng::SplitMix64;
+use hyperfex_hdc::HdcError;
+
+/// Every failpoint compiled into the pipeline, in execution order.
+pub const PIPELINE_FAILPOINTS: [&str; 5] = [
+    "data/load_csv",
+    "data/impute",
+    "hdc/encode_batch",
+    "hdc/encode_record",
+    "hdc/loocv_run",
+];
+
+/// One deterministic configuration of all three injector layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed all corruption streams derive from.
+    pub seed: u64,
+    /// Storage layer: i.i.d. bit-flip rate applied to encoded hypervectors.
+    pub flip_rate: f64,
+    /// Data layer: probability each cell goes missing.
+    pub cell_drop_rate: f64,
+    /// Data layer: probability each cell is scaled far out of range.
+    pub outlier_rate: f64,
+    /// Data layer: probability each label is flipped.
+    pub label_noise: f64,
+    /// Data layer: number of duplicated rows appended.
+    pub duplicates: usize,
+    /// Data layer: keep only this many leading rows, when set.
+    pub truncate_to: Option<usize>,
+    /// Data layer: blank this column entirely, when set.
+    pub drop_column: Option<usize>,
+    /// Pipeline layer: failpoint rules (only honoured by a harness built
+    /// with the `fault-injection` feature).
+    pub fail_rules: Vec<FailRule>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing — applying it is an identity.
+    #[must_use]
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            flip_rate: 0.0,
+            cell_drop_rate: 0.0,
+            outlier_rate: 0.0,
+            label_noise: 0.0,
+            duplicates: 0,
+            truncate_to: None,
+            drop_column: None,
+            fail_rules: Vec::new(),
+        }
+    }
+
+    /// Draws a random plan from `seed`: each fault kind is independently
+    /// armed with moderate probability, so a batch of seeded plans covers
+    /// single faults, fault combinations, and the fault-free case.
+    #[must_use]
+    pub fn random(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed).derive(0x91A7, 0);
+        let mut rate = |arm_probability: f64, max_rate: f64| -> f64 {
+            if rng.next_f64() < arm_probability {
+                // A second draw keeps armed rates spread over (0, max].
+                rng.next_f64() * max_rate
+            } else {
+                0.0
+            }
+        };
+        let flip_rate = rate(0.5, 0.3);
+        let cell_drop_rate = rate(0.4, 0.2);
+        let outlier_rate = rate(0.3, 0.1);
+        let label_noise = rate(0.3, 0.2);
+        let duplicates = if rng.next_f64() < 0.3 {
+            rng.next_bounded(20) as usize
+        } else {
+            0
+        };
+        let truncate_to = (rng.next_f64() < 0.2).then(|| 8 + rng.next_bounded(192) as usize);
+        let drop_column = (rng.next_f64() < 0.25).then(|| rng.next_bounded(16) as usize);
+        let mut fail_rules = Vec::new();
+        for (i, point) in PIPELINE_FAILPOINTS.iter().enumerate() {
+            if rng.next_f64() < 0.2 {
+                let action = if rng.next_f64() < 0.8 {
+                    FaultAction::Fail
+                } else {
+                    FaultAction::Delay(rng.next_bounded(3))
+                };
+                // `hdc/encode_record` is evaluated concurrently from worker
+                // threads, so a partial window would fire on
+                // scheduler-dependent rows. Fire on every row instead —
+                // replays must be byte-identical.
+                let (after, times) = if *point == "hdc/encode_record" {
+                    (0, None)
+                } else {
+                    (rng.next_bounded(3) as usize, Some(1 + i % 2))
+                };
+                fail_rules.push(FailRule {
+                    point: (*point).to_string(),
+                    action,
+                    after,
+                    times,
+                });
+            }
+        }
+        Self {
+            seed,
+            flip_rate,
+            cell_drop_rate,
+            outlier_rate,
+            label_noise,
+            duplicates,
+            truncate_to,
+            drop_column,
+            fail_rules,
+        }
+    }
+
+    /// Applies the data-layer faults to `table`, in a fixed order (cell
+    /// dropout, outliers, label noise, duplication, truncation, feature
+    /// dropout). Out-of-range column choices are skipped rather than
+    /// erroring: a random plan must apply to any table shape.
+    pub fn apply_table(&self, table: &Table) -> Result<Table, DataError> {
+        let root = SplitMix64::new(self.seed);
+        let mut out =
+            table_faults::drop_cells(table, self.cell_drop_rate, &mut root.derive(0xD01, 0))?;
+        out =
+            table_faults::scale_outliers(&out, self.outlier_rate, 1e9, &mut root.derive(0xD02, 0))?;
+        out = table_faults::flip_labels(&out, self.label_noise, &mut root.derive(0xD03, 0))?;
+        if self.duplicates > 0 {
+            out = table_faults::duplicate_rows(&out, self.duplicates, &mut root.derive(0xD04, 0))?;
+        }
+        if let Some(keep) = self.truncate_to {
+            out = table_faults::truncate_rows(&out, keep);
+        }
+        if let Some(col) = self.drop_column {
+            if col < out.n_cols() {
+                out = table_faults::drop_feature(&out, col)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the storage-layer faults to an encoded hypervector store.
+    pub fn apply_store(&self, store: &mut [BinaryHypervector]) -> Result<(), HdcError> {
+        storage::degrade_store(store, self.flip_rate, SplitMix64::new(self.seed).next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperfex_data::ColumnSpec;
+
+    fn sample() -> Table {
+        let rows: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64, f64::from(i % 2)]).collect();
+        let labels: Vec<usize> = (0..60).map(|i| i % 2).collect();
+        Table::new(
+            vec![ColumnSpec::continuous("a"), ColumnSpec::binary("b")],
+            rows,
+            labels,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn none_plan_is_identity() {
+        let t = sample();
+        let plan = FaultPlan::none(7);
+        assert_eq!(plan.apply_table(&t).unwrap(), t);
+        let mut store = vec![BinaryHypervector::ones(hyperfex_hdc::binary::Dim::new(100))];
+        let pristine = store.clone();
+        plan.apply_store(&mut store).unwrap();
+        assert_eq!(store, pristine);
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_varied() {
+        for seed in 0..50 {
+            assert_eq!(FaultPlan::random(seed), FaultPlan::random(seed));
+        }
+        // Across 50 seeds, each fault kind must be exercised at least once.
+        let plans: Vec<FaultPlan> = (0..50).map(FaultPlan::random).collect();
+        assert!(plans.iter().any(|p| p.flip_rate > 0.0));
+        assert!(plans.iter().any(|p| p.cell_drop_rate > 0.0));
+        assert!(plans.iter().any(|p| p.label_noise > 0.0));
+        assert!(plans.iter().any(|p| p.duplicates > 0));
+        assert!(plans.iter().any(|p| p.truncate_to.is_some()));
+        assert!(plans.iter().any(|p| p.drop_column.is_some()));
+        assert!(plans.iter().any(|p| !p.fail_rules.is_empty()));
+        assert!(plans.iter().any(|p| p.flip_rate == 0.0));
+    }
+
+    #[test]
+    fn applied_plans_are_deterministic() {
+        let t = sample();
+        for seed in [1u64, 17, 33] {
+            let plan = FaultPlan::random(seed);
+            let a = plan.apply_table(&t).unwrap();
+            let b = plan.apply_table(&t).unwrap();
+            // Compare bit patterns: injected NaN cells are unequal to
+            // themselves under `f64::partial_eq`.
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "seed {seed} must corrupt identically"
+            );
+        }
+    }
+}

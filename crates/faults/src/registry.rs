@@ -1,0 +1,165 @@
+//! Failpoint scheduling: turns declarative [`FailRule`]s into handlers
+//! installed into the `hyperfex-hdc` and `hyperfex-data` failpoint hooks.
+//!
+//! The hooks themselves are process-global, so chaos tests that install
+//! rules must not interleave. [`install`] therefore returns a
+//! [`FailpointsGuard`] holding a global lock: concurrent installers
+//! serialise, and dropping the guard clears both crates' handlers, so a
+//! panicking test cannot leak injected faults into its neighbours.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::{FailRule, FaultAction};
+
+/// Serialises chaos harnesses: the installed handlers are process-global.
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+struct RuleState {
+    rule: FailRule,
+    hits: AtomicUsize,
+}
+
+struct RuleSet {
+    rules: Vec<RuleState>,
+}
+
+impl RuleSet {
+    /// First matching rule wins; every matching rule counts the hit.
+    fn evaluate(&self, point: &str) -> Option<FaultAction> {
+        let mut fired = None;
+        for state in self.rules.iter().filter(|s| s.rule.point == point) {
+            let hit = state.hits.fetch_add(1, Ordering::SeqCst);
+            let in_window = hit >= state.rule.after
+                && state
+                    .rule
+                    .times
+                    .is_none_or(|t| hit < state.rule.after.saturating_add(t));
+            if in_window && fired.is_none() {
+                fired = Some(state.rule.action.clone());
+            }
+        }
+        fired
+    }
+}
+
+/// Keeps the installed rules alive and holds the global serialisation
+/// lock. Dropping it uninstalls the handlers from both substrate crates.
+pub struct FailpointsGuard {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl std::fmt::Debug for FailpointsGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FailpointsGuard").finish_non_exhaustive()
+    }
+}
+
+impl Drop for FailpointsGuard {
+    fn drop(&mut self) {
+        hyperfex_hdc::failpoint::clear();
+        hyperfex_data::failpoint::clear();
+    }
+}
+
+/// Installs `rules` into the failpoint hooks of both substrate crates and
+/// returns a guard that uninstalls them on drop.
+///
+/// Each rule starts firing on its `after`-th evaluation of its point
+/// (0-based) and fires `times` evaluations (forever when `None`). Hit
+/// counters are private to this installation, so two installs of the same
+/// rules behave identically — a requirement for byte-identical chaos
+/// replays.
+#[must_use = "dropping the guard immediately uninstalls the failpoint rules"]
+pub fn install(rules: &[FailRule]) -> FailpointsGuard {
+    let serial = REGISTRY_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    let set = Arc::new(RuleSet {
+        rules: rules
+            .iter()
+            .map(|rule| RuleState {
+                rule: rule.clone(),
+                hits: AtomicUsize::new(0),
+            })
+            .collect(),
+    });
+
+    let hdc_set = Arc::clone(&set);
+    hyperfex_hdc::failpoint::install(Arc::new(move |point: &str| {
+        hdc_set.evaluate(point).map(|action| match action {
+            FaultAction::Fail => hyperfex_hdc::failpoint::FaultAction::Fail,
+            FaultAction::Delay(ms) => hyperfex_hdc::failpoint::FaultAction::Delay(ms),
+        })
+    }));
+    let data_set = Arc::clone(&set);
+    hyperfex_data::failpoint::install(Arc::new(move |point: &str| {
+        data_set.evaluate(point).map(|action| match action {
+            FaultAction::Fail => hyperfex_data::failpoint::FaultAction::Fail,
+            FaultAction::Delay(ms) => hyperfex_data::failpoint::FaultAction::Delay(ms),
+        })
+    }));
+    FailpointsGuard { _serial: serial }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_fire_in_their_window_and_clear_on_drop() {
+        let rules = vec![FailRule {
+            point: "hdc/test_seam".to_string(),
+            action: FaultAction::Fail,
+            after: 1,
+            times: Some(2),
+        }];
+        {
+            let _guard = install(&rules);
+            // Hit 0 is before the window; hits 1 and 2 fire; hit 3 is after.
+            assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
+            assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_err());
+            assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_err());
+            assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
+            // Other points are untouched.
+            assert!(hyperfex_hdc::failpoint::check("hdc/other").is_ok());
+        }
+        // Guard dropped: the seam is a no-op again.
+        assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
+    }
+
+    #[test]
+    fn rules_reach_both_substrate_crates() {
+        let rules = vec![
+            FailRule {
+                point: "data/test_seam".to_string(),
+                action: FaultAction::Fail,
+                after: 0,
+                times: None,
+            },
+            FailRule {
+                point: "hdc/test_seam".to_string(),
+                action: FaultAction::Delay(0),
+                after: 0,
+                times: None,
+            },
+        ];
+        let _guard = install(&rules);
+        assert!(hyperfex_data::failpoint::check("data/test_seam").is_err());
+        // Delay(0) proceeds without failing.
+        assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
+    }
+
+    #[test]
+    fn reinstalling_resets_hit_counters() {
+        let rules = vec![FailRule {
+            point: "hdc/test_seam".to_string(),
+            action: FaultAction::Fail,
+            after: 0,
+            times: Some(1),
+        }];
+        for _ in 0..2 {
+            let _guard = install(&rules);
+            assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_err());
+            assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Storage-fault injectors for packed [`BinaryHypervector`]s.
+//!
+//! Models the memory faults the HDC literature claims holographic
+//! representations tolerate: independent bit flips at a rate *p*, whole
+//! storage words stuck at 0 or 1, contiguous burst errors, and (behind the
+//! `fault-injection` feature) deliberate corruption of the invariant tail
+//! word. All injectors are deterministic given their seed or RNG stream,
+//! and a flip rate of exactly `0.0` is guaranteed to touch nothing, so the
+//! uninjected baseline is reproduced bit-exactly.
+
+use hyperfex_hdc::binary::{BinaryHypervector, WORD_BITS};
+use hyperfex_hdc::rng::SplitMix64;
+use hyperfex_hdc::HdcError;
+
+/// Flips each bit of `hv` independently with probability `rate`.
+///
+/// `rate <= 0` is an exact no-op (no RNG draws, so downstream streams are
+/// unaffected); `rate >= 1` flips every bit. Returns
+/// [`HdcError::NonFiniteValue`] for a NaN rate.
+pub fn flip_bits(
+    hv: &mut BinaryHypervector,
+    rate: f64,
+    rng: &mut SplitMix64,
+) -> Result<(), HdcError> {
+    if rate.is_nan() {
+        return Err(HdcError::NonFiniteValue);
+    }
+    if rate <= 0.0 {
+        return Ok(());
+    }
+    for i in 0..hv.len() {
+        if rng.next_f64() < rate {
+            hv.flip(i);
+        }
+    }
+    Ok(())
+}
+
+/// Flips each bit of every hypervector in `store` with probability `rate`.
+///
+/// Each vector gets its own RNG stream derived from `seed` and its index,
+/// so the corruption of vector `i` does not depend on how many vectors
+/// precede it — repeated sweeps at different rates stay comparable.
+pub fn degrade_store(
+    store: &mut [BinaryHypervector],
+    rate: f64,
+    seed: u64,
+) -> Result<(), HdcError> {
+    let root = SplitMix64::new(seed);
+    for (i, hv) in store.iter_mut().enumerate() {
+        let mut rng = root.derive(0xB17F, i as u64);
+        flip_bits(hv, rate, &mut rng)?;
+    }
+    Ok(())
+}
+
+/// Forces storage word `word` of `hv` to all-zeros (`value = false`) or
+/// all-ones (`value = true`) — a stuck-at fault on a 64-bit memory word.
+///
+/// Only the bits below the dimensionality are touched, so the tail
+/// invariant survives. Returns [`HdcError::InvalidConfig`] if `word` is
+/// out of range.
+pub fn stuck_at_word(hv: &mut BinaryHypervector, word: usize, value: bool) -> Result<(), HdcError> {
+    let n_words = hv.dim().words();
+    if word >= n_words {
+        return Err(HdcError::InvalidConfig(format!(
+            "stuck-at word {word} out of range: vector has {n_words} words"
+        )));
+    }
+    let lo = word * WORD_BITS;
+    let hi = ((word + 1) * WORD_BITS).min(hv.len());
+    for i in lo..hi {
+        hv.set(i, value);
+    }
+    Ok(())
+}
+
+/// Flips `len` contiguous bits starting at `start` — a burst fault.
+///
+/// The burst is clamped at the end of the vector. Returns
+/// [`HdcError::InvalidConfig`] if `start` is out of range.
+pub fn burst(hv: &mut BinaryHypervector, start: usize, len: usize) -> Result<(), HdcError> {
+    if start >= hv.len() {
+        return Err(HdcError::InvalidConfig(format!(
+            "burst start {start} out of range: vector has {} bits",
+            hv.len()
+        )));
+    }
+    let end = start.saturating_add(len).min(hv.len());
+    for i in start..end {
+        hv.flip(i);
+    }
+    Ok(())
+}
+
+/// Sets the first bit at or above the dimensionality in the final storage
+/// word, deliberately breaking the tail invariant word-level kernels rely
+/// on. Returns `true` if a bit was corrupted — word-aligned
+/// dimensionalities have no tail bits, so nothing can be injected there.
+///
+/// Recovery is `BinaryHypervector::scrub_tail`; detection is
+/// `BinaryHypervector::tail_invariant_ok`.
+#[cfg(feature = "fault-injection")]
+pub fn corrupt_tail(hv: &mut BinaryHypervector) -> bool {
+    let d = hv.len();
+    let rem = d % WORD_BITS;
+    if rem == 0 {
+        return false;
+    }
+    let last = hv.dim().words() - 1;
+    if let Some(w) = hv.raw_words_mut().get_mut(last) {
+        *w |= 1u64 << rem;
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperfex_hdc::binary::Dim;
+
+    fn sample(d: usize, seed: u64) -> BinaryHypervector {
+        BinaryHypervector::random(Dim::new(d), &mut SplitMix64::new(seed))
+    }
+
+    #[test]
+    fn zero_rate_is_bit_exact_identity() {
+        let pristine = sample(10_000, 1);
+        let mut hv = pristine.clone();
+        let mut rng = SplitMix64::new(2);
+        flip_bits(&mut hv, 0.0, &mut rng).unwrap();
+        assert_eq!(hv, pristine);
+        // No RNG draws were consumed.
+        assert_eq!(rng.next_u64(), SplitMix64::new(2).next_u64());
+    }
+
+    #[test]
+    fn flip_rate_tracks_expectation_and_is_deterministic() {
+        let pristine = sample(10_000, 3);
+        let mut a = pristine.clone();
+        let mut b = pristine.clone();
+        flip_bits(&mut a, 0.1, &mut SplitMix64::new(7)).unwrap();
+        flip_bits(&mut b, 0.1, &mut SplitMix64::new(7)).unwrap();
+        assert_eq!(a, b, "same seed must corrupt identically");
+        let flipped = a.hamming(&pristine);
+        assert!((800..=1_200).contains(&flipped), "flipped = {flipped}");
+        let mut c = pristine.clone();
+        flip_bits(&mut c, 1.0, &mut SplitMix64::new(7)).unwrap();
+        assert_eq!(c, pristine.complement());
+        assert!(flip_bits(&mut c, f64::NAN, &mut SplitMix64::new(7)).is_err());
+    }
+
+    #[test]
+    fn degrade_store_is_per_vector_deterministic() {
+        let pristine: Vec<_> = (0..8).map(|i| sample(1_000, i)).collect();
+        let mut full = pristine.clone();
+        degrade_store(&mut full, 0.05, 99).unwrap();
+        // Corrupting a suffix of the store yields the same corruption for
+        // those vectors as corrupting the whole store — streams are derived
+        // per index, not shared sequentially.
+        let mut tail: Vec<_> = pristine[4..].to_vec();
+        let root = SplitMix64::new(99);
+        for (offset, hv) in tail.iter_mut().enumerate() {
+            let mut rng = root.derive(0xB17F, (4 + offset) as u64);
+            flip_bits(hv, 0.05, &mut rng).unwrap();
+        }
+        assert_eq!(&full[4..], &tail[..]);
+        let mut zero = pristine.clone();
+        degrade_store(&mut zero, 0.0, 99).unwrap();
+        assert_eq!(zero, pristine);
+    }
+
+    #[test]
+    fn stuck_at_word_pins_exactly_one_word() {
+        let mut hv = sample(130, 5);
+        stuck_at_word(&mut hv, 1, true).unwrap();
+        assert!((64..128).all(|i| hv.get(i)));
+        stuck_at_word(&mut hv, 1, false).unwrap();
+        assert!((64..128).all(|i| !hv.get(i)));
+        // The partial final word clamps at the dimensionality.
+        stuck_at_word(&mut hv, 2, true).unwrap();
+        assert!((128..130).all(|i| hv.get(i)));
+        assert_eq!(hv.count_ones(), hv.words()[0].count_ones() as usize + 2);
+        assert!(stuck_at_word(&mut hv, 3, true).is_err());
+    }
+
+    #[test]
+    fn burst_flips_contiguous_range_and_clamps() {
+        let pristine = sample(200, 9);
+        let mut hv = pristine.clone();
+        burst(&mut hv, 50, 20).unwrap();
+        assert_eq!(hv.hamming(&pristine), 20);
+        assert!((50..70).all(|i| hv.get(i) != pristine.get(i)));
+        // Clamped at the end of the vector.
+        let mut hv = pristine.clone();
+        burst(&mut hv, 190, 100).unwrap();
+        assert_eq!(hv.hamming(&pristine), 10);
+        assert!(burst(&mut hv, 200, 1).is_err());
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn tail_corruption_composes_with_scrub_recovery() {
+        let pristine = sample(70, 11);
+        let mut hv = pristine.clone();
+        assert!(corrupt_tail(&mut hv));
+        assert!(!hv.tail_invariant_ok());
+        // Recovery restores the pristine vector: the corrupted bit lives
+        // entirely above the dimensionality.
+        assert!(hv.scrub_tail());
+        assert_eq!(hv, pristine);
+        // Word-aligned dims have no tail to corrupt.
+        let mut aligned = sample(128, 11);
+        assert!(!corrupt_tail(&mut aligned));
+        assert!(aligned.tail_invariant_ok());
+    }
+}

@@ -1,0 +1,210 @@
+//! Data-fault injectors for [`Table`]s.
+//!
+//! Models the upstream data corruption a production pipeline sees: cells
+//! going missing, sensor values drifting out of range, mislabelled
+//! records, truncated exports, duplicated rows and whole features dropping
+//! out. Every injector is a pure function from a table (plus seed) to a
+//! new table, validated through [`Table::new`], so a corrupted table is
+//! still a *structurally* well-formed table — the corruption lives in the
+//! values, which is exactly what the downstream quarantine machinery has
+//! to survive.
+
+use hyperfex_data::{DataError, Table};
+use hyperfex_hdc::rng::SplitMix64;
+
+/// Sets each cell to NaN (missing) independently with probability `rate`.
+pub fn drop_cells(table: &Table, rate: f64, rng: &mut SplitMix64) -> Result<Table, DataError> {
+    corrupt_cells(table, rate, rng, |_| f64::NAN)
+}
+
+/// Multiplies each cell by `factor` independently with probability `rate`,
+/// pushing values far outside the fitted encoder ranges.
+pub fn scale_outliers(
+    table: &Table,
+    rate: f64,
+    factor: f64,
+    rng: &mut SplitMix64,
+) -> Result<Table, DataError> {
+    corrupt_cells(table, rate, rng, |v| v * factor)
+}
+
+fn corrupt_cells(
+    table: &Table,
+    rate: f64,
+    rng: &mut SplitMix64,
+    fault: impl Fn(f64) -> f64,
+) -> Result<Table, DataError> {
+    if rate.is_nan() {
+        return Err(DataError::InvalidConfig(
+            "cell corruption rate must not be NaN".to_string(),
+        ));
+    }
+    let mut rows = table.rows().to_vec();
+    if rate > 0.0 {
+        for row in &mut rows {
+            for v in row.iter_mut() {
+                if rng.next_f64() < rate {
+                    *v = fault(*v);
+                }
+            }
+        }
+    }
+    Table::new(table.columns().to_vec(), rows, table.labels().to_vec())
+}
+
+/// Flips each binary label independently with probability `rate`.
+pub fn flip_labels(table: &Table, rate: f64, rng: &mut SplitMix64) -> Result<Table, DataError> {
+    if rate.is_nan() {
+        return Err(DataError::InvalidConfig(
+            "label noise rate must not be NaN".to_string(),
+        ));
+    }
+    let mut labels = table.labels().to_vec();
+    if rate > 0.0 {
+        for label in &mut labels {
+            if rng.next_f64() < rate {
+                *label = usize::from(*label == 0);
+            }
+        }
+    }
+    Table::new(table.columns().to_vec(), table.rows().to_vec(), labels)
+}
+
+/// Keeps only the first `keep` rows — a truncated export.
+#[must_use]
+pub fn truncate_rows(table: &Table, keep: usize) -> Table {
+    let keep: Vec<usize> = (0..table.n_rows().min(keep)).collect();
+    table.select_rows(&keep)
+}
+
+/// Appends `count` duplicates of uniformly chosen existing rows.
+pub fn duplicate_rows(
+    table: &Table,
+    count: usize,
+    rng: &mut SplitMix64,
+) -> Result<Table, DataError> {
+    let n = table.n_rows();
+    if n == 0 {
+        return Err(DataError::EmptyTable);
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    for _ in 0..count {
+        indices.push(rng.next_bounded(n as u64) as usize);
+    }
+    Ok(table.select_rows(&indices))
+}
+
+/// Sets every value of column `col` to NaN — whole-feature dropout (a dead
+/// sensor or a column missing from an export).
+pub fn drop_feature(table: &Table, col: usize) -> Result<Table, DataError> {
+    if col >= table.n_cols() {
+        return Err(DataError::InvalidConfig(format!(
+            "cannot drop column {col}: table has {} columns",
+            table.n_cols()
+        )));
+    }
+    let mut rows = table.rows().to_vec();
+    for row in &mut rows {
+        if let Some(v) = row.get_mut(col) {
+            *v = f64::NAN;
+        }
+    }
+    Table::new(table.columns().to_vec(), rows, table.labels().to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperfex_data::ColumnSpec;
+
+    fn sample() -> Table {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i % 7) as f64, f64::from(i % 2)])
+            .collect();
+        let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
+        Table::new(
+            vec![
+                ColumnSpec::continuous("a"),
+                ColumnSpec::continuous("b"),
+                ColumnSpec::binary("c"),
+            ],
+            rows,
+            labels,
+        )
+        .unwrap()
+    }
+
+    /// NaN-tolerant table equality: corrupted cells are NaN, and
+    /// `f64::partial_eq` makes NaN unequal to itself, so determinism checks
+    /// must compare bit patterns.
+    fn assert_bitwise_eq(a: &Table, b: &Table) {
+        assert_eq!(a.labels(), b.labels());
+        assert_eq!(a.columns(), b.columns());
+        let bits = |t: &Table| -> Vec<Vec<u64>> {
+            t.rows()
+                .iter()
+                .map(|r| r.iter().map(|v| v.to_bits()).collect())
+                .collect()
+        };
+        assert_eq!(bits(a), bits(b));
+    }
+
+    #[test]
+    fn drop_cells_is_seeded_and_rate_zero_is_identity() {
+        let t = sample();
+        let a = drop_cells(&t, 0.25, &mut SplitMix64::new(5)).unwrap();
+        let b = drop_cells(&t, 0.25, &mut SplitMix64::new(5)).unwrap();
+        assert_bitwise_eq(&a, &b);
+        assert!(a.n_missing() > 0);
+        let clean = drop_cells(&t, 0.0, &mut SplitMix64::new(5)).unwrap();
+        assert_eq!(clean, t);
+        assert!(drop_cells(&t, f64::NAN, &mut SplitMix64::new(5)).is_err());
+    }
+
+    #[test]
+    fn scale_outliers_pushes_values_out_of_range() {
+        let t = sample();
+        let bad = scale_outliers(&t, 0.2, 1e6, &mut SplitMix64::new(8)).unwrap();
+        let (_, hi) = bad.column_range(0).unwrap();
+        assert!(hi > 1e5, "expected an injected outlier, max = {hi}");
+        assert_eq!(bad.n_rows(), t.n_rows());
+    }
+
+    #[test]
+    fn flip_labels_only_touches_labels() {
+        let t = sample();
+        let noisy = flip_labels(&t, 0.5, &mut SplitMix64::new(3)).unwrap();
+        assert_eq!(noisy.rows(), t.rows());
+        let changed = noisy
+            .labels()
+            .iter()
+            .zip(t.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!((5..=35).contains(&changed), "changed = {changed}");
+        assert!(noisy.labels().iter().all(|&l| l == 0 || l == 1));
+    }
+
+    #[test]
+    fn truncate_and_duplicate_change_row_counts() {
+        let t = sample();
+        let short = truncate_rows(&t, 10);
+        assert_eq!(short.n_rows(), 10);
+        assert_eq!(short.row(3), t.row(3));
+        assert_eq!(truncate_rows(&t, 1_000).n_rows(), 40);
+        let long = duplicate_rows(&t, 5, &mut SplitMix64::new(4)).unwrap();
+        assert_eq!(long.n_rows(), 45);
+        assert_eq!(long.labels().len(), 45);
+        let empty = Table::new(vec![ColumnSpec::continuous("a")], vec![], vec![]).unwrap();
+        assert!(duplicate_rows(&empty, 1, &mut SplitMix64::new(4)).is_err());
+    }
+
+    #[test]
+    fn drop_feature_blanks_one_column() {
+        let t = sample();
+        let dead = drop_feature(&t, 1).unwrap();
+        assert!(dead.rows().iter().all(|r| r[1].is_nan()));
+        assert!(dead.rows().iter().all(|r| !r[0].is_nan()));
+        assert!(drop_feature(&t, 3).is_err());
+    }
+}

@@ -189,6 +189,19 @@ impl BinaryHypervector {
         Ok(hv)
     }
 
+    /// Infallible bit collection for crate-internal callers whose iterator
+    /// length is guaranteed by construction: takes at most `dim` bits and
+    /// leaves any remainder zero, so no length check can fail.
+    pub(crate) fn collect_bits<I: IntoIterator<Item = bool>>(dim: Dim, bits: I) -> Self {
+        let mut hv = Self::zeros(dim);
+        for (i, b) in bits.into_iter().take(dim.get()).enumerate() {
+            if b {
+                hv.set(i, true);
+            }
+        }
+        hv
+    }
+
     /// The dimensionality.
     #[inline]
     #[must_use]
@@ -222,6 +235,47 @@ impl BinaryHypervector {
     /// the tail invariant: bits at or above `dim` stay zero.
     #[inline]
     pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Whether the packed-word tail invariant holds: every bit at or above
+    /// `dim` in the final storage word is zero. Always true for vectors
+    /// built through the public API; only deliberate corruption (the
+    /// `fault-injection` feature) can break it.
+    #[inline]
+    #[must_use]
+    pub fn tail_invariant_ok(&self) -> bool {
+        self.words
+            .last()
+            .is_none_or(|&last| last & !self.dim.tail_mask() == 0)
+    }
+
+    /// Repairs a corrupted tail word by masking bits at or above `dim`,
+    /// restoring the invariant word-level kernels rely on. Returns `true`
+    /// if any stray bits were cleared. This is the recovery path a
+    /// degradation-aware store runs after detecting storage faults with
+    /// [`Self::tail_invariant_ok`].
+    pub fn scrub_tail(&mut self) -> bool {
+        let mask = self.dim.tail_mask();
+        let mut cleared = false;
+        if let Some(last) = self.words.last_mut() {
+            cleared = *last & !mask != 0;
+            *last &= mask;
+        }
+        debug_assert_tail_invariant(self.dim, &self.words);
+        cleared
+    }
+
+    /// Raw mutable access to the packed storage words for fault injection.
+    ///
+    /// Unlike every other mutator, this deliberately does **not** enforce
+    /// the tail invariant — a chaos harness uses it to model storage faults
+    /// that corrupt bits at or above `dim`. Callers must restore the
+    /// invariant with [`Self::scrub_tail`] before handing the vector back
+    /// to word-level kernels.
+    #[cfg(feature = "fault-injection")]
+    // lint: tail-ok (fault-injection escape hatch: corrupting the tail is the point; scrub_tail restores it)
+    pub fn raw_words_mut(&mut self) -> &mut [u64] {
         &mut self.words
     }
 
@@ -745,6 +799,26 @@ mod tests {
                 prop_assert!(fired, "tail corruption at d = {d} went undetected");
             }
         }
+    }
+
+    #[test]
+    fn tail_invariant_check_and_scrub() {
+        let mut r = rng();
+        let dim = Dim::new(70);
+        let mut hv = BinaryHypervector::random(dim, &mut r);
+        let pristine = hv.clone();
+        assert!(hv.tail_invariant_ok());
+        assert!(!hv.scrub_tail(), "scrubbing a clean vector is a no-op");
+        assert_eq!(hv, pristine);
+        // Corrupt a bit above dim in the last word.
+        hv.words_mut()[dim.words() - 1] |= 1u64 << 10;
+        assert!(!hv.tail_invariant_ok());
+        assert!(hv.scrub_tail(), "scrub must report cleared bits");
+        assert!(hv.tail_invariant_ok());
+        assert_eq!(hv, pristine, "scrub restores the pristine vector");
+        // Word-aligned dims have no tail bits to corrupt.
+        let aligned = BinaryHypervector::random(Dim::new(128), &mut r);
+        assert!(aligned.tail_invariant_ok());
     }
 
     #[test]

@@ -41,16 +41,12 @@ impl BipolarHypervector {
     }
 
     /// Quantises to binary: +1 → 1, −1 → 0.
-    ///
-    /// # Panics
-    /// Never panics: dimensionality is non-zero by construction.
     #[must_use]
     pub fn to_binary(&self) -> BinaryHypervector {
-        BinaryHypervector::from_bits(
+        BinaryHypervector::collect_bits(
             Dim::new(self.components.len()),
             self.components.iter().map(|&c| c > 0),
         )
-        .expect("length matches by construction")
     }
 
     /// The dimensionality.

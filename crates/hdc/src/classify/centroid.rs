@@ -219,8 +219,7 @@ impl CentroidClassifier {
             .map(|sums| {
                 // Ties (sum == 0) quantise to 1, mirroring the majority
                 // bundler's tie rule.
-                BinaryHypervector::from_bits(dim, sums.iter().map(|&s| s >= 0))
-                    .expect("sums length equals dim")
+                BinaryHypervector::collect_bits(dim, sums.iter().map(|&s| s >= 0))
             })
             .collect();
     }

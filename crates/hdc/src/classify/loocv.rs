@@ -29,12 +29,14 @@ impl LeaveOneOut {
 
     /// Uses `k` nearest neighbours with majority voting instead of 1.
     ///
-    /// # Panics
-    /// Panics if `k == 0`.
-    #[must_use]
-    pub fn with_k(k: usize) -> Self {
-        assert!(k > 0, "k must be at least 1");
-        Self { k }
+    /// Returns [`HdcError::InvalidConfig`] if `k == 0`.
+    pub fn with_k(k: usize) -> Result<Self, HdcError> {
+        if k == 0 {
+            return Err(HdcError::InvalidConfig(
+                "LOOCV neighbour count k must be at least 1".to_string(),
+            ));
+        }
+        Ok(Self { k })
     }
 
     /// Runs leave-one-out validation and returns per-row predictions plus
@@ -44,6 +46,7 @@ impl LeaveOneOut {
         hypervectors: &[BinaryHypervector],
         labels: &[usize],
     ) -> Result<LoocvOutcome, HdcError> {
+        crate::failpoint::check("hdc/loocv_run")?;
         if hypervectors.len() < 2 {
             return Err(HdcError::EmptyInput);
         }
@@ -244,10 +247,20 @@ mod tests {
         labels.push(1);
         let acc1 = LeaveOneOut::new().run(&hvs, &labels).unwrap().accuracy();
         let acc3 = LeaveOneOut::with_k(3)
+            .unwrap()
             .run(&hvs, &labels)
             .unwrap()
             .accuracy();
         assert!(acc3 >= acc1);
+    }
+
+    #[test]
+    fn with_k_zero_is_a_typed_error() {
+        assert!(matches!(
+            LeaveOneOut::with_k(0),
+            Err(HdcError::InvalidConfig(_))
+        ));
+        assert!(LeaveOneOut::with_k(1).is_ok());
     }
 
     #[test]

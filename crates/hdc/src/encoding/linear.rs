@@ -293,8 +293,9 @@ mod tests {
     #[test]
     fn encode_checked_rejects_non_finite() {
         let e = paper_encoder();
-        assert!(e.encode_checked(f64::NAN).is_err());
-        assert!(e.encode_checked(f64::NEG_INFINITY).is_err());
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(e.encode_checked(bad), Err(HdcError::NonFiniteValue));
+        }
         assert!(e.encode_checked(55.0).is_ok());
         let mut scratch = BinaryHypervector::zeros(Dim::PAPER);
         assert!(e.encode_checked_into(f64::INFINITY, &mut scratch).is_err());

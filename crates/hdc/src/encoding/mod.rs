@@ -25,7 +25,10 @@ pub use item_memory::ItemMemory;
 pub use linear::LinearEncoder;
 pub use ngram::NgramEncoder;
 pub use quantized::QuantizedLinearEncoder;
-pub use record::{FeatureKind, FeatureSpec, RecordEncoder, RecordSchema, RecordScratch};
+pub use record::{
+    FeatureKind, FeatureSpec, LenientBatch, QuarantineEntry, QuarantineReport, RecordEncoder,
+    RecordSchema, RecordScratch,
+};
 
 use crate::binary::{BinaryHypervector, Dim};
 use crate::bundle::Bundler;

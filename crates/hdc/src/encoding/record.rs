@@ -4,6 +4,7 @@ use crate::binary::{BinaryHypervector, Dim};
 use crate::bundle::Bundler;
 use crate::encoding::{CategoricalEncoder, FeatureEncoder, LinearEncoder, QuantizedLinearEncoder};
 use crate::error::HdcError;
+use crate::failpoint;
 use crate::rng::SplitMix64;
 use serde::{Deserialize, Serialize};
 
@@ -245,8 +246,75 @@ impl RecordEncoder {
         self.encode_rows_chunked(&refs)
     }
 
+    /// Encodes a batch of records, quarantining failures instead of
+    /// aborting.
+    ///
+    /// Where [`RecordEncoder::encode_batch`] returns the first error and
+    /// discards all work, the lenient mode encodes every row it can: rows
+    /// that fail (NaN values, arity mismatches, injected faults) are
+    /// skipped and recorded in the returned [`QuarantineReport`] with their
+    /// original index and typed error. This never aborts — an all-bad batch
+    /// simply yields zero hypervectors and a full quarantine list.
+    ///
+    /// Results are deterministic: `hypervectors[i]` corresponds to original
+    /// row `kept[i]`, both in ascending row order regardless of thread
+    /// count, and equal inputs produce byte-identical outputs.
+    #[must_use]
+    pub fn encode_batch_lenient(&self, rows: &[Vec<f64>]) -> LenientBatch {
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        self.encode_rows_lenient(&refs)
+    }
+
+    /// Lenient chunked-parallel driver: per-row results, never an abort.
+    fn encode_rows_lenient(&self, rows: &[&[f64]]) -> LenientBatch {
+        let total = rows.len();
+        if total == 0 {
+            return LenientBatch {
+                hypervectors: Vec::new(),
+                kept: Vec::new(),
+                report: QuarantineReport::new(0, Vec::new()),
+            };
+        }
+        let chunk_len = rows.len().div_ceil(rayon::current_num_threads().max(1));
+        let n_chunks = rows.len().div_ceil(chunk_len);
+        let mut slots: Vec<Vec<Result<BinaryHypervector, HdcError>>> = Vec::new();
+        slots.resize_with(n_chunks, Vec::new);
+        rayon::scope(|s| {
+            for (slot, chunk) in slots.iter_mut().zip(rows.chunks(chunk_len)) {
+                s.spawn(move |_| {
+                    let mut scratch = RecordScratch::new(self.dim);
+                    *slot = chunk
+                        .iter()
+                        .map(|row| {
+                            failpoint::check("hdc/encode_record")?;
+                            self.encode_record_with(row, &mut scratch)
+                        })
+                        .collect();
+                });
+            }
+        });
+        let mut hypervectors = Vec::with_capacity(total);
+        let mut kept = Vec::with_capacity(total);
+        let mut entries = Vec::new();
+        for (row, result) in slots.into_iter().flatten().enumerate() {
+            match result {
+                Ok(hv) => {
+                    hypervectors.push(hv);
+                    kept.push(row);
+                }
+                Err(error) => entries.push(QuarantineEntry { row, error }),
+            }
+        }
+        LenientBatch {
+            hypervectors,
+            kept,
+            report: QuarantineReport::new(total, entries),
+        }
+    }
+
     /// Shared chunked-parallel driver behind both batch entry points.
     fn encode_rows_chunked(&self, rows: &[&[f64]]) -> Result<Vec<BinaryHypervector>, HdcError> {
+        failpoint::check("hdc/encode_batch")?;
         if rows.is_empty() {
             return Ok(Vec::new());
         }
@@ -271,6 +339,73 @@ impl RecordEncoder {
         }
         Ok(out)
     }
+}
+
+/// One quarantined record: its original batch index and the typed error
+/// that disqualified it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// Index of the record in the original batch.
+    pub row: usize,
+    /// Why the record was quarantined.
+    pub error: HdcError,
+}
+
+/// Per-record accounting of a lenient batch encode: which rows were
+/// quarantined, why, and how many survived.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QuarantineReport {
+    total: usize,
+    entries: Vec<QuarantineEntry>,
+}
+
+impl QuarantineReport {
+    fn new(total: usize, entries: Vec<QuarantineEntry>) -> Self {
+        Self { total, entries }
+    }
+
+    /// Number of records in the original batch.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Number of records that were quarantined.
+    #[must_use]
+    pub fn quarantined(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of records that encoded successfully.
+    #[must_use]
+    pub fn kept(&self) -> usize {
+        self.total - self.entries.len()
+    }
+
+    /// Whether every record survived.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The quarantined records in ascending row order.
+    #[must_use]
+    pub fn entries(&self) -> &[QuarantineEntry] {
+        &self.entries
+    }
+}
+
+/// The outcome of [`RecordEncoder::encode_batch_lenient`]: the surviving
+/// hypervectors, the original indices they came from, and the quarantine
+/// accounting for everything that did not survive.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LenientBatch {
+    /// Hypervectors for the rows that encoded successfully, in row order.
+    pub hypervectors: Vec<BinaryHypervector>,
+    /// Original batch index of each surviving hypervector (ascending).
+    pub kept: Vec<usize>,
+    /// Which rows were quarantined and why.
+    pub report: QuarantineReport,
 }
 
 /// Reusable scratch state for [`RecordEncoder::encode_record_with`]: one
@@ -404,6 +539,74 @@ mod tests {
         let enc = RecordEncoder::new(Dim::new(256), schema(), 3).unwrap();
         assert!(enc.encode_record(&[30.0, 100.0, 5.0]).is_err());
         assert!(enc.encode_record(&[30.0, f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn strict_batch_aborts_on_first_bad_row() {
+        let enc = RecordEncoder::new(Dim::new(512), schema(), 7).unwrap();
+        let rows = vec![
+            vec![30.0, 100.0, 0.0],
+            vec![40.0, f64::NAN, 1.0],
+            vec![50.0, 120.0, 0.0],
+        ];
+        assert!(matches!(
+            enc.encode_batch(&rows),
+            Err(HdcError::NonFiniteValue)
+        ));
+    }
+
+    #[test]
+    fn lenient_batch_quarantines_nan_and_arity_rows() {
+        let enc = RecordEncoder::new(Dim::new(512), schema(), 7).unwrap();
+        let rows = vec![
+            vec![30.0, 100.0, 0.0],         // good
+            vec![40.0, f64::NAN, 1.0],      // NaN value
+            vec![50.0, 120.0],              // wrong arity
+            vec![60.0, 130.0, 1.0],         // good
+            vec![65.0, f64::INFINITY, 0.0], // infinite value
+        ];
+        let batch = enc.encode_batch_lenient(&rows);
+        assert_eq!(batch.kept, vec![0, 3]);
+        assert_eq!(batch.hypervectors.len(), 2);
+        assert_eq!(batch.report.total(), 5);
+        assert_eq!(batch.report.quarantined(), 3);
+        assert_eq!(batch.report.kept(), 2);
+        assert!(!batch.report.is_clean());
+        let entries = batch.report.entries();
+        assert_eq!(entries[0].row, 1);
+        assert_eq!(entries[0].error, HdcError::NonFiniteValue);
+        assert_eq!(entries[1].row, 2);
+        assert!(matches!(entries[1].error, HdcError::ArityMismatch { .. }));
+        assert_eq!(entries[2].row, 4);
+        // Survivors match the strict encoding of the same rows.
+        assert_eq!(batch.hypervectors[0], enc.encode_record(&rows[0]).unwrap());
+        assert_eq!(batch.hypervectors[1], enc.encode_record(&rows[3]).unwrap());
+    }
+
+    #[test]
+    fn lenient_batch_on_clean_rows_matches_strict() {
+        let enc = RecordEncoder::new(Dim::new(1_024), schema(), 13).unwrap();
+        let rows: Vec<Vec<f64>> = (0..9)
+            .map(|i| vec![21.0 + i as f64, 60.0 + 5.0 * i as f64, f64::from(i % 2)])
+            .collect();
+        let strict = enc.encode_batch(&rows).unwrap();
+        let lenient = enc.encode_batch_lenient(&rows);
+        assert_eq!(lenient.hypervectors, strict);
+        assert_eq!(lenient.kept, (0..rows.len()).collect::<Vec<_>>());
+        assert!(lenient.report.is_clean());
+    }
+
+    #[test]
+    fn lenient_batch_survives_all_bad_and_empty_input() {
+        let enc = RecordEncoder::new(Dim::new(256), schema(), 3).unwrap();
+        let all_bad = vec![vec![f64::NAN, 1.0, 0.0], vec![1.0]];
+        let batch = enc.encode_batch_lenient(&all_bad);
+        assert!(batch.hypervectors.is_empty());
+        assert_eq!(batch.report.quarantined(), 2);
+        let empty = enc.encode_batch_lenient(&[]);
+        assert!(empty.hypervectors.is_empty());
+        assert!(empty.report.is_clean());
+        assert_eq!(empty.report.total(), 0);
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub enum HdcError {
         /// Number of labels.
         labels: usize,
     },
+    /// A component was configured with an invalid parameter.
+    InvalidConfig(String),
+    /// A fault-injection failpoint forced this operation to fail. Only
+    /// produced when the `fault-injection` feature is enabled and a chaos
+    /// handler is installed; never occurs in production builds.
+    Injected {
+        /// The failpoint that fired (e.g. `hdc/encode_batch`).
+        point: String,
+    },
 }
 
 impl fmt::Display for HdcError {
@@ -68,6 +77,10 @@ impl fmt::Display for HdcError {
             Self::NotFitted => write!(f, "classifier has not been fitted"),
             Self::LabelLengthMismatch { samples, labels } => {
                 write!(f, "{samples} samples but {labels} labels")
+            }
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Injected { point } => {
+                write!(f, "injected fault fired at failpoint `{point}`")
             }
         }
     }

@@ -1,0 +1,101 @@
+//! Chaos-testing failpoints for the fallible seams of this crate.
+//!
+//! A *failpoint* is a named hook compiled into a fallible code path (for
+//! example `hdc/encode_batch` or `hdc/loocv_run`). In production builds —
+//! without the `fault-injection` cargo feature — [`check`] is a no-op that
+//! the compiler removes entirely. With the feature enabled, a chaos harness
+//! (normally `hyperfex-faults`) can install a process-global handler that
+//! decides, per failpoint evaluation, whether the seam should proceed,
+//! sleep, or fail with [`HdcError::Injected`].
+//!
+//! The handler is intentionally minimal: a `Fn(&str) -> Option<FaultAction>`
+//! keyed by the failpoint name. All scheduling logic (fire on the Nth hit,
+//! fire `k` times, deterministic seeding) lives in the harness crate, which
+//! keeps this hook free of policy and free of panics.
+
+use crate::error::HdcError;
+
+/// What an installed handler asks a failpoint to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return [`HdcError::Injected`] from the instrumented seam.
+    Fail,
+    /// Sleep for the given number of milliseconds, then proceed normally.
+    Delay(u64),
+}
+
+#[cfg(feature = "fault-injection")]
+mod active {
+    use super::FaultAction;
+    use std::sync::{Arc, PoisonError, RwLock};
+
+    /// A chaos handler: maps a failpoint name to an optional action.
+    pub type Handler = dyn Fn(&str) -> Option<FaultAction> + Send + Sync;
+
+    static HANDLER: RwLock<Option<Arc<Handler>>> = RwLock::new(None);
+
+    /// Installs a process-global handler, replacing any previous one.
+    pub fn install(handler: Arc<Handler>) {
+        *HANDLER.write().unwrap_or_else(PoisonError::into_inner) = Some(handler);
+    }
+
+    /// Removes the installed handler, returning failpoints to no-ops.
+    pub fn clear() {
+        *HANDLER.write().unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// Evaluates the handler for `point`, if one is installed.
+    pub fn evaluate(point: &str) -> Option<FaultAction> {
+        let guard = HANDLER.read().unwrap_or_else(PoisonError::into_inner);
+        guard.as_ref().and_then(|h| h(point))
+    }
+}
+
+#[cfg(feature = "fault-injection")]
+pub use active::{clear, install, Handler};
+
+/// Evaluates the failpoint named `point`.
+///
+/// Returns `Err(HdcError::Injected)` when an installed chaos handler orders
+/// the seam to fail, after sleeping when it orders a delay. Without the
+/// `fault-injection` feature this compiles to `Ok(())`.
+#[cfg(feature = "fault-injection")]
+pub fn check(point: &str) -> Result<(), HdcError> {
+    match active::evaluate(point) {
+        None => Ok(()),
+        Some(FaultAction::Delay(ms)) => {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok(())
+        }
+        Some(FaultAction::Fail) => Err(HdcError::Injected {
+            point: point.to_string(),
+        }),
+    }
+}
+
+/// No-op stub compiled when the `fault-injection` feature is disabled.
+#[cfg(not(feature = "fault-injection"))]
+#[inline(always)]
+pub fn check(_point: &str) -> Result<(), HdcError> {
+    Ok(())
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn handler_routes_by_point_name_and_clears() {
+        install(Arc::new(|point: &str| {
+            (point == "hdc/test_seam").then_some(FaultAction::Fail)
+        }));
+        assert!(matches!(
+            check("hdc/test_seam"),
+            Err(HdcError::Injected { .. })
+        ));
+        assert!(check("hdc/other_seam").is_ok());
+        clear();
+        assert!(check("hdc/test_seam").is_ok());
+    }
+}

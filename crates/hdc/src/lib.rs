@@ -52,6 +52,7 @@ pub mod bundle;
 pub mod classify;
 pub mod encoding;
 pub mod error;
+pub mod failpoint;
 pub mod reference;
 pub mod rng;
 pub mod sdm;
@@ -73,8 +74,8 @@ pub mod prelude {
         CentroidClassifier, HammingKnnClassifier, LeaveOneOut, LoocvOutcome,
     };
     pub use crate::encoding::{
-        CategoricalEncoder, FeatureEncoder, LinearEncoder, RecordEncoder, RecordSchema,
-        RecordScratch,
+        CategoricalEncoder, FeatureEncoder, LenientBatch, LinearEncoder, QuarantineEntry,
+        QuarantineReport, RecordEncoder, RecordSchema, RecordScratch,
     };
     pub use crate::error::HdcError;
     pub use crate::rng::SplitMix64;

@@ -178,8 +178,7 @@ impl SparseDistributedMemory {
                 *s += i32::from(c);
             }
         }
-        let word = BinaryHypervector::from_bits(self.dim, sums.iter().map(|&s| s >= 0))
-            .expect("sums length equals dim");
+        let word = BinaryHypervector::collect_bits(self.dim, sums.iter().map(|&s| s >= 0));
         Ok(Some(word))
     }
 

@@ -15,7 +15,7 @@ use crate::diag::{Rule, Violation};
 use crate::source::Analysis;
 
 /// Crates whose `src/` trees are panic-audited.
-pub const AUDITED_CRATES: [&str; 5] = ["hdc", "ml", "data", "eval", "core"];
+pub const AUDITED_CRATES: [&str; 6] = ["hdc", "ml", "data", "eval", "core", "faults"];
 
 /// Kernel files where slice indexing requires an annotation.
 pub const KERNEL_FILES: [&str; 3] = [

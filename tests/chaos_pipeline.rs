@@ -1,0 +1,225 @@
+//! Chaos property test: seeded random fault plans over both synthetic
+//! cohorts. Registered by `hyperfex-faults` behind `fault-injection`:
+//!
+//! ```text
+//! cargo test -p hyperfex-faults --features fault-injection
+//! ```
+//!
+//! The property under test has three clauses:
+//!
+//! 1. **No panics.** Whatever a plan injects — corrupted cells, label
+//!    noise, truncation, bit flips, mid-pipeline failpoints — the pipeline
+//!    finishes with `Ok` or a typed error.
+//! 2. **Honest quarantine accounting.** Whenever the lenient path
+//!    succeeds, kept + quarantined rows add up to the rows attempted, and
+//!    the LOOCV outcome covers exactly the survivors.
+//! 3. **Byte-identical replay.** Running the same plan twice produces the
+//!    same transcript, down to every count and accuracy digit.
+
+use std::fmt::Write as _;
+
+use hyperfex::prelude::*;
+use hyperfex_faults::{registry, FaultPlan};
+use hyperfex_hdc::classify::LeaveOneOut;
+
+const N_PLANS: u64 = 16;
+const DIM: usize = 256;
+
+fn cohorts() -> Vec<(&'static str, Table)> {
+    let pima = pima::generate(&PimaConfig {
+        n_negative: 90,
+        n_positive: 60,
+        complete_cases: (70, 45),
+        ..Default::default()
+    })
+    .unwrap();
+    let sylhet = sylhet::generate(&SylhetConfig {
+        n_positive: 70,
+        n_negative: 50,
+        ..Default::default()
+    })
+    .unwrap();
+    vec![("pima", pima), ("sylhet", sylhet)]
+}
+
+/// Runs the whole pipeline under one fault plan and returns a transcript.
+/// Every fallible step is allowed to fail *typed*; a panic anywhere fails
+/// the test. The transcript captures every observable outcome so replay
+/// comparison is byte-exact.
+fn run_pipeline(name: &str, base: &Table, plan: &FaultPlan) -> String {
+    let mut log = format!("== {name} seed {} ==\n", plan.seed);
+
+    // Data layer: corrupt the table.
+    let corrupted = match plan.apply_table(base) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(log, "apply_table: error: {e}").unwrap();
+            return log;
+        }
+    };
+    writeln!(
+        log,
+        "table: rows={} missing={}",
+        corrupted.n_rows(),
+        corrupted.n_missing()
+    )
+    .unwrap();
+
+    // Pipeline layer: arm the failpoints for everything downstream.
+    let _guard = registry::install(&plan.fail_rules);
+
+    // Missing-data treatment; an unimputable or injected failure degrades
+    // to dropping incomplete rows instead of aborting.
+    let prepared = match impute_class_median(&corrupted) {
+        Ok(t) => t,
+        Err(e) => {
+            writeln!(log, "impute: error: {e} (degrading to drop_missing)").unwrap();
+            drop_missing(&corrupted)
+        }
+    };
+    writeln!(log, "prepared: rows={}", prepared.n_rows()).unwrap();
+
+    let model = HammingModel::new(Dim::new(DIM), 7);
+
+    // Strict path: may fail typed (injected seams, leftover NaN).
+    match model.evaluate_loocv(&prepared) {
+        Ok(outcome) => writeln!(
+            log,
+            "strict: total={} acc={:.6}",
+            outcome.total,
+            outcome.accuracy()
+        )
+        .unwrap(),
+        Err(e) => writeln!(log, "strict: error: {e}").unwrap(),
+    }
+
+    // Lenient path: must quarantine rather than abort on row-level faults.
+    match model.evaluate_loocv_lenient(&prepared) {
+        Ok(robust) => {
+            assert_eq!(
+                robust.report.kept() + robust.report.quarantined(),
+                robust.report.total(),
+                "quarantine accounting must add up"
+            );
+            assert_eq!(
+                robust.kept_rows.len(),
+                robust.report.kept(),
+                "kept_rows must match the report"
+            );
+            assert_eq!(
+                robust.outcome.total,
+                robust.kept_rows.len(),
+                "LOOCV must cover exactly the survivors"
+            );
+            writeln!(
+                log,
+                "lenient: kept={} quarantined={} acc={:.6}",
+                robust.report.kept(),
+                robust.report.quarantined(),
+                robust.outcome.accuracy()
+            )
+            .unwrap();
+        }
+        Err(e) => writeln!(log, "lenient: error: {e}").unwrap(),
+    }
+
+    // Storage layer: encode, degrade the stored hypervectors, re-evaluate.
+    let mut extractor = HdcFeatureExtractor::new(Dim::new(DIM), 7);
+    if let Err(e) = extractor.fit(&prepared, None) {
+        writeln!(log, "fit: error: {e}").unwrap();
+        return log;
+    }
+    match extractor.transform_lenient(&prepared, None) {
+        Ok(mut lenient) => {
+            if let Err(e) = plan.apply_store(&mut lenient.hypervectors) {
+                writeln!(log, "apply_store: error: {e}").unwrap();
+                return log;
+            }
+            let labels: Vec<usize> = lenient
+                .kept_rows
+                .iter()
+                .map(|&i| prepared.labels()[i])
+                .collect();
+            match LeaveOneOut::new().run(&lenient.hypervectors, &labels) {
+                Ok(outcome) => writeln!(
+                    log,
+                    "degraded(p={:.4}): total={} acc={:.6}",
+                    plan.flip_rate,
+                    outcome.total,
+                    outcome.accuracy()
+                )
+                .unwrap(),
+                Err(e) => writeln!(log, "degraded: error: {e}").unwrap(),
+            }
+        }
+        Err(e) => writeln!(log, "transform: error: {e}").unwrap(),
+    }
+    log
+}
+
+#[test]
+fn seeded_fault_plans_never_panic_and_replay_byte_identically() {
+    let cohorts = cohorts();
+    let mut injected_somewhere = false;
+    for seed in 0..N_PLANS {
+        let plan = FaultPlan::random(seed);
+        injected_somewhere |= !plan.fail_rules.is_empty() || plan.flip_rate > 0.0;
+        for (name, base) in &cohorts {
+            let first = run_pipeline(name, base, &plan);
+            let second = run_pipeline(name, base, &plan);
+            assert_eq!(
+                first, second,
+                "plan seed {seed} on {name} must replay byte-identically"
+            );
+        }
+    }
+    assert!(
+        injected_somewhere,
+        "the plan generator stopped producing faults — the chaos test is vacuous"
+    );
+}
+
+#[test]
+fn the_none_plan_reproduces_the_clean_pipeline_exactly() {
+    for (name, base) in &cohorts() {
+        let treated = impute_class_median(base).unwrap();
+        let clean = HammingModel::new(Dim::new(DIM), 7)
+            .evaluate_loocv(&treated)
+            .unwrap();
+        let transcript = run_pipeline(name, base, &FaultPlan::none(0));
+        let expected = format!("strict: total={} acc={:.6}", clean.total, clean.accuracy());
+        assert!(
+            transcript.contains(&expected),
+            "{name}: expected `{expected}` in transcript:\n{transcript}"
+        );
+        assert!(
+            transcript.contains(&format!(
+                "lenient: kept={} quarantined=0 acc={:.6}",
+                clean.total,
+                clean.accuracy()
+            )),
+            "{name}: lenient path must match strict on a clean table:\n{transcript}"
+        );
+    }
+}
+
+#[test]
+fn injected_failpoints_surface_as_typed_errors() {
+    let (_, table) = &cohorts()[1];
+    let treated = impute_class_median(table).unwrap();
+    let rules = vec![hyperfex_faults::FailRule {
+        point: "hdc/loocv_run".to_string(),
+        action: hyperfex_faults::FaultAction::Fail,
+        after: 0,
+        times: None,
+    }];
+    let _guard = registry::install(&rules);
+    let err = HammingModel::new(Dim::new(DIM), 7)
+        .evaluate_loocv(&treated)
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("hdc/loocv_run"),
+        "error must name the failpoint, got: {msg}"
+    );
+}

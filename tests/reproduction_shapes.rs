@@ -158,6 +158,59 @@ fn hybrid_nn_beats_pure_hamming_on_pima() {
     );
 }
 
+/// Shape 7 (robustness): the HDC fault-tolerance claim holds as a curve
+/// shape. Flip rate 0 reproduces the uninjected LOOCV confusion counts
+/// bit-exactly; small rates cost at most a little accuracy; coin-flip
+/// storage (p = 0.5) is near chance rather than pathological — the decay
+/// is smooth, not a cliff. `cargo run --bin robustness` regenerates the
+/// full curve in `reports/robustness.{txt,json}`.
+#[test]
+fn accuracy_degrades_smoothly_under_bit_flips() {
+    use hyperfex_faults::storage::degrade_store;
+    use hyperfex_hdc::classify::LeaveOneOut;
+
+    let d = datasets();
+    let table = &d.sylhet;
+    let mut extractor = HdcFeatureExtractor::new(Dim::new(DIM), 42);
+    let hvs = extractor.fit_transform(table).unwrap();
+    let clean = LeaveOneOut::new().run(&hvs, table.labels()).unwrap();
+
+    let degraded_at = |rate: f64| {
+        let mut store = hvs.clone();
+        degrade_store(&mut store, rate, 0xF11A).unwrap();
+        LeaveOneOut::new().run(&store, table.labels()).unwrap()
+    };
+
+    // p = 0 is bit-exact: same predictions, same confusion counts.
+    let zero = degraded_at(0.0);
+    assert_eq!(zero.predictions, clean.predictions);
+    assert_eq!(zero.binary_counts(), clean.binary_counts());
+
+    // Small corruption costs at most a little accuracy.
+    let low = degraded_at(0.05).accuracy();
+    assert!(
+        low >= clean.accuracy() - 0.08,
+        "p=0.05 should barely dent accuracy: clean {:.3} vs {low:.3}",
+        clean.accuracy()
+    );
+
+    // Coin-flip storage is near the chance floor (the class prior puts
+    // 1-NN chance around 0.53 on Sylhet), far below the clean accuracy.
+    let coin = degraded_at(0.5).accuracy();
+    assert!(
+        (0.35..=0.68).contains(&coin),
+        "p=0.5 should land near chance, got {coin:.3}"
+    );
+
+    // Smooth decay: the intermediate rate sits between its neighbours,
+    // within noise.
+    let mid = degraded_at(0.3).accuracy();
+    assert!(
+        mid <= low + 0.05 && mid >= coin - 0.05,
+        "decay must be monotone-ish: p=0.05 {low:.3}, p=0.3 {mid:.3}, p=0.5 {coin:.3}"
+    );
+}
+
 /// Shape 6 (Table I): the synthetic Pima R preserves the published
 /// positive/negative mean ordering on every feature.
 #[test]
