@@ -13,6 +13,14 @@
 //! both representations and prints the slowdown ratio — the quantity the
 //! paper's claims are about. `cargo bench -p hyperfex-bench` provides the
 //! statistically rigorous version; this binary gives the one-shot table.
+//!
+//! Methodology: dataset preparation, encoding and classification run
+//! under separate stage timers (`timing/load`, `timing/encode`,
+//! `timing/classify` — visible as spans when the `obs` feature is on),
+//! so no stage's cost leaks into another's figure. Every model time is
+//! the median of [`TIMED_RUNS`] fits of a fresh model after one untimed
+//! warmup run; the previous single unwarmed measurement could be off by
+//! an order of magnitude for the fast models.
 
 use crate::error::HyperfexError;
 use crate::experiments::{hv_features, raw_features, Datasets, ExperimentConfig};
@@ -21,7 +29,10 @@ use hyperfex_eval::report::TableReport;
 use hyperfex_ml::nn::{SequentialNn, SequentialNnParams};
 use hyperfex_ml::{Estimator, Matrix};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+
+/// Timed repetitions per model (after one untimed warmup); the reported
+/// figure is their median.
+pub const TIMED_RUNS: usize = 5;
 
 /// One model's timing pair.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -49,36 +60,66 @@ impl TimingRow {
 /// Full timing result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TimingResult {
-    /// Per-model rows.
+    /// Per-model rows (each the median of [`TIMED_RUNS`] warmed runs).
     pub rows: Vec<TimingRow>,
     /// Per-epoch NN seconds `(features, hypervectors)`.
     pub nn_epoch_secs: (f64, f64),
     /// Seconds to encode the whole cohort (the cost the paper excludes).
     pub encoding_secs: f64,
+    /// Seconds to prepare the raw feature matrix (dataset load stage;
+    /// kept out of every model figure).
+    pub load_secs: f64,
 }
 
-fn time_fit(model: &mut dyn Estimator, x: &Matrix, y: &[usize]) -> Result<f64, HyperfexError> {
-    let start = Instant::now();
-    model.fit(x, y)?;
-    let _ = model.predict(x)?;
-    Ok(start.elapsed().as_secs_f64())
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+/// Median-of-[`TIMED_RUNS`] fit+predict seconds for fresh models from
+/// `make`, after one untimed warmup run.
+fn time_fit(
+    make: &dyn Fn() -> Box<dyn Estimator>,
+    x: &Matrix,
+    y: &[usize],
+) -> Result<f64, HyperfexError> {
+    let mut warmup = make();
+    warmup.fit(x, y)?;
+    let _ = warmup.predict(x)?;
+    let mut samples = Vec::with_capacity(TIMED_RUNS);
+    for _ in 0..TIMED_RUNS {
+        let mut model = make();
+        let timer = crate::obs::timer("timing/fit_predict");
+        model.fit(x, y)?;
+        let _ = model.predict(x)?;
+        samples.push(timer.finish().as_secs_f64());
+    }
+    Ok(median(samples))
 }
 
 /// Runs the timing comparison on Pima R.
 pub fn run(datasets: &Datasets, config: &ExperimentConfig) -> Result<TimingResult, HyperfexError> {
     let table = &datasets.pima_r;
+    let load_timer = crate::obs::timer("timing/load");
     let features = raw_features(table)?;
-    let encode_start = Instant::now();
-    let hv = hv_features(table, config.dim(), config.seed)?;
-    let encoding_secs = encode_start.elapsed().as_secs_f64();
     let y = table.labels().to_vec();
+    let load_secs = load_timer.finish().as_secs_f64();
 
+    let encode_timer = crate::obs::timer("timing/encode");
+    let hv = hv_features(table, config.dim(), config.seed)?;
+    let encoding_secs = encode_timer.finish().as_secs_f64();
+
+    let _classify = crate::obs::timer("timing/classify");
     let mut rows = Vec::new();
     for kind in PAPER_MODELS {
-        let mut on_features = make_model(kind, config.seed, &config.budget);
-        let features_secs = time_fit(on_features.as_mut(), &features, &y)?;
-        let mut on_hv = make_model(kind, config.seed, &config.budget);
-        let hypervectors_secs = time_fit(on_hv.as_mut(), &hv, &y)?;
+        let make = || make_model(kind, config.seed, &config.budget);
+        let features_secs = time_fit(&make, &features, &y)?;
+        let hypervectors_secs = time_fit(&make, &hv, &y)?;
         rows.push(TimingRow {
             model: kind.label().to_string(),
             features_secs,
@@ -86,17 +127,26 @@ pub fn run(datasets: &Datasets, config: &ExperimentConfig) -> Result<TimingResul
         });
     }
 
-    // NN per-epoch: fixed 3 epochs, no early stop, divide by 3.
+    // NN per-epoch: fixed 3 epochs, no early stop, divide by epochs run;
+    // same warmup + median-of-runs discipline as the model rows.
     let nn_time = |x: &Matrix| -> Result<f64, HyperfexError> {
-        let mut nn = SequentialNn::new(SequentialNnParams {
-            max_epochs: 3,
-            patience: 4,
-            seed: config.seed,
-            ..SequentialNnParams::default()
-        });
-        let start = Instant::now();
-        nn.fit(x, &y)?;
-        Ok(start.elapsed().as_secs_f64() / nn.epochs_run().max(1) as f64)
+        let run_once = |x: &Matrix| -> Result<f64, HyperfexError> {
+            let mut nn = SequentialNn::new(SequentialNnParams {
+                max_epochs: 3,
+                patience: 4,
+                seed: config.seed,
+                ..SequentialNnParams::default()
+            });
+            let timer = crate::obs::timer("timing/nn_epochs");
+            nn.fit(x, &y)?;
+            Ok(timer.finish().as_secs_f64() / nn.epochs_run().max(1) as f64)
+        };
+        let _ = run_once(x)?;
+        let mut samples = Vec::with_capacity(TIMED_RUNS);
+        for _ in 0..TIMED_RUNS {
+            samples.push(run_once(x)?);
+        }
+        Ok(median(samples))
     };
     let nn_epoch_secs = (nn_time(&features)?, nn_time(&hv)?);
 
@@ -104,6 +154,7 @@ pub fn run(datasets: &Datasets, config: &ExperimentConfig) -> Result<TimingResul
         rows,
         nn_epoch_secs,
         encoding_secs,
+        load_secs,
     })
 }
 
@@ -152,6 +203,12 @@ impl TimingResult {
             format!("{:.3}", self.encoding_secs),
             "-".into(),
         ]);
+        t.push_row(vec![
+            "(dataset load, excluded)".into(),
+            format!("{:.3}", self.load_secs),
+            "-".into(),
+            "-".into(),
+        ]);
         t
     }
 }
@@ -189,8 +246,10 @@ mod tests {
             assert!(row.hypervectors_secs > 0.0, "{row:?}");
         }
         assert!(result.encoding_secs > 0.0);
+        assert!(result.load_secs > 0.0);
         assert!(result.boosted_mean_ratio() > 0.0);
+        // 9 models + NN row + encoding row + load row.
         let report = result.to_report(256);
-        assert_eq!(report.rows.len(), 11);
+        assert_eq!(report.rows.len(), 12);
     }
 }

@@ -54,6 +54,7 @@ impl HdcFeatureExtractor {
     /// ranges observed in the given rows (pass training-row indices to
     /// avoid leaking test-set ranges; pass `None` to use every row).
     pub fn fit(&mut self, table: &Table, rows: Option<&[usize]>) -> Result<(), HyperfexError> {
+        let _span = crate::obs::span("core/extractor_fit");
         if table.is_empty() {
             return Err(HyperfexError::Pipeline(
                 "cannot fit on an empty table".into(),
@@ -105,6 +106,7 @@ impl HdcFeatureExtractor {
         table: &Table,
         rows: Option<&[usize]>,
     ) -> Result<Vec<BinaryHypervector>, HyperfexError> {
+        let _span = crate::obs::span("core/transform");
         let encoder = self
             .encoder
             .as_ref()
@@ -143,6 +145,7 @@ impl HdcFeatureExtractor {
         table: &Table,
         rows: Option<&[usize]>,
     ) -> Result<LenientTransform, HyperfexError> {
+        let _span = crate::obs::span("core/transform_lenient");
         let encoder = self
             .encoder
             .as_ref()
@@ -158,6 +161,8 @@ impl HdcFeatureExtractor {
         let values: Vec<Vec<f64>> = rows.iter().map(|&i| table.row(i).to_vec()).collect();
         let batch = encoder.encode_batch_lenient(&values);
         let kept_rows: Vec<usize> = batch.kept.iter().map(|&i| rows[i]).collect();
+        crate::obs::counter_add("core/rows_kept", kept_rows.len() as u64);
+        crate::obs::counter_add("core/rows_quarantined", batch.report.quarantined() as u64);
         Ok(LenientTransform {
             hypervectors: batch.hypervectors,
             kept_rows,
@@ -202,6 +207,7 @@ impl HdcFeatureExtractor {
     /// per 64 matrix cells) and split across rayon workers in contiguous
     /// row blocks.
     pub fn to_matrix(hypervectors: &[BinaryHypervector]) -> Result<Matrix, HyperfexError> {
+        let _span = crate::obs::span("core/to_matrix");
         let Some(first) = hypervectors.first() else {
             return Ok(Matrix::zeros(0, 0));
         };

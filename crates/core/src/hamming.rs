@@ -39,6 +39,7 @@ impl HammingModel {
     /// dataset preparation, not of the per-fold model (there is no model
     /// to fit: "we only need to measure distances").
     pub fn evaluate_loocv(&self, table: &Table) -> Result<LoocvOutcome, HyperfexError> {
+        let _span = crate::obs::span("core/evaluate_loocv");
         let mut extractor = HdcFeatureExtractor::new(self.dim, self.seed);
         let hvs = extractor.fit_transform(table)?;
         let outcome = LeaveOneOut::with_k(self.k)?.run(&hvs, table.labels())?;
@@ -53,6 +54,7 @@ impl HammingModel {
     /// Still fails on structural problems: an empty table, a column with
     /// no observable range, or fewer than two surviving rows.
     pub fn evaluate_loocv_lenient(&self, table: &Table) -> Result<RobustLoocv, HyperfexError> {
+        let _span = crate::obs::span("core/evaluate_loocv_lenient");
         let mut extractor = HdcFeatureExtractor::new(self.dim, self.seed);
         extractor.fit(table, None)?;
         let lenient = extractor.transform_lenient(table, None)?;

@@ -46,6 +46,7 @@ pub mod extractor;
 pub mod hamming;
 pub mod hybrid;
 pub mod models;
+pub mod obs;
 pub mod risk;
 
 pub use error::HyperfexError;

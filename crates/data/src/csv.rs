@@ -46,6 +46,7 @@ pub fn load_pima_csv(path: &Path) -> Result<Table, DataError> {
 
 /// Parses Pima CSV text (exposed for tests).
 pub fn pima_from_str(text: &str) -> Result<Table, DataError> {
+    let _span = crate::obs::span("data/pima_parse");
     let (header, records) = parse_csv(text)?;
     if header.len() != 9 {
         return Err(DataError::Parse {
@@ -86,6 +87,7 @@ pub fn pima_from_str(text: &str) -> Result<Table, DataError> {
         .iter()
         .map(|&c| ColumnSpec::continuous(c))
         .collect();
+    crate::obs::counter_add("data/rows_loaded", rows.len() as u64);
     Table::new(columns, rows, labels)
 }
 
@@ -98,6 +100,7 @@ pub fn load_sylhet_csv(path: &Path) -> Result<Table, DataError> {
 
 /// Parses Sylhet CSV text (exposed for tests).
 pub fn sylhet_from_str(text: &str) -> Result<Table, DataError> {
+    let _span = crate::obs::span("data/sylhet_parse");
     let (header, records) = parse_csv(text)?;
     if header.len() != 17 {
         return Err(DataError::Parse {
@@ -151,6 +154,7 @@ pub fn sylhet_from_str(text: &str) -> Result<Table, DataError> {
             .iter()
             .map(|&c| ColumnSpec::binary(c)),
     );
+    crate::obs::counter_add("data/rows_loaded", rows.len() as u64);
     Table::new(columns, rows, labels)
 }
 

@@ -14,6 +14,7 @@ pub fn drop_missing(table: &Table) -> Table {
     let keep: Vec<usize> = (0..table.n_rows())
         .filter(|&i| !table.row_has_missing(i))
         .collect();
+    crate::obs::counter_add("data/rows_dropped", (table.n_rows() - keep.len()) as u64);
     table.select_rows(&keep)
 }
 
@@ -23,6 +24,7 @@ pub fn drop_missing(table: &Table) -> Table {
 /// Returns an error if some (column, class) pair has no observed values to
 /// take a median of.
 pub fn impute_class_median(table: &Table) -> Result<Table, DataError> {
+    let _span = crate::obs::span("data/impute");
     crate::failpoint::check("data/impute")?;
     if table.is_empty() {
         return Err(DataError::EmptyTable);
@@ -66,13 +68,16 @@ pub fn impute_class_median(table: &Table) -> Result<Table, DataError> {
     }
     let mut out = table.clone();
     let labels = out.labels().to_vec();
+    let mut replaced = 0u64;
     for (row, &label) in out.rows_mut().iter_mut().zip(&labels) {
         for (col, v) in row.iter_mut().enumerate() {
             if v.is_nan() {
                 *v = medians[label][col];
+                replaced += 1;
             }
         }
     }
+    crate::obs::counter_add("data/values_imputed", replaced);
     Ok(out)
 }
 

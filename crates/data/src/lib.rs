@@ -26,6 +26,7 @@ pub mod csv;
 pub mod error;
 pub mod failpoint;
 pub mod impute;
+pub mod obs;
 pub mod pima;
 pub mod split;
 pub mod stats;

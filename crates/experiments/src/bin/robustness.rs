@@ -70,12 +70,15 @@ fn sweep(
     // Encode once per dimensionality; every rate corrupts a fresh copy.
     let mut stores = Vec::new();
     let mut uninjected = Vec::new();
-    for &dim in dims {
-        let mut extractor = HdcFeatureExtractor::new(Dim::new(dim), seed);
-        let hvs = extractor.fit_transform(table)?;
-        let clean = LeaveOneOut::new().run(&hvs, table.labels())?;
-        uninjected.push(clean);
-        stores.push(hvs);
+    {
+        let _span = hyperfex::obs::span("robustness/encode");
+        for &dim in dims {
+            let mut extractor = HdcFeatureExtractor::new(Dim::new(dim), seed);
+            let hvs = extractor.fit_transform(table)?;
+            let clean = LeaveOneOut::new().run(&hvs, table.labels())?;
+            uninjected.push(clean);
+            stores.push(hvs);
+        }
     }
 
     let mut headers: Vec<String> = vec!["flip rate p".to_string()];
@@ -102,18 +105,23 @@ fn sweep(
 
     for (ri, &rate) in RATES.iter().enumerate() {
         let mut row = vec![format!("{rate:.3}")];
-        for (di, hvs) in stores.iter().enumerate() {
-            let mut store = hvs.clone();
-            // Per-(dim, rate) seed keeps every cell of the sweep
-            // independently reproducible.
-            let flip_seed = SplitMix64::new(seed)
-                .derive(0xF11A, (di * RATES.len() + ri) as u64)
-                .next_u64();
-            storage::degrade_store(&mut store, rate, flip_seed).map_err(HyperfexError::from)?;
-            let outcome = LeaveOneOut::new().run(&store, table.labels())?;
-            row.push(format!("{:.4}", outcome.accuracy()));
-            row.push(counts(&outcome));
+        {
+            let _span = hyperfex::obs::span("robustness/degrade_loocv");
+            for (di, hvs) in stores.iter().enumerate() {
+                let mut store = hvs.clone();
+                // Per-(dim, rate) seed keeps every cell of the sweep
+                // independently reproducible.
+                let flip_seed = SplitMix64::new(seed)
+                    .derive(0xF11A, (di * RATES.len() + ri) as u64)
+                    .next_u64();
+                storage::degrade_store(&mut store, rate, flip_seed).map_err(HyperfexError::from)?;
+                let outcome = LeaveOneOut::new().run(&store, table.labels())?;
+                hyperfex::obs::counter_add("robustness/cells_evaluated", 1);
+                row.push(format!("{:.4}", outcome.accuracy()));
+                row.push(counts(&outcome));
+            }
         }
+        let _span = hyperfex::obs::span("robustness/baselines");
         for kind in [ModelKind::LogisticRegression, ModelKind::RandomForest] {
             let features = corrupted_raw_features(table, rate, seed ^ 0xF32)?;
             let cv = cross_validate(table, &features, BASELINE_FOLDS, seed, &|| {

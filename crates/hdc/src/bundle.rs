@@ -231,6 +231,7 @@ impl Bundler {
         if self.total == 0 {
             return Err(HdcError::EmptyInput);
         }
+        crate::obs::counter_add("hdc/bundles_finished", 1);
         let threshold = u64::from(self.total.div_ceil(2));
         let t_bits = (64 - threshold.leading_zeros()) as usize;
         let max_p = self.planes.len().max(t_bits);

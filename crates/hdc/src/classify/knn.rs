@@ -94,6 +94,7 @@ impl HammingKnnClassifier {
         if self.train.is_empty() {
             return Err(HdcError::NotFitted);
         }
+        crate::obs::counter_add("hdc/knn_queries", 1);
         // Collect (distance, index) of the k best neighbours with a simple
         // bounded insertion — k is tiny (1..=15) so this beats a heap.
         let mut best: Vec<(usize, usize)> = Vec::with_capacity(self.k + 1);
@@ -131,6 +132,7 @@ impl HammingKnnClassifier {
 
     /// Predicts a batch in parallel.
     pub fn predict_batch(&self, queries: &[BinaryHypervector]) -> Result<Vec<usize>, HdcError> {
+        let _span = crate::obs::span("hdc/knn_predict_batch");
         queries.par_iter().map(|q| self.predict(q)).collect()
     }
 }

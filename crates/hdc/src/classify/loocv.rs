@@ -11,8 +11,15 @@
 
 use crate::binary::BinaryHypervector;
 use crate::error::HdcError;
+use crate::obs;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// Buckets for the normalized nearest-neighbour distance distribution.
+/// Distances are a pure function of the (seeded) hypervectors, so this
+/// histogram is deterministic across runs — the determinism regression
+/// test relies on exactly that.
+const NN_DISTANCE_BOUNDS: &[f64] = &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0];
 
 /// Leave-one-out evaluation harness.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +53,7 @@ impl LeaveOneOut {
         hypervectors: &[BinaryHypervector],
         labels: &[usize],
     ) -> Result<LoocvOutcome, HdcError> {
+        let _span = obs::span("hdc/loocv_run");
         crate::failpoint::check("hdc/loocv_run")?;
         if hypervectors.len() < 2 {
             return Err(HdcError::EmptyInput);
@@ -84,6 +92,13 @@ impl LeaveOneOut {
                         best.truncate(k);
                     }
                 }
+                if let Some(&(d, _)) = best.first() {
+                    obs::observe(
+                        "hdc/loocv_nn_distance",
+                        NN_DISTANCE_BOUNDS,
+                        d as f64 / dim.get() as f64,
+                    );
+                }
                 let mut votes = vec![0u32; n_classes];
                 for &(_, j) in &best {
                     votes[labels[j]] += 1;
@@ -96,6 +111,7 @@ impl LeaveOneOut {
             })
             .collect();
 
+        obs::counter_add("hdc/loocv_rows", predictions.len() as u64);
         Ok(LoocvOutcome::from_predictions(
             labels,
             &predictions,

@@ -155,6 +155,9 @@ impl LinearEncoder {
             self.dim,
             "encode_into scratch dimensionality mismatch"
         );
+        // A counter, not a span: at ~200ns per encode a span would dominate
+        // the measured work.
+        crate::obs::counter_add("hdc/linear_encodes", 1);
         let half = self.flips_for(t) / 2;
         let ck = half / CHECKPOINT_STRIDE;
         let words = self.dim.words();

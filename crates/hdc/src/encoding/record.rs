@@ -5,6 +5,7 @@ use crate::bundle::Bundler;
 use crate::encoding::{CategoricalEncoder, FeatureEncoder, LinearEncoder, QuantizedLinearEncoder};
 use crate::error::HdcError;
 use crate::failpoint;
+use crate::obs;
 use crate::rng::SplitMix64;
 use serde::{Deserialize, Serialize};
 
@@ -267,6 +268,7 @@ impl RecordEncoder {
 
     /// Lenient chunked-parallel driver: per-row results, never an abort.
     fn encode_rows_lenient(&self, rows: &[&[f64]]) -> LenientBatch {
+        let _span = obs::span("hdc/encode_batch_lenient");
         let total = rows.len();
         if total == 0 {
             return LenientBatch {
@@ -305,6 +307,8 @@ impl RecordEncoder {
                 Err(error) => entries.push(QuarantineEntry { row, error }),
             }
         }
+        obs::counter_add("hdc/records_encoded", kept.len() as u64);
+        obs::counter_add("hdc/records_quarantined", entries.len() as u64);
         LenientBatch {
             hypervectors,
             kept,
@@ -314,6 +318,7 @@ impl RecordEncoder {
 
     /// Shared chunked-parallel driver behind both batch entry points.
     fn encode_rows_chunked(&self, rows: &[&[f64]]) -> Result<Vec<BinaryHypervector>, HdcError> {
+        let _span = obs::span("hdc/encode_batch");
         failpoint::check("hdc/encode_batch")?;
         if rows.is_empty() {
             return Ok(Vec::new());
@@ -325,6 +330,10 @@ impl RecordEncoder {
         rayon::scope(|s| {
             for (slot, chunk) in slots.iter_mut().zip(rows.chunks(chunk_len)) {
                 s.spawn(move |_| {
+                    // Workers run on their own threads, so this span is a
+                    // root on each worker's stack, not a child of the
+                    // batch span above.
+                    let _span = obs::span("hdc/encode_chunk");
                     let mut scratch = RecordScratch::new(self.dim);
                     *slot = chunk
                         .iter()
@@ -337,6 +346,7 @@ impl RecordEncoder {
         for slot in slots {
             out.extend(slot?);
         }
+        obs::counter_add("hdc/records_encoded", out.len() as u64);
         Ok(out)
     }
 }

@@ -53,6 +53,7 @@ pub mod classify;
 pub mod encoding;
 pub mod error;
 pub mod failpoint;
+pub mod obs;
 pub mod reference;
 pub mod rng;
 pub mod sdm;

@@ -99,6 +99,7 @@ impl RandomForestClassifier {
 
 impl Estimator for RandomForestClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<(), MlError> {
+        let _span = crate::obs::span("ml/forest_fit");
         if self.params.n_estimators == 0 {
             return Err(MlError::InvalidParameter {
                 name: "n_estimators",
@@ -139,6 +140,7 @@ impl Estimator for RandomForestClassifier {
     }
 
     fn predict(&self, x: &Matrix) -> Result<Vec<usize>, MlError> {
+        let _span = crate::obs::span("ml/forest_predict");
         let proba = self.predict_proba_full(x)?;
         Ok(proba
             .iter()

@@ -36,6 +36,7 @@ pub mod knn;
 pub mod linalg;
 pub mod linear;
 pub mod nn;
+pub mod obs;
 pub mod preprocessing;
 pub mod svm;
 pub mod traits;

@@ -206,6 +206,7 @@ impl SequentialNn {
 
 impl Estimator for SequentialNn {
     fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<(), MlError> {
+        let _span = crate::obs::span("ml/nn_fit");
         let n_classes = validate_fit_inputs(x, y)?;
         if n_classes > 2 {
             return Err(MlError::InvalidParameter {

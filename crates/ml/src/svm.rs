@@ -118,6 +118,7 @@ impl SvcClassifier {
 
 impl Estimator for SvcClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize]) -> Result<(), MlError> {
+        let _span = crate::obs::span("ml/svm_fit");
         let n_classes = validate_fit_inputs(x, y)?;
         if n_classes > 2 {
             return Err(MlError::InvalidParameter {

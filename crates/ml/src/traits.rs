@@ -45,6 +45,7 @@ pub trait ProbabilisticEstimator: Estimator {
 /// Validates the common preconditions every `fit` shares; returns the
 /// number of classes.
 pub(crate) fn validate_fit_inputs(x: &Matrix, y: &[usize]) -> Result<usize, MlError> {
+    crate::obs::counter_add("ml/fits", 1);
     if x.n_rows() == 0 || x.n_cols() == 0 {
         return Err(MlError::EmptyTrainingSet);
     }

@@ -1,0 +1,130 @@
+//! # hyperfex-obs
+//!
+//! Zero-dependency observability substrate for the `hyperfex` workspace:
+//!
+//! * [`span`] — hierarchical RAII span timers. Each thread keeps its own
+//!   span stack; nested spans aggregate under `/`-joined paths such as
+//!   `core/fit_transform/hdc/encode_batch`.
+//! * [`counter_add`] — named monotonic counters (one atomic add on the hot
+//!   path once registered).
+//! * [`observe`] — fixed-bucket histograms with quantile estimation.
+//! * [`Recorder`] / [`snapshot`] — serialize everything recorded during a
+//!   run to JSON via the vendored serde, for machine-readable perf reports
+//!   (`BENCH_*.json`) consumed by `cargo xtask bench`.
+//!
+//! Production crates (`hyperfex-hdc`, `hyperfex-ml`, `hyperfex-data`,
+//! `hyperfex-core`) depend on this crate *optionally*, behind their own
+//! `obs` feature, and wrap the calls in thin shims that compile to no-ops
+//! when the feature is off — uninstrumented builds carry no obs symbols
+//! and pay zero overhead.
+//!
+//! ## Determinism
+//!
+//! Metric maps are `BTreeMap`s keyed by name, so iteration (and therefore
+//! report serialization) order is deterministic. [`Snapshot::deterministic`]
+//! additionally strips measured timings, leaving a view that is
+//! byte-identical across two identical seeded runs — the property the
+//! determinism regression test asserts.
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod report;
+mod span;
+
+pub use metrics::Histogram;
+pub use report::{
+    snapshot, CounterSnapshot, HistogramSnapshot, Recorder, RunReport, Snapshot, SpanSnapshot,
+};
+pub use span::{current_depth, span, SpanGuard};
+
+use std::sync::atomic::Ordering;
+
+/// Adds `delta` to the named counter, registering it on first use.
+pub fn counter_add(name: &'static str, delta: u64) {
+    registry::global()
+        .counter(name)
+        .fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Records `value` into the named histogram, registering it with `bounds`
+/// on first use.
+///
+/// `bounds` must be strictly ascending finite upper bounds; an implicit
+/// overflow bucket catches values above the last bound. The bounds of the
+/// *first* registration win — later calls with different bounds record
+/// into the existing layout.
+pub fn observe(name: &'static str, bounds: &'static [f64], value: f64) {
+    registry::global().histogram(name, bounds).observe(value);
+}
+
+/// Clears all counters, histograms, spans and the peak-depth watermark.
+///
+/// Open span guards keep working after a reset: their paths re-register
+/// when they close.
+pub fn reset() {
+    registry::global().reset();
+}
+
+/// Serializes the registry's test access: the registry is process-global,
+/// so concurrent `cargo test` threads would otherwise race on `reset()`.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_add_accumulates() {
+        let _guard = test_lock();
+        reset();
+        counter_add("lib_test/events", 2);
+        counter_add("lib_test/events", 5);
+        let snap = snapshot();
+        let c = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "lib_test/events")
+            .expect("counter registered");
+        assert_eq!(c.value, 7);
+    }
+
+    #[test]
+    fn observe_registers_and_records() {
+        let _guard = test_lock();
+        reset();
+        const BOUNDS: &[f64] = &[0.5, 1.0];
+        observe("lib_test/ratio", BOUNDS, 0.25);
+        observe("lib_test/ratio", BOUNDS, 0.75);
+        observe("lib_test/ratio", BOUNDS, 2.0);
+        let snap = snapshot();
+        let h = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "lib_test/ratio")
+            .expect("histogram registered");
+        assert_eq!(h.buckets, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let _guard = test_lock();
+        reset();
+        counter_add("lib_test/gone", 1);
+        {
+            let _s = span("lib_test/gone_span");
+        }
+        reset();
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.peak_span_depth, 0);
+    }
+}

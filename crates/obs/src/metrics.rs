@@ -1,0 +1,225 @@
+//! Counters and fixed-bucket histograms.
+//!
+//! Both metric kinds are plain-atomic once registered: a counter is one
+//! `AtomicU64`, a histogram is a fixed array of `AtomicU64` buckets plus a
+//! CAS-updated f64 sum. Neither allocates on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-bucket histogram.
+///
+/// `bounds` are ascending, finite upper bounds: bucket `i` counts
+/// observations `v <= bounds[i]` (and greater than `bounds[i - 1]`); one
+/// extra overflow bucket counts everything above the last bound. Bucket
+/// layout is fixed at registration, so recording is a binary search plus
+/// one atomic increment.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: &'static [f64],
+    /// `bounds.len() + 1` buckets; the last is the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observed values, stored as f64 bits.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram over the given ascending upper bounds.
+    #[must_use]
+    pub fn new(bounds: &'static [f64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let mut buckets = Vec::with_capacity(bounds.len() + 1);
+        buckets.resize_with(bounds.len() + 1, || AtomicU64::new(0));
+        Self {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: f64) {
+        // partition_point finds the first bound >= value, i.e. the lowest
+        // bucket whose upper bound admits the value; misses fall into the
+        // overflow bucket at index bounds.len().
+        let idx = self.bounds.partition_point(|&b| b < value);
+        if let Some(bucket) = self.buckets.get(idx) {
+            bucket.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + value).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The configured upper bounds (without the implicit overflow bucket).
+    #[must_use]
+    pub fn bounds(&self) -> &[f64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// inside the bucket containing the target rank.
+    ///
+    /// The lower edge of the first bucket is taken as 0.0 (all workspace
+    /// histograms observe non-negative quantities); observations in the
+    /// overflow bucket are attributed to the last finite bound. Returns
+    /// `None` while the histogram is empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let counts = self.bucket_counts();
+        // Rank of the target observation, 1-based, clamped into range.
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if seen + c < target {
+                seen += c;
+                continue;
+            }
+            let Some(&upper) = self.bounds.get(i) else {
+                // Overflow bucket: no finite upper edge to interpolate
+                // toward; report the last bound.
+                return self.bounds.last().copied();
+            };
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            let into = (target - seen) as f64 / c.max(1) as f64;
+            return Some(lower + (upper - lower) * into);
+        }
+        self.bounds.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0];
+
+    #[test]
+    fn boundary_values_land_in_the_lower_bucket() {
+        let h = Histogram::new(BOUNDS);
+        // A value exactly equal to an upper bound belongs to that bucket,
+        // not the next one.
+        h.observe(1.0);
+        h.observe(2.0);
+        h.observe(4.0);
+        h.observe(8.0);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1, 1, 0]);
+        // Just above a bound spills into the next bucket.
+        h.observe(1.0000001);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 1, 0]);
+        // Values above the last bound go to the overflow bucket.
+        h.observe(8.5);
+        h.observe(1e12);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 1, 2]);
+        assert_eq!(h.count(), 7);
+    }
+
+    #[test]
+    fn zero_and_negative_values_fall_into_the_first_bucket() {
+        let h = Histogram::new(BOUNDS);
+        h.observe(0.0);
+        h.observe(-3.0);
+        assert_eq!(h.bucket_counts(), vec![2, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn sum_and_count_track_observations() {
+        let h = Histogram::new(BOUNDS);
+        for v in [0.5, 1.5, 3.0, 10.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(BOUNDS);
+        // 10 observations uniformly inside (1, 2]: all in bucket 1.
+        for i in 0..10 {
+            h.observe(1.05 + f64::from(i) * 0.09);
+        }
+        // The whole mass is in bucket (1, 2]; the median interpolates to
+        // the middle of that bucket.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((p50 - 1.5).abs() <= 0.1, "p50 = {p50}");
+        // p100 is the bucket's upper bound, p0+ its lower region.
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-9);
+        assert!(h.quantile(0.01).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn quantile_spanning_buckets_follows_cumulative_rank() {
+        let h = Histogram::new(BOUNDS);
+        // 4 observations <= 1, 4 in (2, 4].
+        for _ in 0..4 {
+            h.observe(0.5);
+        }
+        for _ in 0..4 {
+            h.observe(3.0);
+        }
+        // Rank 2 of 8 (p25) is inside the first bucket.
+        assert!(h.quantile(0.25).unwrap() <= 1.0);
+        // Rank 6 of 8 (p75) is inside the third bucket (2, 4].
+        let p75 = h.quantile(0.75).unwrap();
+        assert!(p75 > 2.0 && p75 <= 4.0, "p75 = {p75}");
+    }
+
+    #[test]
+    fn overflow_heavy_quantile_reports_last_bound() {
+        let h = Histogram::new(BOUNDS);
+        h.observe(100.0);
+        h.observe(200.0);
+        assert_eq!(h.quantile(0.99).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new(BOUNDS);
+        assert!(h.quantile(0.5).is_none());
+        assert!(h.quantile(-0.1).is_none());
+        let h2 = Histogram::new(BOUNDS);
+        h2.observe(1.0);
+        assert!(h2.quantile(1.5).is_none(), "q outside [0, 1] is rejected");
+    }
+}

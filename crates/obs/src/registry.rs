@@ -1,0 +1,155 @@
+//! The global metric registry.
+//!
+//! Counters, histograms and span statistics live in process-global maps so
+//! instrumentation points anywhere in the workspace can record without
+//! threading a handle through every call signature. The registry is
+//! "lock-free-ish": the maps themselves sit behind `RwLock`s, but a hot
+//! path that records into an already-registered metric only takes the read
+//! side (shared, uncontended in steady state) and then updates plain
+//! atomics. The write lock is taken once per metric name, at first use.
+//!
+//! Iteration order is deterministic (`BTreeMap` keyed by name), which is
+//! what lets two identical runs serialize byte-identical reports once
+//! timing fields are excluded.
+
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+/// Aggregated statistics for one hierarchical span path.
+#[derive(Debug, Default)]
+pub(crate) struct SpanStat {
+    /// Number of completed spans recorded under this path.
+    pub count: AtomicU64,
+    /// Total time spent inside the span, in nanoseconds.
+    pub total_ns: AtomicU64,
+    /// Shortest single span, in nanoseconds (`u64::MAX` until first record).
+    pub min_ns: AtomicU64,
+    /// Longest single span, in nanoseconds.
+    pub max_ns: AtomicU64,
+    /// Stack depth at which this path was observed (1 = root span).
+    pub depth: AtomicUsize,
+}
+
+/// The process-global registry behind the free functions in `lib.rs`.
+pub(crate) struct Registry {
+    pub counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    pub histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    pub spans: RwLock<BTreeMap<String, Arc<SpanStat>>>,
+    /// Deepest span nesting seen since the last reset, across all threads.
+    pub peak_depth: AtomicUsize,
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+pub(crate) fn global() -> &'static Registry {
+    REGISTRY.get_or_init(|| Registry {
+        counters: RwLock::new(BTreeMap::new()),
+        histograms: RwLock::new(BTreeMap::new()),
+        spans: RwLock::new(BTreeMap::new()),
+        peak_depth: AtomicUsize::new(0),
+    })
+}
+
+impl Registry {
+    /// Finds or registers the counter cell for `name`.
+    pub fn counter(&self, name: &'static str) -> Arc<AtomicU64> {
+        if let Some(cell) = read(&self.counters).get(name) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            write(&self.counters)
+                .entry(name)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Finds or registers the histogram for `name` with `bounds` (the
+    /// bounds of the first registration win; see [`crate::observe`]).
+    pub fn histogram(&self, name: &'static str, bounds: &'static [f64]) -> Arc<Histogram> {
+        if let Some(h) = read(&self.histograms).get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(
+            write(&self.histograms)
+                .entry(name)
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Finds or registers the span statistics for `path`.
+    pub fn span_stat(&self, path: &str) -> Arc<SpanStat> {
+        if let Some(stat) = read(&self.spans).get(path) {
+            return Arc::clone(stat);
+        }
+        Arc::clone(
+            write(&self.spans)
+                .entry(path.to_string())
+                .or_insert_with(|| {
+                    Arc::new(SpanStat {
+                        min_ns: AtomicU64::new(u64::MAX),
+                        ..SpanStat::default()
+                    })
+                }),
+        )
+    }
+
+    /// Records one completed span.
+    pub fn record_span(&self, path: &str, depth: usize, elapsed_ns: u64) {
+        let stat = self.span_stat(path);
+        stat.count.fetch_add(1, Ordering::Relaxed);
+        stat.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
+        stat.min_ns.fetch_min(elapsed_ns, Ordering::Relaxed);
+        stat.max_ns.fetch_max(elapsed_ns, Ordering::Relaxed);
+        stat.depth.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Clears every metric and the peak-depth watermark.
+    pub fn reset(&self) {
+        write(&self.counters).clear();
+        write(&self.histograms).clear();
+        write(&self.spans).clear();
+        self.peak_depth.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Read-locks, surviving poisoning (a panicking instrumented thread must
+/// not take observability down with it).
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_cells_are_shared_by_name() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        let a = global().counter("registry_test/shared");
+        let b = global().counter("registry_test/shared");
+        a.fetch_add(3, Ordering::Relaxed);
+        assert_eq!(b.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn span_stats_accumulate_min_max() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        global().record_span("registry_test/span", 2, 100);
+        global().record_span("registry_test/span", 2, 40);
+        global().record_span("registry_test/span", 3, 250);
+        let stat = global().span_stat("registry_test/span");
+        assert_eq!(stat.count.load(Ordering::Relaxed), 3);
+        assert_eq!(stat.total_ns.load(Ordering::Relaxed), 390);
+        assert_eq!(stat.min_ns.load(Ordering::Relaxed), 40);
+        assert_eq!(stat.max_ns.load(Ordering::Relaxed), 250);
+        assert_eq!(stat.depth.load(Ordering::Relaxed), 3);
+    }
+}

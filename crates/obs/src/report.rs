@@ -1,0 +1,328 @@
+//! Run snapshots and the JSON [`Recorder`].
+//!
+//! A [`Snapshot`] is a plain-data copy of the whole registry, serialized
+//! via the vendored serde. Timing fields are real measurements and differ
+//! between runs; [`Snapshot::deterministic`] strips them (and the bucket
+//! distribution of timing histograms) so that two identical seeded runs
+//! emit byte-identical documents — the regression test CI relies on.
+
+use crate::registry;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// One counter's value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Metric name (e.g. `hdc/encoded_records`).
+    pub name: String,
+    /// Current count.
+    pub value: u64,
+}
+
+/// One histogram's state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Ascending finite upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one overflow bucket at the end.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Estimated median (`None` while empty).
+    pub p50: Option<f64>,
+    /// Estimated 95th percentile (`None` while empty).
+    pub p95: Option<f64>,
+}
+
+/// Aggregate statistics of one span path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanSnapshot {
+    /// Hierarchical path (ancestor names joined with `/`).
+    pub path: String,
+    /// Completed spans under this path.
+    pub count: u64,
+    /// Total nanoseconds inside the span.
+    pub total_ns: u64,
+    /// Fastest single span in nanoseconds (0 when unrecorded).
+    pub min_ns: u64,
+    /// Slowest single span in nanoseconds.
+    pub max_ns: u64,
+    /// Deepest stack depth this path was observed at (1 = root).
+    pub depth: usize,
+}
+
+/// A full copy of the registry at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All span paths, sorted by path.
+    pub spans: Vec<SpanSnapshot>,
+    /// Deepest span nesting observed across all threads.
+    pub peak_span_depth: usize,
+}
+
+/// Metric names with this suffix hold measured durations and are excluded
+/// from deterministic comparisons.
+const TIMING_SUFFIXES: [&str; 3] = ["_ns", "_secs", "_ms"];
+
+fn is_timing_metric(name: &str) -> bool {
+    TIMING_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+impl Snapshot {
+    /// Copies the deterministic skeleton of this snapshot: every timing
+    /// field (span durations, timing-histogram distributions) is zeroed
+    /// while structural facts — which metrics exist, counter values, span
+    /// call counts and depths, histogram observation counts — survive.
+    ///
+    /// Histograms are treated as timing-valued when their name ends in
+    /// `_ns`, `_secs` or `_ms`; value-shaped histograms (e.g. normalized
+    /// Hamming distances) keep their full bucket distribution.
+    #[must_use]
+    pub fn deterministic(&self) -> Self {
+        let mut out = self.clone();
+        for span in &mut out.spans {
+            span.total_ns = 0;
+            span.min_ns = 0;
+            span.max_ns = 0;
+        }
+        for hist in &mut out.histograms {
+            if is_timing_metric(&hist.name) {
+                hist.buckets = vec![0; hist.buckets.len()];
+                hist.sum = 0.0;
+                hist.p50 = None;
+                hist.p95 = None;
+            }
+        }
+        out
+    }
+
+    /// Serializes to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+/// Reads the whole registry into a [`Snapshot`].
+#[must_use]
+pub fn snapshot() -> Snapshot {
+    let reg = registry::global();
+    let counters = {
+        let map = reg
+            .counters
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.iter()
+            .map(|(&name, cell)| CounterSnapshot {
+                name: name.to_string(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect()
+    };
+    let histograms = {
+        let map = reg
+            .histograms
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.iter()
+            .map(|(&name, h)| HistogramSnapshot {
+                name: name.to_string(),
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+                count: h.count(),
+                sum: h.sum(),
+                p50: h.quantile(0.5),
+                p95: h.quantile(0.95),
+            })
+            .collect()
+    };
+    let spans = {
+        let map = reg
+            .spans
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.iter()
+            .map(|(path, stat)| {
+                let min = stat.min_ns.load(Ordering::Relaxed);
+                SpanSnapshot {
+                    path: path.clone(),
+                    count: stat.count.load(Ordering::Relaxed),
+                    total_ns: stat.total_ns.load(Ordering::Relaxed),
+                    min_ns: if min == u64::MAX { 0 } else { min },
+                    max_ns: stat.max_ns.load(Ordering::Relaxed),
+                    depth: stat.depth.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
+    };
+    Snapshot {
+        counters,
+        histograms,
+        spans,
+        peak_span_depth: reg.peak_depth.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one observed run: resets the registry on construction, then
+/// packages everything recorded since into a JSON document.
+///
+/// ```
+/// let recorder = hyperfex_obs::Recorder::start("demo");
+/// {
+///     let _s = hyperfex_obs::span("demo/stage");
+///     hyperfex_obs::counter_add("demo/widgets", 3);
+/// }
+/// let report = recorder.finish();
+/// assert_eq!(report.run, "demo");
+/// assert!(report.to_json_pretty().contains("demo/widgets"));
+/// ```
+#[derive(Debug)]
+pub struct Recorder {
+    run: String,
+    started: Instant,
+}
+
+/// The completed run produced by [`Recorder::finish`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Caller-supplied run label.
+    pub run: String,
+    /// Wall-clock seconds between `start` and `finish`.
+    pub wall_secs: f64,
+    /// Everything the registry accumulated during the run.
+    pub metrics: Snapshot,
+}
+
+impl Recorder {
+    /// Clears the registry and starts the run clock.
+    #[must_use]
+    pub fn start(run: impl Into<String>) -> Self {
+        crate::reset();
+        Self {
+            run: run.into(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Snapshots the registry into a [`RunReport`].
+    #[must_use]
+    pub fn finish(self) -> RunReport {
+        RunReport {
+            run: self.run,
+            wall_secs: self.started.elapsed().as_secs_f64(),
+            metrics: snapshot(),
+        }
+    }
+}
+
+impl RunReport {
+    /// Serializes the report to pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{counter_add, observe, span};
+
+    const DIST_BOUNDS: &[f64] = &[0.25, 0.5, 0.75, 1.0];
+    const TIME_BOUNDS: &[f64] = &[1e3, 1e6, 1e9];
+
+    /// One deterministic synthetic workload: fixed counters, a
+    /// value-shaped histogram, and spans whose *timings* vary run to run
+    /// but whose call structure does not.
+    fn workload() {
+        let _run = span("report_test/run");
+        for i in 0..10u64 {
+            let _step = span("report_test/step");
+            counter_add("report_test/items", 1);
+            observe(
+                "report_test/distance",
+                DIST_BOUNDS,
+                f64::from(i as u32) / 10.0,
+            );
+            observe(
+                "report_test/latency_ns",
+                TIME_BOUNDS,
+                f64::from(i as u32) * 3.7e5,
+            );
+        }
+    }
+
+    #[test]
+    fn two_identical_runs_emit_identical_deterministic_json() {
+        let _guard = crate::test_lock();
+        let rec = Recorder::start("determinism");
+        workload();
+        let first = rec.finish();
+        let rec = Recorder::start("determinism");
+        workload();
+        let second = rec.finish();
+        // Raw timings differ between the runs...
+        assert!(first.metrics.spans.iter().any(|s| s.total_ns > 0));
+        // ...but the deterministic views are byte-identical JSON.
+        let a = first.metrics.deterministic().to_json_pretty();
+        let b = second.metrics.deterministic().to_json_pretty();
+        assert_eq!(a, b);
+        // And the deterministic view still carries the structure.
+        assert!(a.contains("report_test/items"));
+        assert!(a.contains("report_test/run/report_test/step"));
+    }
+
+    #[test]
+    fn deterministic_view_keeps_value_histograms_but_strips_timing_ones() {
+        let _guard = crate::test_lock();
+        let rec = Recorder::start("strip");
+        workload();
+        let report = rec.finish();
+        let det = report.metrics.deterministic();
+        let dist = det
+            .histograms
+            .iter()
+            .find(|h| h.name == "report_test/distance")
+            .unwrap();
+        assert_eq!(dist.buckets.iter().sum::<u64>(), 10);
+        assert!(dist.p50.is_some());
+        let lat = det
+            .histograms
+            .iter()
+            .find(|h| h.name == "report_test/latency_ns")
+            .unwrap();
+        assert_eq!(lat.buckets.iter().sum::<u64>(), 0, "distribution stripped");
+        assert_eq!(lat.count, 10, "observation count survives");
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let _guard = crate::test_lock();
+        let rec = Recorder::start("roundtrip");
+        workload();
+        let report = rec.finish();
+        let json = report.to_json_pretty();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.metrics.counters, report.metrics.counters);
+        assert_eq!(back.metrics.spans, report.metrics.spans);
+        assert_eq!(back.run, "roundtrip");
+    }
+
+    #[test]
+    fn peak_depth_is_reported() {
+        let _guard = crate::test_lock();
+        let rec = Recorder::start("depth");
+        workload();
+        let report = rec.finish();
+        assert_eq!(report.metrics.peak_span_depth, 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Hierarchical span timers.
+//!
+//! A span is opened with [`crate::span`] and closed when the returned RAII
+//! guard drops. Each thread keeps its own span stack in thread-local
+//! storage; the full path of a span is its ancestors' names joined with
+//! `/`, so `core/fit_transform` containing `hdc/encode_batch` aggregates
+//! under `core/fit_transform/hdc/encode_batch`. Statistics (count, total,
+//! min, max, depth) merge into the global registry when the guard drops.
+//!
+//! ## Unwind safety
+//!
+//! The guard remembers the stack length from *before* its own push and
+//! restores exactly that length on drop. A child span that panics unwinds
+//! through its own guard first (popping itself), but even if intermediate
+//! guards are leaked or dropped out of order, the truncation guarantees the
+//! parent's frame — and the parent's view of the stack — is intact.
+
+use crate::registry;
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+struct Frame {
+    /// Hierarchical path of this span (ancestor names joined with `/`).
+    path: String,
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<Frame>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard for one open span; created by [`crate::span`].
+///
+/// Dropping the guard stops the clock and records the span into the global
+/// registry. Use [`SpanGuard::finish`] instead of a plain drop when the
+/// measured duration itself is needed (experiment code reporting wall
+/// times from the same instrumentation).
+#[derive(Debug)]
+#[must_use = "a span measures the scope holding its guard; binding to `_` drops it immediately"]
+pub struct SpanGuard {
+    /// Stack length before this span was pushed.
+    base_len: usize,
+    start: Instant,
+}
+
+/// Opens a span named `name` on the current thread's span stack.
+pub fn span(name: &'static str) -> SpanGuard {
+    let base_len = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{}/{name}", parent.path),
+            None => name.to_string(),
+        };
+        stack.push(Frame { path });
+        stack.len() - 1
+    });
+    registry::global()
+        .peak_depth
+        .fetch_max(base_len + 1, Ordering::Relaxed);
+    SpanGuard {
+        base_len,
+        start: Instant::now(),
+    }
+}
+
+/// The current thread's open-span depth (0 outside any span).
+#[must_use]
+pub fn current_depth() -> usize {
+    STACK.with(|stack| stack.borrow().len())
+}
+
+impl SpanGuard {
+    /// Closes the span and returns its measured duration.
+    ///
+    /// Equivalent to dropping the guard, but hands back the duration so
+    /// callers that report wall times (e.g. the timing experiment) read
+    /// the same number the registry records.
+    pub fn finish(self) -> Duration {
+        let elapsed = self.start.elapsed();
+        close(self.base_len, elapsed);
+        // Recorded by the explicit close above; skip the Drop bookkeeping.
+        std::mem::forget(self);
+        elapsed
+    }
+}
+
+/// Pops the frame at `base_len` (and any leaked children above it) and
+/// records the statistics under its hierarchical path.
+fn close(base_len: usize, elapsed: Duration) {
+    let path = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = stack
+            .get(base_len)
+            .map(|frame| frame.path.clone())
+            .unwrap_or_default();
+        stack.truncate(base_len);
+        path
+    });
+    if !path.is_empty() {
+        let elapsed_ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        registry::global().record_span(&path, base_len + 1, elapsed_ns);
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        close(self.base_len, self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot;
+
+    #[test]
+    fn nested_spans_aggregate_under_hierarchical_paths() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+                assert_eq!(current_depth(), 2);
+            }
+            let _second = span("inner");
+        }
+        assert_eq!(current_depth(), 0);
+        let snap = snapshot();
+        let inner = snap
+            .spans
+            .iter()
+            .find(|s| s.path == "outer/inner")
+            .expect("nested path recorded");
+        assert_eq!(inner.count, 2);
+        assert_eq!(inner.depth, 2);
+        let outer = snap.spans.iter().find(|s| s.path == "outer").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.depth, 1);
+        assert_eq!(snap.peak_span_depth, 2);
+    }
+
+    #[test]
+    fn finish_returns_a_duration_and_records_once() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        let s = span("finish_test");
+        std::thread::sleep(Duration::from_millis(2));
+        let elapsed = s.finish();
+        assert!(elapsed >= Duration::from_millis(2));
+        let snap = snapshot();
+        let stat = snap.spans.iter().find(|s| s.path == "finish_test").unwrap();
+        assert_eq!(stat.count, 1);
+        assert!(stat.total_ns >= 2_000_000);
+    }
+
+    #[test]
+    fn panicking_child_span_does_not_corrupt_the_parent_stack() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        let _outer = span("unwind_parent");
+        let result = std::panic::catch_unwind(|| {
+            let _child = span("doomed_child");
+            panic!("boom");
+        });
+        assert!(result.is_err());
+        // The child unwound: the stack is back at the parent's level and
+        // new children still nest under the parent, not under the corpse.
+        assert_eq!(current_depth(), 1);
+        {
+            let _sibling = span("survivor");
+        }
+        let snap = snapshot();
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path == "unwind_parent/survivor"));
+        // The doomed child still recorded itself under the correct path on
+        // the way out (its guard dropped during unwind).
+        assert!(snap
+            .spans
+            .iter()
+            .any(|s| s.path == "unwind_parent/doomed_child"));
+    }
+
+    #[test]
+    fn leaked_child_frames_are_truncated_by_the_parent() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        {
+            let _outer = span("leak_parent");
+            let child = span("leaked_child");
+            // Simulate a guard that never drops (mem::forget): its frame
+            // stays on the stack...
+            std::mem::forget(child);
+            assert_eq!(current_depth(), 2);
+        }
+        // ...but the parent's drop truncates back to its own base length.
+        assert_eq!(current_depth(), 0);
+        {
+            let _fresh = span("after_leak");
+        }
+        let snap = snapshot();
+        let fresh = snap.spans.iter().find(|s| s.path == "after_leak").unwrap();
+        assert_eq!(fresh.depth, 1, "stack must be clean after the leak");
+    }
+
+    #[test]
+    fn spans_on_different_threads_do_not_nest_into_each_other() {
+        let _guard = crate::test_lock();
+        crate::reset();
+        let _outer = span("main_thread");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let _worker = span("worker");
+                assert_eq!(current_depth(), 1, "fresh stack per thread");
+            });
+        });
+        let snap = snapshot();
+        assert!(snap.spans.iter().any(|s| s.path == "worker"));
+        assert!(!snap.spans.iter().any(|s| s.path == "main_thread/worker"));
+    }
+}

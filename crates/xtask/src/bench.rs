@@ -1,0 +1,382 @@
+//! `cargo xtask bench` / `bench-compare` — the repo's perf pipeline.
+//!
+//! `bench` runs the criterion micro-benchmark suites (reading the vendored
+//! harness's `HYPERFEX_BENCH_JSON` side channel instead of scraping
+//! stdout) plus one instrumented end-to-end run of the `perf_report`
+//! binary, and folds both into a single machine-readable artifact,
+//! `BENCH_4.json`, at the workspace root. `--quick` caps every benchmark
+//! at a small sample count and uses the small-dimensionality experiment
+//! config, which is what the CI perf-smoke job runs.
+//!
+//! `bench-compare` diffs the current artifact against the committed
+//! `bench/baseline.json`: any tracked metric more than 30% worse fails
+//! (non-zero exit), more than 10% worse warns. Direction is inferred from
+//! the metric name — `_ns`/`_secs`/`_ms` timings are lower-is-better,
+//! `_per_sec` throughputs higher-is-better; everything else (counts,
+//! depths, versions) is informational and never compared.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use crate::json::{self, Json};
+
+/// The artifact `bench` writes at the workspace root.
+pub const BENCH_ARTIFACT: &str = "BENCH_4.json";
+/// The committed reference `bench-compare` diffs against.
+pub const BASELINE: &str = "bench/baseline.json";
+/// Ratio above which a tracked metric fails the comparison.
+pub const FAIL_RATIO: f64 = 1.30;
+/// Ratio above which a tracked metric warns.
+pub const WARN_RATIO: f64 = 1.10;
+
+/// Runs the full bench pipeline and writes [`BENCH_ARTIFACT`].
+pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(bad) = args.iter().find(|a| *a != "--quick") {
+        return Err(format!("bench: unknown flag `{bad}` (only --quick)"));
+    }
+
+    let target = root.join("target");
+    fs::create_dir_all(&target).map_err(|e| format!("mkdir {}: {e}", target.display()))?;
+
+    // 1. Criterion kernels, collected via the JSON side channel.
+    let kernels_path = target.join("bench-kernels.jsonl");
+    let _ = fs::remove_file(&kernels_path);
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root)
+        .args(["bench", "-p", "hyperfex-bench"])
+        .env("HYPERFEX_BENCH_JSON", &kernels_path);
+    if quick {
+        cmd.env("HYPERFEX_BENCH_SAMPLES", "5");
+    }
+    run_to_completion(cmd, "cargo bench -p hyperfex-bench")?;
+    let kernels = read_kernel_lines(&kernels_path)?;
+    if kernels.is_empty() {
+        return Err(format!(
+            "no kernel results in {} — did the bench harness run?",
+            kernels_path.display()
+        ));
+    }
+
+    // 2. Instrumented end-to-end run.
+    let perf_path = target.join("perf-report.json");
+    let _ = fs::remove_file(&perf_path);
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root).args([
+        "run",
+        "--release",
+        "-p",
+        "hyperfex-experiments",
+        "--features",
+        "obs",
+        "--bin",
+        "perf_report",
+        "--",
+        "--out",
+    ]);
+    cmd.arg(&perf_path);
+    if quick {
+        cmd.arg("--quick");
+    }
+    run_to_completion(cmd, "perf_report")?;
+    let perf_text = fs::read_to_string(&perf_path)
+        .map_err(|e| format!("reading {}: {e}", perf_path.display()))?;
+    let perf = json::parse(&perf_text).map_err(|e| format!("parsing perf report: {e}"))?;
+    let mut e2e = match perf.get("e2e") {
+        Some(Json::Obj(map)) => map.clone(),
+        _ => return Err("perf report has no `e2e` object".to_string()),
+    };
+    if let Some(wall) = perf.get("report").and_then(|r| r.get("wall_secs")) {
+        e2e.insert("pipeline_wall_secs".to_string(), wall.clone());
+    }
+
+    // 3. Fold into the artifact.
+    let mut doc = BTreeMap::new();
+    doc.insert("schema_version".to_string(), Json::Num(1.0));
+    doc.insert(
+        "mode".to_string(),
+        Json::Str(if quick { "quick" } else { "full" }.to_string()),
+    );
+    doc.insert(
+        "kernels_ns".to_string(),
+        Json::Obj(
+            kernels
+                .into_iter()
+                .map(|(k, v)| (k, Json::Num(v)))
+                .collect(),
+        ),
+    );
+    doc.insert("e2e".to_string(), Json::Obj(e2e));
+    let artifact = root.join(BENCH_ARTIFACT);
+    fs::write(&artifact, Json::Obj(doc).to_pretty())
+        .map_err(|e| format!("writing {}: {e}", artifact.display()))?;
+
+    // Keep the full instrumented snapshot (spans, counters, histograms)
+    // next to the headline artifact; CI uploads both.
+    let reports = root.join("reports");
+    fs::create_dir_all(&reports).map_err(|e| format!("mkdir {}: {e}", reports.display()))?;
+    let perf_copy = reports.join("perf-report.json");
+    fs::copy(&perf_path, &perf_copy)
+        .map_err(|e| format!("copying perf report to {}: {e}", perf_copy.display()))?;
+    println!(
+        "xtask bench: wrote {} and {}",
+        artifact.display(),
+        perf_copy.display()
+    );
+    Ok(())
+}
+
+/// Diffs [`BENCH_ARTIFACT`] against [`BASELINE`]. `Ok(true)` means clean
+/// (possibly with warnings); `Ok(false)` means at least one regression.
+pub fn cmd_bench_compare(root: &Path, args: &[String]) -> Result<bool, String> {
+    let mut baseline_path = root.join(BASELINE);
+    let mut current_path = root.join(BENCH_ARTIFACT);
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| -> Result<PathBuf, String> {
+            args.get(i + 1)
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("missing value for {}", args[i]))
+        };
+        match args[i].as_str() {
+            "--baseline" => {
+                baseline_path = value(i)?;
+                i += 1;
+            }
+            "--current" => {
+                current_path = value(i)?;
+                i += 1;
+            }
+            other => return Err(format!("bench-compare: unknown flag `{other}`")),
+        }
+        i += 1;
+    }
+
+    let load = |path: &Path| -> Result<Json, String> {
+        let text =
+            fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))
+    };
+    let baseline = load(&baseline_path)?;
+    let current = load(&current_path)?;
+
+    let outcome = compare(&baseline, &current, FAIL_RATIO, WARN_RATIO);
+    for w in &outcome.warnings {
+        println!("warn: {w}");
+    }
+    for r in &outcome.regressions {
+        println!("REGRESSION: {r}");
+    }
+    println!(
+        "xtask bench-compare: {} metric(s) compared, {} warning(s), {} regression(s)",
+        outcome.compared,
+        outcome.warnings.len(),
+        outcome.regressions.len()
+    );
+    Ok(outcome.regressions.is_empty())
+}
+
+/// The result of one baseline comparison.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Metrics worse than the fail threshold.
+    pub regressions: Vec<String>,
+    /// Metrics worse than the warn threshold, plus structural notes.
+    pub warnings: Vec<String>,
+    /// How many tracked metrics were present in both documents.
+    pub compared: usize,
+}
+
+/// Lower-is-better for timings, higher-is-better for throughputs, `None`
+/// (untracked) for everything else.
+fn direction(key: &str) -> Option<bool> {
+    if key.ends_with("_per_sec") {
+        Some(false)
+    } else if key.starts_with("kernels_ns.")
+        || key.ends_with("_ns")
+        || key.ends_with("_secs")
+        || key.ends_with("_ms")
+    {
+        Some(true)
+    } else {
+        None
+    }
+}
+
+/// Pure comparison over the flattened numeric leaves of both documents.
+pub fn compare(baseline: &Json, current: &Json, fail_ratio: f64, warn_ratio: f64) -> Comparison {
+    let base = baseline.numeric_leaves();
+    let cur = current.numeric_leaves();
+    let mut outcome = Comparison::default();
+    for (key, &base_value) in &base {
+        let Some(lower_is_better) = direction(key) else {
+            continue;
+        };
+        let Some(&cur_value) = cur.get(key) else {
+            outcome
+                .warnings
+                .push(format!("{key}: in baseline but missing from current run"));
+            continue;
+        };
+        if base_value <= 0.0 || cur_value <= 0.0 {
+            outcome
+                .warnings
+                .push(format!("{key}: non-positive value, skipped"));
+            continue;
+        }
+        outcome.compared += 1;
+        let ratio = if lower_is_better {
+            cur_value / base_value
+        } else {
+            base_value / cur_value
+        };
+        let delta_pct = (ratio - 1.0) * 100.0;
+        let message = format!(
+            "{key}: {base_value:.1} -> {cur_value:.1} ({delta_pct:+.1}% {})",
+            if lower_is_better {
+                "slower"
+            } else {
+                "lower throughput"
+            }
+        );
+        if ratio > fail_ratio {
+            outcome.regressions.push(message);
+        } else if ratio > warn_ratio {
+            outcome.warnings.push(message);
+        }
+    }
+    outcome
+}
+
+/// Parses the `HYPERFEX_BENCH_JSON` side-channel file: one JSON object per
+/// line, keyed by benchmark name.
+fn read_kernel_lines(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let mut out = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let value = json::parse(line).map_err(|e| format!("bad kernel line `{line}`: {e}"))?;
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("kernel line missing name: `{line}`"))?;
+        let median = value
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("kernel line missing median_ns: `{line}`"))?;
+        out.insert(name.to_string(), median);
+    }
+    Ok(out)
+}
+
+fn run_to_completion(mut cmd: Command, what: &str) -> Result<(), String> {
+    let status = cmd
+        .status()
+        .map_err(|e| format!("spawning `{what}`: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("`{what}` exited with {status}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(encode_ns: f64, throughput: f64) -> Json {
+        json::parse(&format!(
+            r#"{{"schema_version": 1,
+                 "kernels_ns": {{"encoding_10k/linear_encode_value": {encode_ns}}},
+                 "e2e": {{"loocv_rows_per_sec": {throughput}, "peak_span_depth": 3}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_documents_compare_clean() {
+        let a = doc(200.0, 5_000.0);
+        let outcome = compare(&a, &a, FAIL_RATIO, WARN_RATIO);
+        assert!(outcome.regressions.is_empty());
+        assert!(outcome.warnings.is_empty());
+        assert_eq!(outcome.compared, 2);
+    }
+
+    #[test]
+    fn doubled_kernel_time_is_a_regression() {
+        let outcome = compare(
+            &doc(200.0, 5_000.0),
+            &doc(400.0, 5_000.0),
+            FAIL_RATIO,
+            WARN_RATIO,
+        );
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(outcome.regressions[0].contains("linear_encode_value"));
+    }
+
+    #[test]
+    fn halved_throughput_is_a_regression() {
+        let outcome = compare(
+            &doc(200.0, 5_000.0),
+            &doc(200.0, 2_500.0),
+            FAIL_RATIO,
+            WARN_RATIO,
+        );
+        assert_eq!(outcome.regressions.len(), 1);
+        assert!(outcome.regressions[0].contains("loocv_rows_per_sec"));
+    }
+
+    #[test]
+    fn twenty_percent_slower_only_warns() {
+        let outcome = compare(
+            &doc(200.0, 5_000.0),
+            &doc(240.0, 5_000.0),
+            FAIL_RATIO,
+            WARN_RATIO,
+        );
+        assert!(outcome.regressions.is_empty());
+        assert_eq!(outcome.warnings.len(), 1);
+    }
+
+    #[test]
+    fn improvements_and_untracked_keys_are_silent() {
+        // Faster kernel, higher throughput, changed span depth: all fine.
+        let outcome = compare(
+            &doc(200.0, 5_000.0),
+            &doc(100.0, 9_000.0),
+            FAIL_RATIO,
+            WARN_RATIO,
+        );
+        assert!(outcome.regressions.is_empty());
+        assert!(outcome.warnings.is_empty());
+    }
+
+    #[test]
+    fn missing_metric_warns_but_does_not_fail() {
+        let base = doc(200.0, 5_000.0);
+        let cur =
+            json::parse(r#"{"kernels_ns": {}, "e2e": {"loocv_rows_per_sec": 5000}}"#).unwrap();
+        let outcome = compare(&base, &cur, FAIL_RATIO, WARN_RATIO);
+        assert!(outcome.regressions.is_empty());
+        assert_eq!(outcome.warnings.len(), 1);
+        assert!(outcome.warnings[0].contains("missing"));
+    }
+
+    #[test]
+    fn kernel_side_channel_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("xtask-bench-ut-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kernels.jsonl");
+        fs::write(
+            &path,
+            "{\"name\":\"g/a\",\"median_ns\":194.250,\"mad_ns\":2.000,\"samples\":20}\n\
+             {\"name\":\"g/b\",\"median_ns\":1000.000,\"mad_ns\":5.000,\"samples\":20}\n",
+        )
+        .unwrap();
+        let kernels = read_kernel_lines(&path).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+        assert_eq!(kernels.len(), 2);
+        assert!((kernels["g/a"] - 194.25).abs() < 1e-9);
+    }
+}

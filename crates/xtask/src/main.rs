@@ -10,12 +10,20 @@
 //!   rule family (a library unwrap, an unmasked tail write, a registry
 //!   dependency) and assert the engine catches all three. This guards the
 //!   linter itself against silently going blind.
+//! * `bench [--quick]` — run the criterion suites plus an instrumented
+//!   end-to-end `perf_report` run and fold both into `BENCH_4.json` at the
+//!   workspace root.
+//! * `bench-compare [--baseline P] [--current P]` — diff `BENCH_4.json`
+//!   against `bench/baseline.json`; >30% worse on any tracked metric fails,
+//!   >10% warns.
 //!
 //! Invoke as `cargo run -p xtask -- lint` (or via the `cargo xtask` alias
 //! in `.cargo/config.toml`).
 
 mod allowlist;
+mod bench;
 mod diag;
+mod json;
 mod panics;
 mod source;
 mod tail;
@@ -33,8 +41,39 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(),
         Some("selftest") => cmd_selftest(),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("bench-compare") => cmd_bench_compare(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|selftest>");
+            eprintln!("usage: cargo run -p xtask -- <lint|selftest|bench|bench-compare>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("xtask: could not locate the workspace root");
+        return ExitCode::from(2);
+    };
+    match bench::cmd_bench(&root, args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xtask bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_bench_compare(args: &[String]) -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("xtask: could not locate the workspace root");
+        return ExitCode::from(2);
+    };
+    match bench::cmd_bench_compare(&root, args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask bench-compare: {e}");
             ExitCode::from(2)
         }
     }

@@ -15,7 +15,7 @@ use crate::diag::{Rule, Violation};
 use crate::source::Analysis;
 
 /// Crates whose `src/` trees are panic-audited.
-pub const AUDITED_CRATES: [&str; 6] = ["hdc", "ml", "data", "eval", "core", "faults"];
+pub const AUDITED_CRATES: [&str; 7] = ["hdc", "ml", "data", "eval", "core", "faults", "obs"];
 
 /// Kernel files where slice indexing requires an annotation.
 pub const KERNEL_FILES: [&str; 3] = [

@@ -150,7 +150,43 @@ fn format_time(seconds: f64) -> String {
     }
 }
 
+/// `HYPERFEX_BENCH_SAMPLES` overrides every benchmark's sample count —
+/// `cargo xtask bench --quick` uses it to run the whole suite fast without
+/// editing any bench source.
+fn sample_override() -> Option<usize> {
+    std::env::var("HYPERFEX_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(2))
+}
+
+/// When `HYPERFEX_BENCH_JSON` names a file, every finished benchmark
+/// appends one machine-readable line to it:
+/// `{"name":"...","median_ns":...,"mad_ns":...,"samples":N}`.
+/// The human-readable stdout line is unchanged; `cargo xtask bench` reads
+/// this side channel instead of scraping stdout.
+fn append_json_line(full_name: &str, median: f64, mad: f64, samples: usize) {
+    let Ok(path) = std::env::var("HYPERFEX_BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    let name = full_name.replace('\\', "\\\\").replace('"', "\\\"");
+    let line = format!(
+        "{{\"name\":\"{name}\",\"median_ns\":{:.3},\"mad_ns\":{:.3},\"samples\":{samples}}}\n",
+        median * 1e9,
+        mad * 1e9,
+    );
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    if let Ok(mut file) = file {
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
 fn run_benchmark(full_name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let samples = sample_override().unwrap_or(samples);
     let mut bencher = Bencher {
         samples,
         results: Vec::with_capacity(samples),
@@ -172,6 +208,7 @@ fn run_benchmark(full_name: &str, samples: usize, f: impl FnOnce(&mut Bencher)) 
         format_time(mad),
         sorted.len(),
     );
+    append_json_line(full_name, median, mad, sorted.len());
 }
 
 /// The benchmark manager.
