@@ -4,6 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::bitmatrix::{
+    hamming_between, masked_scatter_add, masked_weight_sum, pairwise_hamming, popcount_dot,
+    BitMatrix,
+};
 use hyperfex_hdc::prelude::*;
 use std::hint::black_box;
 
@@ -42,9 +46,47 @@ fn bench_ops(c: &mut Criterion) {
     g.finish();
 }
 
+/// Word-level kernels over the packed design matrix: the primitives the
+/// hybrid ML fast paths are built on, at the paper's 10,000 bits.
+fn bench_bitmatrix(c: &mut Criterion) {
+    let dim = Dim::PAPER;
+    let mut rng = SplitMix64::new(13);
+    let rows: Vec<BinaryHypervector> = (0..64)
+        .map(|_| BinaryHypervector::random(dim, &mut rng))
+        .collect();
+    let m = BitMatrix::from_hypervectors(&rows).unwrap();
+    let queries = BitMatrix::from_hypervectors(&rows[..16]).unwrap();
+    let weights: Vec<f64> = (0..dim.get()).map(|i| (i % 17) as f64 * 0.25).collect();
+
+    let mut g = c.benchmark_group("bitmatrix_10k");
+    g.bench_function("popcount_dot", |bch| {
+        bch.iter(|| black_box(popcount_dot(black_box(m.row_words(0)), black_box(m.row_words(1)))));
+    });
+    g.bench_function("masked_weight_sum", |bch| {
+        bch.iter(|| black_box(masked_weight_sum(black_box(m.row_words(0)), black_box(&weights))));
+    });
+    g.bench_function("masked_scatter_add", |bch| {
+        bch.iter_batched(
+            || vec![0.0f64; dim.get()],
+            |mut out| {
+                masked_scatter_add(black_box(m.row_words(0)), 0.5, &mut out);
+                black_box(out)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    g.bench_function("pairwise_hamming_64", |bch| {
+        bch.iter(|| black_box(pairwise_hamming(black_box(&m))));
+    });
+    g.bench_function("hamming_between_16x64", |bch| {
+        bch.iter(|| black_box(hamming_between(black_box(&queries), black_box(&m)).unwrap()));
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_ops
+    targets = bench_ops, bench_bitmatrix
 }
 criterion_main!(benches);

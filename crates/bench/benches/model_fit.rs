@@ -6,12 +6,16 @@
 //! Each model is fitted on Pima R with raw 8-column features and with
 //! 2,000-bit hypervector features (scaled-down dimensionality keeps the
 //! bench finite on one core; the features-vs-hypervectors *ratio* is the
-//! reproduced quantity).
+//! reproduced quantity). Models with a popcount fast path (KNN, decision
+//! tree, SGD, logistic regression, SVC) take the hypervectors in packed
+//! [`Features::Packed`] form — the route `HybridClassifier` uses — while
+//! the boosters and forest keep the dense matrix they train on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hyperfex::experiments::{hv_features, raw_features, Datasets};
-use hyperfex::models::{make_model, ModelBudget, PAPER_MODELS};
+use hyperfex::experiments::{hv_features, hv_packed_features, raw_features, Datasets};
+use hyperfex::models::{make_model, ModelBudget, ModelKind, PAPER_MODELS};
 use hyperfex_hdc::binary::Dim;
+use hyperfex_ml::Features;
 use std::hint::black_box;
 
 fn bench_fits(c: &mut Criterion) {
@@ -19,11 +23,19 @@ fn bench_fits(c: &mut Criterion) {
     let table = &datasets.pima_r;
     let features = raw_features(table).unwrap();
     let hv = hv_features(table, Dim::new(2_000), 42).unwrap();
+    let bits = hv_packed_features(table, Dim::new(2_000), 42).unwrap();
     let labels = table.labels().to_vec();
     let budget = ModelBudget {
         ensemble_scale: 0.2,
         nn_max_epochs: 10,
     };
+    let packed_kinds = [
+        ModelKind::Knn,
+        ModelKind::DecisionTree,
+        ModelKind::Sgd,
+        ModelKind::LogisticRegression,
+        ModelKind::Svc,
+    ];
 
     let mut g = c.benchmark_group("model_fit_pima_r");
     g.sample_size(10);
@@ -43,11 +55,20 @@ fn bench_fits(c: &mut Criterion) {
             BenchmarkId::new("hypervectors", kind.label()),
             &kind,
             |b, &k| {
-                b.iter(|| {
-                    let mut model = make_model(k, 42, &budget);
-                    model.fit(black_box(&hv), black_box(&labels)).unwrap();
-                    black_box(model.predict(&hv).unwrap())
-                });
+                if packed_kinds.contains(&k) {
+                    let x = Features::Packed(&bits);
+                    b.iter(|| {
+                        let mut model = make_model(k, 42, &budget);
+                        model.fit_features(black_box(&x), black_box(&labels)).unwrap();
+                        black_box(model.predict_features(&x).unwrap())
+                    });
+                } else {
+                    b.iter(|| {
+                        let mut model = make_model(k, 42, &budget);
+                        model.fit(black_box(&hv), black_box(&labels)).unwrap();
+                        black_box(model.predict(&hv).unwrap())
+                    });
+                }
             },
         );
     }

@@ -184,6 +184,18 @@ pub fn hv_features(table: &Table, dim: Dim, seed: u64) -> Result<Matrix, Hyperfe
     HdcFeatureExtractor::to_matrix(&hvs)
 }
 
+/// Packed variant of [`hv_features`]: the same design matrix kept in bit
+/// form for the ML layer's popcount fast paths.
+pub fn hv_packed_features(
+    table: &Table,
+    dim: Dim,
+    seed: u64,
+) -> Result<hyperfex_hdc::bitmatrix::BitMatrix, HyperfexError> {
+    let mut extractor = HdcFeatureExtractor::new(dim, seed);
+    let hvs = extractor.fit_transform(table)?;
+    HdcFeatureExtractor::to_bit_matrix(&hvs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

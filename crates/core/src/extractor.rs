@@ -4,6 +4,7 @@ use crate::error::HyperfexError;
 use hyperfex_data::{ColumnKind, Table};
 use hyperfex_hdc::binary::{BinaryHypervector, Dim};
 use hyperfex_hdc::encoding::{FeatureSpec, QuarantineReport, RecordEncoder, RecordSchema};
+use hyperfex_hdc::bitmatrix::BitMatrix;
 use hyperfex_ml::Matrix;
 
 /// Encodes patient records into binary hypervectors and exposes them in
@@ -237,6 +238,31 @@ impl HdcFeatureExtractor {
             }
         });
         Ok(m)
+    }
+
+    /// Packs hypervectors into a [`BitMatrix`] — the same design matrix as
+    /// [`HdcFeatureExtractor::to_matrix`] but kept in its native packed
+    /// form (64 features per storage word), which the ML layer's popcount
+    /// fast paths consume directly without ever materialising f32 cells.
+    ///
+    /// Mixed-dimension slices are reported as an error up front, mirroring
+    /// `to_matrix`; an empty slice yields an empty `0 × 0` matrix.
+    pub fn to_bit_matrix(hypervectors: &[BinaryHypervector]) -> Result<BitMatrix, HyperfexError> {
+        let _span = crate::obs::span("core/to_bit_matrix");
+        if hypervectors.is_empty() {
+            return Ok(BitMatrix::zeros(0, Dim::new(1)));
+        }
+        let d = hypervectors[0].len();
+        BitMatrix::from_hypervectors(hypervectors).map_err(|_| {
+            let bad = hypervectors
+                .iter()
+                .position(|hv| hv.len() != d)
+                .unwrap_or(0);
+            HyperfexError::Pipeline(format!(
+                "to_bit_matrix: hypervector {bad} has dimensionality {} but hypervector 0 has {d}",
+                hypervectors[bad].len()
+            ))
+        })
     }
 }
 

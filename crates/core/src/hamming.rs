@@ -89,7 +89,7 @@ impl HammingModel {
         extractor.fit(table, Some(train_rows))?;
         let hvs = extractor.transform(table, Some(train_rows))?;
         let labels: Vec<usize> = train_rows.iter().map(|&i| table.labels()[i]).collect();
-        let mut knn = HammingKnnClassifier::new(self.k);
+        let mut knn = HammingKnnClassifier::new(self.k)?;
         knn.fit(hvs, labels)?;
         Ok(FittedHammingModel { extractor, knn })
     }

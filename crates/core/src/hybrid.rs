@@ -5,8 +5,9 @@ use crate::error::HyperfexError;
 use crate::extractor::HdcFeatureExtractor;
 use hyperfex_data::Table;
 use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::bitmatrix::BitMatrix;
 use hyperfex_hdc::rng::SplitMix64;
-use hyperfex_ml::{Estimator, Matrix};
+use hyperfex_ml::{Estimator, Features, Matrix};
 
 /// Wraps any [`Estimator`] behind the HDC feature-extraction stage.
 pub struct HybridClassifier {
@@ -33,11 +34,15 @@ impl HybridClassifier {
     }
 
     /// Fits the encoder ranges and the model on the given training rows.
+    ///
+    /// The design matrix stays in packed form: estimators with a popcount
+    /// fast path (KNN, linear models, SVC, decision tree) train on the
+    /// bits directly; the rest densify once behind [`Estimator::fit_features`].
     pub fn fit(&mut self, table: &Table, train_rows: &[usize]) -> Result<(), HyperfexError> {
         self.extractor.fit(table, Some(train_rows))?;
-        let x = self.features(table, train_rows)?;
+        let bits = self.packed_features(table, train_rows)?;
         let y: Vec<usize> = train_rows.iter().map(|&i| table.labels()[i]).collect();
-        self.model.fit(&x, &y)?;
+        self.model.fit_features(&Features::Packed(&bits), &y)?;
         self.fitted = true;
         Ok(())
     }
@@ -47,8 +52,8 @@ impl HybridClassifier {
         if !self.fitted {
             return Err(HyperfexError::Pipeline("predict called before fit".into()));
         }
-        let x = self.features(table, rows)?;
-        Ok(self.model.predict(&x)?)
+        let bits = self.packed_features(table, rows)?;
+        Ok(self.model.predict_features(&Features::Packed(&bits))?)
     }
 
     /// Accuracy over the selected rows.
@@ -67,6 +72,17 @@ impl HybridClassifier {
     pub fn features(&self, table: &Table, rows: &[usize]) -> Result<Matrix, HyperfexError> {
         let hvs = self.extractor.transform(table, Some(rows))?;
         HdcFeatureExtractor::to_matrix(&hvs)
+    }
+
+    /// The extracted features in packed bit form — what [`Self::fit`] and
+    /// [`Self::predict`] feed the model's popcount fast paths.
+    pub fn packed_features(
+        &self,
+        table: &Table,
+        rows: &[usize],
+    ) -> Result<BitMatrix, HyperfexError> {
+        let hvs = self.extractor.transform(table, Some(rows))?;
+        HdcFeatureExtractor::to_bit_matrix(&hvs)
     }
 
     /// Clinician-facing permutation importance of the *original* clinical
@@ -113,7 +129,8 @@ impl HybridClassifier {
                 let all: Vec<usize> = (0..permuted_table.n_rows()).collect();
                 let predictions = {
                     let hvs = self.extractor.transform(&permuted_table, Some(&all))?;
-                    self.model.predict(&HdcFeatureExtractor::to_matrix(&hvs)?)?
+                    let bits = HdcFeatureExtractor::to_bit_matrix(&hvs)?;
+                    self.model.predict_features(&Features::Packed(&bits))?
                 };
                 let correct = predictions
                     .iter()

@@ -1,0 +1,539 @@
+//! Packed binary design matrix for the hybrid ML path.
+//!
+//! A [`BitMatrix`] stores an `n × d` matrix of bits row-major, each row
+//! packed into `⌈d/64⌉` little-endian `u64` words exactly like
+//! [`BinaryHypervector`]. It is the bridge between the HDC feature
+//! extractor and the ML substrate: instead of unpacking every bit into an
+//! `f32` cell, hypervector-trained models keep the design matrix in packed
+//! form and run word-level popcount kernels — [`popcount_dot`],
+//! [`masked_weight_sum`], [`pairwise_hamming`] and [`hamming_between`] —
+//! over it.
+//!
+//! Every row maintains the tail invariant: bits at or above `d` in the
+//! final word of a row are zero, so popcounts over whole words are exact.
+//! The scalar oracles for the kernels live in [`crate::reference`];
+//! property tests assert parity over non-word-multiple dimensionalities.
+
+use crate::binary::{debug_assert_tail_invariant, BinaryHypervector, Dim, WORD_BITS};
+use crate::error::HdcError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense binary matrix of `n_rows × dim` bits, each row bit-packed into
+/// `dim.words()` little-endian `u64` words.
+///
+/// Bit `(r, c)` lives at word `r * dim.words() + c / 64`, bit position
+/// `c % 64`. Bits at or above `dim` in each row's final word are always
+/// zero (the same tail invariant as [`BinaryHypervector`]), so word-level
+/// popcounts over rows are exact.
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitMatrix {
+    n_rows: usize,
+    dim: Dim,
+    words: Box<[u64]>,
+}
+
+impl BitMatrix {
+    /// An all-zeros matrix.
+    #[must_use]
+    pub fn zeros(n_rows: usize, dim: Dim) -> Self {
+        Self {
+            n_rows,
+            dim,
+            words: vec![0u64; n_rows * dim.words()].into_boxed_slice(),
+        }
+    }
+
+    /// Packs a slice of hypervectors into a matrix, one hypervector per
+    /// row, copying whole storage words (no per-bit work).
+    ///
+    /// Returns an error if the slice mixes dimensionalities. An empty
+    /// slice produces a `0 × dim`-less matrix of dimension 1 — callers
+    /// that care should check [`BitMatrix::n_rows`].
+    pub fn from_hypervectors(hypervectors: &[BinaryHypervector]) -> Result<Self, HdcError> {
+        let Some(first) = hypervectors.first() else {
+            return Err(HdcError::EmptyInput);
+        };
+        let dim = first.dim();
+        for hv in hypervectors {
+            if hv.dim() != dim {
+                return Err(HdcError::DimensionMismatch {
+                    left: dim.get(),
+                    right: hv.dim().get(),
+                });
+            }
+        }
+        let wpr = dim.words();
+        let mut words = vec![0u64; hypervectors.len() * wpr].into_boxed_slice();
+        for (dst, hv) in words.chunks_mut(wpr).zip(hypervectors) {
+            dst.copy_from_slice(hv.words());
+        }
+        Ok(Self {
+            n_rows: hypervectors.len(),
+            dim,
+            words,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Bit width of each row.
+    #[inline]
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Number of storage words per row.
+    #[inline]
+    #[must_use]
+    pub fn words_per_row(&self) -> usize {
+        self.dim.words()
+    }
+
+    /// The packed storage words of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.n_rows()`.
+    #[inline]
+    #[must_use]
+    // lint: index-ok (the assert bounds r < n_rows, so the word range is in the buffer)
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.n_rows, "row index {r} out of range {}", self.n_rows);
+        let wpr = self.dim.words();
+        &self.words[r * wpr..(r + 1) * wpr]
+    }
+
+    /// Reads bit `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.n_rows()` or `c >= self.dim().get()`.
+    #[inline]
+    #[must_use]
+    // lint: index-ok (row_words is bounds-checked and the assert bounds c < dim)
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(c < self.dim.get(), "bit index {c} out of range {}", self.dim);
+        (self.row_words(r)[c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.n_rows()` or `c >= self.dim().get()`.
+    // lint: index-ok (both asserts bound the word offset inside the buffer)
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(r < self.n_rows, "row index {r} out of range {}", self.n_rows);
+        assert!(c < self.dim.get(), "bit index {c} out of range {}", self.dim);
+        let wpr = self.dim.words();
+        let mask = 1u64 << (c % WORD_BITS);
+        let idx = r * wpr + c / WORD_BITS;
+        if value {
+            self.words[idx] |= mask;
+        } else {
+            self.words[idx] &= !mask;
+        }
+        debug_assert_tail_invariant(self.dim, self.row_words(r));
+    }
+
+    /// A new matrix containing the selected rows, in the given order
+    /// (duplicates allowed).
+    ///
+    /// # Panics
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let wpr = self.dim.words();
+        let mut words = vec![0u64; indices.len() * wpr].into_boxed_slice();
+        for (dst, &i) in words.chunks_mut(wpr).zip(indices) {
+            dst.copy_from_slice(self.row_words(i));
+        }
+        Self {
+            n_rows: indices.len(),
+            dim: self.dim,
+            words,
+        }
+    }
+
+    /// Extracts row `r` as a standalone hypervector.
+    ///
+    /// # Panics
+    /// Panics if `r >= self.n_rows()`.
+    #[must_use]
+    pub fn row_hypervector(&self, r: usize) -> BinaryHypervector {
+        BinaryHypervector::collect_bits(self.dim, (0..self.dim.get()).map(|c| self.get(r, c)))
+    }
+
+    /// The transposed matrix: `dim` rows of `n_rows` bits, so that each
+    /// output row is one *column* (feature) of `self` packed as a bit
+    /// vector over the samples. Split finders use this to popcount class
+    /// memberships per feature.
+    ///
+    /// Returns an error if the matrix has zero rows (a zero-bit row width
+    /// is not representable).
+    pub fn transpose(&self) -> Result<Self, HdcError> {
+        if self.n_rows == 0 {
+            return Err(HdcError::EmptyInput);
+        }
+        let t_dim = Dim::try_new(self.n_rows)?;
+        let mut out = Self::zeros(self.dim.get(), t_dim);
+        let wpr = self.dim.words();
+        let t_wpr = t_dim.words();
+        // For each input row, scatter its set bits into the output column
+        // masks: input bit (r, c) becomes output bit (c, r).
+        for (r, row) in self.words.chunks(wpr).enumerate() {
+            let dst_word = r / WORD_BITS;
+            let dst_bit = 1u64 << (r % WORD_BITS);
+            for (w, &bits) in row.iter().enumerate() {
+                let mut rest = bits;
+                while rest != 0 {
+                    let c = w * WORD_BITS + rest.trailing_zeros() as usize;
+                    // lint: index-ok (c < dim by the row tail invariant; dst_word < t_wpr since r < n_rows)
+                    out.words[c * t_wpr + dst_word] |= dst_bit;
+                    rest &= rest - 1;
+                }
+            }
+        }
+        for row in out.words.chunks(t_wpr) {
+            debug_assert_tail_invariant(t_dim, row);
+        }
+        Ok(out)
+    }
+
+    /// Number of set bits in row `r`.
+    #[inline]
+    #[must_use]
+    pub fn row_count_ones(&self, r: usize) -> usize {
+        self.row_words(r)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BitMatrix {{ rows: {}, dim: {}, words: {} }}",
+            self.n_rows,
+            self.dim,
+            self.words.len()
+        )
+    }
+}
+
+/// Popcount dot product of two packed binary rows: `Σᵢ aᵢ·bᵢ`, i.e. the
+/// number of positions set in both. Relies on the tail invariant of both
+/// operands so whole-word AND+popcount is exact.
+///
+/// # Panics
+/// Panics (debug builds) if the slices have different lengths.
+#[inline]
+#[must_use]
+pub fn popcount_dot(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len(), "word-count mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x & y).count_ones() as usize)
+        .sum()
+}
+
+/// Hamming distance between two packed binary rows (XOR + popcount).
+///
+/// # Panics
+/// Panics (debug builds) if the slices have different lengths.
+#[inline]
+#[must_use]
+pub fn hamming_words(a: &[u64], b: &[u64]) -> usize {
+    debug_assert_eq!(a.len(), b.len(), "word-count mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x ^ y).count_ones() as usize)
+        .sum()
+}
+
+/// Weighted sum of a binary row: `Σⱼ wⱼ·xⱼ` summing `weights[j]` over the
+/// set bits of `row`, via per-word bit iteration into four independent
+/// accumulator lanes (round-robin) that are combined pairwise at the end.
+///
+/// `weights.len()` must equal the row's bit width; the tail invariant
+/// guarantees no set bit indexes past it. Because the four lanes change
+/// the floating-point summation order relative to a naive scan, callers
+/// comparing against [`crate::reference::masked_weight_sum`] should use a
+/// relative tolerance, not bit equality.
+#[must_use]
+// lint: index-ok (tail invariant bounds tz below chunk.len(); lane & 3 is always < 4)
+pub fn masked_weight_sum(row: &[u64], weights: &[f64]) -> f64 {
+    debug_assert!(
+        weights.len() <= row.len() * WORD_BITS,
+        "weight vector longer than the packed row"
+    );
+    let mut acc = [0.0f64; 4];
+    let mut lane = 0usize;
+    for (word, chunk) in row.iter().zip(weights.chunks(WORD_BITS)) {
+        let mut bits = *word;
+        while bits != 0 {
+            let tz = bits.trailing_zeros() as usize;
+            acc[lane & 3] += chunk[tz];
+            lane += 1;
+            bits &= bits - 1;
+        }
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3])
+}
+
+/// Scatter-add of a scalar into a weight vector: `out[j] += delta` for
+/// every set bit `j` of `row` (the gradient-update dual of
+/// [`masked_weight_sum`]; every set bit touches a distinct element, so
+/// the walk order cannot affect the result). `out.len()` must equal the
+/// row's bit width; the tail invariant guarantees no set bit indexes
+/// past it.
+// lint: index-ok (tail invariant bounds tz below chunk.len())
+pub fn masked_scatter_add(row: &[u64], delta: f64, out: &mut [f64]) {
+    debug_assert!(
+        out.len() <= row.len() * WORD_BITS,
+        "output vector longer than the packed row"
+    );
+    for (word, chunk) in row.iter().zip(out.chunks_mut(WORD_BITS)) {
+        let mut bits = *word;
+        while bits != 0 {
+            let tz = bits.trailing_zeros() as usize;
+            chunk[tz] += delta;
+            bits &= bits - 1;
+        }
+    }
+}
+
+/// The full symmetric `n × n` Hamming distance matrix of a packed design
+/// matrix, returned row-major as `n·n` entries (`out[i*n + j]`).
+///
+/// Computed blocked over row ranges: the upper triangle (including the
+/// zero diagonal) is split across rayon workers in contiguous row blocks,
+/// then mirrored into the lower triangle with word copies.
+#[must_use]
+pub fn pairwise_hamming(m: &BitMatrix) -> Vec<u32> {
+    let n = m.n_rows();
+    let mut out = vec![0u32; n * n];
+    if n == 0 {
+        return out;
+    }
+    let block = n.div_ceil(rayon::current_num_threads().max(1));
+    rayon::scope(|s| {
+        for (b, rows) in out.chunks_mut(block * n).enumerate() {
+            let lo = b * block;
+            s.spawn(move |_| {
+                // lint: index-ok (i < n by chunking, j ranges over i..n)
+                for (r, row_out) in rows.chunks_mut(n).enumerate() {
+                    let i = lo + r;
+                    let a = m.row_words(i);
+                    for (j, cell) in row_out.iter_mut().enumerate().skip(i + 1) {
+                        *cell = hamming_words(a, m.row_words(j)) as u32;
+                    }
+                }
+            });
+        }
+    });
+    // Mirror the upper triangle down.
+    for i in 1..n {
+        for j in 0..i {
+            out[i * n + j] = out[j * n + i];
+        }
+    }
+    out
+}
+
+/// The rectangular `q × t` Hamming distance matrix between every query row
+/// and every train row, row-major (`out[qi*t + tj]`).
+///
+/// Returns an error if the two matrices have different bit widths.
+pub fn hamming_between(queries: &BitMatrix, train: &BitMatrix) -> Result<Vec<u32>, HdcError> {
+    if queries.dim() != train.dim() {
+        return Err(HdcError::DimensionMismatch {
+            left: queries.dim().get(),
+            right: train.dim().get(),
+        });
+    }
+    let t = train.n_rows();
+    let mut out = vec![0u32; queries.n_rows() * t];
+    for (qi, row_out) in out.chunks_mut(t.max(1)).enumerate() {
+        let q = queries.row_words(qi);
+        for (tj, cell) in row_out.iter_mut().enumerate() {
+            *cell = hamming_words(q, train.row_words(tj)) as u32;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn random_stack(n: usize, d: usize, seed: u64) -> Vec<BinaryHypervector> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| BinaryHypervector::random(Dim::new(d), &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn packs_hypervectors_word_for_word() {
+        let hvs = random_stack(5, 130, 1);
+        let m = BitMatrix::from_hypervectors(&hvs).unwrap();
+        assert_eq!(m.n_rows(), 5);
+        assert_eq!(m.dim().get(), 130);
+        assert_eq!(m.words_per_row(), 3);
+        for (r, hv) in hvs.iter().enumerate() {
+            assert_eq!(m.row_words(r), hv.words());
+            for c in 0..130 {
+                assert_eq!(m.get(r, c), hv.get(c));
+            }
+            assert_eq!(m.row_hypervector(r), *hv);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_mixed_dimensions() {
+        assert_eq!(
+            BitMatrix::from_hypervectors(&[]),
+            Err(HdcError::EmptyInput)
+        );
+        let mut rng = SplitMix64::new(2);
+        let a = BinaryHypervector::random(Dim::new(64), &mut rng);
+        let b = BinaryHypervector::random(Dim::new(65), &mut rng);
+        assert!(BitMatrix::from_hypervectors(&[a, b]).is_err());
+    }
+
+    #[test]
+    fn set_and_get_roundtrip_with_tail() {
+        let mut m = BitMatrix::zeros(3, Dim::new(70));
+        m.set(0, 0, true);
+        m.set(1, 69, true);
+        m.set(2, 64, true);
+        assert!(m.get(0, 0) && m.get(1, 69) && m.get(2, 64));
+        assert!(!m.get(0, 69));
+        m.set(1, 69, false);
+        assert!(!m.get(1, 69));
+        assert_eq!(m.row_count_ones(2), 1);
+    }
+
+    #[test]
+    fn select_rows_copies_in_order_with_duplicates() {
+        let hvs = random_stack(4, 100, 3);
+        let m = BitMatrix::from_hypervectors(&hvs).unwrap();
+        let s = m.select_rows(&[2, 0, 2]);
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(s.row_words(0), m.row_words(2));
+        assert_eq!(s.row_words(1), m.row_words(0));
+        assert_eq!(s.row_words(2), m.row_words(2));
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        let hvs = random_stack(7, 100, 4);
+        let m = BitMatrix::from_hypervectors(&hvs).unwrap();
+        let t = m.transpose().unwrap();
+        assert_eq!(t.n_rows(), 100);
+        assert_eq!(t.dim().get(), 7);
+        for r in 0..7 {
+            for c in 0..100 {
+                assert_eq!(m.get(r, c), t.get(c, r), "({r},{c})");
+            }
+        }
+        assert!(BitMatrix::zeros(0, Dim::new(8)).transpose().is_err());
+    }
+
+    #[test]
+    fn popcount_dot_matches_per_bit() {
+        let hvs = random_stack(2, 1000, 5);
+        let expected = (0..1000)
+            .filter(|&i| hvs[0].get(i) && hvs[1].get(i))
+            .count();
+        assert_eq!(popcount_dot(hvs[0].words(), hvs[1].words()), expected);
+    }
+
+    #[test]
+    fn hamming_words_matches_hypervector_hamming() {
+        let hvs = random_stack(2, 10_050, 6);
+        assert_eq!(
+            hamming_words(hvs[0].words(), hvs[1].words()),
+            hvs[0].hamming(&hvs[1])
+        );
+    }
+
+    #[test]
+    fn masked_weight_sum_matches_naive_within_tolerance() {
+        let hvs = random_stack(1, 1000, 7);
+        let weights: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let fast = masked_weight_sum(hvs[0].words(), &weights);
+        let naive: f64 = (0..1000).filter(|&i| hvs[0].get(i)).map(|i| weights[i]).sum();
+        assert!((fast - naive).abs() <= 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn masked_scatter_add_hits_exactly_the_set_bits() {
+        let hvs = random_stack(1, 130, 12);
+        let m = BitMatrix::from_hypervectors(&hvs).unwrap();
+        let mut fast = vec![1.5f64; 130];
+        masked_scatter_add(m.row_words(0), -0.25, &mut fast);
+        let mut naive = vec![1.5f64; 130];
+        crate::reference::masked_scatter_add(&m, 0, -0.25, &mut naive);
+        for (c, (a, b)) in fast.iter().zip(&naive).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "column {c}");
+        }
+    }
+
+    #[test]
+    fn pairwise_hamming_is_symmetric_with_zero_diagonal() {
+        let hvs = random_stack(9, 130, 8);
+        let m = BitMatrix::from_hypervectors(&hvs).unwrap();
+        let d = pairwise_hamming(&m);
+        for i in 0..9 {
+            assert_eq!(d[i * 9 + i], 0);
+            for j in 0..9 {
+                assert_eq!(d[i * 9 + j], d[j * 9 + i]);
+                assert_eq!(d[i * 9 + j] as usize, hvs[i].hamming(&hvs[j]));
+            }
+        }
+        assert!(pairwise_hamming(&BitMatrix::zeros(0, Dim::new(8))).is_empty());
+    }
+
+    #[test]
+    fn hamming_between_covers_every_pair() {
+        let q = BitMatrix::from_hypervectors(&random_stack(3, 200, 9)).unwrap();
+        let t = BitMatrix::from_hypervectors(&random_stack(5, 200, 10)).unwrap();
+        let d = hamming_between(&q, &t).unwrap();
+        assert_eq!(d.len(), 15);
+        for qi in 0..3 {
+            for tj in 0..5 {
+                assert_eq!(
+                    d[qi * 5 + tj] as usize,
+                    q.row_hypervector(qi).hamming(&t.row_hypervector(tj))
+                );
+            }
+        }
+        let narrow = BitMatrix::zeros(2, Dim::new(100));
+        assert!(hamming_between(&q, &narrow).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = BitMatrix::from_hypervectors(&random_stack(3, 77, 11)).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: BitMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn debug_output_is_compact() {
+        let m = BitMatrix::zeros(4, Dim::PAPER);
+        let s = format!("{m:?}");
+        assert!(s.len() < 80, "debug output too long: {s}");
+        assert!(s.contains("10000"));
+    }
+}

@@ -24,18 +24,19 @@ impl HammingKnnClassifier {
     /// Creates an unfitted classifier with `k` neighbours and unweighted
     /// majority voting.
     ///
-    /// # Panics
-    /// Panics if `k == 0`.
-    #[must_use]
-    pub fn new(k: usize) -> Self {
-        assert!(k > 0, "k must be at least 1");
-        Self {
+    /// Returns [`HdcError::InvalidConfig`] if `k == 0` — the same typed
+    /// error form as [`crate::classify::LeaveOneOut::with_k`].
+    pub fn new(k: usize) -> Result<Self, HdcError> {
+        if k == 0 {
+            return Err(HdcError::InvalidConfig("k must be at least 1".into()));
+        }
+        Ok(Self {
             k,
             weighted: false,
             train: Vec::new(),
             labels: Vec::new(),
             n_classes: 0,
-        }
+        })
     }
 
     /// Enables inverse-distance weighting of neighbour votes.
@@ -164,7 +165,7 @@ mod tests {
     fn one_nn_classifies_clusters() {
         let (hvs, labels) = clustered_data();
         let enc = LinearEncoder::new(Dim::new(4_096), 0.0, 100.0, 42).unwrap();
-        let mut clf = HammingKnnClassifier::new(1);
+        let mut clf = HammingKnnClassifier::new(1).unwrap();
         clf.fit(hvs, labels).unwrap();
         assert_eq!(clf.predict(&enc.encode(12.0)).unwrap(), 0);
         assert_eq!(clf.predict(&enc.encode(88.0)).unwrap(), 1);
@@ -182,9 +183,9 @@ mod tests {
             enc.encode(95.0),
         ];
         let labels = vec![0, 0, 1, 1];
-        let mut k1 = HammingKnnClassifier::new(1);
+        let mut k1 = HammingKnnClassifier::new(1).unwrap();
         k1.fit(hvs.clone(), labels.clone()).unwrap();
-        let mut k3 = HammingKnnClassifier::new(3);
+        let mut k3 = HammingKnnClassifier::new(3).unwrap();
         k3.fit(hvs, labels).unwrap();
         let query = enc.encode(50.5);
         // 1-NN is fooled by the outlier; 3-NN recovers.
@@ -198,9 +199,9 @@ mod tests {
         // Two far class-0 points, one adjacent class-1 point; k = 3.
         let hvs = vec![enc.encode(10.0), enc.encode(12.0), enc.encode(49.0)];
         let labels = vec![0, 0, 1];
-        let mut plain = HammingKnnClassifier::new(3);
+        let mut plain = HammingKnnClassifier::new(3).unwrap();
         plain.fit(hvs.clone(), labels.clone()).unwrap();
-        let mut weighted = HammingKnnClassifier::new(3).with_distance_weighting();
+        let mut weighted = HammingKnnClassifier::new(3).unwrap().with_distance_weighting();
         weighted.fit(hvs, labels).unwrap();
         let query = enc.encode(50.0);
         assert_eq!(
@@ -217,14 +218,14 @@ mod tests {
 
     #[test]
     fn unfitted_predict_errors() {
-        let clf = HammingKnnClassifier::new(1);
+        let clf = HammingKnnClassifier::new(1).unwrap();
         let q = BinaryHypervector::zeros(Dim::new(64));
         assert_eq!(clf.predict(&q), Err(HdcError::NotFitted));
     }
 
     #[test]
     fn fit_validates_inputs() {
-        let mut clf = HammingKnnClassifier::new(1);
+        let mut clf = HammingKnnClassifier::new(1).unwrap();
         assert_eq!(clf.fit(vec![], vec![]), Err(HdcError::EmptyInput));
         let hv = BinaryHypervector::zeros(Dim::new(64));
         assert!(matches!(
@@ -239,15 +240,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "k must be at least 1")]
-    fn zero_k_panics() {
-        let _ = HammingKnnClassifier::new(0);
+    fn zero_k_is_a_typed_error() {
+        assert!(matches!(
+            HammingKnnClassifier::new(0),
+            Err(HdcError::InvalidConfig(_))
+        ));
     }
 
     #[test]
     fn exclusion_skips_self_match() {
         let (hvs, labels) = clustered_data();
-        let mut clf = HammingKnnClassifier::new(1);
+        let mut clf = HammingKnnClassifier::new(1).unwrap();
         clf.fit(hvs.clone(), labels).unwrap();
         // Excluding index 0, the prediction for hvs[0] must come from a
         // different (still class-0) neighbour.
@@ -257,7 +260,7 @@ mod tests {
     #[test]
     fn batch_matches_sequential() {
         let (hvs, labels) = clustered_data();
-        let mut clf = HammingKnnClassifier::new(1);
+        let mut clf = HammingKnnClassifier::new(1).unwrap();
         clf.fit(hvs.clone(), labels).unwrap();
         let batch = clf.predict_batch(&hvs).unwrap();
         for (q, &p) in hvs.iter().zip(&batch) {
@@ -268,7 +271,7 @@ mod tests {
     #[test]
     fn query_dimension_mismatch_errors() {
         let (hvs, labels) = clustered_data();
-        let mut clf = HammingKnnClassifier::new(1);
+        let mut clf = HammingKnnClassifier::new(1).unwrap();
         clf.fit(hvs, labels).unwrap();
         let bad = BinaryHypervector::zeros(Dim::new(64));
         assert!(matches!(

@@ -31,9 +31,10 @@ impl CategoricalEncoder {
         codes.push(base.clone());
         for c in 1..n_categories {
             let mut rng = root.derive(1, c as u64);
-            let code = base
-                .flip_balanced(quarter, &mut rng)
-                .expect("quarter flips always fit a balanced vector");
+            // Quarter flips always fit a balanced vector (⌊d/4⌋ ≤ ⌊d/2⌋
+            // ones and zeros), so this propagates instead of panicking
+            // purely for the typed-error contract.
+            let code = base.flip_balanced(quarter, &mut rng)?;
             codes.push(code);
         }
         Ok(Self { codes })

@@ -48,6 +48,7 @@
 
 pub mod binary;
 pub mod bipolar;
+pub mod bitmatrix;
 pub mod bundle;
 pub mod classify;
 pub mod encoding;
@@ -62,6 +63,7 @@ pub mod ternary;
 
 pub use binary::{BinaryHypervector, Dim};
 pub use bipolar::BipolarHypervector;
+pub use bitmatrix::BitMatrix;
 pub use error::HdcError;
 pub use sdm::SparseDistributedMemory;
 pub use ternary::TernaryHypervector;
@@ -70,6 +72,7 @@ pub use ternary::TernaryHypervector;
 pub mod prelude {
     pub use crate::binary::{BinaryHypervector, Dim};
     pub use crate::bipolar::BipolarHypervector;
+    pub use crate::bitmatrix::BitMatrix;
     pub use crate::bundle;
     pub use crate::classify::{
         CentroidClassifier, HammingKnnClassifier, LeaveOneOut, LoocvOutcome,

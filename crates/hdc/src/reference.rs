@@ -9,6 +9,7 @@
 //! dimensionalities, including non-multiple-of-64 tail-word cases.
 
 use crate::binary::BinaryHypervector;
+use crate::bitmatrix::BitMatrix;
 use crate::encoding::LinearEncoder;
 use crate::error::HdcError;
 
@@ -80,4 +81,56 @@ pub fn weighted_majority(
 pub fn majority(inputs: &[BinaryHypervector]) -> Result<BinaryHypervector, HdcError> {
     let weighted: Vec<(BinaryHypervector, u32)> = inputs.iter().map(|hv| (hv.clone(), 1)).collect();
     weighted_majority(&weighted)
+}
+
+/// Per-bit dot product of two [`BitMatrix`] rows: counts positions where
+/// both bits are set, one bit at a time.
+#[must_use]
+pub fn popcount_dot(m: &BitMatrix, a: usize, b: usize) -> usize {
+    (0..m.dim().get())
+        .filter(|&c| m.get(a, c) && m.get(b, c))
+        .count()
+}
+
+/// Per-bit Hamming distance between two [`BitMatrix`] rows.
+#[must_use]
+pub fn row_hamming(m: &BitMatrix, a: usize, b: usize) -> usize {
+    (0..m.dim().get())
+        .filter(|&c| m.get(a, c) != m.get(b, c))
+        .count()
+}
+
+/// Per-bit weighted sum of a [`BitMatrix`] row: `Σⱼ wⱼ·xⱼ` accumulated in
+/// naive left-to-right order. The word-level kernel uses four accumulator
+/// lanes, so parity tests against this oracle must allow a relative
+/// floating-point tolerance.
+#[must_use]
+pub fn masked_weight_sum(m: &BitMatrix, row: usize, weights: &[f64]) -> f64 {
+    (0..m.dim().get())
+        .filter(|&c| m.get(row, c))
+        .map(|c| weights[c])
+        .sum()
+}
+
+/// Per-bit scatter-add oracle: `out[c] += delta` for every set bit of the
+/// given [`BitMatrix`] row. Additions are exact duals of each other in the
+/// kernel and the oracle (one add per set bit, same order), so parity
+/// tests may use bit equality.
+pub fn masked_scatter_add(m: &BitMatrix, row: usize, delta: f64, out: &mut [f64]) {
+    for c in (0..m.dim().get()).filter(|&c| m.get(row, c)) {
+        out[c] += delta;
+    }
+}
+
+/// Per-bit symmetric pairwise Hamming matrix, row-major `n·n` entries.
+#[must_use]
+pub fn pairwise_hamming(m: &BitMatrix) -> Vec<u32> {
+    let n = m.n_rows();
+    let mut out = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            out[i * n + j] = row_hamming(m, i, j) as u32;
+        }
+    }
+    out
 }

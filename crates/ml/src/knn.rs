@@ -3,7 +3,10 @@
 
 use crate::error::MlError;
 use crate::linalg::Matrix;
-use crate::traits::{validate_fit_inputs, Estimator, ProbabilisticEstimator};
+use crate::traits::{
+    validate_fit_inputs, validate_packed_fit_inputs, Estimator, Features, ProbabilisticEstimator,
+};
+use hyperfex_hdc::bitmatrix::{hamming_between, BitMatrix};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -35,10 +38,18 @@ impl Default for KnnParams {
 }
 
 /// A fitted (memorised) k-NN classifier.
+///
+/// Fitting on [`Features::Packed`] stores the training set in bit-packed
+/// form: on 0/1 features squared Euclidean distance *equals* Hamming
+/// distance, so neighbour search runs on integer popcounts
+/// ([`hamming_between`]) and reproduces the dense predictions bit-exactly
+/// (f32 represents every distance ≤ 2²⁴ exactly, and integer ties order
+/// the same way as their f32 images).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KnnClassifier {
     params: KnnParams,
     x: Option<Matrix>,
+    packed: Option<BitMatrix>,
     y: Vec<usize>,
     n_classes: usize,
 }
@@ -50,12 +61,35 @@ impl KnnClassifier {
         Self {
             params,
             x: None,
+            packed: None,
             y: Vec::new(),
             n_classes: 0,
         }
     }
 
     fn vote(&self, row: &[f32]) -> Result<Vec<f64>, MlError> {
+        if self.x.is_none() {
+            // Fitted packed (or not at all): bridge through the bit rows.
+            let packed = self.packed.as_ref().ok_or(MlError::NotFitted)?;
+            if row.len() != packed.dim().get() {
+                return Err(MlError::ShapeMismatch {
+                    expected: format!("{} features", packed.dim().get()),
+                    got: format!("{} features", row.len()),
+                });
+            }
+            let n = packed.n_rows();
+            let k = self.params.k.min(n);
+            let mut best: Vec<(f32, usize)> = Vec::with_capacity(k + 1);
+            for i in 0..n {
+                let d = squared_distance_to_bits(row, packed.row_words(i));
+                let pos = best.partition_point(|&(bd, bi)| bd < d || (bd == d && bi < i));
+                if pos < k {
+                    best.insert(pos, (d, i));
+                    best.truncate(k);
+                }
+            }
+            return Ok(self.tally(&best));
+        }
         let x = self.x.as_ref().ok_or(MlError::NotFitted)?;
         if row.len() != x.n_cols() {
             return Err(MlError::ShapeMismatch {
@@ -73,6 +107,34 @@ impl KnnClassifier {
                 best.truncate(k);
             }
         }
+        Ok(self.tally(&best))
+    }
+
+    fn tally(&self, best: &[(f32, usize)]) -> Vec<f64> {
+        let mut votes = vec![0.0f64; self.n_classes];
+        for &(d, i) in best {
+            let w = match self.params.weights {
+                KnnWeights::Uniform => 1.0,
+                KnnWeights::Distance => 1.0 / (f64::from(d).sqrt() + 1e-12),
+            };
+            votes[self.y[i]] += w;
+        }
+        votes
+    }
+
+    /// Votes for one packed query given its precomputed Hamming distances
+    /// to every training row. Distances are exact integers, so the f32
+    /// image of each is exact too and the (distance, index) insertion
+    /// order matches the dense path bit-for-bit.
+    fn tally_hamming(&self, dists: &[u32], k: usize) -> Vec<f64> {
+        let mut best: Vec<(u32, usize)> = Vec::with_capacity(k + 1);
+        for (i, &d) in dists.iter().enumerate() {
+            let pos = best.partition_point(|&(bd, bi)| bd < d || (bd == d && bi < i));
+            if pos < k {
+                best.insert(pos, (d, i));
+                best.truncate(k);
+            }
+        }
         let mut votes = vec![0.0f64; self.n_classes];
         for &(d, i) in &best {
             let w = match self.params.weights {
@@ -81,8 +143,32 @@ impl KnnClassifier {
             };
             votes[self.y[i]] += w;
         }
-        Ok(votes)
+        votes
     }
+
+    fn argmax(votes: &[f64]) -> usize {
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map_or(0, |(c, _)| c)
+    }
+}
+
+/// Squared Euclidean distance between a dense `f32` row and a bit-packed
+/// 0/1 row, evaluated in the same left-to-right order (and thus the same
+/// f32 rounding) as [`Matrix::squared_distance`] against the unpacked row.
+// lint: index-ok (chunk index w < row.len().div_ceil(64) <= words.len() by dim match)
+fn squared_distance_to_bits(row: &[f32], words: &[u64]) -> f32 {
+    let mut acc = 0.0f32;
+    for (w, chunk) in row.chunks(64).enumerate() {
+        let word = words[w];
+        for (j, &v) in chunk.iter().enumerate() {
+            let d = v - ((word >> j) & 1) as f32;
+            acc += d * d;
+        }
+    }
+    acc
 }
 
 impl Estimator for KnnClassifier {
@@ -96,6 +182,7 @@ impl Estimator for KnnClassifier {
         let n_classes = validate_fit_inputs(x, y)?;
         self.n_classes = n_classes;
         self.x = Some(x.clone());
+        self.packed = None;
         self.y = y.to_vec();
         Ok(())
     }
@@ -103,19 +190,52 @@ impl Estimator for KnnClassifier {
     fn predict(&self, x: &Matrix) -> Result<Vec<usize>, MlError> {
         (0..x.n_rows())
             .into_par_iter()
-            .map(|i| {
-                let votes = self.vote(x.row(i))?;
-                Ok(votes
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
-                    .map_or(0, |(c, _)| c))
-            })
+            .map(|i| Ok(Self::argmax(&self.vote(x.row(i))?)))
             .collect()
     }
 
     fn name(&self) -> &'static str {
         "KNN"
+    }
+
+    fn fit_features(&mut self, x: &Features<'_>, y: &[usize]) -> Result<(), MlError> {
+        let b = match x {
+            Features::Dense(m) => return self.fit(m, y),
+            Features::Packed(b) => b,
+        };
+        if self.params.k == 0 {
+            return Err(MlError::InvalidParameter {
+                name: "k",
+                reason: "must be at least 1".into(),
+            });
+        }
+        let n_classes = validate_packed_fit_inputs(b, y)?;
+        self.n_classes = n_classes;
+        self.x = None;
+        self.packed = Some((*b).clone());
+        self.y = y.to_vec();
+        Ok(())
+    }
+
+    fn predict_features(&self, x: &Features<'_>) -> Result<Vec<usize>, MlError> {
+        match (x, &self.packed) {
+            (Features::Packed(q), Some(train)) => {
+                // Fully packed: one rectangular popcount pass gives every
+                // query×train Hamming distance, then the usual vote.
+                let dists = hamming_between(q, train).map_err(|_| MlError::ShapeMismatch {
+                    expected: format!("{} features", train.dim().get()),
+                    got: format!("{} features", q.dim().get()),
+                })?;
+                let n = train.n_rows();
+                let k = self.params.k.min(n);
+                Ok(dists
+                    .par_chunks(n)
+                    .map(|row| Self::argmax(&self.tally_hamming(row, k)))
+                    .collect())
+            }
+            (Features::Packed(q), None) => self.predict(&crate::traits::densify(q)),
+            (Features::Dense(m), _) => self.predict(m),
+        }
     }
 }
 
@@ -236,5 +356,58 @@ mod tests {
         let mut knn = KnnClassifier::new(KnnParams::default());
         knn.fit(&x, &y).unwrap();
         assert!(knn.predict(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    fn random_bits(n: usize, dim: usize, seed: u64) -> BitMatrix {
+        use hyperfex_hdc::prelude::*;
+        let mut rng = SplitMix64::new(seed);
+        let d = Dim::try_new(dim).unwrap();
+        let hvs: Vec<BinaryHypervector> = (0..n)
+            .map(|_| BinaryHypervector::random(d, &mut rng))
+            .collect();
+        BitMatrix::from_hypervectors(&hvs).unwrap()
+    }
+
+    #[test]
+    fn packed_fit_predict_matches_dense_bit_exactly() {
+        for weights in [KnnWeights::Uniform, KnnWeights::Distance] {
+            let bits = random_bits(40, 130, 7);
+            let y: Vec<usize> = (0..40).map(|i| usize::from(i % 3 == 0)).collect();
+            let dense = crate::traits::densify(&bits);
+
+            let mut a = KnnClassifier::new(KnnParams { k: 5, weights });
+            a.fit(&dense, &y).unwrap();
+            let mut b = KnnClassifier::new(KnnParams { k: 5, weights });
+            b.fit_features(&Features::Packed(&bits), &y).unwrap();
+
+            let queries = random_bits(15, 130, 8);
+            let dense_q = crate::traits::densify(&queries);
+            let expected = a.predict(&dense_q).unwrap();
+            // Packed queries against a packed-fitted model (popcount path).
+            assert_eq!(
+                b.predict_features(&Features::Packed(&queries)).unwrap(),
+                expected
+            );
+            // Dense queries against a packed-fitted model (bridge path).
+            assert_eq!(b.predict(&dense_q).unwrap(), expected);
+            // Packed queries against a dense-fitted model (densify path).
+            assert_eq!(
+                a.predict_features(&Features::Packed(&queries)).unwrap(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn packed_dim_mismatch_errors() {
+        let bits = random_bits(10, 64, 1);
+        let y: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let mut knn = KnnClassifier::new(KnnParams::default());
+        knn.fit_features(&Features::Packed(&bits), &y).unwrap();
+        let wrong = random_bits(3, 128, 2);
+        assert!(matches!(
+            knn.predict_features(&Features::Packed(&wrong)),
+            Err(MlError::ShapeMismatch { .. })
+        ));
     }
 }

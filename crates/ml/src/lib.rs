@@ -44,7 +44,7 @@ pub mod tree;
 
 pub use error::MlError;
 pub use linalg::Matrix;
-pub use traits::{Estimator, ProbabilisticEstimator};
+pub use traits::{densify, Estimator, Features, ProbabilisticEstimator};
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
@@ -64,6 +64,6 @@ pub mod prelude {
     pub use crate::nn::{EarlyStopping, SequentialNn, SequentialNnParams};
     pub use crate::preprocessing::{MinMaxScaler, StandardScaler};
     pub use crate::svm::{Kernel, SvcClassifier, SvcParams};
-    pub use crate::traits::{Estimator, ProbabilisticEstimator};
+    pub use crate::traits::{densify, Estimator, Features, ProbabilisticEstimator};
     pub use crate::tree::{DecisionTreeClassifier, TreeParams};
 }

@@ -61,13 +61,27 @@ impl Matrix {
         })
     }
 
-    /// Creates a matrix from `f64` rows, narrowing to `f32`.
+    /// Creates a matrix from `f64` rows, narrowing to `f32` directly into
+    /// the flat buffer (no intermediate `Vec<Vec<f32>>` — on a 520×10,000
+    /// hypervector matrix the per-row allocations would total ~21 MB).
     pub fn from_rows_f64(rows: &[Vec<f64>]) -> Result<Self, MlError> {
-        let narrowed: Vec<Vec<f32>> = rows
-            .iter()
-            .map(|r| r.iter().map(|&v| v as f32).collect())
-            .collect();
-        Self::from_rows(&narrowed)
+        let n = rows.len();
+        let cols = rows.first().map_or(0, Vec::len);
+        let mut data = Vec::with_capacity(n * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(MlError::ShapeMismatch {
+                    expected: format!("row of length {cols}"),
+                    got: format!("row {i} of length {}", r.len()),
+                });
+            }
+            data.extend(r.iter().map(|&v| v as f32));
+        }
+        Ok(Self {
+            rows: n,
+            cols,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -368,5 +382,15 @@ mod tests {
     fn from_rows_f64_narrows() {
         let m = Matrix::from_rows_f64(&[vec![1.5f64, 2.5]]).unwrap();
         assert_eq!(m.row(0), &[1.5f32, 2.5]);
+    }
+
+    #[test]
+    fn from_rows_f64_rejects_ragged_rows() {
+        let e = Matrix::from_rows_f64(&[vec![1.0f64], vec![1.0, 2.0]]);
+        assert!(matches!(e, Err(MlError::ShapeMismatch { .. })));
+        // Matches the `from_rows` contract on the same shapes.
+        let direct = Matrix::from_rows_f64(&[vec![1.0f64, 2.0], vec![3.0, 4.0]]).unwrap();
+        let via = Matrix::from_rows(&[vec![1.0f32, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(direct, via);
     }
 }

@@ -11,7 +11,10 @@ use crate::error::MlError;
 use crate::linalg::Matrix;
 use crate::linear::{log_loss, sigmoid};
 use crate::preprocessing::StandardScaler;
-use crate::traits::{validate_fit_inputs, Estimator, ProbabilisticEstimator};
+use crate::traits::{
+    validate_fit_inputs, validate_packed_fit_inputs, Estimator, Features, ProbabilisticEstimator,
+};
+use hyperfex_hdc::bitmatrix::{masked_weight_sum, BitMatrix};
 use serde::{Deserialize, Serialize};
 
 /// Hyper-parameters (defaults mirror sklearn: `C = 1.0`, `max_iter` capped).
@@ -75,6 +78,133 @@ impl LogisticRegression {
             z += w * f64::from(v);
         }
         z
+    }
+
+    /// Packed-input fit. Runs the same Nesterov gradient descent as
+    /// [`Estimator::fit`] but never materialises the standardised matrix:
+    /// a scaled 0/1 feature takes one of two per-column values, so the
+    /// look-ahead logit collapses to
+    /// `z = base − Σⱼ rⱼ·mⱼ + Σ_{set bits} rⱼ` with `rⱼ = (wⱼ + μ·vwⱼ)/σⱼ`
+    /// hoisted once per iteration (the dense loop recomputes it per row),
+    /// and the weight gradient `Σᵢ errᵢ·bᵢⱼ` to one gather over each
+    /// feature's column of a one-time transpose (the bits never change
+    /// across iterations). The reformulated sums round differently from the dense
+    /// ones, so parity with the dense fit is close (≤1e-5 on logits)
+    /// rather than bit-exact; the scaler statistics themselves are
+    /// bit-identical.
+    fn fit_packed(&mut self, bits: &BitMatrix, y: &[usize]) -> Result<(), MlError> {
+        let n_classes = validate_packed_fit_inputs(bits, y)?;
+        if n_classes > 2 {
+            return Err(MlError::InvalidParameter {
+                name: "y",
+                reason: "logistic regression supports binary labels only".into(),
+            });
+        }
+        if self.params.c <= 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "c",
+                reason: "must be positive".into(),
+            });
+        }
+        self.scaler.fit_packed(bits)?;
+        let n = bits.n_rows();
+        let p = bits.dim().get();
+        let lambda = 1.0 / (self.params.c * n as f64);
+        self.weights = vec![0.0; p];
+        self.bias = 0.0;
+
+        let lr = 1.0 / (p as f64 / 4.0 + lambda);
+        let momentum = 0.9;
+        let mut vel_w = vec![0.0f64; p];
+        let mut vel_b = 0.0f64;
+
+        let means = self.scaler.means().to_vec();
+        let inv_s: Vec<f64> = self.scaler.stds().iter().map(|&s| 1.0 / s).collect();
+
+        // The bits never change across iterations, so the gradient
+        // Σᵢ errᵢ·bᵢⱼ can run column-major over a one-time transpose with
+        // the gather kernel instead of a per-row scatter — one
+        // masked_weight_sum over an n-bit column per feature.
+        let cols = bits.transpose().map_err(|_| MlError::EmptyTrainingSet)?;
+
+        // Look-ahead weights in original bit coordinates, refreshed once
+        // per iteration.
+        let mut r = vec![0.0f64; p];
+        let mut err = vec![0.0f64; n];
+        for _ in 0..self.params.max_iter {
+            let mut offset = 0.0f64;
+            for (((rj, &w), &vw), (&m, &is)) in r
+                .iter_mut()
+                .zip(&self.weights)
+                .zip(&vel_w)
+                .zip(means.iter().zip(&inv_s))
+            {
+                *rj = (w + momentum * vw) * is;
+                offset += *rj * m;
+            }
+            let base = self.bias + momentum * vel_b - offset;
+
+            let mut err_sum = 0.0f64;
+            for ((e, &yi), i) in err.iter_mut().zip(y).zip(0..n) {
+                let z = base + masked_weight_sum(bits.row_words(i), &r);
+                *e = sigmoid(z) - yi as f64;
+                err_sum += *e;
+            }
+
+            let inv_n = 1.0 / n as f64;
+            let mut grad_norm = 0.0f64;
+            for (((j, w), vw), (&m, &is)) in self
+                .weights
+                .iter_mut()
+                .enumerate()
+                .zip(vel_w.iter_mut())
+                .zip(means.iter().zip(&inv_s))
+            {
+                // Chain rule back into scaled coordinates: the gradient the
+                // dense loop accumulates is Σᵢ errᵢ·(bᵢⱼ − mⱼ)/σⱼ.
+                let g1 = masked_weight_sum(cols.row_words(j), &err);
+                let gs = (g1 - m * err_sum) * is;
+                let gj = gs * inv_n + lambda * *w;
+                grad_norm += gj * gj;
+                *vw = momentum * *vw - lr * gj;
+                *w += *vw;
+            }
+            let grad_b = err_sum * inv_n;
+            grad_norm += grad_b * grad_b;
+            vel_b = momentum * vel_b - lr * grad_b;
+            self.bias += vel_b;
+
+            if grad_norm.sqrt() < self.params.tol {
+                break;
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Class-1 probability per packed row, staying in bit coordinates.
+    fn proba_packed(&self, bits: &BitMatrix) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        if bits.dim().get() != self.weights.len() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} columns", self.weights.len()),
+                got: format!("{} columns", bits.dim().get()),
+            });
+        }
+        let means = self.scaler.means();
+        let stds = self.scaler.stds();
+        let mut r = vec![0.0f64; self.weights.len()];
+        let mut offset = 0.0f64;
+        for (((rj, &w), &m), &s) in r.iter_mut().zip(&self.weights).zip(means).zip(stds) {
+            *rj = w / s;
+            offset += *rj * m;
+        }
+        let base = self.bias - offset;
+        Ok((0..bits.n_rows())
+            .map(|i| sigmoid(base + masked_weight_sum(bits.row_words(i), &r)))
+            .collect())
     }
 }
 
@@ -160,6 +290,24 @@ impl Estimator for LogisticRegression {
 
     fn name(&self) -> &'static str {
         "Logistic Regression"
+    }
+
+    fn fit_features(&mut self, x: &Features<'_>, y: &[usize]) -> Result<(), MlError> {
+        match x {
+            Features::Dense(m) => self.fit(m, y),
+            Features::Packed(b) => self.fit_packed(b, y),
+        }
+    }
+
+    fn predict_features(&self, x: &Features<'_>) -> Result<Vec<usize>, MlError> {
+        match x {
+            Features::Dense(m) => self.predict(m),
+            Features::Packed(b) => Ok(self
+                .proba_packed(b)?
+                .iter()
+                .map(|&p| usize::from(p >= 0.5))
+                .collect()),
+        }
     }
 }
 
@@ -256,6 +404,51 @@ mod tests {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
         let mut lr = LogisticRegression::new(LogisticRegressionParams::default());
         assert!(lr.fit(&x, &[0, 1, 2]).is_err());
+    }
+
+    fn random_bits(n: usize, dim: usize, seed: u64) -> hyperfex_hdc::BitMatrix {
+        use hyperfex_hdc::prelude::*;
+        let mut rng = SplitMix64::new(seed);
+        let d = Dim::try_new(dim).unwrap();
+        let hvs: Vec<BinaryHypervector> = (0..n)
+            .map(|_| BinaryHypervector::random(d, &mut rng))
+            .collect();
+        BitMatrix::from_hypervectors(&hvs).unwrap()
+    }
+
+    #[test]
+    fn packed_fit_tracks_dense_logits_closely() {
+        let bits = random_bits(60, 300, 17);
+        let y: Vec<usize> = (0..60).map(|i| usize::from(i % 2 == 0)).collect();
+        let dense = crate::traits::densify(&bits);
+
+        let mut a = LogisticRegression::new(LogisticRegressionParams::default());
+        a.fit(&dense, &y).unwrap();
+        let mut b = LogisticRegression::new(LogisticRegressionParams::default());
+        b.fit_features(&Features::Packed(&bits), &y).unwrap();
+
+        // Scaler statistics replicate the dense accumulation bit-exactly.
+        for (x, z) in a.scaler.means().iter().zip(b.scaler.means()) {
+            assert_eq!(x.to_bits(), z.to_bits());
+        }
+        for (x, z) in a.scaler.stds().iter().zip(b.scaler.stds()) {
+            assert_eq!(x.to_bits(), z.to_bits());
+        }
+
+        let queries = random_bits(25, 300, 18);
+        let dense_q = crate::traits::densify(&queries);
+        let pa = a.predict_proba(&dense_q).unwrap();
+        let pb = b.proba_packed(&queries).unwrap();
+        for (x, z) in pa.iter().zip(&pb) {
+            // Compare on the logit scale per the kernel contract.
+            let la = (x / (1.0 - x)).ln();
+            let lb = (z / (1.0 - z)).ln();
+            assert!((la - lb).abs() < 1e-5, "logits {la} vs {lb}");
+        }
+        assert_eq!(
+            b.predict_features(&Features::Packed(&queries)).unwrap(),
+            a.predict(&dense_q).unwrap()
+        );
     }
 
     #[test]

@@ -7,6 +7,58 @@
 
 use crate::error::MlError;
 use crate::linalg::Matrix;
+use hyperfex_hdc::bitmatrix::BitMatrix;
+
+/// Per-column means of a packed 0/1 matrix, replicating
+/// [`Matrix::column_means`] on the densified matrix exactly: the dense
+/// sums add only 0.0 and 1.0 so they are exact integers regardless of
+/// order, and the final division is the same operation.
+pub(crate) fn packed_column_means(bits: &BitMatrix) -> Vec<f64> {
+    let n = bits.n_rows();
+    let p = bits.dim().get();
+    let mut counts = vec![0u32; p];
+    for r in 0..n {
+        let words = bits.row_words(r);
+        for (j, c) in counts.iter_mut().enumerate() {
+            *c += ((words[j / 64] >> (j % 64)) & 1) as u32;
+        }
+    }
+    let nf = n.max(1) as f64;
+    counts.iter().map(|&c| f64::from(c) / nf).collect()
+}
+
+/// Per-column population variances of a packed 0/1 matrix, replicating
+/// [`Matrix::column_variances`] on the densified matrix *exactly*: the
+/// squared deviation each row adds is one of two per-column constants —
+/// `m²` for a zero bit, `(1−m)²` for a one — so accumulating those
+/// constants in row order reproduces the dense f64 rounding step for step.
+pub(crate) fn packed_column_variances(bits: &BitMatrix) -> Vec<f64> {
+    let n = bits.n_rows();
+    let p = bits.dim().get();
+    let means = packed_column_means(bits);
+    let nf = n.max(1) as f64;
+    let mut t0 = vec![0.0f64; p];
+    let mut t1 = vec![0.0f64; p];
+    for ((&m, z), o) in means.iter().zip(&mut t0).zip(&mut t1) {
+        let d0 = 0.0 - m;
+        *z = d0 * d0;
+        let d1 = 1.0 - m;
+        *o = d1 * d1;
+    }
+    let mut sums = vec![0.0f64; p];
+    for r in 0..n {
+        let words = bits.row_words(r);
+        for (j, s) in sums.iter_mut().enumerate() {
+            *s += if (words[j / 64] >> (j % 64)) & 1 == 1 {
+                t1[j]
+            } else {
+                t0[j]
+            };
+        }
+    }
+    sums.iter_mut().for_each(|s| *s /= nf);
+    sums
+}
 
 /// Standardises columns to zero mean and unit variance.
 #[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
@@ -41,6 +93,38 @@ impl StandardScaler {
             })
             .collect();
         Ok(())
+    }
+
+    /// Learns the same statistics as [`Self::fit`] would on the densified
+    /// matrix (bit-identically — see [`packed_column_variances`]) straight
+    /// from the packed bits.
+    pub(crate) fn fit_packed(&mut self, bits: &BitMatrix) -> Result<(), MlError> {
+        if bits.n_rows() == 0 {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.means = packed_column_means(bits);
+        self.stds = packed_column_variances(bits)
+            .iter()
+            .map(|&v| {
+                let s = v.sqrt();
+                if s > 0.0 {
+                    s
+                } else {
+                    1.0 // constant column: leave values centred at zero
+                }
+            })
+            .collect();
+        Ok(())
+    }
+
+    /// Fitted per-column means (empty before fitting).
+    pub(crate) fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// Fitted per-column standard deviations (empty before fitting).
+    pub(crate) fn stds(&self) -> &[f64] {
+        &self.stds
     }
 
     /// Applies the learned transform.

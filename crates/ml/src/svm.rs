@@ -5,7 +5,11 @@
 use crate::error::MlError;
 use crate::linalg::Matrix;
 use crate::linear::sigmoid;
-use crate::traits::{validate_fit_inputs, Estimator, ProbabilisticEstimator};
+use crate::preprocessing::packed_column_variances;
+use crate::traits::{
+    validate_fit_inputs, validate_packed_fit_inputs, Estimator, Features, ProbabilisticEstimator,
+};
+use hyperfex_hdc::bitmatrix::{hamming_between, pairwise_hamming, popcount_dot, BitMatrix};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -58,6 +62,9 @@ impl Default for SvcParams {
 pub struct SvcClassifier {
     params: SvcParams,
     support: Matrix,
+    /// Bit-packed copy of the support vectors, kept when the model was
+    /// fitted on packed features so prediction can stay on popcounts.
+    packed_support: Option<BitMatrix>,
     /// `αᵢ·yᵢ` per support vector (signed weights).
     alpha_y: Vec<f64>,
     bias: f64,
@@ -72,6 +79,7 @@ impl SvcClassifier {
         Self {
             params,
             support: Matrix::zeros(0, 0),
+            packed_support: None,
             alpha_y: Vec::new(),
             bias: 0.0,
             gamma: 1.0,
@@ -89,6 +97,216 @@ impl SvcClassifier {
         match self.params.kernel {
             Kernel::Linear => f64::from(Matrix::dot(a, b)),
             Kernel::Rbf { .. } => (-self.gamma * f64::from(Matrix::squared_distance(a, b))).exp(),
+        }
+    }
+
+    /// The simplified SMO sweep over a precomputed kernel matrix; returns
+    /// the dual coefficients and the bias. Deterministic per seed.
+    fn solve_smo(&self, k: &[f64], target: &[f64], n: usize) -> (Vec<f64>, f64) {
+        let c = self.params.c;
+        let tol = self.params.tol;
+        let mut alpha = vec![0.0f64; n];
+        let mut b = 0.0f64;
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+
+        let decision = |alpha: &[f64], b: f64, i: usize| -> f64 {
+            let mut z = b;
+            for (j, &a) in alpha.iter().enumerate() {
+                if a != 0.0 {
+                    z += a * target[j] * k[i * n + j];
+                }
+            }
+            z
+        };
+
+        let mut passes = 0usize;
+        let mut iter = 0usize;
+        while passes < self.params.max_passes && iter < self.params.max_iter {
+            iter += 1;
+            let mut changed = 0usize;
+            for i in 0..n {
+                let ei = decision(&alpha, b, i) - target[i];
+                let violates = (target[i] * ei < -tol && alpha[i] < c)
+                    || (target[i] * ei > tol && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Pick j ≠ i at random (simplified SMO heuristic).
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let ej = decision(&alpha, b, j) - target[j];
+                let (ai_old, aj_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (target[i] - target[j]).abs() > f64::EPSILON {
+                    ((aj_old - ai_old).max(0.0), (c + aj_old - ai_old).min(c))
+                } else {
+                    ((ai_old + aj_old - c).max(0.0), (ai_old + aj_old).min(c))
+                };
+                // Floating-point rounding can leave lo a few ULP above hi
+                // when the box degenerates; treat that as an empty interval.
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj_new = aj_old - target[j] * (ei - ej) / eta;
+                aj_new = aj_new.clamp(lo, hi);
+                if (aj_new - aj_old).abs() < 1e-5 {
+                    continue;
+                }
+                let ai_new = ai_old + target[i] * target[j] * (aj_old - aj_new);
+                alpha[i] = ai_new;
+                alpha[j] = aj_new;
+                let b1 = b
+                    - ei
+                    - target[i] * (ai_new - ai_old) * k[i * n + i]
+                    - target[j] * (aj_new - aj_old) * k[i * n + j];
+                let b2 = b
+                    - ej
+                    - target[i] * (ai_new - ai_old) * k[i * n + j]
+                    - target[j] * (aj_new - aj_old) * k[j * n + j];
+                b = if (0.0..c).contains(&ai_new) && ai_new > 0.0 {
+                    b1
+                } else if (0.0..c).contains(&aj_new) && aj_new > 0.0 {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+        (alpha, b)
+    }
+
+    /// Packed-input fit: the same SMO trajectory as [`Estimator::fit`] on
+    /// the densified matrix, reached much faster. On 0/1 rows the f32
+    /// squared distance is an exact integer equal to the Hamming distance,
+    /// so the RBF kernel matrix comes from [`pairwise_hamming`] popcounts
+    /// (and the linear kernel from [`popcount_dot`]); `gamma = "scale"`
+    /// replicates the dense variance accumulation order so every kernel
+    /// entry — and therefore every SMO step — is bit-identical.
+    fn fit_packed(&mut self, bits: &BitMatrix, y: &[usize]) -> Result<(), MlError> {
+        let _span = crate::obs::span("ml/svm_fit");
+        let n_classes = validate_packed_fit_inputs(bits, y)?;
+        if n_classes > 2 {
+            return Err(MlError::InvalidParameter {
+                name: "y",
+                reason: "SVC supports binary labels only".into(),
+            });
+        }
+        if self.params.c <= 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "c",
+                reason: "must be positive".into(),
+            });
+        }
+        let n = bits.n_rows();
+        let p = bits.dim().get();
+        self.gamma = match self.params.kernel {
+            Kernel::Linear => 0.0,
+            Kernel::Rbf { gamma: Some(g) } => {
+                if g <= 0.0 {
+                    return Err(MlError::InvalidParameter {
+                        name: "gamma",
+                        reason: "must be positive".into(),
+                    });
+                }
+                g
+            }
+            Kernel::Rbf { gamma: None } => {
+                let mean_var = packed_column_variances(bits).iter().sum::<f64>() / p as f64;
+                if mean_var > 0.0 {
+                    1.0 / (p as f64 * mean_var)
+                } else {
+                    1.0 / p as f64
+                }
+            }
+        };
+
+        let target: Vec<f64> = y.iter().map(|&l| if l == 1 { 1.0 } else { -1.0 }).collect();
+
+        let mut k = vec![0.0f64; n * n];
+        match self.params.kernel {
+            Kernel::Rbf { .. } => {
+                let h = pairwise_hamming(bits);
+                for (kv, &d) in k.iter_mut().zip(&h) {
+                    *kv = (-self.gamma * f64::from(d)).exp();
+                }
+            }
+            Kernel::Linear => {
+                for i in 0..n {
+                    for j in i..n {
+                        let dot = popcount_dot(bits.row_words(i), bits.row_words(j));
+                        let v = f64::from(dot as u32);
+                        k[i * n + j] = v;
+                        k[j * n + i] = v;
+                    }
+                }
+            }
+        }
+
+        let (alpha, b) = self.solve_smo(&k, &target, n);
+
+        let sv_indices: Vec<usize> = (0..n).filter(|&i| alpha[i] > 1e-8).collect();
+        self.alpha_y = sv_indices.iter().map(|&i| alpha[i] * target[i]).collect();
+        let sv = bits.select_rows(&sv_indices);
+        self.support = crate::traits::densify(&sv);
+        self.packed_support = Some(sv);
+        self.bias = b;
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Raw decision values for bit-packed query rows. Uses the popcount
+    /// kernel path when the model was fitted packed; otherwise densifies.
+    pub fn decision_function_packed(&self, q: &BitMatrix) -> Result<Vec<f64>, MlError> {
+        if !self.fitted {
+            return Err(MlError::NotFitted);
+        }
+        let Some(sp) = &self.packed_support else {
+            return self.decision_function(&crate::traits::densify(q));
+        };
+        if q.dim().get() != self.support.n_cols() {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} features", self.support.n_cols()),
+                got: format!("{} features", q.dim().get()),
+            });
+        }
+        let nsv = sp.n_rows();
+        match self.params.kernel {
+            Kernel::Rbf { .. } => {
+                let d = hamming_between(q, sp).map_err(|_| MlError::ShapeMismatch {
+                    expected: format!("{} features", self.support.n_cols()),
+                    got: format!("{} features", q.dim().get()),
+                })?;
+                Ok((0..q.n_rows())
+                    .map(|i| {
+                        let mut z = self.bias;
+                        for (s, &ay) in (0..nsv).zip(&self.alpha_y) {
+                            z += ay * (-self.gamma * f64::from(d[i * nsv + s])).exp();
+                        }
+                        z
+                    })
+                    .collect())
+            }
+            Kernel::Linear => Ok((0..q.n_rows())
+                .map(|i| {
+                    let mut z = self.bias;
+                    for (s, &ay) in (0..nsv).zip(&self.alpha_y) {
+                        let dot = popcount_dot(q.row_words(i), sp.row_words(s));
+                        z += ay * f64::from(dot as u32);
+                    }
+                    z
+                })
+                .collect()),
         }
     }
 
@@ -170,91 +388,13 @@ impl Estimator for SvcClassifier {
             }
         }
 
-        let c = self.params.c;
-        let tol = self.params.tol;
-        let mut alpha = vec![0.0f64; n];
-        let mut b = 0.0f64;
-        let mut rng = StdRng::seed_from_u64(self.params.seed);
-
-        let decision = |alpha: &[f64], b: f64, i: usize| -> f64 {
-            let mut z = b;
-            for (j, &a) in alpha.iter().enumerate() {
-                if a != 0.0 {
-                    z += a * target[j] * k[i * n + j];
-                }
-            }
-            z
-        };
-
-        let mut passes = 0usize;
-        let mut iter = 0usize;
-        while passes < self.params.max_passes && iter < self.params.max_iter {
-            iter += 1;
-            let mut changed = 0usize;
-            for i in 0..n {
-                let ei = decision(&alpha, b, i) - target[i];
-                let violates = (target[i] * ei < -tol && alpha[i] < c)
-                    || (target[i] * ei > tol && alpha[i] > 0.0);
-                if !violates {
-                    continue;
-                }
-                // Pick j ≠ i at random (simplified SMO heuristic).
-                let mut j = rng.random_range(0..n - 1);
-                if j >= i {
-                    j += 1;
-                }
-                let ej = decision(&alpha, b, j) - target[j];
-                let (ai_old, aj_old) = (alpha[i], alpha[j]);
-                let (lo, hi) = if (target[i] - target[j]).abs() > f64::EPSILON {
-                    ((aj_old - ai_old).max(0.0), (c + aj_old - ai_old).min(c))
-                } else {
-                    ((ai_old + aj_old - c).max(0.0), (ai_old + aj_old).min(c))
-                };
-                // Floating-point rounding can leave lo a few ULP above hi
-                // when the box degenerates; treat that as an empty interval.
-                if hi - lo < 1e-12 {
-                    continue;
-                }
-                let eta = 2.0 * k[i * n + j] - k[i * n + i] - k[j * n + j];
-                if eta >= 0.0 {
-                    continue;
-                }
-                let mut aj_new = aj_old - target[j] * (ei - ej) / eta;
-                aj_new = aj_new.clamp(lo, hi);
-                if (aj_new - aj_old).abs() < 1e-5 {
-                    continue;
-                }
-                let ai_new = ai_old + target[i] * target[j] * (aj_old - aj_new);
-                alpha[i] = ai_new;
-                alpha[j] = aj_new;
-                let b1 = b
-                    - ei
-                    - target[i] * (ai_new - ai_old) * k[i * n + i]
-                    - target[j] * (aj_new - aj_old) * k[i * n + j];
-                let b2 = b
-                    - ej
-                    - target[i] * (ai_new - ai_old) * k[i * n + j]
-                    - target[j] * (aj_new - aj_old) * k[j * n + j];
-                b = if (0.0..c).contains(&ai_new) && ai_new > 0.0 {
-                    b1
-                } else if (0.0..c).contains(&aj_new) && aj_new > 0.0 {
-                    b2
-                } else {
-                    (b1 + b2) / 2.0
-                };
-                changed += 1;
-            }
-            if changed == 0 {
-                passes += 1;
-            } else {
-                passes = 0;
-            }
-        }
+        let (alpha, b) = self.solve_smo(&k, &target, n);
 
         // Retain the support vectors.
         let sv_indices: Vec<usize> = (0..n).filter(|&i| alpha[i] > 1e-8).collect();
         self.alpha_y = sv_indices.iter().map(|&i| alpha[i] * target[i]).collect();
         self.support = x.select_rows(&sv_indices);
+        self.packed_support = None;
         self.bias = b;
         self.fitted = true;
         Ok(())
@@ -270,6 +410,24 @@ impl Estimator for SvcClassifier {
 
     fn name(&self) -> &'static str {
         "SVC"
+    }
+
+    fn fit_features(&mut self, x: &Features<'_>, y: &[usize]) -> Result<(), MlError> {
+        match x {
+            Features::Dense(m) => self.fit(m, y),
+            Features::Packed(b) => self.fit_packed(b, y),
+        }
+    }
+
+    fn predict_features(&self, x: &Features<'_>) -> Result<Vec<usize>, MlError> {
+        match x {
+            Features::Dense(m) => self.predict(m),
+            Features::Packed(b) => Ok(self
+                .decision_function_packed(b)?
+                .iter()
+                .map(|&z| usize::from(z >= 0.0))
+                .collect()),
+        }
     }
 }
 
@@ -417,6 +575,63 @@ mod tests {
         ));
         let svc = SvcClassifier::new(SvcParams::default());
         assert_eq!(svc.predict(&x), Err(MlError::NotFitted));
+    }
+
+    fn random_bits(n: usize, dim: usize, seed: u64) -> BitMatrix {
+        use hyperfex_hdc::prelude::*;
+        let mut rng = SplitMix64::new(seed);
+        let d = Dim::try_new(dim).unwrap();
+        let hvs: Vec<BinaryHypervector> = (0..n)
+            .map(|_| BinaryHypervector::random(d, &mut rng))
+            .collect();
+        BitMatrix::from_hypervectors(&hvs).unwrap()
+    }
+
+    #[test]
+    fn packed_variances_match_dense_bit_exactly() {
+        let bits = random_bits(37, 130, 9);
+        let dense = crate::traits::densify(&bits);
+        let a = dense.column_variances();
+        let b = packed_column_variances(&bits);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn packed_fit_matches_dense_bit_exactly() {
+        for kernel in [Kernel::Rbf { gamma: None }, Kernel::Linear] {
+            let bits = random_bits(50, 200, 21);
+            let y: Vec<usize> = (0..50).map(|i| usize::from(i % 2 == 0)).collect();
+            let dense = crate::traits::densify(&bits);
+            let params = SvcParams {
+                kernel,
+                ..Default::default()
+            };
+
+            let mut a = SvcClassifier::new(params.clone());
+            a.fit(&dense, &y).unwrap();
+            let mut b = SvcClassifier::new(params);
+            b.fit_features(&Features::Packed(&bits), &y).unwrap();
+
+            assert_eq!(a.gamma.to_bits(), b.gamma.to_bits());
+            assert_eq!(a.bias.to_bits(), b.bias.to_bits());
+            assert_eq!(a.alpha_y, b.alpha_y);
+            assert_eq!(a.support.as_slice(), b.support.as_slice());
+
+            let queries = random_bits(12, 200, 22);
+            let dense_q = crate::traits::densify(&queries);
+            let za = a.decision_function(&dense_q).unwrap();
+            let zb = b.decision_function_packed(&queries).unwrap();
+            for (x, y) in za.iter().zip(&zb) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(
+                b.predict_features(&Features::Packed(&queries)).unwrap(),
+                a.predict(&dense_q).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -2,6 +2,72 @@
 
 use crate::error::MlError;
 use crate::linalg::Matrix;
+use hyperfex_hdc::bitmatrix::BitMatrix;
+
+/// Input features for fitting or prediction: either a dense `f32` design
+/// matrix or a packed binary one (hypervector rows, one bit per cell).
+///
+/// Models with word-level fast paths ([`crate::knn::KnnClassifier`],
+/// [`crate::tree::DecisionTreeClassifier`], [`crate::svm::SvcClassifier`],
+/// [`crate::linear::LogisticRegression`], [`crate::linear::SgdClassifier`])
+/// override [`Estimator::fit_features`]/[`Estimator::predict_features`] to
+/// consume the packed form directly; everything else densifies and falls
+/// back to the `f32` path.
+#[derive(Clone, Copy, Debug)]
+pub enum Features<'a> {
+    /// Dense row-major `f32` design matrix.
+    Dense(&'a Matrix),
+    /// Bit-packed binary design matrix.
+    Packed(&'a BitMatrix),
+}
+
+impl Features<'_> {
+    /// Number of samples.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        match self {
+            Self::Dense(m) => m.n_rows(),
+            Self::Packed(b) => b.n_rows(),
+        }
+    }
+
+    /// Number of feature columns.
+    #[must_use]
+    pub fn n_cols(&self) -> usize {
+        match self {
+            Self::Dense(m) => m.n_cols(),
+            Self::Packed(b) => b.dim().get(),
+        }
+    }
+
+    /// An owned dense matrix: a clone when already dense, a 0.0/1.0
+    /// unpack when packed.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        match self {
+            Self::Dense(m) => (*m).clone(),
+            Self::Packed(b) => densify(b),
+        }
+    }
+}
+
+/// Unpacks a packed binary matrix into a dense 0.0/1.0 `f32` matrix
+/// (the fallback bridge for models without a packed fast path).
+#[must_use]
+pub fn densify(b: &BitMatrix) -> Matrix {
+    let d = b.dim().get();
+    let mut m = Matrix::zeros(b.n_rows(), d);
+    for (r, row) in (0..b.n_rows()).zip(m.as_mut_slice().chunks_mut(d.max(1))) {
+        let words = b.row_words(r);
+        for (w, chunk) in row.chunks_mut(64).enumerate() {
+            let word = words[w];
+            for (j, cell) in chunk.iter_mut().enumerate() {
+                *cell = ((word >> j) & 1) as f32;
+            }
+        }
+    }
+    m
+}
 
 /// A supervised classifier over dense feature matrices.
 ///
@@ -18,6 +84,25 @@ pub trait Estimator: Send + Sync {
 
     /// A short human-readable model name ("Random Forest", …).
     fn name(&self) -> &'static str;
+
+    /// Fits from either feature representation. The default densifies
+    /// packed input and delegates to [`Estimator::fit`]; models with
+    /// word-level kernels override this to stay in packed form.
+    fn fit_features(&mut self, x: &Features<'_>, y: &[usize]) -> Result<(), MlError> {
+        match x {
+            Features::Dense(m) => self.fit(m, y),
+            Features::Packed(b) => self.fit(&densify(b), y),
+        }
+    }
+
+    /// Predicts from either feature representation (default: densify and
+    /// delegate to [`Estimator::predict`]).
+    fn predict_features(&self, x: &Features<'_>) -> Result<Vec<usize>, MlError> {
+        match x {
+            Features::Dense(m) => self.predict(m),
+            Features::Packed(b) => self.predict(&densify(b)),
+        }
+    }
 
     /// Fraction of rows whose predicted class equals `y`.
     fn accuracy(&self, x: &Matrix, y: &[usize]) -> Result<f64, MlError> {
@@ -58,6 +143,27 @@ pub(crate) fn validate_fit_inputs(x: &Matrix, y: &[usize]) -> Result<usize, MlEr
     x.check_finite()?;
     let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
     // At least two classes must actually appear.
+    let first = y[0];
+    if y.iter().all(|&l| l == first) {
+        return Err(MlError::SingleClass);
+    }
+    Ok(n_classes)
+}
+
+/// Packed-input analogue of [`validate_fit_inputs`]: same checks minus
+/// finiteness, which holds trivially for bits.
+pub(crate) fn validate_packed_fit_inputs(x: &BitMatrix, y: &[usize]) -> Result<usize, MlError> {
+    crate::obs::counter_add("ml/fits", 1);
+    if x.n_rows() == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if x.n_rows() != y.len() {
+        return Err(MlError::LabelLengthMismatch {
+            rows: x.n_rows(),
+            labels: y.len(),
+        });
+    }
+    let n_classes = y.iter().copied().max().unwrap_or(0) + 1;
     let first = y[0];
     if y.iter().all(|&l| l == first) {
         return Err(MlError::SingleClass);

@@ -10,7 +10,10 @@
 
 use crate::error::MlError;
 use crate::linalg::Matrix;
-use crate::traits::{validate_fit_inputs, Estimator, ProbabilisticEstimator};
+use crate::traits::{
+    validate_fit_inputs, validate_packed_fit_inputs, Estimator, Features, ProbabilisticEstimator,
+};
+use hyperfex_hdc::bitmatrix::{popcount_dot, BitMatrix};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -160,6 +163,85 @@ impl DecisionTreeClassifier {
         let mut idx = indices.to_vec();
         builder.build(&mut idx, 0);
         Ok(())
+    }
+
+    /// Packed-input fit. Grows the *identical* tree to [`Estimator::fit`]
+    /// on the densified matrix, but finds every split with popcounts over
+    /// per-class label masks instead of per-node sorts: a binary column
+    /// has exactly one candidate boundary (threshold 0.5), and every
+    /// quantity the dense sweep derives there — child counts, Gini terms,
+    /// the strict-`<` tie order over features — is an integer or an exact
+    /// f64 image of one. Node index sets stay representable as sample
+    /// masks because the dense partition is stable and starts sorted.
+    fn fit_packed(&mut self, b: &BitMatrix, y: &[usize]) -> Result<(), MlError> {
+        let n_classes = validate_packed_fit_inputs(b, y)?;
+        let n = b.n_rows();
+        // Feature-major view: row `f` of the transpose is feature f's
+        // 0/1 column as a mask over the n samples. Transpose only fails
+        // on an empty input, which validation already rejected.
+        let cols = b.transpose().map_err(|_| MlError::EmptyTrainingSet)?;
+        let words = n.div_ceil(64);
+        let mut class_masks = vec![vec![0u64; words]; n_classes];
+        for (i, &label) in y.iter().enumerate() {
+            class_masks[label][i / 64] |= 1u64 << (i % 64);
+        }
+        self.n_classes = n_classes;
+        self.n_features = b.dim().get();
+        self.nodes.clear();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut builder = PackedBuilder {
+            cols: &cols,
+            params: &self.params,
+            n_classes,
+            nodes: &mut self.nodes,
+            rng: &mut rng,
+            feature_pool: (0..b.dim().get() as u32).collect(),
+            class_masks: &class_masks,
+        };
+        let mut root = vec![!0u64; words];
+        if let Some(last) = root.last_mut() {
+            let tail = n % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+        builder.build(&root, 0);
+        Ok(())
+    }
+
+    /// [`Self::leaf_proba`] over one bit-packed query row.
+    fn leaf_proba_bits(&self, words: &[u64], dim: usize) -> Result<&[f32], MlError> {
+        if self.nodes.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        if dim != self.n_features {
+            return Err(MlError::ShapeMismatch {
+                expected: format!("{} features", self.n_features),
+                got: format!("{dim} features"),
+            });
+        }
+        let mut i = 0u32;
+        loop {
+            match &self.nodes[i as usize] {
+                Node::Leaf { proba, .. } => return Ok(proba),
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let f = *feature as usize;
+                    let bit = (words[f / 64] >> (f % 64)) & 1;
+                    // Same f32 comparison the dense walk makes on the
+                    // unpacked 0.0/1.0 value.
+                    i = if bit as f32 <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
     }
 
     fn leaf_proba(&self, row: &[f32]) -> Result<&[f32], MlError> {
@@ -336,6 +418,134 @@ struct SplitCandidate {
     weighted_gini: f64,
 }
 
+/// Mask-based twin of [`Builder`] for bit-packed training data. Each node
+/// is a bitmask over the n samples; class counts and split statistics come
+/// from word-level popcounts. Mirrors [`Builder::build`]'s recursion shape,
+/// node push order and RNG consumption exactly so the two produce
+/// bit-identical `Vec<Node>` on the same (binary) data.
+struct PackedBuilder<'a> {
+    /// Transposed design matrix: row `f` is feature f's sample mask.
+    cols: &'a BitMatrix,
+    params: &'a TreeParams,
+    n_classes: usize,
+    nodes: &'a mut Vec<Node>,
+    rng: &'a mut StdRng,
+    feature_pool: Vec<u32>,
+    /// Per-class sample masks (classes partition the samples).
+    class_masks: &'a [Vec<u64>],
+}
+
+impl PackedBuilder<'_> {
+    fn build(&mut self, mask: &[u64], depth: usize) -> u32 {
+        let node_class: Vec<Vec<u64>> = self
+            .class_masks
+            .iter()
+            .map(|cm| cm.iter().zip(mask).map(|(a, b)| a & b).collect())
+            .collect();
+        let counts: Vec<u32> = node_class
+            .iter()
+            .map(|m| m.iter().map(|w| w.count_ones()).sum::<u32>())
+            .collect();
+        let n_node: usize = counts.iter().map(|&c| c as usize).sum();
+        let node_id = self.nodes.len() as u32;
+
+        let gini = gini_impurity(&counts, n_node);
+        let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
+        let should_split =
+            depth_ok && n_node >= self.params.min_samples_split && gini > 0.0;
+
+        if should_split {
+            if let Some(split) = self.best_split(&node_class, &counts, n_node, gini) {
+                // A candidate guarantees both children non-empty, matching
+                // the dense builder's degenerate-partition guard.
+                let col = self.cols.row_words(split.feature as usize);
+                let left_mask: Vec<u64> = mask.iter().zip(col).map(|(m, c)| m & !c).collect();
+                let right_mask: Vec<u64> = mask.iter().zip(col).map(|(m, c)| m & c).collect();
+                self.nodes.push(Node::Leaf {
+                    proba: Vec::new(),
+                    class: 0,
+                }); // placeholder
+                let left = self.build(&left_mask, depth + 1);
+                let right = self.build(&right_mask, depth + 1);
+                self.nodes[node_id as usize] = Node::Split {
+                    feature: split.feature,
+                    threshold: split.threshold,
+                    left,
+                    right,
+                };
+                return node_id;
+            }
+        }
+
+        let total = n_node as f32;
+        let proba: Vec<f32> = counts.iter().map(|&c| c as f32 / total).collect();
+        let class = argmax_usize(&counts);
+        self.nodes.push(Node::Leaf { proba, class });
+        node_id
+    }
+
+    fn best_split(
+        &mut self,
+        node_class: &[Vec<u64>],
+        parent_counts: &[u32],
+        n_node: usize,
+        parent_gini: f64,
+    ) -> Option<SplitCandidate> {
+        let p = self.cols.n_rows();
+        let n_features = self.params.max_features.resolve(p);
+        if n_features < p {
+            self.feature_pool.shuffle(self.rng);
+        }
+        let n = n_node as f64;
+        let mut best: Option<SplitCandidate> = None;
+        let mut left_counts = vec![0u32; self.n_classes];
+
+        for fi in 0..n_features {
+            let feature = self.feature_pool[fi];
+            let col = self.cols.row_words(feature as usize);
+            // Ones per class within the node; zeros go left of the 0|1
+            // boundary, so left counts fall out by subtraction.
+            let mut right_n = 0usize;
+            for ((lc, ncm), &pc) in left_counts.iter_mut().zip(node_class).zip(parent_counts) {
+                let ones = popcount_dot(col, ncm);
+                *lc = pc - ones as u32;
+                right_n += ones;
+            }
+            let left_n = n_node - right_n;
+            if left_n == 0 || right_n == 0 {
+                // Constant column in this node: no threshold boundary.
+                continue;
+            }
+            if left_n < self.params.min_samples_leaf || right_n < self.params.min_samples_leaf {
+                continue;
+            }
+            let gini_left = gini_impurity(&left_counts, left_n);
+            let mut right_counts = parent_counts.to_vec();
+            for (rc, &lc) in right_counts.iter_mut().zip(&left_counts) {
+                *rc -= lc;
+            }
+            let gini_right = gini_impurity(&right_counts, right_n);
+            let weighted = (left_n as f64 * gini_left + right_n as f64 * gini_right) / n;
+            let decrease = parent_gini - weighted;
+            if decrease < self.params.min_impurity_decrease {
+                continue;
+            }
+            let candidate = SplitCandidate {
+                feature,
+                threshold: midpoint(0.0, 1.0),
+                weighted_gini: weighted,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| candidate.weighted_gini < b.weighted_gini)
+            {
+                best = Some(candidate);
+            }
+        }
+        best
+    }
+}
+
 /// Gini impurity `1 − Σ pᵢ²` of a class-count vector.
 fn gini_impurity(counts: &[u32], n: usize) -> f64 {
     if n == 0 {
@@ -414,6 +624,30 @@ impl Estimator for DecisionTreeClassifier {
 
     fn name(&self) -> &'static str {
         "Decision Tree"
+    }
+
+    fn fit_features(&mut self, x: &Features<'_>, y: &[usize]) -> Result<(), MlError> {
+        match x {
+            Features::Dense(m) => self.fit(m, y),
+            Features::Packed(b) => self.fit_packed(b, y),
+        }
+    }
+
+    fn predict_features(&self, x: &Features<'_>) -> Result<Vec<usize>, MlError> {
+        let b = match x {
+            Features::Dense(m) => return self.predict(m),
+            Features::Packed(b) => b,
+        };
+        (0..b.n_rows())
+            .map(|i| {
+                self.leaf_proba_bits(b.row_words(i), b.dim().get()).map(|p| {
+                    p.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                        .map_or(0, |(c, _)| c)
+                })
+            })
+            .collect()
     }
 }
 
@@ -567,5 +801,102 @@ mod tests {
         assert_eq!(MaxFeatures::Log2.resolve(1024), 10);
         assert_eq!(MaxFeatures::Count(5).resolve(3), 3);
         assert_eq!(MaxFeatures::Count(0).resolve(3), 1);
+    }
+
+    fn random_bits(n: usize, dim: usize, seed: u64) -> BitMatrix {
+        use hyperfex_hdc::prelude::*;
+        let mut rng = SplitMix64::new(seed);
+        let d = Dim::try_new(dim).unwrap();
+        let hvs: Vec<BinaryHypervector> = (0..n)
+            .map(|_| BinaryHypervector::random(d, &mut rng))
+            .collect();
+        BitMatrix::from_hypervectors(&hvs).unwrap()
+    }
+
+    fn assert_same_nodes(a: &DecisionTreeClassifier, b: &DecisionTreeClassifier) {
+        assert_eq!(a.nodes.len(), b.nodes.len());
+        for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+            match (na, nb) {
+                (
+                    Node::Leaf { proba: pa, class: ca },
+                    Node::Leaf { proba: pb, class: cb },
+                ) => {
+                    assert_eq!(ca, cb);
+                    assert_eq!(pa, pb, "leaf posteriors must be bit-identical");
+                }
+                (
+                    Node::Split {
+                        feature: fa,
+                        threshold: ta,
+                        left: la,
+                        right: ra,
+                    },
+                    Node::Split {
+                        feature: fb,
+                        threshold: tb,
+                        left: lb,
+                        right: rb,
+                    },
+                ) => {
+                    assert_eq!((fa, la, ra), (fb, lb, rb));
+                    assert_eq!(ta.to_bits(), tb.to_bits());
+                }
+                _ => panic!("node kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn packed_fit_builds_bit_identical_tree() {
+        for (params, seed) in [
+            (TreeParams::default(), 3u64),
+            (
+                TreeParams {
+                    max_depth: Some(4),
+                    min_samples_leaf: 3,
+                    ..TreeParams::default()
+                },
+                4,
+            ),
+            (
+                TreeParams {
+                    max_features: MaxFeatures::Sqrt,
+                    seed: 11,
+                    ..TreeParams::default()
+                },
+                5,
+            ),
+        ] {
+            let bits = random_bits(60, 130, seed);
+            let y: Vec<usize> = (0..60).map(|i| usize::from(i % 3 != 1)).collect();
+            let dense = crate::traits::densify(&bits);
+
+            let mut a = DecisionTreeClassifier::new(params.clone());
+            a.fit(&dense, &y).unwrap();
+            let mut b = DecisionTreeClassifier::new(params);
+            b.fit_features(&Features::Packed(&bits), &y).unwrap();
+            assert_same_nodes(&a, &b);
+
+            let queries = random_bits(20, 130, seed + 100);
+            let dense_q = crate::traits::densify(&queries);
+            assert_eq!(
+                b.predict_features(&Features::Packed(&queries)).unwrap(),
+                a.predict(&dense_q).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn packed_fit_validates_inputs() {
+        let bits = random_bits(5, 32, 1);
+        let mut tree = DecisionTreeClassifier::new(TreeParams::default());
+        assert!(matches!(
+            tree.fit_features(&Features::Packed(&bits), &[0; 5]),
+            Err(MlError::SingleClass)
+        ));
+        assert!(matches!(
+            tree.fit_features(&Features::Packed(&bits), &[0, 1]),
+            Err(MlError::LabelLengthMismatch { .. })
+        ));
     }
 }

@@ -1,0 +1,186 @@
+//! Packed vs dense parity: every model with a popcount fast path must
+//! agree with its dense implementation on the same design matrix —
+//! bit-exactly for KNN, decision trees and SVC, and to ≤1e-5 on decision
+//! values for the gradient-based linear models (whose packed loops factor
+//! the arithmetic differently).
+//!
+//! Cohorts are Pima-shaped: two class prototypes with per-sample bit
+//! noise, the structure HDC encoding produces from the diabetes tables.
+//! Dimensions cover a word-aligned kilobit (1000), the paper's 10,000
+//! bits, and a deliberately tail-heavy 10,050 (10_050 % 64 = 2) to
+//! exercise the tail-mask invariant end to end.
+
+use hyperfex_hdc::bitmatrix::BitMatrix;
+use hyperfex_hdc::prelude::*;
+use hyperfex_ml::knn::KnnWeights;
+use hyperfex_ml::prelude::*;
+
+/// Two-class cohort: each sample is its class prototype with ~15% of
+/// bits flipped, so classes are separable but not trivially so.
+fn pima_shaped_cohort(n: usize, dim: usize, seed: u64) -> (BitMatrix, Vec<usize>) {
+    let d = Dim::try_new(dim).unwrap();
+    let mut rng = SplitMix64::new(seed);
+    let prototypes = [
+        BinaryHypervector::random(d, &mut rng),
+        BinaryHypervector::random(d, &mut rng),
+    ];
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let label = i % 2;
+        let mut hv = prototypes[label].clone();
+        for bit in 0..dim {
+            if rng.next_u64() % 100 < 15 {
+                hv.set(bit, !hv.get(bit));
+            }
+        }
+        rows.push(hv);
+        labels.push(label);
+    }
+    (BitMatrix::from_hypervectors(&rows).unwrap(), labels)
+}
+
+const DIMS: [usize; 3] = [1000, 10_000, 10_050];
+
+#[test]
+fn knn_packed_predictions_are_bit_exact() {
+    for (t, &dim) in DIMS.iter().enumerate() {
+        let (train, y) = pima_shaped_cohort(30, dim, 0xA11CE + t as u64);
+        let (queries, _) = pima_shaped_cohort(10, dim, 0xB0B + t as u64);
+        let dense_train = densify(&train);
+        let dense_queries = densify(&queries);
+        for weights in [KnnWeights::Uniform, KnnWeights::Distance] {
+            let params = KnnParams { k: 5, weights };
+            let mut a = KnnClassifier::new(params.clone());
+            a.fit(&dense_train, &y).unwrap();
+            let mut b = KnnClassifier::new(params);
+            b.fit_features(&Features::Packed(&train), &y).unwrap();
+            assert_eq!(
+                a.predict(&dense_queries).unwrap(),
+                b.predict_features(&Features::Packed(&queries)).unwrap(),
+                "KNN parity failed at dim {dim} with {weights:?} weights"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_packed_predictions_are_bit_exact() {
+    for (t, &dim) in DIMS.iter().enumerate() {
+        let (train, y) = pima_shaped_cohort(30, dim, 0xD1CE + t as u64);
+        let (queries, _) = pima_shaped_cohort(10, dim, 0xFEED + t as u64);
+        let params = TreeParams {
+            max_depth: Some(5),
+            ..Default::default()
+        };
+        let mut a = DecisionTreeClassifier::new(params.clone());
+        a.fit(&densify(&train), &y).unwrap();
+        let mut b = DecisionTreeClassifier::new(params);
+        b.fit_features(&Features::Packed(&train), &y).unwrap();
+        assert_eq!(
+            a.predict(&densify(&queries)).unwrap(),
+            b.predict_features(&Features::Packed(&queries)).unwrap(),
+            "tree parity failed at dim {dim}"
+        );
+    }
+}
+
+#[test]
+fn svc_packed_decisions_are_bit_exact() {
+    for (t, &dim) in DIMS.iter().enumerate() {
+        let (train, y) = pima_shaped_cohort(24, dim, 0x5EED + t as u64);
+        let (queries, _) = pima_shaped_cohort(8, dim, 0xCAFE + t as u64);
+        for kernel in [Kernel::Rbf { gamma: None }, Kernel::Linear] {
+            let params = SvcParams {
+                kernel,
+                max_iter: 60,
+                ..Default::default()
+            };
+            let mut a = SvcClassifier::new(params.clone());
+            a.fit(&densify(&train), &y).unwrap();
+            let mut b = SvcClassifier::new(params);
+            b.fit_features(&Features::Packed(&train), &y).unwrap();
+            let za = a.decision_function(&densify(&queries)).unwrap();
+            let zb = b.decision_function_packed(&queries).unwrap();
+            for (i, (&da, &db)) in za.iter().zip(&zb).enumerate() {
+                assert_eq!(
+                    da.to_bits(),
+                    db.to_bits(),
+                    "SVC decision {i} drifted at dim {dim} ({kernel:?}): {da} vs {db}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn linear_models_packed_logits_within_1e5() {
+    for (t, &dim) in DIMS.iter().enumerate() {
+        let (train, y) = pima_shaped_cohort(30, dim, 0xBEEF + t as u64);
+        let dense_train = densify(&train);
+
+        let params = LogisticRegressionParams {
+            max_iter: 60,
+            ..Default::default()
+        };
+        let mut a = LogisticRegression::new(params.clone());
+        a.fit(&dense_train, &y).unwrap();
+        let mut b = LogisticRegression::new(params);
+        b.fit_features(&Features::Packed(&train), &y).unwrap();
+        let pa = a.predict_proba(&dense_train).unwrap();
+        let pb = b.predict_proba(&dense_train).unwrap();
+        for (&qa, &qb) in pa.iter().zip(&pb) {
+            let la = (qa / (1.0 - qa)).ln();
+            let lb = (qb / (1.0 - qb)).ln();
+            assert!(
+                (la - lb).abs() < 1e-5,
+                "logistic logit drift at dim {dim}: {la} vs {lb}"
+            );
+        }
+        assert_eq!(
+            a.predict(&dense_train).unwrap(),
+            b.predict_features(&Features::Packed(&train)).unwrap()
+        );
+
+        let params = SgdParams {
+            seed: 3,
+            ..Default::default()
+        };
+        let mut a = SgdClassifier::new(params.clone());
+        a.fit(&dense_train, &y).unwrap();
+        let mut b = SgdClassifier::new(params);
+        b.fit_features(&Features::Packed(&train), &y).unwrap();
+        let za = a.decision_function(&dense_train).unwrap();
+        let zb = b.decision_function_packed(&train).unwrap();
+        for (&da, &db) in za.iter().zip(&zb) {
+            assert!(
+                (da - db).abs() < 1e-5,
+                "SGD decision drift at dim {dim}: {da} vs {db}"
+            );
+        }
+        assert_eq!(
+            a.predict(&dense_train).unwrap(),
+            b.predict_features(&Features::Packed(&train)).unwrap()
+        );
+    }
+}
+
+#[test]
+fn densify_fallback_models_accept_packed_features() {
+    // Models without a popcount fast path go through the default
+    // densify-and-delegate path; predictions must match a dense fit.
+    let (train, y) = pima_shaped_cohort(24, 1000, 0x0DD);
+    let dense_train = densify(&train);
+    let params = RandomForestParams {
+        n_estimators: 10,
+        ..Default::default()
+    };
+    let mut a = RandomForestClassifier::new(params.clone());
+    a.fit(&dense_train, &y).unwrap();
+    let mut b = RandomForestClassifier::new(params);
+    b.fit_features(&Features::Packed(&train), &y).unwrap();
+    assert_eq!(
+        a.predict(&dense_train).unwrap(),
+        b.predict_features(&Features::Packed(&train)).unwrap()
+    );
+}

@@ -18,8 +18,9 @@ use crate::source::Analysis;
 pub const AUDITED_CRATES: [&str; 7] = ["hdc", "ml", "data", "eval", "core", "faults", "obs"];
 
 /// Kernel files where slice indexing requires an annotation.
-pub const KERNEL_FILES: [&str; 3] = [
+pub const KERNEL_FILES: [&str; 4] = [
     "crates/hdc/src/binary.rs",
+    "crates/hdc/src/bitmatrix.rs",
     "crates/hdc/src/bundle.rs",
     "crates/hdc/src/encoding/linear.rs",
 ];
