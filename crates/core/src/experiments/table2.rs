@@ -7,9 +7,11 @@ use crate::experiments::{raw_features, DatasetId, Datasets, ExperimentConfig};
 use crate::extractor::HdcFeatureExtractor;
 use crate::hamming::HammingModel;
 use crate::models::{make_model, ModelKind};
+use crate::online::OnlineHdcModel;
 use hyperfex_data::split::{stratified_split, SplitFractions};
 use hyperfex_data::Table;
 use hyperfex_eval::report::{pct, TableReport};
+use hyperfex_ml::online::OnlineTrainerKind;
 use serde::{Deserialize, Serialize};
 
 /// One dataset's Table II numbers.
@@ -23,6 +25,12 @@ pub struct Table2Row {
     pub nn_features_accuracy: f64,
     /// Sequential NN mean test accuracy on hypervectors.
     pub nn_hypervector_accuracy: f64,
+    /// Perceptron trainer LOOCV accuracy (extension row; pure hyperspace).
+    pub perceptron_accuracy: f64,
+    /// Passive-aggressive trainer LOOCV accuracy (extension row).
+    pub passive_aggressive_accuracy: f64,
+    /// LVQ trainer LOOCV accuracy (extension row).
+    pub lvq_accuracy: f64,
 }
 
 /// Full Table II result.
@@ -83,11 +91,22 @@ pub fn run(datasets: &Datasets, config: &ExperimentConfig) -> Result<Table2Resul
             .accuracy();
         let nn_features = nn_test_accuracy(table, config, false)?;
         let nn_hv = nn_test_accuracy(table, config, true)?;
+        // Extension rows: the online trainer family under the same
+        // leave-one-out protocol as the Hamming model, so the trained
+        // prototypes compete directly with the paper's 1-NN floor.
+        let online_loocv = |kind: OnlineTrainerKind| -> Result<f64, HyperfexError> {
+            Ok(OnlineHdcModel::new(config.dim(), config.seed, kind)
+                .evaluate_loocv(table)?
+                .accuracy())
+        };
         rows.push(Table2Row {
             dataset: id,
             hamming_accuracy: hamming,
             nn_features_accuracy: nn_features,
             nn_hypervector_accuracy: nn_hv,
+            perceptron_accuracy: online_loocv(OnlineTrainerKind::Perceptron)?,
+            passive_aggressive_accuracy: online_loocv(OnlineTrainerKind::PassiveAggressive)?,
+            lvq_accuracy: online_loocv(OnlineTrainerKind::Lvq)?,
         });
     }
     Ok(Table2Result { rows })
@@ -132,6 +151,21 @@ impl Table2Result {
                 pct(row.nn_hypervector_accuracy),
                 pct(p_hv),
             ]);
+            for (kind, acc) in [
+                (OnlineTrainerKind::Perceptron, row.perceptron_accuracy),
+                (
+                    OnlineTrainerKind::PassiveAggressive,
+                    row.passive_aggressive_accuracy,
+                ),
+                (OnlineTrainerKind::Lvq, row.lvq_accuracy),
+            ] {
+                t.push_row(vec![
+                    format!("{} (LOOCV)", kind.label()),
+                    row.dataset.label().into(),
+                    pct(acc),
+                    "-".into(),
+                ]);
+            }
         }
         t
     }
@@ -172,10 +206,19 @@ mod tests {
             assert!(row.hamming_accuracy > 0.5, "{row:?}");
             assert!((0.0..=1.0).contains(&row.nn_features_accuracy));
             assert!((0.0..=1.0).contains(&row.nn_hypervector_accuracy));
+            for acc in [
+                row.perceptron_accuracy,
+                row.passive_aggressive_accuracy,
+                row.lvq_accuracy,
+            ] {
+                assert!(acc > 0.5, "online trainer accuracy {acc} in {row:?}");
+            }
         }
         let report = result.to_report();
-        assert_eq!(report.rows.len(), 9);
+        // 3 paper rows + 3 online-trainer rows per dataset.
+        assert_eq!(report.rows.len(), 18);
         assert!(report.render().contains("Hamming"));
+        assert!(report.render().contains("HDC Perceptron"));
     }
 
     #[test]

@@ -12,14 +12,17 @@ use hyperfex_data::split::{stratified_split, SplitFractions};
 use hyperfex_data::Table;
 use hyperfex_eval::metrics::{BinaryMetrics, ConfusionMatrix};
 use hyperfex_eval::report::{metric3, pct, TableReport};
+use hyperfex_ml::online::{OnlineHdcClassifier, OnlineTrainerKind};
 use serde::{Deserialize, Serialize};
 
 /// One model's metrics on both input representations.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MetricsRow {
-    /// Model row (None = the Hamming reference row of Table V).
+    /// Model row (None = an online-trainer or Hamming reference row).
     pub model: Option<ModelKind>,
-    /// Metrics with raw features (None for the Hamming row).
+    /// Online HDC trainer row (extension; hypervector input only).
+    pub online: Option<OnlineTrainerKind>,
+    /// Metrics with raw features (None for online/Hamming rows).
     pub features: Option<BinaryMetrics>,
     /// Metrics with hypervectors.
     pub hypervectors: BinaryMetrics,
@@ -51,10 +54,10 @@ fn evaluate_split(
     );
     let mut extractor = HdcFeatureExtractor::new(config.dim(), config.seed);
     extractor.fit(table, Some(&split.train))?;
-    let x_train_hv =
-        HdcFeatureExtractor::to_matrix(&extractor.transform(table, Some(&split.train))?)?;
-    let x_test_hv =
-        HdcFeatureExtractor::to_matrix(&extractor.transform(table, Some(&split.test))?)?;
+    let train_hvs = extractor.transform(table, Some(&split.train))?;
+    let test_hvs = extractor.transform(table, Some(&split.test))?;
+    let x_train_hv = HdcFeatureExtractor::to_matrix(&train_hvs)?;
+    let x_test_hv = HdcFeatureExtractor::to_matrix(&test_hvs)?;
 
     let mut rows = Vec::new();
     for kind in PAPER_MODELS {
@@ -68,8 +71,23 @@ fn evaluate_split(
         };
         rows.push(MetricsRow {
             model: Some(kind),
+            online: None,
             features: Some(run(&x_train_raw, &x_test_raw)?),
             hypervectors: run(&x_train_hv, &x_test_hv)?,
+        });
+    }
+    // Extension rows: the online HDC trainer family on the same split.
+    // They live purely in hyperspace, so only the hypervector column is
+    // populated (like the Hamming reference row of Table V).
+    for kind in OnlineTrainerKind::ALL {
+        let mut model = OnlineHdcClassifier::new(kind);
+        model.fit_hypervectors(&train_hvs, &y_train)?;
+        let predictions = model.predict_hypervectors(&test_hvs)?;
+        rows.push(MetricsRow {
+            model: None,
+            online: Some(kind),
+            features: None,
+            hypervectors: ConfusionMatrix::from_labels(&y_test, &predictions).metrics(),
         });
     }
     Ok(MetricsTableResult {
@@ -103,6 +121,7 @@ pub fn run_table5(
     })?;
     result.rows.push(MetricsRow {
         model: None,
+        online: None,
         features: None,
         hypervectors: metrics,
     });
@@ -157,7 +176,11 @@ impl MetricsTableResult {
             ],
         );
         for row in &self.rows {
-            let label = row.model.map_or("Hamming (LOOCV)", ModelKind::label);
+            let label = match (row.model, row.online) {
+                (Some(m), _) => m.label(),
+                (None, Some(k)) => k.label(),
+                (None, None) => "Hamming (LOOCV)",
+            };
             let paper = row.model.and_then(|m| paper_accuracy(m, self.dataset));
             if let Some(f) = &row.features {
                 t.push_row(vec![
@@ -182,7 +205,7 @@ impl MetricsTableResult {
                 pct(h.accuracy),
                 paper.map_or_else(
                     || {
-                        if row.model.is_none() {
+                        if row.model.is_none() && row.online.is_none() {
                             pct(0.9596)
                         } else {
                             "-".into()
@@ -227,13 +250,21 @@ mod tests {
     }
 
     #[test]
-    fn table4_has_nine_model_rows() {
+    fn table4_has_nine_model_rows_plus_online_trainers() {
         let result = run_table4(&mini_datasets(), &mini_config()).unwrap();
-        assert_eq!(result.rows.len(), 9);
+        assert_eq!(result.rows.len(), 12);
         assert_eq!(result.dataset, DatasetId::PimaM);
-        for row in &result.rows {
+        for row in &result.rows[..9] {
             assert!(row.model.is_some());
+            assert!(row.online.is_none());
             assert!(row.features.is_some());
+        }
+        for (row, kind) in result.rows[9..].iter().zip(OnlineTrainerKind::ALL) {
+            assert!(row.model.is_none());
+            assert_eq!(row.online, Some(kind));
+            assert!(row.features.is_none());
+        }
+        for row in &result.rows {
             let m = &row.hypervectors;
             for v in [m.precision, m.recall, m.specificity, m.f1, m.accuracy] {
                 assert!((0.0..=1.0).contains(&v));
@@ -244,15 +275,17 @@ mod tests {
     #[test]
     fn table5_appends_the_hamming_row() {
         let result = run_table5(&mini_datasets(), &mini_config()).unwrap();
-        assert_eq!(result.rows.len(), 10);
+        assert_eq!(result.rows.len(), 13);
         let last = result.rows.last().unwrap();
         assert!(last.model.is_none());
+        assert!(last.online.is_none());
         assert!(last.features.is_none());
         assert!(last.hypervectors.accuracy > 0.5);
         let report = result.to_report("Table V");
-        // 9 models × 2 inputs + 1 Hamming row.
-        assert_eq!(report.rows.len(), 19);
+        // 9 models × 2 inputs + 3 online trainer rows + 1 Hamming row.
+        assert_eq!(report.rows.len(), 22);
         assert!(report.render().contains("Hamming"));
+        assert!(report.render().contains("HDC LVQ"));
     }
 
     #[test]

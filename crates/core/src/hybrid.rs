@@ -47,6 +47,26 @@ impl HybridClassifier {
         Ok(())
     }
 
+    /// Streams additional records through the wrapped model's online
+    /// update rule ([`Estimator::partial_fit_features`]), preserving the
+    /// model's learned state — the add-a-patient-follow-up scenario.
+    ///
+    /// Cold start is allowed: on the first call the encoder ranges are
+    /// fitted on the given rows and the model bootstraps from them.
+    /// Models without online support return
+    /// [`hyperfex_ml::MlError::PartialFitUnsupported`] (wrapped), leaving
+    /// both encoder and model untouched on the warm path.
+    pub fn partial_fit(&mut self, table: &Table, rows: &[usize]) -> Result<(), HyperfexError> {
+        if !self.fitted {
+            self.extractor.fit(table, Some(rows))?;
+        }
+        let bits = self.packed_features(table, rows)?;
+        let y: Vec<usize> = rows.iter().map(|&i| table.labels()[i]).collect();
+        self.model.partial_fit_features(&Features::Packed(&bits), &y)?;
+        self.fitted = true;
+        Ok(())
+    }
+
     /// Predicts classes for the selected rows.
     pub fn predict(&self, table: &Table, rows: &[usize]) -> Result<Vec<usize>, HyperfexError> {
         if !self.fitted {
@@ -198,6 +218,61 @@ mod tests {
         assert!(acc > 0.65, "held-out accuracy {acc}");
         assert_eq!(test.len() + train.len(), table.n_rows());
         assert_eq!(hybrid.model_name(), "Random Forest");
+    }
+
+    #[test]
+    fn partial_fit_streams_an_online_model_from_cold_start() {
+        let table = cohort();
+        let (train, test) = split(&table);
+        let mut hybrid = HybridClassifier::new(
+            Dim::new(1_000),
+            3,
+            Box::new(OnlineHdcClassifier::new(OnlineTrainerKind::Perceptron)),
+        );
+        // Interleave the stream (the generator emits positives first, but
+        // a clinic sees mixed arrivals): alternate front/back of the
+        // train indices so every batch carries both classes.
+        let stream: Vec<usize> = (0..train.len())
+            .map(|k| {
+                if k % 2 == 0 {
+                    train[k / 2]
+                } else {
+                    train[train.len() - 1 - k / 2]
+                }
+            })
+            .collect();
+        // Cold start on the first batch, then fold in the rest batch by
+        // batch over a few follow-up rounds; predictions must work after
+        // the first call already.
+        let (first, rest) = stream.split_at(16);
+        hybrid.partial_fit(&table, first).unwrap();
+        assert_eq!(hybrid.predict(&table, &test).unwrap().len(), test.len());
+        for _round in 0..3 {
+            for chunk in rest.chunks(8) {
+                hybrid.partial_fit(&table, chunk).unwrap();
+            }
+        }
+        let acc = hybrid.accuracy(&table, &test).unwrap();
+        assert!(acc > 0.6, "streamed accuracy {acc}");
+    }
+
+    #[test]
+    fn partial_fit_on_a_batch_model_is_a_typed_error() {
+        let table = cohort();
+        let (train, _) = split(&table);
+        let mut hybrid = HybridClassifier::new(
+            Dim::new(256),
+            0,
+            Box::new(DecisionTreeClassifier::new(TreeParams::default())),
+        );
+        let err = hybrid.partial_fit(&table, &train).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                HyperfexError::Ml(MlError::PartialFitUnsupported { .. })
+            ),
+            "{err}"
+        );
     }
 
     #[test]

@@ -47,12 +47,14 @@ pub mod hamming;
 pub mod hybrid;
 pub mod models;
 pub mod obs;
+pub mod online;
 pub mod risk;
 
 pub use error::HyperfexError;
 pub use extractor::{HdcFeatureExtractor, LenientTransform};
 pub use hamming::{HammingModel, RobustLoocv};
 pub use hybrid::HybridClassifier;
+pub use online::OnlineHdcModel;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
@@ -61,6 +63,7 @@ pub mod prelude {
     pub use crate::hamming::{HammingModel, RobustLoocv};
     pub use crate::hybrid::HybridClassifier;
     pub use crate::models::{make_model, ModelKind, PAPER_MODELS};
+    pub use crate::online::OnlineHdcModel;
     pub use crate::risk::RiskScorer;
     pub use hyperfex_data::prelude::*;
     pub use hyperfex_hdc::binary::Dim;

@@ -15,12 +15,13 @@ use hyperfex_hdc::rng::SplitMix64;
 use hyperfex_hdc::HdcError;
 
 /// Every failpoint compiled into the pipeline, in execution order.
-pub const PIPELINE_FAILPOINTS: [&str; 5] = [
+pub const PIPELINE_FAILPOINTS: [&str; 6] = [
     "data/load_csv",
     "data/impute",
     "hdc/encode_batch",
     "hdc/encode_record",
     "hdc/loocv_run",
+    "hdc/trainer_partial_fit",
 ];
 
 /// One deterministic configuration of all three injector layers.

@@ -41,6 +41,8 @@ impl CentroidClassifier {
     }
 
     /// Bundles the training set into per-class prototypes.
+    // lint: index-ok (sums/counts are sized to n_classes = max(labels) + 1
+    // above, and hypervectors[0] is guarded by the empty check)
     pub fn fit(
         &mut self,
         hypervectors: &[BinaryHypervector],
@@ -76,6 +78,8 @@ impl CentroidClassifier {
 
     /// Adds one example online (the clinical follow-up scenario: update the
     /// model as each new assessed patient arrives).
+    // lint: index-ok (sums/counts are resized to label + 1 right above the
+    // accesses when the label is new)
     pub fn update(&mut self, hv: &BinaryHypervector, label: usize) -> Result<(), HdcError> {
         let dim = self.dim.ok_or(HdcError::NotFitted)?;
         if hv.dim() != dim {
@@ -85,13 +89,19 @@ impl CentroidClassifier {
             });
         }
         if label >= self.sums.len() {
-            // Grow to accommodate a new class.
+            // Grow to accommodate a new class. A zero superposition
+            // quantises to all-ones (the `s >= 0` tie rule), so seeding the
+            // new prototypes with `ones` keeps them consistent with what a
+            // full requantise would produce.
             self.sums.resize(label + 1, vec![0i32; dim.get()]);
             self.counts.resize(label + 1, 0);
+            self.prototypes.resize(label + 1, BinaryHypervector::ones(dim));
         }
         Self::accumulate(&mut self.sums[label], hv, 1);
         self.counts[label] += 1;
-        self.requantize();
+        // Only the touched class changed; rebuilding every prototype here
+        // would make the online path O(classes × dim) per record.
+        self.requantize_class(label);
         Ok(())
     }
 
@@ -113,6 +123,16 @@ impl CentroidClassifier {
                 labels: labels.len(),
             });
         }
+        // A retrain set may only reference classes the classifier already
+        // knows: the update rule subtracts from `sums[predicted]` as well as
+        // adding to `sums[label]`, so silently growing here would leave the
+        // new class with a garbage (never-bundled) superposition.
+        if let Some(&bad) = labels.iter().find(|&&l| l >= self.sums.len()) {
+            return Err(HdcError::UnknownLabel {
+                label: bad,
+                classes: self.sums.len(),
+            });
+        }
         // Pocket algorithm: the perceptron-style updates can oscillate on
         // non-separable or imbalanced data, so keep the best state seen and
         // restore it at the end. This guarantees retraining never reduces
@@ -131,19 +151,7 @@ impl CentroidClassifier {
         let mut ran = 0usize;
         for epoch in 0..epochs {
             ran = epoch + 1;
-            let mut mistakes = 0usize;
-            for (hv, &label) in hypervectors.iter().zip(labels) {
-                let predicted = self.predict(hv)?;
-                if predicted != label {
-                    Self::accumulate(&mut self.sums[label], hv, 1);
-                    Self::accumulate(&mut self.sums[predicted], hv, -1);
-                    mistakes += 1;
-                    // Requantise immediately so later examples in the same
-                    // epoch see the corrected prototypes (online perceptron
-                    // semantics).
-                    self.requantize();
-                }
-            }
+            let mistakes = self.retrain_epoch(hypervectors, labels)?;
             let s = score(self)?;
             if s > best_score {
                 best_score = s;
@@ -158,6 +166,50 @@ impl CentroidClassifier {
             self.prototypes = best_state.1;
         }
         Ok(ran)
+    }
+
+    /// Runs exactly one raw perceptron pass over `(hypervectors, labels)`:
+    /// each mistake adds the example to its true class superposition,
+    /// subtracts it from the predicted one, and requantises the two touched
+    /// prototypes immediately (online perceptron semantics). Returns the
+    /// number of mistakes. Unlike [`CentroidClassifier::retrain`] there is
+    /// no pocket/best-state restore — the pass is applied unconditionally.
+    // lint: index-ok (every label is validated < sums.len() up front, and
+    // `predicted` comes from predict, which ranges over the same classes)
+    pub fn retrain_epoch(
+        &mut self,
+        hypervectors: &[BinaryHypervector],
+        labels: &[usize],
+    ) -> Result<usize, HdcError> {
+        if self.dim.is_none() {
+            return Err(HdcError::NotFitted);
+        }
+        if hypervectors.len() != labels.len() {
+            return Err(HdcError::LabelLengthMismatch {
+                samples: hypervectors.len(),
+                labels: labels.len(),
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= self.sums.len()) {
+            return Err(HdcError::UnknownLabel {
+                label: bad,
+                classes: self.sums.len(),
+            });
+        }
+        let mut mistakes = 0usize;
+        for (hv, &label) in hypervectors.iter().zip(labels) {
+            let predicted = self.predict(hv)?;
+            if predicted != label {
+                Self::accumulate(&mut self.sums[label], hv, 1);
+                Self::accumulate(&mut self.sums[predicted], hv, -1);
+                mistakes += 1;
+                // Classes quantise independently, so only the two touched
+                // superpositions need their prototypes rebuilt.
+                self.requantize_class(label);
+                self.requantize_class(predicted);
+            }
+        }
+        Ok(mistakes)
     }
 
     /// Number of classes.
@@ -222,6 +274,15 @@ impl CentroidClassifier {
                 BinaryHypervector::collect_bits(dim, sums.iter().map(|&s| s >= 0))
             })
             .collect();
+    }
+
+    /// Rebuilds the quantised prototype of a single class in place, leaving
+    /// every other prototype untouched (classes quantise independently).
+    fn requantize_class(&mut self, class: usize) {
+        let Some(dim) = self.dim else { return };
+        if let (Some(sums), Some(proto)) = (self.sums.get(class), self.prototypes.get_mut(class)) {
+            *proto = BinaryHypervector::collect_bits(dim, sums.iter().map(|&s| s >= 0));
+        }
     }
 }
 
@@ -343,6 +404,73 @@ mod tests {
         let before = score(&clf);
         clf.retrain(&hvs, &labels, 30).unwrap();
         assert!(score(&clf) >= before);
+    }
+
+    #[test]
+    fn retrain_with_unseen_label_returns_typed_error() {
+        // Regression: this used to index `self.sums[label]` out of bounds
+        // and panic when the retrain set contained a class absent at fit.
+        let (hvs, labels, enc) = training_set();
+        let mut clf = CentroidClassifier::new();
+        clf.fit(&hvs, &labels).unwrap();
+        let stranger = enc.encode(50.0);
+        let err = clf
+            .retrain(std::slice::from_ref(&stranger), &[7], 3)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            HdcError::UnknownLabel {
+                label: 7,
+                classes: 2
+            }
+        );
+        // Same validation on the raw single-epoch path.
+        let err = clf
+            .retrain_epoch(std::slice::from_ref(&stranger), &[2])
+            .unwrap_err();
+        assert!(matches!(err, HdcError::UnknownLabel { label: 2, .. }));
+    }
+
+    #[test]
+    fn update_does_not_rebuild_untouched_prototypes() {
+        // Regression: `update` used to requantise every class. The untouched
+        // prototype's heap buffer must survive an update to another class —
+        // a rebuilt prototype would allocate fresh words.
+        let (hvs, labels, enc) = training_set();
+        let mut clf = CentroidClassifier::new();
+        clf.fit(&hvs, &labels).unwrap();
+        let class0_words = clf.prototype(0).unwrap().words().as_ptr();
+        clf.update(&enc.encode(90.0), 1).unwrap();
+        assert_eq!(
+            clf.prototype(0).unwrap().words().as_ptr(),
+            class0_words,
+            "updating class 1 must not rebuild class 0's prototype"
+        );
+        // And the touched class still matches a from-scratch requantise.
+        let mut sums_clf = CentroidClassifier::new();
+        let mut hvs2 = hvs.clone();
+        let mut labels2 = labels.clone();
+        hvs2.push(enc.encode(90.0));
+        labels2.push(1);
+        sums_clf.fit(&hvs2, &labels2).unwrap();
+        assert_eq!(clf.prototype(1), sums_clf.prototype(1));
+    }
+
+    #[test]
+    fn update_growth_matches_full_requantize() {
+        // Growing a new class online must leave prototypes identical to a
+        // classifier that requantises everything from the same sums.
+        let (hvs, labels, enc) = training_set();
+        let mut clf = CentroidClassifier::new();
+        clf.fit(&hvs, &labels).unwrap();
+        clf.update(&enc.encode(50.0), 3).unwrap();
+        assert_eq!(clf.n_classes(), 4);
+        // Class 2 was created implicitly with a zero superposition: it must
+        // quantise to all-ones exactly as a full requantise would.
+        assert_eq!(
+            clf.prototype(2).unwrap(),
+            &BinaryHypervector::ones(hvs[0].dim())
+        );
     }
 
     #[test]

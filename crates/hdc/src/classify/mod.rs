@@ -8,11 +8,18 @@
 //!   baseline from Kleyko et al. that the paper cites as \[39\].
 //! * [`LeaveOneOut`] — the paper's leave-one-out validation harness,
 //!   parallelised over held-out rows with rayon.
+//! * [`trainer`] — online mistake-driven trainers (perceptron,
+//!   passive-aggressive, LVQ) sharing the [`OnlineTrainer`] streaming
+//!   `partial_fit`/`update` API over integer class accumulators.
 
 mod centroid;
 mod knn;
 mod loocv;
+pub mod trainer;
 
 pub use centroid::CentroidClassifier;
 pub use knn::HammingKnnClassifier;
 pub use loocv::{LeaveOneOut, LoocvOutcome};
+pub use trainer::{
+    fit_pocketed, LvqTrainer, OnlineTrainer, PassiveAggressiveTrainer, PerceptronTrainer,
+};

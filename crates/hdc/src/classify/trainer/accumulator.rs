@@ -1,0 +1,222 @@
+//! Shared integer class-accumulator state for the online trainers.
+//!
+//! Each class keeps a signed per-bit count of *set* contributions plus one
+//! scalar total weight. For a class whose examples were added with signed
+//! weights `w`, the classic centroid superposition at bit `i` (set → `+w`,
+//! clear → `-w`) is recoverable as `s_i = 2·ones_i − total`, so the
+//! centroid quantisation rule `s_i ≥ 0` becomes `2·ones_i ≥ total` — ties
+//! still quantise to 1, bit-identical to [`CentroidClassifier`]'s rule.
+//!
+//! Storing set-counts instead of full ±1 superpositions is what makes the
+//! online path fast: an update touches only the *set* bits of the incoming
+//! hypervector (word-level `trailing_zeros` scatter over ~d/2 bits) plus a
+//! single scalar, instead of all `d` counters.
+//!
+//! [`CentroidClassifier`]: crate::classify::CentroidClassifier
+
+use crate::binary::{BinaryHypervector, Dim};
+use crate::error::HdcError;
+
+/// Integer class superpositions with per-class quantised prototypes.
+///
+/// Invariant: `ones`, `totals` and `prototypes` always have the same
+/// length, every `ones[c]` has `dim` entries, and `prototypes[c]` is the
+/// quantisation of class `c`'s current accumulator state.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub(crate) struct ClassAccumulators {
+    dim: Dim,
+    /// Per class, per bit: signed sum of weights of contributions whose
+    /// hypervector had that bit *set*.
+    ones: Vec<Vec<i32>>,
+    /// Per class: signed sum of all contribution weights.
+    totals: Vec<i32>,
+    /// Quantised prototypes, requantised per touched class.
+    prototypes: Vec<BinaryHypervector>,
+}
+
+impl ClassAccumulators {
+    /// Creates an empty accumulator set for `dim`-bit hypervectors.
+    pub(crate) fn new(dim: Dim) -> Self {
+        Self {
+            dim,
+            ones: Vec::new(),
+            totals: Vec::new(),
+            prototypes: Vec::new(),
+        }
+    }
+
+    pub(crate) fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    pub(crate) fn n_classes(&self) -> usize {
+        self.ones.len()
+    }
+
+    /// Discards all accumulated state, keeping the dimensionality.
+    pub(crate) fn reset(&mut self) {
+        self.ones.clear();
+        self.totals.clear();
+        self.prototypes.clear();
+    }
+
+    /// Returns a typed error unless `hv` matches the configured dimension.
+    pub(crate) fn check_dim(&self, hv: &BinaryHypervector) -> Result<(), HdcError> {
+        if hv.dim() == self.dim {
+            Ok(())
+        } else {
+            Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: hv.dim().get(),
+            })
+        }
+    }
+
+    /// Grows the class set so `label` is addressable. New classes start
+    /// with a zero superposition, which quantises to all-ones under the
+    /// `2·ones ≥ total` tie rule (0 ≥ 0).
+    pub(crate) fn grow(&mut self, label: usize) {
+        if label >= self.ones.len() {
+            self.ones.resize(label + 1, vec![0i32; self.dim.get()]);
+            self.totals.resize(label + 1, 0);
+            self.prototypes
+                .resize(label + 1, BinaryHypervector::ones(self.dim));
+        }
+    }
+
+    /// Adds `hv` to class `class` with signed `weight` and requantises that
+    /// class's prototype (only that one — classes quantise independently).
+    ///
+    /// The scatter loop walks set bits word-by-word with `trailing_zeros`,
+    /// so an update costs O(popcount + words) rather than O(d).
+    pub(crate) fn add(&mut self, class: usize, hv: &BinaryHypervector, weight: i32) {
+        debug_assert!(class < self.ones.len(), "grow() must precede add()");
+        let Some(ones) = self.ones.get_mut(class) else {
+            return;
+        };
+        for (word_idx, &word) in hv.words().iter().enumerate() {
+            let base = word_idx * 64;
+            let mut mask = word;
+            while mask != 0 {
+                let bit = mask.trailing_zeros() as usize;
+                // lint: index-ok (set-bit positions are < dim by the
+                // tail-word invariant, and ones has exactly dim entries)
+                ones[base + bit] += weight;
+                mask &= mask - 1;
+            }
+        }
+        if let Some(total) = self.totals.get_mut(class) {
+            *total += weight;
+        }
+        self.requantize_class(class);
+    }
+
+    /// Rebuilds the quantised prototype of one class from its accumulators.
+    fn requantize_class(&mut self, class: usize) {
+        let (Some(ones), Some(&total)) = (self.ones.get(class), self.totals.get(class)) else {
+            return;
+        };
+        let proto = BinaryHypervector::collect_bits(self.dim, ones.iter().map(|&o| 2 * o >= total));
+        if let Some(slot) = self.prototypes.get_mut(class) {
+            *slot = proto;
+        }
+    }
+
+    pub(crate) fn prototype(&self, class: usize) -> Option<&BinaryHypervector> {
+        self.prototypes.get(class)
+    }
+
+    /// Hamming distance from `query` to every class prototype.
+    pub(crate) fn hammings(&self, query: &BinaryHypervector) -> Result<Vec<usize>, HdcError> {
+        if self.prototypes.is_empty() {
+            return Err(HdcError::NotFitted);
+        }
+        self.prototypes
+            .iter()
+            .map(|p| query.try_hamming(p))
+            .collect()
+    }
+
+    /// Nearest-prototype prediction; ties break to the lowest class index,
+    /// matching [`CentroidClassifier::predict`].
+    ///
+    /// [`CentroidClassifier::predict`]: crate::classify::CentroidClassifier::predict
+    pub(crate) fn predict(&self, query: &BinaryHypervector) -> Result<usize, HdcError> {
+        if self.prototypes.is_empty() {
+            return Err(HdcError::NotFitted);
+        }
+        let mut best = (usize::MAX, 0usize);
+        for (c, proto) in self.prototypes.iter().enumerate() {
+            let d = query.try_hamming(proto)?;
+            if d < best.0 {
+                best = (d, c);
+            }
+        }
+        Ok(best.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hv(dim: Dim, bits: &[usize]) -> BinaryHypervector {
+        let mut v = BinaryHypervector::zeros(dim);
+        for &b in bits {
+            v.set(b, true);
+        }
+        v
+    }
+
+    #[test]
+    fn zero_class_quantises_to_all_ones() {
+        let dim = Dim::new(70);
+        let mut acc = ClassAccumulators::new(dim);
+        acc.grow(0);
+        assert_eq!(acc.prototype(0).unwrap(), &BinaryHypervector::ones(dim));
+    }
+
+    #[test]
+    fn add_matches_centroid_sign_rule() {
+        // Two examples: bit 3 set twice (s=+2 → 1), bit 5 set once
+        // (s=0, tie → 1), bit 7 never set (s=-2 → 0).
+        let dim = Dim::new(64);
+        let mut acc = ClassAccumulators::new(dim);
+        acc.grow(0);
+        acc.add(0, &hv(dim, &[3, 5]), 1);
+        acc.add(0, &hv(dim, &[3]), 1);
+        let p = acc.prototype(0).unwrap();
+        assert!(p.get(3));
+        assert!(p.get(5));
+        assert!(!p.get(7));
+    }
+
+    #[test]
+    fn subtract_reverses_add() {
+        let dim = Dim::new(130);
+        let mut acc = ClassAccumulators::new(dim);
+        acc.grow(1);
+        let x = hv(dim, &[0, 64, 129]);
+        let before = acc.prototype(1).unwrap().clone();
+        acc.add(1, &x, 3);
+        acc.add(1, &x, -3);
+        assert_eq!(acc.prototype(1).unwrap(), &before);
+    }
+
+    #[test]
+    fn predict_breaks_ties_to_lowest_class() {
+        let dim = Dim::new(64);
+        let mut acc = ClassAccumulators::new(dim);
+        acc.grow(1);
+        // Both classes still hold the all-ones prototype: equidistant.
+        assert_eq!(acc.predict(&hv(dim, &[1])).unwrap(), 0);
+    }
+
+    #[test]
+    fn unfitted_predict_errors() {
+        let acc = ClassAccumulators::new(Dim::new(64));
+        let q = BinaryHypervector::zeros(Dim::new(64));
+        assert_eq!(acc.predict(&q), Err(HdcError::NotFitted));
+        assert_eq!(acc.hammings(&q), Err(HdcError::NotFitted));
+    }
+}

@@ -1,0 +1,138 @@
+//! LVQ1-style prototype pull/push trainer.
+
+use super::{ClassAccumulators, OnlineTrainer};
+use crate::binary::{BinaryHypervector, Dim};
+use crate::error::HdcError;
+
+/// Learning vector quantisation over integer class accumulators.
+///
+/// Every record moves the *winning* prototype (LVQ1 dynamics): a correct
+/// win pulls the winner toward the example (weight +1); a wrong win pushes
+/// the winner away (weight −1) and additionally pulls the true class toward
+/// the example (weight +1). Compared to the perceptron, correct
+/// predictions keep reinforcing their prototype, which densifies the class
+/// superpositions over a stream instead of freezing them once separable.
+///
+/// [`OnlineTrainer::update`] returns `true` only for the corrective
+/// (mistake) case, so `partial_fit`'s return value still counts mistakes
+/// and multi-epoch training can stop once a pass is clean — even though
+/// correct records also (benignly) adjust the winner.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LvqTrainer {
+    acc: ClassAccumulators,
+}
+
+impl LvqTrainer {
+    /// Creates an empty trainer for `dim`-bit hypervectors.
+    #[must_use]
+    pub fn new(dim: Dim) -> Self {
+        Self {
+            acc: ClassAccumulators::new(dim),
+        }
+    }
+}
+
+impl OnlineTrainer for LvqTrainer {
+    fn name(&self) -> &'static str {
+        "lvq"
+    }
+
+    fn dim(&self) -> Dim {
+        self.acc.dim()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.acc.n_classes()
+    }
+
+    fn prototype(&self, class: usize) -> Option<&BinaryHypervector> {
+        self.acc.prototype(class)
+    }
+
+    fn reset(&mut self) {
+        self.acc.reset();
+    }
+
+    fn absorb(&mut self, hv: &BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        self.acc.check_dim(hv)?;
+        self.acc.grow(label);
+        self.acc.add(label, hv, 1);
+        Ok(())
+    }
+
+    fn update(&mut self, hv: &BinaryHypervector, label: usize) -> Result<bool, HdcError> {
+        self.acc.check_dim(hv)?;
+        if label >= self.acc.n_classes() {
+            // First sighting of this class: seed its superposition with the
+            // example instead of leaving it at the uninformative zero state.
+            self.acc.grow(label);
+            self.acc.add(label, hv, 1);
+            return Ok(true);
+        }
+        let winner = self.acc.predict(hv)?;
+        if winner == label {
+            // Correct win: pull the winner toward the example.
+            self.acc.add(winner, hv, 1);
+            Ok(false)
+        } else {
+            // Wrong win: push the winner away, pull the true class in.
+            self.acc.add(winner, hv, -1);
+            self.acc.add(label, hv, 1);
+            Ok(true)
+        }
+    }
+
+    fn predict(&self, query: &BinaryHypervector) -> Result<usize, HdcError> {
+        self.acc.predict(query)
+    }
+
+    fn distances(&self, query: &BinaryHypervector) -> Result<Vec<f64>, HdcError> {
+        let d = self.acc.dim().get() as f64;
+        Ok(self
+            .acc
+            .hammings(query)?
+            .into_iter()
+            .map(|h| h as f64 / d)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn correct_wins_pull_the_winner() {
+        let dim = Dim::new(256);
+        let mut t = LvqTrainer::new(dim);
+        let a = BinaryHypervector::random(dim, &mut SplitMix64::new(1));
+        let b = a.complement();
+        t.absorb(&a, 0).unwrap();
+        t.absorb(&b, 1).unwrap();
+        // `a` is already class 0's prototype: the update is non-corrective
+        // but still reinforces (pulls) the winner.
+        assert!(!t.update(&a, 0).unwrap());
+        assert_eq!(t.predict(&a).unwrap(), 0);
+    }
+
+    #[test]
+    fn wrong_wins_push_and_pull() {
+        let dim = Dim::new(256);
+        let mut t = LvqTrainer::new(dim);
+        let a = BinaryHypervector::random(dim, &mut SplitMix64::new(1));
+        let b = a.complement();
+        t.absorb(&a, 0).unwrap();
+        t.absorb(&b, 1).unwrap();
+        // Repeatedly labelling `b` as class 0 must eventually flip it.
+        let mut corrected = false;
+        for _ in 0..5 {
+            corrected |= t.update(&b, 0).unwrap();
+            if t.predict(&b).unwrap() == 0 {
+                break;
+            }
+        }
+        assert!(corrected);
+        assert_eq!(t.predict(&b).unwrap(), 0);
+    }
+}

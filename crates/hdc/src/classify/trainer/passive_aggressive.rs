@@ -1,0 +1,201 @@
+//! Passive-aggressive trainer: margin-scaled integer updates.
+
+use super::{ClassAccumulators, OnlineTrainer};
+use crate::binary::{BinaryHypervector, Dim};
+use crate::error::HdcError;
+
+/// Default required score margin between the true class and the best rival.
+pub const DEFAULT_MARGIN: f64 = 0.1;
+/// Default scale from hinge loss to integer update weight.
+pub const DEFAULT_AGGRESSIVENESS: f64 = 4.0;
+/// Default clamp on a single update's integer weight.
+pub const DEFAULT_MAX_WEIGHT: i32 = 4;
+
+/// Passive-aggressive updates on the normalized-Hamming score gap.
+///
+/// Scores are `s_c = 1 − 2·hamming_c/d ∈ [−1, 1]`. With true class `t` and
+/// best rival `r`, the hinge loss is `ℓ = max(0, margin − (s_t − s_r))`.
+/// When `ℓ = 0` the trainer is *passive* (no update); otherwise it is
+/// *aggressive*: the example is added to class `t` and subtracted from
+/// class `r` with integer weight `⌈ℓ · aggressiveness⌉`, clamped to
+/// `max_weight`. Confident mistakes (large negative gap) therefore get
+/// large corrections, boundary cases small ones, and — unlike the
+/// perceptron — correct-but-narrow wins still tighten the margin.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct PassiveAggressiveTrainer {
+    acc: ClassAccumulators,
+    margin: f64,
+    aggressiveness: f64,
+    max_weight: i32,
+}
+
+impl PassiveAggressiveTrainer {
+    /// Creates a trainer with the default margin/aggressiveness/clamp.
+    #[must_use]
+    pub fn new(dim: Dim) -> Self {
+        Self {
+            acc: ClassAccumulators::new(dim),
+            margin: DEFAULT_MARGIN,
+            aggressiveness: DEFAULT_AGGRESSIVENESS,
+            max_weight: DEFAULT_MAX_WEIGHT,
+        }
+    }
+
+    /// Creates a trainer with explicit hyper-parameters.
+    pub fn with_params(
+        dim: Dim,
+        margin: f64,
+        aggressiveness: f64,
+        max_weight: i32,
+    ) -> Result<Self, HdcError> {
+        if !margin.is_finite() || !(0.0..=2.0).contains(&margin) {
+            return Err(HdcError::InvalidConfig(format!(
+                "PA margin must be finite in [0, 2], got {margin}"
+            )));
+        }
+        if !aggressiveness.is_finite() || aggressiveness <= 0.0 {
+            return Err(HdcError::InvalidConfig(format!(
+                "PA aggressiveness must be finite and positive, got {aggressiveness}"
+            )));
+        }
+        if max_weight < 1 {
+            return Err(HdcError::InvalidConfig(format!(
+                "PA max_weight must be >= 1, got {max_weight}"
+            )));
+        }
+        Ok(Self {
+            acc: ClassAccumulators::new(dim),
+            margin,
+            aggressiveness,
+            max_weight,
+        })
+    }
+}
+
+impl OnlineTrainer for PassiveAggressiveTrainer {
+    fn name(&self) -> &'static str {
+        "passive-aggressive"
+    }
+
+    fn dim(&self) -> Dim {
+        self.acc.dim()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.acc.n_classes()
+    }
+
+    fn prototype(&self, class: usize) -> Option<&BinaryHypervector> {
+        self.acc.prototype(class)
+    }
+
+    fn reset(&mut self) {
+        self.acc.reset();
+    }
+
+    fn absorb(&mut self, hv: &BinaryHypervector, label: usize) -> Result<(), HdcError> {
+        self.acc.check_dim(hv)?;
+        self.acc.grow(label);
+        self.acc.add(label, hv, 1);
+        Ok(())
+    }
+
+    fn update(&mut self, hv: &BinaryHypervector, label: usize) -> Result<bool, HdcError> {
+        self.acc.check_dim(hv)?;
+        if label >= self.acc.n_classes() {
+            // First sighting of this class: seed its superposition with the
+            // example instead of leaving it at the uninformative zero state.
+            self.acc.grow(label);
+            self.acc.add(label, hv, 1);
+            return Ok(true);
+        }
+        if self.acc.n_classes() < 2 {
+            // With a single class there is no rival to define a gap.
+            return Ok(false);
+        }
+        let hammings = self.acc.hammings(hv)?;
+        let d = self.acc.dim().get() as f64;
+        let score = |h: usize| 1.0 - 2.0 * (h as f64) / d;
+        // Best rival: minimum Hamming among classes != label, ties to the
+        // lowest index (consistent with predict's tie rule).
+        let rival = hammings
+            .iter()
+            .enumerate()
+            .filter(|&(c, _)| c != label)
+            .min_by(|a, b| a.1.cmp(b.1))
+            .map(|(c, _)| c)
+            .ok_or(HdcError::NotFitted)?;
+        let gap = score(hammings[label]) - score(hammings[rival]);
+        let loss = (self.margin - gap).max(0.0);
+        if loss <= 0.0 {
+            return Ok(false);
+        }
+        let weight = (loss * self.aggressiveness)
+            .ceil()
+            .clamp(1.0, f64::from(self.max_weight)) as i32;
+        self.acc.add(label, hv, weight);
+        self.acc.add(rival, hv, -weight);
+        Ok(true)
+    }
+
+    fn predict(&self, query: &BinaryHypervector) -> Result<usize, HdcError> {
+        self.acc.predict(query)
+    }
+
+    fn distances(&self, query: &BinaryHypervector) -> Result<Vec<f64>, HdcError> {
+        let d = self.acc.dim().get() as f64;
+        Ok(self
+            .acc
+            .hammings(query)?
+            .into_iter()
+            .map(|h| h as f64 / d)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        let dim = Dim::new(64);
+        assert!(PassiveAggressiveTrainer::with_params(dim, -0.1, 8.0, 16).is_err());
+        assert!(PassiveAggressiveTrainer::with_params(dim, f64::NAN, 8.0, 16).is_err());
+        assert!(PassiveAggressiveTrainer::with_params(dim, 0.1, 0.0, 16).is_err());
+        assert!(PassiveAggressiveTrainer::with_params(dim, 0.1, 8.0, 0).is_err());
+        assert!(PassiveAggressiveTrainer::with_params(dim, 0.1, 8.0, 16).is_ok());
+    }
+
+    #[test]
+    fn confident_mistakes_get_larger_weights_than_boundary_cases() {
+        // One class far away: a query identical to class 1's prototype but
+        // labelled 0 is a confident mistake and must move the accumulators
+        // more than a borderline example would.
+        let dim = Dim::new(256);
+        let mut t = PassiveAggressiveTrainer::new(dim);
+        let a = BinaryHypervector::random(dim, &mut SplitMix64::new(1));
+        let b = BinaryHypervector::random(dim, &mut SplitMix64::new(2));
+        t.absorb(&a, 0).unwrap();
+        t.absorb(&b, 1).unwrap();
+        // `b` labelled 0 is maximally wrong: the correction must be strong
+        // enough that a few repetitions flip the prediction.
+        for _ in 0..3 {
+            t.update(&b, 0).unwrap();
+        }
+        assert_eq!(t.predict(&b).unwrap(), 0);
+    }
+
+    #[test]
+    fn within_margin_predictions_are_passive() {
+        let dim = Dim::new(256);
+        let mut t = PassiveAggressiveTrainer::with_params(dim, 0.05, 8.0, 16).unwrap();
+        let a = BinaryHypervector::random(dim, &mut SplitMix64::new(1));
+        let b = a.complement();
+        t.absorb(&a, 0).unwrap();
+        t.absorb(&b, 1).unwrap();
+        // `a` scores 1.0 for class 0 and −1.0 for class 1: gap 2.0 ≫ margin.
+        assert!(!t.update(&a, 0).unwrap());
+    }
+}

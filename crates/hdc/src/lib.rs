@@ -17,8 +17,10 @@
 //!   features, the categorical encoder for binary features, and the record
 //!   encoder that bundles one hypervector per patient.
 //! * [`classify`] — Hamming 1-NN / k-NN, nearest-centroid (class prototype)
-//!   classifiers with optional perceptron-style retraining, and a
-//!   leave-one-out cross-validation harness parallelised with rayon.
+//!   classifiers with optional perceptron-style retraining, online
+//!   mistake-driven trainers (perceptron / passive-aggressive / LVQ) with
+//!   streaming `partial_fit`, and a leave-one-out cross-validation harness
+//!   parallelised with rayon.
 //! * [`ternary`] and [`bipolar`] — the alternative hypervector backends the
 //!   paper mentions (§II: "ternary ... and integer hypervectors could also
 //!   be used").
@@ -75,7 +77,8 @@ pub mod prelude {
     pub use crate::bitmatrix::BitMatrix;
     pub use crate::bundle;
     pub use crate::classify::{
-        CentroidClassifier, HammingKnnClassifier, LeaveOneOut, LoocvOutcome,
+        fit_pocketed, CentroidClassifier, HammingKnnClassifier, LeaveOneOut, LoocvOutcome,
+        LvqTrainer, OnlineTrainer, PassiveAggressiveTrainer, PerceptronTrainer,
     };
     pub use crate::encoding::{
         CategoricalEncoder, FeatureEncoder, LenientBatch, LinearEncoder, QuarantineEntry,

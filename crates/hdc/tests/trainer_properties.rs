@@ -1,0 +1,157 @@
+//! Property tests for the online trainer family.
+//!
+//! The load-bearing property: a full `PerceptronTrainer::partial_fit` pass
+//! is bit-identical to one `CentroidClassifier::retrain_epoch` on
+//! equivalent state. Both walk the examples in order, predict with the same
+//! min-Hamming lowest-index tie rule, apply the same ±1 add/subtract on
+//! mistakes, and requantise only the touched classes with the same
+//! `s ≥ 0` (tie → 1) rule — so every intermediate prototype, and therefore
+//! every subsequent prediction, must agree exactly.
+
+use hyperfex_hdc::binary::{BinaryHypervector, Dim};
+use hyperfex_hdc::classify::{fit_pocketed, CentroidClassifier, OnlineTrainer, PerceptronTrainer};
+use hyperfex_hdc::rng::SplitMix64;
+use hyperfex_hdc::HdcError;
+use proptest::prelude::*;
+
+const DIM: usize = 320;
+
+/// A random labelled cohort: `n` hypervectors over `classes` classes, with
+/// every class guaranteed at least one member (labels are `i % classes`).
+fn cohort(seed: u64, n: usize, classes: usize) -> (Vec<BinaryHypervector>, Vec<usize>) {
+    let mut rng = SplitMix64::new(seed);
+    let hvs = (0..n)
+        .map(|_| BinaryHypervector::random(Dim::new(DIM), &mut rng))
+        .collect();
+    let labels = (0..n).map(|i| i % classes).collect();
+    (hvs, labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// One perceptron `partial_fit` pass over a full cohort produces
+    /// bit-identical prototypes to one `CentroidClassifier::retrain_epoch`
+    /// started from the same bundled state — across several consecutive
+    /// epochs.
+    #[test]
+    fn perceptron_pass_is_bit_identical_to_retrain_epoch(
+        seed in any::<u64>(),
+        n in 4usize..24,
+        classes in 2usize..5,
+    ) {
+        let (hvs, labels) = cohort(seed, n, classes);
+
+        let mut centroid = CentroidClassifier::new();
+        centroid.fit(&hvs, &labels).unwrap();
+
+        let mut trainer = PerceptronTrainer::new(Dim::new(DIM));
+        for (hv, &label) in hvs.iter().zip(&labels) {
+            trainer.absorb(hv, label).unwrap();
+        }
+        for c in 0..classes {
+            prop_assert_eq!(trainer.prototype(c).unwrap(), centroid.prototype(c).unwrap(),
+                "bundled init differs for class {}", c);
+        }
+
+        for epoch in 0..3usize {
+            let mistakes = centroid.retrain_epoch(&hvs, &labels).unwrap();
+            let corrections = trainer.partial_fit(&hvs, &labels).unwrap();
+            prop_assert_eq!(mistakes, corrections, "mistake counts differ in epoch {}", epoch);
+            for c in 0..classes {
+                prop_assert_eq!(
+                    trainer.prototype(c).unwrap(),
+                    centroid.prototype(c).unwrap(),
+                    "prototypes differ for class {} after epoch {}", c, epoch
+                );
+            }
+        }
+
+        // And the resulting models agree on fresh queries.
+        let mut rng = SplitMix64::new(seed ^ 0xD1CE);
+        for _ in 0..8 {
+            let q = BinaryHypervector::random(Dim::new(DIM), &mut rng);
+            prop_assert_eq!(trainer.predict(&q).unwrap(), centroid.predict(&q).unwrap());
+        }
+    }
+
+    /// Label growth: streaming a cohort record-by-record through `update`
+    /// allocates exactly the classes seen, and every allocated class has a
+    /// prototype of the right dimensionality.
+    #[test]
+    fn update_grows_labels_consistently(seed in any::<u64>(), classes in 1usize..6) {
+        let (hvs, labels) = cohort(seed, 12, classes);
+        let mut trainer = PerceptronTrainer::new(Dim::new(DIM));
+        let mut seen_max = 0usize;
+        for (hv, &label) in hvs.iter().zip(&labels) {
+            trainer.update(hv, label).unwrap();
+            seen_max = seen_max.max(label);
+            prop_assert_eq!(trainer.n_classes(), seen_max + 1);
+        }
+        for c in 0..trainer.n_classes() {
+            prop_assert_eq!(trainer.prototype(c).unwrap().dim().get(), DIM);
+        }
+    }
+
+    /// Pocketed fitting never scores below the single-pass bundling
+    /// baseline on its own training set.
+    #[test]
+    fn fit_pocketed_is_at_least_as_good_as_bundling(seed in any::<u64>()) {
+        let (hvs, labels) = cohort(seed, 16, 2);
+        let mut fitted = PerceptronTrainer::new(Dim::new(DIM));
+        fit_pocketed(&mut fitted, &hvs, &labels, 10).unwrap();
+        let mut bundled = PerceptronTrainer::new(Dim::new(DIM));
+        for (hv, &label) in hvs.iter().zip(&labels) {
+            bundled.absorb(hv, label).unwrap();
+        }
+        let correct = |t: &PerceptronTrainer| hvs.iter().zip(&labels)
+            .filter(|(hv, &l)| t.predict(hv).unwrap() == l)
+            .count();
+        prop_assert!(correct(&fitted) >= correct(&bundled));
+    }
+}
+
+#[test]
+fn dimension_mismatch_surfaces_from_every_entry_point() {
+    let mut trainer = PerceptronTrainer::new(Dim::new(DIM));
+    let wrong = BinaryHypervector::zeros(Dim::new(DIM / 2));
+    assert!(matches!(
+        trainer.update(&wrong, 0),
+        Err(HdcError::DimensionMismatch { .. })
+    ));
+    assert!(matches!(
+        trainer.absorb(&wrong, 0),
+        Err(HdcError::DimensionMismatch { .. })
+    ));
+    assert!(matches!(
+        trainer.partial_fit(std::slice::from_ref(&wrong), &[0]),
+        Err(HdcError::DimensionMismatch { .. })
+    ));
+    // A fitted trainer rejects mismatched queries too.
+    let ok = BinaryHypervector::zeros(Dim::new(DIM));
+    trainer.update(&ok, 0).unwrap();
+    trainer.update(&ok, 1).unwrap();
+    assert!(matches!(
+        trainer.predict(&wrong),
+        Err(HdcError::DimensionMismatch { .. })
+    ));
+}
+
+#[test]
+fn retrain_epoch_rejects_unseen_labels_like_retrain() {
+    let mut rng = SplitMix64::new(5);
+    let hvs: Vec<_> = (0..4)
+        .map(|_| BinaryHypervector::random(Dim::new(DIM), &mut rng))
+        .collect();
+    let labels = vec![0, 1, 0, 1];
+    let mut centroid = CentroidClassifier::new();
+    centroid.fit(&hvs, &labels).unwrap();
+    let err = centroid.retrain_epoch(&hvs, &[0, 1, 0, 9]).unwrap_err();
+    assert_eq!(
+        err,
+        HdcError::UnknownLabel {
+            label: 9,
+            classes: 2
+        }
+    );
+}

@@ -40,6 +40,12 @@ pub enum MlError {
     },
     /// Training requires at least one example of each of two classes.
     SingleClass,
+    /// The model cannot learn incrementally: `partial_fit` was called on an
+    /// estimator without online-update support.
+    PartialFitUnsupported {
+        /// Name of the model that rejected the call.
+        model: &'static str,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -64,6 +70,9 @@ impl fmt::Display for MlError {
                     f,
                     "training data contains a single class; need at least two"
                 )
+            }
+            Self::PartialFitUnsupported { model } => {
+                write!(f, "{model} does not support incremental (partial_fit) updates")
             }
         }
     }

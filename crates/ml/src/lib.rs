@@ -37,6 +37,7 @@ pub mod linalg;
 pub mod linear;
 pub mod nn;
 pub mod obs;
+pub mod online;
 pub mod preprocessing;
 pub mod svm;
 pub mod traits;
@@ -62,6 +63,7 @@ pub mod prelude {
         LogisticRegression, LogisticRegressionParams, SgdClassifier, SgdLoss, SgdParams,
     };
     pub use crate::nn::{EarlyStopping, SequentialNn, SequentialNnParams};
+    pub use crate::online::{OnlineHdcClassifier, OnlineTrainerKind};
     pub use crate::preprocessing::{MinMaxScaler, StandardScaler};
     pub use crate::svm::{Kernel, SvcClassifier, SvcParams};
     pub use crate::traits::{densify, Estimator, Features, ProbabilisticEstimator};

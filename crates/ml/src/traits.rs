@@ -104,6 +104,26 @@ pub trait Estimator: Send + Sync {
         }
     }
 
+    /// Incrementally updates the model with a mini-batch, preserving prior
+    /// learned state (the add-a-patient-online scenario). The default
+    /// returns [`MlError::PartialFitUnsupported`] — deliberately *not* a
+    /// silent refit, which would discard everything learned so far. Online
+    /// models ([`crate::online::OnlineHdcClassifier`]) override this; they
+    /// also accept a cold start, bootstrapping from the first mini-batch.
+    fn partial_fit(&mut self, x: &Matrix, y: &[usize]) -> Result<(), MlError> {
+        let _ = (x, y);
+        Err(MlError::PartialFitUnsupported { model: self.name() })
+    }
+
+    /// [`Estimator::partial_fit`] from either feature representation
+    /// (default: densify packed input and delegate).
+    fn partial_fit_features(&mut self, x: &Features<'_>, y: &[usize]) -> Result<(), MlError> {
+        match x {
+            Features::Dense(m) => self.partial_fit(m, y),
+            Features::Packed(b) => self.partial_fit(&densify(b), y),
+        }
+    }
+
     /// Fraction of rows whose predicted class equals `y`.
     fn accuracy(&self, x: &Matrix, y: &[usize]) -> Result<f64, MlError> {
         let predictions = self.predict(x)?;

@@ -18,11 +18,13 @@ use crate::source::Analysis;
 pub const AUDITED_CRATES: [&str; 7] = ["hdc", "ml", "data", "eval", "core", "faults", "obs"];
 
 /// Kernel files where slice indexing requires an annotation.
-pub const KERNEL_FILES: [&str; 4] = [
+pub const KERNEL_FILES: [&str; 6] = [
     "crates/hdc/src/binary.rs",
     "crates/hdc/src/bitmatrix.rs",
     "crates/hdc/src/bundle.rs",
     "crates/hdc/src/encoding/linear.rs",
+    "crates/hdc/src/classify/trainer/accumulator.rs",
+    "crates/hdc/src/classify/centroid.rs",
 ];
 
 const PANIC_PATTERNS: [&str; 6] = [

@@ -20,7 +20,7 @@ use std::fmt::Write as _;
 
 use hyperfex::prelude::*;
 use hyperfex_faults::{registry, FaultPlan};
-use hyperfex_hdc::classify::LeaveOneOut;
+use hyperfex_hdc::classify::{LeaveOneOut, OnlineTrainer, PerceptronTrainer};
 
 const N_PLANS: u64 = 16;
 const DIM: usize = 256;
@@ -151,6 +151,19 @@ fn run_pipeline(name: &str, base: &Table, plan: &FaultPlan) -> String {
                 .unwrap(),
                 Err(e) => writeln!(log, "degraded: error: {e}").unwrap(),
             }
+            // Online layer: stream the (possibly bit-flipped) store through
+            // a perceptron trainer. The `hdc/trainer_partial_fit` seam is
+            // armed by the same rule set as everything above.
+            let mut trainer = PerceptronTrainer::new(Dim::new(DIM));
+            match trainer.partial_fit(&lenient.hypervectors, &labels) {
+                Ok(corrections) => writeln!(
+                    log,
+                    "trainer: classes={} corrections={corrections}",
+                    trainer.n_classes()
+                )
+                .unwrap(),
+                Err(e) => writeln!(log, "trainer: error: {e}").unwrap(),
+            }
         }
         Err(e) => writeln!(log, "transform: error: {e}").unwrap(),
     }
@@ -201,6 +214,42 @@ fn the_none_plan_reproduces_the_clean_pipeline_exactly() {
             "{name}: lenient path must match strict on a clean table:\n{transcript}"
         );
     }
+}
+
+#[test]
+fn trainer_partial_fit_survives_bit_flip_injection() {
+    let (_, table) = &cohorts()[1];
+    let treated = impute_class_median(table).unwrap();
+    let mut extractor = HdcFeatureExtractor::new(Dim::new(DIM), 7);
+    let mut hvs = extractor.fit_transform(&treated).unwrap();
+    // Heavy seeded storage degradation, then several online passes: the
+    // trainer must absorb corrupted records without panicking and keep
+    // predicting valid classes.
+    let mut plan = FaultPlan::none(3);
+    plan.flip_rate = 0.25;
+    plan.apply_store(&mut hvs).unwrap();
+    let mut trainer = PerceptronTrainer::new(Dim::new(DIM));
+    for _ in 0..3 {
+        trainer.partial_fit(&hvs, treated.labels()).unwrap();
+    }
+    let predictions = trainer.predict_batch(&hvs).unwrap();
+    assert_eq!(predictions.len(), hvs.len());
+    assert!(predictions.iter().all(|&p| p < trainer.n_classes()));
+
+    // An armed `hdc/trainer_partial_fit` seam surfaces as a typed error
+    // that names the failpoint — never a panic.
+    let rules = vec![hyperfex_faults::FailRule {
+        point: "hdc/trainer_partial_fit".to_string(),
+        action: hyperfex_faults::FaultAction::Fail,
+        after: 0,
+        times: None,
+    }];
+    let _guard = registry::install(&rules);
+    let err = trainer.partial_fit(&hvs, treated.labels()).unwrap_err();
+    assert!(
+        err.to_string().contains("hdc/trainer_partial_fit"),
+        "error must name the failpoint, got: {err}"
+    );
 }
 
 #[test]
