@@ -31,10 +31,10 @@ fn bench_ops(c: &mut Criterion) {
         bch.iter(|| black_box(a.bind(black_box(&b))));
     });
     g.bench_function("majority_bundle_8", |bch| {
-        bch.iter(|| black_box(bundle::majority(black_box(&stack))));
+        bch.iter(|| black_box(bundle::try_majority(black_box(&stack)).unwrap()));
     });
     g.bench_function("majority_bundle_16", |bch| {
-        bch.iter(|| black_box(bundle::majority(black_box(&stack16))));
+        bch.iter(|| black_box(bundle::try_majority(black_box(&stack16)).unwrap()));
     });
     g.bench_function("random_balanced", |bch| {
         bch.iter_batched(
@@ -60,10 +60,20 @@ fn bench_bitmatrix(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("bitmatrix_10k");
     g.bench_function("popcount_dot", |bch| {
-        bch.iter(|| black_box(popcount_dot(black_box(m.row_words(0)), black_box(m.row_words(1)))));
+        bch.iter(|| {
+            black_box(popcount_dot(
+                black_box(m.row_words(0)),
+                black_box(m.row_words(1)),
+            ))
+        });
     });
     g.bench_function("masked_weight_sum", |bch| {
-        bch.iter(|| black_box(masked_weight_sum(black_box(m.row_words(0)), black_box(&weights))));
+        bch.iter(|| {
+            black_box(masked_weight_sum(
+                black_box(m.row_words(0)),
+                black_box(&weights),
+            ))
+        });
     });
     g.bench_function("masked_scatter_add", |bch| {
         bch.iter_batched(

@@ -59,7 +59,9 @@ fn bench_fits(c: &mut Criterion) {
                     let x = Features::Packed(&bits);
                     b.iter(|| {
                         let mut model = make_model(k, 42, &budget);
-                        model.fit_features(black_box(&x), black_box(&labels)).unwrap();
+                        model
+                            .fit_features(black_box(&x), black_box(&labels))
+                            .unwrap();
                         black_box(model.predict_features(&x).unwrap())
                     });
                 } else {

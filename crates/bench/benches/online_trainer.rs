@@ -20,9 +20,7 @@ fn stream(n: usize) -> Vec<(BinaryHypervector, usize)> {
     (0..n)
         .map(|i| {
             let base = if i % 2 == 0 { &a } else { &b };
-            let noisy = base
-                .flip_balanced(Dim::PAPER.get() / 10, &mut rng)
-                .unwrap();
+            let noisy = base.flip_balanced(Dim::PAPER.get() / 10, &mut rng).unwrap();
             (noisy, i % 2)
         })
         .collect()

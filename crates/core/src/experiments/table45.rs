@@ -67,7 +67,7 @@ fn evaluate_split(
             let mut model = make_model(kind, config.seed, &config.budget);
             model.fit(x_train, &y_train)?;
             let predictions = model.predict(x_test)?;
-            Ok(ConfusionMatrix::from_labels(&y_test, &predictions).metrics())
+            Ok(ConfusionMatrix::from_labels(&y_test, &predictions)?.metrics())
         };
         rows.push(MetricsRow {
             model: Some(kind),
@@ -87,7 +87,7 @@ fn evaluate_split(
             model: None,
             online: Some(kind),
             features: None,
-            hypervectors: ConfusionMatrix::from_labels(&y_test, &predictions).metrics(),
+            hypervectors: ConfusionMatrix::from_labels(&y_test, &predictions)?.metrics(),
         });
     }
     Ok(MetricsTableResult {

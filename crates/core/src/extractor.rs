@@ -3,8 +3,8 @@
 use crate::error::HyperfexError;
 use hyperfex_data::{ColumnKind, Table};
 use hyperfex_hdc::binary::{BinaryHypervector, Dim};
-use hyperfex_hdc::encoding::{FeatureSpec, QuarantineReport, RecordEncoder, RecordSchema};
 use hyperfex_hdc::bitmatrix::BitMatrix;
+use hyperfex_hdc::encoding::{FeatureSpec, QuarantineReport, RecordEncoder, RecordSchema};
 use hyperfex_ml::Matrix;
 
 /// Encodes patient records into binary hypervectors and exposes them in

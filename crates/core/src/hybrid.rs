@@ -62,7 +62,8 @@ impl HybridClassifier {
         }
         let bits = self.packed_features(table, rows)?;
         let y: Vec<usize> = rows.iter().map(|&i| table.labels()[i]).collect();
-        self.model.partial_fit_features(&Features::Packed(&bits), &y)?;
+        self.model
+            .partial_fit_features(&Features::Packed(&bits), &y)?;
         self.fitted = true;
         Ok(())
     }

@@ -13,9 +13,14 @@
 //! stays a zero-cost no-op without the feature.
 
 #[cfg(feature = "obs")]
+pub use hyperfex_obs::{counter_add, current_depth, observe, reset, span, SpanGuard};
+
+// lint: gate-ok (report types are instrumented-build-only by design: a
+// snapshot of a build that records nothing would be a lie; consumers of
+// these names are themselves cfg(feature = "obs")-gated)
+#[cfg(feature = "obs")]
 pub use hyperfex_obs::{
-    counter_add, current_depth, observe, reset, snapshot, span, CounterSnapshot, HistogramSnapshot,
-    Recorder, RunReport, Snapshot, SpanGuard, SpanSnapshot,
+    snapshot, CounterSnapshot, HistogramSnapshot, Recorder, RunReport, Snapshot, SpanSnapshot,
 };
 
 #[cfg(not(feature = "obs"))]

@@ -84,9 +84,8 @@ impl OnlineHdcModel {
                 let mut clf = OnlineHdcClassifier::with_epochs(self.kind, self.epochs)?;
                 clf.fit_hypervectors(&train_hvs, &train_labels)?;
                 let mut p = clf.predict_hypervectors(std::slice::from_ref(&hvs[held_out]))?;
-                p.pop().ok_or_else(|| {
-                    HyperfexError::Pipeline("predict returned no prediction".into())
-                })
+                p.pop()
+                    .ok_or_else(|| HyperfexError::Pipeline("predict returned no prediction".into()))
             })
             .collect::<Result<Vec<usize>, _>>()?;
         let n_classes = labels.iter().copied().max().unwrap_or(0) + 1;
@@ -164,8 +163,10 @@ mod tests {
             vec![table.labels()[0]],
         )
         .unwrap();
-        assert!(OnlineHdcModel::new(Dim::new(256), 0, OnlineTrainerKind::Lvq)
-            .evaluate_loocv(&two)
-            .is_err());
+        assert!(
+            OnlineHdcModel::new(Dim::new(256), 0, OnlineTrainerKind::Lvq)
+                .evaluate_loocv(&two)
+                .is_err()
+        );
     }
 }

@@ -44,6 +44,8 @@ mod active {
     }
 }
 
+// lint: gate-ok (handler installation is chaos-build-only by design:
+// production builds must not even expose a way to arm faults)
 #[cfg(feature = "fault-injection")]
 pub use active::{clear, install, Handler};
 

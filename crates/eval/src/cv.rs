@@ -69,7 +69,7 @@ pub fn cross_validate(
         model.fit(&x_train, &y_train)?;
         train_acc_sum += model.accuracy(&x_train, &y_train)?;
         let predictions = model.predict(&x_test)?;
-        let fold_cm = ConfusionMatrix::from_labels(&y_test, &predictions);
+        let fold_cm = ConfusionMatrix::from_labels(&y_test, &predictions)?;
         fold_accuracies.push(fold_cm.metrics().accuracy);
         pooled = pooled.merged(&fold_cm);
     }

@@ -1,6 +1,7 @@
 //! Binary classification metrics, with the paper's conventions:
 //! class 1 (diabetes) is the positive class.
 
+use hyperfex_ml::MlError;
 use serde::{Deserialize, Serialize};
 
 /// A binary confusion matrix.
@@ -19,11 +20,17 @@ pub struct ConfusionMatrix {
 impl ConfusionMatrix {
     /// Accumulates a confusion matrix from aligned label slices.
     ///
-    /// # Panics
-    /// Panics if lengths differ (caller bug, not data-dependent).
-    #[must_use]
-    pub fn from_labels(actual: &[usize], predicted: &[usize]) -> Self {
-        assert_eq!(actual.len(), predicted.len(), "label slices must align");
+    /// Returns [`MlError::LabelLengthMismatch`] when the slices differ in
+    /// length and [`MlError::InvalidParameter`] on any non-0/1 label, so
+    /// corrupt label data surfaces as a reportable error instead of
+    /// aborting a long evaluation run.
+    pub fn from_labels(actual: &[usize], predicted: &[usize]) -> Result<Self, MlError> {
+        if actual.len() != predicted.len() {
+            return Err(MlError::LabelLengthMismatch {
+                rows: actual.len(),
+                labels: predicted.len(),
+            });
+        }
         let mut m = Self::default();
         for (&a, &p) in actual.iter().zip(predicted) {
             match (a, p) {
@@ -31,10 +38,15 @@ impl ConfusionMatrix {
                 (0, 0) => m.tn += 1,
                 (0, 1) => m.fp += 1,
                 (1, 0) => m.fn_ += 1,
-                _ => panic!("binary metrics require 0/1 labels, got ({a}, {p})"),
+                _ => {
+                    return Err(MlError::InvalidParameter {
+                        name: "labels",
+                        reason: format!("binary metrics require 0/1 labels, got ({a}, {p})"),
+                    })
+                }
             }
         }
-        m
+        Ok(m)
     }
 
     /// Total number of samples.
@@ -121,7 +133,7 @@ mod tests {
     fn from_labels_counts_correctly() {
         let actual = [1, 1, 0, 0, 1, 0];
         let predicted = [1, 0, 0, 1, 1, 0];
-        let m = ConfusionMatrix::from_labels(&actual, &predicted);
+        let m = ConfusionMatrix::from_labels(&actual, &predicted).unwrap();
         assert_eq!(
             m,
             ConfusionMatrix {
@@ -179,15 +191,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "label slices must align")]
-    fn mismatched_lengths_panic() {
-        let _ = ConfusionMatrix::from_labels(&[1, 0], &[1]);
+    fn mismatched_lengths_and_bad_labels_are_typed_errors() {
+        assert!(matches!(
+            ConfusionMatrix::from_labels(&[1, 0], &[1]),
+            Err(MlError::LabelLengthMismatch { rows: 2, labels: 1 })
+        ));
+        assert!(matches!(
+            ConfusionMatrix::from_labels(&[2, 0], &[1, 0]),
+            Err(MlError::InvalidParameter { name: "labels", .. })
+        ));
     }
 
     #[test]
     fn perfect_classifier_scores_one_everywhere() {
         let labels = [1, 0, 1, 0, 1];
-        let m = ConfusionMatrix::from_labels(&labels, &labels);
+        let m = ConfusionMatrix::from_labels(&labels, &labels).unwrap();
         let x = m.metrics();
         for v in [x.accuracy, x.precision, x.recall, x.specificity, x.f1] {
             assert_eq!(v, 1.0);

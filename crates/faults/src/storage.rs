@@ -100,6 +100,8 @@ pub fn burst(hv: &mut BinaryHypervector, start: usize, len: usize) -> Result<(),
 ///
 /// Recovery is `BinaryHypervector::scrub_tail`; detection is
 /// `BinaryHypervector::tail_invariant_ok`.
+// lint: gate-ok (depends on raw_words_mut, which only chaos builds expose;
+// a no-op shim would silently report corruption that never happened)
 #[cfg(feature = "fault-injection")]
 pub fn corrupt_tail(hv: &mut BinaryHypervector) -> bool {
     let d = hv.len();

@@ -152,6 +152,8 @@ impl BinaryHypervector {
     // lint: index-ok (order holds d elements, so the d/2 slice is in range)
     pub fn random_balanced(dim: Dim, rng: &mut SplitMix64) -> Self {
         let d = dim.get();
+        // lint: cast-ok (bit indices fit u32 — dimensionalities are
+        // u32-indexable by construction throughout this crate)
         let mut order: Vec<u32> = (0..d as u32).collect();
         rng.shuffle(&mut order);
         let mut hv = Self::zeros(dim);
@@ -275,6 +277,7 @@ impl BinaryHypervector {
     /// to word-level kernels.
     #[cfg(feature = "fault-injection")]
     // lint: tail-ok (fault-injection escape hatch: corrupting the tail is the point; scrub_tail restores it)
+    // lint: gate-ok (raw word access exists to model storage faults; production builds must not expose it)
     pub fn raw_words_mut(&mut self) -> &mut [u64] {
         &mut self.words
     }
@@ -453,6 +456,8 @@ impl BinaryHypervector {
     ///
     /// Returns an error if `count` exceeds the number of ones or zeros.
     pub fn flip_balanced(&self, count: usize, rng: &mut SplitMix64) -> Result<Self, HdcError> {
+        // lint: cast-ok (bit indices fit u32 by the dimensionality bound;
+        // the f64 casts feed an error payload where rounding is harmless)
         let ones: Vec<u32> = self
             .iter_bits()
             .enumerate()
@@ -488,6 +493,8 @@ impl BinaryHypervector {
     ) {
         // Partial Fisher–Yates over copies: we only need `count` samples
         // from each list.
+        // lint: cast-ok (list lengths widen into u64 for the RNG bound,
+        // and u32 bit indices widen into usize on supported targets)
         let pick = |pool: &[u32], n: usize, rng: &mut SplitMix64, out: &mut Vec<u32>| {
             let mut idx: Vec<u32> = pool.to_vec();
             for i in 0..n {

@@ -243,7 +243,7 @@ mod tests {
         let binaries: Vec<_> = (0..5)
             .map(|_| BinaryHypervector::random(dim, &mut r))
             .collect();
-        let expected = crate::bundle::majority(&binaries);
+        let expected = crate::bundle::try_majority(&binaries).unwrap();
         let mut acc = BipolarAccumulator::new(dim);
         for b in &binaries {
             acc.push(&BipolarHypervector::from_binary(b)).unwrap();

@@ -104,7 +104,11 @@ impl BitMatrix {
     #[must_use]
     // lint: index-ok (the assert bounds r < n_rows, so the word range is in the buffer)
     pub fn row_words(&self, r: usize) -> &[u64] {
-        assert!(r < self.n_rows, "row index {r} out of range {}", self.n_rows);
+        assert!(
+            r < self.n_rows,
+            "row index {r} out of range {}",
+            self.n_rows
+        );
         let wpr = self.dim.words();
         &self.words[r * wpr..(r + 1) * wpr]
     }
@@ -117,7 +121,11 @@ impl BitMatrix {
     #[must_use]
     // lint: index-ok (row_words is bounds-checked and the assert bounds c < dim)
     pub fn get(&self, r: usize, c: usize) -> bool {
-        assert!(c < self.dim.get(), "bit index {c} out of range {}", self.dim);
+        assert!(
+            c < self.dim.get(),
+            "bit index {c} out of range {}",
+            self.dim
+        );
         (self.row_words(r)[c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
     }
 
@@ -127,8 +135,16 @@ impl BitMatrix {
     /// Panics if `r >= self.n_rows()` or `c >= self.dim().get()`.
     // lint: index-ok (both asserts bound the word offset inside the buffer)
     pub fn set(&mut self, r: usize, c: usize, value: bool) {
-        assert!(r < self.n_rows, "row index {r} out of range {}", self.n_rows);
-        assert!(c < self.dim.get(), "bit index {c} out of range {}", self.dim);
+        assert!(
+            r < self.n_rows,
+            "row index {r} out of range {}",
+            self.n_rows
+        );
+        assert!(
+            c < self.dim.get(),
+            "bit index {c} out of range {}",
+            self.dim
+        );
         let wpr = self.dim.words();
         let mask = 1u64 << (c % WORD_BITS);
         let idx = r * wpr + c / WORD_BITS;
@@ -332,6 +348,7 @@ pub fn pairwise_hamming(m: &BitMatrix) -> Vec<u32> {
                     let i = lo + r;
                     let a = m.row_words(i);
                     for (j, cell) in row_out.iter_mut().enumerate().skip(i + 1) {
+                        // lint: cast-ok (hamming <= d < 2^32, the u32-indexable bound)
                         *cell = hamming_words(a, m.row_words(j)) as u32;
                     }
                 }
@@ -363,6 +380,7 @@ pub fn hamming_between(queries: &BitMatrix, train: &BitMatrix) -> Result<Vec<u32
     for (qi, row_out) in out.chunks_mut(t.max(1)).enumerate() {
         let q = queries.row_words(qi);
         for (tj, cell) in row_out.iter_mut().enumerate() {
+            // lint: cast-ok (hamming <= d < 2^32, the u32-indexable bound)
             *cell = hamming_words(q, train.row_words(tj)) as u32;
         }
     }
@@ -399,10 +417,7 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_mixed_dimensions() {
-        assert_eq!(
-            BitMatrix::from_hypervectors(&[]),
-            Err(HdcError::EmptyInput)
-        );
+        assert_eq!(BitMatrix::from_hypervectors(&[]), Err(HdcError::EmptyInput));
         let mut rng = SplitMix64::new(2);
         let a = BinaryHypervector::random(Dim::new(64), &mut rng);
         let b = BinaryHypervector::random(Dim::new(65), &mut rng);
@@ -471,7 +486,10 @@ mod tests {
         let hvs = random_stack(1, 1000, 7);
         let weights: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
         let fast = masked_weight_sum(hvs[0].words(), &weights);
-        let naive: f64 = (0..1000).filter(|&i| hvs[0].get(i)).map(|i| weights[i]).sum();
+        let naive: f64 = (0..1000)
+            .filter(|&i| hvs[0].get(i))
+            .map(|i| weights[i])
+            .sum();
         assert!((fast - naive).abs() <= 1e-9 * naive.abs().max(1.0));
     }
 

@@ -26,18 +26,10 @@ use crate::error::HdcError;
 
 /// Bundles hypervectors by per-bit majority vote, ties broken toward 1.
 ///
-/// # Panics
-/// Panics if `inputs` is empty or dimensionalities differ; see
-/// [`try_majority`] for a fallible version.
-#[must_use]
-pub fn majority(inputs: &[BinaryHypervector]) -> BinaryHypervector {
-    try_majority(inputs).expect("majority bundling requires non-empty, same-dimension inputs")
-}
-
-/// Fallible majority bundling.
-///
 /// For an even number of inputs, a bit with exactly half ones is set to 1
-/// (the paper's tie-break). For odd counts no ties are possible.
+/// (the paper's tie-break). For odd counts no ties are possible. Errors on
+/// an empty slice or mismatched dimensionalities — there is no panicking
+/// variant.
 pub fn try_majority(inputs: &[BinaryHypervector]) -> Result<BinaryHypervector, HdcError> {
     let first = inputs.first().ok_or(HdcError::EmptyInput)?;
     let mut bundler = Bundler::new(first.dim());
@@ -177,6 +169,7 @@ impl Bundler {
             return Err(HdcError::EmptyInput);
         }
         let w = u64::from(weight);
+        // lint: cast-ok (64 - leading_zeros is a u32 in 0..=64 widening to usize)
         let w_bits = (64 - w.leading_zeros()) as usize;
         let max_p = self.planes.len().max(w_bits);
         // Validate before mutating so a failed removal leaves the
@@ -233,6 +226,7 @@ impl Bundler {
         }
         crate::obs::counter_add("hdc/bundles_finished", 1);
         let threshold = u64::from(self.total.div_ceil(2));
+        // lint: cast-ok (64 - leading_zeros is a u32 in 0..=64 widening to usize)
         let t_bits = (64 - threshold.leading_zeros()) as usize;
         let max_p = self.planes.len().max(t_bits);
         let mut out = BinaryHypervector::zeros(self.dim);
@@ -273,6 +267,7 @@ impl Bundler {
         let mut out = vec![0u32; d];
         for (p, plane) in self.planes.iter().enumerate() {
             for (i, slot) in out.iter_mut().enumerate() {
+                // lint: cast-ok (the source is masked to one bit, so it is 0 or 1)
                 *slot |= (((plane[i / WORD_BITS] >> (i % WORD_BITS)) & 1) as u32) << p;
             }
         }
@@ -296,7 +291,7 @@ mod tests {
     #[test]
     fn majority_of_single_vector_is_identity() {
         let hv = BinaryHypervector::random(dim(), &mut rng());
-        assert_eq!(majority(std::slice::from_ref(&hv)), hv);
+        assert_eq!(try_majority(std::slice::from_ref(&hv)).unwrap(), hv);
     }
 
     #[test]
@@ -313,7 +308,7 @@ mod tests {
         let c = BinaryHypervector::zeros(d);
         a.set(0, true);
         b.set(0, true);
-        let out = majority(&[a, b, c]);
+        let out = try_majority(&[a, b, c]).unwrap();
         assert!(out.get(0));
         assert!(!out.get(1));
     }
@@ -326,7 +321,7 @@ mod tests {
                 .unwrap();
         let b = a.complement();
         // Every bit is a 1-1 tie.
-        let out = majority(&[a, b]);
+        let out = try_majority(&[a, b]).unwrap();
         assert_eq!(out.count_ones(), 8);
     }
 
@@ -337,7 +332,7 @@ mod tests {
         let inputs: Vec<_> = (0..7)
             .map(|_| BinaryHypervector::random(d, &mut r))
             .collect();
-        let bundled = majority(&inputs);
+        let bundled = try_majority(&inputs).unwrap();
         let unrelated = BinaryHypervector::random(d, &mut r);
         for hv in &inputs {
             let din = bundled.hamming(hv);
@@ -362,7 +357,7 @@ mod tests {
         for hv in &inputs {
             b.push(hv).unwrap();
         }
-        assert_eq!(b.finish().unwrap(), majority(&inputs));
+        assert_eq!(b.finish().unwrap(), try_majority(&inputs).unwrap());
         assert_eq!(b.votes(), 6);
     }
 
@@ -387,7 +382,7 @@ mod tests {
         let a = BinaryHypervector::random(dim(), &mut r);
         let b = BinaryHypervector::random(dim(), &mut r);
         let weighted = try_weighted_majority(&[(a.clone(), 3), (b.clone(), 1)]).unwrap();
-        let repeated = majority(&[a.clone(), a.clone(), a, b]);
+        let repeated = try_majority(&[a.clone(), a.clone(), a, b]).unwrap();
         assert_eq!(weighted, repeated);
     }
 
@@ -503,7 +498,7 @@ mod tests {
             let inputs: Vec<_> = (0..n)
                 .map(|_| BinaryHypervector::random(d, &mut r))
                 .collect();
-            let bundled = majority(&inputs);
+            let bundled = try_majority(&inputs).unwrap();
             for i in 0..d.get() {
                 let sum: usize = inputs.iter().filter(|hv| hv.get(i)).count();
                 let rounded = (2 * sum + n) / (2 * n);

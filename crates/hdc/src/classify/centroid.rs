@@ -95,7 +95,8 @@ impl CentroidClassifier {
             // full requantise would produce.
             self.sums.resize(label + 1, vec![0i32; dim.get()]);
             self.counts.resize(label + 1, 0);
-            self.prototypes.resize(label + 1, BinaryHypervector::ones(dim));
+            self.prototypes
+                .resize(label + 1, BinaryHypervector::ones(dim));
         }
         Self::accumulate(&mut self.sums[label], hv, 1);
         self.counts[label] += 1;
@@ -246,6 +247,7 @@ impl CentroidClassifier {
         }
         self.prototypes
             .iter()
+            // lint: cast-ok (hamming and len are <= d, far below f64's 2^53)
             .map(|p| Ok(query.try_hamming(p)? as f64 / p.len() as f64))
             .collect()
     }
@@ -328,7 +330,7 @@ mod tests {
         let mut clf = CentroidClassifier::new();
         clf.fit(&hvs, &labels).unwrap();
         let class0: Vec<_> = hvs[..5].to_vec();
-        let expected = crate::bundle::majority(&class0);
+        let expected = crate::bundle::try_majority(&class0).unwrap();
         assert_eq!(clf.prototype(0).unwrap(), &expected);
     }
 

@@ -201,7 +201,9 @@ mod tests {
         let labels = vec![0, 0, 1];
         let mut plain = HammingKnnClassifier::new(3).unwrap();
         plain.fit(hvs.clone(), labels.clone()).unwrap();
-        let mut weighted = HammingKnnClassifier::new(3).unwrap().with_distance_weighting();
+        let mut weighted = HammingKnnClassifier::new(3)
+            .unwrap()
+            .with_distance_weighting();
         weighted.fit(hvs, labels).unwrap();
         let query = enc.encode(50.0);
         assert_eq!(

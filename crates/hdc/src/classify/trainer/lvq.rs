@@ -87,6 +87,7 @@ impl OnlineTrainer for LvqTrainer {
     }
 
     fn distances(&self, query: &BinaryHypervector) -> Result<Vec<f64>, HdcError> {
+        // lint: cast-ok (dim and hamming counts are <= d, far below f64's 2^53)
         let d = self.acc.dim().get() as f64;
         Ok(self
             .acc

@@ -180,8 +180,8 @@ pub fn fit_pocketed<T: OnlineTrainer + Clone>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rng::SplitMix64;
     use crate::encoding::LinearEncoder;
+    use crate::rng::SplitMix64;
 
     fn training_set(seed: u64) -> (Vec<BinaryHypervector>, Vec<usize>, LinearEncoder) {
         let enc = LinearEncoder::new(Dim::new(2_048), 0.0, 100.0, seed).unwrap();
@@ -209,13 +209,33 @@ mod tests {
     #[test]
     fn every_trainer_learns_the_separable_set() {
         let (hvs, labels, enc) = training_set(11);
-        fn check<T: OnlineTrainer + Clone>(mut t: T, hvs: &[BinaryHypervector], labels: &[usize], enc: &LinearEncoder) {
+        fn check<T: OnlineTrainer + Clone>(
+            mut t: T,
+            hvs: &[BinaryHypervector],
+            labels: &[usize],
+            enc: &LinearEncoder,
+        ) {
             fit_pocketed(&mut t, hvs, labels, 20).unwrap();
-            assert_eq!(t.predict(&enc.encode(3.0)).unwrap(), 0, "{} failed low query", t.name());
-            assert_eq!(t.predict(&enc.encode(97.0)).unwrap(), 1, "{} failed high query", t.name());
+            assert_eq!(
+                t.predict(&enc.encode(3.0)).unwrap(),
+                0,
+                "{} failed low query",
+                t.name()
+            );
+            assert_eq!(
+                t.predict(&enc.encode(97.0)).unwrap(),
+                1,
+                "{} failed high query",
+                t.name()
+            );
         }
         check(PerceptronTrainer::new(Dim::new(2_048)), &hvs, &labels, &enc);
-        check(PassiveAggressiveTrainer::new(Dim::new(2_048)), &hvs, &labels, &enc);
+        check(
+            PassiveAggressiveTrainer::new(Dim::new(2_048)),
+            &hvs,
+            &labels,
+            &enc,
+        );
         check(LvqTrainer::new(Dim::new(2_048)), &hvs, &labels, &enc);
     }
 
@@ -273,8 +293,7 @@ mod tests {
     #[test]
     fn partial_fit_validates_lengths_and_unfitted_predict_errors() {
         let dim = Dim::new(256);
-        let hv = BinaryHypervector::random(dim, &mut SplitMix64::new(3))
-;
+        let hv = BinaryHypervector::random(dim, &mut SplitMix64::new(3));
         for mut t in trainers(dim) {
             assert!(matches!(
                 t.partial_fit(std::slice::from_ref(&hv), &[0, 1]),
@@ -303,11 +322,7 @@ mod tests {
         }
         // After pocketed fit, accuracy is at least the single-pass
         // bundling accuracy of a fresh absorb-only model.
-        fn check<T: OnlineTrainer + Clone>(
-            mut t: T,
-            hvs: &[BinaryHypervector],
-            labels: &[usize],
-        ) {
+        fn check<T: OnlineTrainer + Clone>(mut t: T, hvs: &[BinaryHypervector], labels: &[usize]) {
             fit_pocketed(&mut t, hvs, labels, 25).unwrap();
             let fitted = count_correct(&t, hvs, labels);
             t.reset();
@@ -318,7 +333,11 @@ mod tests {
             assert!(fitted >= bundled, "{}: {fitted} < {bundled}", t.name());
         }
         check(PerceptronTrainer::new(Dim::new(2_048)), &hvs, &labels);
-        check(PassiveAggressiveTrainer::new(Dim::new(2_048)), &hvs, &labels);
+        check(
+            PassiveAggressiveTrainer::new(Dim::new(2_048)),
+            &hvs,
+            &labels,
+        );
         check(LvqTrainer::new(Dim::new(2_048)), &hvs, &labels);
     }
 
@@ -366,4 +385,3 @@ mod tests {
         assert!(d[0] < d[1]);
     }
 }
-

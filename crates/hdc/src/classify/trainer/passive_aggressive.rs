@@ -114,6 +114,8 @@ impl OnlineTrainer for PassiveAggressiveTrainer {
             return Ok(false);
         }
         let hammings = self.acc.hammings(hv)?;
+        // lint: cast-ok (dim and hammings are <= d < 2^53; the update weight
+        // is clamped into [1, max_weight] before the i32 cast)
         let d = self.acc.dim().get() as f64;
         let score = |h: usize| 1.0 - 2.0 * (h as f64) / d;
         // Best rival: minimum Hamming among classes != label, ties to the
@@ -143,6 +145,7 @@ impl OnlineTrainer for PassiveAggressiveTrainer {
     }
 
     fn distances(&self, query: &BinaryHypervector) -> Result<Vec<f64>, HdcError> {
+        // lint: cast-ok (dim and hamming counts are <= d, far below f64's 2^53)
         let d = self.acc.dim().get() as f64;
         Ok(self
             .acc

@@ -66,6 +66,7 @@ impl LinearEncoder {
 
         let mut flip_ones = Vec::with_capacity(dim.get() / 2 + 1);
         let mut flip_zeros = Vec::with_capacity(dim.get() / 2 + 1);
+        // lint: cast-ok (bit indices fit u32 — dims are u32-indexable here)
         for i in 0..dim.get() {
             if seed_hv.get(i) {
                 flip_ones.push(i as u32);
@@ -125,6 +126,8 @@ impl LinearEncoder {
     /// shorter of the two flip lists.
     #[must_use]
     pub fn flips_for(&self, t: f64) -> usize {
+        // lint: cast-ok (dim < 2^53 exactly in f64; x is clamped into
+        // [0, dim/2] so the rounded usize cast cannot wrap)
         let t = t.clamp(self.min, self.max);
         let k = self.dim.get() as f64;
         let x = k * (t - self.min) / (2.0 * (self.max - self.min));
@@ -165,6 +168,7 @@ impl LinearEncoder {
         for ((o, &s), &m) in out.words_mut().iter_mut().zip(self.seed.words()).zip(mask) {
             *o = s ^ m;
         }
+        // lint: cast-ok (u32 bit indices widen to usize on supported targets)
         for &i in &self.flip_ones[ck * CHECKPOINT_STRIDE..half] {
             out.flip(i as usize);
         }
@@ -207,6 +211,7 @@ fn build_checkpoints(dim: Dim, flip_ones: &[u32], flip_zeros: &[u32]) -> Vec<u64
             checkpoints.extend_from_slice(&mask);
         }
         if h < cap {
+            // lint: cast-ok (u32 bit indices widen to usize on supported targets)
             for &i in &[flip_ones[h], flip_zeros[h]] {
                 mask[i as usize / WORD_BITS] ^= 1u64 << (i as usize % WORD_BITS);
             }

@@ -479,7 +479,7 @@ mod tests {
         let enc = RecordEncoder::new(Dim::new(2_048), schema(), 9).unwrap();
         let values = [40.0, 150.0, 1.0];
         let features = enc.encode_features(&values).unwrap();
-        let expected = crate::bundle::majority(&features);
+        let expected = crate::bundle::try_majority(&features).unwrap();
         assert_eq!(enc.encode_record(&values).unwrap(), expected);
     }
 

@@ -40,7 +40,7 @@
 //! assert!(low.hamming(&mid) < low.hamming(&high));
 //!
 //! // Bundle several feature hypervectors into one record hypervector.
-//! let record = bundle::majority(&[low.clone(), mid.clone(), high.clone()]);
+//! let record = bundle::try_majority(&[low.clone(), mid.clone(), high.clone()])?;
 //! assert!(record.hamming(&mid) <= record.hamming(&high));
 //! # Ok::<(), hyperfex_hdc::HdcError>(())
 //! ```

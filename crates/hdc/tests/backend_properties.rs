@@ -60,7 +60,7 @@ proptest! {
         let dim = Dim::new(256);
         let binaries: Vec<BinaryHypervector> =
             seeds.iter().map(|&s| binary(256, s)).collect();
-        let expected = hyperfex_hdc::bundle::majority(&binaries);
+        let expected = hyperfex_hdc::bundle::try_majority(&binaries).unwrap();
         let mut acc = BipolarAccumulator::new(dim);
         for b in &binaries {
             acc.push(&BipolarHypervector::from_binary(b)).unwrap();

@@ -73,7 +73,7 @@ proptest! {
                 BinaryHypervector::random(dim, &mut rng)
             })
             .collect();
-        let out = bundle::majority(&inputs);
+        let out = bundle::try_majority(&inputs).unwrap();
         // Any bit where all inputs agree must survive in the bundle.
         for i in 0..dim.get() {
             let ones = inputs.iter().filter(|hv| hv.get(i)).count();
@@ -99,10 +99,10 @@ proptest! {
                 BinaryHypervector::random(dim, &mut rng)
             })
             .collect();
-        let base = bundle::majority(&inputs);
+        let base = bundle::try_majority(&inputs).unwrap();
         let n = inputs.len();
         inputs.rotate_left((rot as usize) % n);
-        prop_assert_eq!(bundle::majority(&inputs), base);
+        prop_assert_eq!(bundle::try_majority(&inputs).unwrap(), base);
     }
 
     #[test]

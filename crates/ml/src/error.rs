@@ -72,7 +72,10 @@ impl fmt::Display for MlError {
                 )
             }
             Self::PartialFitUnsupported { model } => {
-                write!(f, "{model} does not support incremental (partial_fit) updates")
+                write!(
+                    f,
+                    "{model} does not support incremental (partial_fit) updates"
+                )
             }
         }
     }

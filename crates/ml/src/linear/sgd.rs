@@ -489,8 +489,9 @@ mod tests {
         use hyperfex_hdc::prelude::*;
         let mut rng = SplitMix64::new(seed);
         let d = Dim::try_new(dim).unwrap();
-        let rows: Vec<BinaryHypervector> =
-            (0..n).map(|_| BinaryHypervector::random(d, &mut rng)).collect();
+        let rows: Vec<BinaryHypervector> = (0..n)
+            .map(|_| BinaryHypervector::random(d, &mut rng))
+            .collect();
         BitMatrix::from_hypervectors(&rows).unwrap()
     }
 

@@ -311,7 +311,11 @@ mod tests {
         for i in 0..10u64 {
             let base = if i % 2 == 0 { &a } else { &b };
             let noisy = base.flip_balanced(dim / 20, &mut rng).unwrap();
-            rows.push((0..dim).map(|j| f32::from(u8::from(noisy.get(j)))).collect());
+            rows.push(
+                (0..dim)
+                    .map(|j| f32::from(u8::from(noisy.get(j))))
+                    .collect(),
+            );
             labels.push((i % 2) as usize);
         }
         (Matrix::from_rows(&rows).unwrap(), labels)

@@ -451,8 +451,7 @@ impl PackedBuilder<'_> {
 
         let gini = gini_impurity(&counts, n_node);
         let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
-        let should_split =
-            depth_ok && n_node >= self.params.min_samples_split && gini > 0.0;
+        let should_split = depth_ok && n_node >= self.params.min_samples_split && gini > 0.0;
 
         if should_split {
             if let Some(split) = self.best_split(&node_class, &counts, n_node, gini) {
@@ -640,12 +639,13 @@ impl Estimator for DecisionTreeClassifier {
         };
         (0..b.n_rows())
             .map(|i| {
-                self.leaf_proba_bits(b.row_words(i), b.dim().get()).map(|p| {
-                    p.iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
-                        .map_or(0, |(c, _)| c)
-                })
+                self.leaf_proba_bits(b.row_words(i), b.dim().get())
+                    .map(|p| {
+                        p.iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+                            .map_or(0, |(c, _)| c)
+                    })
             })
             .collect()
     }
@@ -818,8 +818,14 @@ mod tests {
         for (na, nb) in a.nodes.iter().zip(&b.nodes) {
             match (na, nb) {
                 (
-                    Node::Leaf { proba: pa, class: ca },
-                    Node::Leaf { proba: pb, class: cb },
+                    Node::Leaf {
+                        proba: pa,
+                        class: ca,
+                    },
+                    Node::Leaf {
+                        proba: pb,
+                        class: cb,
+                    },
                 ) => {
                     assert_eq!(ca, cb);
                     assert_eq!(pa, pb, "leaf posteriors must be bit-identical");

@@ -43,6 +43,7 @@ use std::sync::atomic::Ordering;
 
 /// Adds `delta` to the named counter, registering it on first use.
 pub fn counter_add(name: &'static str, delta: u64) {
+    // lint: relaxed-ok (monotone counter; readers need totals, not ordering)
     registry::global()
         .counter(name)
         .fetch_add(delta, Ordering::Relaxed);

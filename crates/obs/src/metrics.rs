@@ -43,6 +43,8 @@ impl Histogram {
 
     /// Records one observation.
     pub fn observe(&self, value: f64) {
+        // lint: relaxed-ok (independent monotone cells; the CAS loop only
+        // needs atomicity of the sum word, not ordering against other cells)
         // partition_point finds the first bound >= value, i.e. the lowest
         // bucket whose upper bound admits the value; misses fall into the
         // overflow bucket at index bounds.len().
@@ -75,6 +77,7 @@ impl Histogram {
     /// Per-bucket counts, overflow bucket last.
     #[must_use]
     pub fn bucket_counts(&self) -> Vec<u64> {
+        // lint: relaxed-ok (statistical read; counts are monotone)
         self.buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
@@ -84,12 +87,14 @@ impl Histogram {
     /// Total number of observations.
     #[must_use]
     pub fn count(&self) -> u64 {
+        // lint: relaxed-ok (statistical read; count is monotone)
         self.count.load(Ordering::Relaxed)
     }
 
     /// Sum of all observed values.
     #[must_use]
     pub fn sum(&self) -> f64 {
+        // lint: relaxed-ok (statistical read of an atomically-updated word)
         f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
     }
 

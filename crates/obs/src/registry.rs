@@ -97,6 +97,8 @@ impl Registry {
 
     /// Records one completed span.
     pub fn record_span(&self, path: &str, depth: usize, elapsed_ns: u64) {
+        // lint: relaxed-ok (independent monotone stat cells; snapshot readers
+        // tolerate tearing across cells by design)
         let stat = self.span_stat(path);
         stat.count.fetch_add(1, Ordering::Relaxed);
         stat.total_ns.fetch_add(elapsed_ns, Ordering::Relaxed);
@@ -107,6 +109,7 @@ impl Registry {
 
     /// Clears every metric and the peak-depth watermark.
     pub fn reset(&self) {
+        // lint: relaxed-ok (watermark reset; races lose a stale peak at worst)
         write(&self.counters).clear();
         write(&self.histograms).clear();
         write(&self.spans).clear();

@@ -116,6 +116,8 @@ impl Snapshot {
 #[must_use]
 pub fn snapshot() -> Snapshot {
     let reg = registry::global();
+    // lint: relaxed-ok (snapshot reads of monotone metric cells; cross-cell
+    // consistency is explicitly not promised by this API)
     let counters = {
         let map = reg
             .counters

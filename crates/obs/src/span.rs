@@ -54,6 +54,7 @@ pub fn span(name: &'static str) -> SpanGuard {
         stack.push(Frame { path });
         stack.len() - 1
     });
+    // lint: relaxed-ok (depth watermark; only the max value matters)
     registry::global()
         .peak_depth
         .fetch_max(base_len + 1, Ordering::Relaxed);

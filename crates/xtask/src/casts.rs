@@ -1,0 +1,337 @@
+//! Rule family 5: cast safety in kernel and trainer hot paths.
+//!
+//! A numeric `as` cast silently truncates, wraps or rounds — exactly the
+//! failure mode that corrupts a Hamming distance or a vote count without
+//! tripping any assertion. In the word-level kernels ([`crate::panics::KERNEL_FILES`])
+//! and the trainer/accumulator hot paths, every `as` cast must therefore be
+//! *provably widening* from what the token stream can see of the source
+//! type, or carry a `// lint: cast-ok (<reason>)` annotation.
+//!
+//! Source types are inferred textually, without type checking:
+//!
+//! * a numeric literal's suffix (`3u8 as u32`), or a suffix-less literal
+//!   (the compiler already range-checks those in const position, and a
+//!   plain literal cast cannot be a *latent* truncation);
+//! * the target of a previous cast in a chain (`x as u32 as u64`);
+//! * a method with a known return type (`w.count_ones() as usize` — the
+//!   `u32`-returning bit-count family, `len()` → `usize`);
+//! * a parenthesised comparison (`(a > b) as u32` — `bool`).
+//!
+//! Everything else is *unknown*: the rule cannot prove the cast widens, so
+//! it asks for `From`/`try_from` or an annotation explaining why the range
+//! is safe. Widening treats `usize`/`isize` as 64-bit — the documented
+//! assumption of the packed-word kernels (they index `u64` word arrays) —
+//! and int→float casts as widening only when the mantissa holds every
+//! source value exactly (f32: 24 bits, f64: 53 bits).
+
+use crate::diag::{Rule, Violation};
+use crate::lex::TokenKind;
+use crate::source::Analysis;
+use crate::structure::Ctx;
+
+const ANNOTATION: &str = "lint: cast-ok (";
+
+/// Scope of the rule: the word-level kernel files plus everything under the
+/// trainer/accumulator hot path.
+pub fn applies_to(rel_path: &str) -> bool {
+    crate::panics::KERNEL_FILES.contains(&rel_path)
+        || rel_path.starts_with("crates/hdc/src/classify/trainer/")
+}
+
+/// Numeric class of a textual type name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NumClass {
+    Unsigned(u32),
+    Signed(u32),
+    Float(u32),
+    Bool,
+}
+
+/// Classifies a type name; `usize`/`isize` are treated as 64-bit.
+fn classify(name: &str) -> Option<NumClass> {
+    Some(match name {
+        "u8" => NumClass::Unsigned(8),
+        "u16" => NumClass::Unsigned(16),
+        "u32" => NumClass::Unsigned(32),
+        "u64" | "usize" => NumClass::Unsigned(64),
+        "u128" => NumClass::Unsigned(128),
+        "i8" => NumClass::Signed(8),
+        "i16" => NumClass::Signed(16),
+        "i32" => NumClass::Signed(32),
+        "i64" | "isize" => NumClass::Signed(64),
+        "i128" => NumClass::Signed(128),
+        "f32" => NumClass::Float(32),
+        "f64" => NumClass::Float(64),
+        "bool" => NumClass::Bool,
+        _ => return None,
+    })
+}
+
+/// Is `src as dst` value-preserving for every possible source value?
+fn is_widening(src: NumClass, dst: NumClass) -> bool {
+    use NumClass::{Bool, Float, Signed, Unsigned};
+    match (src, dst) {
+        // `bool as` any integer is 0/1 — always exact.
+        (Bool, Unsigned(_) | Signed(_)) => true,
+        (Unsigned(s), Unsigned(d)) => s <= d,
+        (Signed(s), Signed(d)) => s <= d,
+        // Unsigned fits in a strictly wider signed type.
+        (Unsigned(s), Signed(d)) => s < d,
+        // Int → float is exact only within the mantissa.
+        (Unsigned(s) | Signed(s), Float(d)) => s <= if d == 64 { 53 } else { 24 },
+        (Float(s), Float(d)) => s <= d,
+        _ => false,
+    }
+}
+
+/// Methods whose return type is textually known.
+fn known_method_return(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "count_ones" | "count_zeros" | "leading_zeros" | "trailing_zeros" | "leading_ones"
+        | "trailing_ones" => "u32",
+        "len" => "usize",
+        _ => return None,
+    })
+}
+
+/// What the token stream can tell about the expression ending at sig-index
+/// `end_si` (the token just before `as`).
+#[derive(Debug, PartialEq, Eq)]
+enum SourceType {
+    Known(NumClass),
+    /// A suffix-less numeric literal: not latent, accepted as-is.
+    PlainLiteral,
+    Unknown,
+}
+
+fn source_type(ctx: &Ctx<'_>, end_si: usize) -> SourceType {
+    match ctx.kind(end_si) {
+        TokenKind::Num => {
+            let text = ctx.text(end_si);
+            // A type suffix is the trailing ident run that names a type.
+            for ty in [
+                "usize", "isize", "u128", "i128", "u64", "i64", "u32", "i32", "u16", "i16", "f64",
+                "f32", "u8", "i8",
+            ] {
+                if text.ends_with(ty) {
+                    return classify(ty).map_or(SourceType::Unknown, SourceType::Known);
+                }
+            }
+            SourceType::PlainLiteral
+        }
+        // `x as u32 as u64`: the previous cast's target is the source.
+        TokenKind::Ident => match classify(ctx.text(end_si)) {
+            Some(c)
+                if end_si >= 1
+                    && ctx.kind(end_si - 1) == TokenKind::Ident
+                    && ctx.text(end_si - 1) == "as" =>
+            {
+                SourceType::Known(c)
+            }
+            _ => SourceType::Unknown,
+        },
+        TokenKind::Punct if ctx.is_punct(end_si, ')') => paren_source_type(ctx, end_si),
+        _ => SourceType::Unknown,
+    }
+}
+
+/// Source type of a `…)` group: a known-return method call, a
+/// parenthesised comparison (`bool`), or a parenthesised cast.
+fn paren_source_type(ctx: &Ctx<'_>, close_si: usize) -> SourceType {
+    let Some(open) = matching_open(ctx, close_si) else {
+        return SourceType::Unknown;
+    };
+    // `recv.method(…)`: look the method name up.
+    if open >= 2 && ctx.kind(open - 1) == TokenKind::Ident && ctx.is_punct(open - 2, '.') {
+        if let Some(ret) = known_method_return(ctx.text(open - 1)) {
+            return classify(ret).map_or(SourceType::Unknown, SourceType::Known);
+        }
+        return SourceType::Unknown;
+    }
+    // A plain paren group: scan its top level.
+    let mut depth = 0i64;
+    let mut has_comparison = false;
+    let mut si = open + 1;
+    while si < close_si {
+        match ctx.kind(si) {
+            TokenKind::Punct => match ctx.text(si).as_bytes().first() {
+                Some(b'(' | b'[' | b'{') => depth += 1,
+                Some(b')' | b']' | b'}') => depth -= 1,
+                Some(b'<' | b'>') if depth == 0 => has_comparison = true,
+                Some(b'=') if depth == 0 => {
+                    // `==`, `<=`, `>=`, `!=` all contain `=`; plain `=`
+                    // cannot appear at the top level of a value group.
+                    has_comparison = true;
+                }
+                Some(b'!') if depth == 0 && ctx.is_punct(si + 1, '=') => has_comparison = true,
+                _ => {}
+            },
+            // `(x as u32)`: the innermost trailing cast decides.
+            TokenKind::Ident if depth == 0 && ctx.text(si) == "as" && si + 1 < close_si => {
+                if let Some(c) = classify(ctx.text(si + 1)) {
+                    if si + 2 == close_si {
+                        return SourceType::Known(c);
+                    }
+                }
+            }
+            _ => {}
+        }
+        si += 1;
+    }
+    if has_comparison {
+        SourceType::Known(NumClass::Bool)
+    } else {
+        SourceType::Unknown
+    }
+}
+
+/// Backward bracket matching on significant tokens.
+fn matching_open(ctx: &Ctx<'_>, close_si: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for si in (0..=close_si).rev() {
+        if ctx.kind(si) != TokenKind::Punct {
+            continue;
+        }
+        match ctx.text(si).as_bytes().first() {
+            Some(b')' | b']' | b'}') => depth += 1,
+            Some(b'(' | b'[' | b'{') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(si);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Checks every `as` cast in one hot-path file.
+pub fn check_file(rel_path: &str, analysis: &Analysis) -> Vec<Violation> {
+    let ctx = analysis.ctx();
+    let mut out = Vec::new();
+    for si in 1..ctx.sig.len() {
+        if ctx.kind(si) != TokenKind::Ident || ctx.text(si) != "as" {
+            continue;
+        }
+        // Destination must be a numeric/bool type name directly after `as`
+        // (`as *const T`, `as &dyn …`, `use x as y` never match).
+        let Some(dst) = (si + 1 < ctx.sig.len())
+            .then(|| classify(ctx.text(si + 1)))
+            .flatten()
+        else {
+            continue;
+        };
+        let line = ctx.line(si);
+        if analysis.in_test.get(line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        let verdict = match source_type(&ctx, si - 1) {
+            SourceType::PlainLiteral => continue,
+            SourceType::Known(src) if is_widening(src, dst) => continue,
+            SourceType::Known(src) => format!(
+                "`as {}` narrows from {src:?} — use `{}::try_from` (or `From` where it \
+                 exists), or annotate with `// lint: cast-ok (<reason>)`",
+                ctx.text(si + 1),
+                ctx.text(si + 1),
+            ),
+            SourceType::Unknown => format!(
+                "cannot prove `as {}` is widening from the source expression — use \
+                 `From`/`try_from`, or annotate with `// lint: cast-ok (<reason>)`",
+                ctx.text(si + 1),
+            ),
+        };
+        if analysis.line_has_annotation(line, ANNOTATION) {
+            continue;
+        }
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line,
+            rule: Rule::CastSafety,
+            message: verdict,
+            line_text: analysis.raw.get(line - 1).cloned().unwrap_or_default(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Violation> {
+        check_file("crates/hdc/src/binary.rs", &Analysis::new(src))
+    }
+
+    #[test]
+    fn widening_known_sources_pass() {
+        let src = "fn f(w: u64, xs: &[u64]) -> usize {\n\
+                       let a = w.count_ones() as usize;\n\
+                       let b = (w > 0) as u32 as usize;\n\
+                       let c = 3u8 as u32 as u64 as usize;\n\
+                       let n = xs.len() as u64 as usize;\n\
+                       a + b + c + n\n\
+                   }\n";
+        let v = check(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn narrowing_known_source_is_flagged() {
+        let src = "fn f(w: u64) -> u32 {\n\
+                       w.count_ones() as u32 as u16 as u32\n\
+                   }\n";
+        let v = check(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::CastSafety);
+        assert!(v[0].message.contains("narrows"));
+    }
+
+    #[test]
+    fn unknown_source_requires_annotation() {
+        let bad = "fn f(x: usize) -> u32 { x as u32 }\n";
+        let v = check(bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+
+        let good = "fn f(x: usize) -> u32 {\n\
+                        // lint: cast-ok (x < 64 by the word-index invariant)\n\
+                        x as u32\n\
+                    }\n";
+        assert!(check(good).is_empty());
+    }
+
+    #[test]
+    fn plain_literals_and_non_numeric_as_are_ignored() {
+        let src = "use std::fmt as f;\n\
+                   fn g() -> u64 { 0 as u64 }\n\
+                   fn h(p: &[u64]) -> *const u64 { p.as_ptr() as *const u64 }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn casts_in_tests_and_strings_are_invisible() {
+        let src = "fn f() -> &'static str { \"x as u8\" }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn t(x: u64) -> u8 { x as u8 }\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn int_to_float_respects_mantissa() {
+        let src = "fn f(a: u64) -> f64 {\n\
+                       let x = a as u32 as f64;\n\
+                       let y = a as u32 as f32;\n\
+                       x + f64::from(y)\n\
+                   }\n";
+        // u32→f64 widening (but the first `a as u32` is unknown-source),
+        // u32→f32 not exact.
+        let v = check(src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v
+            .iter()
+            .any(|x| x.line == 3 && x.message.contains("narrows")));
+    }
+}

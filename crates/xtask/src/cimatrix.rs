@@ -1,0 +1,126 @@
+//! `cargo xtask ci-matrix` — build and test every supported cfg combination.
+//!
+//! The feature-gate lint ([`crate::gates`]) proves the *names* line up
+//! across cfg boundaries; this command proves the *builds* do. Four
+//! combinations cover the workspace's entire cfg surface:
+//!
+//! | combo             | what it exercises                                   |
+//! |-------------------|-----------------------------------------------------|
+//! | `default`         | no-op shims everywhere (production build)           |
+//! | `obs`             | real instrumentation spans/counters                 |
+//! | `fault-injection` | chaos failpoint seams armed                         |
+//! | `both`            | instrumentation *and* failpoints together — the     |
+//! |                   | combination no single-feature CI job ever compiles  |
+//!
+//! Feature flags are package-scoped (the workspace has no unified feature
+//! set), mirroring the invocations in `.github/workflows/ci.yml`.
+
+use std::path::Path;
+use std::process::Command;
+use std::time::Instant;
+
+/// One cfg combination: a label plus the cargo invocations that cover it.
+struct Combo {
+    label: &'static str,
+    /// `(subcommand, extra args)` — run in order, all must succeed.
+    steps: &'static [(&'static str, &'static [&'static str])],
+}
+
+const COMBOS: [Combo; 4] = [
+    Combo {
+        label: "default",
+        steps: &[
+            ("build", &["--workspace", "--all-targets"]),
+            ("test", &["--workspace", "-q"]),
+        ],
+    },
+    Combo {
+        label: "obs",
+        steps: &[(
+            "test",
+            &[
+                "-q",
+                "-p",
+                "hyperfex-obs",
+                "-p",
+                "hyperfex",
+                "-p",
+                "hyperfex-hdc",
+                "-p",
+                "hyperfex-data",
+                "-p",
+                "hyperfex-ml",
+                "--features",
+                "obs",
+            ],
+        )],
+    },
+    Combo {
+        label: "fault-injection",
+        steps: &[(
+            "test",
+            &[
+                "-q",
+                "-p",
+                "hyperfex-faults",
+                "-p",
+                "hyperfex-hdc",
+                "-p",
+                "hyperfex-data",
+                "--features",
+                "fault-injection",
+            ],
+        )],
+    },
+    Combo {
+        label: "obs+fault-injection",
+        steps: &[(
+            "test",
+            &[
+                "-q",
+                "-p",
+                "hyperfex",
+                "-p",
+                "hyperfex-hdc",
+                "-p",
+                "hyperfex-data",
+                "--features",
+                "obs,fault-injection",
+            ],
+        )],
+    },
+];
+
+/// Runs the full matrix. Returns `Ok(true)` when every combination builds
+/// and tests green.
+pub fn run(root: &Path) -> Result<bool, String> {
+    let mut all_ok = true;
+    for combo in &COMBOS {
+        println!("ci-matrix: [{}]", combo.label);
+        let start = Instant::now();
+        let mut combo_ok = true;
+        for (sub, args) in combo.steps {
+            let mut cmd = Command::new("cargo");
+            cmd.arg(sub).args(*args).current_dir(root);
+            println!("ci-matrix:   cargo {} {}", sub, args.join(" "));
+            let status = cmd
+                .status()
+                .map_err(|e| format!("spawning cargo {sub}: {e}"))?;
+            if !status.success() {
+                combo_ok = false;
+                break;
+            }
+        }
+        println!(
+            "ci-matrix: [{}] {} in {:.1}s",
+            combo.label,
+            if combo_ok { "ok" } else { "FAILED" },
+            start.elapsed().as_secs_f64()
+        );
+        all_ok &= combo_ok;
+    }
+    if all_ok {
+        println!("ci-matrix: all {} combinations green", COMBOS.len());
+    }
+    Ok(all_ok)
+}

@@ -16,6 +16,21 @@ pub enum Rule {
     Vendor,
     /// The allowlist itself is invalid (stale entry, budget exceeded, …).
     Allowlist,
+    /// A closure passed to `scope`/`join`/`spawn`/`par_*` mutates a capture
+    /// from outside the parallel region without a lock or atomic.
+    ConcurrencyCapture,
+    /// `Ordering::Relaxed` in library code without a `relaxed-ok` reason.
+    RelaxedOrdering,
+    /// A numeric `as` cast in a kernel/trainer hot path that is not
+    /// provably widening and carries no `cast-ok` reason.
+    CastSafety,
+    /// A cfg-gated pub item without a matching counterpart in the other
+    /// build, a shim signature mismatch, or a failpoint seam armed at the
+    /// wrong number of sites.
+    FeatureGate,
+    /// `let _ = <fallible call>` silently discarding a `Result` in library
+    /// code without propagation or a `discard-ok` reason.
+    Discard,
 }
 
 impl Rule {
@@ -27,6 +42,11 @@ impl Rule {
             Self::TailInvariant => "tail-invariant",
             Self::Vendor => "vendor",
             Self::Allowlist => "allowlist",
+            Self::ConcurrencyCapture => "concurrency-capture",
+            Self::RelaxedOrdering => "relaxed-ordering",
+            Self::CastSafety => "cast-safety",
+            Self::FeatureGate => "feature-gate",
+            Self::Discard => "discard",
         }
     }
 }

@@ -1,0 +1,452 @@
+//! Rule family 6: feature-gate consistency.
+//!
+//! The workspace's cfg surface follows one pattern: a feature-gated module
+//! exposes its real API under `#[cfg(feature = "…")]` and a no-op shim with
+//! the *same names and signatures* under `#[cfg(not(feature = "…"))]`, so
+//! downstream code compiles identically in every cfg combination. This rule
+//! checks that contract per file:
+//!
+//! * every facade-visible (`pub` through pub parents) item gated on a
+//!   feature must have a counterpart gated on `not(feature)` — and vice
+//!   versa; a one-sided name means some cfg combination fails to compile
+//!   or silently loses API surface;
+//! * paired `fn` items must agree on their signature (parameter names are
+//!   compared with leading underscores stripped, since shims conventionally
+//!   use `_name` for unused parameters);
+//! * deliberately asymmetric items (e.g. a fault-injection-only escape
+//!   hatch) carry `// lint: gate-ok (<reason>)` in their attribute block.
+//!
+//! Workspace-wide, the failpoint registry is audited: every seam listed in
+//! `PIPELINE_FAILPOINTS` (crates/faults/src/plan.rs) must be armed by
+//! exactly one `failpoint::check("…")` site — zero means a dead plan entry,
+//! two means double-triggering under chaos tests.
+
+use crate::diag::{Rule, Violation};
+use crate::lex::TokenKind;
+use crate::source::Analysis;
+use crate::structure::{Ctx, Item, ItemKind};
+
+const ANNOTATION: &str = "lint: gate-ok (";
+
+/// One exported name on one side of a feature gate.
+#[derive(Debug)]
+struct GatedName {
+    name: String,
+    /// 1-based line to anchor diagnostics at.
+    line: usize,
+    /// Normalised fn signature, when the item is a fn.
+    fn_sig: Option<String>,
+}
+
+/// Signature normalisation: leading underscores stripped from every ident
+/// token so `fn check(point: &str)` pairs with `fn check(_point: &str)`.
+fn normalise_sig(sig: &str) -> String {
+    sig.split(' ')
+        .map(|w| {
+            if w.len() > 1
+                && w.starts_with('_')
+                && w[1..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                &w[1..]
+            } else {
+                w
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// True if the item's attribute block, its own lines, or the contiguous
+/// comment block directly above carries a gate-ok reason.
+fn has_gate_ok(analysis: &Analysis, item: &Item) -> bool {
+    let lo = item.attr_start_line.saturating_sub(1);
+    let hi = item.start_line.min(analysis.raw.len());
+    if analysis.raw[lo..hi.max(lo)]
+        .iter()
+        .any(|l| l.contains(ANNOTATION))
+        || analysis
+            .raw
+            .get(item.start_line.saturating_sub(1))
+            .is_some_and(|l| l.contains(ANNOTATION))
+    {
+        return true;
+    }
+    // Walk the comment/attribute block above the item.
+    let mut i = lo;
+    while i > 0 {
+        let t = analysis.raw[i - 1].trim_start();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#!") {
+            if t.contains(ANNOTATION) {
+                return true;
+            }
+            i -= 1;
+        } else {
+            break;
+        }
+    }
+    false
+}
+
+/// Facade-visible names one item contributes (use items fan out).
+fn exported_names(item: &Item) -> Vec<(String, Option<String>)> {
+    if !item.is_pub || !item.parents_pub {
+        return Vec::new();
+    }
+    match item.kind {
+        ItemKind::Use => item.use_names.iter().map(|n| (n.clone(), None)).collect(),
+        ItemKind::Impl => Vec::new(),
+        _ => item
+            .name
+            .iter()
+            .map(|n| (n.clone(), item.sig_text.as_deref().map(normalise_sig)))
+            .collect(),
+    }
+}
+
+/// Checks gate symmetry within one file.
+pub fn check_file(rel_path: &str, analysis: &Analysis) -> Vec<Violation> {
+    let items = analysis.items();
+    // Features mentioned by any cfg gate in the file.
+    let mut features: Vec<&str> = items
+        .iter()
+        .flat_map(|i| i.cfg.iter().map(|g| g.feature.as_str()))
+        .collect();
+    features.sort_unstable();
+    features.dedup();
+
+    let mut out = Vec::new();
+    for feature in features {
+        // Partition facade names into the gated side and the not() side.
+        let mut on: Vec<(GatedName, &Item)> = Vec::new();
+        let mut off: Vec<(GatedName, &Item)> = Vec::new();
+        for item in &items {
+            if item.is_test_gated {
+                continue;
+            }
+            let Some(gate) = item.cfg.iter().find(|g| g.feature == feature) else {
+                continue;
+            };
+            let side = if gate.negated { &mut off } else { &mut on };
+            for (name, fn_sig) in exported_names(item) {
+                side.push((
+                    GatedName {
+                        name,
+                        line: item.start_line,
+                        fn_sig,
+                    },
+                    item,
+                ));
+            }
+        }
+        if on.is_empty() && off.is_empty() {
+            continue;
+        }
+        for (here, there, here_side, there_side) in
+            [(&on, &off, "", "not()"), (&off, &on, "not()", "")]
+        {
+            for (gated, item) in here {
+                match there.iter().find(|(g, _)| g.name == gated.name) {
+                    None => {
+                        if has_gate_ok(analysis, item) {
+                            continue;
+                        }
+                        out.push(Violation {
+                            file: rel_path.to_string(),
+                            line: gated.line,
+                            rule: Rule::FeatureGate,
+                            message: format!(
+                                "pub `{}` exists under `{}cfg(feature = \"{feature}\")` but has \
+                                 no counterpart under `{}cfg(feature = \"{feature}\")` — add a \
+                                 matching shim or annotate with `// lint: gate-ok (<reason>)`",
+                                gated.name, here_side, there_side
+                            ),
+                            line_text: analysis
+                                .raw
+                                .get(gated.line - 1)
+                                .cloned()
+                                .unwrap_or_default(),
+                        });
+                    }
+                    Some((counterpart, _)) => {
+                        // Compare fn signatures once, from the gated side.
+                        if here_side.is_empty() {
+                            if let (Some(a), Some(b)) = (&gated.fn_sig, &counterpart.fn_sig) {
+                                if a != b && !has_gate_ok(analysis, item) {
+                                    out.push(Violation {
+                                        file: rel_path.to_string(),
+                                        line: gated.line,
+                                        rule: Rule::FeatureGate,
+                                        message: format!(
+                                            "shim signature mismatch for `{}` across \
+                                             `cfg(feature = \"{feature}\")`: `{a}` vs `{b}`",
+                                            gated.name
+                                        ),
+                                        line_text: analysis
+                                            .raw
+                                            .get(gated.line - 1)
+                                            .cloned()
+                                            .unwrap_or_default(),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extracts the seam names from the `PIPELINE_FAILPOINTS` array literal.
+pub fn registered_failpoints(plan_src: &str) -> Vec<String> {
+    let tokens = crate::lex::lex(plan_src);
+    let ctx = Ctx::new(plan_src, &tokens);
+    let mut names = Vec::new();
+    let mut si = 0;
+    while si < ctx.sig.len() {
+        if ctx.kind(si) == TokenKind::Ident && ctx.text(si) == "PIPELINE_FAILPOINTS" {
+            // Skip the type annotation (`: [&str; N]`) by scanning to the
+            // `=`, then collect Str tokens inside the array literal.
+            let mut sj = si + 1;
+            while sj < ctx.sig.len() && !ctx.is_punct(sj, '=') {
+                sj += 1;
+            }
+            while sj < ctx.sig.len() && !ctx.is_punct(sj, '[') {
+                sj += 1;
+            }
+            let Some(close) = ctx.matching_close(sj) else {
+                break;
+            };
+            for sk in sj + 1..close {
+                if ctx.kind(sk) == TokenKind::Str {
+                    names.push(ctx.text(sk).trim_matches('"').to_string());
+                }
+            }
+            break;
+        }
+        si += 1;
+    }
+    names
+}
+
+/// `failpoint::check("…")` call sites in one file (line, seam name).
+/// The `check` *definition* takes an identifier parameter, not a string
+/// literal, so it never matches.
+pub fn failpoint_arm_sites(analysis: &Analysis) -> Vec<(usize, String)> {
+    let ctx = analysis.ctx();
+    let mut sites = Vec::new();
+    for si in 3..ctx.sig.len() {
+        if ctx.kind(si) != TokenKind::Str {
+            continue;
+        }
+        // …failpoint :: check ( "name"
+        if !(ctx.is_punct(si - 1, '(')
+            && ctx.kind(si - 2) == TokenKind::Ident
+            && ctx.text(si - 2) == "check"
+            && si >= 5
+            && ctx.is_punct(si - 3, ':')
+            && ctx.is_punct(si - 4, ':')
+            && ctx.kind(si - 5) == TokenKind::Ident
+            && ctx.text(si - 5) == "failpoint")
+        {
+            continue;
+        }
+        let line = ctx.line(si);
+        if analysis.in_test.get(line - 1).copied().unwrap_or(false) {
+            continue;
+        }
+        sites.push((line, ctx.text(si).trim_matches('"').to_string()));
+    }
+    sites
+}
+
+/// Workspace-level failpoint audit: every registered seam armed at exactly
+/// one site. `sites` maps a file to its arm sites.
+pub fn check_failpoint_arity(
+    plan_rel_path: &str,
+    plan_src: &str,
+    sites: &[(String, Vec<(usize, String)>)],
+) -> Vec<Violation> {
+    let registered = registered_failpoints(plan_src);
+    if registered.is_empty() {
+        return Vec::new();
+    }
+    let plan_lines: Vec<&str> = plan_src.lines().collect();
+    let mut out = Vec::new();
+    for seam in &registered {
+        let arms: Vec<(&str, usize)> = sites
+            .iter()
+            .flat_map(|(file, s)| {
+                s.iter()
+                    .filter(|(_, name)| name == seam)
+                    .map(move |(line, _)| (file.as_str(), *line))
+            })
+            .collect();
+        if arms.len() == 1 {
+            continue;
+        }
+        let plan_line = plan_lines
+            .iter()
+            .position(|l| l.contains(&format!("\"{seam}\"")))
+            .map_or(0, |i| i + 1);
+        let message = if arms.is_empty() {
+            format!(
+                "failpoint seam `{seam}` is registered in PIPELINE_FAILPOINTS but armed at \
+                 no `failpoint::check(\"{seam}\")` site — dead plan entry"
+            )
+        } else {
+            let list: Vec<String> = arms.iter().map(|(f, l)| format!("{f}:{l}")).collect();
+            format!(
+                "failpoint seam `{seam}` is armed at {} sites ({}) — chaos plans assume \
+                 exactly one trigger per seam",
+                arms.len(),
+                list.join(", ")
+            )
+        };
+        out.push(Violation {
+            file: plan_rel_path.to_string(),
+            line: plan_line,
+            rule: Rule::FeatureGate,
+            message,
+            line_text: plan_lines
+                .get(plan_line.saturating_sub(1))
+                .map(|l| (*l).to_string())
+                .unwrap_or_default(),
+        });
+    }
+    // Arms for seams nobody registered are equally suspect.
+    for (file, s) in sites {
+        for (line, name) in s {
+            if !registered.iter().any(|r| r == name) {
+                out.push(Violation {
+                    file: file.clone(),
+                    line: *line,
+                    rule: Rule::FeatureGate,
+                    message: format!(
+                        "`failpoint::check(\"{name}\")` arms a seam that is not registered \
+                         in PIPELINE_FAILPOINTS — chaos plans cannot schedule it"
+                    ),
+                    line_text: String::new(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> Vec<Violation> {
+        check_file("crates/hdc/src/obs.rs", &Analysis::new(src))
+    }
+
+    const SYMMETRIC: &str = "#[cfg(feature = \"obs\")]\n\
+                             pub use hyperfex_obs::{span, counter_add};\n\
+                             #[cfg(not(feature = \"obs\"))]\n\
+                             mod noop {\n\
+                                 pub fn span(_name: &'static str) {}\n\
+                                 pub fn counter_add(_name: &'static str, _by: u64) {}\n\
+                             }\n\
+                             #[cfg(not(feature = \"obs\"))]\n\
+                             pub use noop::{span, counter_add};\n";
+
+    #[test]
+    fn symmetric_shim_is_clean() {
+        assert!(check(SYMMETRIC).is_empty());
+    }
+
+    #[test]
+    fn missing_shim_name_is_flagged() {
+        let src = "#[cfg(feature = \"obs\")]\n\
+                   pub use hyperfex_obs::{span, counter_add, observe};\n\
+                   #[cfg(not(feature = \"obs\"))]\n\
+                   mod noop {\n\
+                       pub fn span(_name: &'static str) {}\n\
+                       pub fn counter_add(_name: &'static str, _by: u64) {}\n\
+                   }\n\
+                   #[cfg(not(feature = \"obs\"))]\n\
+                   pub use noop::{span, counter_add};\n";
+        let v = check(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::FeatureGate);
+        assert!(v[0].message.contains("observe"));
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn gate_ok_annotation_waives_asymmetry() {
+        let src = "impl Hv {\n\
+                       // lint: gate-ok (raw corruption escape hatch: chaos builds only)\n\
+                       #[cfg(feature = \"fault-injection\")]\n\
+                       pub fn raw_words_mut(&mut self) -> &mut [u64] { &mut self.words }\n\
+                   }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn signature_mismatch_between_fn_pairs_is_flagged() {
+        let src = "#[cfg(feature = \"fault-injection\")]\n\
+                   pub fn check(point: &str, extra: u32) {}\n\
+                   #[cfg(not(feature = \"fault-injection\"))]\n\
+                   pub fn check(_point: &str) {}\n";
+        let v = check(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("signature mismatch"));
+    }
+
+    #[test]
+    fn underscore_params_pair_with_named_params() {
+        let src = "#[cfg(feature = \"fault-injection\")]\n\
+                   pub fn check(point: &str) -> bool { crate::arm(point) }\n\
+                   #[cfg(not(feature = \"fault-injection\"))]\n\
+                   pub fn check(_point: &str) -> bool { false }\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn private_items_are_not_part_of_the_facade() {
+        let src = "#[cfg(feature = \"obs\")]\n\
+                   fn helper() {}\n";
+        assert!(check(src).is_empty());
+    }
+
+    #[test]
+    fn failpoint_registry_and_arms_are_extracted() {
+        let plan = "pub const PIPELINE_FAILPOINTS: [&str; 2] = [\n\
+                        \"hdc/encode_batch\",\n\
+                        \"data/load_csv\",\n\
+                    ];\n";
+        assert_eq!(
+            registered_failpoints(plan),
+            ["hdc/encode_batch", "data/load_csv"]
+        );
+        let armed =
+            Analysis::new("fn encode() {\n    crate::failpoint::check(\"hdc/encode_batch\");\n}\n");
+        assert_eq!(
+            failpoint_arm_sites(&armed),
+            [(2, "hdc/encode_batch".to_string())]
+        );
+    }
+
+    #[test]
+    fn failpoint_arity_zero_and_two_are_violations() {
+        let plan = "pub const PIPELINE_FAILPOINTS: [&str; 2] = [\"a/one\", \"b/two\"];\n";
+        let sites = vec![
+            (
+                "crates/hdc/src/x.rs".to_string(),
+                vec![(4, "a/one".to_string()), (9, "a/one".to_string())],
+            ),
+            ("crates/data/src/y.rs".to_string(), vec![]),
+        ];
+        let v = check_failpoint_arity("crates/faults/src/plan.rs", plan, &sites);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.message.contains("2 sites")));
+        assert!(v.iter().any(|x| x.message.contains("no `failpoint::check")));
+    }
+}

@@ -1,0 +1,510 @@
+//! A zero-dependency Rust lexer: the token-stream substrate of every rule.
+//!
+//! [`lex`] partitions a source file into a contiguous sequence of tokens —
+//! every byte of the input belongs to exactly one token, so concatenating
+//! the token slices reconstructs the source byte-for-byte (property-tested
+//! in `tests/lexer_properties.rs`). The lexer understands the full literal
+//! surface the lints must never be fooled by: plain and raw strings (with
+//! arbitrary `#` counts), byte strings, char literals vs lifetimes, and
+//! nested block comments. It does *not* parse: item structure, cfg
+//! attributes and closure regions are recovered by [`crate::structure`] on
+//! top of this stream.
+//!
+//! Rules match against [`TokenKind::Ident`]/[`TokenKind::Punct`] tokens (or
+//! text derived from them), so a pattern like `unwrap(` inside a string
+//! literal or comment is unreachable by construction — the bytes sit in a
+//! single `Str`/`Comment` token that no rule inspects for code.
+
+/// What a token is. Every byte of the source belongs to exactly one kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Whitespace run (spaces, tabs, newlines, carriage returns).
+    Whitespace,
+    /// `// …` to end of line (newline not included), incl. doc comments.
+    LineComment,
+    /// `/* … */`, nested; unterminated comments run to end of input.
+    BlockComment,
+    /// `"…"` or `b"…"` with escapes; unterminated runs to end of input.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` … with matching hash counts.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'` — a closed character/byte literal.
+    Char,
+    /// `'ident` — a lifetime (no closing quote).
+    Lifetime,
+    /// Identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// Numeric literal, including type suffix (`0x3Fu64`, `1.5e-3_f32`).
+    Num,
+    /// One punctuation byte (`{`, `=`, `&`, …). Multi-byte operators are
+    /// consecutive `Punct` tokens; rules join them when needed.
+    Punct,
+}
+
+/// One token: a kind plus the `start..end` byte range in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Byte-offset → 1-based line lookup, built once per file.
+pub struct LineMap {
+    /// Byte offset where each line starts; `starts[0] == 0`.
+    starts: Vec<usize>,
+}
+
+impl LineMap {
+    pub fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        Self { starts }
+    }
+
+    /// 1-based line containing byte `offset`.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.starts.partition_point(|&s| s <= offset)
+    }
+
+    /// Number of lines (a trailing newline does not open a new line).
+    pub fn n_lines(&self) -> usize {
+        self.starts.len()
+    }
+}
+
+/// Lexes `src` into a contiguous token stream covering every byte.
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        let kind = match bytes[i] {
+            b if b.is_ascii_whitespace() => {
+                while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i = block_comment_end(bytes, i);
+                TokenKind::BlockComment
+            }
+            b'"' => {
+                i = str_end(bytes, i + 1);
+                TokenKind::Str
+            }
+            b'\'' => match char_or_lifetime(bytes, i) {
+                Some(end) => {
+                    i = end;
+                    TokenKind::Char
+                }
+                None => {
+                    i += 1;
+                    while i < bytes.len() && is_ident_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    TokenKind::Lifetime
+                }
+            },
+            b'r' | b'b' if raw_or_byte_literal(bytes, i).is_some() => {
+                // r"…" / r#"…"# / b"…" / br"…" / br#"…"# / b'…'
+                let (end, kind) =
+                    raw_or_byte_literal(bytes, i).unwrap_or((i + 1, TokenKind::Ident));
+                i = end;
+                kind
+            }
+            b'r' if bytes.get(i + 1) == Some(&b'#')
+                && bytes.get(i + 2).copied().is_some_and(is_ident_start) =>
+            {
+                // Raw identifier `r#match` — one Ident token.
+                i += 2;
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                TokenKind::Ident
+            }
+            b if is_ident_start(b) => {
+                while i < bytes.len() && is_ident_byte(bytes[i]) {
+                    i += 1;
+                }
+                TokenKind::Ident
+            }
+            b if b.is_ascii_digit() => {
+                i = num_end(bytes, i);
+                TokenKind::Num
+            }
+            _ => {
+                // One punctuation byte per token. Multi-byte UTF-8 scalars
+                // (only legal inside comments/strings/idents in real Rust)
+                // are consumed whole so the partition stays char-aligned.
+                let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+                i += ch_len;
+                TokenKind::Punct
+            }
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    tokens
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// End of a nested block comment opened at `open` (points at `/`).
+fn block_comment_end(bytes: &[u8], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            depth += 1;
+            i += 2;
+        } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    bytes.len()
+}
+
+/// End of a plain string whose opening quote sits just before `i`.
+fn str_end(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// If position `i` (a `'`) starts a char literal, returns its end;
+/// `None` means it is a lifetime.
+fn char_or_lifetime(bytes: &[u8], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some(b'\\') => {
+            // Escaped char literal: the byte after `\` is part of the
+            // escape (`'\''`, `'\\'`), then scan to the closing quote.
+            let mut j = i + 3;
+            while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                j += 1;
+            }
+            (bytes.get(j) == Some(&b'\'')).then(|| j + 1)
+        }
+        Some(&c) if c != b'\'' => {
+            // One scalar (multi-byte UTF-8 included) followed directly by a
+            // closing quote is a char literal (`'x'`, `'é'`); anything else
+            // (`'a` in `<'a>`, `'static`) is a lifetime.
+            let mut j = i + 2;
+            while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+                j += 1; // continuation bytes of one scalar
+            }
+            (bytes.get(j) == Some(&b'\'')).then(|| j + 1)
+        }
+        _ => None,
+    }
+}
+
+/// If position `i` (an `r` or `b`) starts a raw/byte literal, returns its
+/// end and kind. Returns `None` for ordinary identifiers (`radius`,
+/// `b_count`) and raw identifiers (`r#match`).
+fn raw_or_byte_literal(bytes: &[u8], i: usize) -> Option<(usize, TokenKind)> {
+    let rest = &bytes[i..];
+    // Raw identifier r#ident — an Ident, not a literal.
+    if rest.starts_with(b"r#") && rest.get(2).copied().is_some_and(is_ident_start) {
+        return None;
+    }
+    let (prefix_len, raw) = if rest.starts_with(b"br") || rest.starts_with(b"rb") {
+        (2, true)
+    } else if rest.starts_with(b"r") {
+        (1, true)
+    } else if rest.starts_with(b"b") {
+        (1, false)
+    } else {
+        return None;
+    };
+    let mut j = i + prefix_len;
+    if raw {
+        let mut hashes = 0;
+        while bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'"') {
+            return None; // `r` / `br` that is just an identifier prefix
+        }
+        j += 1;
+        // Scan for `"` followed by `hashes` hash marks.
+        while j < bytes.len() {
+            if bytes[j] == b'"'
+                && bytes[j + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&b| b == b'#')
+                    .count()
+                    == hashes
+            {
+                return Some((j + 1 + hashes, TokenKind::RawStr));
+            }
+            j += 1;
+        }
+        Some((bytes.len(), TokenKind::RawStr))
+    } else {
+        // b"…" byte string or b'…' byte char.
+        match bytes.get(j) {
+            Some(b'"') => Some((str_end(bytes, j + 1), TokenKind::Str)),
+            Some(b'\'') => char_or_lifetime(bytes, j).map(|end| (end, TokenKind::Char)),
+            _ => None,
+        }
+    }
+}
+
+/// End of a numeric literal starting at `i` (an ASCII digit). Includes the
+/// fraction, exponent and any type suffix; a trailing `.` method call
+/// (`1.max(2)`) is not consumed.
+fn num_end(bytes: &[u8], mut i: usize) -> usize {
+    // Hex/octal/binary prefix.
+    if bytes[i] == b'0' && matches!(bytes.get(i + 1), Some(b'x' | b'o' | b'b' | b'X')) {
+        i += 2;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        return i;
+    }
+    while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+        i += 1;
+    }
+    // Fraction: a dot followed by a digit (not `1.max(…)` or `1..n`).
+    if bytes.get(i) == Some(&b'.') && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+        i += 1;
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(i), Some(b'e' | b'E'))
+        && (bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+            || matches!(bytes.get(i + 1), Some(b'+' | b'-'))
+                && bytes.get(i + 2).is_some_and(u8::is_ascii_digit))
+    {
+        i += if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+            2
+        } else {
+            3
+        };
+        while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+            i += 1;
+        }
+    }
+    // Type suffix (u64, f32, usize, …) — an identifier run.
+    while i < bytes.len() && is_ident_byte(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+/// Reconstructs the source from its token stream. The inverse of [`lex`];
+/// used by the round-trip tests and `selftest`'s internal sanity check.
+pub fn reconstruct(src: &str, tokens: &[Token]) -> String {
+    tokens.iter().map(|t| t.text(src)).collect()
+}
+
+/// Blanks literal and comment tokens, preserving line structure: every
+/// non-newline byte of a `Str`/`RawStr`/`Char`/comment token becomes a
+/// space. The result has the same byte length and newline positions as the
+/// source, so line/column arithmetic is unchanged — but no rule pattern can
+/// match inside data.
+pub fn stripped_text(src: &str, tokens: &[Token]) -> String {
+    let mut out = String::with_capacity(src.len());
+    for t in tokens {
+        match t.kind {
+            TokenKind::Str
+            | TokenKind::RawStr
+            | TokenKind::Char
+            | TokenKind::LineComment
+            | TokenKind::BlockComment => {
+                for c in t.text(src).chars() {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                }
+            }
+            _ => out.push_str(t.text(src)),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn every_byte_is_covered_and_reconstructs() {
+        let src = "fn f(x: u32) -> usize { x as usize /* cast */ }\n";
+        let toks = lex(src);
+        assert_eq!(reconstruct(src, &toks), src);
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before {:?}", t);
+            pos = t.end;
+        }
+        assert_eq!(pos, src.len());
+    }
+
+    #[test]
+    fn strings_with_code_patterns_are_single_tokens() {
+        let src = r#"let s = "x.unwrap() as u32 scope(";"#;
+        let toks = lex(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text(src).contains("unwrap"));
+        // No Ident token spells unwrap/scope.
+        assert!(!toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .any(|t| ["unwrap", "scope"].contains(&t.text(src))));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_close_on_matching_count() {
+        let src = r###"let s = r##"inner "# quote"##; let t = 1;"###;
+        let toks = lex(src);
+        let raw: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::RawStr)
+            .collect();
+        assert_eq!(raw.len(), 1);
+        assert!(raw[0].text(src).contains("inner"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "t"));
+        assert_eq!(reconstruct(src, &toks), src);
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_comments() {
+        let src = "/* a /* nested */ still comment */ fn x() {}\n/// doc with unwrap()\n";
+        let toks = lex(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "x"));
+        assert!(toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::LineComment)
+            .any(|t| t.text(src).contains("unwrap")));
+        assert_eq!(reconstruct(src, &toks), src);
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = "let c = '{'; let n = '\\n'; fn f<'a>(x: &'a u32) -> &'a u32 { x }";
+        let k = kinds(src);
+        let chars: Vec<_> = k.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 2, "{k:?}");
+        let lifetimes: Vec<_> = k
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 3);
+        assert!(lifetimes.iter().all(|(_, t)| t == "'a"));
+    }
+
+    #[test]
+    fn byte_and_raw_literals_and_raw_idents() {
+        let src = "let a = b\"bytes\"; let b = b'x'; let c = br#\"raw\"#; let r#match = 1; let radius = 2;";
+        let toks = lex(src);
+        assert_eq!(reconstruct(src, &toks), src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert!(idents.contains(&"r#match"));
+        assert!(idents.contains(&"radius"));
+        // The b"…" / b'…' / br#"…"# literals never leak idents.
+        assert!(!idents.contains(&"bytes") && !idents.contains(&"raw"));
+    }
+
+    #[test]
+    fn numeric_literals_with_suffixes_are_single_tokens() {
+        let src = "let a = 0x3F_u64; let b = 1.5e-3_f32; let c = 10usize; let d = 1..n; let e = 1.max(2);";
+        let toks = lex(src);
+        assert_eq!(reconstruct(src, &toks), src);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Num)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(nums, ["0x3F_u64", "1.5e-3_f32", "10usize", "1", "1", "2"]);
+    }
+
+    #[test]
+    fn stripped_text_preserves_geometry_and_blanks_literals() {
+        let src = "let s = \"unwrap()\"; // as u32\nlet y = 1;\n";
+        let toks = lex(src);
+        let stripped = stripped_text(src, &toks);
+        assert_eq!(stripped.len(), src.len());
+        assert!(!stripped.contains("unwrap"));
+        assert!(!stripped.contains("as u32"));
+        assert!(stripped.contains("let y = 1;"));
+        assert_eq!(
+            stripped.match_indices('\n').count(),
+            src.match_indices('\n').count()
+        );
+    }
+
+    #[test]
+    fn line_map_resolves_offsets() {
+        let src = "a\nbb\nccc\n";
+        let lm = LineMap::new(src);
+        assert_eq!(lm.line_of(0), 1);
+        assert_eq!(lm.line_of(2), 2);
+        assert_eq!(lm.line_of(5), 3);
+        assert_eq!(lm.n_lines(), 4); // trailing newline opens an empty line 4
+    }
+}

@@ -1,0 +1,36 @@
+//! Repo-specific static analysis, exposed as a library so the integration
+//! tests (notably the lexer property tests in `tests/`) can drive the same
+//! modules the `cargo xtask` binary runs.
+//!
+//! Layering:
+//!
+//! * [`lex`] — zero-dependency Rust lexer: a byte-exact token partition of
+//!   a source file (strings, raw strings, chars vs lifetimes, nested block
+//!   comments) plus offset→line mapping.
+//! * [`structure`] — structural recovery on the token stream: items with
+//!   `#[cfg(...)]` gates, function extents, test masking, parallel-closure
+//!   regions and their bound names.
+//! * [`source`] — the per-file [`source::Analysis`] every rule consumes.
+//! * rule families: [`panics`] (panic audit, kernel indexing, discards),
+//!   [`tail`] (tail-word invariant), [`concur`] (concurrency captures,
+//!   relaxed orderings), [`casts`] (cast safety), [`gates`] (feature-gate
+//!   symmetry, failpoint arity), [`vendorcheck`] (manifest hygiene).
+//! * [`engine`] — walks the workspace, runs every rule, applies the
+//!   shrink-only allowlist; also hosts the seeded-violation selftest.
+//! * [`cimatrix`] — builds/tests the four supported cfg combinations.
+
+pub mod allowlist;
+pub mod bench;
+pub mod casts;
+pub mod cimatrix;
+pub mod concur;
+pub mod diag;
+pub mod engine;
+pub mod gates;
+pub mod json;
+pub mod lex;
+pub mod panics;
+pub mod source;
+pub mod structure;
+pub mod tail;
+pub mod vendorcheck;

@@ -1,15 +1,22 @@
-//! `cargo xtask` — repo-specific static analysis.
+//! `cargo xtask` — repo-specific static analysis and CI drivers.
 //!
 //! Subcommands:
 //!
-//! * `lint` — run the panic audit, kernel-index check, tail-word invariant
-//!   lint and vendor-hygiene check over the workspace. Exits non-zero and
-//!   prints `file:line: [rule] message` diagnostics on any finding not
-//!   covered by the shrink-only allowlist (`crates/xtask/allow.toml`).
+//! * `lint [--max-seconds N]` — run every rule family (panic audit,
+//!   kernel-index, tail-word invariant, concurrency-capture,
+//!   relaxed-ordering, cast-safety, feature-gate symmetry, failpoint arity,
+//!   discard, vendor hygiene) over the workspace. Exits non-zero and prints
+//!   `file:line: [rule] message` diagnostics on any finding not covered by
+//!   the shrink-only allowlist (`crates/xtask/allow.toml`). With
+//!   `--max-seconds`, also fails if the whole run exceeds the wall-clock
+//!   budget — the linter must stay fast enough to gate every push.
 //! * `selftest` — build a scratch workspace with one seeded violation per
-//!   rule family (a library unwrap, an unmasked tail write, a registry
-//!   dependency) and assert the engine catches all three. This guards the
-//!   linter itself against silently going blind.
+//!   rule family and assert the engine reports each at its exact file:line,
+//!   plus a negative control proving rule patterns inside string literals
+//!   and comments are never reported. This guards the linter itself against
+//!   silently going blind.
+//! * `ci-matrix` — build and test the four supported cfg combinations
+//!   (default, obs, fault-injection, obs+fault-injection).
 //! * `bench [--quick]` — run the criterion suites plus an instrumented
 //!   end-to-end `perf_report` run and fold both into `BENCH_4.json` at the
 //!   workspace root.
@@ -20,31 +27,109 @@
 //! Invoke as `cargo run -p xtask -- lint` (or via the `cargo xtask` alias
 //! in `.cargo/config.toml`).
 
-mod allowlist;
-mod bench;
-mod diag;
-mod json;
-mod panics;
-mod source;
-mod tail;
-mod vendorcheck;
-
 use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
-use diag::{rel, Rule, Violation};
-use source::Analysis;
+use xtask::engine::{run_lint, run_selftest, workspace_root};
+use xtask::{bench, cimatrix};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => cmd_lint(),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("selftest") => cmd_selftest(),
+        Some("ci-matrix") => cmd_ci_matrix(),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-compare") => cmd_bench_compare(&args[1..]),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- <lint|selftest|bench|bench-compare>");
+            eprintln!("usage: cargo run -p xtask -- <lint|selftest|ci-matrix|bench|bench-compare>");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut max_seconds: Option<f64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--max-seconds" {
+            let Some(value) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                eprintln!("xtask lint: --max-seconds needs a numeric argument");
+                return ExitCode::from(2);
+            };
+            max_seconds = Some(value);
+            i += 2;
+        } else {
+            eprintln!("xtask lint: unknown argument `{}`", args[i]);
+            return ExitCode::from(2);
+        }
+    }
+    let Some(root) = workspace_root() else {
+        eprintln!("xtask: could not locate the workspace root");
+        return ExitCode::from(2);
+    };
+    let start = Instant::now();
+    let outcome = run_lint(&root);
+    let elapsed = start.elapsed().as_secs_f64();
+    match outcome {
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("xtask lint: clean ({elapsed:.2}s)");
+            } else {
+                println!("xtask lint: {} violation(s)", violations.len());
+            }
+            if let Some(budget) = max_seconds {
+                if elapsed > budget {
+                    eprintln!(
+                        "xtask lint: wall clock {elapsed:.2}s exceeds the {budget:.0}s budget"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            if violations.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_selftest() -> ExitCode {
+    let scratch = std::env::temp_dir().join(format!("xtask-selftest-{}", std::process::id()));
+    let result = run_selftest(&scratch);
+    let _ = fs::remove_dir_all(&scratch);
+    match result {
+        Ok(report) => {
+            println!("{report}");
+            println!("xtask selftest: ok");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("xtask selftest: FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ci_matrix() -> ExitCode {
+    let Some(root) = workspace_root() else {
+        eprintln!("xtask: could not locate the workspace root");
+        return ExitCode::from(2);
+    };
+    match cimatrix::run(&root) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("xtask ci-matrix: {e}");
             ExitCode::from(2)
         }
     }
@@ -76,267 +161,5 @@ fn cmd_bench_compare(args: &[String]) -> ExitCode {
             eprintln!("xtask bench-compare: {e}");
             ExitCode::from(2)
         }
-    }
-}
-
-fn cmd_lint() -> ExitCode {
-    let Some(root) = workspace_root() else {
-        eprintln!("xtask: could not locate the workspace root");
-        return ExitCode::from(2);
-    };
-    match run_lint(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("xtask lint: clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            println!("xtask lint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("xtask lint: {e}");
-            ExitCode::from(2)
-        }
-    }
-}
-
-/// Runs every rule against the workspace at `root` and applies the
-/// allowlist. Returns the surviving violations, sorted by file and line.
-fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
-    let mut violations = Vec::new();
-
-    // Rules 1 & 2: panic audit + kernel indexing + tail invariant over the
-    // audited crates' library sources.
-    for crate_name in panics::AUDITED_CRATES {
-        let src_dir = root.join("crates").join(crate_name).join("src");
-        for path in rust_files(&src_dir) {
-            let contents = fs::read_to_string(&path)
-                .map_err(|e| format!("reading {}: {e}", path.display()))?;
-            let rel_path = rel(root, &path);
-            let analysis = Analysis::new(&contents);
-            violations.extend(panics::check_file(&rel_path, &analysis));
-            if crate_name == "hdc" {
-                violations.extend(tail::check_file(&rel_path, &analysis));
-            }
-        }
-    }
-
-    // Rule 3: vendor hygiene over every manifest in the workspace.
-    let mut manifests = vec![root.join("Cargo.toml")];
-    for dir in ["crates", "vendor"] {
-        manifests.extend(child_manifests(&root.join(dir)));
-    }
-    for path in manifests {
-        if !path.is_file() {
-            continue;
-        }
-        let contents =
-            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
-        violations.extend(vendorcheck::check_manifest(&rel(root, &path), &contents));
-    }
-
-    // The allowlist waives recorded panic/kernel-index sites and reports its
-    // own integrity problems (budget breaches, stale entries).
-    let allow_path = root.join("crates/xtask/allow.toml");
-    let list = if allow_path.is_file() {
-        let contents = fs::read_to_string(&allow_path)
-            .map_err(|e| format!("reading {}: {e}", allow_path.display()))?;
-        match allowlist::parse(&contents) {
-            Ok(list) => list,
-            Err(msg) => {
-                violations.push(Violation {
-                    file: "crates/xtask/allow.toml".to_string(),
-                    line: 0,
-                    rule: Rule::Allowlist,
-                    message: msg,
-                    line_text: String::new(),
-                });
-                allowlist::Allowlist {
-                    initial_audit: 0,
-                    budget: 0,
-                    entries: Vec::new(),
-                }
-            }
-        }
-    } else {
-        allowlist::Allowlist {
-            initial_audit: 0,
-            budget: 0,
-            entries: Vec::new(),
-        }
-    };
-    let (mut remaining, integrity) = allowlist::apply(&list, violations);
-    remaining.extend(integrity);
-    remaining.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok(remaining)
-}
-
-/// Walks `dir` recursively collecting `.rs` files in sorted order.
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&d) else {
-            continue;
-        };
-        for entry in entries.flatten() {
-            let path = entry.path();
-            if path.is_dir() {
-                stack.push(path);
-            } else if path.extension().is_some_and(|e| e == "rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// `Cargo.toml` files one level below `dir` (e.g. `crates/*/Cargo.toml`).
-fn child_manifests(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let Ok(entries) = fs::read_dir(dir) else {
-        return out;
-    };
-    for entry in entries.flatten() {
-        let manifest = entry.path().join("Cargo.toml");
-        if manifest.is_file() {
-            out.push(manifest);
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Locates the workspace root: `CARGO_MANIFEST_DIR/../..` when run via
-/// cargo, otherwise walking up from the current directory looking for a
-/// manifest with a `[workspace]` table.
-fn workspace_root() -> Option<PathBuf> {
-    if let Ok(manifest_dir) = std::env::var("CARGO_MANIFEST_DIR") {
-        let candidate = PathBuf::from(&manifest_dir).join("../..");
-        if let Ok(root) = candidate.canonicalize() {
-            if is_workspace_root(&root) {
-                return Some(root);
-            }
-        }
-    }
-    let mut dir = std::env::current_dir().ok()?;
-    loop {
-        if is_workspace_root(&dir) {
-            return Some(dir);
-        }
-        if !dir.pop() {
-            return None;
-        }
-    }
-}
-
-fn is_workspace_root(dir: &Path) -> bool {
-    fs::read_to_string(dir.join("Cargo.toml")).is_ok_and(|c| c.contains("[workspace]"))
-}
-
-/// Builds a scratch workspace with one seeded violation per rule family and
-/// asserts the lint engine reports all three with file:line diagnostics.
-fn cmd_selftest() -> ExitCode {
-    let scratch = std::env::temp_dir().join(format!("xtask-selftest-{}", std::process::id()));
-    let result = run_selftest(&scratch);
-    let _ = fs::remove_dir_all(&scratch);
-    match result {
-        Ok(report) => {
-            println!("{report}");
-            println!("xtask selftest: ok");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("xtask selftest: FAILED: {e}");
-            ExitCode::FAILURE
-        }
-    }
-}
-
-fn run_selftest(scratch: &Path) -> Result<String, String> {
-    let write = |rel_path: &str, contents: &str| -> Result<(), String> {
-        let path = scratch.join(rel_path);
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent).map_err(|e| format!("mkdir {}: {e}", parent.display()))?;
-        }
-        fs::write(&path, contents).map_err(|e| format!("write {}: {e}", path.display()))
-    };
-
-    // Seed 1: a registry dependency — the workspace must be offline.
-    write(
-        "Cargo.toml",
-        "[workspace]\nmembers = [\"crates/*\"]\n\n[workspace.dependencies]\nserde = \"1.0\"\n",
-    )?;
-    // Seed 2: an unmasked tail write in a word-level kernel.
-    write(
-        "crates/hdc/src/binary.rs",
-        "pub struct Hv { words: Vec<u64> }\n\
-         impl Hv {\n\
-             pub fn ones(&mut self) {\n\
-                 self.words.fill(u64::MAX);\n\
-             }\n\
-         }\n",
-    )?;
-    // Seed 3: a library unwrap outside test code.
-    write(
-        "crates/ml/src/lib.rs",
-        "pub fn first(xs: &[u32]) -> u32 {\n    *xs.first().unwrap()\n}\n",
-    )?;
-
-    let violations = run_lint(scratch)?;
-    let mut report = String::from("seeded violations detected:\n");
-    for v in &violations {
-        report.push_str(&format!("  {v}\n"));
-    }
-
-    let expect = [
-        (Rule::Vendor, "Cargo.toml", "registry"),
-        (
-            Rule::TailInvariant,
-            "crates/hdc/src/binary.rs",
-            "re-masking",
-        ),
-        (Rule::Panic, "crates/ml/src/lib.rs", ".unwrap()"),
-    ];
-    for (rule, file, needle) in expect {
-        let hit = violations
-            .iter()
-            .find(|v| v.rule == rule && v.file == file && v.message.contains(needle));
-        let Some(hit) = hit else {
-            return Err(format!(
-                "expected a [{}] violation in {file} mentioning `{needle}`; got:\n{report}",
-                rule.tag()
-            ));
-        };
-        if hit.line == 0 {
-            return Err(format!(
-                "[{}] violation in {file} is missing a line number",
-                rule.tag()
-            ));
-        }
-    }
-    if violations.len() < 3 {
-        return Err(format!("expected at least 3 violations, got:\n{report}"));
-    }
-    Ok(report)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn selftest_catches_all_three_seeded_violations() {
-        let scratch =
-            std::env::temp_dir().join(format!("xtask-selftest-ut-{}", std::process::id()));
-        let result = run_selftest(&scratch);
-        let _ = fs::remove_dir_all(&scratch);
-        let report = result.expect("selftest must pass");
-        assert!(report.contains("crates/ml/src/lib.rs:2"));
-        assert!(report.contains("crates/hdc/src/binary.rs:4"));
     }
 }

@@ -12,6 +12,7 @@
 //! prove away, so each one carries a written justification.
 
 use crate::diag::{Rule, Violation};
+use crate::lex::TokenKind;
 use crate::source::Analysis;
 
 /// Crates whose `src/` trees are panic-audited.
@@ -89,6 +90,76 @@ pub fn check_file(rel_path: &str, analysis: &Analysis) -> Vec<Violation> {
                 }
             }
         }
+    }
+    out
+}
+
+/// Rule: `let _ = call(…);` silently discarding a value in library code.
+///
+/// A discarded call result is how `Result`s vanish: the error path compiles
+/// away without a trace. Library code must propagate (`?`), handle, or
+/// justify with `// lint: discard-ok (<reason>)`. Plain binding discards
+/// without a call (`let _ = guard;`) are not flagged — they have no error
+/// path to lose.
+pub fn check_discards(rel_path: &str, analysis: &Analysis) -> Vec<Violation> {
+    let ctx = analysis.ctx();
+    let mut out = Vec::new();
+    let mut si = 0;
+    while si + 2 < ctx.sig.len() {
+        let is_discard = ctx.kind(si) == TokenKind::Ident
+            && ctx.text(si) == "let"
+            && ctx.kind(si + 1) == TokenKind::Ident
+            && ctx.text(si + 1) == "_"
+            && ctx.is_punct(si + 2, '=');
+        if !is_discard {
+            si += 1;
+            continue;
+        }
+        // Scan the discarded expression (to `;` at depth 0) for a call.
+        let mut depth = 0i64;
+        let mut has_call = false;
+        let mut propagates = false;
+        let mut sj = si + 3;
+        while sj < ctx.sig.len() {
+            if ctx.kind(sj) == TokenKind::Punct {
+                match ctx.text(sj).as_bytes().first() {
+                    Some(b';') if depth == 0 => break,
+                    Some(b'(') => {
+                        depth += 1;
+                        // A call: `(` directly after an ident or `.method`.
+                        if sj >= 1 && ctx.kind(sj - 1) == TokenKind::Ident {
+                            has_call = true;
+                        }
+                    }
+                    Some(b'[' | b'{') => depth += 1,
+                    Some(b')' | b']' | b'}') => depth -= 1,
+                    // `let _ = expr?;` propagates the error — only the Ok
+                    // payload is dropped, which is deliberate (warmups etc).
+                    Some(b'?') if depth == 0 => propagates = true,
+                    _ => {}
+                }
+            }
+            sj += 1;
+        }
+        let line = ctx.line(si);
+        si = sj + 1;
+        if !has_call
+            || propagates
+            || analysis.in_test.get(line - 1).copied().unwrap_or(false)
+            || analysis.line_has_annotation(line, "lint: discard-ok (")
+        {
+            continue;
+        }
+        out.push(Violation {
+            file: rel_path.to_string(),
+            line,
+            rule: Rule::Discard,
+            message: "`let _ = …(…)` discards a call result in library code — propagate \
+                      with `?`, handle the error, or annotate with \
+                      `// lint: discard-ok (<reason>)`"
+                .to_string(),
+            line_text: analysis.raw.get(line - 1).cloned().unwrap_or_default(),
+        });
     }
     out
 }
@@ -171,6 +242,33 @@ mod tests {
 
         // Non-kernel files may index freely.
         assert!(audit("crates/ml/src/tree.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn discarded_call_results_require_a_reason() {
+        let bad = "fn f(path: &str) {\n    let _ = std::fs::remove_file(path);\n}\n";
+        let v = check_discards("crates/data/src/lib.rs", &Analysis::new(bad));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Discard);
+        assert_eq!(v[0].line, 2);
+
+        let good = "fn f(path: &str) {\n\
+                        // lint: discard-ok (best-effort cleanup; absence is fine)\n\
+                        let _ = std::fs::remove_file(path);\n\
+                    }\n";
+        assert!(check_discards("crates/data/src/lib.rs", &Analysis::new(good)).is_empty());
+
+        // No call → no error path to lose; tests are exempt.
+        let plain = "fn f(g: Guard) {\n    let _ = g;\n}\n\
+                     #[cfg(test)]\nmod tests {\n    fn t() { let _ = go(); }\n}\n";
+        assert!(check_discards("crates/data/src/lib.rs", &Analysis::new(plain)).is_empty());
+
+        // `?` propagates the error; only the Ok payload is dropped.
+        let warmup = "fn f(m: &M, x: &X) -> Result<(), E> {\n\
+                          let _ = m.predict(x)?;\n\
+                          Ok(())\n\
+                      }\n";
+        assert!(check_discards("crates/core/src/lib.rs", &Analysis::new(warmup)).is_empty());
     }
 
     #[test]

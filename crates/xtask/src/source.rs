@@ -1,54 +1,63 @@
-//! Lexical preprocessing of Rust sources: comment/string stripping,
-//! `#[cfg(test)]` region masking, and function-extent discovery.
+//! Per-file analysis state, built on the token stream.
 //!
-//! This is deliberately a lexer, not a parser: the lints only need to know
-//! (a) which text is code rather than comment/string, (b) which lines live
-//! inside test-gated items, and (c) where each `fn` body starts and ends.
-//! All three fall out of a single character-level scan plus brace tracking.
+//! [`Analysis`] is the shared substrate every rule consumes. Since the
+//! token-stream rewrite it is derived entirely from [`crate::lex`] +
+//! [`crate::structure`]: `stripped` blanks the bytes of string/char/comment
+//! tokens (so no rule pattern can match inside data — the false-positive
+//! class the old character-scanner's heuristics could miss), `in_test`
+//! comes from structurally parsed `#[cfg(test)]` items, and `functions`
+//! from token-level brace matching.
 
-/// A Rust source file after lexical analysis.
+use crate::lex::{self, Token};
+use crate::structure::{self, Ctx};
+
+pub use crate::structure::FnSpan;
+
+/// A Rust source file after lexical + structural analysis.
 pub struct Analysis {
+    /// The source text, owned so token spans stay resolvable.
+    pub source: String,
+    /// The full token stream (a byte-exact partition of `source`).
+    pub tokens: Vec<Token>,
     /// Raw source lines (1-based indexing via `line - 1`).
     pub raw: Vec<String>,
-    /// Lines with comment bodies and string/char contents blanked out.
-    /// Quote characters and comment openers are blanked too, so the only
-    /// remaining tokens are real code.
+    /// Lines with string/char-literal and comment bytes blanked out.
     pub stripped: Vec<String>,
     /// `true` for lines inside a `#[cfg(test)]`-gated item.
     pub in_test: Vec<bool>,
-    /// Function extents, in source order.
+    /// Function extents, in source order (nested fns included).
     pub functions: Vec<FnSpan>,
 }
 
-/// The extent of one `fn` item.
-#[derive(Debug, Clone)]
-pub struct FnSpan {
-    /// The function's name.
-    pub name: String,
-    /// 1-based line of the `fn` keyword.
-    pub header_line: usize,
-    /// 1-based line of the parameter list's closing context — the first
-    /// line at or after the header containing the body `{` (equals
-    /// `header_line` for single-line signatures).
-    pub body_start_line: usize,
-    /// 1-based line of the body's closing `}`.
-    pub end_line: usize,
-}
-
 impl Analysis {
-    /// Lexes a source file.
+    /// Lexes and structurally analyses a source file.
     pub fn new(source: &str) -> Self {
-        let stripped_text = strip(source);
+        let tokens = lex::lex(source);
+        let stripped_text = lex::stripped_text(source, &tokens);
         let raw: Vec<String> = source.lines().map(str::to_string).collect();
         let stripped: Vec<String> = stripped_text.lines().map(str::to_string).collect();
-        let in_test = test_mask(&stripped);
-        let functions = find_functions(&stripped);
+        let ctx = Ctx::new(source, &tokens);
+        let items = structure::parse_items(&ctx);
+        let in_test = structure::test_mask(&ctx, &items, raw.len());
+        let functions = structure::find_fn_spans(&ctx);
         Self {
+            source: source.to_string(),
+            tokens,
             raw,
             stripped,
             in_test,
             functions,
         }
+    }
+
+    /// A token-stream context borrowing this analysis.
+    pub fn ctx(&self) -> Ctx<'_> {
+        Ctx::new(&self.source, &self.tokens)
+    }
+
+    /// The parsed items of the file (computed on demand).
+    pub fn items(&self) -> Vec<structure::Item> {
+        structure::parse_items(&self.ctx())
     }
 
     /// The function span containing `line` (1-based), if any. Inner
@@ -82,292 +91,20 @@ impl Analysis {
         }
         false
     }
-}
 
-/// Blanks comments and string/char-literal contents, preserving line
-/// structure so line numbers survive.
-fn strip(source: &str) -> String {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(usize),
-        Str,
-        RawStr(usize),
+    /// True if `line` (1-based) carries `needle` directly, on the line
+    /// above, or anywhere in the enclosing function's annotation scope.
+    pub fn line_has_annotation(&self, line: usize, needle: &str) -> bool {
+        let direct = self
+            .raw
+            .get(line.saturating_sub(1))
+            .is_some_and(|l| l.contains(needle))
+            || line >= 2 && self.raw.get(line - 2).is_some_and(|l| l.contains(needle));
+        direct
+            || self
+                .enclosing_fn(line)
+                .is_some_and(|f| self.fn_has_annotation(f, needle))
     }
-    let mut out = String::with_capacity(source.len());
-    let chars: Vec<char> = source.chars().collect();
-    let mut state = State::Code;
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        let next = chars.get(i + 1).copied();
-        match state {
-            State::Code => match c {
-                '/' if next == Some('/') => {
-                    state = State::LineComment;
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                }
-                '/' if next == Some('*') => {
-                    state = State::BlockComment(1);
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                }
-                '"' => {
-                    state = State::Str;
-                    out.push('"');
-                    i += 1;
-                }
-                'r' if matches!(next, Some('"') | Some('#')) && !prev_is_ident(&chars, i) => {
-                    // Raw string r"…" or r#"…"# (count the hashes).
-                    let mut hashes = 0;
-                    let mut j = i + 1;
-                    while chars.get(j) == Some(&'#') {
-                        hashes += 1;
-                        j += 1;
-                    }
-                    if chars.get(j) == Some(&'"') {
-                        for _ in i..=j {
-                            out.push(' ');
-                        }
-                        state = State::RawStr(hashes);
-                        i = j + 1;
-                    } else {
-                        out.push(c);
-                        i += 1;
-                    }
-                }
-                '\'' => {
-                    // Char literal vs lifetime: a literal closes within a
-                    // few chars; a lifetime never has a closing quote.
-                    if next == Some('\\') {
-                        // Escaped char literal: skip to the closing quote.
-                        let mut j = i + 2;
-                        while j < chars.len() && chars[j] != '\'' {
-                            j += 1;
-                        }
-                        for _ in i..=j.min(chars.len() - 1) {
-                            out.push(' ');
-                        }
-                        i = j + 1;
-                    } else if chars.get(i + 2) == Some(&'\'') {
-                        out.push(' ');
-                        out.push(' ');
-                        out.push(' ');
-                        i += 3;
-                    } else {
-                        // Lifetime: keep as-is.
-                        out.push(c);
-                        i += 1;
-                    }
-                }
-                '\n' => {
-                    out.push('\n');
-                    i += 1;
-                }
-                _ => {
-                    out.push(c);
-                    i += 1;
-                }
-            },
-            State::LineComment => {
-                if c == '\n' {
-                    out.push('\n');
-                    state = State::Code;
-                } else {
-                    out.push(' ');
-                }
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                if c == '*' && next == Some('/') {
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    state = if depth == 1 {
-                        State::Code
-                    } else {
-                        State::BlockComment(depth - 1)
-                    };
-                } else if c == '/' && next == Some('*') {
-                    out.push(' ');
-                    out.push(' ');
-                    i += 2;
-                    state = State::BlockComment(depth + 1);
-                } else {
-                    out.push(if c == '\n' { '\n' } else { ' ' });
-                    i += 1;
-                }
-            }
-            State::Str => match c {
-                '\\' => {
-                    out.push(' ');
-                    if next.is_some() {
-                        out.push(if next == Some('\n') { '\n' } else { ' ' });
-                        i += 2;
-                    } else {
-                        i += 1;
-                    }
-                }
-                '"' => {
-                    out.push('"');
-                    state = State::Code;
-                    i += 1;
-                }
-                '\n' => {
-                    out.push('\n');
-                    i += 1;
-                }
-                _ => {
-                    out.push(' ');
-                    i += 1;
-                }
-            },
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    // Closing needs `hashes` following '#'s.
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if chars.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        for _ in 0..=hashes {
-                            out.push(' ');
-                        }
-                        i += 1 + hashes;
-                        state = State::Code;
-                        continue;
-                    }
-                }
-                out.push(if c == '\n' { '\n' } else { ' ' });
-                i += 1;
-            }
-        }
-    }
-    out
-}
-
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
-}
-
-/// Marks lines belonging to `#[cfg(test)]`-gated items. The attribute may
-/// be followed by further attributes before the item; the region extends
-/// to the item's closing brace (or terminating `;` for brace-less items).
-fn test_mask(stripped: &[String]) -> Vec<bool> {
-    let mut mask = vec![false; stripped.len()];
-    let mut i = 0;
-    while i < stripped.len() {
-        let t = stripped[i].trim_start();
-        let is_test_attr = t.starts_with("#[cfg(test)]")
-            || t.starts_with("#[cfg(all(test")
-            || t.starts_with("#[cfg(any(test");
-        if !is_test_attr {
-            i += 1;
-            continue;
-        }
-        // Mask from the attribute to the end of the gated item.
-        let start = i;
-        let mut depth = 0i64;
-        let mut seen_brace = false;
-        let mut j = i;
-        'outer: while j < stripped.len() {
-            for ch in stripped[j].chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        seen_brace = true;
-                    }
-                    '}' => {
-                        depth -= 1;
-                        if seen_brace && depth == 0 {
-                            break 'outer;
-                        }
-                    }
-                    ';' if !seen_brace => break 'outer,
-                    _ => {}
-                }
-            }
-            j += 1;
-        }
-        let end = j.min(stripped.len() - 1);
-        for m in &mut mask[start..=end] {
-            *m = true;
-        }
-        i = end + 1;
-    }
-    mask
-}
-
-/// Finds `fn` items and their body extents by brace tracking over stripped
-/// text. Trait-signature `fn`s (terminated by `;` before any `{`) are
-/// skipped.
-fn find_functions(stripped: &[String]) -> Vec<FnSpan> {
-    let mut spans = Vec::new();
-    for (li, line) in stripped.iter().enumerate() {
-        let mut search_from = 0;
-        while let Some(pos) = line[search_from..].find("fn ") {
-            let at = search_from + pos;
-            search_from = at + 3;
-            // Word boundary on the left.
-            if at > 0 {
-                let prev = line.as_bytes()[at - 1] as char;
-                if prev.is_alphanumeric() || prev == '_' {
-                    continue;
-                }
-            }
-            let name: String = line[at + 3..]
-                .chars()
-                .take_while(|c| c.is_alphanumeric() || *c == '_')
-                .collect();
-            if name.is_empty() {
-                continue;
-            }
-            // Walk forward to the body `{` or a terminating `;`.
-            let mut depth = 0i64;
-            let mut body_start = None;
-            let mut end = None;
-            let mut col = at;
-            'scan: for (j, l) in stripped.iter().enumerate().skip(li) {
-                let text = if j == li { &l[col..] } else { l.as_str() };
-                for ch in text.chars() {
-                    match ch {
-                        ';' if depth == 0 => break 'scan,
-                        '{' => {
-                            if depth == 0 && body_start.is_none() {
-                                body_start = Some(j + 1);
-                            }
-                            depth += 1;
-                        }
-                        '}' => {
-                            depth -= 1;
-                            if depth == 0 && body_start.is_some() {
-                                end = Some(j + 1);
-                                break 'scan;
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-                col = 0;
-            }
-            if let (Some(bs), Some(e)) = (body_start, end) {
-                spans.push(FnSpan {
-                    name,
-                    header_line: li + 1,
-                    body_start_line: bs,
-                    end_line: e,
-                });
-            }
-        }
-    }
-    spans
 }
 
 #[cfg(test)]
@@ -452,5 +189,23 @@ mod tests {
         let a = Analysis::new(src);
         assert_eq!(a.functions[0].body_start_line, 4);
         assert_eq!(a.functions[0].end_line, 6);
+    }
+
+    #[test]
+    fn code_patterns_inside_literals_never_reach_stripped_text() {
+        // The acceptance-criterion case: rule patterns placed inside string
+        // literals and comments must be invisible to every rule.
+        let src = "fn f() -> String {\n\
+                       // w[i] as u32 .unwrap() scope(\n\
+                       /* Ordering::Relaxed */\n\
+                       format!(\"{} as u32 scope( .unwrap()\", 1)\n\
+                   }\n";
+        let a = Analysis::new(src);
+        for line in &a.stripped {
+            assert!(!line.contains("unwrap"));
+            assert!(!line.contains("as u32"));
+            assert!(!line.contains("scope("));
+            assert!(!line.contains("Relaxed"));
+        }
     }
 }

@@ -1,0 +1,175 @@
+//! Property-based tests for the token-stream lexer the lint rules sit on.
+//!
+//! Two families of guarantee, both load-bearing for every rule:
+//!
+//! 1. **Round-trip**: `lex` partitions the source into contiguous tokens
+//!    whose concatenation reproduces the input byte-for-byte, for *any*
+//!    input — arbitrary character salad as well as generated Rust-like
+//!    token soup. A lexer that drops or duplicates a byte mis-reports
+//!    every line number after the defect.
+//! 2. **Literal opacity**: rule patterns (`unwrap(`, `as u32`, `scope(`,
+//!    `Ordering::Relaxed`, …) embedded inside string literals, raw strings
+//!    or comments never surface as matchable tokens, and `stripped_text`
+//!    blanks them while preserving byte length and newline positions.
+
+use proptest::prelude::*;
+use xtask::lex::{lex, reconstruct, stripped_text, TokenKind};
+
+/// Patterns the rule families scan for; none may leak out of a literal.
+const RULE_PATTERNS: &[&str] = &[
+    "unwrap(",
+    "expect(",
+    "panic!(",
+    "as u32",
+    "as usize",
+    "scope(",
+    "Ordering::Relaxed",
+    "failpoint::check(",
+];
+
+/// Character salad alphabet: every lexer state-machine trigger (quotes,
+/// backslashes, comment markers, `r#`), plus multi-byte characters so
+/// byte/char-boundary confusion would be caught.
+const SALAD: &[char] = &[
+    'a', 'Z', '_', '0', '9', ' ', '\n', '\t', '"', '\'', '\\', '/', '*', '#', 'r', 'b', '(', ')',
+    '{', '}', '!', '?', '-', '=', '<', '>', '.', ':', ';', 'é', '日', '🦀',
+];
+
+fn salad_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(0..SALAD.len(), 0..64)
+        .prop_map(|ix| ix.into_iter().map(|i| SALAD[i]).collect())
+}
+
+/// Deterministically expands a `(selector, seed)` pair into one Rust-like
+/// token fragment. Fragments are self-contained: joined with spaces they
+/// form a lexable token run.
+fn fragment(selector: usize, seed: u64) -> String {
+    let letter = |s: u64| char::from(b'a' + (s % 26) as u8);
+    let word = |s: u64| {
+        (0..=(s % 5))
+            .map(|k| letter(s.wrapping_mul(31).wrapping_add(k)))
+            .collect::<String>()
+    };
+    const PUNCT: &[&str] = &[
+        "::", "->", "=>", "+=", "<<=", ">>=", "&&", "||", "..=", "(", ")", "{", "}", "[", "]", ";",
+        ",", ".", "&", "|", "^", "+", "-", "*", "<", ">", "=", "?", "#", "!",
+    ];
+    match selector {
+        0 => word(seed),
+        1 => format!("r#{}", word(seed)),
+        2 => format!("'{}", word(seed)),
+        3 => format!("{}", seed % 100_000),
+        4 => format!("{}u32", seed % 1_000),
+        5 => format!("{}.{}f64", seed % 100, seed % 10),
+        6 => format!("\"{} {}\\n\"", word(seed), word(seed / 7)),
+        7 => format!("r#\"{} ({})\"#", word(seed), word(seed / 3)),
+        8 => format!("'{}'", letter(seed)),
+        9 => "'\\''".to_string(),
+        10 => format!("// {}\n", word(seed)),
+        11 => format!("/* {} */", word(seed)),
+        12 => format!("/* a /* {} */ b */", word(seed)),
+        _ => PUNCT[seed as usize % PUNCT.len()].to_string(),
+    }
+}
+
+/// Rust-like source: fragments joined by spaces, newline-terminated.
+fn token_soup() -> impl Strategy<Value = String> {
+    prop::collection::vec((0..14usize, 0..u64::MAX), 0..32).prop_map(|frags| {
+        let mut s = frags
+            .into_iter()
+            .map(|(sel, seed)| fragment(sel, seed))
+            .collect::<Vec<_>>()
+            .join(" ");
+        s.push('\n');
+        s
+    })
+}
+
+/// Wraps rule pattern `p` (chosen by `pat`) in an opaque container
+/// (chosen by `container`), returning the wrapped line and the pattern.
+fn hide(pat: usize, container: usize) -> (String, &'static str) {
+    let p = RULE_PATTERNS[pat % RULE_PATTERNS.len()];
+    let wrapped = match container % 5 {
+        0 => format!("let s = \"x {p} y\";\n"),
+        1 => format!("let s = r#\"x {p} y\"#;\n"),
+        2 => format!("// seen {p} in a comment\n"),
+        3 => format!("let x = 1; /* {p} */\n"),
+        _ => format!("/* outer /* {p} */ tail */\n"),
+    };
+    (wrapped, p)
+}
+
+proptest! {
+    /// Any character salad lexes into a contiguous partition that
+    /// reconstructs the input exactly.
+    #[test]
+    fn round_trip_arbitrary_input(src in salad_string()) {
+        let tokens = lex(&src);
+        prop_assert_eq!(reconstruct(&src, &tokens), src.clone());
+        let mut offset = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, offset, "tokens must be contiguous");
+            prop_assert!(t.end > t.start, "tokens must be non-empty");
+            offset = t.end;
+        }
+        prop_assert_eq!(offset, src.len(), "tokens must cover every byte");
+    }
+
+    /// Rust-like token soup round-trips, and stripping preserves the byte
+    /// length and every newline position (line arithmetic is unchanged).
+    #[test]
+    fn round_trip_and_stripping_preserve_geometry(src in token_soup()) {
+        let tokens = lex(&src);
+        prop_assert_eq!(reconstruct(&src, &tokens), src.clone());
+        let stripped = stripped_text(&src, &tokens);
+        prop_assert_eq!(stripped.len(), src.len());
+        let src_newlines: Vec<usize> =
+            src.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i).collect();
+        let out_newlines: Vec<usize> =
+            stripped.bytes().enumerate().filter(|&(_, b)| b == b'\n').map(|(i, _)| i).collect();
+        prop_assert_eq!(src_newlines, out_newlines);
+    }
+
+    /// A rule pattern inside a string, raw string or comment produces zero
+    /// matchable tokens: nothing non-literal overlaps the pattern bytes,
+    /// and the stripped text no longer contains them.
+    #[test]
+    fn patterns_inside_literals_are_invisible(
+        prefix in token_soup(),
+        pat in 0..RULE_PATTERNS.len(),
+        container in 0..5usize,
+        suffix in token_soup(),
+    ) {
+        let (hidden, pattern) = hide(pat, container);
+        let src = format!("{prefix}{hidden}{suffix}");
+        let tokens = lex(&src);
+        prop_assert_eq!(reconstruct(&src, &tokens), src.clone());
+
+        // Where does the injected pattern live? `hidden` contains it once.
+        let inner = hidden.find(pattern).expect("container embeds the pattern");
+        let (pat_start, pat_end) = (prefix.len() + inner, prefix.len() + inner + pattern.len());
+
+        for t in &tokens {
+            let overlaps = t.start < pat_end && pat_start < t.end;
+            if overlaps {
+                prop_assert!(
+                    matches!(
+                        t.kind,
+                        TokenKind::Str
+                            | TokenKind::RawStr
+                            | TokenKind::LineComment
+                            | TokenKind::BlockComment
+                    ),
+                    "pattern bytes leaked into a {:?} token: {:?}",
+                    t.kind,
+                    t.text(&src)
+                );
+            }
+        }
+        let stripped = stripped_text(&src, &tokens);
+        prop_assert!(
+            !stripped[pat_start..pat_end].contains(pattern),
+            "stripped text still contains the hidden pattern"
+        );
+    }
+}

@@ -45,7 +45,9 @@ fn full_pima_pipeline_from_raw_cohort_to_metrics() {
     hybrid.fit(&pima_m, &split.train).unwrap();
     let predictions = hybrid.predict(&pima_m, &split.test).unwrap();
     let actual: Vec<usize> = split.test.iter().map(|&i| pima_m.labels()[i]).collect();
-    let metrics = ConfusionMatrix::from_labels(&actual, &predictions).metrics();
+    let metrics = ConfusionMatrix::from_labels(&actual, &predictions)
+        .unwrap()
+        .metrics();
     assert!(
         metrics.accuracy > 0.6,
         "hybrid accuracy {}",
