@@ -25,7 +25,7 @@ fn bench_ops(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("hdc_ops_10k");
     g.bench_function("hamming", |bch| {
-        bch.iter(|| black_box(a.hamming(black_box(&b))));
+        bch.iter(|| black_box(a.try_hamming(black_box(&b)).unwrap()));
     });
     g.bench_function("bind_xor", |bch| {
         bch.iter(|| black_box(a.bind(black_box(&b))));

@@ -247,7 +247,7 @@ pub fn backend_agreement(table: &Table, dim: Dim, seed: u64) -> Result<f64, Hype
             acc.push(&BipolarHypervector::from_binary(f))?;
         }
         let bipolar_bundle = acc.finish()?.to_binary();
-        agree_bits += dim.get() - binary_bundle.hamming(&bipolar_bundle);
+        agree_bits += dim.get() - binary_bundle.try_hamming(&bipolar_bundle)?;
         total_bits += dim.get();
     }
     Ok(agree_bits as f64 / total_bits.max(1) as f64)

@@ -15,13 +15,16 @@ use hyperfex_hdc::rng::SplitMix64;
 use hyperfex_hdc::HdcError;
 
 /// Every failpoint compiled into the pipeline, in execution order.
-pub const PIPELINE_FAILPOINTS: [&str; 6] = [
+pub const PIPELINE_FAILPOINTS: [&str; 9] = [
     "data/load_csv",
     "data/impute",
     "hdc/encode_batch",
     "hdc/encode_record",
     "hdc/loocv_run",
     "hdc/trainer_partial_fit",
+    "serve/snapshot_write",
+    "serve/snapshot_load",
+    "serve/batch_predict",
 ];
 
 /// One deterministic configuration of all three injector layers.
@@ -46,6 +49,17 @@ pub struct FaultPlan {
     /// Pipeline layer: failpoint rules (only honoured by a harness built
     /// with the `fault-injection` feature).
     pub fail_rules: Vec<FailRule>,
+    /// Snapshot layer: how many on-disk shard files to corrupt when the
+    /// plan is applied to a snapshot directory.
+    pub snapshot_victims: usize,
+    /// Snapshot layer: seeded byte-bit flips applied to each victim file.
+    pub snapshot_flips: usize,
+    /// Snapshot layer: truncate each victim file to this fraction of its
+    /// length, when set.
+    pub snapshot_truncate: Option<f64>,
+    /// Snapshot layer: clobber each victim file's leading bytes (magic and
+    /// version header) with seeded junk.
+    pub snapshot_clobber_header: bool,
 }
 
 impl FaultPlan {
@@ -62,6 +76,10 @@ impl FaultPlan {
             truncate_to: None,
             drop_column: None,
             fail_rules: Vec::new(),
+            snapshot_victims: 0,
+            snapshot_flips: 0,
+            snapshot_truncate: None,
+            snapshot_clobber_header: false,
         }
     }
 
@@ -115,6 +133,22 @@ impl FaultPlan {
                 });
             }
         }
+        // Snapshot-layer draws come last so the earlier streams stay
+        // identical to plans generated before this layer existed.
+        let snapshot_flips = if rng.next_f64() < 0.35 {
+            1 + rng.next_bounded(16) as usize
+        } else {
+            0
+        };
+        let snapshot_truncate = (rng.next_f64() < 0.2).then(|| rng.next_f64() * 0.9);
+        let snapshot_clobber_header = rng.next_f64() < 0.15;
+        let snapshot_armed =
+            snapshot_flips > 0 || snapshot_truncate.is_some() || snapshot_clobber_header;
+        let snapshot_victims = if snapshot_armed {
+            1 + rng.next_bounded(3) as usize
+        } else {
+            0
+        };
         Self {
             seed,
             flip_rate,
@@ -125,6 +159,10 @@ impl FaultPlan {
             truncate_to,
             drop_column,
             fail_rules,
+            snapshot_victims,
+            snapshot_flips,
+            snapshot_truncate,
+            snapshot_clobber_header,
         }
     }
 
@@ -156,6 +194,49 @@ impl FaultPlan {
     /// Applies the storage-layer faults to an encoded hypervector store.
     pub fn apply_store(&self, store: &mut [BinaryHypervector]) -> Result<(), HdcError> {
         storage::degrade_store(store, self.flip_rate, SplitMix64::new(self.seed).next_u64())
+    }
+
+    /// Applies the snapshot-layer faults to the on-disk files in `files`
+    /// (typically one shard file each): picks `snapshot_victims` of them
+    /// by a seeded draw without replacement, then corrupts each victim
+    /// with the armed injectors — byte-bit flips, truncation, header
+    /// clobber, in that order. Returns the victim indices into `files`,
+    /// sorted ascending, so a chaos test knows exactly which shards a
+    /// recovering reader must quarantine. Deterministic given the plan.
+    pub fn apply_snapshot_files<P: AsRef<std::path::Path>>(
+        &self,
+        files: &[P],
+    ) -> std::io::Result<Vec<usize>> {
+        let n_victims = self.snapshot_victims.min(files.len());
+        if n_victims == 0 {
+            return Ok(Vec::new());
+        }
+        // Partial Fisher–Yates over the index set: the first `n_victims`
+        // slots after shuffling are the victims.
+        let mut rng = SplitMix64::new(self.seed).derive(0x5A9D, 0);
+        let mut indices: Vec<usize> = (0..files.len()).collect();
+        for i in 0..n_victims {
+            // lint: cast-ok (bound is files.len() - i, a usize that fits u64)
+            let j = i + rng.next_bounded((files.len() - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        let mut victims: Vec<usize> = indices[..n_victims].to_vec();
+        victims.sort_unstable();
+        let root = SplitMix64::new(self.seed);
+        for &v in &victims {
+            let path = files[v].as_ref();
+            let per_file = root.derive(0x5F17, v as u64).next_u64();
+            if self.snapshot_flips > 0 {
+                storage::flip_file_bytes(path, self.snapshot_flips, per_file)?;
+            }
+            if let Some(fraction) = self.snapshot_truncate {
+                storage::truncate_file(path, fraction)?;
+            }
+            if self.snapshot_clobber_header {
+                storage::clobber_header(path, 16, per_file)?;
+            }
+        }
+        Ok(victims)
     }
 }
 
@@ -201,6 +282,50 @@ mod tests {
         assert!(plans.iter().any(|p| p.drop_column.is_some()));
         assert!(plans.iter().any(|p| !p.fail_rules.is_empty()));
         assert!(plans.iter().any(|p| p.flip_rate == 0.0));
+        assert!(plans.iter().any(|p| p.snapshot_flips > 0));
+        assert!(plans.iter().any(|p| p.snapshot_truncate.is_some()));
+        assert!(plans.iter().any(|p| p.snapshot_clobber_header));
+        assert!(plans.iter().any(|p| p.snapshot_victims == 0));
+    }
+
+    #[test]
+    fn snapshot_faults_pick_deterministic_victims() {
+        let dir = std::env::temp_dir().join(format!("hyperfex-faults-plan-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let files: Vec<_> = (0..6).map(|i| dir.join(format!("shard-{i}.bin"))).collect();
+        let payload = vec![0xABu8; 256];
+        let mut plan = FaultPlan::none(11);
+        plan.snapshot_victims = 2;
+        plan.snapshot_flips = 4;
+
+        for f in &files {
+            std::fs::write(f, &payload).unwrap();
+        }
+        let v1 = plan.apply_snapshot_files(&files).unwrap();
+        let after1: Vec<_> = files.iter().map(|f| std::fs::read(f).unwrap()).collect();
+        for f in &files {
+            std::fs::write(f, &payload).unwrap();
+        }
+        let v2 = plan.apply_snapshot_files(&files).unwrap();
+        let after2: Vec<_> = files.iter().map(|f| std::fs::read(f).unwrap()).collect();
+
+        assert_eq!(v1, v2, "victim choice must replay from the plan");
+        assert_eq!(after1, after2, "corruption must replay byte-identically");
+        assert_eq!(v1.len(), 2);
+        assert!(v1.windows(2).all(|w| w[0] < w[1]), "victims sorted: {v1:?}");
+        for (i, bytes) in after1.iter().enumerate() {
+            if v1.contains(&i) {
+                assert_ne!(bytes, &payload, "victim {i} must differ");
+            } else {
+                assert_eq!(bytes, &payload, "survivor {i} must be untouched");
+            }
+        }
+        // A fault-free plan touches nothing.
+        assert!(FaultPlan::none(11)
+            .apply_snapshot_files(&files)
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -15,6 +15,33 @@ use crate::{FailRule, FaultAction};
 /// Serialises chaos harnesses: the installed handlers are process-global.
 static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
 
+/// Rejected failpoint installations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// Two rules in one [`install`] call target the same seam. Earlier the
+    /// registry accepted this silently and only the first matching rule
+    /// ever fired (while the shadowed rule still consumed hit-window
+    /// state), which made chaos plans ambiguous; it is now a typed error.
+    DuplicateSeam {
+        /// The seam both rules target.
+        point: String,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateSeam { point } => write!(
+                f,
+                "failpoint seam `{point}` is registered twice in one guard scope — merge the \
+                 rules; only the first would ever fire"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
 struct RuleState {
     rule: FailRule,
     hits: AtomicUsize,
@@ -70,8 +97,18 @@ impl Drop for FailpointsGuard {
 /// counters are private to this installation, so two installs of the same
 /// rules behave identically — a requirement for byte-identical chaos
 /// replays.
-#[must_use = "dropping the guard immediately uninstalls the failpoint rules"]
-pub fn install(rules: &[FailRule]) -> FailpointsGuard {
+///
+/// Returns [`RegistryError::DuplicateSeam`] when two rules target the same
+/// seam: the shadowed rule could never fire, so accepting it would make
+/// the plan silently ambiguous.
+pub fn install(rules: &[FailRule]) -> Result<FailpointsGuard, RegistryError> {
+    for (i, rule) in rules.iter().enumerate() {
+        if rules[..i].iter().any(|prior| prior.point == rule.point) {
+            return Err(RegistryError::DuplicateSeam {
+                point: rule.point.clone(),
+            });
+        }
+    }
     let serial = REGISTRY_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
     let set = Arc::new(RuleSet {
         rules: rules
@@ -97,7 +134,7 @@ pub fn install(rules: &[FailRule]) -> FailpointsGuard {
             FaultAction::Delay(ms) => hyperfex_data::failpoint::FaultAction::Delay(ms),
         })
     }));
-    FailpointsGuard { _serial: serial }
+    Ok(FailpointsGuard { _serial: serial })
 }
 
 #[cfg(test)]
@@ -113,7 +150,7 @@ mod tests {
             times: Some(2),
         }];
         {
-            let _guard = install(&rules);
+            let _guard = install(&rules).unwrap();
             // Hit 0 is before the window; hits 1 and 2 fire; hit 3 is after.
             assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
             assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_err());
@@ -142,7 +179,7 @@ mod tests {
                 times: None,
             },
         ];
-        let _guard = install(&rules);
+        let _guard = install(&rules).unwrap();
         assert!(hyperfex_data::failpoint::check("data/test_seam").is_err());
         // Delay(0) proceeds without failing.
         assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
@@ -157,9 +194,32 @@ mod tests {
             times: Some(1),
         }];
         for _ in 0..2 {
-            let _guard = install(&rules);
+            let _guard = install(&rules).unwrap();
             assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_err());
             assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
         }
+    }
+
+    #[test]
+    fn duplicate_seam_in_one_scope_is_a_typed_error() {
+        let mk = |after| FailRule {
+            point: "hdc/test_seam".to_string(),
+            action: FaultAction::Fail,
+            after,
+            times: Some(1),
+        };
+        let err = install(&[mk(0), mk(5)]).unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::DuplicateSeam {
+                point: "hdc/test_seam".to_string()
+            }
+        );
+        // Nothing was installed: the rejected rules never reach the hooks.
+        assert!(hyperfex_hdc::failpoint::check("hdc/test_seam").is_ok());
+        // Distinct seams are still fine.
+        let mut other = mk(0);
+        other.point = "hdc/other_seam".to_string();
+        assert!(install(&[mk(0), other]).is_ok());
     }
 }

@@ -8,6 +8,10 @@
 //! and a flip rate of exactly `0.0` is guaranteed to touch nothing, so the
 //! uninjected baseline is reproduced bit-exactly.
 
+use std::fs;
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::Path;
+
 use hyperfex_hdc::binary::{BinaryHypervector, WORD_BITS};
 use hyperfex_hdc::rng::SplitMix64;
 use hyperfex_hdc::HdcError;
@@ -117,6 +121,67 @@ pub fn corrupt_tail(hv: &mut BinaryHypervector) -> bool {
     false
 }
 
+/// Flips one random bit in each of `n_flips` seeded byte positions of the
+/// file at `path`, in place. Positions are drawn independently, so two
+/// flips may land on the same byte (and may cancel on the same bit) — the
+/// injector models i.i.d. media corruption, not a curated diff. Returns
+/// the byte offsets touched, in draw order. An empty file is untouched.
+///
+/// Deterministic given `seed`; this is what lets a snapshot-recovery chaos
+/// test replay the exact corruption that quarantined a shard.
+pub fn flip_file_bytes(path: &Path, n_flips: usize, seed: u64) -> io::Result<Vec<u64>> {
+    let mut file = fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let len = file.metadata()?.len();
+    if len == 0 || n_flips == 0 {
+        return Ok(Vec::new());
+    }
+    let mut rng = SplitMix64::new(seed).derive(0xF11E, 0);
+    let mut touched = Vec::with_capacity(n_flips);
+    for _ in 0..n_flips {
+        let offset = rng.next_bounded(len);
+        let mask = 1u8 << rng.next_bounded(8);
+        let mut byte = [0u8; 1];
+        file.seek(SeekFrom::Start(offset))?;
+        file.read_exact(&mut byte)?;
+        byte[0] ^= mask;
+        file.seek(SeekFrom::Start(offset))?;
+        file.write_all(&byte)?;
+        touched.push(offset);
+    }
+    file.flush()?;
+    Ok(touched)
+}
+
+/// Truncates the file at `path` to `keep_fraction` of its current length
+/// (clamped to `[0, 1]`), modelling a torn write or a partially copied
+/// snapshot. Returns the new length in bytes.
+pub fn truncate_file(path: &Path, keep_fraction: f64) -> io::Result<u64> {
+    let file = fs::OpenOptions::new().write(true).open(path)?;
+    let len = file.metadata()?.len();
+    // lint: cast-ok (fraction clamped to [0,1], product bounded by len)
+    let keep = ((len as f64) * keep_fraction.clamp(0.0, 1.0)) as u64;
+    file.set_len(keep)?;
+    Ok(keep)
+}
+
+/// Overwrites the first `n_bytes` of the file at `path` with seeded random
+/// bytes (clamped to the file length), destroying any magic/version header
+/// a reader validates first. Returns the number of bytes clobbered.
+pub fn clobber_header(path: &Path, n_bytes: usize, seed: u64) -> io::Result<usize> {
+    let mut file = fs::OpenOptions::new().read(true).write(true).open(path)?;
+    // lint: cast-ok (usize -> u64 widening on 64-bit targets)
+    let n = n_bytes.min(file.metadata()?.len().min(usize::MAX as u64) as usize);
+    let mut rng = SplitMix64::new(seed).derive(0xC10B, 0);
+    let junk: Vec<u8> = (0..n)
+        // lint: cast-ok (deliberate truncation to the low byte of the draw)
+        .map(|_| rng.next_u64() as u8)
+        .collect();
+    file.seek(SeekFrom::Start(0))?;
+    file.write_all(&junk)?;
+    file.flush()?;
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,7 +210,7 @@ mod tests {
         flip_bits(&mut a, 0.1, &mut SplitMix64::new(7)).unwrap();
         flip_bits(&mut b, 0.1, &mut SplitMix64::new(7)).unwrap();
         assert_eq!(a, b, "same seed must corrupt identically");
-        let flipped = a.hamming(&pristine);
+        let flipped = a.try_hamming(&pristine).unwrap();
         assert!((800..=1_200).contains(&flipped), "flipped = {flipped}");
         let mut c = pristine.clone();
         flip_bits(&mut c, 1.0, &mut SplitMix64::new(7)).unwrap();
@@ -192,13 +257,62 @@ mod tests {
         let pristine = sample(200, 9);
         let mut hv = pristine.clone();
         burst(&mut hv, 50, 20).unwrap();
-        assert_eq!(hv.hamming(&pristine), 20);
+        assert_eq!(hv.try_hamming(&pristine).unwrap(), 20);
         assert!((50..70).all(|i| hv.get(i) != pristine.get(i)));
         // Clamped at the end of the vector.
         let mut hv = pristine.clone();
         burst(&mut hv, 190, 100).unwrap();
-        assert_eq!(hv.hamming(&pristine), 10);
+        assert_eq!(hv.try_hamming(&pristine).unwrap(), 10);
         assert!(burst(&mut hv, 200, 1).is_err());
+    }
+
+    #[test]
+    fn file_corruptors_are_deterministic_and_bounded() {
+        let dir = std::env::temp_dir().join(format!("hyperfex-faults-file-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.bin");
+        // lint: cast-ok (i % 251 < 256, test data)
+        let pristine: Vec<u8> = (0..1024u32).map(|i| (i % 251) as u8).collect();
+
+        // Byte flips replay identically from the seed and touch at most
+        // `n_flips` bytes.
+        fs::write(&path, &pristine).unwrap();
+        let off_a = flip_file_bytes(&path, 8, 42).unwrap();
+        let a = fs::read(&path).unwrap();
+        fs::write(&path, &pristine).unwrap();
+        let off_b = flip_file_bytes(&path, 8, 42).unwrap();
+        let b = fs::read(&path).unwrap();
+        assert_eq!(a, b, "same seed must corrupt identically");
+        assert_eq!(off_a, off_b);
+        assert_eq!(off_a.len(), 8);
+        let diff = a.iter().zip(&pristine).filter(|(x, y)| x != y).count();
+        assert!((1..=8).contains(&diff), "diff = {diff}");
+        assert_eq!(a.len(), pristine.len(), "flips must not change the length");
+
+        // Zero flips and empty files are exact no-ops.
+        fs::write(&path, &pristine).unwrap();
+        assert!(flip_file_bytes(&path, 0, 42).unwrap().is_empty());
+        assert_eq!(fs::read(&path).unwrap(), pristine);
+        fs::write(&path, []).unwrap();
+        assert!(flip_file_bytes(&path, 8, 42).unwrap().is_empty());
+
+        // Truncation keeps the exact prefix.
+        fs::write(&path, &pristine).unwrap();
+        assert_eq!(truncate_file(&path, 0.5).unwrap(), 512);
+        assert_eq!(fs::read(&path).unwrap(), &pristine[..512]);
+        assert_eq!(truncate_file(&path, 0.0).unwrap(), 0);
+
+        // Header clobber rewrites only the leading bytes.
+        fs::write(&path, &pristine).unwrap();
+        assert_eq!(clobber_header(&path, 16, 7).unwrap(), 16);
+        let c = fs::read(&path).unwrap();
+        assert_eq!(&c[16..], &pristine[16..]);
+        // Replay check.
+        fs::write(&path, &pristine).unwrap();
+        clobber_header(&path, 16, 7).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), c);
+
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[cfg(feature = "fault-injection")]

@@ -339,19 +339,13 @@ impl BinaryHypervector {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Hamming distance to another hypervector: the number of differing bits.
+    /// Hamming distance to another hypervector: the number of differing
+    /// bits. Returns [`HdcError::DimensionMismatch`] when the operands
+    /// have different dimensionalities.
     ///
-    /// # Panics
-    /// Panics if the dimensionalities differ; use [`Self::try_hamming`] when
-    /// operands come from untrusted sources.
-    #[inline]
-    #[must_use]
-    pub fn hamming(&self, other: &Self) -> usize {
-        self.try_hamming(other)
-            .expect("hypervector dimension mismatch")
-    }
-
-    /// Fallible Hamming distance.
+    /// (The panicking `hamming` wrapper this method used to back was
+    /// deleted; callers that have already proven the dimensions equal can
+    /// use [`crate::bitmatrix::hamming_words`] on the raw words instead.)
     pub fn try_hamming(&self, other: &Self) -> Result<usize, HdcError> {
         if self.dim != other.dim {
             return Err(HdcError::DimensionMismatch {
@@ -657,7 +651,7 @@ mod tests {
         let mut r = rng();
         let a = BinaryHypervector::random(Dim::PAPER, &mut r);
         let b = BinaryHypervector::random(Dim::PAPER, &mut r);
-        let dist = a.hamming(&b);
+        let dist = a.try_hamming(&b).unwrap();
         // Concentration: distance within ±3% of d/2 with overwhelming
         // probability (σ = √(d/4) = 50 bits here).
         assert!((4_700..=5_300).contains(&dist), "dist = {dist}");
@@ -668,9 +662,9 @@ mod tests {
         let mut r = rng();
         let a = BinaryHypervector::random(Dim::new(1_000), &mut r);
         let b = BinaryHypervector::random(Dim::new(1_000), &mut r);
-        assert_eq!(a.hamming(&a), 0);
-        assert_eq!(a.hamming(&b), b.hamming(&a));
-        assert_eq!(a.hamming(&a.complement()), 1_000);
+        assert_eq!(a.try_hamming(&a).unwrap(), 0);
+        assert_eq!(a.try_hamming(&b).unwrap(), b.try_hamming(&a).unwrap());
+        assert_eq!(a.try_hamming(&a.complement()).unwrap(), 1_000);
     }
 
     #[test]
@@ -695,11 +689,14 @@ mod tests {
         let k = BinaryHypervector::random(d, &mut r);
         assert_eq!(a.bind(&k).bind(&k), a);
         // Binding by the same key preserves Hamming distance.
-        assert_eq!(a.bind(&k).hamming(&b.bind(&k)), a.hamming(&b));
+        assert_eq!(
+            a.bind(&k).try_hamming(&b.bind(&k)).unwrap(),
+            a.try_hamming(&b).unwrap()
+        );
         // Bound vector is quasi-orthogonal to both inputs.
         let ab = a.bind(&b);
-        assert!(ab.hamming(&a) > 800);
-        assert!(ab.hamming(&b) > 800);
+        assert!(ab.try_hamming(&a).unwrap() > 800);
+        assert!(ab.try_hamming(&b).unwrap() > 800);
     }
 
     #[test]
@@ -734,7 +731,7 @@ mod tests {
     fn permuted_vector_is_quasi_orthogonal_to_original() {
         let mut r = rng();
         let a = BinaryHypervector::random(Dim::PAPER, &mut r);
-        let dist = a.hamming(&a.permute(1));
+        let dist = a.try_hamming(&a.permute(1)).unwrap();
         assert!((4_600..=5_400).contains(&dist), "dist = {dist}");
     }
 
@@ -743,7 +740,7 @@ mod tests {
         let mut r = rng();
         let a = BinaryHypervector::random_balanced(Dim::PAPER, &mut r);
         let b = a.flip_balanced(1_000, &mut r).unwrap();
-        assert_eq!(a.hamming(&b), 2_000);
+        assert_eq!(a.try_hamming(&b).unwrap(), 2_000);
         assert_eq!(b.count_ones(), a.count_ones());
     }
 

@@ -75,6 +75,47 @@ impl BitMatrix {
         })
     }
 
+    /// Reassembles a matrix from its raw packed words (the inverse of
+    /// [`BitMatrix::raw_words`]) — the deserialization path for on-disk
+    /// snapshot banks.
+    ///
+    /// Returns an error when the word count is not exactly
+    /// `n_rows * dim.words()`, or when any row violates the tail
+    /// invariant — a corrupted snapshot must be rejected here rather than
+    /// silently poisoning every popcount kernel downstream.
+    pub fn from_words(n_rows: usize, dim: Dim, words: Vec<u64>) -> Result<Self, HdcError> {
+        let expected = n_rows * dim.words();
+        if words.len() != expected {
+            return Err(HdcError::InvalidConfig(format!(
+                "bit-matrix word buffer has {} words, expected {expected} ({n_rows} rows x {} \
+                 words/row)",
+                words.len(),
+                dim.words()
+            )));
+        }
+        let tail = dim.tail_mask();
+        for (r, row) in words.chunks(dim.words()).enumerate() {
+            if row.last().is_some_and(|&last| last & !tail != 0) {
+                return Err(HdcError::InvalidConfig(format!(
+                    "bit-matrix row {r} has bits set at or above dim {dim} in its final word"
+                )));
+            }
+        }
+        Ok(Self {
+            n_rows,
+            dim,
+            words: words.into_boxed_slice(),
+        })
+    }
+
+    /// The full packed storage buffer, row-major (`n_rows * dim.words()`
+    /// words) — the serialization path for on-disk snapshot banks.
+    #[inline]
+    #[must_use]
+    pub fn raw_words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of rows.
     #[inline]
     #[must_use]
@@ -477,7 +518,7 @@ mod tests {
         let hvs = random_stack(2, 10_050, 6);
         assert_eq!(
             hamming_words(hvs[0].words(), hvs[1].words()),
-            hvs[0].hamming(&hvs[1])
+            hvs[0].try_hamming(&hvs[1]).unwrap()
         );
     }
 
@@ -515,7 +556,7 @@ mod tests {
             assert_eq!(d[i * 9 + i], 0);
             for j in 0..9 {
                 assert_eq!(d[i * 9 + j], d[j * 9 + i]);
-                assert_eq!(d[i * 9 + j] as usize, hvs[i].hamming(&hvs[j]));
+                assert_eq!(d[i * 9 + j] as usize, hvs[i].try_hamming(&hvs[j]).unwrap());
             }
         }
         assert!(pairwise_hamming(&BitMatrix::zeros(0, Dim::new(8))).is_empty());
@@ -531,7 +572,9 @@ mod tests {
             for tj in 0..5 {
                 assert_eq!(
                     d[qi * 5 + tj] as usize,
-                    q.row_hypervector(qi).hamming(&t.row_hypervector(tj))
+                    q.row_hypervector(qi)
+                        .try_hamming(&t.row_hypervector(tj))
+                        .unwrap()
                 );
             }
         }

@@ -335,8 +335,8 @@ mod tests {
         let bundled = try_majority(&inputs).unwrap();
         let unrelated = BinaryHypervector::random(d, &mut r);
         for hv in &inputs {
-            let din = bundled.hamming(hv);
-            let dout = bundled.hamming(&unrelated);
+            let din = bundled.try_hamming(hv).unwrap();
+            let dout = bundled.try_hamming(&unrelated).unwrap();
             assert!(
                 din < dout,
                 "bundle should be closer to members ({din}) than to noise ({dout})"

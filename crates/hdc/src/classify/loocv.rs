@@ -85,7 +85,9 @@ impl LeaveOneOut {
                     if j == held_out {
                         continue;
                     }
-                    let d = query.hamming(hv);
+                    // Dims are equal: `run` validated the whole stack
+                    // against `dim` before this loop.
+                    let d = crate::bitmatrix::hamming_words(query.words(), hv.words());
                     let pos = best.partition_point(|&(bd, bj)| (bd, bj) < (d, j));
                     if pos < k {
                         best.insert(pos, (d, j));

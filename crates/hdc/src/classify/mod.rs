@@ -21,5 +21,6 @@ pub use centroid::CentroidClassifier;
 pub use knn::HammingKnnClassifier;
 pub use loocv::{LeaveOneOut, LoocvOutcome};
 pub use trainer::{
-    fit_pocketed, LvqTrainer, OnlineTrainer, PassiveAggressiveTrainer, PerceptronTrainer,
+    fit_pocketed, ClassAccumulators, LvqTrainer, OnlineTrainer, PassiveAggressiveTrainer,
+    PerceptronTrainer,
 };

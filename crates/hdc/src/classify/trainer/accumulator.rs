@@ -22,8 +22,13 @@ use crate::error::HdcError;
 /// Invariant: `ones`, `totals` and `prototypes` always have the same
 /// length, every `ones[c]` has `dim` entries, and `prototypes[c]` is the
 /// quantisation of class `c`'s current accumulator state.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
-pub(crate) struct ClassAccumulators {
+///
+/// The type is public so serving-plane stores can snapshot trainer state:
+/// [`ClassAccumulators::parts`] exposes the raw integer accumulators for
+/// serialization and [`ClassAccumulators::from_parts`] revalidates and
+/// requantises them on load.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ClassAccumulators {
     dim: Dim,
     /// Per class, per bit: signed sum of weights of contributions whose
     /// hypervector had that bit *set*.
@@ -36,7 +41,8 @@ pub(crate) struct ClassAccumulators {
 
 impl ClassAccumulators {
     /// Creates an empty accumulator set for `dim`-bit hypervectors.
-    pub(crate) fn new(dim: Dim) -> Self {
+    #[must_use]
+    pub fn new(dim: Dim) -> Self {
         Self {
             dim,
             ones: Vec::new(),
@@ -45,23 +51,27 @@ impl ClassAccumulators {
         }
     }
 
-    pub(crate) fn dim(&self) -> Dim {
+    /// The hypervector dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
         self.dim
     }
 
-    pub(crate) fn n_classes(&self) -> usize {
+    /// Number of classes currently allocated.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
         self.ones.len()
     }
 
     /// Discards all accumulated state, keeping the dimensionality.
-    pub(crate) fn reset(&mut self) {
+    pub fn reset(&mut self) {
         self.ones.clear();
         self.totals.clear();
         self.prototypes.clear();
     }
 
     /// Returns a typed error unless `hv` matches the configured dimension.
-    pub(crate) fn check_dim(&self, hv: &BinaryHypervector) -> Result<(), HdcError> {
+    pub fn check_dim(&self, hv: &BinaryHypervector) -> Result<(), HdcError> {
         if hv.dim() == self.dim {
             Ok(())
         } else {
@@ -75,7 +85,7 @@ impl ClassAccumulators {
     /// Grows the class set so `label` is addressable. New classes start
     /// with a zero superposition, which quantises to all-ones under the
     /// `2·ones ≥ total` tie rule (0 ≥ 0).
-    pub(crate) fn grow(&mut self, label: usize) {
+    pub fn grow(&mut self, label: usize) {
         if label >= self.ones.len() {
             self.ones.resize(label + 1, vec![0i32; self.dim.get()]);
             self.totals.resize(label + 1, 0);
@@ -89,7 +99,7 @@ impl ClassAccumulators {
     ///
     /// The scatter loop walks set bits word-by-word with `trailing_zeros`,
     /// so an update costs O(popcount + words) rather than O(d).
-    pub(crate) fn add(&mut self, class: usize, hv: &BinaryHypervector, weight: i32) {
+    pub fn add(&mut self, class: usize, hv: &BinaryHypervector, weight: i32) {
         debug_assert!(class < self.ones.len(), "grow() must precede add()");
         let Some(ones) = self.ones.get_mut(class) else {
             return;
@@ -122,12 +132,14 @@ impl ClassAccumulators {
         }
     }
 
-    pub(crate) fn prototype(&self, class: usize) -> Option<&BinaryHypervector> {
+    /// The quantised prototype of `class`, if allocated.
+    #[must_use]
+    pub fn prototype(&self, class: usize) -> Option<&BinaryHypervector> {
         self.prototypes.get(class)
     }
 
     /// Hamming distance from `query` to every class prototype.
-    pub(crate) fn hammings(&self, query: &BinaryHypervector) -> Result<Vec<usize>, HdcError> {
+    pub fn hammings(&self, query: &BinaryHypervector) -> Result<Vec<usize>, HdcError> {
         if self.prototypes.is_empty() {
             return Err(HdcError::NotFitted);
         }
@@ -141,7 +153,7 @@ impl ClassAccumulators {
     /// matching [`CentroidClassifier::predict`].
     ///
     /// [`CentroidClassifier::predict`]: crate::classify::CentroidClassifier::predict
-    pub(crate) fn predict(&self, query: &BinaryHypervector) -> Result<usize, HdcError> {
+    pub fn predict(&self, query: &BinaryHypervector) -> Result<usize, HdcError> {
         if self.prototypes.is_empty() {
             return Err(HdcError::NotFitted);
         }
@@ -153,6 +165,51 @@ impl ClassAccumulators {
             }
         }
         Ok(best.1)
+    }
+
+    /// The raw accumulator state — per-class set-bit counts and scalar
+    /// totals — for serialization. Prototypes are derived state and are
+    /// deliberately not exposed: [`ClassAccumulators::from_parts`]
+    /// recomputes them, so a snapshot cannot smuggle in a prototype that
+    /// disagrees with its accumulators.
+    #[must_use]
+    pub fn parts(&self) -> (&[Vec<i32>], &[i32]) {
+        (&self.ones, &self.totals)
+    }
+
+    /// Rebuilds an accumulator set from raw parts, revalidating every
+    /// invariant: `ones` and `totals` must have the same class count and
+    /// every per-class count vector must have exactly `dim` entries.
+    /// Prototypes are requantised from scratch.
+    pub fn from_parts(dim: Dim, ones: Vec<Vec<i32>>, totals: Vec<i32>) -> Result<Self, HdcError> {
+        if ones.len() != totals.len() {
+            return Err(HdcError::InvalidConfig(format!(
+                "accumulator parts disagree on class count: {} ones vectors vs {} totals",
+                ones.len(),
+                totals.len()
+            )));
+        }
+        if let Some(bad) = ones.iter().position(|o| o.len() != dim.get()) {
+            return Err(HdcError::InvalidConfig(format!(
+                "accumulator class {bad} has {} per-bit counts, expected dim {dim}",
+                ones[bad].len()
+            )));
+        }
+        let mut acc = Self {
+            dim,
+            ones,
+            totals,
+            prototypes: Vec::new(),
+        };
+        acc.prototypes = (0..acc.ones.len())
+            .map(|c| {
+                // lint: index-ok (c < ones.len() by the range above, and
+                // every ones[c] has dim entries by the validation above)
+                let (ones, total) = (&acc.ones[c], acc.totals[c]);
+                BinaryHypervector::collect_bits(dim, ones.iter().map(|&o| 2 * o >= total))
+            })
+            .collect();
+        Ok(acc)
     }
 }
 

@@ -33,7 +33,7 @@
 //! [`CentroidClassifier::retrain`]: crate::classify::CentroidClassifier::retrain
 //! [`CentroidClassifier::retrain_epoch`]: crate::classify::CentroidClassifier::retrain_epoch
 
-mod accumulator;
+pub mod accumulator;
 mod lvq;
 mod passive_aggressive;
 mod perceptron;
@@ -42,7 +42,7 @@ pub use lvq::LvqTrainer;
 pub use passive_aggressive::PassiveAggressiveTrainer;
 pub use perceptron::PerceptronTrainer;
 
-pub(crate) use accumulator::ClassAccumulators;
+pub use accumulator::ClassAccumulators;
 
 use crate::binary::{BinaryHypervector, Dim};
 use crate::error::HdcError;

@@ -93,7 +93,7 @@ mod tests {
         let e = CategoricalEncoder::binary(Dim::PAPER, 99).unwrap();
         let no = e.encode(0).unwrap();
         let yes = e.encode(1).unwrap();
-        assert_eq!(no.hamming(&yes), Dim::PAPER.get() / 2);
+        assert_eq!(no.try_hamming(&yes).unwrap(), Dim::PAPER.get() / 2);
         assert_eq!(no.count_ones(), 5_000);
         assert_eq!(yes.count_ones(), 5_000);
     }
@@ -103,7 +103,7 @@ mod tests {
         let e = CategoricalEncoder::new(Dim::PAPER, 6, 5).unwrap();
         for a in 0..6 {
             for b in (a + 1)..6 {
-                let d = e.code(a).unwrap().hamming(e.code(b).unwrap());
+                let d = e.code(a).unwrap().try_hamming(e.code(b).unwrap()).unwrap();
                 assert!(
                     (4_300..=5_700).contains(&d),
                     "categories {a},{b} distance {d} not quasi-orthogonal"

@@ -75,7 +75,7 @@ mod tests {
         let mut m = ItemMemory::new(Dim::PAPER, 11, 8);
         let a = m.get(1);
         let b = m.get(2);
-        let d = a.hamming(&b);
+        let d = a.try_hamming(&b).unwrap();
         assert!((4_700..=5_300).contains(&d), "distance {d}");
     }
 

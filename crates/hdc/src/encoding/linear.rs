@@ -249,7 +249,7 @@ mod tests {
         let e = paper_encoder();
         let lo = e.encode(0.0);
         let hi = e.encode(100.0);
-        assert_eq!(lo.hamming(&hi), Dim::PAPER.get() / 2);
+        assert_eq!(lo.try_hamming(&hi).unwrap(), Dim::PAPER.get() / 2);
         // Above-max clamps to the max code.
         assert_eq!(e.encode(1_000.0), hi);
     }
@@ -261,7 +261,7 @@ mod tests {
         // d(t) = k·(t − min)/(2·range) exactly (rounded to even).
         for t in [10.0, 25.0, 50.0, 75.0, 90.0] {
             let expected = e.flips_for(t);
-            assert_eq!(lo.hamming(&e.encode(t)), expected);
+            assert_eq!(lo.try_hamming(&e.encode(t)).unwrap(), expected);
             let approx = (Dim::PAPER.get() as f64 * t / 200.0) as usize;
             assert!(expected.abs_diff(approx) <= 2);
         }
@@ -273,12 +273,14 @@ mod tests {
         // For any t1 < t2: d(code(t1), code(t2)) == flips(t2) − flips(t1).
         let pairs = [(10.0, 20.0), (30.0, 80.0), (55.0, 56.0), (0.0, 99.0)];
         for (t1, t2) in pairs {
-            let d = e.encode(t1).hamming(&e.encode(t2));
+            let d = e.encode(t1).try_hamming(&e.encode(t2)).unwrap();
             assert_eq!(d, e.flips_for(t2) - e.flips_for(t1), "t1={t1} t2={t2}");
         }
         // Hence the paper's intuition: 45 is closer to 50 than to 70.
         let a45 = e.encode(45.0);
-        assert!(a45.hamming(&e.encode(50.0)) < a45.hamming(&e.encode(70.0)));
+        assert!(
+            a45.try_hamming(&e.encode(50.0)).unwrap() < a45.try_hamming(&e.encode(70.0)).unwrap()
+        );
     }
 
     #[test]
@@ -317,8 +319,8 @@ mod tests {
         let lo = e.encode(0.0);
         let hi = e.encode(10.0);
         // 101 bits: 50 ones; max flips capped at 2·50.
-        assert!(lo.hamming(&hi) <= 100);
-        assert!(lo.hamming(&hi) >= 48);
+        assert!(lo.try_hamming(&hi).unwrap() <= 100);
+        assert!(lo.try_hamming(&hi).unwrap() >= 48);
     }
 
     #[test]

@@ -103,7 +103,10 @@ mod tests {
         assert_eq!(q.encode(100.0).unwrap(), &c.encode(100.0));
         // Orthogonal ends, inherited from the shared construction.
         assert_eq!(
-            q.encode(0.0).unwrap().hamming(q.encode(100.0).unwrap()),
+            q.encode(0.0)
+                .unwrap()
+                .try_hamming(q.encode(100.0).unwrap())
+                .unwrap(),
             1_024
         );
     }
@@ -125,7 +128,7 @@ mod tests {
         let base = q.encode(0.0).unwrap();
         let mut last = 0;
         for t in [20.0, 40.0, 60.0, 80.0, 100.0] {
-            let d = base.hamming(q.encode(t).unwrap());
+            let d = base.try_hamming(q.encode(t).unwrap()).unwrap();
             assert!(d >= last, "distance must grow with level separation");
             last = d;
         }
@@ -136,7 +139,7 @@ mod tests {
         let dense = QuantizedLinearEncoder::new(Dim::new(2_048), 0.0, 100.0, 201, 7).unwrap();
         let c = LinearEncoder::new(Dim::new(2_048), 0.0, 100.0, 7).unwrap();
         for t in [13.0, 37.7, 62.5, 88.8] {
-            let d = dense.encode(t).unwrap().hamming(&c.encode(t));
+            let d = dense.encode(t).unwrap().try_hamming(&c.encode(t)).unwrap();
             // Half-step of 0.5 value units ≈ 0.5/100 · d/2 ≈ 5 bits.
             assert!(d <= 12, "t = {t}, residual {d}");
         }

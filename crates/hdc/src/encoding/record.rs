@@ -489,7 +489,7 @@ mod tests {
         let a = enc.encode_record(&[30.0, 100.0, 0.0]).unwrap();
         let near = enc.encode_record(&[32.0, 105.0, 0.0]).unwrap();
         let far = enc.encode_record(&[75.0, 190.0, 1.0]).unwrap();
-        assert!(a.hamming(&near) < a.hamming(&far));
+        assert!(a.try_hamming(&near).unwrap() < a.try_hamming(&far).unwrap());
     }
 
     #[test]
@@ -502,7 +502,7 @@ mod tests {
         ]);
         let enc = RecordEncoder::new(Dim::new(4_096), s, 5).unwrap();
         let fa = enc.encode_features(&[0.0, 0.0]).unwrap();
-        let d = fa[0].hamming(&fa[1]);
+        let d = fa[0].try_hamming(&fa[1]).unwrap();
         assert!(
             d > 1_500,
             "identical-range features must not share codes (d = {d})"

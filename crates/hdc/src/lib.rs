@@ -37,11 +37,11 @@
 //! let mid = enc.encode(128.0);
 //!
 //! // Level encoding preserves order: closer values are closer in Hamming space.
-//! assert!(low.hamming(&mid) < low.hamming(&high));
+//! assert!(low.try_hamming(&mid)? < low.try_hamming(&high)?);
 //!
 //! // Bundle several feature hypervectors into one record hypervector.
 //! let record = bundle::try_majority(&[low.clone(), mid.clone(), high.clone()])?;
-//! assert!(record.hamming(&mid) <= record.hamming(&high));
+//! assert!(record.try_hamming(&mid)? <= record.try_hamming(&high)?);
 //! # Ok::<(), hyperfex_hdc::HdcError>(())
 //! ```
 

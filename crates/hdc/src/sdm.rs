@@ -112,7 +112,11 @@ impl SparseDistributedMemory {
             .addresses
             .par_iter()
             .enumerate()
-            .filter(|(_, a)| address.hamming(a) <= self.radius)
+            .filter(|(_, a)| {
+                // Dims are equal: `address` was checked against `self.dim`
+                // above and every stored address has `self.dim`.
+                crate::bitmatrix::hamming_words(address.words(), a.words()) <= self.radius
+            })
             .map(|(i, _)| i)
             .collect())
     }
@@ -371,7 +375,7 @@ mod tests {
         let unrelated = BinaryHypervector::random(dim(), &mut rng);
         if let Some(out) = m.read(&unrelated).unwrap() {
             for (i, w) in words.iter().enumerate() {
-                let d = out.hamming(w);
+                let d = out.try_hamming(w).unwrap();
                 assert!(
                     d > 200,
                     "unrelated cue reconstructed stored word {i} (d = {d})"

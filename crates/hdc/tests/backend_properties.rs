@@ -26,7 +26,7 @@ proptest! {
         let tb = TernaryHypervector::from_binary(&b);
         prop_assert_eq!(ta.to_binary(), a);
         let dot = ta.dot(&tb).unwrap();
-        let hamming = a.hamming(&b) as i64;
+        let hamming = a.try_hamming(&b).unwrap() as i64;
         prop_assert_eq!(dot, 512 - 2 * hamming);
     }
 

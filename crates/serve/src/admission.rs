@@ -1,0 +1,316 @@
+//! Bounded-queue admission control for the batch-inference front end.
+//!
+//! The front end enforces three protections the raw store does not:
+//! a bounded request queue (excess load is shed with a typed
+//! [`ServeError::Overloaded`] instead of growing latency without bound), a
+//! per-request batch-size cap, and per-request deadlines measured in
+//! *drain ticks* so expiry is deterministic under test. One [`drain`] call
+//! is one service tick: it serves up to `max_in_flight` queued requests
+//! against the store and expires the rest as their deadlines pass.
+//!
+//! [`drain`]: BatchFrontend::drain
+
+use std::collections::VecDeque;
+
+use hyperfex_hdc::BinaryHypervector;
+
+use crate::error::ServeError;
+use crate::obs;
+use crate::store::HvStore;
+
+/// Queue and batch bounds for a [`BatchFrontend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Most requests that may wait in the queue; submissions beyond this
+    /// are shed with [`ServeError::Overloaded`].
+    pub max_queue: usize,
+    /// Most requests one [`BatchFrontend::drain`] tick serves.
+    pub max_in_flight: usize,
+    /// Most queries a single request may carry.
+    pub max_batch: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        Self {
+            max_queue: 64,
+            max_in_flight: 8,
+            max_batch: 256,
+        }
+    }
+}
+
+/// When a queued request stops being worth serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Deadline {
+    /// Never expires.
+    #[default]
+    None,
+    /// The request may wait `n` service ticks beyond its first chance at
+    /// service: `Ticks(0)` expires unless served on the very next tick.
+    Ticks(u64),
+}
+
+/// One finished request: the id [`BatchFrontend::submit`] handed out plus
+/// the outcome — predicted labels, or a typed expiry/serving error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Request id from [`BatchFrontend::submit`].
+    pub request: u64,
+    /// Predicted label per query, or why the request failed.
+    pub outcome: Result<Vec<usize>, ServeError>,
+}
+
+#[derive(Debug)]
+struct Pending {
+    id: u64,
+    queries: Vec<BinaryHypervector>,
+    k: usize,
+    submitted_tick: u64,
+    deadline: Deadline,
+}
+
+/// Batch-inference front end: bounded admission queue over an [`HvStore`].
+#[derive(Debug)]
+pub struct BatchFrontend {
+    store: HvStore,
+    config: AdmissionConfig,
+    queue: VecDeque<Pending>,
+    tick: u64,
+    next_id: u64,
+}
+
+impl BatchFrontend {
+    /// Wraps a recovered store with admission bounds.
+    #[must_use]
+    pub fn new(store: HvStore, config: AdmissionConfig) -> Self {
+        Self {
+            store,
+            config,
+            queue: VecDeque::new(),
+            tick: 0,
+            next_id: 0,
+        }
+    }
+
+    /// Requests currently waiting.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Drain ticks elapsed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// The store being served.
+    #[must_use]
+    pub fn store(&self) -> &HvStore {
+        &self.store
+    }
+
+    /// Enqueues a k-NN batch request, returning its id.
+    ///
+    /// Sheds with [`ServeError::Overloaded`] when the queue is full and
+    /// rejects oversized batches with [`ServeError::BatchTooLarge`] —
+    /// both *before* the request occupies a slot, so one misbehaving
+    /// client cannot displace queued work.
+    pub fn submit(
+        &mut self,
+        queries: Vec<BinaryHypervector>,
+        k: usize,
+        deadline: Deadline,
+    ) -> Result<u64, ServeError> {
+        if queries.len() > self.config.max_batch {
+            return Err(ServeError::BatchTooLarge {
+                got: queries.len(),
+                limit: self.config.max_batch,
+            });
+        }
+        if self.queue.len() >= self.config.max_queue {
+            obs::counter_add("serve/shed", 1);
+            return Err(ServeError::Overloaded {
+                depth: self.queue.len(),
+                limit: self.config.max_queue,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(Pending {
+            id,
+            queries,
+            k,
+            submitted_tick: self.tick,
+            deadline,
+        });
+        obs::counter_add("serve/requests", 1);
+        Ok(id)
+    }
+
+    /// Runs one service tick: expires every queued request whose deadline
+    /// has passed, then serves up to `max_in_flight` of the survivors in
+    /// FIFO order. Returns the completions in that order (expirations
+    /// first).
+    pub fn drain(&mut self) -> Vec<Completion> {
+        let _span = obs::span("serve/drain");
+        self.tick += 1;
+        let mut completions = Vec::new();
+
+        self.queue.retain(|pending| {
+            let expired = match pending.deadline {
+                Deadline::None => false,
+                // A request submitted at tick T gets its first chance at
+                // service on tick T+1 and expires once tick T+1+n passes.
+                Deadline::Ticks(ticks) => {
+                    self.tick
+                        > pending
+                            .submitted_tick
+                            .saturating_add(ticks)
+                            .saturating_add(1)
+                }
+            };
+            if expired {
+                completions.push(Completion {
+                    request: pending.id,
+                    outcome: Err(ServeError::DeadlineExceeded {
+                        request: pending.id,
+                    }),
+                });
+            }
+            !expired
+        });
+        obs::counter_add("serve/expired", completions.len() as u64);
+
+        for _ in 0..self.config.max_in_flight {
+            let Some(pending) = self.queue.pop_front() else {
+                break;
+            };
+            let waited = self.tick.saturating_sub(pending.submitted_tick);
+            // lint: cast-ok (tick counts are tiny; f64 histogram input)
+            obs::observe(
+                "serve/queue_wait_ticks",
+                &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0],
+                waited as f64,
+            );
+            let outcome = self.store.predict_batch(&pending.queries, pending.k);
+            completions.push(Completion {
+                request: pending.id,
+                outcome,
+            });
+        }
+        completions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::SyntheticCohort;
+    use hyperfex_hdc::binary::Dim;
+
+    fn frontend(config: AdmissionConfig) -> (BatchFrontend, SyntheticCohort) {
+        let cohort = SyntheticCohort::generate(Dim::new(256), 2, 40, 20, 9).unwrap();
+        let store = HvStore::build(&cohort.records, &cohort.labels, 2).unwrap();
+        (BatchFrontend::new(store, config), cohort)
+    }
+
+    #[test]
+    fn served_requests_complete_in_fifo_order() {
+        let (mut fe, cohort) = frontend(AdmissionConfig::default());
+        let a = fe
+            .submit(vec![cohort.records[0].clone()], 1, Deadline::None)
+            .unwrap();
+        let b = fe
+            .submit(vec![cohort.records[1].clone()], 1, Deadline::None)
+            .unwrap();
+        let done = fe.drain();
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].request, a);
+        assert_eq!(done[1].request, b);
+        assert_eq!(done[0].outcome, Ok(vec![cohort.labels[0]]));
+        assert_eq!(done[1].outcome, Ok(vec![cohort.labels[1]]));
+        assert_eq!(fe.queue_depth(), 0);
+    }
+
+    #[test]
+    fn overload_sheds_with_a_typed_error_and_preserves_queued_work() {
+        let config = AdmissionConfig {
+            max_queue: 2,
+            max_in_flight: 1,
+            max_batch: 4,
+        };
+        let (mut fe, cohort) = frontend(config);
+        let probe = || vec![cohort.records[0].clone()];
+        let a = fe.submit(probe(), 1, Deadline::None).unwrap();
+        let b = fe.submit(probe(), 1, Deadline::None).unwrap();
+        assert_eq!(
+            fe.submit(probe(), 1, Deadline::None).unwrap_err(),
+            ServeError::Overloaded { depth: 2, limit: 2 }
+        );
+        // The shed request displaced nothing: a then b still complete.
+        assert_eq!(fe.drain()[0].request, a);
+        assert_eq!(fe.drain()[0].request, b);
+    }
+
+    #[test]
+    fn oversized_batches_are_rejected_before_queueing() {
+        let config = AdmissionConfig {
+            max_batch: 2,
+            ..AdmissionConfig::default()
+        };
+        let (mut fe, cohort) = frontend(config);
+        let big = vec![cohort.records[0].clone(); 3];
+        assert_eq!(
+            fe.submit(big, 1, Deadline::None).unwrap_err(),
+            ServeError::BatchTooLarge { got: 3, limit: 2 }
+        );
+        assert_eq!(fe.queue_depth(), 0);
+    }
+
+    #[test]
+    fn deadlines_expire_deterministically_in_ticks() {
+        let config = AdmissionConfig {
+            max_queue: 8,
+            max_in_flight: 1,
+            max_batch: 4,
+        };
+        let (mut fe, cohort) = frontend(config);
+        let probe = || vec![cohort.records[0].clone()];
+        // Three requests, one served per tick. `Ticks(1)` survives one
+        // full tick in the queue; the third request would be served on
+        // tick 3 but expires at the start of it.
+        let a = fe.submit(probe(), 1, Deadline::Ticks(1)).unwrap();
+        let b = fe.submit(probe(), 1, Deadline::Ticks(1)).unwrap();
+        let c = fe.submit(probe(), 1, Deadline::Ticks(1)).unwrap();
+
+        let t1 = fe.drain();
+        assert_eq!(t1.len(), 1);
+        assert_eq!((t1[0].request, t1[0].outcome.is_ok()), (a, true));
+
+        let t2 = fe.drain();
+        assert_eq!(t2.len(), 1);
+        assert_eq!((t2[0].request, t2[0].outcome.is_ok()), (b, true));
+
+        let t3 = fe.drain();
+        assert_eq!(t3.len(), 1);
+        assert_eq!(
+            t3[0].outcome,
+            Err(ServeError::DeadlineExceeded { request: c })
+        );
+        assert_eq!(fe.queue_depth(), 0);
+    }
+
+    #[test]
+    fn zero_tick_deadline_is_served_if_next_tick_reaches_it() {
+        let (mut fe, cohort) = frontend(AdmissionConfig::default());
+        let id = fe
+            .submit(vec![cohort.records[0].clone()], 1, Deadline::Ticks(0))
+            .unwrap();
+        let done = fe.drain();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].request, id);
+        assert!(done[0].outcome.is_ok());
+    }
+}

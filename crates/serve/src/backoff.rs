@@ -1,0 +1,184 @@
+//! Seeded exponential backoff with jitter for retryable serving errors.
+//!
+//! The policy is fully deterministic: delays come from a [`SplitMix64`]
+//! stream derived from the policy seed and the attempt number, so a retry
+//! schedule replays exactly under a fixed seed — chaos tests assert on the
+//! literal delay sequence. Sleeping is delegated to a caller-supplied
+//! closure, which keeps the core free of clocks and lets tests run retry
+//! storms in microseconds.
+
+use hyperfex_hdc::rng::SplitMix64;
+
+use crate::error::ServeError;
+use crate::obs;
+
+/// Exponential-backoff-with-jitter retry policy.
+///
+/// Attempt `n` (zero-based) sleeps for `min(cap_ms, base_ms << n)` scaled
+/// by a jitter factor drawn uniformly from `[0.5, 1.0)` — "equal jitter"
+/// keeps some spread between competing clients without ever collapsing a
+/// delay to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First-retry delay, milliseconds.
+    pub base_ms: u64,
+    /// Upper bound any single delay is clamped to, milliseconds.
+    pub cap_ms: u64,
+    /// Total attempts (initial try included). `1` disables retries.
+    pub max_attempts: u32,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base_ms: 10,
+            cap_ms: 5_000,
+            max_attempts: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered delay before retry number `attempt` (zero-based), in
+    /// milliseconds. Deterministic in `(seed, attempt)`.
+    #[must_use]
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exp = self
+            .base_ms
+            .checked_shl(attempt)
+            .unwrap_or(self.cap_ms)
+            .min(self.cap_ms);
+        let mut rng = SplitMix64::new(self.seed).derive(0xBAC0FF, u64::from(attempt));
+        let jitter = 0.5 + 0.5 * rng.next_f64();
+        // lint: cast-ok (delay is a non-negative bounded float; truncation
+        // to whole milliseconds is the intended rounding)
+        ((exp as f64) * jitter) as u64
+    }
+
+    /// Runs `op` until it succeeds, fails terminally, or the attempt
+    /// budget runs out. Only errors with [`ServeError::is_retryable`] are
+    /// retried; between attempts `sleep` is invoked with the jittered
+    /// delay. Returns the last error when the budget is exhausted.
+    pub fn execute<T>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, ServeError>,
+        mut sleep: impl FnMut(u64),
+    ) -> Result<T, ServeError> {
+        let attempts = self.max_attempts.max(1);
+        let mut last = ServeError::NoSurvivors;
+        for attempt in 0..attempts {
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => {
+                    obs::counter_add("serve/retries", 1);
+                    sleep(self.delay_ms(attempt));
+                    last = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperfex_hdc::HdcError;
+
+    fn overloaded() -> ServeError {
+        ServeError::Overloaded { depth: 8, limit: 8 }
+    }
+
+    #[test]
+    fn delays_grow_exponentially_and_clamp() {
+        let policy = RetryPolicy {
+            base_ms: 100,
+            cap_ms: 1_000,
+            max_attempts: 8,
+            seed: 7,
+        };
+        for attempt in 0..8 {
+            let d = policy.delay_ms(attempt);
+            let exp = (100u64 << attempt).min(1_000);
+            assert!(d >= exp / 2 && d < exp, "attempt {attempt}: {d} vs {exp}");
+        }
+        // Far past the shift width: still clamped, no overflow.
+        assert!(policy.delay_ms(200) < 1_000);
+    }
+
+    #[test]
+    fn schedules_replay_exactly_under_a_seed() {
+        let policy = RetryPolicy::default();
+        let a: Vec<u64> = (0..6).map(|n| policy.delay_ms(n)).collect();
+        let b: Vec<u64> = (0..6).map(|n| policy.delay_ms(n)).collect();
+        assert_eq!(a, b);
+        let other = RetryPolicy {
+            seed: 1,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(a, (0..6).map(|n| other.delay_ms(n)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn retries_only_retryable_errors() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            ..RetryPolicy::default()
+        };
+        // Transient overloads: succeeds on the third attempt, two sleeps.
+        let mut slept = Vec::new();
+        let out = policy.execute(
+            |attempt| {
+                if attempt < 2 {
+                    Err(overloaded())
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |ms| slept.push(ms),
+        );
+        assert_eq!(out, Ok(2));
+        assert_eq!(slept, vec![policy.delay_ms(0), policy.delay_ms(1)]);
+
+        // Terminal corruption: fails immediately, never sleeps.
+        let mut calls = 0;
+        let out: Result<(), ServeError> = policy.execute(
+            |_| {
+                calls += 1;
+                Err(ServeError::BadMagic {
+                    path: "x".to_string(),
+                })
+            },
+            |_| panic!("terminal errors must not sleep"),
+        );
+        assert!(matches!(out, Err(ServeError::BadMagic { .. })));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn exhausted_budget_returns_the_last_error() {
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let mut calls = 0;
+        let out: Result<(), ServeError> = policy.execute(
+            |_| {
+                calls += 1;
+                Err(ServeError::Hdc(HdcError::Injected {
+                    point: "serve/batch_predict".to_string(),
+                }))
+            },
+            |_| {},
+        );
+        assert_eq!(calls, 3);
+        assert!(matches!(
+            out,
+            Err(ServeError::Hdc(HdcError::Injected { .. }))
+        ));
+    }
+}

@@ -1,0 +1,176 @@
+//! Recovery sweep: serving accuracy as shards are progressively destroyed.
+//!
+//! Builds an 8-shard store over a synthetic two-class cohort, then for
+//! `k = 0..=8` destroys `k` shard files and reopens: the report must
+//! quarantine exactly `k` shards, and the sweep records the probe accuracy
+//! the survivors still deliver. The holographic claim under test: accuracy
+//! degrades gracefully with surviving capacity instead of collapsing at
+//! the first lost shard.
+//!
+//! Writes `reports/recovery.json` and `reports/recovery.txt` relative to
+//! the working directory (override the directory with `--out-dir PATH`).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::rng::SplitMix64;
+use hyperfex_serve::{HvStore, ServeError, SyntheticCohort};
+
+const N_SHARDS: usize = 8;
+const N_RECORDS: usize = 400;
+const N_PROBES: usize = 200;
+const DIM: usize = 2048;
+
+struct SweepRow {
+    destroyed: usize,
+    kept: usize,
+    surviving_rows: usize,
+    accuracy: f64,
+}
+
+fn main() {
+    let mut out_dir = PathBuf::from("reports");
+    let mut seed = 7u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args.get(i).map(String::as_str) {
+            Some("--seed") => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs a number");
+                        exit(2);
+                    });
+                i += 1;
+            }
+            Some("--out-dir") => {
+                out_dir = PathBuf::from(args.get(i + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("--out-dir needs a path");
+                    exit(2);
+                }));
+                i += 1;
+            }
+            Some("--help" | "-h") => {
+                println!("usage: recovery_sweep [--seed N] [--out-dir PATH]");
+                exit(0);
+            }
+            Some(other) => {
+                eprintln!("unknown flag `{other}` (try --help)");
+                exit(2);
+            }
+            None => break,
+        }
+        i += 1;
+    }
+
+    let rows = match run(seed) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("recovery_sweep failed: {e}");
+            exit(1);
+        }
+    };
+    if let Err(e) = write_reports(&out_dir, seed, &rows) {
+        eprintln!("recovery_sweep failed: {e}");
+        exit(1);
+    }
+}
+
+fn run(seed: u64) -> Result<Vec<SweepRow>, ServeError> {
+    let dim = Dim::try_new(DIM)?;
+    let cohort = SyntheticCohort::generate(dim, 2, N_RECORDS, DIM / 8, seed)?;
+    let store = HvStore::build(&cohort.records, &cohort.labels, N_SHARDS)?;
+
+    let base = std::env::temp_dir().join(format!("hyperfex-recovery-sweep-{}", std::process::id()));
+    let mut rows = Vec::with_capacity(N_SHARDS + 1);
+    for destroyed in 0..=N_SHARDS {
+        let dir = base.join(format!("k{destroyed}"));
+        drop(std::fs::remove_dir_all(&dir));
+        store.save(&dir)?;
+        let paths = HvStore::shard_paths(&dir)?;
+        for path in paths.iter().take(destroyed) {
+            std::fs::write(path, b"destroyed").map_err(|e| ServeError::io(path, &e))?;
+        }
+
+        let (recovered, report) = HvStore::open(&dir)?;
+        if report.quarantined.len() != destroyed || !report.is_complete() {
+            return Err(ServeError::ShardConflict {
+                detail: format!(
+                    "destroyed {destroyed} shards but the report quarantined {} of {}",
+                    report.quarantined.len(),
+                    report.total_shards
+                ),
+            });
+        }
+
+        let mut rng = SplitMix64::new(seed).derive(0x5EE9, destroyed as u64);
+        let mut correct = 0usize;
+        if recovered.n_rows() > 0 {
+            for p in 0..N_PROBES {
+                let class = p % 2;
+                let proto = cohort
+                    .prototypes
+                    .get(class)
+                    .ok_or(ServeError::NoSurvivors)?;
+                let probe = proto.flip_balanced(DIM / 8, &mut rng)?;
+                if recovered.predict_batch(&[probe], 5)? == vec![class] {
+                    correct += 1;
+                }
+            }
+        }
+        rows.push(SweepRow {
+            destroyed,
+            kept: report.kept.len(),
+            surviving_rows: recovered.n_rows(),
+            accuracy: correct as f64 / N_PROBES as f64,
+        });
+        drop(std::fs::remove_dir_all(&dir));
+    }
+    drop(std::fs::remove_dir_all(&base));
+    Ok(rows)
+}
+
+fn write_reports(out_dir: &PathBuf, seed: u64, rows: &[SweepRow]) -> Result<(), ServeError> {
+    std::fs::create_dir_all(out_dir).map_err(|e| ServeError::io(out_dir, &e))?;
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"dim\": {DIM},\n  \"shards\": {N_SHARDS},\n  \"records\": {N_RECORDS},\n  \
+         \"probes\": {N_PROBES},\n  \"seed\": {seed},\n  \"sweep\": [\n"
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"destroyed\": {}, \"kept\": {}, \"surviving_rows\": {}, \
+             \"accuracy\": {:.4}}}{comma}\n",
+            row.destroyed, row.kept, row.surviving_rows, row.accuracy
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let json_path = out_dir.join("recovery.json");
+    std::fs::write(&json_path, &json).map_err(|e| ServeError::io(&json_path, &e))?;
+
+    let mut txt = String::new();
+    txt.push_str(&format!(
+        "Recovery sweep: {N_RECORDS} records, {N_SHARDS} shards, dim {DIM}, seed {seed}\n"
+    ));
+    txt.push_str(&format!(
+        "{:>9}  {:>4}  {:>14}  {:>8}\n",
+        "destroyed", "kept", "surviving_rows", "accuracy"
+    ));
+    for row in rows {
+        txt.push_str(&format!(
+            "{:>9}  {:>4}  {:>14}  {:>8.4}\n",
+            row.destroyed, row.kept, row.surviving_rows, row.accuracy
+        ));
+    }
+    let txt_path = out_dir.join("recovery.txt");
+    std::fs::write(&txt_path, &txt).map_err(|e| ServeError::io(&txt_path, &e))?;
+
+    println!("{txt}");
+    println!("(written to {})", out_dir.display());
+    Ok(())
+}

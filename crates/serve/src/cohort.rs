@@ -1,0 +1,102 @@
+//! Deterministic synthetic cohorts for benchmarks and chaos tests.
+//!
+//! Real patient records never leave the experiments pipeline; the serving
+//! plane is exercised with synthetic cohorts instead: random class
+//! prototypes plus per-record balanced bit-flip noise, the same generative
+//! model the capacity experiments use. Everything is seeded, so a cohort
+//! regenerates bit-identically from `(dim, n_classes, n_records,
+//! flip_bits, seed)` alone — chaos replays and bench baselines depend on
+//! that.
+
+use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::rng::SplitMix64;
+use hyperfex_hdc::BinaryHypervector;
+
+use crate::error::ServeError;
+
+/// A seeded synthetic labelled cohort: noisy copies of class prototypes.
+#[derive(Debug, Clone)]
+pub struct SyntheticCohort {
+    /// The clean class prototypes, one per class.
+    pub prototypes: Vec<BinaryHypervector>,
+    /// The noisy records, `n_records` of them.
+    pub records: Vec<BinaryHypervector>,
+    /// `labels[i]` is the class `records[i]` was derived from.
+    pub labels: Vec<usize>,
+}
+
+impl SyntheticCohort {
+    /// Generates a cohort: `n_classes` random prototypes, then
+    /// `n_records` records where record `i` is prototype `i % n_classes`
+    /// with `flip_bits` ones *and* `flip_bits` zeros flipped (fresh seeded
+    /// noise per record), planting each record at Hamming distance
+    /// `2 * flip_bits` from its prototype.
+    ///
+    /// `flip_bits` must not exceed the prototype's one-count or zero-count
+    /// (the balanced-flip contract) — in practice keep it well under
+    /// `dim / 2`.
+    pub fn generate(
+        dim: Dim,
+        n_classes: usize,
+        n_records: usize,
+        flip_bits: usize,
+        seed: u64,
+    ) -> Result<Self, ServeError> {
+        if n_classes == 0 || n_records == 0 {
+            return Err(ServeError::Hdc(hyperfex_hdc::HdcError::EmptyInput));
+        }
+        let mut proto_rng = SplitMix64::new(seed).derive(0xC0_0117, 0);
+        let prototypes: Vec<BinaryHypervector> = (0..n_classes)
+            .map(|_| BinaryHypervector::random(dim, &mut proto_rng))
+            .collect();
+        let mut noise_rng = SplitMix64::new(seed).derive(0xC0_0117, 1);
+        let mut records = Vec::with_capacity(n_records);
+        let mut labels = Vec::with_capacity(n_records);
+        for i in 0..n_records {
+            let class = i % n_classes;
+            let proto = prototypes.get(class).ok_or(ServeError::NoSurvivors)?;
+            records.push(proto.flip_balanced(flip_bits, &mut noise_rng)?);
+            labels.push(class);
+        }
+        Ok(Self {
+            prototypes,
+            records,
+            labels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cohorts_regenerate_bit_identically() {
+        let dim = Dim::new(130);
+        let a = SyntheticCohort::generate(dim, 3, 20, 10, 42).unwrap();
+        let b = SyntheticCohort::generate(dim, 3, 20, 10, 42).unwrap();
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.labels, b.labels);
+        let c = SyntheticCohort::generate(dim, 3, 20, 10, 43).unwrap();
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn records_sit_at_the_planted_distance() {
+        let dim = Dim::new(256);
+        let cohort = SyntheticCohort::generate(dim, 2, 10, 16, 7).unwrap();
+        for (record, &label) in cohort.records.iter().zip(&cohort.labels) {
+            let d = record.try_hamming(&cohort.prototypes[label]).unwrap();
+            assert_eq!(d, 32, "16 ones + 16 zeros flipped");
+        }
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let dim = Dim::new(64);
+        assert!(SyntheticCohort::generate(dim, 0, 10, 2, 1).is_err());
+        assert!(SyntheticCohort::generate(dim, 2, 0, 2, 1).is_err());
+        // 64 flips of each polarity cannot fit a 64-bit vector.
+        assert!(SyntheticCohort::generate(dim, 2, 4, 64, 1).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Error type shared by all fallible operations in this crate.
+
+use hyperfex_hdc::HdcError;
+use std::fmt;
+
+/// Errors produced by snapshot persistence, recovery and serving.
+///
+/// I/O failures carry the offending path and the OS error rendered to a
+/// string (keeping the type `PartialEq`, which recovery accounting tests
+/// rely on).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// An operating-system I/O operation failed.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// The OS error, rendered.
+        detail: String,
+    },
+    /// A snapshot file does not start with the expected magic bytes —
+    /// either it is not a snapshot at all or its header was destroyed.
+    BadMagic {
+        /// Path of the rejected file.
+        path: String,
+    },
+    /// A snapshot file declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Path of the rejected file.
+        path: String,
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build supports.
+        supported: u32,
+    },
+    /// A snapshot section failed validation: checksum mismatch, truncated
+    /// payload, impossible length, or an invariant violation (e.g. a bank
+    /// row with tail bits set).
+    Corrupt {
+        /// Path of the corrupt file.
+        path: String,
+        /// Which section failed (`"meta"`, `"labels"`, `"bank"`, ...).
+        section: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// Surviving shards disagree with each other (dimensionality, shard
+    /// count) or with the store being assembled.
+    ShardConflict {
+        /// What disagreed.
+        detail: String,
+    },
+    /// A request was shed because the admission queue is full.
+    Overloaded {
+        /// Queue depth at rejection time.
+        depth: usize,
+        /// The configured queue bound.
+        limit: usize,
+    },
+    /// A request batch exceeds the configured per-request batch bound.
+    BatchTooLarge {
+        /// Queries in the rejected batch.
+        got: usize,
+        /// The configured bound.
+        limit: usize,
+    },
+    /// A queued request expired before it could be served.
+    DeadlineExceeded {
+        /// Identifier of the expired request.
+        request: u64,
+    },
+    /// The store has no surviving rows to answer from.
+    NoSurvivors,
+    /// An error bubbled up from the HDC substrate (dimension mismatches,
+    /// injected faults, invalid configuration).
+    Hdc(HdcError),
+}
+
+impl From<HdcError> for ServeError {
+    fn from(e: HdcError) -> Self {
+        Self::Hdc(e)
+    }
+}
+
+impl ServeError {
+    /// Builds an [`ServeError::Io`] from a path and an `std::io::Error`.
+    #[must_use]
+    pub fn io(path: &std::path::Path, error: &std::io::Error) -> Self {
+        Self::Io {
+            path: path.display().to_string(),
+            detail: error.to_string(),
+        }
+    }
+
+    /// Whether a retry could plausibly succeed: overloads drain and
+    /// injected faults have firing windows, but corruption and version
+    /// mismatches are permanent until a human intervenes.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Self::Overloaded { .. } | Self::Hdc(HdcError::Injected { .. })
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, detail } => write!(f, "i/o error on {path}: {detail}"),
+            Self::BadMagic { path } => {
+                write!(f, "{path} is not a hyperfex snapshot (bad magic)")
+            }
+            Self::UnsupportedVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{path} uses snapshot format version {found}, this build reads up to {supported}"
+            ),
+            Self::Corrupt {
+                path,
+                section,
+                detail,
+            } => write!(f, "corrupt snapshot {path} ({section} section): {detail}"),
+            Self::ShardConflict { detail } => write!(f, "shard conflict: {detail}"),
+            Self::Overloaded { depth, limit } => write!(
+                f,
+                "request shed: admission queue holds {depth} of {limit} requests"
+            ),
+            Self::BatchTooLarge { got, limit } => write!(
+                f,
+                "batch of {got} queries exceeds the per-request limit of {limit}"
+            ),
+            Self::DeadlineExceeded { request } => {
+                write!(f, "request {request} expired before it was served")
+            }
+            Self::NoSurvivors => write!(f, "store has no surviving rows to answer from"),
+            Self::Hdc(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Hdc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ServeError::Overloaded {
+            depth: 32,
+            limit: 32,
+        };
+        assert!(e.to_string().contains("32"));
+        let e = ServeError::Corrupt {
+            path: "shard-0001.hfex".to_string(),
+            section: "bank",
+            detail: "crc mismatch".to_string(),
+        };
+        assert!(e.to_string().contains("bank"));
+        assert!(e.to_string().contains("crc mismatch"));
+        let e = ServeError::UnsupportedVersion {
+            path: "x".to_string(),
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn retryability_matches_transience() {
+        assert!(ServeError::Overloaded { depth: 1, limit: 1 }.is_retryable());
+        assert!(ServeError::Hdc(HdcError::Injected {
+            point: "serve/batch_predict".to_string()
+        })
+        .is_retryable());
+        assert!(!ServeError::NoSurvivors.is_retryable());
+        assert!(!ServeError::BadMagic {
+            path: "x".to_string()
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn error_is_std_error_with_source() {
+        let e = ServeError::Hdc(HdcError::EmptyInput);
+        let dyn_err: &dyn std::error::Error = &e;
+        assert!(dyn_err.source().is_some());
+    }
+}

@@ -1,0 +1,51 @@
+//! # hyperfex-serve
+//!
+//! Crash-safe serving plane for trained hypervector stores.
+//!
+//! The upstream crates turn patient records into bit-packed hypervectors
+//! and train Hamming-space classifiers over them; this crate is what keeps
+//! those artifacts *servable* when the disk, the process, or the caller
+//! misbehaves:
+//!
+//! * [`snapshot`] — a versioned, length-prefixed on-disk shard format with
+//!   a CRC32 checksum per section and atomic write-then-rename, so a crash
+//!   mid-save never destroys the previous good snapshot and a flipped bit
+//!   never reaches a popcount kernel.
+//! * [`store`] — the sharded [`store::HvStore`]: build from encoded
+//!   records, save one self-describing file per shard, and reopen with
+//!   per-shard quarantine — corrupted or missing shards land in a
+//!   [`store::RecoveryReport`] (`kept + quarantined == total`, mirroring
+//!   the encoder's `QuarantineReport`) while top-k Hamming retrieval keeps
+//!   answering from the survivors.
+//! * [`admission`] — a bounded-queue batch front end with typed overload
+//!   shedding ([`error::ServeError::Overloaded`]) and per-request
+//!   deadlines, including a logical-tick deadline variant so admission
+//!   behaviour is testable without wall clocks.
+//! * [`backoff`] — a seeded exponential-backoff-with-jitter retry policy:
+//!   every delay sequence replays bit-exactly from its seed.
+//! * [`cohort`] — deterministic synthetic cohorts (class prototypes plus
+//!   seeded bit-flip noise) for throughput benchmarks and recovery sweeps.
+//!
+//! The serving seams (`serve/snapshot_write`, `serve/snapshot_load`,
+//! `serve/batch_predict`) are armed through the shared
+//! `hyperfex_hdc::failpoint` hook behind the `fault-injection` feature, so
+//! the `hyperfex-faults` chaos harness schedules them like every other
+//! pipeline seam.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod admission;
+pub mod backoff;
+pub mod cohort;
+pub mod error;
+pub mod obs;
+pub mod snapshot;
+pub mod store;
+
+pub use admission::{AdmissionConfig, BatchFrontend, Completion, Deadline};
+pub use backoff::RetryPolicy;
+pub use cohort::SyntheticCohort;
+pub use error::ServeError;
+pub use snapshot::ShardRecord;
+pub use store::{HvStore, QuarantinedShard, RecoveryReport};

@@ -1,0 +1,44 @@
+//! Observability shims over `hyperfex-obs`.
+//!
+//! Instrumentation points in this crate call [`span`], [`counter_add`] and
+//! [`observe`] unconditionally. With the `obs` cargo feature the calls
+//! forward to the real `hyperfex-obs` registry; without it they are inert
+//! inlined stubs the compiler removes entirely, so default builds carry no
+//! observability symbols and pay zero overhead. The pattern mirrors
+//! `hyperfex_hdc::obs`.
+
+#[cfg(feature = "obs")]
+pub use hyperfex_obs::{counter_add, current_depth, observe, span, SpanGuard};
+
+#[cfg(not(feature = "obs"))]
+mod noop {
+    /// Inert stand-in for `hyperfex_obs::SpanGuard`: nothing is measured
+    /// and dropping it records nothing.
+    #[derive(Debug)]
+    #[must_use = "a span measures the scope holding its guard"]
+    pub struct SpanGuard(());
+
+    /// No-op span; compiled out without the `obs` feature.
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard(())
+    }
+
+    /// No-op counter increment; compiled out without the `obs` feature.
+    #[inline(always)]
+    pub fn counter_add(_name: &'static str, _delta: u64) {}
+
+    /// No-op histogram observation; compiled out without the `obs` feature.
+    #[inline(always)]
+    pub fn observe(_name: &'static str, _bounds: &'static [f64], _value: f64) {}
+
+    /// Always 0 without the `obs` feature.
+    #[inline(always)]
+    #[must_use]
+    pub fn current_depth() -> usize {
+        0
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+pub use noop::{counter_add, current_depth, observe, span, SpanGuard};

@@ -1,0 +1,522 @@
+//! The sharded hypervector store: build, save, recover, serve.
+//!
+//! A store is a bank of labelled record hypervectors split into contiguous
+//! shards, each persisted as one self-describing file (see
+//! [`crate::snapshot`]), plus the class accumulators of a centroid model.
+//! [`HvStore::open`] is the crash-recovery path: it reads every shard file
+//! it can find, quarantines the ones that fail validation into a
+//! [`RecoveryReport`] — the accounting mirrors the encoder's
+//! `QuarantineReport`: every shard of the snapshot is either kept or
+//! quarantined, never silently dropped — and serves top-k Hamming
+//! retrieval from the survivors. Losing a shard loses that shard's rows,
+//! nothing else; the holographic representation keeps nearest-neighbour
+//! predictions usable as long as any shard survives.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::bitmatrix::{hamming_between, BitMatrix};
+use hyperfex_hdc::classify::ClassAccumulators;
+use hyperfex_hdc::{failpoint, BinaryHypervector};
+
+use crate::error::ServeError;
+use crate::obs;
+use crate::snapshot::{self, ShardRecord};
+
+/// One shard that failed recovery and was quarantined instead of served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedShard {
+    /// File name (not full path) of the offending shard file, or the
+    /// expected name for a shard that is missing outright.
+    pub file: String,
+    /// The shard index, when the file was readable enough to know it.
+    pub shard_index: Option<u32>,
+    /// Why the shard was rejected.
+    pub reason: String,
+}
+
+/// Accounting for one [`HvStore::open`] recovery pass.
+///
+/// Every shard of the snapshot appears exactly once: either its index is
+/// in `kept` or it has an entry in `quarantined`, so
+/// `kept.len() + quarantined.len() == total_shards` always holds (checked
+/// by [`RecoveryReport::is_complete`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Shard count the snapshot was written with (or the number of
+    /// candidate files found, when no shard survived to say).
+    pub total_shards: usize,
+    /// Indices of the shards now serving, ascending.
+    pub kept: Vec<u32>,
+    /// Shards rejected during recovery, with reasons.
+    pub quarantined: Vec<QuarantinedShard>,
+    /// Whether the class-accumulator file was recovered; centroid
+    /// predictions are unavailable without it, k-NN is unaffected.
+    pub accumulators_recovered: bool,
+}
+
+impl RecoveryReport {
+    /// `kept + quarantined == total` — the invariant every recovery pass
+    /// must satisfy.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.kept.len() + self.quarantined.len() == self.total_shards
+    }
+}
+
+/// A sharded, labelled hypervector bank with optional class accumulators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HvStore {
+    dim: Dim,
+    shards: Vec<ShardRecord>,
+    accums: Option<ClassAccumulators>,
+}
+
+impl HvStore {
+    /// Builds a store from encoded records, splitting the rows into
+    /// `n_shards` contiguous shards and accumulating class centroids.
+    ///
+    /// Labels must fit `u32` (the on-disk label width). `n_shards` must be
+    /// in `1..=records.len()` so no shard is empty.
+    pub fn build(
+        records: &[BinaryHypervector],
+        labels: &[usize],
+        n_shards: usize,
+    ) -> Result<Self, ServeError> {
+        let Some(first) = records.first() else {
+            return Err(ServeError::Hdc(hyperfex_hdc::HdcError::EmptyInput));
+        };
+        if records.len() != labels.len() {
+            return Err(ServeError::Hdc(
+                hyperfex_hdc::HdcError::LabelLengthMismatch {
+                    samples: records.len(),
+                    labels: labels.len(),
+                },
+            ));
+        }
+        if n_shards == 0 || n_shards > records.len() {
+            return Err(ServeError::ShardConflict {
+                detail: format!(
+                    "{n_shards} shards requested for {} records (need 1..={})",
+                    records.len(),
+                    records.len()
+                ),
+            });
+        }
+        let n_shards_u32 = u32::try_from(n_shards).map_err(|_| ServeError::ShardConflict {
+            detail: format!("{n_shards} shards do not fit the u32 shard index"),
+        })?;
+        let dim = first.dim();
+
+        let mut accums = ClassAccumulators::new(dim);
+        for (hv, &label) in records.iter().zip(labels) {
+            accums.check_dim(hv)?;
+            accums.grow(label);
+            accums.add(label, hv, 1);
+        }
+
+        let rows_per_shard = records.len().div_ceil(n_shards);
+        let mut shards = Vec::with_capacity(n_shards);
+        for (s, (rows, row_labels)) in records
+            .chunks(rows_per_shard)
+            .zip(labels.chunks(rows_per_shard))
+            .enumerate()
+        {
+            let shard_labels = row_labels
+                .iter()
+                .map(|&l| {
+                    u32::try_from(l).map_err(|_| ServeError::ShardConflict {
+                        detail: format!("label {l} does not fit the u32 on-disk label width"),
+                    })
+                })
+                .collect::<Result<Vec<u32>, ServeError>>()?;
+            shards.push(ShardRecord {
+                shard_index: u32::try_from(s).unwrap_or(u32::MAX),
+                n_shards: n_shards_u32,
+                labels: shard_labels,
+                bank: BitMatrix::from_hypervectors(rows)?,
+            });
+        }
+        Ok(Self {
+            dim,
+            shards,
+            accums: Some(accums),
+        })
+    }
+
+    /// Dimensionality of every stored hypervector.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Number of shards currently serving.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total rows across the serving shards.
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.bank.n_rows()).sum()
+    }
+
+    /// The recovered class accumulators, when available.
+    #[must_use]
+    pub fn accumulators(&self) -> Option<&ClassAccumulators> {
+        self.accums.as_ref()
+    }
+
+    /// Writes every shard plus the accumulator file into `dir` (created if
+    /// missing). Each file is written atomically; a crash mid-save leaves
+    /// any previous snapshot files intact.
+    pub fn save(&self, dir: &Path) -> Result<(), ServeError> {
+        let _span = obs::span("serve/snapshot_save");
+        std::fs::create_dir_all(dir).map_err(|e| ServeError::io(dir, &e))?;
+        for shard in &self.shards {
+            let path = dir.join(snapshot::shard_file_name(shard.shard_index));
+            snapshot::write_shard(&path, shard)?;
+        }
+        if let Some(accums) = &self.accums {
+            snapshot::write_accums(&dir.join(snapshot::ACCUMS_FILE_NAME), accums)?;
+        }
+        Ok(())
+    }
+
+    /// The shard file paths a snapshot directory holds, sorted by file
+    /// name — the handle chaos harnesses use to corrupt specific shards.
+    pub fn shard_paths(dir: &Path) -> Result<Vec<PathBuf>, ServeError> {
+        let mut out = Vec::new();
+        let entries = std::fs::read_dir(dir).map_err(|e| ServeError::io(dir, &e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| ServeError::io(dir, &e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("shard-") && name.ends_with(".hfex") {
+                out.push(entry.path());
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Recovers a store from a snapshot directory.
+    ///
+    /// Every candidate shard file is read and fully validated; the ones
+    /// that fail — corrupt sections, truncation, clobbered headers,
+    /// dimensionality or shard-count disagreement with the first good
+    /// shard, duplicate indices — are quarantined with reasons instead of
+    /// aborting recovery. Shards the surviving metadata says should exist
+    /// but which have no file are quarantined as missing. The store serves
+    /// whatever survived (possibly nothing — see
+    /// [`HvStore::predict_batch`]); the report's accounting always
+    /// balances.
+    pub fn open(dir: &Path) -> Result<(Self, RecoveryReport), ServeError> {
+        let _span = obs::span("serve/snapshot_open");
+        let paths = Self::shard_paths(dir)?;
+        let mut quarantined = Vec::new();
+        let mut survivors: BTreeMap<u32, ShardRecord> = BTreeMap::new();
+        let mut consensus: Option<(Dim, u32)> = None;
+
+        for path in &paths {
+            let file = path.file_name().map_or_else(
+                || path.display().to_string(),
+                |n| n.to_string_lossy().into_owned(),
+            );
+            match snapshot::read_shard(path) {
+                Ok(shard) => {
+                    let (dim, n_shards) =
+                        *consensus.get_or_insert((shard.bank.dim(), shard.n_shards));
+                    if shard.bank.dim() != dim || shard.n_shards != n_shards {
+                        quarantined.push(QuarantinedShard {
+                            file,
+                            shard_index: Some(shard.shard_index),
+                            reason: format!(
+                                "disagrees with the first recovered shard: dim {} vs {}, \
+                                 {} shards vs {}",
+                                shard.bank.dim(),
+                                dim,
+                                shard.n_shards,
+                                n_shards
+                            ),
+                        });
+                        continue;
+                    }
+                    if survivors.contains_key(&shard.shard_index) {
+                        quarantined.push(QuarantinedShard {
+                            file,
+                            shard_index: Some(shard.shard_index),
+                            reason: format!("duplicate shard index {}", shard.shard_index),
+                        });
+                        continue;
+                    }
+                    survivors.insert(shard.shard_index, shard);
+                }
+                Err(e) => quarantined.push(QuarantinedShard {
+                    file,
+                    shard_index: None,
+                    reason: e.to_string(),
+                }),
+            }
+        }
+
+        // Shards the metadata promises but no candidate file provides.
+        let total_shards = match consensus {
+            Some((_, n_shards)) => {
+                let accounted: usize = survivors.len()
+                    + quarantined
+                        .iter()
+                        .filter(|q| q.shard_index.is_none_or(|i| i < n_shards))
+                        .count();
+                for index in 0..n_shards {
+                    if !survivors.contains_key(&index)
+                        && !quarantined.iter().any(|q| q.shard_index == Some(index))
+                        && accounted < n_shards as usize
+                    {
+                        quarantined.push(QuarantinedShard {
+                            file: snapshot::shard_file_name(index),
+                            shard_index: Some(index),
+                            reason: "shard file missing".to_string(),
+                        });
+                    }
+                }
+                (survivors.len() + quarantined.len()).max(n_shards as usize)
+            }
+            None => paths.len(),
+        };
+
+        let accums = match snapshot::read_accums(&dir.join(snapshot::ACCUMS_FILE_NAME)) {
+            Ok(acc) if consensus.is_none_or(|(dim, _)| acc.dim() == dim) => Some(acc),
+            _ => None,
+        };
+
+        let report = RecoveryReport {
+            total_shards,
+            kept: survivors.keys().copied().collect(),
+            quarantined,
+            accumulators_recovered: accums.is_some(),
+        };
+        obs::counter_add("serve/shards_quarantined", report.quarantined.len() as u64);
+        let dim = consensus.map_or_else(|| Dim::try_new(1), |(dim, _)| Ok(dim))?;
+        Ok((
+            Self {
+                dim,
+                shards: survivors.into_values().collect(),
+                accums,
+            },
+            report,
+        ))
+    }
+
+    /// Predicts a label for every query by k-nearest-neighbour majority
+    /// vote over every row of every serving shard.
+    ///
+    /// Ties in the vote break toward the label with the nearest member
+    /// (then the lowest shard index / row, so results are deterministic
+    /// regardless of shard recovery order). Returns
+    /// [`ServeError::NoSurvivors`] when no rows are serving.
+    pub fn predict_batch(
+        &self,
+        queries: &[BinaryHypervector],
+        k: usize,
+    ) -> Result<Vec<usize>, ServeError> {
+        let _span = obs::span("serve/batch_predict");
+        failpoint::check("serve/batch_predict")?;
+        if queries.is_empty() {
+            return Err(ServeError::Hdc(hyperfex_hdc::HdcError::EmptyInput));
+        }
+        if k == 0 {
+            return Err(ServeError::Hdc(hyperfex_hdc::HdcError::InvalidConfig(
+                "k must be at least 1".to_string(),
+            )));
+        }
+        if self.n_rows() == 0 {
+            return Err(ServeError::NoSurvivors);
+        }
+        let query_matrix = BitMatrix::from_hypervectors(queries)?;
+        if query_matrix.dim() != self.dim {
+            return Err(ServeError::Hdc(hyperfex_hdc::HdcError::DimensionMismatch {
+                left: query_matrix.dim().get(),
+                right: self.dim.get(),
+            }));
+        }
+
+        // Per-query top-k candidates as (distance, shard, row, label),
+        // kept sorted ascending; the tuple order is the tie-break order.
+        let mut best: Vec<Vec<(u32, u32, u32, u32)>> =
+            vec![Vec::with_capacity(k + 1); queries.len()];
+        for shard in &self.shards {
+            let rows = shard.bank.n_rows();
+            let distances = hamming_between(&query_matrix, &shard.bank)?;
+            for (qi, row_distances) in distances.chunks(rows.max(1)).enumerate() {
+                let Some(heap) = best.get_mut(qi) else {
+                    continue;
+                };
+                for (row, &distance) in row_distances.iter().enumerate() {
+                    let worst = heap.last().map_or(u32::MAX, |c| c.0);
+                    if heap.len() == k && distance >= worst {
+                        continue;
+                    }
+                    let label = shard.labels.get(row).copied().unwrap_or(0);
+                    let row_u32 = u32::try_from(row).unwrap_or(u32::MAX);
+                    let candidate = (distance, shard.shard_index, row_u32, label);
+                    let at = heap.partition_point(|c| *c <= candidate);
+                    heap.insert(at, candidate);
+                    heap.truncate(k);
+                }
+            }
+        }
+
+        Ok(best.iter().map(|heap| Self::vote(heap)).collect())
+    }
+
+    /// Majority vote over one query's sorted candidate list; ties go to
+    /// the label appearing earliest (i.e. with the nearest member).
+    fn vote(candidates: &[(u32, u32, u32, u32)]) -> usize {
+        let mut tally: Vec<(u32, usize)> = Vec::new();
+        for &(_, _, _, label) in candidates {
+            match tally.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, count)) => *count += 1,
+                None => tally.push((label, 1)),
+            }
+        }
+        // `max_by_key` returns the *last* maximum; iterate in reverse so
+        // the earliest-seen label wins ties.
+        tally
+            .iter()
+            .rev()
+            .max_by_key(|(_, count)| *count)
+            .map_or(0, |&(label, _)| label as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::SyntheticCohort;
+    use hyperfex_hdc::rng::SplitMix64;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("hyperfex-serve-store-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn small_cohort(seed: u64) -> SyntheticCohort {
+        SyntheticCohort::generate(Dim::new(256), 3, 60, 20, seed).unwrap()
+    }
+
+    #[test]
+    fn build_save_open_round_trips() {
+        let dir = scratch_dir("roundtrip");
+        let cohort = small_cohort(1);
+        let store = HvStore::build(&cohort.records, &cohort.labels, 4).unwrap();
+        assert_eq!(store.n_shards(), 4);
+        assert_eq!(store.n_rows(), 60);
+        store.save(&dir).unwrap();
+        let (reopened, report) = HvStore::open(&dir).unwrap();
+        assert_eq!(reopened, store);
+        assert!(report.is_complete());
+        assert_eq!(report.total_shards, 4);
+        assert_eq!(report.kept, vec![0, 1, 2, 3]);
+        assert!(report.quarantined.is_empty());
+        assert!(report.accumulators_recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn predictions_recover_planted_labels() {
+        let cohort = small_cohort(2);
+        let store = HvStore::build(&cohort.records, &cohort.labels, 4).unwrap();
+        // Fresh noisy probes from the same prototypes must classify back
+        // to their class: probes sit at distance 40 of 256 bits from
+        // their prototype, far under the ~128-bit cross-class distance.
+        let mut rng = SplitMix64::new(77);
+        let mut correct = 0;
+        let total = 30;
+        for i in 0..total {
+            let class = i % 3;
+            let probe = cohort.prototypes[class]
+                .flip_balanced(20, &mut rng)
+                .unwrap();
+            if store.predict_batch(&[probe], 3).unwrap() == vec![class] {
+                correct += 1;
+            }
+        }
+        assert!(correct >= total * 9 / 10, "correct = {correct}/{total}");
+    }
+
+    #[test]
+    fn missing_shard_file_is_quarantined_and_survivors_serve() {
+        let dir = scratch_dir("missing");
+        let cohort = small_cohort(3);
+        let store = HvStore::build(&cohort.records, &cohort.labels, 5).unwrap();
+        store.save(&dir).unwrap();
+        std::fs::remove_file(dir.join(snapshot::shard_file_name(2))).unwrap();
+        let (reopened, report) = HvStore::open(&dir).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.total_shards, 5);
+        assert_eq!(report.kept, vec![0, 1, 3, 4]);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].shard_index, Some(2));
+        assert!(report.quarantined[0].reason.contains("missing"));
+        assert_eq!(reopened.n_rows(), 60 - 12);
+        assert!(reopened.predict_batch(&cohort.records[..4], 1).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_recovers_to_empty_store() {
+        let dir = scratch_dir("empty");
+        let (store, report) = HvStore::open(&dir).unwrap();
+        assert_eq!(report.total_shards, 0);
+        assert!(report.is_complete());
+        assert!(!report.accumulators_recovered);
+        let query = BinaryHypervector::zeros(Dim::new(1));
+        assert_eq!(
+            store.predict_batch(&[query], 1).unwrap_err(),
+            ServeError::NoSurvivors
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_rejects_bad_configs() {
+        let cohort = small_cohort(4);
+        assert!(HvStore::build(&[], &[], 1).is_err());
+        assert!(HvStore::build(&cohort.records, &cohort.labels[..10], 2).is_err());
+        assert!(HvStore::build(&cohort.records, &cohort.labels, 0).is_err());
+        assert!(HvStore::build(&cohort.records, &cohort.labels, 61).is_err());
+        let store = HvStore::build(&cohort.records, &cohort.labels, 2).unwrap();
+        assert!(matches!(
+            store.predict_batch(&cohort.records[..2], 0).unwrap_err(),
+            ServeError::Hdc(hyperfex_hdc::HdcError::InvalidConfig(_))
+        ));
+        assert!(store.predict_batch(&[], 1).is_err());
+    }
+
+    #[test]
+    fn centroid_accumulators_survive_the_round_trip() {
+        let dir = scratch_dir("accums");
+        let cohort = small_cohort(5);
+        let store = HvStore::build(&cohort.records, &cohort.labels, 3).unwrap();
+        store.save(&dir).unwrap();
+        let (reopened, _) = HvStore::open(&dir).unwrap();
+        let acc = reopened.accumulators().unwrap();
+        // The recovered centroid model classifies prototypes correctly.
+        for (class, proto) in cohort.prototypes.iter().enumerate() {
+            assert_eq!(acc.predict(proto).unwrap(), class);
+        }
+        // A clobbered accumulator file degrades centroids, not k-NN.
+        let accums_path = dir.join(snapshot::ACCUMS_FILE_NAME);
+        std::fs::write(&accums_path, b"garbage").unwrap();
+        let (reopened, report) = HvStore::open(&dir).unwrap();
+        assert!(!report.accumulators_recovered);
+        assert!(reopened.accumulators().is_none());
+        assert!(reopened.predict_batch(&cohort.records[..2], 1).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

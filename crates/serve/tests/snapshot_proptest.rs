@@ -1,0 +1,164 @@
+//! Property tests for the snapshot format's corruption contract.
+//!
+//! The contract under test: for ANY snapshot and ANY byte-level corruption,
+//! `HvStore::open` either recovers the store byte-identically (the
+//! corruption missed every shard, or flipped bits back to their original
+//! values) or quarantines exactly the damaged shards with balanced
+//! accounting — it never panics, never serves a silently-wrong shard, and
+//! never loses an undamaged one. Dimensions are drawn across tail-word
+//! boundaries (multiples of 64 ± 1) because the bank section's tail
+//! invariant is the subtlest validation step.
+
+use std::path::PathBuf;
+
+use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::rng::SplitMix64;
+use hyperfex_serve::{HvStore, SyntheticCohort};
+use proptest::prelude::*;
+
+/// A scratch directory unique to one proptest case.
+fn scratch_dir(tag: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "hyperfex-serve-proptest-{}-{tag:016x}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Flips `n_flips` seeded random bits across the bytes of `path`.
+fn flip_bytes(path: &std::path::Path, n_flips: usize, seed: u64) -> usize {
+    let mut bytes = std::fs::read(path).unwrap();
+    if bytes.is_empty() {
+        return 0;
+    }
+    let mut rng = SplitMix64::new(seed).derive(0xF1AB, 0);
+    let mut touched = 0;
+    for _ in 0..n_flips {
+        let offset = rng.next_bounded(bytes.len() as u64) as usize;
+        let mask = 1u8 << rng.next_bounded(8);
+        bytes[offset] ^= mask;
+        touched += 1;
+    }
+    std::fs::write(path, &bytes).unwrap();
+    touched
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serialize → corrupt N random bytes of one shard → open. The opened
+    /// store is either byte-identical to the original (self-cancelling
+    /// flips) or the victim shard is quarantined and every other shard
+    /// survives untouched; the accounting always balances.
+    #[test]
+    fn corrupted_snapshots_recover_or_quarantine_with_balanced_accounting(
+        seed in any::<u64>(),
+        dim_words in 1usize..5,
+        dim_off in 0usize..3, // dim = 64*words - 1, exact, or + 1
+        n_shards in 1usize..5,
+        victim in 0usize..5,
+        n_flips in 1usize..24,
+    ) {
+        let dim = Dim::try_new(64 * dim_words + dim_off - 1).unwrap();
+        let cohort = SyntheticCohort::generate(dim, 2, n_shards * 4, 2, seed).unwrap();
+        let store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
+        let dir = scratch_dir(seed ^ (n_flips as u64) << 32);
+        store.save(&dir).unwrap();
+
+        let shard_paths = HvStore::shard_paths(&dir).unwrap();
+        prop_assert_eq!(shard_paths.len(), n_shards);
+        let victim_path = &shard_paths[victim % n_shards];
+        let original_bytes = std::fs::read(victim_path).unwrap();
+        flip_bytes(victim_path, n_flips, seed);
+        let corrupted = std::fs::read(victim_path).unwrap() != original_bytes;
+
+        let (reopened, report) = HvStore::open(&dir).unwrap();
+        prop_assert!(report.is_complete(),
+            "kept {} + quarantined {} != total {}",
+            report.kept.len(), report.quarantined.len(), report.total_shards);
+        prop_assert_eq!(report.total_shards, n_shards);
+
+        if corrupted {
+            // Validation may reject the shard, or the flips may land in
+            // a way that still parses (e.g. inside a label whose CRC was
+            // also flipped to match — astronomically unlikely, but the
+            // contract only promises no *silent* loss of good shards).
+            if report.quarantined.is_empty() {
+                prop_assert_eq!(report.kept.len(), n_shards);
+            } else {
+                prop_assert_eq!(report.quarantined.len(), 1);
+                prop_assert_eq!(reopened.n_shards(), n_shards - 1);
+                // Every undamaged shard survived.
+                let victim_name = victim_path.file_name().unwrap().to_string_lossy();
+                prop_assert_eq!(&report.quarantined[0].file, victim_name.as_ref());
+            }
+        } else {
+            // Flips cancelled out: recovery must be byte-identical.
+            prop_assert_eq!(report.quarantined.len(), 0);
+            prop_assert_eq!(&reopened, &store);
+        }
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// An untouched snapshot always reopens byte-identically, for any
+    /// dimension across tail-word boundaries and any shard count.
+    #[test]
+    fn clean_snapshots_round_trip_byte_identically(
+        seed in any::<u64>(),
+        dim_words in 1usize..5,
+        dim_off in 0usize..3,
+        n_shards in 1usize..6,
+    ) {
+        let dim = Dim::try_new(64 * dim_words + dim_off - 1).unwrap();
+        let cohort = SyntheticCohort::generate(dim, 3, n_shards * 3, 1, seed).unwrap();
+        let store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
+        let dir = scratch_dir(seed ^ 0xC1EA_u64 << 40);
+        store.save(&dir).unwrap();
+        let (reopened, report) = HvStore::open(&dir).unwrap();
+        prop_assert_eq!(&reopened, &store);
+        prop_assert!(report.is_complete());
+        prop_assert_eq!(report.kept.len(), n_shards);
+        prop_assert!(report.accumulators_recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Truncating a shard file at any point is always detected: the victim
+    /// is quarantined (or, if truncation removed zero bytes, recovery is
+    /// byte-identical) and accounting balances.
+    #[test]
+    fn truncation_is_always_detected(
+        seed in any::<u64>(),
+        dim_words in 1usize..4,
+        keep_permille in 0u64..1000,
+    ) {
+        let dim = Dim::try_new(64 * dim_words + 1).unwrap();
+        let cohort = SyntheticCohort::generate(dim, 2, 8, 2, seed).unwrap();
+        let store = HvStore::build(&cohort.records, &cohort.labels, 2).unwrap();
+        let dir = scratch_dir(seed ^ 0x7AC_u64 << 44);
+        store.save(&dir).unwrap();
+
+        let shard_paths = HvStore::shard_paths(&dir).unwrap();
+        let victim = &shard_paths[0];
+        let len = std::fs::metadata(victim).unwrap().len();
+        let keep = len * keep_permille / 1000;
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(victim)
+            .unwrap()
+            .set_len(keep)
+            .unwrap();
+
+        let (reopened, report) = HvStore::open(&dir).unwrap();
+        prop_assert!(report.is_complete());
+        if keep == len {
+            prop_assert_eq!(&reopened, &store);
+        } else {
+            prop_assert_eq!(report.quarantined.len(), 1);
+            prop_assert_eq!(report.kept, vec![1u32]);
+            prop_assert_eq!(reopened.n_shards(), 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -2,8 +2,10 @@
 //!
 //! `bench` runs the criterion micro-benchmark suites (reading the vendored
 //! harness's `HYPERFEX_BENCH_JSON` side channel instead of scraping
-//! stdout) plus one instrumented end-to-end run of the `perf_report`
-//! binary, and folds both into a single machine-readable artifact,
+//! stdout), one instrumented end-to-end run of the `perf_report` binary,
+//! and one serving-plane run of the `serve_bench` binary (snapshot
+//! write/open/recovery wall time plus batch prediction throughput), and
+//! folds all three into a single machine-readable artifact,
 //! `BENCH_4.json`, at the workspace root. `--quick` caps every benchmark
 //! at a small sample count and uses the small-dimensionality experiment
 //! config, which is what the CI perf-smoke job runs.
@@ -92,7 +94,33 @@ pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
         e2e.insert("pipeline_wall_secs".to_string(), wall.clone());
     }
 
-    // 3. Fold into the artifact.
+    // 3. Serving-plane throughput and recovery run.
+    let serve_path = target.join("serve-bench.json");
+    let _ = fs::remove_file(&serve_path);
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root).args([
+        "run",
+        "--release",
+        "-p",
+        "hyperfex-serve",
+        "--bin",
+        "serve_bench",
+        "--",
+        "--out",
+    ]);
+    cmd.arg(&serve_path);
+    if quick {
+        cmd.arg("--quick");
+    }
+    run_to_completion(cmd, "serve_bench")?;
+    let serve_text = fs::read_to_string(&serve_path)
+        .map_err(|e| format!("reading {}: {e}", serve_path.display()))?;
+    let serve = json::parse(&serve_text).map_err(|e| format!("parsing serve bench: {e}"))?;
+    let Json::Obj(serve_obj) = serve else {
+        return Err("serve bench output is not a JSON object".to_string());
+    };
+
+    // 4. Fold into the artifact.
     let mut doc = BTreeMap::new();
     doc.insert("schema_version".to_string(), Json::Num(1.0));
     doc.insert(
@@ -109,6 +137,7 @@ pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
         ),
     );
     doc.insert("e2e".to_string(), Json::Obj(e2e));
+    doc.insert("serve".to_string(), Json::Obj(serve_obj));
     let artifact = root.join(BENCH_ARTIFACT);
     fs::write(&artifact, Json::Obj(doc).to_pretty())
         .map_err(|e| format!("writing {}: {e}", artifact.display()))?;
@@ -361,6 +390,25 @@ mod tests {
         assert!(outcome.regressions.is_empty());
         assert_eq!(outcome.warnings.len(), 1);
         assert!(outcome.warnings[0].contains("missing"));
+    }
+
+    #[test]
+    fn serve_rows_are_tracked_with_the_right_directions() {
+        let base = json::parse(
+            r#"{"serve": {"predictions_per_sec": 1000.0, "recovery_open_secs": 0.1,
+                          "records": 20000}}"#,
+        )
+        .unwrap();
+        let cur = json::parse(
+            r#"{"serve": {"predictions_per_sec": 400.0, "recovery_open_secs": 0.3,
+                          "records": 99}}"#,
+        )
+        .unwrap();
+        let outcome = compare(&base, &cur, FAIL_RATIO, WARN_RATIO);
+        // Throughput collapse and recovery slowdown both fail; the record
+        // count is informational and never compared.
+        assert_eq!(outcome.compared, 2);
+        assert_eq!(outcome.regressions.len(), 2);
     }
 
     #[test]

@@ -50,6 +50,8 @@ const COMBOS: [Combo; 4] = [
                 "hyperfex-data",
                 "-p",
                 "hyperfex-ml",
+                "-p",
+                "hyperfex-serve",
                 "--features",
                 "obs",
             ],
@@ -67,6 +69,8 @@ const COMBOS: [Combo; 4] = [
                 "hyperfex-hdc",
                 "-p",
                 "hyperfex-data",
+                "-p",
+                "hyperfex-serve",
                 "--features",
                 "fault-injection",
             ],
@@ -84,6 +88,8 @@ const COMBOS: [Combo; 4] = [
                 "hyperfex-hdc",
                 "-p",
                 "hyperfex-data",
+                "-p",
+                "hyperfex-serve",
                 "--features",
                 "obs,fault-injection",
             ],

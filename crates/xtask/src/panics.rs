@@ -16,16 +16,19 @@ use crate::lex::TokenKind;
 use crate::source::Analysis;
 
 /// Crates whose `src/` trees are panic-audited.
-pub const AUDITED_CRATES: [&str; 7] = ["hdc", "ml", "data", "eval", "core", "faults", "obs"];
+pub const AUDITED_CRATES: [&str; 8] = [
+    "hdc", "ml", "data", "eval", "core", "faults", "obs", "serve",
+];
 
 /// Kernel files where slice indexing requires an annotation.
-pub const KERNEL_FILES: [&str; 6] = [
+pub const KERNEL_FILES: [&str; 7] = [
     "crates/hdc/src/binary.rs",
     "crates/hdc/src/bitmatrix.rs",
     "crates/hdc/src/bundle.rs",
     "crates/hdc/src/encoding/linear.rs",
     "crates/hdc/src/classify/trainer/accumulator.rs",
     "crates/hdc/src/classify/centroid.rs",
+    "crates/serve/src/snapshot.rs",
 ];
 
 const PANIC_PATTERNS: [&str; 6] = [

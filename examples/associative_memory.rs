@@ -62,7 +62,7 @@ fn main() -> Result<(), HyperfexError> {
     }
     println!(
         "corrupted record 7 with 120 bit flips (noisy distance: {})",
-        original.hamming(&noisy)
+        original.try_hamming(&noisy).unwrap()
     );
     let recovered = memory
         .recall(&noisy, 10)
@@ -70,7 +70,7 @@ fn main() -> Result<(), HyperfexError> {
         .expect("cue activates locations");
     println!(
         "after SDM cleanup: distance to original = {} {}",
-        original.hamming(&recovered),
+        original.try_hamming(&recovered).unwrap(),
         if recovered == *original {
             "(exact recovery)"
         } else {

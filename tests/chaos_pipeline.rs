@@ -66,7 +66,8 @@ fn run_pipeline(name: &str, base: &Table, plan: &FaultPlan) -> String {
     .unwrap();
 
     // Pipeline layer: arm the failpoints for everything downstream.
-    let _guard = registry::install(&plan.fail_rules);
+    let _guard =
+        registry::install(&plan.fail_rules).expect("random plans arm each seam at most once");
 
     // Missing-data treatment; an unimputable or injected failure degrades
     // to dropping incomplete rows instead of aborting.
@@ -244,7 +245,7 @@ fn trainer_partial_fit_survives_bit_flip_injection() {
         after: 0,
         times: None,
     }];
-    let _guard = registry::install(&rules);
+    let _guard = registry::install(&rules).expect("rules target distinct seams");
     let err = trainer.partial_fit(&hvs, treated.labels()).unwrap_err();
     assert!(
         err.to_string().contains("hdc/trainer_partial_fit"),
@@ -262,7 +263,7 @@ fn injected_failpoints_surface_as_typed_errors() {
         after: 0,
         times: None,
     }];
-    let _guard = registry::install(&rules);
+    let _guard = registry::install(&rules).expect("rules target distinct seams");
     let err = HammingModel::new(Dim::new(DIM), 7)
         .evaluate_loocv(&treated)
         .unwrap_err();

@@ -130,7 +130,7 @@ proptest! {
         prop_assert!(m.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
         for i in 0..hvs.len().min(4) {
             for j in (i + 1)..hvs.len().min(4) {
-                let hamming = hvs[i].hamming(&hvs[j]) as f32;
+                let hamming = hvs[i].try_hamming(&hvs[j]).unwrap() as f32;
                 let euclid_sq = hyperfex_ml::Matrix::squared_distance(m.row(i), m.row(j));
                 // On 0/1 vectors, squared Euclidean distance = Hamming.
                 prop_assert!((hamming - euclid_sq).abs() < 1e-3);
