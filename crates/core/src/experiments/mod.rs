@@ -8,6 +8,7 @@
 //! | Table IV — Pima M test metrics | [`table45::run_table4`] | `table4` |
 //! | Table V — Sylhet test metrics | [`table45::run_table5`] | `table5` |
 //! | §II dimensionality remark | [`ablation::dimensionality_sweep`] | `ablation_dim` |
+//! | Distillation accuracy/latency Pareto | [`distill::pareto_sweep`] | `pareto_distill` |
 //! | Islam et al. baselines (cited as \[5\]) | [`islam::run`] | `islam_baselines` |
 //! | §III-A running-time prose | [`timing::run`] | `timing` (one-shot) and `cargo bench` |
 //!
@@ -17,6 +18,7 @@
 //! full ensembles).
 
 pub mod ablation;
+pub mod distill;
 pub mod islam;
 pub mod table1;
 pub mod table2;

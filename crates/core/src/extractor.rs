@@ -4,6 +4,8 @@ use crate::error::HyperfexError;
 use hyperfex_data::{ColumnKind, Table};
 use hyperfex_hdc::binary::{BinaryHypervector, Dim};
 use hyperfex_hdc::bitmatrix::BitMatrix;
+use hyperfex_hdc::classify::ClassAccumulators;
+use hyperfex_hdc::distill::{discrimination_scores, BitSelection};
 use hyperfex_hdc::encoding::{FeatureSpec, QuarantineReport, RecordEncoder, RecordSchema};
 use hyperfex_ml::Matrix;
 
@@ -199,6 +201,61 @@ impl HdcFeatureExtractor {
         Ok(encoder.encode_features(table.row(row))?)
     }
 
+    /// Distils the fitted encoder down to the `k_bits` most
+    /// class-discriminative bit positions.
+    ///
+    /// Encodes the selected rows (training rows — pass the same selection
+    /// used for [`HdcFeatureExtractor::fit`] to avoid leaking test-set
+    /// statistics), accumulates per-class per-bit set counts, ranks bits by
+    /// the [`discrimination_scores`] margin and keeps the top `k_bits`.
+    /// The returned [`DistilledExtractor`] encodes new records *directly*
+    /// at the pruned dimensionality — no full-width detour.
+    pub fn distill(
+        &self,
+        table: &Table,
+        rows: Option<&[usize]>,
+        k_bits: usize,
+    ) -> Result<DistilledExtractor, HyperfexError> {
+        let _span = crate::obs::span("core/distill");
+        let hvs = self.transform(table, rows)?;
+        let all_rows: Vec<usize>;
+        let rows = match rows {
+            Some(r) => r,
+            None => {
+                all_rows = (0..table.n_rows()).collect();
+                &all_rows
+            }
+        };
+        let mut acc = ClassAccumulators::new(self.dim);
+        for (hv, &row) in hvs.iter().zip(rows) {
+            let label = table.labels()[row];
+            acc.grow(label);
+            acc.add(label, hv, 1);
+        }
+        let scores = discrimination_scores(&acc)
+            .map_err(|e| HyperfexError::Pipeline(format!("distillation ranking failed: {e}")))?;
+        let selection = BitSelection::top_k(self.dim, &scores, k_bits)
+            .map_err(|e| HyperfexError::Pipeline(format!("distillation selection failed: {e}")))?;
+        self.distill_with(&selection)
+    }
+
+    /// Distils the fitted encoder with an externally supplied selection
+    /// (e.g. a random control selection for ranked-vs-random ablations, or
+    /// a selection loaded from a serving snapshot).
+    pub fn distill_with(
+        &self,
+        selection: &BitSelection,
+    ) -> Result<DistilledExtractor, HyperfexError> {
+        let encoder = self
+            .encoder
+            .as_ref()
+            .ok_or_else(|| HyperfexError::Pipeline("distill called before fit".into()))?;
+        Ok(DistilledExtractor {
+            encoder: encoder.prune(selection)?,
+            selection: selection.clone(),
+        })
+    }
+
     /// Converts hypervectors into a dense 0/1 `f32` matrix — the "use the
     /// hypervectors to train classification models" step (§II).
     ///
@@ -263,6 +320,77 @@ impl HdcFeatureExtractor {
                 hypervectors[bad].len()
             ))
         })
+    }
+}
+
+/// A fitted extractor remapped into a distilled bit space: encodes records
+/// directly at the pruned dimensionality and can gather already-encoded
+/// full-width hypervectors into the same space (bit-identically — majority
+/// bundling commutes with column gather).
+#[derive(Debug, Clone)]
+pub struct DistilledExtractor {
+    encoder: RecordEncoder,
+    selection: BitSelection,
+}
+
+impl DistilledExtractor {
+    /// The pruned output dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> Dim {
+        self.encoder.dim()
+    }
+
+    /// The bit selection this extractor was distilled with.
+    #[must_use]
+    pub fn selection(&self) -> &BitSelection {
+        &self.selection
+    }
+
+    /// The pruned record encoder.
+    #[must_use]
+    pub fn encoder(&self) -> &RecordEncoder {
+        &self.encoder
+    }
+
+    /// Encodes the selected rows (or all rows) straight into pruned-space
+    /// hypervectors.
+    pub fn transform(
+        &self,
+        table: &Table,
+        rows: Option<&[usize]>,
+    ) -> Result<Vec<BinaryHypervector>, HyperfexError> {
+        let _span = crate::obs::span("core/distilled_transform");
+        let all_rows: Vec<usize>;
+        let rows = match rows {
+            Some(r) => r,
+            None => {
+                all_rows = (0..table.n_rows()).collect();
+                &all_rows
+            }
+        };
+        let mut values = Vec::with_capacity(rows.len());
+        for &i in rows {
+            if table.row_has_missing(i) {
+                return Err(HyperfexError::Pipeline(format!(
+                    "row {i} contains missing values; impute or drop before encoding"
+                )));
+            }
+            values.push(table.row(i).to_vec());
+        }
+        Ok(self.encoder.encode_batch(&values)?)
+    }
+
+    /// Gathers already-encoded full-width hypervectors into the pruned
+    /// space. Equal to re-encoding the same records through
+    /// [`DistilledExtractor::transform`], bit for bit.
+    pub fn gather(
+        &self,
+        hypervectors: &[BinaryHypervector],
+    ) -> Result<Vec<BinaryHypervector>, HyperfexError> {
+        hypervectors
+            .iter()
+            .map(|hv| Ok(self.selection.gather_hypervector(hv)?))
+            .collect()
     }
 }
 
@@ -456,6 +584,50 @@ mod tests {
             a.fit_transform(&table).unwrap(),
             c.fit_transform(&table).unwrap()
         );
+    }
+
+    #[test]
+    fn distill_prunes_and_matches_gathered_encoding() {
+        let table = mixed_table();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(1_000), 5);
+        let hvs = ext.fit_transform(&table).unwrap();
+        let distilled = ext.distill(&table, None, 200).unwrap();
+        assert_eq!(distilled.dim(), Dim::new(200));
+        assert_eq!(distilled.selection().len(), 200);
+        // Direct pruned-space encoding equals gathering the full encoding.
+        let direct = distilled.transform(&table, None).unwrap();
+        let gathered = distilled.gather(&hvs).unwrap();
+        assert_eq!(direct, gathered);
+        assert!(direct.iter().all(|hv| hv.dim() == Dim::new(200)));
+    }
+
+    #[test]
+    fn distill_with_accepts_external_selections() {
+        use hyperfex_hdc::distill::BitSelection;
+        let table = mixed_table();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(512), 3);
+        ext.fit(&table, None).unwrap();
+        let random = BitSelection::random(Dim::new(512), 64, 9).unwrap();
+        let distilled = ext.distill_with(&random).unwrap();
+        assert_eq!(distilled.dim(), Dim::new(64));
+        assert_eq!(distilled.selection(), &random);
+        // Unfitted extractor refuses.
+        let unfitted = HdcFeatureExtractor::new(Dim::new(512), 3);
+        assert!(unfitted.distill_with(&random).is_err());
+        assert!(unfitted.distill(&table, None, 10).is_err());
+    }
+
+    #[test]
+    fn distilled_ranking_prefers_discriminative_bits() {
+        // Ranked selection at k bits should classify at least as well as
+        // chance and its selection must be a valid ascending subset.
+        let table = mixed_table();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(2_000), 7);
+        ext.fit(&table, None).unwrap();
+        let d = ext.distill(&table, None, 500).unwrap();
+        let indices = d.selection().indices();
+        assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        assert!(indices.iter().all(|&i| i < 2_000));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! accuracy and cost for 1k…30k-bit hypervectors, plus the HDC classifier
 //! variant comparison.
 
-use hyperfex::experiments::ablation;
+use hyperfex::experiments::{ablation, distill};
 use hyperfex_experiments::{fail, Cli};
 
 fn main() {
@@ -14,6 +14,23 @@ fn main() {
         let points = ablation::dimensionality_sweep(table, &dims, cli.config.seed)
             .unwrap_or_else(|e| fail(e));
         cli.emit(&ablation::sweep_report(&points, label));
+    }
+
+    // Distilled rows: instead of *encoding* at a smaller width, prune a
+    // trained full-width model down to its most discriminative bits (the
+    // `pareto_distill` binary runs the full ladder with latency numbers).
+    for (label, table) in [("Pima R", &datasets.pima_r), ("Syhlet", &datasets.sylhet)] {
+        let pruned_dims = [(cli.config.dim / 10).max(1), (cli.config.dim / 5).max(1)];
+        let sweep = distill::pareto_sweep(
+            table,
+            cli.config.dim(),
+            &pruned_dims,
+            cli.config.seed,
+            label,
+            3,
+        )
+        .unwrap_or_else(|e| fail(e));
+        println!("{}", distill::pareto_report(&sweep).render());
     }
 
     println!("HDC classifier variants (dim = {}):", cli.config.dim);

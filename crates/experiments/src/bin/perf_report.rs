@@ -14,10 +14,20 @@ use hyperfex::experiments::{hv_features, Datasets, ExperimentConfig};
 use hyperfex::models::{make_model, ModelKind};
 use hyperfex::obs::{self, Recorder, RunReport};
 use hyperfex::prelude::*;
+use hyperfex_hdc::bitmatrix::{hamming_between, BitMatrix};
 use hyperfex_hdc::classify::LeaveOneOut;
 use serde::Serialize;
+use std::hint::black_box;
 use std::path::PathBuf;
 use std::process::exit;
+use std::time::Instant;
+
+/// Bucket bounds for the per-query/per-record latency histograms (ns);
+/// `cargo xtask bench` lifts their p50/p95 into the `BENCH_4.json` e2e
+/// block.
+const LATENCY_BOUNDS_NS: &[f64] = &[1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+/// Rows sampled for the latency histograms.
+const LATENCY_SAMPLES: usize = 64;
 
 /// Headline end-to-end numbers `cargo xtask bench` folds into
 /// `BENCH_4.json`.
@@ -133,6 +143,41 @@ fn run(config: &ExperimentConfig, seed: u64, quick: bool) -> Result<PerfReport, 
     let loocv = obs::timer("perf/loocv");
     let outcome = LeaveOneOut::new().run(&hvs, table.labels())?;
     let loocv_secs = loocv.finish().as_secs_f64();
+
+    // Per-record encode and per-query predict latency distributions, the
+    // latter at full width and distilled to one-fifth width (2k bits at
+    // paper scale) — the serving trade `reports/pareto.json` quantifies.
+    let sample_rows: Vec<usize> = (0..table.n_rows().min(LATENCY_SAMPLES)).collect();
+    for &row in &sample_rows {
+        let start = Instant::now();
+        black_box(extractor.transform(table, Some(&sample_rows[row..=row]))?);
+        obs::observe(
+            "perf/encode_record_ns",
+            LATENCY_BOUNDS_NS,
+            start.elapsed().as_secs_f64() * 1e9,
+        );
+    }
+    let bank = BitMatrix::from_hypervectors(&hvs)?;
+    let distilled = extractor.distill(table, None, (dim.get() / 5).max(1))?;
+    let pruned_bank = distilled.selection().gather_matrix(&bank)?;
+    for hv in hvs.iter().take(LATENCY_SAMPLES) {
+        let query = BitMatrix::from_hypervectors(std::slice::from_ref(hv))?;
+        let start = Instant::now();
+        black_box(hamming_between(&query, &bank)?);
+        obs::observe(
+            "perf/predict_query_ns",
+            LATENCY_BOUNDS_NS,
+            start.elapsed().as_secs_f64() * 1e9,
+        );
+        let pruned_query = distilled.selection().gather_matrix(&query)?;
+        let start = Instant::now();
+        black_box(hamming_between(&pruned_query, &pruned_bank)?);
+        obs::observe(
+            "perf/pruned_predict_query_ns",
+            LATENCY_BOUNDS_NS,
+            start.elapsed().as_secs_f64() * 1e9,
+        );
+    }
 
     let fit = obs::timer("perf/hybrid_fit");
     let hv_matrix = hv_features(table, dim, seed)?;

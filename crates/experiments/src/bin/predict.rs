@@ -99,6 +99,8 @@ fn main() {
         pima_csv: None,
         sylhet_csv: None,
         json_out: None,
+        out_dir: None,
+        gate: false,
     };
     let mut i = 0;
     while i < passthrough.len() {

@@ -19,6 +19,10 @@ pub struct Cli {
     pub sylhet_csv: Option<PathBuf>,
     /// Where to write the JSON report.
     pub json_out: Option<PathBuf>,
+    /// Directory for multi-file report artifacts (`pareto_distill`).
+    pub out_dir: Option<PathBuf>,
+    /// Run in CI-gate mode: check thresholds and exit nonzero on breach.
+    pub gate: bool,
 }
 
 impl Cli {
@@ -28,6 +32,8 @@ impl Cli {
     /// * `--dim N`, `--seed N`, `--repeats N`, `--folds N`
     /// * `--pima-csv PATH`, `--sylhet-csv PATH` — use real data
     /// * `--json PATH` — also write the table as JSON
+    /// * `--out DIR` — directory for multi-file artifacts
+    /// * `--gate` — CI-gate mode (exit nonzero on threshold breach)
     #[must_use]
     pub fn parse(binary: &str) -> Self {
         let mut cli = Cli {
@@ -35,6 +41,8 @@ impl Cli {
             pima_csv: None,
             sylhet_csv: None,
             json_out: None,
+            out_dir: None,
+            gate: false,
         };
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
@@ -76,10 +84,16 @@ impl Cli {
                     cli.json_out = Some(PathBuf::from(value()));
                     i += 1;
                 }
+                "--out" => {
+                    cli.out_dir = Some(PathBuf::from(value()));
+                    i += 1;
+                }
+                "--gate" => cli.gate = true,
                 "--help" | "-h" => {
                     println!(
                         "usage: {binary} [--quick|--paper] [--dim N] [--seed N] [--repeats N] \
-                         [--folds N] [--pima-csv PATH] [--sylhet-csv PATH] [--json PATH]"
+                         [--folds N] [--pima-csv PATH] [--sylhet-csv PATH] [--json PATH] \
+                         [--out DIR] [--gate]"
                     );
                     exit(0);
                 }

@@ -77,6 +77,18 @@ impl CategoricalEncoder {
     pub fn code(&self, category: usize) -> Option<&BinaryHypervector> {
         self.codes.get(category)
     }
+
+    /// Remaps this encoder onto the bits retained by `selection` by
+    /// gathering every category code:
+    /// `pruned.encode(c) == selection.gather(self.encode(c))` bit-exactly.
+    pub fn prune(&self, selection: &crate::distill::BitSelection) -> Result<Self, HdcError> {
+        let codes = self
+            .codes
+            .iter()
+            .map(|c| selection.gather_hypervector(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { codes })
+    }
 }
 
 #[cfg(test)]

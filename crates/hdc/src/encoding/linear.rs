@@ -4,8 +4,10 @@ use crate::binary::{debug_assert_tail_invariant, BinaryHypervector, Dim, WORD_BI
 use crate::error::HdcError;
 use crate::rng::SplitMix64;
 
-/// Flip pairs per precomputed checkpoint mask (see [`LinearEncoder`]).
-const CHECKPOINT_STRIDE: usize = 64;
+/// Flip pairs per precomputed checkpoint mask (see [`LinearEncoder`]);
+/// shared with the pruned encoder, whose checkpoints stride over retained
+/// flip entries instead of flip pairs.
+pub(crate) const CHECKPOINT_STRIDE: usize = 64;
 
 /// Level encoder for a continuous feature over `[min, max]`.
 ///

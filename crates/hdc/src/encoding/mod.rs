@@ -15,8 +15,9 @@
 
 mod categorical;
 mod item_memory;
-mod linear;
+pub(crate) mod linear;
 mod ngram;
+mod pruned;
 mod quantized;
 mod record;
 
@@ -24,6 +25,7 @@ pub use categorical::CategoricalEncoder;
 pub use item_memory::ItemMemory;
 pub use linear::LinearEncoder;
 pub use ngram::NgramEncoder;
+pub use pruned::PrunedLinearEncoder;
 pub use quantized::QuantizedLinearEncoder;
 pub use record::{
     FeatureKind, FeatureSpec, LenientBatch, QuarantineEntry, QuarantineReport, RecordEncoder,
@@ -43,6 +45,8 @@ use crate::error::HdcError;
 pub enum FeatureEncoder {
     /// Level encoding of a continuous value.
     Linear(LinearEncoder),
+    /// Level encoding remapped into a distilled (pruned) bit space.
+    PrunedLinear(PrunedLinearEncoder),
     /// Quantized level encoding (finite resolution).
     Quantized(QuantizedLinearEncoder),
     /// Discrete category lookup.
@@ -59,6 +63,7 @@ impl FeatureEncoder {
     pub fn encode(&self, value: f64) -> Result<BinaryHypervector, HdcError> {
         match self {
             Self::Linear(e) => e.encode_checked(value),
+            Self::PrunedLinear(e) => e.encode_checked(value),
             Self::Quantized(e) => e.encode(value).cloned(),
             Self::Categorical(e) => {
                 if !value.is_finite() {
@@ -92,6 +97,10 @@ impl FeatureEncoder {
                 e.encode_checked_into(value, scratch)?;
                 bundler.push(scratch)
             }
+            Self::PrunedLinear(e) => {
+                e.encode_checked_into(value, scratch)?;
+                bundler.push(scratch)
+            }
             Self::Quantized(e) => bundler.push(e.encode(value)?),
             Self::Categorical(e) => {
                 if !value.is_finite() {
@@ -112,8 +121,21 @@ impl FeatureEncoder {
     pub fn dim(&self) -> Dim {
         match self {
             Self::Linear(e) => e.dim(),
+            Self::PrunedLinear(e) => e.dim(),
             Self::Quantized(e) => e.dim(),
             Self::Categorical(e) => e.dim(),
         }
+    }
+
+    /// Remaps this encoder onto the bits retained by `selection`:
+    /// `pruned.encode(v) == selection.gather(self.encode(v))` bit-exactly
+    /// for every value `v` the original accepts.
+    pub fn prune(&self, selection: &crate::distill::BitSelection) -> Result<Self, HdcError> {
+        Ok(match self {
+            Self::Linear(e) => Self::PrunedLinear(PrunedLinearEncoder::new(e, selection)?),
+            Self::PrunedLinear(e) => Self::PrunedLinear(e.prune(selection)?),
+            Self::Quantized(e) => Self::Quantized(e.prune(selection)?),
+            Self::Categorical(e) => Self::Categorical(e.prune(selection)?),
+        })
     }
 }

@@ -78,6 +78,25 @@ impl QuantizedLinearEncoder {
     pub fn codes(&self) -> &[BinaryHypervector] {
         &self.codes
     }
+
+    /// Remaps this encoder onto the bits retained by `selection` by
+    /// gathering every level code. Value→level snapping is unchanged, so
+    /// `pruned.encode(t) == selection.gather(self.encode(t))` bit-exactly.
+    pub fn prune(
+        &self,
+        selection: &crate::distill::BitSelection,
+    ) -> Result<Self, crate::error::HdcError> {
+        let codes = self
+            .codes
+            .iter()
+            .map(|c| selection.gather_hypervector(c))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            min: self.min,
+            max: self.max,
+            codes,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,32 @@ impl RecordEncoder {
         &self.encoders
     }
 
+    /// Remaps every feature encoder onto the bits retained by `selection`,
+    /// producing an encoder that emits pruned-dimensionality records
+    /// directly — no full-width detour at encode time.
+    ///
+    /// Because majority bundling is per-bit, the remap is exact:
+    /// `pruned.encode_record(v) == selection.gather(self.encode_record(v))`
+    /// bit for bit, including the tie → 1 rule. The schema is unchanged.
+    pub fn prune(&self, selection: &crate::distill::BitSelection) -> Result<Self, HdcError> {
+        if selection.source_dim() != self.dim {
+            return Err(HdcError::DimensionMismatch {
+                left: self.dim.get(),
+                right: selection.source_dim().get(),
+            });
+        }
+        let encoders = self
+            .encoders
+            .iter()
+            .map(|e| e.prune(selection))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            schema: self.schema.clone(),
+            encoders,
+            dim: selection.dim(),
+        })
+    }
+
     /// Encodes each feature of one record into its own hypervector.
     pub fn encode_features(&self, values: &[f64]) -> Result<Vec<BinaryHypervector>, HdcError> {
         if values.len() != self.encoders.len() {

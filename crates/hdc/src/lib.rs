@@ -21,6 +21,9 @@
 //!   mistake-driven trainers (perceptron / passive-aggressive / LVQ) with
 //!   streaming `partial_fit`, and a leave-one-out cross-validation harness
 //!   parallelised with rayon.
+//! * [`distill`] — dimension distillation: rank bit positions by class
+//!   discrimination and gather the top-k columns into a dense pruned space
+//!   for low-latency serving.
 //! * [`ternary`] and [`bipolar`] — the alternative hypervector backends the
 //!   paper mentions (§II: "ternary ... and integer hypervectors could also
 //!   be used").
@@ -53,6 +56,7 @@ pub mod bipolar;
 pub mod bitmatrix;
 pub mod bundle;
 pub mod classify;
+pub mod distill;
 pub mod encoding;
 pub mod error;
 pub mod failpoint;
@@ -66,6 +70,7 @@ pub mod ternary;
 pub use binary::{BinaryHypervector, Dim};
 pub use bipolar::BipolarHypervector;
 pub use bitmatrix::BitMatrix;
+pub use distill::BitSelection;
 pub use error::HdcError;
 pub use sdm::SparseDistributedMemory;
 pub use ternary::TernaryHypervector;
@@ -80,9 +85,10 @@ pub mod prelude {
         fit_pocketed, CentroidClassifier, HammingKnnClassifier, LeaveOneOut, LoocvOutcome,
         LvqTrainer, OnlineTrainer, PassiveAggressiveTrainer, PerceptronTrainer,
     };
+    pub use crate::distill::{discrimination_scores, permutation_scores, BitSelection};
     pub use crate::encoding::{
-        CategoricalEncoder, FeatureEncoder, LenientBatch, LinearEncoder, QuarantineEntry,
-        QuarantineReport, RecordEncoder, RecordSchema, RecordScratch,
+        CategoricalEncoder, FeatureEncoder, LenientBatch, LinearEncoder, PrunedLinearEncoder,
+        QuarantineEntry, QuarantineReport, RecordEncoder, RecordSchema, RecordScratch,
     };
     pub use crate::error::HdcError;
     pub use crate::rng::SplitMix64;

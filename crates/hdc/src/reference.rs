@@ -10,6 +10,7 @@
 
 use crate::binary::BinaryHypervector;
 use crate::bitmatrix::BitMatrix;
+use crate::distill::BitSelection;
 use crate::encoding::LinearEncoder;
 use crate::error::HdcError;
 
@@ -120,6 +121,30 @@ pub fn masked_scatter_add(m: &BitMatrix, row: usize, delta: f64, out: &mut [f64]
     for c in (0..m.dim().get()).filter(|&c| m.get(row, c)) {
         out[c] += delta;
     }
+}
+
+/// Per-bit column gather: output bit `p` is input bit `selection.indices()[p]`,
+/// read and written one bit at a time.
+#[must_use]
+pub fn gather_hypervector(selection: &BitSelection, hv: &BinaryHypervector) -> BinaryHypervector {
+    let mut out = BinaryHypervector::zeros(selection.dim());
+    for (p, &i) in selection.indices().iter().enumerate() {
+        out.set(p, hv.get(i as usize));
+    }
+    out
+}
+
+/// Per-bit column gather over a [`BitMatrix`]: every row is gathered
+/// independently with [`gather_hypervector`] semantics.
+#[must_use]
+pub fn gather_matrix(selection: &BitSelection, m: &BitMatrix) -> BitMatrix {
+    let mut out = BitMatrix::zeros(m.n_rows(), selection.dim());
+    for r in 0..m.n_rows() {
+        for (p, &i) in selection.indices().iter().enumerate() {
+            out.set(r, p, m.get(r, i as usize));
+        }
+    }
+    out
 }
 
 /// Per-bit symmetric pairwise Hamming matrix, row-major `n·n` entries.

@@ -1,0 +1,112 @@
+//! Property tests for the distillation gather kernels: the word-level
+//! column gather must be bit-for-bit identical to the scalar per-bit
+//! oracle across dimensionalities, including non-multiple-of-64 tail-word
+//! cases, and gathered outputs must preserve the tail invariant.
+
+use hyperfex_hdc::binary::{BinaryHypervector, Dim};
+use hyperfex_hdc::bitmatrix::BitMatrix;
+use hyperfex_hdc::distill::BitSelection;
+use hyperfex_hdc::reference;
+use hyperfex_hdc::rng::SplitMix64;
+use proptest::prelude::*;
+
+/// Dimensionalities that exercise exact-word, one-bit-tail and mid-tail
+/// packing, plus the paper scale with a ragged tail.
+const DIMS: [usize; 6] = [64, 65, 127, 130, 1_000, 10_050];
+
+fn dim_strategy() -> impl Strategy<Value = usize> {
+    (0usize..DIMS.len()).prop_map(|i| DIMS[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gather_matches_scalar_oracle(
+        d in dim_strategy(),
+        hv_seed in any::<u64>(),
+        sel_seed in any::<u64>(),
+        keep_permille in 1usize..=1000,
+    ) {
+        let dim = Dim::new(d);
+        let mut rng = SplitMix64::new(hv_seed);
+        let hv = BinaryHypervector::random(dim, &mut rng);
+        let k = (d * keep_permille / 1000).max(1);
+        let sel = BitSelection::random(dim, k, sel_seed).unwrap();
+        let fast = sel.gather_hypervector(&hv).unwrap();
+        let slow = reference::gather_hypervector(&sel, &hv);
+        prop_assert_eq!(&fast, &slow);
+        prop_assert!(fast.tail_invariant_ok());
+        prop_assert_eq!(fast.dim().get(), k);
+    }
+
+    #[test]
+    fn matrix_gather_matches_scalar_oracle(
+        d in dim_strategy(),
+        seed in any::<u64>(),
+        n_rows in 1usize..6,
+        k_permille in 1usize..=1000,
+    ) {
+        let dim = Dim::new(d);
+        let mut rng = SplitMix64::new(seed);
+        let rows: Vec<BinaryHypervector> = (0..n_rows)
+            .map(|_| BinaryHypervector::random(dim, &mut rng))
+            .collect();
+        let m = BitMatrix::from_hypervectors(&rows).unwrap();
+        let k = (d * k_permille / 1000).max(1);
+        let sel = BitSelection::random(dim, k, seed ^ 0xABCD).unwrap();
+        let fast = sel.gather_matrix(&m).unwrap();
+        let slow = reference::gather_matrix(&sel, &m);
+        prop_assert_eq!(fast.raw_words(), slow.raw_words());
+        prop_assert_eq!(fast.n_rows(), n_rows);
+        prop_assert_eq!(fast.dim().get(), k);
+    }
+
+    #[test]
+    fn gather_preserves_hamming_on_retained_bits(
+        d in dim_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // Hamming distance restricted to the retained coordinates equals
+        // the distance between the gathered vectors: the gather is an
+        // isometric embedding of the selected sub-cube.
+        let dim = Dim::new(d);
+        let mut rng = SplitMix64::new(seed);
+        let a = BinaryHypervector::random(dim, &mut rng);
+        let b = BinaryHypervector::random(dim, &mut rng);
+        let sel = BitSelection::random(dim, (d / 3).max(1), seed).unwrap();
+        let expected = sel
+            .indices()
+            .iter()
+            .filter(|&&i| a.get(i as usize) != b.get(i as usize))
+            .count();
+        let ga = sel.gather_hypervector(&a).unwrap();
+        let gb = sel.gather_hypervector(&b).unwrap();
+        prop_assert_eq!(ga.try_hamming(&gb).unwrap(), expected);
+    }
+
+    #[test]
+    fn top_k_and_random_selections_compose_with_gather(
+        d in dim_strategy(),
+        seed in any::<u64>(),
+    ) {
+        // A nested gather (select k, then select j of those) equals the
+        // composed selection applied once.
+        let dim = Dim::new(d);
+        let mut rng = SplitMix64::new(seed);
+        let hv = BinaryHypervector::random(dim, &mut rng);
+        let k = (d / 2).max(2);
+        let outer = BitSelection::random(dim, k, seed).unwrap();
+        let inner = BitSelection::random(Dim::new(k), (k / 2).max(1), !seed).unwrap();
+        let two_step = inner
+            .gather_hypervector(&outer.gather_hypervector(&hv).unwrap())
+            .unwrap();
+        let composed_indices: Vec<u32> = inner
+            .indices()
+            .iter()
+            .map(|&p| outer.indices()[p as usize])
+            .collect();
+        let composed = BitSelection::new(dim, composed_indices).unwrap();
+        prop_assert_eq!(composed.gather_hypervector(&hv).unwrap(), two_step);
+    }
+}

@@ -1,0 +1,143 @@
+//! Pruned-encoder parity suite: encoding a record at full width and then
+//! gathering the selected columns must be bit-identical to encoding
+//! through the remapped (pruned) encoder — for every feature-encoder kind,
+//! over tail-word dimensionalities including the paper scale 10_050.
+
+use hyperfex_hdc::binary::Dim;
+use hyperfex_hdc::distill::BitSelection;
+use hyperfex_hdc::encoding::{FeatureSpec, RecordEncoder, RecordSchema, RecordScratch};
+use hyperfex_hdc::rng::SplitMix64;
+use proptest::prelude::*;
+
+fn mixed_schema() -> RecordSchema {
+    RecordSchema::new(vec![
+        FeatureSpec::continuous("age", 21.0, 81.0),
+        FeatureSpec::continuous("glucose", 56.0, 198.0),
+        FeatureSpec::binary("polyuria"),
+        FeatureSpec::categorical("tier", 3),
+    ])
+}
+
+fn rows() -> Vec<Vec<f64>> {
+    vec![
+        vec![21.0, 56.0, 0.0, 0.0],
+        vec![30.0, 100.0, 1.0, 2.0],
+        vec![55.5, 127.3, 0.0, 1.0],
+        vec![81.0, 198.0, 1.0, 2.0],
+        vec![100.0, 20.0, 0.0, 0.0], // out-of-range continuous values clamp
+    ]
+}
+
+/// Tail-word coverage: exact word, one-bit tail, mid tail, paper scale.
+const DIMS: [usize; 5] = [128, 129, 1_000, 4_096, 10_050];
+
+#[test]
+fn record_parity_across_tail_word_dims() {
+    for d in DIMS {
+        let dim = Dim::new(d);
+        let enc = RecordEncoder::new(dim, mixed_schema(), 7).unwrap();
+        for &k in &[1usize, 63, 64, d / 7 + 1, d / 2, d - 1, d] {
+            let sel = BitSelection::random(dim, k, 0xBEEF ^ k as u64).unwrap();
+            let pruned = enc.prune(&sel).unwrap();
+            assert_eq!(pruned.dim().get(), k);
+            for row in rows() {
+                let full = enc.encode_record(&row).unwrap();
+                let gathered = sel.gather_hypervector(&full).unwrap();
+                let direct = pruned.encode_record(&row).unwrap();
+                assert_eq!(direct, gathered, "d={d} k={k} row={row:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn quantized_record_parity() {
+    for d in [129, 10_050] {
+        let dim = Dim::new(d);
+        let enc = RecordEncoder::with_quantization(dim, mixed_schema(), 11, Some(16)).unwrap();
+        let sel = BitSelection::random(dim, d / 5, 3).unwrap();
+        let pruned = enc.prune(&sel).unwrap();
+        for row in rows() {
+            let gathered = sel
+                .gather_hypervector(&enc.encode_record(&row).unwrap())
+                .unwrap();
+            assert_eq!(pruned.encode_record(&row).unwrap(), gathered, "d={d}");
+        }
+    }
+}
+
+#[test]
+fn pruned_batch_and_scratch_paths_agree() {
+    let dim = Dim::new(10_050);
+    let enc = RecordEncoder::new(dim, mixed_schema(), 21).unwrap();
+    let sel = BitSelection::random(dim, 2_000, 9).unwrap();
+    let pruned = enc.prune(&sel).unwrap();
+    let batch = pruned.encode_batch(&rows()).unwrap();
+    let mut scratch = RecordScratch::new(pruned.dim());
+    for (row, hv) in rows().iter().zip(&batch) {
+        assert_eq!(hv, &pruned.encode_record_with(row, &mut scratch).unwrap());
+        assert!(hv.tail_invariant_ok());
+    }
+}
+
+#[test]
+fn pruned_encoder_rejects_mismatched_selection() {
+    let enc = RecordEncoder::new(Dim::new(1_000), mixed_schema(), 1).unwrap();
+    let sel = BitSelection::random(Dim::new(999), 10, 0).unwrap();
+    assert!(enc.prune(&sel).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn parity_holds_for_random_selections_and_values(
+        d in (0usize..3).prop_map(|i| [130usize, 1_000, 10_050][i]),
+        sel_seed in any::<u64>(),
+        enc_seed in any::<u64>(),
+        age in 0.0f64..120.0,
+        glucose in 0.0f64..250.0,
+        yes in 0usize..2,
+        tier in 0usize..3,
+        keep_permille in 1usize..=1000,
+    ) {
+        let dim = Dim::new(d);
+        let enc = RecordEncoder::new(dim, mixed_schema(), enc_seed).unwrap();
+        let k = (d * keep_permille / 1000).max(1);
+        let sel = BitSelection::random(dim, k, sel_seed).unwrap();
+        let pruned = enc.prune(&sel).unwrap();
+        let row = vec![age, glucose, yes as f64, tier as f64];
+        let gathered = sel
+            .gather_hypervector(&enc.encode_record(&row).unwrap())
+            .unwrap();
+        prop_assert_eq!(pruned.encode_record(&row).unwrap(), gathered);
+    }
+
+    #[test]
+    fn feature_level_parity(
+        sel_seed in any::<u64>(),
+        t in -10.0f64..110.0,
+    ) {
+        // Per-feature parity (before bundling) at the paper's ragged tail.
+        let dim = Dim::new(10_050);
+        let enc = RecordEncoder::new(dim, mixed_schema(), 5).unwrap();
+        let sel = BitSelection::random(dim, 1_500, sel_seed).unwrap();
+        let pruned = enc.prune(&sel).unwrap();
+        let row = vec![t.clamp(21.0, 81.0), t.clamp(56.0, 198.0), 1.0, 2.0];
+        let full = enc.encode_features(&row).unwrap();
+        let direct = pruned.encode_features(&row).unwrap();
+        for (f, g) in full.iter().zip(&direct) {
+            prop_assert_eq!(&sel.gather_hypervector(f).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn rng_sanity(seed in any::<u64>()) {
+        // The selection RNG must stay within bounds for any seed (guards
+        // the `random` path the parity tests above depend on).
+        let sel = BitSelection::random(Dim::new(257), 64, seed).unwrap();
+        prop_assert!(sel.indices().iter().all(|&i| i < 257));
+        let mut rng = SplitMix64::new(seed);
+        prop_assert!(rng.next_bounded(257) < 257);
+    }
+}

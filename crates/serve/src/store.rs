@@ -18,11 +18,17 @@ use std::path::{Path, PathBuf};
 use hyperfex_hdc::binary::Dim;
 use hyperfex_hdc::bitmatrix::{hamming_between, BitMatrix};
 use hyperfex_hdc::classify::ClassAccumulators;
+use hyperfex_hdc::distill::BitSelection;
 use hyperfex_hdc::{failpoint, BinaryHypervector};
 
 use crate::error::ServeError;
 use crate::obs;
 use crate::snapshot::{self, ShardRecord};
+
+/// One k-NN candidate as `(distance, shard, row, label)`; the tuple order
+/// doubles as the deterministic tie-break order, so comparing candidates
+/// compares distance first, then shard index, then row.
+type Candidate = (u32, u32, u32, u32);
 
 /// One shard that failed recovery and was quarantined instead of served.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +149,28 @@ impl HvStore {
             shards,
             accums: Some(accums),
         })
+    }
+
+    /// Builds a store from full-width records by first gathering each one
+    /// through a distillation [`BitSelection`], so the bank (and every
+    /// centroid accumulator) lives entirely in the pruned space.
+    ///
+    /// Queries against the resulting store must be encoded at the pruned
+    /// dimensionality — either through a remapped encoder
+    /// (`RecordEncoder::prune`) or by gathering full-width queries with the
+    /// same selection; the two are bit-identical.
+    pub fn build_pruned(
+        records: &[BinaryHypervector],
+        labels: &[usize],
+        n_shards: usize,
+        selection: &BitSelection,
+    ) -> Result<Self, ServeError> {
+        let _span = obs::span("serve/build_pruned");
+        let pruned = records
+            .iter()
+            .map(|hv| selection.gather_hypervector(hv))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::build(&pruned, labels, n_shards)
     }
 
     /// Dimensionality of every stored hypervector.
@@ -343,38 +371,77 @@ impl HvStore {
             }));
         }
 
+        // Each shard computes its own per-query top-k independently on a
+        // rayon worker; every spawned task owns exactly one pre-allocated
+        // output slot, so the region shares nothing mutable. The serial
+        // merge below then keeps the k globally smallest candidate tuples
+        // per query — identical to folding shards one by one, because both
+        // are "the k smallest elements" of the same candidate multiset and
+        // the (distance, shard, row, label) tuple order makes every
+        // candidate distinct. Shard scheduling order therefore cannot
+        // change the result.
+        let n_queries = queries.len();
+        let mut shard_tops: Vec<Result<Vec<Vec<Candidate>>, ServeError>> = Vec::new();
+        shard_tops.resize_with(self.shards.len(), || Ok(Vec::new()));
+        let query_matrix = &query_matrix;
+        rayon::scope(|s| {
+            for (slot, shard) in shard_tops.iter_mut().zip(&self.shards) {
+                s.spawn(move |_| {
+                    *slot = Self::shard_candidates(query_matrix, shard, k, n_queries);
+                });
+            }
+        });
+
         // Per-query top-k candidates as (distance, shard, row, label),
         // kept sorted ascending; the tuple order is the tie-break order.
-        let mut best: Vec<Vec<(u32, u32, u32, u32)>> =
-            vec![Vec::with_capacity(k + 1); queries.len()];
-        for shard in &self.shards {
-            let rows = shard.bank.n_rows();
-            let distances = hamming_between(&query_matrix, &shard.bank)?;
-            for (qi, row_distances) in distances.chunks(rows.max(1)).enumerate() {
-                let Some(heap) = best.get_mut(qi) else {
-                    continue;
-                };
-                for (row, &distance) in row_distances.iter().enumerate() {
-                    let worst = heap.last().map_or(u32::MAX, |c| c.0);
-                    if heap.len() == k && distance >= worst {
-                        continue;
-                    }
-                    let label = shard.labels.get(row).copied().unwrap_or(0);
-                    let row_u32 = u32::try_from(row).unwrap_or(u32::MAX);
-                    let candidate = (distance, shard.shard_index, row_u32, label);
-                    let at = heap.partition_point(|c| *c <= candidate);
-                    heap.insert(at, candidate);
-                    heap.truncate(k);
-                }
+        let mut best: Vec<Vec<Candidate>> = vec![Vec::with_capacity(k + 1); n_queries];
+        for tops in shard_tops {
+            for (heap, shard_heap) in best.iter_mut().zip(tops?) {
+                heap.extend(shard_heap);
             }
+        }
+        for heap in &mut best {
+            heap.sort_unstable();
+            heap.truncate(k);
         }
 
         Ok(best.iter().map(|heap| Self::vote(heap)).collect())
     }
 
+    /// One shard's sorted per-query top-k candidate lists — the unit of
+    /// work a rayon task computes in [`HvStore::predict_batch`].
+    fn shard_candidates(
+        query_matrix: &BitMatrix,
+        shard: &ShardRecord,
+        k: usize,
+        n_queries: usize,
+    ) -> Result<Vec<Vec<Candidate>>, ServeError> {
+        let rows = shard.bank.n_rows();
+        let distances = hamming_between(query_matrix, &shard.bank)?;
+        let mut tops: Vec<Vec<Candidate>> = vec![Vec::with_capacity(k + 1); n_queries];
+        for (qi, row_distances) in distances.chunks(rows.max(1)).enumerate() {
+            let Some(heap) = tops.get_mut(qi) else {
+                continue;
+            };
+            for (row, &distance) in row_distances.iter().enumerate() {
+                let worst = heap.last().map_or(u32::MAX, |c| c.0);
+                if heap.len() == k && distance >= worst {
+                    continue;
+                }
+                let label = shard.labels.get(row).copied().unwrap_or(0);
+                let row_u32 = u32::try_from(row).unwrap_or(u32::MAX);
+                let candidate = (distance, shard.shard_index, row_u32, label);
+                let at = heap.partition_point(|c| *c <= candidate);
+                heap.insert(at, candidate);
+                heap.truncate(k);
+            }
+        }
+        Ok(tops)
+    }
+
     /// Majority vote over one query's sorted candidate list; ties go to
     /// the label appearing earliest (i.e. with the nearest member).
-    fn vote(candidates: &[(u32, u32, u32, u32)]) -> usize {
+    fn vote(candidates: &[Candidate]) -> usize {
         let mut tally: Vec<(u32, usize)> = Vec::new();
         for &(_, _, _, label) in candidates {
             match tally.iter_mut().find(|(l, _)| *l == label) {
@@ -496,6 +563,115 @@ mod tests {
             ServeError::Hdc(hyperfex_hdc::HdcError::InvalidConfig(_))
         ));
         assert!(store.predict_batch(&[], 1).is_err());
+    }
+
+    /// Serial reference for `predict_batch`: fold every shard's distances
+    /// in shard order exactly as the pre-parallel implementation did.
+    fn serial_reference_predict(
+        store: &HvStore,
+        queries: &[BinaryHypervector],
+        k: usize,
+    ) -> Vec<usize> {
+        let query_matrix = BitMatrix::from_hypervectors(queries).unwrap();
+        let mut best: Vec<Vec<Candidate>> = vec![Vec::with_capacity(k + 1); queries.len()];
+        for shard in &store.shards {
+            let rows = shard.bank.n_rows();
+            let distances = hamming_between(&query_matrix, &shard.bank).unwrap();
+            for (qi, row_distances) in distances.chunks(rows.max(1)).enumerate() {
+                let heap = &mut best[qi];
+                for (row, &distance) in row_distances.iter().enumerate() {
+                    let worst = heap.last().map_or(u32::MAX, |c| c.0);
+                    if heap.len() == k && distance >= worst {
+                        continue;
+                    }
+                    let candidate = (
+                        distance,
+                        shard.shard_index,
+                        u32::try_from(row).unwrap(),
+                        shard.labels[row],
+                    );
+                    let at = heap.partition_point(|c| *c <= candidate);
+                    heap.insert(at, candidate);
+                    heap.truncate(k);
+                }
+            }
+        }
+        best.iter().map(|heap| HvStore::vote(heap)).collect()
+    }
+
+    #[test]
+    fn shard_parallel_top_k_matches_serial_order() {
+        let cohort = small_cohort(6);
+        let mut rng = SplitMix64::new(11);
+        let queries: Vec<BinaryHypervector> = (0..25)
+            .map(|i| {
+                cohort.prototypes[i % 3]
+                    .flip_balanced(60, &mut rng)
+                    .unwrap()
+            })
+            .collect();
+        for n_shards in [1, 3, 7, 60] {
+            let store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
+            for k in [1, 3, 5, 60] {
+                let expected = serial_reference_predict(&store, &queries, k);
+                let got = store.predict_batch(&queries, k).unwrap();
+                assert_eq!(got, expected, "n_shards={n_shards} k={k}");
+                // And the parallel path is self-consistent across runs.
+                assert_eq!(store.predict_batch(&queries, k).unwrap(), got);
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_layout_does_not_change_predictions() {
+        // Distance ties across shard boundaries resolve by (shard, row) —
+        // i.e. by global row order — so any shard count yields the same
+        // predictions as the single-shard store.
+        let cohort = small_cohort(7);
+        let single = HvStore::build(&cohort.records, &cohort.labels, 1).unwrap();
+        let queries = &cohort.records[..10];
+        for n_shards in [2, 5, 13, 60] {
+            let sharded = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
+            for k in [1, 4, 9] {
+                assert_eq!(
+                    sharded.predict_batch(queries, k).unwrap(),
+                    single.predict_batch(queries, k).unwrap(),
+                    "n_shards={n_shards} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn build_pruned_serves_in_the_pruned_space() {
+        let cohort = small_cohort(8);
+        let selection = BitSelection::random(Dim::new(256), 96, 42).unwrap();
+        let store = HvStore::build_pruned(&cohort.records, &cohort.labels, 4, &selection).unwrap();
+        assert_eq!(store.dim(), selection.dim());
+        assert_eq!(store.n_rows(), cohort.records.len());
+
+        // Full-width queries no longer fit; gathered queries do, and the
+        // store behaves exactly like one built from pre-gathered records.
+        assert!(store.predict_batch(&cohort.records[..2], 1).is_err());
+        let gathered: Vec<BinaryHypervector> = cohort
+            .records
+            .iter()
+            .map(|hv| selection.gather_hypervector(hv).unwrap())
+            .collect();
+        let manual = HvStore::build(&gathered, &cohort.labels, 4).unwrap();
+        assert_eq!(store, manual);
+        assert_eq!(
+            store.predict_batch(&gathered[..10], 3).unwrap(),
+            manual.predict_batch(&gathered[..10], 3).unwrap()
+        );
+
+        // Centroid accumulators live in the pruned space too.
+        let acc = store.accumulators().unwrap();
+        assert_eq!(acc.dim(), selection.dim());
+        for (class, proto) in cohort.prototypes.iter().enumerate() {
+            let probe = selection.gather_hypervector(proto).unwrap();
+            assert_eq!(acc.predict(&probe).unwrap(), class);
+        }
     }
 
     #[test]

@@ -48,7 +48,7 @@ pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
     let _ = fs::remove_file(&kernels_path);
     let mut cmd = Command::new("cargo");
     cmd.current_dir(root)
-        .args(["bench", "-p", "hyperfex-bench"])
+        .args(["bench", "--locked", "-p", "hyperfex-bench"])
         .env("HYPERFEX_BENCH_JSON", &kernels_path);
     if quick {
         cmd.env("HYPERFEX_BENCH_SAMPLES", "5");
@@ -68,6 +68,7 @@ pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
     let mut cmd = Command::new("cargo");
     cmd.current_dir(root).args([
         "run",
+        "--locked",
         "--release",
         "-p",
         "hyperfex-experiments",
@@ -93,6 +94,9 @@ pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
     if let Some(wall) = perf.get("report").and_then(|r| r.get("wall_secs")) {
         e2e.insert("pipeline_wall_secs".to_string(), wall.clone());
     }
+    for (key, value) in histogram_quantile_rows(&perf) {
+        e2e.insert(key, Json::Num(value));
+    }
 
     // 3. Serving-plane throughput and recovery run.
     let serve_path = target.join("serve-bench.json");
@@ -100,6 +104,7 @@ pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
     let mut cmd = Command::new("cargo");
     cmd.current_dir(root).args([
         "run",
+        "--locked",
         "--release",
         "-p",
         "hyperfex-serve",
@@ -279,6 +284,38 @@ pub fn compare(baseline: &Json, current: &Json, fail_ratio: f64, warn_ratio: f64
     outcome
 }
 
+/// Lifts every latency histogram (name ending `_ns`) out of the perf
+/// report's metrics snapshot as `<base>_p50_ns` / `<base>_p95_ns` rows
+/// for the artifact's `e2e` block, where `<base>` is the histogram name
+/// with `/` flattened to `_` and the `_ns` suffix moved after the
+/// quantile. The suffix keeps the rows inside `bench-compare`'s
+/// lower-is-better tracking.
+fn histogram_quantile_rows(perf: &Json) -> Vec<(String, f64)> {
+    let Some(Json::Arr(hists)) = perf
+        .get("report")
+        .and_then(|r| r.get("metrics"))
+        .and_then(|m| m.get("histograms"))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for hist in hists {
+        let Some(name) = hist.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base) = name.strip_suffix("_ns") else {
+            continue;
+        };
+        let base = base.replace('/', "_");
+        for quantile in ["p50", "p95"] {
+            if let Some(value) = hist.get(quantile).and_then(Json::as_f64) {
+                out.push((format!("{base}_{quantile}_ns"), value));
+            }
+        }
+    }
+    out
+}
+
 /// Parses the `HYPERFEX_BENCH_JSON` side-channel file: one JSON object per
 /// line, keyed by benchmark name.
 fn read_kernel_lines(path: &Path) -> Result<BTreeMap<String, f64>, String> {
@@ -409,6 +446,32 @@ mod tests {
         // count is informational and never compared.
         assert_eq!(outcome.compared, 2);
         assert_eq!(outcome.regressions.len(), 2);
+    }
+
+    #[test]
+    fn latency_histograms_become_tracked_quantile_rows() {
+        let perf = json::parse(
+            r#"{"report": {"metrics": {"histograms": [
+                 {"name": "perf/predict_query_ns", "p50": 52000.0, "p95": 61000.0},
+                 {"name": "perf/pruned_predict_query_ns", "p50": 10500.0, "p95": null},
+                 {"name": "report_test/distance", "p50": 0.5, "p95": 0.9}
+               ]}}}"#,
+        )
+        .unwrap();
+        let rows = histogram_quantile_rows(&perf);
+        // Value-shaped histograms are skipped; a null quantile is skipped;
+        // slashes flatten so the keys stay plain `_ns` metric names.
+        assert_eq!(
+            rows,
+            vec![
+                ("perf_predict_query_p50_ns".to_string(), 52_000.0),
+                ("perf_predict_query_p95_ns".to_string(), 61_000.0),
+                ("perf_pruned_predict_query_p50_ns".to_string(), 10_500.0),
+            ]
+        );
+        for (key, _) in &rows {
+            assert_eq!(direction(key), Some(true), "{key} must be tracked");
+        }
     }
 
     #[test]

@@ -107,8 +107,8 @@ pub fn run(root: &Path) -> Result<bool, String> {
         let mut combo_ok = true;
         for (sub, args) in combo.steps {
             let mut cmd = Command::new("cargo");
-            cmd.arg(sub).args(*args).current_dir(root);
-            println!("ci-matrix:   cargo {} {}", sub, args.join(" "));
+            cmd.arg(sub).arg("--locked").args(*args).current_dir(root);
+            println!("ci-matrix:   cargo {} --locked {}", sub, args.join(" "));
             let status = cmd
                 .status()
                 .map_err(|e| format!("spawning cargo {sub}: {e}"))?;
