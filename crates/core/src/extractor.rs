@@ -1,12 +1,13 @@
 //! The paper's feature-extraction stage: records → patient hypervectors.
 
 use crate::error::HyperfexError;
-use hyperfex_data::{ColumnKind, Table};
+use hyperfex_data::{ColumnKind, ColumnSpec, Table};
 use hyperfex_hdc::binary::{BinaryHypervector, Dim};
 use hyperfex_hdc::bitmatrix::BitMatrix;
 use hyperfex_hdc::classify::ClassAccumulators;
 use hyperfex_hdc::distill::{discrimination_scores, BitSelection};
 use hyperfex_hdc::encoding::{FeatureSpec, QuarantineReport, RecordEncoder, RecordSchema};
+use hyperfex_hdc::stream::{RecordStream, StreamEncoder, StreamOutcome, StreamSink};
 use hyperfex_ml::Matrix;
 
 /// Encodes patient records into binary hypervectors and exposes them in
@@ -171,6 +172,136 @@ impl HdcFeatureExtractor {
             kept_rows,
             report: batch.report,
         })
+    }
+
+    /// Fits the per-feature encoders from a [`RecordStream`] in a single
+    /// pass with O(columns) state: per-column min/max watermarks for
+    /// continuous features, nothing for binary ones.
+    ///
+    /// The column schema cannot be inferred from a bare value stream, so
+    /// the caller supplies it (e.g. `table.columns()` or a hand-built
+    /// `ColumnSpec` list for synthetic cohorts). Records whose arity does
+    /// not match the schema, and `NaN`/missing values, are *skipped for
+    /// range purposes* — range fitting is a statistic, not an encode, so a
+    /// bad record narrows nothing; encode-time strictness happens later in
+    /// [`HdcFeatureExtractor::transform_stream`].
+    pub fn fit_stream<S: RecordStream + ?Sized>(
+        &mut self,
+        columns: &[ColumnSpec],
+        stream: &mut S,
+    ) -> Result<(), HyperfexError> {
+        let _span = crate::obs::span("core/extractor_fit_stream");
+        if columns.is_empty() {
+            return Err(HyperfexError::Pipeline(
+                "cannot fit on an empty column schema".into(),
+            ));
+        }
+        let mut ranges: Vec<Option<(f64, f64)>> = vec![None; columns.len()];
+        let mut values = Vec::with_capacity(columns.len());
+        let mut seen = 0usize;
+        loop {
+            values.clear();
+            if stream.next_record(&mut values).is_none() {
+                break;
+            }
+            seen += 1;
+            if values.len() != columns.len() {
+                continue;
+            }
+            for (slot, &v) in ranges.iter_mut().zip(&values) {
+                if !v.is_finite() {
+                    continue;
+                }
+                match slot {
+                    Some((min, max)) => {
+                        *min = min.min(v);
+                        *max = max.max(v);
+                    }
+                    None => *slot = Some((v, v)),
+                }
+            }
+        }
+        if seen == 0 {
+            return Err(HyperfexError::Pipeline(
+                "cannot fit on an empty record stream".into(),
+            ));
+        }
+        let mut specs = Vec::with_capacity(columns.len());
+        for (spec, range) in columns.iter().zip(&ranges) {
+            match spec.kind {
+                ColumnKind::Binary => specs.push(FeatureSpec::binary(spec.name.clone())),
+                ColumnKind::Continuous => {
+                    let (min, max) = range.ok_or_else(|| {
+                        HyperfexError::Pipeline(format!(
+                            "column `{}` has no observed values to fit a range",
+                            spec.name
+                        ))
+                    })?;
+                    // Degenerate (constant) columns get a token range so the
+                    // encoder stays valid; every value maps to the seed code.
+                    let (min, max) = if max > min {
+                        (min, max)
+                    } else {
+                        (min, min + 1.0)
+                    };
+                    specs.push(FeatureSpec::continuous(spec.name.clone(), min, max));
+                }
+            }
+        }
+        self.encoder = Some(RecordEncoder::with_quantization(
+            self.dim,
+            RecordSchema::new(specs),
+            self.seed,
+            self.levels,
+        )?);
+        Ok(())
+    }
+
+    /// A [`StreamEncoder`] borrowing the fitted record encoder, for callers
+    /// that want to configure micro-batching or drive sinks directly.
+    pub fn stream_encoder(&self) -> Result<StreamEncoder<'_>, HyperfexError> {
+        let encoder = self
+            .encoder
+            .as_ref()
+            .ok_or_else(|| HyperfexError::Pipeline("transform called before fit".into()))?;
+        Ok(StreamEncoder::new(encoder))
+    }
+
+    /// Encodes a [`RecordStream`] straight into a [`StreamSink`] without
+    /// ever materialising the cohort: peak memory is one micro-batch plus
+    /// the sink's own O(dim) state, independent of stream length.
+    ///
+    /// Strict: the first record that fails to encode aborts with its typed
+    /// error (mirroring [`HdcFeatureExtractor::transform`]). Returns the
+    /// number of records absorbed by the sink.
+    pub fn transform_stream<S, K>(&self, stream: &mut S, sink: &mut K) -> Result<usize, HyperfexError>
+    where
+        S: RecordStream + ?Sized,
+        K: StreamSink + ?Sized,
+    {
+        let _span = crate::obs::span("core/transform_stream");
+        Ok(self.stream_encoder()?.encode_stream(stream, sink)?)
+    }
+
+    /// Lenient variant of [`HdcFeatureExtractor::transform_stream`]:
+    /// records that cannot be encoded are quarantined instead of aborting,
+    /// mirroring [`HdcFeatureExtractor::transform_lenient`]. The returned
+    /// [`StreamOutcome`] accounts for every record seen
+    /// (`kept + quarantined == seen`).
+    pub fn transform_stream_lenient<S, K>(
+        &self,
+        stream: &mut S,
+        sink: &mut K,
+    ) -> Result<StreamOutcome, HyperfexError>
+    where
+        S: RecordStream + ?Sized,
+        K: StreamSink + ?Sized,
+    {
+        let _span = crate::obs::span("core/transform_stream_lenient");
+        let outcome = self.stream_encoder()?.encode_stream_lenient(stream, sink)?;
+        crate::obs::counter_add("core/rows_kept", outcome.report.kept() as u64);
+        crate::obs::counter_add("core/rows_quarantined", outcome.report.quarantined() as u64);
+        Ok(outcome)
     }
 
     /// Fit on all rows, then transform all rows.
@@ -408,6 +539,75 @@ pub struct LenientTransform {
     pub report: QuarantineReport,
 }
 
+/// Adapts a [`Table`] (or a row selection of one) into a [`RecordStream`],
+/// yielding each row's values and its label. Lets in-memory cohorts flow
+/// through the same single-pass [`HdcFeatureExtractor::transform_stream`]
+/// path as unbounded sources, which is how the streaming-vs-batch
+/// equivalence tests drive both pipelines from one table.
+#[derive(Debug)]
+pub struct TableStream<'a> {
+    table: &'a Table,
+    rows: Option<&'a [usize]>,
+    pos: usize,
+}
+
+impl<'a> TableStream<'a> {
+    /// Streams the given row selection, or every row when `rows` is `None`.
+    ///
+    /// Out-of-bounds indices in the selection are reported up front, so
+    /// `next_record` never panics mid-stream.
+    pub fn new(table: &'a Table, rows: Option<&'a [usize]>) -> Result<Self, HyperfexError> {
+        if let Some(selection) = rows {
+            if let Some(&bad) = selection.iter().find(|&&i| i >= table.n_rows()) {
+                return Err(HyperfexError::Pipeline(format!(
+                    "row selection index {bad} is out of bounds for a table of {} rows",
+                    table.n_rows()
+                )));
+            }
+        }
+        Ok(Self {
+            table,
+            rows,
+            pos: 0,
+        })
+    }
+
+    /// Number of records this stream will yield in total.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.map_or(self.table.n_rows(), <[usize]>::len)
+    }
+
+    /// Whether the stream yields no records at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rewinds to the first record, so one adapter can drive a fit pass
+    /// and then an encode pass without rebuilding it.
+    pub fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+impl RecordStream for TableStream<'_> {
+    fn next_record(&mut self, values: &mut Vec<f64>) -> Option<usize> {
+        let row = match self.rows {
+            Some(selection) => *selection.get(self.pos)?,
+            None => {
+                if self.pos >= self.table.n_rows() {
+                    return None;
+                }
+                self.pos
+            }
+        };
+        self.pos += 1;
+        values.extend_from_slice(self.table.row(row));
+        Some(self.table.labels()[row])
+    }
+}
+
 /// Writes the bits of `hv` into `row` as 0.0/1.0, reading the packed words
 /// directly instead of the per-bit getter.
 fn unpack_bits_into(hv: &BinaryHypervector, row: &mut [f32]) {
@@ -635,5 +835,87 @@ mod tests {
         let table = Table::new(vec![ColumnSpec::continuous("a")], vec![], vec![]).unwrap();
         let mut ext = HdcFeatureExtractor::new(Dim::new(64), 0);
         assert!(ext.fit(&table, None).is_err());
+    }
+
+    #[test]
+    fn fit_stream_matches_batch_fit_bit_exactly() {
+        let table = mixed_table();
+        let mut batch = HdcFeatureExtractor::new(Dim::new(1_000), 5);
+        batch.fit(&table, None).unwrap();
+        let batch_hvs = batch.transform(&table, None).unwrap();
+
+        let mut streamed = HdcFeatureExtractor::new(Dim::new(1_000), 5);
+        let mut fit_pass = TableStream::new(&table, None).unwrap();
+        streamed.fit_stream(table.columns(), &mut fit_pass).unwrap();
+        let mut encode_pass = TableStream::new(&table, None).unwrap();
+        let mut sink = hyperfex_hdc::stream::CollectSink::default();
+        let absorbed = streamed
+            .transform_stream(&mut encode_pass, &mut sink)
+            .unwrap();
+        assert_eq!(absorbed, table.n_rows());
+        assert_eq!(sink.labels(), table.labels());
+        let (stream_hvs, _) = sink.into_parts();
+        assert_eq!(stream_hvs, batch_hvs);
+    }
+
+    #[test]
+    fn table_stream_respects_row_selection_and_rewind() {
+        let table = mixed_table();
+        let rows = [2usize, 0];
+        let mut stream = TableStream::new(&table, Some(&rows)).unwrap();
+        assert_eq!(stream.len(), 2);
+        let mut values = Vec::new();
+        assert_eq!(stream.next_record(&mut values), Some(table.labels()[2]));
+        assert_eq!(values, table.row(2));
+        stream.rewind();
+        values.clear();
+        assert_eq!(stream.next_record(&mut values), Some(table.labels()[2]));
+        assert!(TableStream::new(&table, Some(&[99])).is_err());
+    }
+
+    #[test]
+    fn transform_stream_lenient_quarantines_bad_rows() {
+        let table = Table::new(
+            vec![
+                ColumnSpec::continuous("glucose"),
+                ColumnSpec::binary("polyuria"),
+            ],
+            vec![
+                vec![90.0, 0.0],
+                vec![f64::NAN, 1.0],
+                vec![180.0, 1.0],
+            ],
+            vec![0, 1, 1],
+        )
+        .unwrap();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(512), 3);
+        // Range fitting skips the NaN row's bad cell but still sees row 3.
+        let mut fit_pass = TableStream::new(&table, None).unwrap();
+        ext.fit_stream(table.columns(), &mut fit_pass).unwrap();
+
+        let mut strict_pass = TableStream::new(&table, None).unwrap();
+        let mut sink = hyperfex_hdc::stream::CollectSink::default();
+        assert!(ext.transform_stream(&mut strict_pass, &mut sink).is_err());
+
+        let mut lenient_pass = TableStream::new(&table, None).unwrap();
+        let mut sink = hyperfex_hdc::stream::CollectSink::default();
+        let outcome = ext
+            .transform_stream_lenient(&mut lenient_pass, &mut sink)
+            .unwrap();
+        assert_eq!(outcome.report.total(), 3);
+        assert_eq!(outcome.report.kept(), 2);
+        assert_eq!(outcome.report.quarantined(), 1);
+        assert_eq!(outcome.absorbed, 2);
+        assert_eq!(sink.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn fit_stream_rejects_empty_streams_and_schemas() {
+        let table = mixed_table();
+        let mut ext = HdcFeatureExtractor::new(Dim::new(64), 0);
+        let mut stream = TableStream::new(&table, Some(&[])).unwrap();
+        assert!(ext.fit_stream(table.columns(), &mut stream).is_err());
+        let mut stream = TableStream::new(&table, None).unwrap();
+        assert!(ext.fit_stream(&[], &mut stream).is_err());
     }
 }

@@ -51,7 +51,7 @@ pub mod online;
 pub mod risk;
 
 pub use error::HyperfexError;
-pub use extractor::{DistilledExtractor, HdcFeatureExtractor, LenientTransform};
+pub use extractor::{DistilledExtractor, HdcFeatureExtractor, LenientTransform, TableStream};
 pub use hamming::{HammingModel, RobustLoocv};
 pub use hybrid::HybridClassifier;
 pub use online::OnlineHdcModel;
@@ -59,7 +59,9 @@ pub use online::OnlineHdcModel;
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::error::HyperfexError;
-    pub use crate::extractor::{DistilledExtractor, HdcFeatureExtractor, LenientTransform};
+    pub use crate::extractor::{
+        DistilledExtractor, HdcFeatureExtractor, LenientTransform, TableStream,
+    };
     pub use crate::hamming::{HammingModel, RobustLoocv};
     pub use crate::hybrid::HybridClassifier;
     pub use crate::models::{make_model, ModelKind, PAPER_MODELS};

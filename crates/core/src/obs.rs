@@ -13,14 +13,17 @@
 //! stays a zero-cost no-op without the feature.
 
 #[cfg(feature = "obs")]
-pub use hyperfex_obs::{counter_add, current_depth, observe, reset, span, SpanGuard};
+pub use hyperfex_obs::{
+    counter_add, current_depth, gauge_max, gauge_value, observe, reset, span, SpanGuard,
+};
 
 // lint: gate-ok (report types are instrumented-build-only by design: a
 // snapshot of a build that records nothing would be a lie; consumers of
 // these names are themselves cfg(feature = "obs")-gated)
 #[cfg(feature = "obs")]
 pub use hyperfex_obs::{
-    snapshot, CounterSnapshot, HistogramSnapshot, Recorder, RunReport, Snapshot, SpanSnapshot,
+    snapshot, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Recorder, RunReport, Snapshot,
+    SpanSnapshot,
 };
 
 #[cfg(not(feature = "obs"))]
@@ -45,6 +48,17 @@ mod noop {
     #[inline(always)]
     pub fn observe(_name: &'static str, _bounds: &'static [f64], _value: f64) {}
 
+    /// No-op gauge watermark; compiled out without the `obs` feature.
+    #[inline(always)]
+    pub fn gauge_max(_name: &'static str, _value: u64) {}
+
+    /// Always 0 without the `obs` feature.
+    #[inline(always)]
+    #[must_use]
+    pub fn gauge_value(_name: &'static str) -> u64 {
+        0
+    }
+
     /// Always 0 without the `obs` feature.
     #[inline(always)]
     #[must_use]
@@ -58,7 +72,7 @@ mod noop {
 }
 
 #[cfg(not(feature = "obs"))]
-pub use noop::{counter_add, current_depth, observe, reset, span, SpanGuard};
+pub use noop::{counter_add, current_depth, gauge_max, gauge_value, observe, reset, span, SpanGuard};
 
 /// A stage timer that always measures wall-clock time.
 ///

@@ -14,8 +14,11 @@ use hyperfex_hdc::binary::BinaryHypervector;
 use hyperfex_hdc::rng::SplitMix64;
 use hyperfex_hdc::HdcError;
 
-/// Every failpoint compiled into the pipeline, in execution order.
-pub const PIPELINE_FAILPOINTS: [&str; 9] = [
+/// Every failpoint compiled into the pipeline, in execution order —
+/// except that seams added after a release are appended at the end, so
+/// the per-seam RNG draws of [`FaultPlan::random`] stay aligned for the
+/// seeds older chaos transcripts were generated from.
+pub const PIPELINE_FAILPOINTS: [&str; 10] = [
     "data/load_csv",
     "data/impute",
     "hdc/encode_batch",
@@ -25,6 +28,7 @@ pub const PIPELINE_FAILPOINTS: [&str; 9] = [
     "serve/snapshot_write",
     "serve/snapshot_load",
     "serve/batch_predict",
+    "hdc/stream_encode",
 ];
 
 /// One deterministic configuration of all three injector layers.

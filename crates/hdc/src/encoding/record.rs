@@ -373,6 +373,14 @@ impl RecordEncoder {
             out.extend(slot?);
         }
         obs::counter_add("hdc/records_encoded", out.len() as u64);
+        // The batch path materializes every input row and output
+        // hypervector at once — the O(rows × dim) footprint the streaming
+        // pipeline exists to avoid (see `crate::stream`).
+        let arity = self.schema.arity();
+        obs::gauge_max(
+            "hdc/batch_peak_bytes",
+            (rows.len() * (arity + self.dim.words()) * 8) as u64,
+        );
         Ok(out)
     }
 }
@@ -396,7 +404,7 @@ pub struct QuarantineReport {
 }
 
 impl QuarantineReport {
-    fn new(total: usize, entries: Vec<QuarantineEntry>) -> Self {
+    pub(crate) fn new(total: usize, entries: Vec<QuarantineEntry>) -> Self {
         Self { total, entries }
     }
 

@@ -65,6 +65,7 @@ pub mod reference;
 pub mod rng;
 pub mod sdm;
 pub mod similarity;
+pub mod stream;
 pub mod ternary;
 
 pub use binary::{BinaryHypervector, Dim};
@@ -94,6 +95,10 @@ pub mod prelude {
     pub use crate::rng::SplitMix64;
     pub use crate::sdm::SparseDistributedMemory;
     pub use crate::similarity::{cosine_from_hamming, normalized_hamming};
+    pub use crate::stream::{
+        BundlerSink, ClassAccumulatorSink, CollectSink, FnStream, RecordStream, RowStream,
+        StreamEncoder, StreamOutcome, StreamSink, TrainerSink,
+    };
     pub use crate::ternary::TernaryHypervector;
 }
 

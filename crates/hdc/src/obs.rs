@@ -8,7 +8,7 @@
 //! [`crate::failpoint`].
 
 #[cfg(feature = "obs")]
-pub use hyperfex_obs::{counter_add, current_depth, observe, span, SpanGuard};
+pub use hyperfex_obs::{counter_add, current_depth, gauge_max, observe, span, SpanGuard};
 
 #[cfg(not(feature = "obs"))]
 mod noop {
@@ -32,6 +32,10 @@ mod noop {
     #[inline(always)]
     pub fn observe(_name: &'static str, _bounds: &'static [f64], _value: f64) {}
 
+    /// No-op gauge watermark; compiled out without the `obs` feature.
+    #[inline(always)]
+    pub fn gauge_max(_name: &'static str, _value: u64) {}
+
     /// Always 0 without the `obs` feature.
     #[inline(always)]
     #[must_use]
@@ -41,4 +45,4 @@ mod noop {
 }
 
 #[cfg(not(feature = "obs"))]
-pub use noop::{counter_add, current_depth, observe, span, SpanGuard};
+pub use noop::{counter_add, current_depth, gauge_max, observe, span, SpanGuard};

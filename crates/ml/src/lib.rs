@@ -39,6 +39,7 @@ pub mod nn;
 pub mod obs;
 pub mod online;
 pub mod preprocessing;
+pub mod stream;
 pub mod svm;
 pub mod traits;
 pub mod tree;
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use crate::nn::{EarlyStopping, SequentialNn, SequentialNnParams};
     pub use crate::online::{OnlineHdcClassifier, OnlineTrainerKind};
     pub use crate::preprocessing::{MinMaxScaler, StandardScaler};
+    pub use crate::stream::EstimatorSink;
     pub use crate::svm::{Kernel, SvcClassifier, SvcParams};
     pub use crate::traits::{densify, Estimator, Features, ProbabilisticEstimator};
     pub use crate::tree::{DecisionTreeClassifier, TreeParams};

@@ -170,6 +170,46 @@ pub(crate) fn validate_fit_inputs(x: &Matrix, y: &[usize]) -> Result<usize, MlEr
     Ok(n_classes)
 }
 
+/// Validates a `partial_fit` mini-batch; returns the number of classes
+/// *referenced by this batch* (`max label + 1`).
+///
+/// Deliberately relaxed compared to [`validate_fit_inputs`]: a streaming
+/// mini-batch may legitimately contain a single class (or even a single
+/// record), so the `SingleClass` check does not apply — class coverage is
+/// a property of the whole stream, not of any one window of it.
+pub(crate) fn validate_partial_fit_inputs(x: &Matrix, y: &[usize]) -> Result<usize, MlError> {
+    crate::obs::counter_add("ml/partial_fits", 1);
+    if x.n_rows() == 0 || x.n_cols() == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if x.n_rows() != y.len() {
+        return Err(MlError::LabelLengthMismatch {
+            rows: x.n_rows(),
+            labels: y.len(),
+        });
+    }
+    x.check_finite()?;
+    Ok(y.iter().copied().max().unwrap_or(0) + 1)
+}
+
+/// Packed-input analogue of [`validate_partial_fit_inputs`].
+pub(crate) fn validate_packed_partial_fit_inputs(
+    x: &BitMatrix,
+    y: &[usize],
+) -> Result<usize, MlError> {
+    crate::obs::counter_add("ml/partial_fits", 1);
+    if x.n_rows() == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    if x.n_rows() != y.len() {
+        return Err(MlError::LabelLengthMismatch {
+            rows: x.n_rows(),
+            labels: y.len(),
+        });
+    }
+    Ok(y.iter().copied().max().unwrap_or(0) + 1)
+}
+
 /// Packed-input analogue of [`validate_fit_inputs`]: same checks minus
 /// finiteness, which holds trivially for bits.
 pub(crate) fn validate_packed_fit_inputs(x: &BitMatrix, y: &[usize]) -> Result<usize, MlError> {

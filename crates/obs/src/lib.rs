@@ -35,7 +35,8 @@ mod span;
 
 pub use metrics::Histogram;
 pub use report::{
-    snapshot, CounterSnapshot, HistogramSnapshot, Recorder, RunReport, Snapshot, SpanSnapshot,
+    snapshot, CounterSnapshot, GaugeSnapshot, HistogramSnapshot, Recorder, RunReport, Snapshot,
+    SpanSnapshot,
 };
 pub use span::{current_depth, span, SpanGuard};
 
@@ -47,6 +48,28 @@ pub fn counter_add(name: &'static str, delta: u64) {
     registry::global()
         .counter(name)
         .fetch_add(delta, Ordering::Relaxed);
+}
+
+/// Raises the named high-water-mark gauge to `value` if it exceeds the
+/// current mark, registering the gauge on first use.
+///
+/// Gauges are monotone-per-reset watermarks (peak resident bytes, largest
+/// batch seen, …): concurrent reporters race benignly — `fetch_max` keeps
+/// the largest value regardless of ordering — and [`reset`] drops the mark
+/// back to zero.
+pub fn gauge_max(name: &'static str, value: u64) {
+    // lint: relaxed-ok (monotone watermark; fetch_max commutes, readers
+    // need the peak, not ordering)
+    registry::global()
+        .gauge(name)
+        .fetch_max(value, Ordering::Relaxed);
+}
+
+/// Reads the named gauge's current high-water mark (0 when unregistered).
+#[must_use]
+pub fn gauge_value(name: &'static str) -> u64 {
+    // lint: relaxed-ok (single-cell read of a monotone watermark)
+    registry::global().gauge(name).load(Ordering::Relaxed)
 }
 
 /// Records `value` into the named histogram, registering it with `bounds`
@@ -115,16 +138,36 @@ mod tests {
     }
 
     #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let _guard = test_lock();
+        reset();
+        gauge_max("lib_test/peak", 40);
+        gauge_max("lib_test/peak", 100);
+        gauge_max("lib_test/peak", 70);
+        assert_eq!(gauge_value("lib_test/peak"), 100);
+        let snap = snapshot();
+        let g = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "lib_test/peak")
+            .expect("gauge registered");
+        assert_eq!(g.value, 100);
+        assert_eq!(gauge_value("lib_test/unregistered"), 0);
+    }
+
+    #[test]
     fn reset_clears_everything() {
         let _guard = test_lock();
         reset();
         counter_add("lib_test/gone", 1);
+        gauge_max("lib_test/gone_peak", 9);
         {
             let _s = span("lib_test/gone_span");
         }
         reset();
         let snap = snapshot();
         assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
         assert!(snap.spans.is_empty());
         assert_eq!(snap.peak_span_depth, 0);
     }

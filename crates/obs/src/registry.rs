@@ -36,6 +36,10 @@ pub(crate) struct SpanStat {
 pub(crate) struct Registry {
     pub counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
     pub histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+    /// High-water-mark gauges (e.g. peak resident bytes of a streaming
+    /// encode); updated with `fetch_max`, so the stored value is the
+    /// largest ever reported since the last reset.
+    pub gauges: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
     pub spans: RwLock<BTreeMap<String, Arc<SpanStat>>>,
     /// Deepest span nesting seen since the last reset, across all threads.
     pub peak_depth: AtomicUsize,
@@ -47,6 +51,7 @@ pub(crate) fn global() -> &'static Registry {
     REGISTRY.get_or_init(|| Registry {
         counters: RwLock::new(BTreeMap::new()),
         histograms: RwLock::new(BTreeMap::new()),
+        gauges: RwLock::new(BTreeMap::new()),
         spans: RwLock::new(BTreeMap::new()),
         peak_depth: AtomicUsize::new(0),
     })
@@ -75,6 +80,18 @@ impl Registry {
             write(&self.histograms)
                 .entry(name)
                 .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Finds or registers the high-water-mark gauge cell for `name`.
+    pub fn gauge(&self, name: &'static str) -> Arc<AtomicU64> {
+        if let Some(cell) = read(&self.gauges).get(name) {
+            return Arc::clone(cell);
+        }
+        Arc::clone(
+            write(&self.gauges)
+                .entry(name)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
         )
     }
 
@@ -112,6 +129,7 @@ impl Registry {
         // lint: relaxed-ok (watermark reset; races lose a stale peak at worst)
         write(&self.counters).clear();
         write(&self.histograms).clear();
+        write(&self.gauges).clear();
         write(&self.spans).clear();
         self.peak_depth.store(0, Ordering::Relaxed);
     }

@@ -39,6 +39,15 @@ pub struct HistogramSnapshot {
     pub p95: Option<f64>,
 }
 
+/// One high-water-mark gauge's value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Metric name (e.g. `hdc/stream_peak_bytes`).
+    pub name: String,
+    /// Largest value reported since the last reset.
+    pub value: u64,
+}
+
 /// Aggregate statistics of one span path.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpanSnapshot {
@@ -61,6 +70,8 @@ pub struct SpanSnapshot {
 pub struct Snapshot {
     /// All counters, sorted by name.
     pub counters: Vec<CounterSnapshot>,
+    /// All high-water-mark gauges, sorted by name.
+    pub gauges: Vec<GaugeSnapshot>,
     /// All histograms, sorted by name.
     pub histograms: Vec<HistogramSnapshot>,
     /// All span paths, sorted by path.
@@ -100,6 +111,13 @@ impl Snapshot {
                 hist.sum = 0.0;
                 hist.p50 = None;
                 hist.p95 = None;
+            }
+        }
+        // Gauges are structural watermarks (buffer footprints, batch
+        // sizes); only timing-suffixed ones are measurements to strip.
+        for gauge in &mut out.gauges {
+            if is_timing_metric(&gauge.name) {
+                gauge.value = 0;
             }
         }
         out
@@ -147,6 +165,18 @@ pub fn snapshot() -> Snapshot {
             })
             .collect()
     };
+    let gauges = {
+        let map = reg
+            .gauges
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        map.iter()
+            .map(|(&name, cell)| GaugeSnapshot {
+                name: name.to_string(),
+                value: cell.load(Ordering::Relaxed),
+            })
+            .collect()
+    };
     let spans = {
         let map = reg
             .spans
@@ -168,6 +198,7 @@ pub fn snapshot() -> Snapshot {
     };
     Snapshot {
         counters,
+        gauges,
         histograms,
         spans,
         peak_span_depth: reg.peak_depth.load(Ordering::Relaxed),

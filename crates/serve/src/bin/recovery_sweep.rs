@@ -82,7 +82,7 @@ fn main() {
 fn run(seed: u64) -> Result<Vec<SweepRow>, ServeError> {
     let dim = Dim::try_new(DIM)?;
     let cohort = SyntheticCohort::generate(dim, 2, N_RECORDS, DIM / 8, seed)?;
-    let store = HvStore::build(&cohort.records, &cohort.labels, N_SHARDS)?;
+    let mut store = HvStore::build(&cohort.records, &cohort.labels, N_SHARDS)?;
 
     let base = std::env::temp_dir().join(format!("hyperfex-recovery-sweep-{}", std::process::id()));
     let mut rows = Vec::with_capacity(N_SHARDS + 1);

@@ -52,6 +52,9 @@ struct BenchRow {
     snapshot_open_secs: f64,
     recovery_open_secs: f64,
     predictions_per_sec: f64,
+    append_records_per_sec: f64,
+    dirty_snapshot_secs: f64,
+    dirty_shards_written: usize,
 }
 
 impl BenchRow {
@@ -62,7 +65,9 @@ impl BenchRow {
             "{{\n  \"mode\": \"{}\",\n  \"dim\": {},\n  \"records\": {},\n  \
              \"queries\": {},\n  \"shards\": {},\n  \"build_secs\": {:.6},\n  \
              \"snapshot_write_secs\": {:.6},\n  \"snapshot_open_secs\": {:.6},\n  \
-             \"recovery_open_secs\": {:.6},\n  \"predictions_per_sec\": {:.3}\n}}",
+             \"recovery_open_secs\": {:.6},\n  \"predictions_per_sec\": {:.3},\n  \
+             \"append_records_per_sec\": {:.3},\n  \"dirty_snapshot_secs\": {:.6},\n  \
+             \"dirty_shards_written\": {}\n}}",
             self.mode,
             self.dim,
             self.records,
@@ -73,6 +78,9 @@ impl BenchRow {
             self.snapshot_open_secs,
             self.recovery_open_secs,
             self.predictions_per_sec,
+            self.append_records_per_sec,
+            self.dirty_snapshot_secs,
+            self.dirty_shards_written,
         )
     }
 }
@@ -144,7 +152,7 @@ fn run(profile: &Profile, seed: u64) -> Result<BenchRow, ServeError> {
     let cohort = SyntheticCohort::generate(dim, 2, profile.records, profile.dim / 8, seed)?;
 
     let t = Instant::now();
-    let store = HvStore::build(&cohort.records, &cohort.labels, profile.shards)?;
+    let mut store = HvStore::build(&cohort.records, &cohort.labels, profile.shards)?;
     let build_secs = t.elapsed().as_secs_f64();
 
     let dir = std::env::temp_dir().join(format!("hyperfex-serve-bench-{}", std::process::id()));
@@ -191,6 +199,33 @@ fn run(profile: &Profile, seed: u64) -> Result<BenchRow, ServeError> {
     let predictions = reopened.predict_batch(queries, 5)?;
     let predict_secs = t.elapsed().as_secs_f64();
 
+    // Incremental ingest: stream a 10% tail into the recovered store in
+    // micro-batch-sized appends, then roll a dirty snapshot. The append
+    // crosses at least one shard boundary, so the dirty save includes the
+    // worst case (stale `n_shards` headers forcing a full rewrite).
+    let mut reopened = reopened;
+    let tail = (profile.records / 10).max(1);
+    let t = Instant::now();
+    for chunk_start in (0..tail).step_by(1024) {
+        let chunk = chunk_start..(chunk_start + 1024).min(tail);
+        reopened.append_batch(&cohort.records[chunk.clone()], &cohort.labels[chunk])?;
+    }
+    let append_secs = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let dirty_shards_written = reopened.save_dirty(&dir)?;
+    let dirty_snapshot_secs = t.elapsed().as_secs_f64();
+    let (checked, report) = HvStore::open(&dir)?;
+    if !report.quarantined.is_empty() || checked.n_rows() != profile.records + tail {
+        return Err(ServeError::ShardConflict {
+            detail: format!(
+                "rolling snapshot lost rows: {} of {} recovered, {} quarantined",
+                checked.n_rows(),
+                profile.records + tail,
+                report.quarantined.len()
+            ),
+        });
+    }
+
     drop(std::fs::remove_dir_all(&dir));
     Ok(BenchRow {
         mode: profile.mode,
@@ -203,5 +238,8 @@ fn run(profile: &Profile, seed: u64) -> Result<BenchRow, ServeError> {
         snapshot_open_secs,
         recovery_open_secs,
         predictions_per_sec: predictions.len() as f64 / predict_secs.max(1e-12),
+        append_records_per_sec: tail as f64 / append_secs.max(1e-12),
+        dirty_snapshot_secs,
+        dirty_shards_written,
     })
 }

@@ -21,6 +21,11 @@
 //!   shedding ([`error::ServeError::Overloaded`]) and per-request
 //!   deadlines, including a logical-tick deadline variant so admission
 //!   behaviour is testable without wall clocks.
+//! * [`ingest`] — [`ingest::StoreAppendSink`], the streaming-encode
+//!   endpoint: micro-batched [`store::HvStore::append_batch`] ingestion
+//!   with an optional per-flush [`store::HvStore::save_dirty`] rolling
+//!   snapshot, so an unbounded cohort streams into a servable store with
+//!   O(buffer) transient state.
 //! * [`backoff`] — a seeded exponential-backoff-with-jitter retry policy:
 //!   every delay sequence replays bit-exactly from its seed.
 //! * [`cohort`] — deterministic synthetic cohorts (class prototypes plus
@@ -39,6 +44,7 @@ pub mod admission;
 pub mod backoff;
 pub mod cohort;
 pub mod error;
+pub mod ingest;
 pub mod obs;
 pub mod snapshot;
 pub mod store;
@@ -47,5 +53,6 @@ pub use admission::{AdmissionConfig, BatchFrontend, Completion, Deadline};
 pub use backoff::RetryPolicy;
 pub use cohort::SyntheticCohort;
 pub use error::ServeError;
+pub use ingest::StoreAppendSink;
 pub use snapshot::ShardRecord;
-pub use store::{HvStore, QuarantinedShard, RecoveryReport};
+pub use store::{AppendReport, HvStore, QuarantinedShard, RecoveryReport};

@@ -29,19 +29,28 @@ use std::path::Path;
 
 use hyperfex_hdc::binary::Dim;
 use hyperfex_hdc::classify::ClassAccumulators;
+use hyperfex_hdc::distill::BitSelection;
 use hyperfex_hdc::{failpoint, BitMatrix};
 
 use crate::error::ServeError;
 
 /// Leading bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"HFEXSNAP";
-/// Newest format version this build writes and reads.
-pub const VERSION: u32 = 1;
+/// Newest format version this build writes.
+///
+/// Version 2 added the optional distillation-selection file
+/// ([`SELECTION_FILE_NAME`]); the shard and accumulator layouts are
+/// unchanged, so readers accept [`MIN_VERSION`]`..=`[`VERSION`] and a v1
+/// snapshot opens exactly as before (with no selection).
+pub const VERSION: u32 = 2;
+/// Oldest format version this build still reads.
+pub const MIN_VERSION: u32 = 1;
 
 const TAG_META: [u8; 4] = *b"META";
 const TAG_LABELS: [u8; 4] = *b"LABL";
 const TAG_BANK: [u8; 4] = *b"BANK";
 const TAG_ACCUMS: [u8; 4] = *b"ACCU";
+const TAG_SELECTION: [u8; 4] = *b"BSEL";
 
 /// File name of shard `index` inside a snapshot directory.
 #[must_use]
@@ -51,6 +60,9 @@ pub fn shard_file_name(index: u32) -> String {
 
 /// File name of the optional class-accumulator file.
 pub const ACCUMS_FILE_NAME: &str = "accums.hfex";
+
+/// File name of the optional distillation-selection file (format v2+).
+pub const SELECTION_FILE_NAME: &str = "selection.hfex";
 
 // ---------------------------------------------------------------------------
 // CRC32 (IEEE 802.3 polynomial, reflected), table built at compile time.
@@ -219,6 +231,82 @@ pub fn write_accums(path: &Path, accums: &ClassAccumulators) -> Result<(), Serve
     write_atomic(path, &out)
 }
 
+/// Serializes and atomically writes the distillation-selection file, so a
+/// pruned store round-trips *how* it was pruned — a reopened snapshot can
+/// gather new full-width records (or remap an encoder) without the
+/// training-time pipeline that produced the selection.
+pub fn write_selection(path: &Path, selection: &BitSelection) -> Result<(), ServeError> {
+    let _span = crate::obs::span("serve/snapshot_write");
+    let indices = selection.indices();
+    let mut payload = Vec::with_capacity(16 + indices.len() * 4);
+    // lint: cast-ok (usize -> u64 widening on 64-bit targets)
+    payload.extend_from_slice(&(selection.source_dim().get() as u64).to_le_bytes());
+    // lint: cast-ok (usize -> u64 widening on 64-bit targets)
+    payload.extend_from_slice(&(indices.len() as u64).to_le_bytes());
+    for &index in indices {
+        payload.extend_from_slice(&index.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(16 + payload.len() + 16);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    put_section(&mut out, TAG_SELECTION, &payload);
+    write_atomic(path, &out)
+}
+
+/// Reads and fully validates the distillation-selection file.
+///
+/// `BitSelection`'s own constructor re-validates the invariants the format
+/// cannot express (strictly ascending indices, all below the source
+/// dimensionality), so a corrupted-but-checksum-valid payload still comes
+/// back as a typed corruption error.
+pub fn read_selection(path: &Path) -> Result<BitSelection, ServeError> {
+    let _span = crate::obs::span("serve/snapshot_load");
+    check_load_seam()?;
+    let bytes = fs::read(path).map_err(|e| ServeError::io(path, &e))?;
+    let mut cursor = open_container(path, &bytes)?;
+    let payload = cursor.take_section(TAG_SELECTION, "selection")?;
+    cursor.expect_exhausted()?;
+
+    let mut inner = Cursor {
+        bytes: payload,
+        pos: 0,
+        path,
+    };
+    let from_raw = inner.take_u64("selection")?;
+    let k_raw = inner.take_u64("selection")?;
+    let from = usize::try_from(from_raw)
+        .ok()
+        .and_then(|d| Dim::try_new(d).ok())
+        .ok_or_else(|| {
+            inner.corrupt("selection", format!("impossible source dimensionality {from_raw}"))
+        })?;
+    let k = usize::try_from(k_raw)
+        .map_err(|_| inner.corrupt("selection", format!("impossible index count {k_raw}")))?;
+    if payload.len() != 16 + k * 4 {
+        return Err(inner.corrupt(
+            "selection",
+            format!(
+                "selection payload has {} bytes, expected {} ({k} indices)",
+                payload.len(),
+                16 + k * 4
+            ),
+        ));
+    }
+    let mut indices = Vec::with_capacity(k);
+    for chunk in inner.take(k * 4, "selection")?.chunks_exact(4) {
+        let arr: [u8; 4] = chunk
+            .try_into()
+            .map_err(|_| inner.corrupt("selection", "index read".to_string()))?;
+        indices.push(u32::from_le_bytes(arr));
+    }
+    inner.expect_exhausted()?;
+    BitSelection::new(from, indices).map_err(|e| ServeError::Corrupt {
+        path: path.display().to_string(),
+        section: "selection",
+        detail: e.to_string(),
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Decoding.
 // ---------------------------------------------------------------------------
@@ -337,7 +425,7 @@ fn open_container<'a>(path: &'a Path, bytes: &'a [u8]) -> Result<Cursor<'a>, Ser
         });
     }
     let version = cursor.take_u32("header")?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(ServeError::UnsupportedVersion {
             path: path.display().to_string(),
             found: version,
@@ -661,6 +749,78 @@ mod tests {
             "{err}"
         );
         assert!(err.to_string().contains("dim"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn selection_round_trips_and_rejects_corruption() {
+        let dir = scratch_dir("selection");
+        let path = dir.join(SELECTION_FILE_NAME);
+        let selection = BitSelection::random(Dim::new(10_050), 2_000, 17).unwrap();
+        write_selection(&path, &selection).unwrap();
+        assert_eq!(read_selection(&path).unwrap(), selection);
+
+        // A flipped payload byte is a checksum mismatch, not a panic.
+        let pristine = fs::read(&path).unwrap();
+        let mut bytes = pristine.clone();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_selection(&path).unwrap_err(),
+            ServeError::Corrupt {
+                section: "selection",
+                ..
+            }
+        ));
+
+        // Checksum-valid but semantically broken payloads are caught by
+        // the BitSelection invariants: swap two indices (descending order)
+        // and re-seal the CRC.
+        let mut bytes = pristine;
+        let payload_start = 8 + 4 + 4 + 8; // magic, version, tag, len
+        let first_index = payload_start + 16;
+        let (a, b) = (first_index, first_index + 4);
+        for i in 0..4 {
+            bytes.swap(a + i, b + i);
+        }
+        let crc_start = bytes.len() - 4;
+        let fixed = crc32(&bytes[payload_start..crc_start]);
+        bytes[crc_start..].copy_from_slice(&fixed.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = read_selection(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Corrupt {
+                    section: "selection",
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_1_snapshots_still_read() {
+        // v2 changed nothing about the shard layout; a file stamped v1
+        // must parse identically, and a future version must stay typed.
+        let dir = scratch_dir("versions");
+        let shard = sample_shard(100, 4, 31);
+        let path = dir.join("v1.hfex");
+        write_shard(&path, &shard).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_shard(&path).unwrap(), shard);
+
+        bytes[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_shard(&path).unwrap_err(),
+            ServeError::UnsupportedVersion { found, .. } if found == VERSION + 1
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -12,7 +12,7 @@
 //! nothing else; the holographic representation keeps nearest-neighbour
 //! predictions usable as long as any shard survives.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 use hyperfex_hdc::binary::Dim;
@@ -60,6 +60,10 @@ pub struct RecoveryReport {
     /// Whether the class-accumulator file was recovered; centroid
     /// predictions are unavailable without it, k-NN is unaffected.
     pub accumulators_recovered: bool,
+    /// Whether a distillation selection was recovered (format v2+); a
+    /// missing, corrupt or dimensionally inconsistent selection file
+    /// degrades to `false` without affecting retrieval.
+    pub selection_recovered: bool,
 }
 
 impl RecoveryReport {
@@ -71,12 +75,45 @@ impl RecoveryReport {
     }
 }
 
+/// Accounting for one [`HvStore::append_batch`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppendReport {
+    /// Records appended (always the full batch — append is all-or-nothing).
+    pub appended: usize,
+    /// New shards rolled because the open shard reached capacity.
+    pub shards_rolled: usize,
+    /// Index of the shard left open (receiving the next append).
+    pub open_shard: u32,
+    /// Total rows serving after the append.
+    pub total_rows: usize,
+}
+
 /// A sharded, labelled hypervector bank with optional class accumulators.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the *serving state* — dimensionality, shards and
+/// accumulators — not the incremental-ingest bookkeeping (dirty set, shard
+/// capacity) or the optional distillation selection, so a rebuilt store
+/// equals a recovered one whenever they would answer identically.
+#[derive(Debug, Clone)]
 pub struct HvStore {
     dim: Dim,
     shards: Vec<ShardRecord>,
     accums: Option<ClassAccumulators>,
+    /// How the bank was pruned, when it was built through a distillation
+    /// selection; persisted in v2 snapshots so reopened stores can gather
+    /// new full-width records.
+    selection: Option<BitSelection>,
+    /// Shard indices whose in-memory state is newer than the last
+    /// snapshot — what [`HvStore::save_dirty`] writes.
+    dirty: BTreeSet<u32>,
+    /// Row count at which [`HvStore::append_batch`] rolls a new shard.
+    shard_capacity: usize,
+}
+
+impl PartialEq for HvStore {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim && self.shards == other.shards && self.accums == other.accums
+    }
 }
 
 impl HvStore {
@@ -144,10 +181,36 @@ impl HvStore {
                 bank: BitMatrix::from_hypervectors(rows)?,
             });
         }
+        // A freshly built store has never been persisted: every shard is
+        // dirty until the first save.
+        let dirty = shards.iter().map(|s| s.shard_index).collect();
         Ok(Self {
             dim,
             shards,
             accums: Some(accums),
+            selection: None,
+            dirty,
+            shard_capacity: rows_per_shard,
+        })
+    }
+
+    /// Creates an empty store ready for incremental ingest:
+    /// [`HvStore::append_batch`] rolls shards of `shard_capacity` rows as
+    /// records stream in. This is the from-scratch counterpart of
+    /// [`HvStore::build`] for cohorts that never exist in memory at once.
+    pub fn new_empty(dim: Dim, shard_capacity: usize) -> Result<Self, ServeError> {
+        if shard_capacity == 0 {
+            return Err(ServeError::ShardConflict {
+                detail: "shard capacity must be at least 1 row".to_string(),
+            });
+        }
+        Ok(Self {
+            dim,
+            shards: Vec::new(),
+            accums: Some(ClassAccumulators::new(dim)),
+            selection: None,
+            dirty: BTreeSet::new(),
+            shard_capacity,
         })
     }
 
@@ -170,7 +233,9 @@ impl HvStore {
             .iter()
             .map(|hv| selection.gather_hypervector(hv))
             .collect::<Result<Vec<_>, _>>()?;
-        Self::build(&pruned, labels, n_shards)
+        let mut store = Self::build(&pruned, labels, n_shards)?;
+        store.selection = Some(selection.clone());
+        Ok(store)
     }
 
     /// Dimensionality of every stored hypervector.
@@ -197,18 +262,213 @@ impl HvStore {
         self.accums.as_ref()
     }
 
-    /// Writes every shard plus the accumulator file into `dir` (created if
-    /// missing). Each file is written atomically; a crash mid-save leaves
-    /// any previous snapshot files intact.
-    pub fn save(&self, dir: &Path) -> Result<(), ServeError> {
+    /// The distillation selection this store was pruned with, when built
+    /// through [`HvStore::build_pruned`] or recovered from a v2 snapshot.
+    #[must_use]
+    pub fn selection(&self) -> Option<&BitSelection> {
+        self.selection.as_ref()
+    }
+
+    /// Row count at which [`HvStore::append_batch`] rolls a new shard.
+    #[must_use]
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Reconfigures the roll threshold for subsequent appends (clamped to
+    /// at least 1). Existing shards keep their rows; only *new* growth
+    /// honours the new capacity.
+    pub fn set_shard_capacity(&mut self, rows: usize) {
+        self.shard_capacity = rows.max(1);
+    }
+
+    /// Shard indices whose in-memory state is newer than the last
+    /// snapshot, ascending — exactly what [`HvStore::save_dirty`] would
+    /// write.
+    #[must_use]
+    pub fn dirty_shards(&self) -> Vec<u32> {
+        self.dirty.iter().copied().collect()
+    }
+
+    /// Appends encoded records to the store without rebuilding it: rows
+    /// fill the open (highest-index) shard and roll into fresh shards at
+    /// [`HvStore::shard_capacity`], the class accumulators absorb every
+    /// record, and the touched shards join the dirty set for the next
+    /// [`HvStore::save_dirty`] rolling snapshot.
+    ///
+    /// Records must be at the store's dimensionality — except that a store
+    /// carrying a distillation [`BitSelection`] also accepts *full-width*
+    /// records and gathers them through the selection, so a streaming
+    /// encode pipeline can feed a pruned store directly.
+    ///
+    /// Validation is all-or-nothing: every record and label is checked
+    /// before the first row lands, so a failed append leaves the store
+    /// untouched.
+    ///
+    /// Rolling a shard rewrites the `n_shards` header of *every* shard, so
+    /// a roll marks the whole store dirty; with capacity-sized batches
+    /// that cost amortises to one extra full rewrite per shard lifetime.
+    pub fn append_batch(
+        &mut self,
+        records: &[BinaryHypervector],
+        labels: &[usize],
+    ) -> Result<AppendReport, ServeError> {
+        let _span = obs::span("serve/store_append");
+        if records.len() != labels.len() {
+            return Err(ServeError::Hdc(
+                hyperfex_hdc::HdcError::LabelLengthMismatch {
+                    samples: records.len(),
+                    labels: labels.len(),
+                },
+            ));
+        }
+        // Validate everything up front: dimensionalities (gathering
+        // full-width records when a selection allows it) and label width.
+        let mut rows: Vec<BinaryHypervector> = Vec::with_capacity(records.len());
+        for hv in records {
+            if hv.dim() == self.dim {
+                rows.push(hv.clone());
+            } else if let Some(selection) = self
+                .selection
+                .as_ref()
+                .filter(|s| s.source_dim() == hv.dim())
+            {
+                rows.push(selection.gather_hypervector(hv)?);
+            } else {
+                return Err(ServeError::Hdc(hyperfex_hdc::HdcError::DimensionMismatch {
+                    left: hv.dim().get(),
+                    right: self.dim.get(),
+                }));
+            }
+        }
+        let label_u32 = labels
+            .iter()
+            .map(|&l| {
+                u32::try_from(l).map_err(|_| ServeError::ShardConflict {
+                    detail: format!("label {l} does not fit the u32 on-disk label width"),
+                })
+            })
+            .collect::<Result<Vec<u32>, ServeError>>()?;
+
+        let mut shards_rolled = 0usize;
+        let mut cursor = 0usize;
+        while cursor < rows.len() {
+            if self
+                .shards
+                .last()
+                .is_none_or(|open| open.bank.n_rows() >= self.shard_capacity)
+            {
+                self.roll_shard()?;
+                shards_rolled += 1;
+            }
+            let Some(open) = self.shards.last_mut() else {
+                return Err(ServeError::ShardConflict {
+                    detail: "no open shard after roll".to_string(),
+                });
+            };
+            let room = self.shard_capacity - open.bank.n_rows();
+            let take = room.min(rows.len() - cursor);
+            let mut words =
+                Vec::with_capacity((open.bank.n_rows() + take) * self.dim.words());
+            words.extend_from_slice(open.bank.raw_words());
+            for hv in &rows[cursor..cursor + take] {
+                words.extend_from_slice(hv.words());
+            }
+            open.bank = BitMatrix::from_words(open.bank.n_rows() + take, self.dim, words)?;
+            open.labels
+                .extend_from_slice(&label_u32[cursor..cursor + take]);
+            self.dirty.insert(open.shard_index);
+            cursor += take;
+        }
+        if let Some(accums) = &mut self.accums {
+            for (hv, &label) in rows.iter().zip(labels) {
+                accums.check_dim(hv)?;
+                accums.grow(label);
+                accums.add(label, hv, 1);
+            }
+        }
+        obs::counter_add("serve/rows_appended", rows.len() as u64);
+        let report = AppendReport {
+            appended: rows.len(),
+            shards_rolled,
+            open_shard: self.shards.last().map_or(0, |s| s.shard_index),
+            total_rows: self.n_rows(),
+        };
+        Ok(report)
+    }
+
+    /// Opens a fresh empty shard at the next index, updating every shard's
+    /// `n_shards` header (which dirties the whole store — headers on disk
+    /// are now stale).
+    fn roll_shard(&mut self) -> Result<(), ServeError> {
+        let next = u32::try_from(self.shards.len()).map_err(|_| ServeError::ShardConflict {
+            detail: format!("{} shards do not fit the u32 shard index", self.shards.len()),
+        })?;
+        let n_shards = next + 1;
+        for shard in &mut self.shards {
+            shard.n_shards = n_shards;
+            self.dirty.insert(shard.shard_index);
+        }
+        self.shards.push(ShardRecord {
+            shard_index: next,
+            n_shards,
+            labels: Vec::new(),
+            bank: BitMatrix::zeros(0, self.dim),
+        });
+        self.dirty.insert(next);
+        Ok(())
+    }
+
+    /// Writes every shard plus the accumulator file (and the distillation
+    /// selection, when present) into `dir` (created if missing). Each file
+    /// is written atomically; a crash mid-save leaves any previous
+    /// snapshot files intact. A complete save leaves nothing dirty.
+    pub fn save(&mut self, dir: &Path) -> Result<(), ServeError> {
         let _span = obs::span("serve/snapshot_save");
         std::fs::create_dir_all(dir).map_err(|e| ServeError::io(dir, &e))?;
         for shard in &self.shards {
             let path = dir.join(snapshot::shard_file_name(shard.shard_index));
             snapshot::write_shard(&path, shard)?;
         }
+        self.save_sidecars(dir)?;
+        self.dirty.clear();
+        Ok(())
+    }
+
+    /// Rolling snapshot for incremental ingest: writes only the shards
+    /// touched since the last save (plus the accumulator and selection
+    /// sidecars, which change with every append), then clears the dirty
+    /// set. Returns the number of shard files written.
+    ///
+    /// On top of an existing snapshot of the same store this keeps the
+    /// directory recoverable at a cost proportional to the *appended* data
+    /// — except just after a shard roll, when the stale `n_shards` headers
+    /// force a full rewrite.
+    pub fn save_dirty(&mut self, dir: &Path) -> Result<usize, ServeError> {
+        let _span = obs::span("serve/snapshot_save_dirty");
+        std::fs::create_dir_all(dir).map_err(|e| ServeError::io(dir, &e))?;
+        let mut written = 0usize;
+        for shard in &self.shards {
+            if !self.dirty.contains(&shard.shard_index) {
+                continue;
+            }
+            let path = dir.join(snapshot::shard_file_name(shard.shard_index));
+            snapshot::write_shard(&path, shard)?;
+            written += 1;
+        }
+        self.save_sidecars(dir)?;
+        self.dirty.clear();
+        obs::counter_add("serve/dirty_shards_saved", written as u64);
+        Ok(written)
+    }
+
+    /// The accumulator and selection files every save variant rewrites.
+    fn save_sidecars(&self, dir: &Path) -> Result<(), ServeError> {
         if let Some(accums) = &self.accums {
             snapshot::write_accums(&dir.join(snapshot::ACCUMS_FILE_NAME), accums)?;
+        }
+        if let Some(selection) = &self.selection {
+            snapshot::write_selection(&dir.join(snapshot::SELECTION_FILE_NAME), selection)?;
         }
         Ok(())
     }
@@ -320,19 +580,34 @@ impl HvStore {
             _ => None,
         };
 
+        // The selection sidecar is v2-optional: absent (v1 snapshots),
+        // corrupt or dimensionally inconsistent all degrade to None.
+        let selection = match snapshot::read_selection(&dir.join(snapshot::SELECTION_FILE_NAME)) {
+            Ok(sel) if consensus.is_none_or(|(dim, _)| sel.dim() == dim) => Some(sel),
+            _ => None,
+        };
+
         let report = RecoveryReport {
             total_shards,
             kept: survivors.keys().copied().collect(),
             quarantined,
             accumulators_recovered: accums.is_some(),
+            selection_recovered: selection.is_some(),
         };
         obs::counter_add("serve/shards_quarantined", report.quarantined.len() as u64);
         let dim = consensus.map_or_else(|| Dim::try_new(1), |(dim, _)| Ok(dim))?;
+        let shards: Vec<ShardRecord> = survivors.into_values().collect();
+        // Appends continue at the layout's natural stride: the widest
+        // recovered shard (1 when nothing survived).
+        let shard_capacity = shards.iter().map(|s| s.bank.n_rows()).max().unwrap_or(1);
         Ok((
             Self {
                 dim,
-                shards: survivors.into_values().collect(),
+                shards,
                 accums,
+                selection,
+                dirty: BTreeSet::new(),
+                shard_capacity: shard_capacity.max(1),
             },
             report,
         ))
@@ -480,7 +755,7 @@ mod tests {
     fn build_save_open_round_trips() {
         let dir = scratch_dir("roundtrip");
         let cohort = small_cohort(1);
-        let store = HvStore::build(&cohort.records, &cohort.labels, 4).unwrap();
+        let mut store = HvStore::build(&cohort.records, &cohort.labels, 4).unwrap();
         assert_eq!(store.n_shards(), 4);
         assert_eq!(store.n_rows(), 60);
         store.save(&dir).unwrap();
@@ -520,7 +795,7 @@ mod tests {
     fn missing_shard_file_is_quarantined_and_survivors_serve() {
         let dir = scratch_dir("missing");
         let cohort = small_cohort(3);
-        let store = HvStore::build(&cohort.records, &cohort.labels, 5).unwrap();
+        let mut store = HvStore::build(&cohort.records, &cohort.labels, 5).unwrap();
         store.save(&dir).unwrap();
         std::fs::remove_file(dir.join(snapshot::shard_file_name(2))).unwrap();
         let (reopened, report) = HvStore::open(&dir).unwrap();
@@ -678,7 +953,7 @@ mod tests {
     fn centroid_accumulators_survive_the_round_trip() {
         let dir = scratch_dir("accums");
         let cohort = small_cohort(5);
-        let store = HvStore::build(&cohort.records, &cohort.labels, 3).unwrap();
+        let mut store = HvStore::build(&cohort.records, &cohort.labels, 3).unwrap();
         store.save(&dir).unwrap();
         let (reopened, _) = HvStore::open(&dir).unwrap();
         let acc = reopened.accumulators().unwrap();
@@ -693,6 +968,155 @@ mod tests {
         assert!(!report.accumulators_recovered);
         assert!(reopened.accumulators().is_none());
         assert!(reopened.predict_batch(&cohort.records[..2], 1).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_batch_fills_and_rolls_with_accurate_accounting() {
+        let cohort = small_cohort(9);
+        let mut store = HvStore::new_empty(Dim::new(256), 8).unwrap();
+        assert_eq!(store.n_shards(), 0);
+        assert_eq!(store.shard_capacity(), 8);
+
+        // 5 rows into an empty store: one roll, shard 0 open with room.
+        let first = store
+            .append_batch(&cohort.records[..5], &cohort.labels[..5])
+            .unwrap();
+        assert_eq!(first.appended, 5);
+        assert_eq!(first.shards_rolled, 1);
+        assert_eq!(first.open_shard, 0);
+        assert_eq!(first.total_rows, 5);
+        assert_eq!(store.dirty_shards(), vec![0]);
+
+        // 11 more: fills shard 0 (3 rows), rolls shard 1 (8). Rolling
+        // dirties every shard.
+        let second = store
+            .append_batch(&cohort.records[5..16], &cohort.labels[5..16])
+            .unwrap();
+        assert_eq!(second.appended, 11);
+        assert_eq!(second.shards_rolled, 1);
+        assert_eq!(second.open_shard, 1);
+        assert_eq!(second.total_rows, 16);
+        assert_eq!(store.n_shards(), 2);
+        assert_eq!(store.dirty_shards(), vec![0, 1]);
+
+        // The incrementally grown store equals a one-shot build with the
+        // same 8-row slicing, accumulators included.
+        let built = HvStore::build(&cohort.records[..16], &cohort.labels[..16], 2).unwrap();
+        assert_eq!(store, built);
+
+        // One more row rolls a fresh shard.
+        let third = store
+            .append_batch(&cohort.records[16..17], &cohort.labels[16..17])
+            .unwrap();
+        assert_eq!(third.shards_rolled, 1);
+        assert_eq!(third.open_shard, 2);
+        assert_eq!(third.total_rows, 17);
+        assert_eq!(store.dirty_shards(), vec![0, 1, 2]);
+
+        // Failed appends are all-or-nothing: a bad record leaves rows,
+        // shards, and the dirty set untouched.
+        let narrow = BinaryHypervector::zeros(Dim::new(64));
+        let err = store.append_batch(&[narrow], &[0]).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Hdc(hyperfex_hdc::HdcError::DimensionMismatch { .. })
+        ));
+        let err = store
+            .append_batch(&cohort.records[..2], &cohort.labels[..1])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Hdc(hyperfex_hdc::HdcError::LabelLengthMismatch { .. })
+        ));
+        assert_eq!(store.n_rows(), 17);
+        assert_eq!(store.n_shards(), 3);
+        assert_eq!(store.dirty_shards(), vec![0, 1, 2]);
+
+        assert!(HvStore::new_empty(Dim::new(256), 0).is_err());
+    }
+
+    #[test]
+    fn save_dirty_writes_only_touched_shards_and_recovers_identically() {
+        let dir = scratch_dir("dirty");
+        let cohort = small_cohort(10);
+        let mut store = HvStore::new_empty(Dim::new(256), 10).unwrap();
+        store
+            .append_batch(&cohort.records[..25], &cohort.labels[..25])
+            .unwrap();
+        // Fresh store: everything is dirty, so the first rolling snapshot
+        // writes all three shards (10/10/5).
+        assert_eq!(store.save_dirty(&dir).unwrap(), 3);
+        assert!(store.dirty_shards().is_empty());
+
+        // An append confined to the open shard dirties only it.
+        store
+            .append_batch(&cohort.records[25..30], &cohort.labels[25..30])
+            .unwrap();
+        assert_eq!(store.dirty_shards(), vec![2]);
+        assert_eq!(store.save_dirty(&dir).unwrap(), 1);
+
+        // A roll dirties the whole store (stale n_shards headers).
+        store
+            .append_batch(&cohort.records[30..50], &cohort.labels[30..50])
+            .unwrap();
+        assert_eq!(store.dirty_shards(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(store.save_dirty(&dir).unwrap(), 5);
+
+        let (reopened, report) = HvStore::open(&dir).unwrap();
+        assert!(report.is_complete());
+        assert!(report.accumulators_recovered);
+        assert_eq!(reopened, store);
+        // Recovery derives the append stride from the widest shard, so
+        // ingest can resume where it left off.
+        assert_eq!(reopened.shard_capacity(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn pruned_store_round_trips_selection_and_gathers_appends() {
+        let dir = scratch_dir("selection");
+        let cohort = small_cohort(11);
+        let selection = BitSelection::random(Dim::new(256), 96, 7).unwrap();
+        let mut store =
+            HvStore::build_pruned(&cohort.records[..40], &cohort.labels[..40], 4, &selection)
+                .unwrap();
+        store.save(&dir).unwrap();
+
+        let (mut reopened, report) = HvStore::open(&dir).unwrap();
+        assert!(report.selection_recovered);
+        assert_eq!(reopened.selection(), Some(&selection));
+        assert_eq!(reopened, store);
+
+        // Full-width records append through the recovered selection…
+        let appended = reopened
+            .append_batch(&cohort.records[40..60], &cohort.labels[40..60])
+            .unwrap();
+        assert_eq!(appended.appended, 20);
+        assert_eq!(reopened.n_rows(), 60);
+        // …landing bit-identically to pre-gathered appends.
+        store
+            .append_batch(
+                &cohort.records[40..60]
+                    .iter()
+                    .map(|hv| selection.gather_hypervector(hv).unwrap())
+                    .collect::<Vec<_>>(),
+                &cohort.labels[40..60],
+            )
+            .unwrap();
+        assert_eq!(reopened, store);
+
+        // A clobbered selection file degrades to a selection-less store:
+        // retrieval still serves, but full-width appends are rejected.
+        std::fs::write(dir.join(snapshot::SELECTION_FILE_NAME), b"garbage").unwrap();
+        let (mut degraded, report) = HvStore::open(&dir).unwrap();
+        assert!(!report.selection_recovered);
+        assert!(degraded.selection().is_none());
+        let probe = selection.gather_hypervector(&cohort.records[0]).unwrap();
+        assert!(degraded.predict_batch(&[probe], 1).is_ok());
+        assert!(degraded
+            .append_batch(&cohort.records[..1], &cohort.labels[..1])
+            .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

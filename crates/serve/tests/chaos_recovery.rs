@@ -45,7 +45,7 @@ fn planned_corruption_quarantines_exactly_the_victims_and_survivors_serve() {
     let dir = scratch_dir("planned");
     let cohort = cohort(11);
     let n_shards = 5;
-    let store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
+    let mut store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
     store.save(&dir).unwrap();
 
     let shard_paths = HvStore::shard_paths(&dir).unwrap();
@@ -97,7 +97,7 @@ fn corruption_replays_byte_identically_from_the_plan_seed() {
     let dir_a = scratch_dir("replay-a");
     let dir_b = scratch_dir("replay-b");
     let cohort = cohort(12);
-    let store = HvStore::build(&cohort.records, &cohort.labels, 4).unwrap();
+    let mut store = HvStore::build(&cohort.records, &cohort.labels, 4).unwrap();
     store.save(&dir_a).unwrap();
     store.save(&dir_b).unwrap();
 
@@ -155,7 +155,7 @@ fn corruption_replays_byte_identically_from_the_plan_seed() {
 fn injected_write_failure_leaves_the_previous_snapshot_intact() {
     let dir = scratch_dir("atomic");
     let cohort = cohort(13);
-    let store = HvStore::build(&cohort.records, &cohort.labels, 3).unwrap();
+    let mut store = HvStore::build(&cohort.records, &cohort.labels, 3).unwrap();
     store.save(&dir).unwrap();
     let before: Vec<Vec<u8>> = HvStore::shard_paths(&dir)
         .unwrap()
@@ -198,7 +198,7 @@ fn injected_write_failure_leaves_the_previous_snapshot_intact() {
 fn injected_load_failure_quarantines_every_shard_with_the_seam_name() {
     let dir = scratch_dir("load");
     let cohort = cohort(14);
-    let store = HvStore::build(&cohort.records, &cohort.labels, 3).unwrap();
+    let mut store = HvStore::build(&cohort.records, &cohort.labels, 3).unwrap();
     store.save(&dir).unwrap();
 
     let _guard = registry::install(&[FailRule {

@@ -62,7 +62,7 @@ proptest! {
     ) {
         let dim = Dim::try_new(64 * dim_words + dim_off - 1).unwrap();
         let cohort = SyntheticCohort::generate(dim, 2, n_shards * 4, 2, seed).unwrap();
-        let store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
+        let mut store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
         let dir = scratch_dir(seed ^ (n_flips as u64) << 32);
         store.save(&dir).unwrap();
 
@@ -113,7 +113,7 @@ proptest! {
     ) {
         let dim = Dim::try_new(64 * dim_words + dim_off - 1).unwrap();
         let cohort = SyntheticCohort::generate(dim, 3, n_shards * 3, 1, seed).unwrap();
-        let store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
+        let mut store = HvStore::build(&cohort.records, &cohort.labels, n_shards).unwrap();
         let dir = scratch_dir(seed ^ 0xC1EA_u64 << 40);
         store.save(&dir).unwrap();
         let (reopened, report) = HvStore::open(&dir).unwrap();
@@ -135,7 +135,7 @@ proptest! {
     ) {
         let dim = Dim::try_new(64 * dim_words + 1).unwrap();
         let cohort = SyntheticCohort::generate(dim, 2, 8, 2, seed).unwrap();
-        let store = HvStore::build(&cohort.records, &cohort.labels, 2).unwrap();
+        let mut store = HvStore::build(&cohort.records, &cohort.labels, 2).unwrap();
         let dir = scratch_dir(seed ^ 0x7AC_u64 << 44);
         store.save(&dir).unwrap();
 

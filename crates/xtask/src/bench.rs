@@ -3,9 +3,12 @@
 //! `bench` runs the criterion micro-benchmark suites (reading the vendored
 //! harness's `HYPERFEX_BENCH_JSON` side channel instead of scraping
 //! stdout), one instrumented end-to-end run of the `perf_report` binary,
-//! and one serving-plane run of the `serve_bench` binary (snapshot
-//! write/open/recovery wall time plus batch prediction throughput), and
-//! folds all three into a single machine-readable artifact,
+//! one serving-plane run of the `serve_bench` binary (snapshot
+//! write/open/recovery wall time plus batch prediction and append
+//! throughput), and one gated streaming-vs-batch run of the
+//! `stream_bench` binary (flat-memory and throughput-parity evidence for
+//! the single-pass encode pipeline), and folds all four into a single
+//! machine-readable artifact,
 //! `BENCH_4.json`, at the workspace root. `--quick` caps every benchmark
 //! at a small sample count and uses the small-dimensionality experiment
 //! config, which is what the CI perf-smoke job runs.
@@ -125,7 +128,38 @@ pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
         return Err("serve bench output is not a JSON object".to_string());
     };
 
-    // 4. Fold into the artifact.
+    // 4. Streaming-vs-batch encode run (flat-memory evidence for the
+    //    single-pass pipeline; `--gate` makes a perf lie a hard failure).
+    let stream_path = target.join("stream-bench.json");
+    let _ = fs::remove_file(&stream_path);
+    let mut cmd = Command::new("cargo");
+    cmd.current_dir(root).args([
+        "run",
+        "--locked",
+        "--release",
+        "-p",
+        "hyperfex-experiments",
+        "--features",
+        "obs",
+        "--bin",
+        "stream_bench",
+        "--",
+        "--gate",
+        "--out",
+    ]);
+    cmd.arg(&stream_path);
+    if quick {
+        cmd.arg("--quick");
+    }
+    run_to_completion(cmd, "stream_bench")?;
+    let stream_text = fs::read_to_string(&stream_path)
+        .map_err(|e| format!("reading {}: {e}", stream_path.display()))?;
+    let stream = json::parse(&stream_text).map_err(|e| format!("parsing stream bench: {e}"))?;
+    let Json::Obj(stream_obj) = stream else {
+        return Err("stream bench output is not a JSON object".to_string());
+    };
+
+    // 5. Fold into the artifact.
     let mut doc = BTreeMap::new();
     doc.insert("schema_version".to_string(), Json::Num(1.0));
     doc.insert(
@@ -143,6 +177,7 @@ pub fn cmd_bench(root: &Path, args: &[String]) -> Result<(), String> {
     );
     doc.insert("e2e".to_string(), Json::Obj(e2e));
     doc.insert("serve".to_string(), Json::Obj(serve_obj));
+    doc.insert("stream".to_string(), Json::Obj(stream_obj));
     let artifact = root.join(BENCH_ARTIFACT);
     fs::write(&artifact, Json::Obj(doc).to_pretty())
         .map_err(|e| format!("writing {}: {e}", artifact.display()))?;

@@ -21,7 +21,7 @@ pub const AUDITED_CRATES: [&str; 8] = [
 ];
 
 /// Kernel files where slice indexing requires an annotation.
-pub const KERNEL_FILES: [&str; 9] = [
+pub const KERNEL_FILES: [&str; 10] = [
     "crates/hdc/src/binary.rs",
     "crates/hdc/src/bitmatrix.rs",
     "crates/hdc/src/bundle.rs",
@@ -31,6 +31,7 @@ pub const KERNEL_FILES: [&str; 9] = [
     "crates/hdc/src/classify/trainer/accumulator.rs",
     "crates/hdc/src/classify/centroid.rs",
     "crates/serve/src/snapshot.rs",
+    "crates/hdc/src/stream.rs",
 ];
 
 const PANIC_PATTERNS: [&str; 6] = [

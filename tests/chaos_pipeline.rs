@@ -254,6 +254,83 @@ fn trainer_partial_fit_survives_bit_flip_injection() {
 }
 
 #[test]
+fn stream_encode_seam_aborts_strict_quarantines_lenient_and_replays() {
+    use hyperfex_hdc::stream::CollectSink;
+
+    let (_, table) = &cohorts()[0];
+    let treated = impute_class_median(table).unwrap();
+    let mut extractor = HdcFeatureExtractor::new(Dim::new(DIM), 7);
+    extractor.fit(&treated, None).unwrap();
+
+    // Fire on records 10, 11, 12 of the stream. The seam is evaluated
+    // once per record on the draining thread, so the window is exact.
+    let rules = vec![hyperfex_faults::FailRule {
+        point: "hdc/stream_encode".to_string(),
+        action: hyperfex_faults::FaultAction::Fail,
+        after: 10,
+        times: Some(3),
+    }];
+
+    // Strict: the first injected record aborts the stream with a typed
+    // error naming the seam; the sink keeps exactly the records absorbed
+    // before the abort.
+    {
+        let _guard = registry::install(&rules).expect("rules target distinct seams");
+        let mut stream = TableStream::new(&treated, None).unwrap();
+        let mut sink = CollectSink::new();
+        let err = extractor
+            .transform_stream(&mut stream, &mut sink)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("hdc/stream_encode"),
+            "error must name the failpoint, got: {err}"
+        );
+        assert_eq!(sink.labels().len(), 10, "absorbed records stay absorbed");
+    }
+
+    // Lenient: injected records are quarantined, the accounting adds up,
+    // and the surviving hypervectors are exactly the clean encode minus
+    // the quarantined rows.
+    let run_lenient = || {
+        let _guard = registry::install(&rules).expect("rules target distinct seams");
+        let mut stream = TableStream::new(&treated, None).unwrap();
+        let mut sink = CollectSink::new();
+        let lenient = extractor
+            .transform_stream_lenient(&mut stream, &mut sink)
+            .unwrap();
+        (lenient, sink.into_parts())
+    };
+    let (outcome, (hvs, labels)) = run_lenient();
+    assert_eq!(outcome.report.total(), treated.n_rows());
+    assert_eq!(
+        outcome.report.kept() + outcome.report.quarantined(),
+        outcome.report.total(),
+        "quarantine accounting must add up"
+    );
+    assert_eq!(outcome.report.quarantined(), 3);
+    assert_eq!(outcome.absorbed, treated.n_rows() - 3);
+    assert_eq!(hvs.len(), outcome.absorbed);
+    assert_eq!(labels.len(), outcome.absorbed);
+
+    // Replay is byte-identical: same quarantined rows, same survivors.
+    let (outcome2, (hvs2, labels2)) = run_lenient();
+    assert_eq!(outcome2.absorbed, outcome.absorbed);
+    assert_eq!(hvs2, hvs);
+    assert_eq!(labels2, labels);
+
+    // And the survivors match a clean batch encode with the injected
+    // rows removed: the fault touches scheduling, never bit patterns.
+    let clean = extractor.transform(&treated, None).unwrap();
+    let expected: Vec<_> = clean
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !(10..13).contains(i))
+        .map(|(_, hv)| hv.clone())
+        .collect();
+    assert_eq!(hvs, expected);
+}
+
+#[test]
 fn injected_failpoints_surface_as_typed_errors() {
     let (_, table) = &cohorts()[1];
     let treated = impute_class_median(table).unwrap();
