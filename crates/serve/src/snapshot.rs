@@ -36,7 +36,7 @@ use crate::error::ServeError;
 
 /// Leading bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"HFEXSNAP";
-/// Newest format version this build writes.
+/// Newest format version this build reads and writes.
 ///
 /// Version 2 added the optional distillation-selection file
 /// ([`SELECTION_FILE_NAME`]); the shard and accumulator layouts are
@@ -45,6 +45,12 @@ pub const MAGIC: [u8; 8] = *b"HFEXSNAP";
 pub const VERSION: u32 = 2;
 /// Oldest format version this build still reads.
 pub const MIN_VERSION: u32 = 1;
+/// Version stamped on files whose layout is unchanged since v1 — shards
+/// and accumulators. Writing them as v1 keeps snapshots readable after a
+/// rollback to a pre-v2 build (which rejects any version above 1); only
+/// the selection file, which older builds never look for, carries
+/// [`VERSION`].
+const UNCHANGED_LAYOUT_VERSION: u32 = 1;
 
 const TAG_META: [u8; 4] = *b"META";
 const TAG_LABELS: [u8; 4] = *b"LABL";
@@ -199,7 +205,7 @@ pub fn write_shard(path: &Path, shard: &ShardRecord) -> Result<(), ServeError> {
 
     let mut out = Vec::with_capacity(16 + meta.len() + labels.len() + bank.len() + 48);
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&UNCHANGED_LAYOUT_VERSION.to_le_bytes());
     put_section(&mut out, TAG_META, &meta);
     put_section(&mut out, TAG_LABELS, &labels);
     put_section(&mut out, TAG_BANK, &bank);
@@ -226,7 +232,7 @@ pub fn write_accums(path: &Path, accums: &ClassAccumulators) -> Result<(), Serve
     }
     let mut out = Vec::with_capacity(16 + payload.len() + 16);
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&UNCHANGED_LAYOUT_VERSION.to_le_bytes());
     put_section(&mut out, TAG_ACCUMS, &payload);
     write_atomic(path, &out)
 }
@@ -282,16 +288,19 @@ pub fn read_selection(path: &Path) -> Result<BitSelection, ServeError> {
         })?;
     let k = usize::try_from(k_raw)
         .map_err(|_| inner.corrupt("selection", format!("impossible index count {k_raw}")))?;
-    if payload.len() != 16 + k * 4 {
+    // Checked: a corrupt (attacker-controlled) count must become a typed
+    // error, not an overflow panic or a huge Vec::with_capacity abort.
+    let expected = k.checked_mul(4).and_then(|b| b.checked_add(16));
+    if expected != Some(payload.len()) {
         return Err(inner.corrupt(
             "selection",
             format!(
-                "selection payload has {} bytes, expected {} ({k} indices)",
-                payload.len(),
-                16 + k * 4
+                "selection payload has {} bytes for a claimed {k_raw} indices",
+                payload.len()
             ),
         ));
     }
+    // `k` is now bounded by the actual payload size.
     let mut indices = Vec::with_capacity(k);
     for chunk in inner.take(k * 4, "selection")?.chunks_exact(4) {
         let arr: [u8; 4] = chunk
@@ -477,13 +486,15 @@ pub fn read_shard(path: &Path) -> Result<ShardRecord, ServeError> {
     }
 
     let labels_raw = cursor.take_section(TAG_LABELS, "labels")?;
-    if labels_raw.len() != n_rows * 4 {
+    // Checked arithmetic throughout: the row count is corruption
+    // controlled, so an oversized value must become a typed error rather
+    // than an overflow panic or an absurd Vec::with_capacity.
+    if n_rows.checked_mul(4) != Some(labels_raw.len()) {
         return Err(cursor.corrupt(
             "labels",
             format!(
-                "label section has {} bytes for {n_rows} rows (expected {})",
-                labels_raw.len(),
-                n_rows * 4
+                "label section has {} bytes for a claimed {n_rows} rows",
+                labels_raw.len()
             ),
         ));
     }
@@ -496,19 +507,18 @@ pub fn read_shard(path: &Path) -> Result<ShardRecord, ServeError> {
     }
 
     let bank_raw = cursor.take_section(TAG_BANK, "bank")?;
-    let expected_words = n_rows * dim.words();
-    if bank_raw.len() != expected_words * 8 {
+    let expected_words = n_rows.checked_mul(dim.words());
+    if expected_words.and_then(|w| w.checked_mul(8)) != Some(bank_raw.len()) {
         return Err(cursor.corrupt(
             "bank",
             format!(
-                "bank section has {} bytes, expected {} ({n_rows} rows x {} words)",
+                "bank section has {} bytes for a claimed {n_rows} rows x {} words",
                 bank_raw.len(),
-                expected_words * 8,
                 dim.words()
             ),
         ));
     }
-    let mut words = Vec::with_capacity(expected_words);
+    let mut words = Vec::with_capacity(bank_raw.len() / 8);
     for chunk in bank_raw.chunks_exact(8) {
         let arr: [u8; 8] = chunk
             .try_into()
@@ -549,13 +559,20 @@ pub fn read_accums(path: &Path) -> Result<ClassAccumulators, ServeError> {
         .ok_or_else(|| inner.corrupt("accums", format!("impossible dimensionality {dim_raw}")))?;
     let n_classes = usize::try_from(n_classes_raw)
         .map_err(|_| inner.corrupt("accums", format!("impossible class count {n_classes_raw}")))?;
-    let expected = 16 + n_classes * 4 + n_classes * dim.get() * 4;
-    if payload.len() != expected {
+    // Checked: the class count is corruption controlled (see the labels
+    // check in `read_shard`).
+    let expected = dim
+        .get()
+        .checked_add(1)
+        .and_then(|per| per.checked_mul(4))
+        .and_then(|per| per.checked_mul(n_classes))
+        .and_then(|body| body.checked_add(16));
+    if expected != Some(payload.len()) {
         return Err(inner.corrupt(
             "accums",
             format!(
-                "accumulator payload has {} bytes, expected {expected} \
-                 ({n_classes} classes x dim {dim})",
+                "accumulator payload has {} bytes for a claimed \
+                 {n_classes} classes x dim {dim}",
                 payload.len()
             ),
         ));
@@ -811,7 +828,12 @@ mod tests {
         let path = dir.join("v1.hfex");
         write_shard(&path, &shard).unwrap();
         let mut bytes = fs::read(&path).unwrap();
-        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        // Unchanged-layout files are stamped v1 natively, so a rollback
+        // to a pre-v2 build (which rejects version != 1) can still read
+        // every shard this build writes.
+        assert_eq!(bytes[8..12], 1u32.to_le_bytes());
+        assert_eq!(read_shard(&path).unwrap(), shard);
+        bytes[8..12].copy_from_slice(&VERSION.to_le_bytes());
         fs::write(&path, &bytes).unwrap();
         assert_eq!(read_shard(&path).unwrap(), shard);
 
@@ -821,6 +843,50 @@ mod tests {
             read_shard(&path).unwrap_err(),
             ServeError::UnsupportedVersion { found, .. } if found == VERSION + 1
         ));
+
+        // The accumulator writer makes the same rollback promise; only
+        // the selection file (older builds never open it) carries v2.
+        let mut acc = ClassAccumulators::new(Dim::new(32));
+        acc.grow(0);
+        let acc_path = dir.join(ACCUMS_FILE_NAME);
+        write_accums(&acc_path, &acc).unwrap();
+        assert_eq!(fs::read(&acc_path).unwrap()[8..12], 1u32.to_le_bytes());
+        let sel_path = dir.join(SELECTION_FILE_NAME);
+        let selection = BitSelection::random(Dim::new(64), 16, 3).unwrap();
+        write_selection(&sel_path, &selection).unwrap();
+        assert_eq!(fs::read(&sel_path).unwrap()[8..12], VERSION.to_le_bytes());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn selection_with_absurd_claimed_count_is_typed_corruption() {
+        // A checksum-valid payload claiming ~u64::MAX indices must come
+        // back as a typed error — not an arithmetic-overflow panic (debug)
+        // or a capacity-overflow abort (release).
+        let dir = scratch_dir("hugecount");
+        let path = dir.join(SELECTION_FILE_NAME);
+        let selection = BitSelection::random(Dim::new(256), 8, 23).unwrap();
+        write_selection(&path, &selection).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let payload_start = 8 + 4 + 4 + 8; // magic, version, tag, len
+        let count_at = payload_start + 8;
+        // Claim a count whose `16 + k * 4` wraps past usize::MAX.
+        bytes[count_at..count_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let crc_start = bytes.len() - 4;
+        let fixed = crc32(&bytes[payload_start..crc_start]);
+        bytes[crc_start..].copy_from_slice(&fixed.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = read_selection(&path).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ServeError::Corrupt {
+                    section: "selection",
+                    ..
+                }
+            ),
+            "{err}"
+        );
         fs::remove_dir_all(&dir).unwrap();
     }
 

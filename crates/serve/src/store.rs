@@ -278,6 +278,11 @@ impl HvStore {
     /// Reconfigures the roll threshold for subsequent appends (clamped to
     /// at least 1). Existing shards keep their rows; only *new* growth
     /// honours the new capacity.
+    ///
+    /// Resumed ingest should call this with the originally configured
+    /// capacity: [`HvStore::open`] infers the stride from the widest
+    /// recovered shard, which matches the configuration only once at
+    /// least one shard has filled (see [`HvStore::open`]).
     pub fn set_shard_capacity(&mut self, rows: usize) {
         self.shard_capacity = rows.max(1);
     }
@@ -400,11 +405,23 @@ impl HvStore {
     /// Opens a fresh empty shard at the next index, updating every shard's
     /// `n_shards` header (which dirties the whole store — headers on disk
     /// are now stale).
+    ///
+    /// The next index is one past the highest *surviving* index, not the
+    /// shard count: a store recovered with quarantine gaps (say indices
+    /// {0, 1, 3}) must roll shard 4, because rolling `shards.len()` (3)
+    /// would duplicate an index and the next save would clobber that
+    /// shard's file. The gap stays a gap — reopening reports the lost
+    /// shard as missing, exactly as before the append.
     fn roll_shard(&mut self) -> Result<(), ServeError> {
-        let next = u32::try_from(self.shards.len()).map_err(|_| ServeError::ShardConflict {
-            detail: format!("{} shards do not fit the u32 shard index", self.shards.len()),
+        let next = match self.shards.iter().map(|s| s.shard_index).max() {
+            Some(highest) => highest.checked_add(1).ok_or_else(|| ServeError::ShardConflict {
+                detail: format!("shard index after {highest} does not fit u32"),
+            })?,
+            None => 0,
+        };
+        let n_shards = next.checked_add(1).ok_or_else(|| ServeError::ShardConflict {
+            detail: format!("{next} shards do not fit the u32 shard-count header"),
         })?;
-        let n_shards = next + 1;
         for shard in &mut self.shards {
             shard.n_shards = n_shards;
             self.dirty.insert(shard.shard_index);
@@ -435,24 +452,28 @@ impl HvStore {
         Ok(())
     }
 
-    /// Rolling snapshot for incremental ingest: writes only the shards
-    /// touched since the last save (plus the accumulator and selection
-    /// sidecars, which change with every append), then clears the dirty
-    /// set. Returns the number of shard files written.
+    /// Rolling snapshot for incremental ingest: writes the shards touched
+    /// since the last save (plus the accumulator and selection sidecars,
+    /// which change with every append), then clears the dirty set.
+    /// Returns the number of shard files written.
     ///
-    /// On top of an existing snapshot of the same store this keeps the
-    /// directory recoverable at a cost proportional to the *appended* data
-    /// — except just after a shard roll, when the stale `n_shards` headers
-    /// force a full rewrite.
+    /// Dirty tracking is per-store, not per-directory, so a clean shard is
+    /// skipped only when `dir` already holds its file — pointing a rolling
+    /// snapshot at a *fresh* directory (or one missing files) writes the
+    /// absent shards too, instead of silently producing a partial
+    /// snapshot. On top of an existing snapshot of the same store this
+    /// keeps the directory recoverable at a cost proportional to the
+    /// *appended* data — except just after a shard roll, when the stale
+    /// `n_shards` headers force a full rewrite.
     pub fn save_dirty(&mut self, dir: &Path) -> Result<usize, ServeError> {
         let _span = obs::span("serve/snapshot_save_dirty");
         std::fs::create_dir_all(dir).map_err(|e| ServeError::io(dir, &e))?;
         let mut written = 0usize;
         for shard in &self.shards {
-            if !self.dirty.contains(&shard.shard_index) {
+            let path = dir.join(snapshot::shard_file_name(shard.shard_index));
+            if !self.dirty.contains(&shard.shard_index) && path.exists() {
                 continue;
             }
-            let path = dir.join(snapshot::shard_file_name(shard.shard_index));
             snapshot::write_shard(&path, shard)?;
             written += 1;
         }
@@ -501,6 +522,16 @@ impl HvStore {
     /// whatever survived (possibly nothing — see
     /// [`HvStore::predict_batch`]); the report's accounting always
     /// balances.
+    ///
+    /// The shard capacity is not persisted: the reopened store infers the
+    /// append stride from the widest recovered shard, which equals the
+    /// configured capacity once any shard has filled but undershoots it
+    /// when a crash landed before the first roll (a lone 5-row shard at
+    /// configured capacity 16 resumes with capacity 5). Resumed ingest
+    /// that needs the uninterrupted layout — e.g. to stay bit-identical
+    /// with a batch-built store — must call
+    /// [`HvStore::set_shard_capacity`] with the configured value before
+    /// appending.
     pub fn open(dir: &Path) -> Result<(Self, RecoveryReport), ServeError> {
         let _span = obs::span("serve/snapshot_open");
         let paths = Self::shard_paths(dir)?;
@@ -598,7 +629,9 @@ impl HvStore {
         let dim = consensus.map_or_else(|| Dim::try_new(1), |(dim, _)| Ok(dim))?;
         let shards: Vec<ShardRecord> = survivors.into_values().collect();
         // Appends continue at the layout's natural stride: the widest
-        // recovered shard (1 when nothing survived).
+        // recovered shard (1 when nothing survived). This undershoots the
+        // configured capacity when no shard ever filled — see the doc
+        // comment above.
         let shard_capacity = shards.iter().map(|s| s.bank.n_rows()).max().unwrap_or(1);
         Ok((
             Self {
@@ -1071,6 +1104,77 @@ mod tests {
         // ingest can resume where it left off.
         assert_eq!(reopened.shard_capacity(), 10);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_after_gapped_recovery_rolls_past_surviving_indices() {
+        // Quarantining shard 2 of {0,1,2,3} leaves surviving indices with
+        // a gap; a subsequent roll must open shard 4, not reuse index 3
+        // (shards.len()), which would clobber shard 3's file on save.
+        let dir = scratch_dir("gapped");
+        let cohort = small_cohort(12);
+        let mut store = HvStore::new_empty(Dim::new(256), 10).unwrap();
+        store
+            .append_batch(&cohort.records[..40], &cohort.labels[..40])
+            .unwrap();
+        store.save(&dir).unwrap();
+        std::fs::remove_file(dir.join(snapshot::shard_file_name(2))).unwrap();
+
+        let (mut recovered, report) = HvStore::open(&dir).unwrap();
+        assert_eq!(report.kept, vec![0, 1, 3]);
+        assert_eq!(recovered.n_rows(), 30);
+        recovered.set_shard_capacity(10);
+
+        // Shard 3 is full, so this append rolls a fresh shard: index 4.
+        let appended = recovered
+            .append_batch(&cohort.records[40..55], &cohort.labels[40..55])
+            .unwrap();
+        assert_eq!(appended.shards_rolled, 2);
+        assert_eq!(appended.open_shard, 5);
+        let indices: Vec<u32> = recovered.shards.iter().map(|s| s.shard_index).collect();
+        assert_eq!(indices, vec![0, 1, 3, 4, 5]);
+
+        // Saving must not overwrite shard 3: the round trip keeps every
+        // surviving row and still reports the old gap as missing.
+        recovered.save_dirty(&dir).unwrap();
+        let (reopened, report) = HvStore::open(&dir).unwrap();
+        assert!(report.is_complete());
+        assert_eq!(report.kept, vec![0, 1, 3, 4, 5]);
+        assert_eq!(report.quarantined.len(), 1);
+        assert_eq!(report.quarantined[0].shard_index, Some(2));
+        assert_eq!(reopened.n_rows(), 45);
+        assert_eq!(reopened, recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn save_dirty_into_a_fresh_directory_writes_the_clean_shards_too() {
+        // Dirty tracking is per-store: a recovered store (nothing dirty)
+        // appended once must still produce a complete snapshot when its
+        // rolling save points at a directory missing the clean shards.
+        let old_dir = scratch_dir("fresh-src");
+        let new_dir = scratch_dir("fresh-dst");
+        let cohort = small_cohort(13);
+        let mut store = HvStore::new_empty(Dim::new(256), 10).unwrap();
+        store
+            .append_batch(&cohort.records[..25], &cohort.labels[..25])
+            .unwrap();
+        store.save(&old_dir).unwrap();
+
+        let (mut recovered, _) = HvStore::open(&old_dir).unwrap();
+        recovered
+            .append_batch(&cohort.records[25..30], &cohort.labels[25..30])
+            .unwrap();
+        // Only the open shard is dirty, but the fresh directory lacks the
+        // other two — all three get written.
+        assert_eq!(recovered.dirty_shards(), vec![2]);
+        assert_eq!(recovered.save_dirty(&new_dir).unwrap(), 3);
+        let (reopened, report) = HvStore::open(&new_dir).unwrap();
+        assert!(report.is_complete());
+        assert!(report.quarantined.is_empty());
+        assert_eq!(reopened, recovered);
+        std::fs::remove_dir_all(&old_dir).unwrap();
+        std::fs::remove_dir_all(&new_dir).unwrap();
     }
 
     #[test]

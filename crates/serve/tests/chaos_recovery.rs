@@ -165,7 +165,7 @@ fn injected_write_failure_leaves_the_previous_snapshot_intact() {
 
     // A different store tries to overwrite the snapshot, but the write
     // seam fails before any rename happens.
-    let other = HvStore::build(&cohort.records[..60], &cohort.labels[..60], 3).unwrap();
+    let mut other = HvStore::build(&cohort.records[..60], &cohort.labels[..60], 3).unwrap();
     {
         let _guard = registry::install(&[FailRule {
             point: "serve/snapshot_write".to_string(),
